@@ -1,0 +1,119 @@
+// Command gaged runs the Gage front-end request distribution node (RDN) as
+// a live TCP dispatcher: it classifies incoming HTTP requests by virtual
+// host, enforces per-subscriber GRPS reservations with the credit-based
+// scheduler, load-balances across the configured back ends, and polls their
+// accounting reports to keep the balances honest.
+//
+// Usage:
+//
+//	gaged -listen :8080 -config cluster.json
+//
+// The JSON config:
+//
+//	{
+//	  "subscribers": [
+//	    {"id": "site1", "hosts": ["www.site1.example"], "reservationGRPS": 250, "queueLimit": 128}
+//	  ],
+//	  "backends": [
+//	    {"id": 1, "addr": "127.0.0.1:9001"}
+//	  ],
+//	  "acctCycleMillis": 100,
+//	  "schedCycleMillis": 10
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"gage/internal/core"
+	"gage/internal/dispatch"
+	"gage/internal/qos"
+)
+
+// fileConfig is the on-disk configuration format.
+type fileConfig struct {
+	Subscribers []struct {
+		ID              string   `json:"id"`
+		Hosts           []string `json:"hosts"`
+		ReservationGRPS float64  `json:"reservationGRPS"`
+		QueueLimit      int      `json:"queueLimit"`
+	} `json:"subscribers"`
+	Backends []struct {
+		ID   int    `json:"id"`
+		Addr string `json:"addr"`
+	} `json:"backends"`
+	AcctCycleMillis  int `json:"acctCycleMillis"`
+	SchedCycleMillis int `json:"schedCycleMillis"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gaged:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":8080", "address to listen on")
+		config = flag.String("config", "", "path to the cluster JSON config (required)")
+	)
+	flag.Parse()
+	if *config == "" {
+		return fmt.Errorf("-config is required")
+	}
+	raw, err := os.ReadFile(*config)
+	if err != nil {
+		return err
+	}
+	cfg, err := parseConfig(raw)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *config, err)
+	}
+	srv, err := dispatch.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gaged: %d subscribers, %d backends, serving on %s\n",
+		len(cfg.Subscribers), len(cfg.Backends), ln.Addr())
+	return srv.Serve(ln)
+}
+
+// parseConfig converts the on-disk JSON into a dispatcher configuration.
+func parseConfig(raw []byte) (dispatch.Config, error) {
+	var fc fileConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		return dispatch.Config{}, err
+	}
+	cfg := dispatch.Config{}
+	for _, s := range fc.Subscribers {
+		cfg.Subscribers = append(cfg.Subscribers, qos.Subscriber{
+			ID:          qos.SubscriberID(s.ID),
+			Hosts:       s.Hosts,
+			Reservation: qos.GRPS(s.ReservationGRPS),
+			QueueLimit:  s.QueueLimit,
+		})
+	}
+	for _, b := range fc.Backends {
+		cfg.Backends = append(cfg.Backends, dispatch.Backend{
+			ID:   core.NodeID(b.ID),
+			Addr: b.Addr,
+		})
+	}
+	if fc.AcctCycleMillis > 0 {
+		cfg.AcctCycle = time.Duration(fc.AcctCycleMillis) * time.Millisecond
+	}
+	if fc.SchedCycleMillis > 0 {
+		cfg.Scheduler.Cycle = time.Duration(fc.SchedCycleMillis) * time.Millisecond
+	}
+	return cfg, nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseConfig(t *testing.T) {
+	raw := []byte(`{
+	  "subscribers": [
+	    {"id": "gold", "hosts": ["gold.example", "www.gold.example"], "reservationGRPS": 400, "queueLimit": 64},
+	    {"id": "bronze", "hosts": ["bronze.example"], "reservationGRPS": 100}
+	  ],
+	  "backends": [
+	    {"id": 1, "addr": "127.0.0.1:9001"},
+	    {"id": 2, "addr": "127.0.0.1:9002"}
+	  ],
+	  "acctCycleMillis": 250,
+	  "schedCycleMillis": 20
+	}`)
+	cfg, err := parseConfig(raw)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if len(cfg.Subscribers) != 2 {
+		t.Fatalf("subscribers = %d, want 2", len(cfg.Subscribers))
+	}
+	gold := cfg.Subscribers[0]
+	if gold.ID != "gold" || gold.Reservation != 400 || gold.QueueLimit != 64 {
+		t.Errorf("gold = %+v", gold)
+	}
+	if len(gold.Hosts) != 2 || gold.Hosts[1] != "www.gold.example" {
+		t.Errorf("gold hosts = %v", gold.Hosts)
+	}
+	if len(cfg.Backends) != 2 || cfg.Backends[1].Addr != "127.0.0.1:9002" {
+		t.Errorf("backends = %+v", cfg.Backends)
+	}
+	if cfg.AcctCycle != 250*time.Millisecond {
+		t.Errorf("acct cycle = %v, want 250ms", cfg.AcctCycle)
+	}
+	if cfg.Scheduler.Cycle != 20*time.Millisecond {
+		t.Errorf("sched cycle = %v, want 20ms", cfg.Scheduler.Cycle)
+	}
+}
+
+func TestParseConfigDefaultsAndErrors(t *testing.T) {
+	cfg, err := parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}]}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.AcctCycle != 0 || cfg.Scheduler.Cycle != 0 {
+		t.Errorf("unset cycles must stay zero (library defaults apply): %v %v",
+			cfg.AcctCycle, cfg.Scheduler.Cycle)
+	}
+	if _, err := parseConfig([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+}

@@ -1,0 +1,242 @@
+// Command gagetrace generates, inspects and replays workload traces — the
+// record/replay role SPECWeb99 trace files play in the paper's evaluation.
+//
+// Usage:
+//
+//	gagetrace gen  -kind specweb -host www.site1.example -sub site1 \
+//	               -rate 100 -duration 10s -seed 1 -out trace.jsonl
+//	gagetrace stats  trace.jsonl
+//	gagetrace replay -rpns 4 -grps 100 trace.jsonl
+//
+// gen writes a JSON-lines trace; stats summarizes it; replay runs it
+// through the cluster simulator under Gage scheduling and prints the
+// per-subscriber outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"gage/internal/cluster"
+	"gage/internal/metrics"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gagetrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: gagetrace gen|stats|replay [flags] [trace file]")
+	}
+	switch args[0] {
+	case "gen":
+		return genCmd(args[1:], out)
+	case "stats":
+		return statsCmd(args[1:], out)
+	case "replay":
+		return replayCmd(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q (try gen, stats, replay)", args[0])
+	}
+}
+
+func genCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "specweb", "workload kind: specweb, generic, sixkb, cgi")
+		host     = fs.String("host", "www.site1.example", "virtual host of the requests")
+		sub      = fs.String("sub", "site1", "subscriber ID of the requests")
+		rate     = fs.Float64("rate", 100, "requests per second")
+		duration = fs.Duration("duration", 10*time.Second, "trace length")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		poisson  = fs.Bool("poisson", false, "Poisson arrivals instead of constant rate")
+		outPath  = fs.String("out", "", "output file (stdout if empty)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gen, err := makeGenerator(*kind, *host, *seed)
+	if err != nil {
+		return err
+	}
+	var arrivals workload.Arrivals
+	if *poisson {
+		arrivals, err = workload.NewPoisson(*rate, *seed)
+	} else {
+		arrivals, err = workload.NewConstantRate(*rate)
+	}
+	if err != nil {
+		return err
+	}
+	src := workload.Source{Subscriber: qos.SubscriberID(*sub), Gen: gen, Arrivals: arrivals}
+	reqs, _ := src.Schedule(*duration, 1)
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, reqs); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Fprintf(out, "wrote %d requests to %s\n", len(reqs), *outPath)
+	}
+	return nil
+}
+
+func makeGenerator(kind, host string, seed int64) (workload.Generator, error) {
+	switch kind {
+	case "specweb":
+		return workload.NewSPECWeb99(host, seed), nil
+	case "generic":
+		return workload.NewGeneric(host), nil
+	case "sixkb":
+		return workload.NewStaticPage(host, workload.SixKBPage), nil
+	case "cgi":
+		static := workload.DefaultCostModel().Cost(4 * 1024)
+		cgi := qos.Vector{CPUTime: 30 * time.Millisecond, DiskTime: 5 * time.Millisecond, NetBytes: 6000}
+		return workload.NewCGIMix(host, seed, 0.3, static, cgi), nil
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", kind)
+	}
+}
+
+func statsCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reqs, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	span := reqs[len(reqs)-1].Arrival - reqs[0].Arrival
+	perSub := make(map[qos.SubscriberID]int)
+	var units []float64
+	for _, r := range reqs {
+		perSub[r.Subscriber]++
+		units = append(units, r.GenericUnits())
+	}
+	fmt.Fprintf(out, "requests: %d over %v (%.1f req/s)\n",
+		len(reqs), span.Round(time.Millisecond), float64(len(reqs))/span.Seconds())
+	subs := make([]string, 0, len(perSub))
+	for id := range perSub {
+		subs = append(subs, string(id))
+	}
+	sort.Strings(subs)
+	for _, id := range subs {
+		fmt.Fprintf(out, "  %-12s %6d requests\n", id, perSub[qos.SubscriberID(id)])
+	}
+	fmt.Fprintf(out, "cost (generic units/request): mean %.2f, p50 %.2f, p95 %.2f, max %.2f\n",
+		metrics.Mean(units), metrics.Percentile(units, 50),
+		metrics.Percentile(units, 95), metrics.Percentile(units, 100))
+	return nil
+}
+
+func replayCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var (
+		rpns   = fs.Int("rpns", 4, "back-end cluster size")
+		grps   = fs.Float64("grps", 100, "reservation per subscriber (GRPS)")
+		warmup = fs.Duration("warmup", time.Second, "measurement warmup")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reqs, err := loadTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	res, err := replay(reqs, *rpns, qos.GRPS(*grps), *warmup)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-12s %10s %10s %10s %12s\n", "subscriber", "offered", "served", "dropped", "p95 latency")
+	for _, row := range res.Rows {
+		fmt.Fprintf(out, "%-12s %10.1f %10.1f %10.1f %12s\n",
+			row.ID, row.Offered, row.Served, row.Dropped, row.P95Latency.Round(time.Millisecond))
+	}
+	fmt.Fprintf(out, "cluster: %.1f req/s served\n", res.ServedReqPerSec)
+	return nil
+}
+
+// replay runs a trace through the cluster simulator: subscribers are
+// derived from the trace, each with the same reservation, and the trace's
+// host names classify the requests back to them.
+func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Duration) (*cluster.Result, error) {
+	hosts := make(map[qos.SubscriberID]map[string]bool)
+	var last time.Duration
+	for _, r := range reqs {
+		if hosts[r.Subscriber] == nil {
+			hosts[r.Subscriber] = make(map[string]bool)
+		}
+		hosts[r.Subscriber][r.Host] = true
+		if r.Arrival > last {
+			last = r.Arrival
+		}
+	}
+	var subs []qos.Subscriber
+	ids := make([]string, 0, len(hosts))
+	for id := range hosts {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		var hs []string
+		for h := range hosts[qos.SubscriberID(id)] {
+			hs = append(hs, h)
+		}
+		sort.Strings(hs)
+		subs = append(subs, qos.Subscriber{
+			ID:          qos.SubscriberID(id),
+			Hosts:       hs,
+			Reservation: grps,
+			QueueLimit:  512,
+		})
+	}
+	run := last + time.Second
+	measured := run - warmup
+	if measured <= 0 {
+		return nil, fmt.Errorf("trace shorter than warmup %v", warmup)
+	}
+	return cluster.Run(cluster.Options{
+		Subscribers: subs,
+		ReplayTrace: reqs,
+		NumRPNs:     rpns,
+		Warmup:      warmup,
+		Duration:    measured,
+	})
+}
+
+func loadTrace(path string) ([]workload.Request, error) {
+	if path == "" {
+		return nil, fmt.Errorf("trace file required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadTrace(f)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+func TestGenStatsReplayPipeline(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+
+	var out bytes.Buffer
+	err := run([]string{
+		"gen", "-kind", "specweb", "-host", "www.site1.example", "-sub", "site1",
+		"-rate", "80", "-duration", "4s", "-seed", "3", "-out", trace,
+	}, &out)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("gen output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"stats", trace}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "site1") || !strings.Contains(s, "req/s") {
+		t.Errorf("stats output = %q", s)
+	}
+
+	out.Reset()
+	if err := run([]string{"replay", "-rpns", "2", "-grps", "120", trace}, &out); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	s = out.String()
+	if !strings.Contains(s, "site1") || !strings.Contains(s, "cluster:") {
+		t.Errorf("replay output = %q", s)
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"gen", "-kind", "generic", "-rate", "50", "-duration", "1s"}, &out)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	reqs, err := workload.ReadTrace(&out)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(reqs) != 49 {
+		t.Errorf("generated %d requests, want 49", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Cost != qos.GenericCost() {
+			t.Fatalf("generic trace cost = %v", r.Cost)
+		}
+	}
+}
+
+func TestMakeGenerator(t *testing.T) {
+	for _, kind := range []string{"specweb", "generic", "sixkb", "cgi"} {
+		gen, err := makeGenerator(kind, "h", 1)
+		if err != nil {
+			t.Errorf("makeGenerator(%q): %v", kind, err)
+			continue
+		}
+		r := gen.Next()
+		if r.Cost.IsZero() {
+			t.Errorf("%q generated zero-cost request", kind)
+		}
+	}
+	if _, err := makeGenerator("bogus", "h", 1); err == nil {
+		t.Error("unknown kind must be rejected")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown command must fail")
+	}
+	if err := run([]string{"stats"}, &out); err == nil {
+		t.Error("stats without a file must fail")
+	}
+	if err := run([]string{"replay", "/nonexistent"}, &out); err == nil {
+		t.Error("replay of a missing file must fail")
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"stats", empty}, &out); err == nil {
+		t.Error("empty trace must be rejected")
+	}
+}
+
+func TestReplayShorterThanWarmup(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "short.jsonl")
+	reqs := []workload.Request{{
+		ID: 1, Subscriber: "a", Host: "a.example",
+		Cost: qos.GenericCost(), Arrival: 100 * time.Millisecond,
+	}}
+	f, err := os.Create(trace)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := workload.WriteTrace(f, reqs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"replay", "-warmup", "10s", trace}, &out); err == nil {
+		t.Error("trace shorter than warmup must be rejected")
+	}
+}

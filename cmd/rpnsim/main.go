@@ -1,0 +1,49 @@
+// Command rpnsim runs one simulated back-end request processing node (RPN):
+// a web server that answers synthetic page requests with modeled resource
+// costs and serves per-cycle accounting reports at /_gage/report for the
+// gaged dispatcher to poll.
+//
+// Usage:
+//
+//	rpnsim -listen 127.0.0.1:9001 -node 1 [-delay 1.0]
+//
+// -delay scales each response's simulated service time (CPU+disk model
+// time); 0 serves at memory speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"gage/internal/backend"
+	"gage/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rpnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9001", "address to listen on")
+		node   = flag.Int("node", 1, "node ID reported in accounting messages")
+		delay  = flag.Float64("delay", 0, "scale simulated service time (1.0 ≈ modeled time)")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := backend.New(backend.Config{
+		Node:  core.NodeID(*node),
+		Delay: *delay,
+	})
+	fmt.Printf("rpnsim: node %d serving on %s\n", *node, ln.Addr())
+	return srv.Serve(ln)
+}

@@ -1,0 +1,18 @@
+// Package gage is a Go reproduction of "Performance Guarantees for
+// Cluster-Based Internet Services" (Li, Peng, Gopalan, Chiueh — ICDCS
+// 2003): a QoS-aware request distribution system that guarantees each
+// web-hosting subscriber a distinct rate of generic URL requests per second
+// on a shared cluster, regardless of total input load.
+//
+// The building blocks live under internal/: the credit-based scheduler
+// (internal/core), resource-usage accounting (internal/accounting),
+// distributed TCP splicing on a packet-level network simulator
+// (internal/splice, internal/netsim), the virtual-time cluster simulator
+// that regenerates the paper's evaluation (internal/cluster), and a live
+// TCP dispatcher with simulated backends (internal/dispatch,
+// internal/backend).
+//
+// The benchmarks in this root package regenerate every table and figure of
+// the paper's evaluation section; see DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
+package gage

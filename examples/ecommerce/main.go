@@ -1,0 +1,96 @@
+// Ecommerce: heterogeneous per-request costs and the accounting feedback
+// loop (§3.4–3.5).
+//
+// An e-commerce subscriber serves a mix of cheap static pages and expensive
+// CGI transactions (checkout, search). The RDN cannot know a request's cost
+// at dispatch time — it predicts it from accounting feedback. This example
+// shows the predictor converging from the generic-request prior to the true
+// weighted-average cost, and multi-resource accounting charging CGI children
+// to the right subscriber with no extra mechanism.
+//
+// Run with:
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"gage/internal/cluster"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ecommerce:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The shop: 30% of requests are CGI transactions costing 12× the CPU
+	// of a static page. The catalog site serves only static pages.
+	static := qos.Vector{CPUTime: 2 * time.Millisecond, DiskTime: 2 * time.Millisecond, NetBytes: 4000}
+	cgi := qos.Vector{CPUTime: 24 * time.Millisecond, DiskTime: 4 * time.Millisecond, NetBytes: 6000}
+
+	subs := []qos.Subscriber{
+		{ID: "shop", Hosts: []string{"shop.example"}, Reservation: 120, QueueLimit: 256},
+		{ID: "catalog", Hosts: []string{"catalog.example"}, Reservation: 120, QueueLimit: 256},
+	}
+	shopArr, err := workload.NewPoisson(55, 1)
+	if err != nil {
+		return err
+	}
+	catArr, err := workload.NewPoisson(220, 2)
+	if err != nil {
+		return err
+	}
+	sources := []workload.Source{
+		{
+			Subscriber: "shop",
+			Gen:        workload.NewCGIMix("shop.example", 7, 0.3, static, cgi),
+			Arrivals:   shopArr,
+		},
+		{
+			Subscriber: "catalog",
+			Gen:        workload.NewFixed("catalog.example", "/catalog/page.html", static),
+			Arrivals:   catArr,
+		},
+	}
+
+	fmt.Println("running 40 seconds of virtual time on a 2-RPN cluster...")
+	res, err := cluster.Run(cluster.Options{
+		Subscribers:  subs,
+		Sources:      sources,
+		NumRPNs:      2,
+		UnitResource: qos.CPU, // CPU-bound mix: report GRPS in CPU units
+		Warmup:       5 * time.Second,
+		Duration:     35 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-9s %12s %10s %10s %10s\n", "site", "reservation", "offered", "served", "dropped")
+	for _, row := range res.Rows {
+		fmt.Printf("%-9s %12.0f %10.1f %10.1f %10.1f\n",
+			row.ID, float64(row.Reservation), row.Offered, row.Served, row.Dropped)
+	}
+
+	// The per-request cost the shop's requests *actually* average:
+	mean := static.Scale(0.7).Add(cgi.Scale(0.3))
+	fmt.Printf(`
+What to look for:
+ - Both sites reserve 120 GRPS (CPU units). The shop's requests average
+   %v each (30%% CGI at %v), so its 55 req/s
+   offered load is ≈52 GRPS of CPU — comfortably inside its guarantee.
+ - The catalog offers 220 req/s of cheap static pages (≈44 GRPS CPU).
+ - Neither site can state costs up front: the RDN learns them from the
+   RPNs' per-process accounting reports (CGI children included) and keeps
+   both sites' multi-resource balances straight.
+`, mean, cgi.CPUTime)
+	return nil
+}

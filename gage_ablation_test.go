@@ -1,0 +1,152 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// reservation-gate mode, the accounting-cycle length, and the usage
+// predictor's smoothing factor. Each reports the quality metric it affects
+// so `go test -bench Ablation` quantifies the trade-off.
+package gage_test
+
+import (
+	"testing"
+	"time"
+
+	"gage/internal/cluster"
+	"gage/internal/core"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+// ablationRun drives one two-site, slow-feedback experiment and returns the
+// actual service-rate deviation at a 1 s interval.
+func ablationRun(b *testing.B, gate core.GateMode, noDrain bool, acctCycle time.Duration) float64 {
+	b.Helper()
+	subs := []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 100, QueueLimit: 256},
+		{ID: "b", Hosts: []string{"b.example"}, Reservation: 100, QueueLimit: 256},
+	}
+	var sources []workload.Source
+	for _, s := range subs {
+		arr, err := workload.NewConstantRate(110)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sources = append(sources, workload.Source{
+			Subscriber: s.ID,
+			Gen:        workload.NewGeneric(s.Hosts[0]),
+			Arrivals:   arr,
+		})
+	}
+	res, err := cluster.Run(cluster.Options{
+		Subscribers:          subs,
+		Sources:              sources,
+		NumRPNs:              2,
+		Gate:                 gate,
+		DisableCapacityDrain: noDrain,
+		AcctCycle:            acctCycle,
+		CreditWindow:         8 * time.Second,
+		Warmup:               5 * time.Second,
+		Duration:             40 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := res.Deviation("a", time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev
+}
+
+// BenchmarkAblationCapacityDrain contrasts the paper-faithful node-capacity
+// bookkeeping (capacity reappears only at accounting messages) with the
+// library's optimistic drain model, under a 2 s accounting cycle. Without
+// the drain, dispatch turns bursty at the feedback period and per-site
+// service oscillates; with it, service stays smooth.
+func BenchmarkAblationCapacityDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		faithful := ablationRun(b, core.GateSelfClocked, true, 2*time.Second)
+		drained := ablationRun(b, core.GateSelfClocked, false, 2*time.Second)
+		b.ReportMetric(faithful*100, "faithful-dev%")
+		b.ReportMetric(drained*100, "drain-dev%")
+	}
+}
+
+// BenchmarkAblationGates contrasts the paper-faithful reported-usage gate
+// with the library's self-clocked gate under a 2 s accounting cycle, both
+// with faithful capacity bookkeeping.
+func BenchmarkAblationGates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reported := ablationRun(b, core.GateReported, true, 2*time.Second)
+		selfClocked := ablationRun(b, core.GateSelfClocked, true, 2*time.Second)
+		b.ReportMetric(reported*100, "reported-dev%")
+		b.ReportMetric(selfClocked*100, "selfclocked-dev%")
+	}
+}
+
+// BenchmarkAblationAccountingCycle sweeps the accounting cycle in the
+// paper-faithful configuration: the feedback frequency is the stability
+// knob Figure 3 turns.
+func BenchmarkAblationAccountingCycle(b *testing.B) {
+	cycles := []time.Duration{50 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second}
+	for i := 0; i < b.N; i++ {
+		for _, c := range cycles {
+			dev := ablationRun(b, core.GateReported, true, c)
+			b.ReportMetric(dev*100, "dev%/"+c.String())
+		}
+	}
+}
+
+// BenchmarkAblationLocality contrasts content-aware (affinity) dispatch
+// with pure least-loaded dispatch on a disk-bound workload with small RPN
+// page caches — §3.6's effective-capacity claim, quantified.
+func BenchmarkAblationLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.LocalityStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ServedWith, "req/s-affine")
+		b.ReportMetric(res.ServedWithout, "req/s-leastloaded")
+		b.ReportMetric(res.HitRateWith*100, "hit%-affine")
+		b.ReportMetric(res.HitRateWithout*100, "hit%-leastloaded")
+	}
+}
+
+// BenchmarkAblationPredictionAlpha sweeps the EWMA weight of the
+// per-request usage predictor on a bursty CGI mix and reports the served
+// rate: a sluggish predictor (tiny alpha) mis-sizes in-flight estimates and
+// costs throughput when request costs shift.
+func BenchmarkAblationPredictionAlpha(b *testing.B) {
+	run := func(alpha float64) float64 {
+		static := qos.Vector{CPUTime: 2 * time.Millisecond, DiskTime: 2 * time.Millisecond, NetBytes: 4000}
+		cgi := qos.Vector{CPUTime: 40 * time.Millisecond, DiskTime: 5 * time.Millisecond, NetBytes: 8000}
+		arr, err := workload.NewPoisson(120, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := cluster.Run(cluster.Options{
+			Subscribers: []qos.Subscriber{
+				{ID: "a", Hosts: []string{"a.example"}, Reservation: 200, QueueLimit: 512},
+			},
+			Sources: []workload.Source{{
+				Subscriber: "a",
+				Gen:        workload.NewCGIMix("a.example", 11, 0.4, static, cgi),
+				Arrivals:   arr,
+			}},
+			NumRPNs:      2,
+			UnitResource: qos.CPU,
+			Warmup:       5 * time.Second,
+			Duration:     30 * time.Second,
+			// PredictionAlpha is plumbed through the scheduler config.
+			SchedulerAlpha: alpha,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		row, _ := res.Row("a")
+		return row.Served
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(0.01), "grps@alpha.01")
+		b.ReportMetric(run(0.3), "grps@alpha.3")
+		b.ReportMetric(run(0.9), "grps@alpha.9")
+	}
+}

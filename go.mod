@@ -1,0 +1,3 @@
+module gage
+
+go 1.22

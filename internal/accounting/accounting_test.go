@@ -1,0 +1,296 @@
+package accounting
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gage/internal/qos"
+)
+
+func usage(cpuMS, diskMS int, bytes int64) qos.Vector {
+	return qos.Vector{
+		CPUTime:  time.Duration(cpuMS) * time.Millisecond,
+		DiskTime: time.Duration(diskMS) * time.Millisecond,
+		NetBytes: bytes,
+	}
+}
+
+func TestLaunchChargeCycle(t *testing.T) {
+	a := NewAccountant(1)
+	pid := a.Launch("site1")
+	if err := a.Charge(pid, usage(10, 10, 2000)); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	if err := a.CompleteRequest(pid); err != nil {
+		t.Fatalf("CompleteRequest: %v", err)
+	}
+	rep := a.Cycle()
+	if rep.Node != 1 {
+		t.Errorf("report node = %d, want 1", rep.Node)
+	}
+	u, ok := rep.BySubscriber["site1"]
+	if !ok {
+		t.Fatal("report must include site1")
+	}
+	if u.Usage != usage(10, 10, 2000) || u.Completed != 1 {
+		t.Errorf("site1 usage = %+v, want 10ms/10ms/2000B ×1", u)
+	}
+	if rep.Total != usage(10, 10, 2000) {
+		t.Errorf("total = %v, want per-entity sum", rep.Total)
+	}
+}
+
+func TestCycleResetsDeltas(t *testing.T) {
+	a := NewAccountant(1)
+	pid := a.Launch("site1")
+	if err := a.Charge(pid, usage(5, 0, 0)); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	a.Cycle()
+	rep := a.Cycle()
+	if len(rep.BySubscriber) != 0 {
+		t.Errorf("second cycle must be empty, got %+v", rep.BySubscriber)
+	}
+	if !rep.Total.IsZero() {
+		t.Errorf("second cycle total = %v, want zero", rep.Total)
+	}
+	if got := a.Cumulative("site1"); got != usage(5, 0, 0) {
+		t.Errorf("cumulative = %v, want 5ms CPU", got)
+	}
+}
+
+func TestChildProcessesChargeTheRootEntity(t *testing.T) {
+	a := NewAccountant(1)
+	root := a.Launch("site1")
+	child, err := a.Spawn(root)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	grandchild, err := a.Spawn(child)
+	if err != nil {
+		t.Fatalf("Spawn grandchild: %v", err)
+	}
+	if err := a.Charge(grandchild, usage(7, 3, 100)); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	rep := a.Cycle()
+	if got := rep.BySubscriber["site1"].Usage; got != usage(7, 3, 100) {
+		t.Errorf("grandchild usage attributed = %v, want 7ms/3ms/100B", got)
+	}
+	if id, err := a.EntityOf(grandchild); err != nil || id != "site1" {
+		t.Errorf("EntityOf(grandchild) = (%q, %v), want site1", id, err)
+	}
+}
+
+func TestTwoEntitiesStaySeparate(t *testing.T) {
+	a := NewAccountant(2)
+	p1 := a.Launch("site1")
+	p2 := a.Launch("site2")
+	if err := a.Charge(p1, usage(10, 0, 0)); err != nil {
+		t.Fatalf("Charge p1: %v", err)
+	}
+	if err := a.Charge(p2, usage(0, 20, 0)); err != nil {
+		t.Fatalf("Charge p2: %v", err)
+	}
+	rep := a.Cycle()
+	if got := rep.BySubscriber["site1"].Usage; got != usage(10, 0, 0) {
+		t.Errorf("site1 = %v, want CPU only", got)
+	}
+	if got := rep.BySubscriber["site2"].Usage; got != usage(0, 20, 0) {
+		t.Errorf("site2 = %v, want disk only", got)
+	}
+	if rep.Total != usage(10, 20, 0) {
+		t.Errorf("total = %v, want sum", rep.Total)
+	}
+}
+
+func TestExitFoldsResidualUsage(t *testing.T) {
+	// A CGI child that exits mid-cycle must not lose its usage.
+	a := NewAccountant(1)
+	root := a.Launch("site1")
+	cgi, err := a.Spawn(root)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := a.Charge(cgi, usage(30, 5, 4000)); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	if err := a.Exit(cgi); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+	if a.LiveProcesses() != 1 {
+		t.Errorf("live processes = %d, want 1", a.LiveProcesses())
+	}
+	rep := a.Cycle()
+	if got := rep.BySubscriber["site1"].Usage; got != usage(30, 5, 4000) {
+		t.Errorf("exited CGI usage = %v, want 30ms/5ms/4000B", got)
+	}
+}
+
+func TestExitWithLiveChildrenRefused(t *testing.T) {
+	a := NewAccountant(1)
+	root := a.Launch("site1")
+	if _, err := a.Spawn(root); err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := a.Exit(root); !errors.Is(err, ErrHasChildren) {
+		t.Errorf("Exit(parent) = %v, want ErrHasChildren", err)
+	}
+}
+
+func TestExitThenParentExit(t *testing.T) {
+	a := NewAccountant(1)
+	root := a.Launch("site1")
+	child, err := a.Spawn(root)
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if err := a.Exit(child); err != nil {
+		t.Fatalf("Exit child: %v", err)
+	}
+	if err := a.Exit(root); err != nil {
+		t.Fatalf("Exit root after child: %v", err)
+	}
+	if a.LiveProcesses() != 0 {
+		t.Errorf("live processes = %d, want 0", a.LiveProcesses())
+	}
+}
+
+func TestUnknownProcessErrors(t *testing.T) {
+	a := NewAccountant(1)
+	if err := a.Charge(42, usage(1, 0, 0)); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("Charge unknown = %v, want ErrUnknownProcess", err)
+	}
+	if _, err := a.Spawn(42); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("Spawn unknown = %v, want ErrUnknownProcess", err)
+	}
+	if err := a.Exit(42); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("Exit unknown = %v, want ErrUnknownProcess", err)
+	}
+	if err := a.CompleteRequest(42); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("CompleteRequest unknown = %v, want ErrUnknownProcess", err)
+	}
+	if _, err := a.EntityOf(42); !errors.Is(err, ErrUnknownProcess) {
+		t.Errorf("EntityOf unknown = %v, want ErrUnknownProcess", err)
+	}
+}
+
+func TestCompletedCountsResetPerCycle(t *testing.T) {
+	a := NewAccountant(1)
+	pid := a.Launch("site1")
+	for i := 0; i < 3; i++ {
+		if err := a.CompleteRequest(pid); err != nil {
+			t.Fatalf("CompleteRequest: %v", err)
+		}
+	}
+	rep := a.Cycle()
+	if got := rep.BySubscriber["site1"].Completed; got != 3 {
+		t.Errorf("completed = %d, want 3", got)
+	}
+	rep = a.Cycle()
+	if got := rep.BySubscriber["site1"].Completed; got != 0 {
+		t.Errorf("completed after reset = %d, want 0", got)
+	}
+}
+
+// Property: no usage is ever lost or invented — the sum of all cycle totals
+// equals the sum of all charges, under random process churn.
+func TestConservationUnderChurnProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAccountant(1)
+		roots := []ProcessID{a.Launch("e1"), a.Launch("e2")}
+		live := append([]ProcessID{}, roots...)
+		var charged, reported qos.Vector
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(5) {
+			case 0: // spawn
+				parent := live[rng.Intn(len(live))]
+				if pid, err := a.Spawn(parent); err == nil {
+					live = append(live, pid)
+				}
+			case 1: // exit a random non-root leaf (ignore refusals)
+				pid := live[rng.Intn(len(live))]
+				if pid != roots[0] && pid != roots[1] {
+					if err := a.Exit(pid); err == nil {
+						for j, p := range live {
+							if p == pid {
+								live = append(live[:j], live[j+1:]...)
+								break
+							}
+						}
+					}
+				}
+			case 2, 3: // charge
+				pid := live[rng.Intn(len(live))]
+				u := usage(rng.Intn(10), rng.Intn(10), int64(rng.Intn(1000)))
+				if err := a.Charge(pid, u); err == nil {
+					charged = charged.Add(u)
+				}
+			case 4: // cycle
+				reported = reported.Add(a.Cycle().Total)
+			}
+		}
+		reported = reported.Add(a.Cycle().Total)
+		return reported == charged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumulativeReport(t *testing.T) {
+	a := NewAccountant(5)
+	pid := a.Launch("site1")
+	if err := a.Charge(pid, usage(10, 0, 100)); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	if err := a.CompleteRequest(pid); err != nil {
+		t.Fatalf("CompleteRequest: %v", err)
+	}
+	rep1 := a.CumulativeReport()
+	if got := rep1.BySubscriber["site1"]; got.Completed != 1 || got.Usage != usage(10, 0, 100) {
+		t.Errorf("first cumulative = %+v", got)
+	}
+	// More work, then another cumulative report: totals accumulate, and
+	// uncollected deltas are folded in.
+	if err := a.Charge(pid, usage(5, 0, 50)); err != nil {
+		t.Fatalf("Charge: %v", err)
+	}
+	if err := a.CompleteRequest(pid); err != nil {
+		t.Fatalf("CompleteRequest: %v", err)
+	}
+	rep2 := a.CumulativeReport()
+	if got := rep2.BySubscriber["site1"]; got.Completed != 2 || got.Usage != usage(15, 0, 150) {
+		t.Errorf("second cumulative = %+v", got)
+	}
+	if rep2.Total != usage(15, 0, 150) {
+		t.Errorf("cumulative total = %v", rep2.Total)
+	}
+	// Cumulative reporting must not disturb delta cycles' bookkeeping: a
+	// Cycle right after shows nothing new.
+	if rep := a.Cycle(); len(rep.BySubscriber) != 0 {
+		t.Errorf("cycle after cumulative = %+v, want empty", rep.BySubscriber)
+	}
+}
+
+func TestCumulativeMatchesEntitySums(t *testing.T) {
+	a := NewAccountant(1)
+	p1 := a.Launch("site1")
+	for i := 0; i < 5; i++ {
+		if err := a.Charge(p1, usage(2, 1, 10)); err != nil {
+			t.Fatalf("Charge: %v", err)
+		}
+		a.Cycle()
+	}
+	want := usage(10, 5, 50)
+	if got := a.Cumulative("site1"); got != want {
+		t.Errorf("Cumulative = %v, want %v", got, want)
+	}
+	if got := a.Cumulative("ghost"); !got.IsZero() {
+		t.Errorf("Cumulative(ghost) = %v, want zero", got)
+	}
+}

@@ -1,0 +1,300 @@
+// Package backend implements a real-TCP simulated RPN: a small origin
+// server that answers synthetic page requests with configurable modeled
+// resource costs, attributes usage to subscribers with the accounting
+// module, and exposes the per-cycle accounting report the dispatcher polls —
+// the live-network counterpart of the simulator's RPN, suitable for
+// loopback clusters.
+package backend
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gage/internal/accounting"
+	"gage/internal/core"
+	"gage/internal/httpwire"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+// SubscriberHeader carries the classified subscriber on dispatched requests.
+const SubscriberHeader = "X-Gage-Subscriber"
+
+// UsageHeader reports a request's modeled resource usage on responses, as
+// "cpuNanos,diskNanos,netBytes".
+const UsageHeader = "X-Gage-Usage"
+
+// ReportPath serves the accounting message for the last cycle as JSON.
+const ReportPath = "/_gage/report"
+
+// Config tunes a backend server.
+type Config struct {
+	// Node is this backend's identity in accounting reports.
+	Node core.NodeID
+	// Costs models per-page resource usage (default workload.DefaultCostModel).
+	Costs workload.CostModel
+	// Delay, when positive, makes the backend hold each response for the
+	// request's modeled CPU+disk time scaled by Delay — 1.0 approximates
+	// real service time, 0 serves at memory speed (default).
+	Delay float64
+}
+
+// Server is one backend instance.
+type Server struct {
+	cfg  Config
+	acct *accounting.Accountant
+
+	mu    sync.Mutex
+	procs map[qos.SubscriberID]accounting.ProcessID
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	ln     net.Listener
+}
+
+// New creates a backend server.
+func New(cfg Config) *Server {
+	if cfg.Costs == (workload.CostModel{}) {
+		cfg.Costs = workload.DefaultCostModel()
+	}
+	return &Server{
+		cfg:    cfg,
+		acct:   accounting.NewAccountant(cfg.Node),
+		procs:  make(map[qos.SubscriberID]accounting.ProcessID),
+		closed: make(chan struct{}),
+	}
+}
+
+// Serve accepts connections until the listener closes. One request is
+// served per connection (HTTP/1.0 style) — the dispatcher splices one
+// request per backend connection.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return fmt.Errorf("backend: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight requests.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Report returns and resets the accounting message for the elapsed cycle.
+func (s *Server) Report() core.UsageReport {
+	return s.acct.Cycle()
+}
+
+// handle serves one request on conn.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	// Misbehaving peers must not pin the handler forever.
+	// Deadline errors surface through the read below.
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	req, err := httpwire.ReadRequest(bufio.NewReader(conn))
+	if err != nil {
+		writeError(conn, 400)
+		return
+	}
+	if req.Path() == ReportPath {
+		s.serveReport(conn)
+		return
+	}
+	resp, cost := s.render(req)
+	if s.cfg.Delay > 0 {
+		time.Sleep(time.Duration(float64(cost.CPUTime+cost.DiskTime) * s.cfg.Delay))
+	}
+	// A failed response write means the client went away; usage is still
+	// charged — the work was done.
+	_ = resp.Write(conn)
+	s.charge(req, cost)
+}
+
+// render builds the synthetic page and its modeled cost.
+func (s *Server) render(req *httpwire.Request) (*httpwire.Response, qos.Vector) {
+	size := pageSize(req.Path())
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = 'a' + byte(i%26)
+	}
+	cost := s.cfg.Costs.Cost(int64(size))
+	resp := &httpwire.Response{
+		StatusCode: 200,
+		Header: map[string]string{
+			"Content-Type": "text/html",
+			UsageHeader: fmt.Sprintf("%d,%d,%d",
+				cost.CPUTime.Nanoseconds(), cost.DiskTime.Nanoseconds(), cost.NetBytes),
+		},
+		Body: body,
+	}
+	return resp, cost
+}
+
+// charge attributes the request's usage to its subscriber's process tree.
+func (s *Server) charge(req *httpwire.Request, cost qos.Vector) {
+	sub := qos.SubscriberID(req.Header[SubscriberHeader])
+	if sub == "" {
+		sub = "unclassified"
+	}
+	s.mu.Lock()
+	pid, ok := s.procs[sub]
+	if !ok {
+		pid = s.acct.Launch(sub)
+		s.procs[sub] = pid
+	}
+	s.mu.Unlock()
+	// Charging a live, tracked process cannot fail.
+	_ = s.acct.Charge(pid, cost)
+	_ = s.acct.CompleteRequest(pid)
+}
+
+// reportJSON is the wire form of a usage report.
+type reportJSON struct {
+	Node         int                      `json:"node"`
+	TotalCPU     int64                    `json:"totalCpuNanos"`
+	TotalDisk    int64                    `json:"totalDiskNanos"`
+	TotalNet     int64                    `json:"totalNetBytes"`
+	BySubscriber map[string]subscriberUse `json:"bySubscriber"`
+}
+
+type subscriberUse struct {
+	CPU       int64 `json:"cpuNanos"`
+	Disk      int64 `json:"diskNanos"`
+	Net       int64 `json:"netBytes"`
+	Completed int   `json:"completed"`
+}
+
+// serveReport answers the dispatcher's accounting poll with *cumulative*
+// totals, so a lost poll response loses no usage: the poller diffs against
+// its last-seen snapshot.
+func (s *Server) serveReport(conn net.Conn) {
+	rep := s.acct.CumulativeReport()
+	body, err := json.Marshal(encodeReport(rep))
+	if err != nil {
+		writeError(conn, 500)
+		return
+	}
+	resp := &httpwire.Response{
+		StatusCode: 200,
+		Header:     map[string]string{"Content-Type": "application/json"},
+		Body:       body,
+	}
+	// Failed writes mean the poller disconnected; the usage in this report
+	// is lost, exactly as a dropped accounting message would be.
+	_ = resp.Write(conn)
+}
+
+// encodeReport converts a usage report to its JSON wire form.
+func encodeReport(rep core.UsageReport) reportJSON {
+	by := make(map[string]subscriberUse, len(rep.BySubscriber))
+	for id, u := range rep.BySubscriber {
+		by[string(id)] = subscriberUse{
+			CPU:       u.Usage.CPUTime.Nanoseconds(),
+			Disk:      u.Usage.DiskTime.Nanoseconds(),
+			Net:       u.Usage.NetBytes,
+			Completed: u.Completed,
+		}
+	}
+	return reportJSON{
+		Node:         int(rep.Node),
+		TotalCPU:     rep.Total.CPUTime.Nanoseconds(),
+		TotalDisk:    rep.Total.DiskTime.Nanoseconds(),
+		TotalNet:     rep.Total.NetBytes,
+		BySubscriber: by,
+	}
+}
+
+// DecodeReport parses the JSON form back into a usage report.
+func DecodeReport(body []byte) (core.UsageReport, error) {
+	var r reportJSON
+	if err := json.Unmarshal(body, &r); err != nil {
+		return core.UsageReport{}, fmt.Errorf("backend: decode report: %w", err)
+	}
+	rep := core.UsageReport{
+		Node: core.NodeID(r.Node),
+		Total: qos.Vector{
+			CPUTime:  time.Duration(r.TotalCPU),
+			DiskTime: time.Duration(r.TotalDisk),
+			NetBytes: r.TotalNet,
+		},
+		BySubscriber: make(map[qos.SubscriberID]core.SubscriberUsage, len(r.BySubscriber)),
+	}
+	for id, u := range r.BySubscriber {
+		rep.BySubscriber[qos.SubscriberID(id)] = core.SubscriberUsage{
+			Usage: qos.Vector{
+				CPUTime:  time.Duration(u.CPU),
+				DiskTime: time.Duration(u.Disk),
+				NetBytes: u.Net,
+			},
+			Completed: u.Completed,
+		}
+	}
+	return rep, nil
+}
+
+// ParseUsageHeader parses an X-Gage-Usage response header.
+func ParseUsageHeader(v string) (qos.Vector, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return qos.Vector{}, errors.New("backend: malformed usage header")
+	}
+	cpu, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	disk, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+	nb, err3 := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return qos.Vector{}, errors.New("backend: malformed usage header")
+	}
+	return qos.Vector{CPUTime: time.Duration(cpu), DiskTime: time.Duration(disk), NetBytes: nb}, nil
+}
+
+// pageSize derives the synthetic page size from a path. Paths of the form
+// /static/<n>.html (or any path containing a "<n>" numeric segment before
+// the extension) get n bytes; /cgi-bin/ paths get 3 KB; everything else 6 KB.
+func pageSize(path string) int {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	if n, err := strconv.Atoi(base); err == nil && n >= 0 && n <= 8<<20 {
+		return n
+	}
+	if strings.HasPrefix(path, "/cgi-bin/") {
+		return 3 * 1024
+	}
+	return workload.SixKBPage
+}
+
+func writeError(conn net.Conn, code int) {
+	resp := &httpwire.Response{StatusCode: code, Header: map[string]string{}}
+	// The peer may already be gone; nothing else to do.
+	_ = resp.Write(conn)
+}

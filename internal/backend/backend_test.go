@@ -1,0 +1,200 @@
+package backend
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gage/internal/httpwire"
+	"gage/internal/qos"
+)
+
+// startBackend runs a backend on a loopback listener.
+func startBackend(t *testing.T, cfg Config) (addr string, srv *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv = New(cfg)
+	go func() {
+		// Serve exits cleanly on Close.
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return ln.Addr().String(), srv
+}
+
+// get performs one HTTP request against addr.
+func get(t *testing.T, addr, host, path string, header map[string]string) *httpwire.Response {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	req := &httpwire.Request{Method: "GET", Target: path, Proto: "HTTP/1.0", Host: host, Header: header}
+	if err := req.Write(conn); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp
+}
+
+func TestServesSyntheticPage(t *testing.T) {
+	addr, _ := startBackend(t, Config{Node: 1})
+	resp := get(t, addr, "h.example", "/static/4096.html", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(resp.Body) != 4096 {
+		t.Errorf("body = %d bytes, want 4096", len(resp.Body))
+	}
+	usage, err := ParseUsageHeader(resp.Header[UsageHeader])
+	if err != nil {
+		t.Fatalf("usage header %q: %v", resp.Header[UsageHeader], err)
+	}
+	if usage.CPUTime <= 0 || usage.NetBytes != 4096+400 {
+		t.Errorf("usage = %v", usage)
+	}
+}
+
+func TestDefaultAndCGISizes(t *testing.T) {
+	addr, _ := startBackend(t, Config{Node: 1})
+	if got := len(get(t, addr, "h", "/index.html", nil).Body); got != 6144 {
+		t.Errorf("default page = %d bytes, want 6144", got)
+	}
+	if got := len(get(t, addr, "h", "/cgi-bin/app", nil).Body); got != 3072 {
+		t.Errorf("cgi page = %d bytes, want 3072", got)
+	}
+}
+
+func TestAccountingPerSubscriber(t *testing.T) {
+	addr, srv := startBackend(t, Config{Node: 3})
+	get(t, addr, "h", "/static/1000.html", map[string]string{SubscriberHeader: "site1"})
+	get(t, addr, "h", "/static/1000.html", map[string]string{SubscriberHeader: "site1"})
+	get(t, addr, "h", "/static/2000.html", map[string]string{SubscriberHeader: "site2"})
+
+	rep := srv.Report()
+	if rep.Node != 3 {
+		t.Errorf("node = %d, want 3", rep.Node)
+	}
+	if got := rep.BySubscriber["site1"].Completed; got != 2 {
+		t.Errorf("site1 completed = %d, want 2", got)
+	}
+	if got := rep.BySubscriber["site2"].Completed; got != 1 {
+		t.Errorf("site2 completed = %d, want 1", got)
+	}
+	if rep.Total.NetBytes != (1000+400)*2+(2000+400) {
+		t.Errorf("total net = %d", rep.Total.NetBytes)
+	}
+	// The cycle reset: a second report is empty.
+	if rep := srv.Report(); len(rep.BySubscriber) != 0 {
+		t.Errorf("second report = %+v, want empty", rep.BySubscriber)
+	}
+}
+
+func TestReportEndpoint(t *testing.T) {
+	addr, _ := startBackend(t, Config{Node: 7})
+	get(t, addr, "h", "/static/500.html", map[string]string{SubscriberHeader: "a"})
+	resp := get(t, addr, "", ReportPath, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("report status = %d", resp.StatusCode)
+	}
+	rep, err := DecodeReport(resp.Body)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if rep.Node != 7 {
+		t.Errorf("node = %d, want 7", rep.Node)
+	}
+	if rep.BySubscriber["a"].Completed != 1 {
+		t.Errorf("a completed = %d, want 1", rep.BySubscriber["a"].Completed)
+	}
+}
+
+func TestMalformedRequestGets400(t *testing.T) {
+	addr, _ := startBackend(t, Config{Node: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("NONSENSE\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if resp.StatusCode != 400 {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestParseUsageHeaderErrors(t *testing.T) {
+	for _, bad := range []string{"", "1,2", "a,b,c", "1,2,3,4"} {
+		if _, err := ParseUsageHeader(bad); err == nil {
+			t.Errorf("ParseUsageHeader(%q) must fail", bad)
+		}
+	}
+	v, err := ParseUsageHeader(" 100 , 200 , 300 ")
+	if err != nil {
+		t.Fatalf("spaced header: %v", err)
+	}
+	want := qos.Vector{CPUTime: 100, DiskTime: 200, NetBytes: 300}
+	if v != want {
+		t.Errorf("parsed = %v, want %v", v, want)
+	}
+}
+
+func TestDecodeReportRejectsGarbage(t *testing.T) {
+	if _, err := DecodeReport([]byte("{broken")); err == nil {
+		t.Error("garbage report must fail")
+	}
+}
+
+func TestPageSize(t *testing.T) {
+	tests := []struct {
+		path string
+		want int
+	}{
+		{"/static/1234.html", 1234},
+		{"/deep/path/42.html", 42},
+		{"/cgi-bin/app", 3 * 1024},
+		{"/index.html", 6 * 1024},
+		{"/static/notanumber.html", 6 * 1024},
+		{"/static/0.html", 0},
+	}
+	for _, tt := range tests {
+		if got := pageSize(tt.path); got != tt.want {
+			t.Errorf("pageSize(%q) = %d, want %d", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestDelayHoldsResponse(t *testing.T) {
+	addr, _ := startBackend(t, Config{Node: 1, Delay: 1.0})
+	start := time.Now()
+	resp := get(t, addr, "h", "/static/6144.html", nil)
+	elapsed := time.Since(start)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// 6 KB page: ≈1.85 ms CPU + ≈0.8 ms disk modeled time.
+	if elapsed < 2*time.Millisecond {
+		t.Errorf("elapsed = %v, want ≥ ≈2.6ms of simulated service time", elapsed)
+	}
+	if !strings.Contains(resp.Header["Content-Type"], "text/html") {
+		t.Errorf("content type = %q", resp.Header["Content-Type"])
+	}
+}

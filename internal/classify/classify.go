@@ -1,0 +1,106 @@
+// Package classify implements Gage's request-classification component
+// (§3.3): mapping an incoming URL request to the subscriber queue it belongs
+// to. Classification is the service-specific part of the framework — for web
+// hosting it keys on the host-name part of the URL; for other Internet
+// services it can key on anything in the application-layer header (§3.6),
+// which is why the Classifier interface is pluggable.
+package classify
+
+import (
+	"strings"
+
+	"gage/internal/qos"
+)
+
+// Classifier maps a request's application-layer identity to a subscriber.
+type Classifier interface {
+	// Classify returns the subscriber a request belongs to, and whether the
+	// request matched any subscriber at all.
+	Classify(host, path string) (qos.SubscriberID, bool)
+}
+
+// HostClassifier classifies by the host-name part of the URL, the web-access
+// policy the Gage prototype uses.
+type HostClassifier struct {
+	dir *qos.Directory
+}
+
+// NewHostClassifier returns a classifier over the subscriber directory.
+func NewHostClassifier(dir *qos.Directory) *HostClassifier {
+	return &HostClassifier{dir: dir}
+}
+
+var _ Classifier = (*HostClassifier)(nil)
+
+// Classify implements Classifier. The host is normalized by lower-casing and
+// stripping any port suffix before lookup.
+func (c *HostClassifier) Classify(host, _ string) (qos.SubscriberID, bool) {
+	return c.dir.ByHost(NormalizeHost(host))
+}
+
+// NormalizeHost lower-cases a host name, removes a trailing :port, and drops
+// a trailing dot. Bracketed IPv6 literals keep their brackets.
+func NormalizeHost(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	if strings.HasPrefix(host, "[") {
+		if i := strings.IndexByte(host, ']'); i >= 0 {
+			return host[:i+1]
+		}
+		return host
+	}
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return strings.TrimSuffix(host, ".")
+}
+
+// UserIDClassifier demonstrates §3.6's point that a different Internet
+// service can classify on a user ID embedded in the application-layer
+// protocol: it matches a "uid" query parameter in the path.
+type UserIDClassifier struct {
+	users map[string]qos.SubscriberID
+}
+
+// NewUserIDClassifier builds a classifier over a user→subscriber table.
+func NewUserIDClassifier(users map[string]qos.SubscriberID) *UserIDClassifier {
+	cp := make(map[string]qos.SubscriberID, len(users))
+	for k, v := range users {
+		cp[k] = v
+	}
+	return &UserIDClassifier{users: cp}
+}
+
+var _ Classifier = (*UserIDClassifier)(nil)
+
+// Classify implements Classifier by extracting uid=<user> from the path's
+// query string.
+func (c *UserIDClassifier) Classify(_, path string) (qos.SubscriberID, bool) {
+	_, query, ok := strings.Cut(path, "?")
+	if !ok {
+		return "", false
+	}
+	for _, kv := range strings.Split(query, "&") {
+		k, v, ok := strings.Cut(kv, "=")
+		if ok && k == "uid" {
+			id, found := c.users[v]
+			return id, found
+		}
+	}
+	return "", false
+}
+
+// Chain tries classifiers in order and returns the first match, letting a
+// deployment mix policies (e.g. host-based with a user-ID override).
+type Chain []Classifier
+
+var _ Classifier = Chain(nil)
+
+// Classify implements Classifier.
+func (cs Chain) Classify(host, path string) (qos.SubscriberID, bool) {
+	for _, c := range cs {
+		if id, ok := c.Classify(host, path); ok {
+			return id, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,125 @@
+package classify
+
+import (
+	"testing"
+
+	"gage/internal/qos"
+)
+
+func testDirectory(t *testing.T) *qos.Directory {
+	t.Helper()
+	d, err := qos.NewDirectory([]qos.Subscriber{
+		{ID: "site1", Hosts: []string{"www.one.example"}, Reservation: 250},
+		{ID: "site2", Hosts: []string{"www.two.example", "two.example"}, Reservation: 150},
+	})
+	if err != nil {
+		t.Fatalf("NewDirectory: %v", err)
+	}
+	return d
+}
+
+func TestHostClassifier(t *testing.T) {
+	c := NewHostClassifier(testDirectory(t))
+	tests := []struct {
+		name     string
+		giveHost string
+		wantID   qos.SubscriberID
+		wantOK   bool
+	}{
+		{"exact", "www.one.example", "site1", true},
+		{"second host alias", "two.example", "site2", true},
+		{"case-insensitive", "WWW.One.Example", "site1", true},
+		{"port stripped", "www.two.example:8080", "site2", true},
+		{"trailing dot", "www.one.example.", "site1", true},
+		{"whitespace", "  www.one.example ", "site1", true},
+		{"unknown", "www.three.example", "", false},
+		{"empty", "", "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id, ok := c.Classify(tt.giveHost, "/any")
+			if ok != tt.wantOK || id != tt.wantID {
+				t.Errorf("Classify(%q) = (%q, %v), want (%q, %v)", tt.giveHost, id, ok, tt.wantID, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestNormalizeHost(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"Example.COM", "example.com"},
+		{"example.com:80", "example.com"},
+		{"example.com.", "example.com"},
+		{"[::1]:8080", "[::1]"},
+		{"[::1]", "[::1]"},
+		{"[bad", "[bad"},
+	}
+	for _, tt := range tests {
+		if got := NormalizeHost(tt.give); got != tt.want {
+			t.Errorf("NormalizeHost(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestUserIDClassifier(t *testing.T) {
+	c := NewUserIDClassifier(map[string]qos.SubscriberID{
+		"alice": "site1",
+		"bob":   "site2",
+	})
+	tests := []struct {
+		name     string
+		givePath string
+		wantID   qos.SubscriberID
+		wantOK   bool
+	}{
+		{"simple uid", "/login?uid=alice", "site1", true},
+		{"uid among params", "/app?x=1&uid=bob&y=2", "site2", true},
+		{"unknown uid", "/app?uid=carol", "", false},
+		{"no query", "/app", "", false},
+		{"no uid param", "/app?user=alice", "", false},
+		{"uid without value maps empty", "/app?uid=", "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id, ok := c.Classify("ignored", tt.givePath)
+			if ok != tt.wantOK || id != tt.wantID {
+				t.Errorf("Classify(%q) = (%q, %v), want (%q, %v)", tt.givePath, id, ok, tt.wantID, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestUserIDClassifierCopiesTable(t *testing.T) {
+	users := map[string]qos.SubscriberID{"alice": "site1"}
+	c := NewUserIDClassifier(users)
+	users["alice"] = "evil"
+	if id, ok := c.Classify("", "/x?uid=alice"); !ok || id != "site1" {
+		t.Errorf("classifier must copy its table; got (%q, %v)", id, ok)
+	}
+}
+
+func TestChain(t *testing.T) {
+	host := NewHostClassifier(testDirectory(t))
+	uid := NewUserIDClassifier(map[string]qos.SubscriberID{"alice": "site2"})
+	chain := Chain{uid, host}
+
+	// User-ID override wins when present.
+	if id, ok := chain.Classify("www.one.example", "/x?uid=alice"); !ok || id != "site2" {
+		t.Errorf("chain uid override = (%q, %v), want (site2, true)", id, ok)
+	}
+	// Falls through to host classification.
+	if id, ok := chain.Classify("www.one.example", "/x"); !ok || id != "site1" {
+		t.Errorf("chain host fallback = (%q, %v), want (site1, true)", id, ok)
+	}
+	// No match anywhere.
+	if _, ok := chain.Classify("unknown.example", "/x"); ok {
+		t.Error("chain must miss for unmatched requests")
+	}
+	// Empty chain misses.
+	if _, ok := (Chain{}).Classify("www.one.example", "/x"); ok {
+		t.Error("empty chain must miss")
+	}
+}

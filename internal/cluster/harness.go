@@ -1,0 +1,472 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"gage/internal/classify"
+	"gage/internal/core"
+	"gage/internal/metrics"
+	"gage/internal/qos"
+	"gage/internal/vclock"
+	"gage/internal/workload"
+)
+
+// Options configures one simulated experiment run.
+type Options struct {
+	// Subscribers defines the sites and reservations.
+	Subscribers []qos.Subscriber
+	// Sources defines the client load, one or more per subscriber.
+	Sources []workload.Source
+	// ReplayTrace, when non-empty, is replayed verbatim as the arrival
+	// stream and Sources is ignored — trace-driven runs, as the paper does
+	// with its SPECWeb99-derived trace.
+	ReplayTrace []workload.Request
+
+	// NumRPNs is the back-end cluster size.
+	NumRPNs int
+	// RPNSpeed scales each RPN's CPU/disk rate (1.0 = nominal 1 resource-
+	// second per second). Use it to set aggregate cluster capacity.
+	RPNSpeed float64
+	// LinkBandwidth is each RPN's outbound bandwidth in bytes/sec
+	// (default: Fast Ethernet, 12.5 MB/s).
+	LinkBandwidth float64
+
+	// SchedCycle is the RDN scheduling cycle (default 10 ms, §3.4).
+	SchedCycle time.Duration
+	// AcctCycle is the accounting cycle (default 100 ms).
+	AcctCycle time.Duration
+	// FeedbackLatency delays accounting messages RPN→RDN (default 200 µs).
+	FeedbackLatency time.Duration
+	// DispatchLatency delays dispatched requests RDN→RPN (default 100 µs).
+	DispatchLatency time.Duration
+
+	// Gate selects the scheduler's reservation-gate mode.
+	Gate core.GateMode
+	// DisableCapacityDrain selects the paper-faithful node-capacity
+	// bookkeeping (release only at accounting messages).
+	DisableCapacityDrain bool
+	// SchedulerAlpha overrides the usage predictor's EWMA weight (the core
+	// default when zero).
+	SchedulerAlpha float64
+	// CreditWindow and OutstandingWindow override the scheduler windows;
+	// zero derives them from the accounting cycle (2× with floors at the
+	// core defaults) so feedback-paced release never throttles throughput.
+	CreditWindow      time.Duration
+	OutstandingWindow time.Duration
+
+	// RDN, when non-nil, charges front-end processing per request and
+	// models the interrupt-overload knee (scalability study).
+	RDN *RDNModel
+	// RPNOverhead is the per-request CPU time each RPN spends in Gage's
+	// local service manager (splicing setup + remapping); zero disables it.
+	RPNOverhead time.Duration
+
+	// UnitResource selects how usage vectors convert to generic units in
+	// the measured rates and series: a single resource dimension, or the
+	// max across dimensions when zero (the default).
+	UnitResource qos.Resource
+
+	// LocalityDispatch turns on content-aware request distribution (§3.6):
+	// requests for URL pages in the same directory prefer the same RPN.
+	LocalityDispatch bool
+	// CacheEntries gives each RPN an LRU page cache of that many entries;
+	// cache hits skip the request's disk-channel time (0 disables).
+	CacheEntries int
+
+	// Warmup is excluded from all measurements; Duration is the measured
+	// window after warmup.
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumRPNs <= 0 {
+		o.NumRPNs = 1
+	}
+	if o.RPNSpeed <= 0 {
+		o.RPNSpeed = 1
+	}
+	if o.LinkBandwidth <= 0 {
+		o.LinkBandwidth = 12.5e6
+	}
+	if o.SchedCycle <= 0 {
+		o.SchedCycle = core.DefaultCycle
+	}
+	if o.AcctCycle <= 0 {
+		o.AcctCycle = 100 * time.Millisecond
+	}
+	if o.FeedbackLatency < 0 {
+		o.FeedbackLatency = 0
+	} else if o.FeedbackLatency == 0 {
+		o.FeedbackLatency = 200 * time.Microsecond
+	}
+	if o.DispatchLatency == 0 {
+		o.DispatchLatency = 100 * time.Microsecond
+	}
+	if o.CreditWindow <= 0 {
+		o.CreditWindow = maxDur(core.DefaultCreditWindow, 2*o.AcctCycle)
+	}
+	if o.OutstandingWindow <= 0 {
+		o.OutstandingWindow = maxDur(core.DefaultOutstandingWindow, 2*o.AcctCycle)
+	}
+	if o.Duration <= 0 {
+		o.Duration = 30 * time.Second
+	}
+	return o
+}
+
+// SubscriberRow is one measured line of a Table-1/Table-2-style result, all
+// rates in generic requests per second over the measured window.
+type SubscriberRow struct {
+	ID          qos.SubscriberID
+	Reservation qos.GRPS
+	Offered     float64
+	Served      float64
+	Dropped     float64
+	// Request counts (not generic units) over the window.
+	OfferedReqs int
+	ServedReqs  int
+	DroppedReqs int
+	// Response-time statistics over the window, arrival to completion
+	// (§3.1 lists response time as an alternative QoS metric).
+	MeanLatency time.Duration
+	P95Latency  time.Duration
+}
+
+// Result carries everything an experiment needs to print its table or plot
+// its figure.
+type Result struct {
+	// Rows is the per-subscriber summary in subscriber-ID order.
+	Rows []SubscriberRow
+	// Series holds per-subscriber completion samples (offsets measured from
+	// the end of warmup) for deviation analysis.
+	Series map[qos.SubscriberID]*metrics.Series
+	// Observed holds per-subscriber usage as the RDN sees it — one sample
+	// per accounting message, at its delivery time. Figure 3's deviation
+	// statistic is computed over this series: with an accounting cycle
+	// longer than the averaging interval, intervals see either no usage or
+	// a whole cycle's worth, which is exactly the paper's ">100% at a 2 s
+	// cycle under a 1 s interval" effect.
+	Observed map[qos.SubscriberID]*metrics.Series
+	// ServedReqPerSec is the cluster-wide request completion rate.
+	ServedReqPerSec float64
+	// RDNUtilization is the front end's CPU utilization over the window
+	// (0 when no RDN model was configured).
+	RDNUtilization float64
+	// CacheHitRate is the cluster-wide page-cache hit fraction over the
+	// whole run (0 when caches are disabled).
+	CacheHitRate float64
+	// Window is the measured duration.
+	Window time.Duration
+}
+
+// Row returns the row for a subscriber ID.
+func (r *Result) Row(id qos.SubscriberID) (SubscriberRow, bool) {
+	for _, row := range r.Rows {
+		if row.ID == id {
+			return row, true
+		}
+	}
+	return SubscriberRow{}, false
+}
+
+// Deviation computes the deviation-from-reservation statistic over the
+// subscriber's actual completion series: mean |served rate − reservation| /
+// reservation across averaging intervals of the given length.
+func (r *Result) Deviation(id qos.SubscriberID, interval time.Duration) (float64, error) {
+	return r.deviation(r.Series, id, interval)
+}
+
+// ObservedDeviation computes the Figure-3 statistic over the usage series
+// the RDN observes through accounting messages.
+func (r *Result) ObservedDeviation(id qos.SubscriberID, interval time.Duration) (float64, error) {
+	return r.deviation(r.Observed, id, interval)
+}
+
+func (r *Result) deviation(set map[qos.SubscriberID]*metrics.Series, id qos.SubscriberID, interval time.Duration) (float64, error) {
+	s, ok := set[id]
+	if !ok {
+		return 0, fmt.Errorf("cluster: no series for subscriber %q", id)
+	}
+	var res qos.GRPS
+	for _, row := range r.Rows {
+		if row.ID == id {
+			res = row.Reservation
+		}
+	}
+	return s.DeviationFromReservation(res, r.Window, interval)
+}
+
+// MeanObservedDeviation averages ObservedDeviation across all subscribers —
+// the "overall average among all subscribers" the paper plots.
+func (r *Result) MeanObservedDeviation(interval time.Duration) (float64, error) {
+	if len(r.Rows) == 0 {
+		return 0, errors.New("cluster: no rows")
+	}
+	var sum float64
+	for _, row := range r.Rows {
+		d, err := r.ObservedDeviation(row.ID, interval)
+		if err != nil {
+			return 0, err
+		}
+		sum += d
+	}
+	return sum / float64(len(r.Rows)), nil
+}
+
+// Run executes one experiment on a fresh virtual-time engine.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(opts.Subscribers) == 0 {
+		return nil, errors.New("cluster: at least one subscriber required")
+	}
+	if len(opts.Sources) == 0 && len(opts.ReplayTrace) == 0 {
+		return nil, errors.New("cluster: a load source or replay trace required")
+	}
+
+	dir, err := qos.NewDirectory(opts.Subscribers)
+	if err != nil {
+		return nil, err
+	}
+
+	rpns := make([]*RPN, opts.NumRPNs)
+	nodeCfgs := make([]core.NodeConfig, opts.NumRPNs)
+	for i := range rpns {
+		rpns[i] = NewRPN(core.NodeID(i+1), opts.RPNSpeed, opts.LinkBandwidth)
+		rpns[i].SetOverhead(opts.RPNOverhead)
+		rpns[i].SetCache(opts.CacheEntries)
+		nodeCfgs[i] = core.NodeConfig{ID: rpns[i].id, Capacity: rpns[i].Capacity()}
+	}
+	byID := make(map[core.NodeID]*RPN, len(rpns))
+	for _, r := range rpns {
+		byID[r.id] = r
+	}
+
+	sched, err := core.New(dir, nodeCfgs, core.Config{
+		Cycle:                opts.SchedCycle,
+		CreditWindow:         opts.CreditWindow,
+		OutstandingWindow:    opts.OutstandingWindow,
+		Gate:                 opts.Gate,
+		PredictionAlpha:      opts.SchedulerAlpha,
+		DisableCapacityDrain: opts.DisableCapacityDrain,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	classifier := classify.NewHostClassifier(dir)
+	engine := vclock.NewEngine(time.Time{})
+	front := &rdn{model: opts.RDN}
+
+	total := opts.Warmup + opts.Duration
+	start := engine.Now()
+	measureFrom := start.Add(opts.Warmup)
+
+	// Materialize all arrivals up front: deterministic and cheap.
+	var arrivals []workload.Request
+	if len(opts.ReplayTrace) > 0 {
+		arrivals = workload.Merge(opts.ReplayTrace)
+	} else {
+		var streams [][]workload.Request
+		var nextID uint64 = 1
+		for _, src := range opts.Sources {
+			var reqs []workload.Request
+			reqs, nextID = src.Schedule(total, nextID)
+			streams = append(streams, reqs)
+		}
+		arrivals = workload.Merge(streams...)
+	}
+
+	tp := metrics.NewThroughput()
+	series := make(map[qos.SubscriberID]*metrics.Series, dir.Len())
+	observed := make(map[qos.SubscriberID]*metrics.Series, dir.Len())
+	for _, id := range dir.IDs() {
+		series[id] = &metrics.Series{}
+		observed[id] = &metrics.Series{}
+	}
+	counts := struct {
+		offered, served, dropped map[qos.SubscriberID]int
+	}{
+		offered: make(map[qos.SubscriberID]int),
+		served:  make(map[qos.SubscriberID]int),
+		dropped: make(map[qos.SubscriberID]int),
+	}
+	latencies := make(map[qos.SubscriberID][]float64, dir.Len())
+	inWindow := func(t time.Time) bool { return !t.Before(measureFrom) }
+	units := func(v qos.Vector) float64 {
+		if opts.UnitResource != 0 {
+			return v.UnitsOf(opts.UnitResource)
+		}
+		return v.GenericUnits()
+	}
+
+	// Client arrivals → RDN admission (classification) → scheduler queue.
+	for _, req := range arrivals {
+		req := req
+		engine.At(start.Add(req.Arrival), func() {
+			ready := front.admit(engine.Now())
+			engine.At(ready, func() {
+				now := engine.Now()
+				sub, ok := classifier.Classify(req.Host, req.Path)
+				if !ok {
+					// Unclassifiable: the RDN has no queue for it.
+					return
+				}
+				u := units(req.Cost)
+				if inWindow(now) {
+					tp.Offered(sub, u)
+					counts.offered[sub]++
+				}
+				var affinity uint64
+				if opts.LocalityDispatch {
+					affinity = localityKey(req.Host, req.Path)
+				}
+				err := sched.Enqueue(core.Request{ID: req.ID, Subscriber: sub, Affinity: affinity, Payload: req})
+				if err != nil && inWindow(now) {
+					tp.Dropped(sub, u)
+					counts.dropped[sub]++
+				}
+			})
+		})
+	}
+
+	// Scheduling cycle: dispatch decisions travel to their RPNs.
+	stopSched := engine.Every(opts.SchedCycle, func() {
+		for _, d := range sched.Tick() {
+			d := d
+			req, ok := d.Req.Payload.(workload.Request)
+			if !ok {
+				continue
+			}
+			node := byID[d.Node]
+			engine.After(opts.DispatchLatency, func() {
+				fin, effective := node.process(engine.Now(), req)
+				engine.At(fin, func() {
+					node.chargeCompletion(req, effective)
+					now := engine.Now()
+					if inWindow(now) {
+						u := units(req.Cost)
+						tp.Served(req.Subscriber, u)
+						counts.served[req.Subscriber]++
+						series[req.Subscriber].Record(now.Sub(measureFrom), u)
+						latency := now.Sub(start.Add(req.Arrival))
+						latencies[req.Subscriber] = append(latencies[req.Subscriber], latency.Seconds())
+					}
+				})
+			})
+		}
+	})
+	defer stopSched()
+
+	// Accounting cycle per RPN: usage reports flow back with latency.
+	var stops []func()
+	for _, r := range rpns {
+		r := r
+		stops = append(stops, engine.Every(opts.AcctCycle, func() {
+			rep := r.Accountant().Cycle()
+			engine.After(opts.FeedbackLatency, func() {
+				// Reports for known nodes cannot fail.
+				_ = sched.ReportUsage(rep)
+				now := engine.Now()
+				if !inWindow(now) {
+					return
+				}
+				for sub, u := range rep.BySubscriber {
+					if s, ok := observed[sub]; ok {
+						s.Record(now.Sub(measureFrom), units(u.Usage))
+					}
+				}
+			})
+		}))
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	// Utilization is measured over the window only.
+	var rdnBusyAtWindowStart time.Duration
+	engine.At(measureFrom, func() { rdnBusyAtWindowStart = front.busy })
+
+	if err := engine.RunUntil(start.Add(total)); err != nil {
+		return nil, err
+	}
+
+	// Assemble results.
+	res := &Result{
+		Series:   series,
+		Observed: observed,
+		Window:   opts.Duration,
+	}
+	sec := opts.Duration.Seconds()
+	var servedReqs int
+	for _, row := range tp.Rows(opts.Duration) {
+		sub, err := dir.Subscriber(row.ID)
+		if err != nil {
+			continue
+		}
+		lats := latencies[row.ID]
+		res.Rows = append(res.Rows, SubscriberRow{
+			ID:          row.ID,
+			Reservation: sub.Reservation,
+			Offered:     row.OfferedRate,
+			Served:      row.ServedRate,
+			Dropped:     row.DroppedRate,
+			OfferedReqs: counts.offered[row.ID],
+			ServedReqs:  counts.served[row.ID],
+			DroppedReqs: counts.dropped[row.ID],
+			MeanLatency: time.Duration(metrics.Mean(lats) * float64(time.Second)),
+			P95Latency:  time.Duration(metrics.Percentile(lats, 95) * float64(time.Second)),
+		})
+		servedReqs += counts.served[row.ID]
+	}
+	res.ServedReqPerSec = float64(servedReqs) / sec
+	var hits, misses uint64
+	for _, r := range rpns {
+		h, m := r.CacheStats()
+		hits += h
+		misses += m
+	}
+	if hits+misses > 0 {
+		res.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if opts.RDN != nil {
+		util := (front.busy - rdnBusyAtWindowStart).Seconds() / opts.Duration.Seconds()
+		if util > 1 {
+			util = 1
+		}
+		res.RDNUtilization = util
+	}
+	return res, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// localityKey hashes a page's host and directory so URLs "in the same
+// proximity" (§3.6) share an affinity value. Zero is reserved for
+// "no affinity", so the hash is nudged off zero.
+func localityKey(host, path string) uint64 {
+	dir := path
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		dir = dir[:i+1]
+	}
+	h := fnv.New64a()
+	// Hash writes cannot fail.
+	_, _ = h.Write([]byte(host))
+	_, _ = h.Write([]byte(dir))
+	k := h.Sum64()
+	if k == 0 {
+		k = 1
+	}
+	return k
+}

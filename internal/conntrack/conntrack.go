@@ -1,0 +1,105 @@
+// Package conntrack implements the RDN's connection table (§3.3): a map from
+// the TCP 4-tuple of a spliced connection to the back-end RPN servicing it.
+// After a URL request is dispatched, every subsequent client packet on that
+// connection is bridged at Layer 2 straight to its RPN via this table.
+package conntrack
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FourTuple is the connection key: source/destination IP and port as they
+// appear in the packet header arriving at the RDN.
+type FourTuple struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+}
+
+// String formats the tuple for diagnostics.
+func (ft FourTuple) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d",
+		ft.SrcIP[0], ft.SrcIP[1], ft.SrcIP[2], ft.SrcIP[3], ft.SrcPort,
+		ft.DstIP[0], ft.DstIP[1], ft.DstIP[2], ft.DstIP[3], ft.DstPort)
+}
+
+// entry pairs a binding with its creation time for expiry.
+type entry[V any] struct {
+	val     V
+	created time.Time
+}
+
+// Table maps connection 4-tuples to a caller-defined binding (typically the
+// RPN's identity and MAC address). It is safe for concurrent use: the live
+// dispatcher consults it from multiple connection goroutines.
+type Table[V any] struct {
+	mu sync.RWMutex
+	m  map[FourTuple]entry[V]
+}
+
+// New returns an empty connection table.
+func New[V any]() *Table[V] {
+	return &Table[V]{m: make(map[FourTuple]entry[V])}
+}
+
+// Insert records (or replaces) the binding for a connection.
+func (t *Table[V]) Insert(ft FourTuple, v V, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[ft] = entry[V]{val: v, created: now}
+}
+
+// Lookup returns the binding for a connection, if present.
+func (t *Table[V]) Lookup(ft FourTuple) (V, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.m[ft]
+	return e.val, ok
+}
+
+// Delete removes a connection's binding, reporting whether it was present.
+func (t *Table[V]) Delete(ft FourTuple) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.m[ft]
+	delete(t.m, ft)
+	return ok
+}
+
+// Len returns the number of tracked connections.
+func (t *Table[V]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// Expire removes entries created before the cutoff and returns how many were
+// removed. The RDN runs this periodically so abandoned half-connections do
+// not leak table space.
+func (t *Table[V]) Expire(cutoff time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int
+	for ft, e := range t.m {
+		if e.created.Before(cutoff) {
+			delete(t.m, ft)
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for each entry until fn returns false. The table lock is
+// held for the duration; fn must not call back into the table.
+func (t *Table[V]) Range(fn func(FourTuple, V) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for ft, e := range t.m {
+		if !fn(ft, e.val) {
+			return
+		}
+	}
+}

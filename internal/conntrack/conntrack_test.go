@@ -1,0 +1,199 @@
+package conntrack
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type binding struct {
+	RPN int
+	MAC uint64
+}
+
+func tuple(srcLast byte, srcPort uint16) FourTuple {
+	return FourTuple{
+		SrcIP:   [4]byte{10, 0, 0, srcLast},
+		DstIP:   [4]byte{192, 168, 1, 1},
+		SrcPort: srcPort,
+		DstPort: 80,
+	}
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tbl := New[binding]()
+	ft := tuple(1, 12345)
+	if _, ok := tbl.Lookup(ft); ok {
+		t.Error("empty table must miss")
+	}
+	tbl.Insert(ft, binding{RPN: 3, MAC: 0xabc}, time.Time{})
+	got, ok := tbl.Lookup(ft)
+	if !ok || got != (binding{RPN: 3, MAC: 0xabc}) {
+		t.Errorf("Lookup = (%+v, %v), want RPN 3", got, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+	if !tbl.Delete(ft) {
+		t.Error("Delete must report presence")
+	}
+	if tbl.Delete(ft) {
+		t.Error("second Delete must report absence")
+	}
+	if _, ok := tbl.Lookup(ft); ok {
+		t.Error("deleted entry must miss")
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tbl := New[binding]()
+	ft := tuple(1, 1)
+	tbl.Insert(ft, binding{RPN: 1}, time.Time{})
+	tbl.Insert(ft, binding{RPN: 2}, time.Time{})
+	got, _ := tbl.Lookup(ft)
+	if got.RPN != 2 {
+		t.Errorf("replaced binding RPN = %d, want 2", got.RPN)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len after replace = %d, want 1", tbl.Len())
+	}
+}
+
+func TestDistinctTuplesAreDistinctKeys(t *testing.T) {
+	tbl := New[int]()
+	base := tuple(1, 1)
+	variants := []FourTuple{
+		{SrcIP: [4]byte{10, 0, 0, 2}, DstIP: base.DstIP, SrcPort: 1, DstPort: 80},
+		{SrcIP: base.SrcIP, DstIP: [4]byte{192, 168, 1, 2}, SrcPort: 1, DstPort: 80},
+		{SrcIP: base.SrcIP, DstIP: base.DstIP, SrcPort: 2, DstPort: 80},
+		{SrcIP: base.SrcIP, DstIP: base.DstIP, SrcPort: 1, DstPort: 81},
+	}
+	tbl.Insert(base, 0, time.Time{})
+	for i, v := range variants {
+		tbl.Insert(v, i+1, time.Time{})
+	}
+	if tbl.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 distinct keys", tbl.Len())
+	}
+	for i, v := range variants {
+		if got, _ := tbl.Lookup(v); got != i+1 {
+			t.Errorf("variant %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestExpire(t *testing.T) {
+	tbl := New[int]()
+	t0 := time.Time{}
+	tbl.Insert(tuple(1, 1), 1, t0)
+	tbl.Insert(tuple(2, 2), 2, t0.Add(10*time.Second))
+	tbl.Insert(tuple(3, 3), 3, t0.Add(20*time.Second))
+	if n := tbl.Expire(t0.Add(15 * time.Second)); n != 2 {
+		t.Errorf("Expire removed %d, want 2", n)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len after expire = %d, want 1", tbl.Len())
+	}
+	if _, ok := tbl.Lookup(tuple(3, 3)); !ok {
+		t.Error("fresh entry must survive expiry")
+	}
+	if n := tbl.Expire(t0); n != 0 {
+		t.Errorf("expire with old cutoff removed %d, want 0", n)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tbl := New[int]()
+	for i := byte(0); i < 5; i++ {
+		tbl.Insert(tuple(i, uint16(i)), int(i), time.Time{})
+	}
+	seen := make(map[int]bool)
+	tbl.Range(func(_ FourTuple, v int) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 5 {
+		t.Errorf("Range visited %d entries, want 5", len(seen))
+	}
+	var visited int
+	tbl.Range(func(_ FourTuple, _ int) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Errorf("early-stop Range visited %d, want 1", visited)
+	}
+}
+
+func TestFourTupleString(t *testing.T) {
+	ft := tuple(9, 1234)
+	want := "10.0.0.9:1234->192.168.1.1:80"
+	if got := ft.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: a table behaves exactly like a map under random insert/delete.
+func TestTableMatchesMapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := New[int]()
+		ref := make(map[FourTuple]int)
+		for i := 0; i < 200; i++ {
+			ft := tuple(byte(rng.Intn(8)), uint16(rng.Intn(8)))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				tbl.Insert(ft, v, time.Time{})
+				ref[ft] = v
+			case 2:
+				gotDel := tbl.Delete(ft)
+				_, refHad := ref[ft]
+				delete(ref, ft)
+				if gotDel != refHad {
+					return false
+				}
+			}
+		}
+		if tbl.Len() != len(ref) {
+			return false
+		}
+		got := make(map[FourTuple]int, tbl.Len())
+		tbl.Range(func(ft FourTuple, v int) bool {
+			got[ft] = v
+			return true
+		})
+		return reflect.DeepEqual(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tbl := New[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ft := tuple(byte(g), uint16(i%16))
+				tbl.Insert(ft, i, time.Time{})
+				tbl.Lookup(ft)
+				if i%7 == 0 {
+					tbl.Delete(ft)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The table must end with at most 8×16 live entries and stay consistent.
+	if tbl.Len() > 8*16 {
+		t.Errorf("Len = %d, want <= %d", tbl.Len(), 8*16)
+	}
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"gage/internal/core"
+	"gage/internal/qos"
+)
+
+// A complete scheduling round trip: enqueue a classified request, run one
+// scheduling cycle, deliver the work, and feed the accounting message back.
+func ExampleScheduler() {
+	dir, err := qos.NewDirectory([]qos.Subscriber{
+		{ID: "gold", Hosts: []string{"gold.example"}, Reservation: 100},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sched, err := core.New(dir, []core.NodeConfig{{
+		ID: 1,
+		Capacity: qos.Vector{
+			CPUTime:  time.Second,
+			DiskTime: time.Second,
+			NetBytes: 12_500_000,
+		},
+	}}, core.Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	if err := sched.Enqueue(core.Request{ID: 1, Subscriber: "gold"}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, d := range sched.Tick() {
+		fmt.Printf("request %d -> node %d\n", d.Req.ID, d.Node)
+		// The node serves the request and, one accounting cycle later,
+		// reports what it actually consumed.
+		err := sched.ReportUsage(core.UsageReport{
+			Node:  d.Node,
+			Total: qos.GenericCost(),
+			BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
+				"gold": {Usage: qos.GenericCost(), Completed: 1},
+			},
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	out, _ := sched.Outstanding(1)
+	fmt.Println("outstanding after feedback:", out.IsZero())
+	// Output:
+	// request 1 -> node 1
+	// outstanding after feedback: true
+}

@@ -1,0 +1,709 @@
+// Package core implements Gage's request-scheduling brain (§3.4–§3.5): the
+// per-subscriber queues, the credit-based weighted-round-robin request
+// scheduler with a reservation round and a reservation-proportional spare
+// round, the per-request resource-usage predictor, and the least-loaded node
+// scheduler. It is pure scheduling logic — both the discrete-event cluster
+// simulator and the live TCP dispatcher drive the same Scheduler, one on a
+// virtual clock and one on wall time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// NodeID identifies a back-end request processing node (RPN).
+type NodeID int
+
+// Request is one classified web access waiting for dispatch. Payload carries
+// the caller's request object (a simulator request, a live connection, ...)
+// opaquely through the scheduler.
+type Request struct {
+	// ID is the caller-assigned unique request identifier.
+	ID uint64
+	// Subscriber is the charging entity the request was classified to.
+	Subscriber qos.SubscriberID
+	// Affinity, when non-zero, requests content-aware dispatch (§3.6): all
+	// requests sharing an affinity value prefer the same node, so URL pages
+	// in the same proximity hit one RPN's cache. The preference yields to
+	// load: a full preferred node falls back to least-loaded dispatch.
+	Affinity uint64
+	// Payload is opaque caller context returned with the dispatch decision.
+	Payload any
+}
+
+// Dispatch is one scheduling decision: send Req to Node. Predicted is the
+// resource usage the scheduler charged against the subscriber's balance and
+// the node's outstanding load at dispatch time.
+type Dispatch struct {
+	Req       Request
+	Node      NodeID
+	Predicted qos.Vector
+}
+
+// SubscriberUsage is a subscriber's actual consumption on one RPN during one
+// accounting cycle.
+type SubscriberUsage struct {
+	// Usage is the resources consumed by the subscriber's completed work.
+	Usage qos.Vector
+	// Completed is how many of the subscriber's requests finished.
+	Completed int
+}
+
+// UsageReport is one accounting message from an RPN (§3.5): the node's total
+// resource usage in the last accounting cycle plus the per-subscriber split.
+type UsageReport struct {
+	Node         NodeID
+	Total        qos.Vector
+	BySubscriber map[qos.SubscriberID]SubscriberUsage
+}
+
+// NodeConfig declares one RPN's capacity to the node scheduler.
+type NodeConfig struct {
+	// ID is the node's identity in dispatches and usage reports.
+	ID NodeID
+	// Capacity is the node's resource budget per second: how much CPU time,
+	// disk-channel time and network bytes it can deliver each second.
+	Capacity qos.Vector
+}
+
+// GateMode selects how the reservation round decides a queue has used up its
+// entitlement.
+type GateMode int
+
+const (
+	// GateSelfClocked (default) subtracts the predicted usage of in-flight
+	// requests from the balance at dispatch time, so the gate is exact even
+	// when accounting messages are infrequent. This is the library's
+	// improved design.
+	GateSelfClocked GateMode = iota
+	// GateReported gates on the balance as known from accounting messages
+	// alone — the dispatch itself does not debit the gate. QoS stability
+	// then depends on the accounting-cycle length exactly as the paper's
+	// Figure 3 measures: long cycles make service oscillate between zero
+	// and about twice the reservation.
+	GateReported
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// Cycle is the scheduling cycle; the paper uses 10 ms for responsiveness.
+	Cycle time.Duration
+	// CreditWindow caps accumulated balance at ±reservation×CreditWindow so
+	// idle subscribers cannot hoard unbounded credit and overloaded ones
+	// recover their guarantee within one window of load returning to normal.
+	CreditWindow time.Duration
+	// OutstandingWindow bounds each node's estimated outstanding load at
+	// capacity×OutstandingWindow. It must cover a few scheduling cycles so
+	// nodes never idle between ticks.
+	OutstandingWindow time.Duration
+	// PredictionAlpha is the weight of the newest sample in the per-request
+	// usage estimate (exponentially weighted moving average).
+	PredictionAlpha float64
+	// Gate selects the reservation-round gating mode.
+	Gate GateMode
+	// DisableCapacityDrain turns off the optimistic between-report drain of
+	// node outstanding load (the paper-faithful behaviour: node capacity
+	// "reappears" only when accounting messages arrive, so dispatch turns
+	// bursty at the accounting period — the instability Figure 3 measures).
+	// The default drain model keeps dispatch smooth under slow feedback.
+	DisableCapacityDrain bool
+}
+
+// Defaults mirroring the paper's prototype settings.
+const (
+	DefaultCycle             = 10 * time.Millisecond
+	DefaultCreditWindow      = time.Second
+	DefaultOutstandingWindow = 50 * time.Millisecond
+	DefaultPredictionAlpha   = 0.3
+)
+
+func (c Config) withDefaults() Config {
+	if c.Cycle <= 0 {
+		c.Cycle = DefaultCycle
+	}
+	if c.CreditWindow <= 0 {
+		c.CreditWindow = DefaultCreditWindow
+	}
+	if c.OutstandingWindow <= 0 {
+		c.OutstandingWindow = DefaultOutstandingWindow
+	}
+	if c.PredictionAlpha <= 0 || c.PredictionAlpha > 1 {
+		c.PredictionAlpha = DefaultPredictionAlpha
+	}
+	return c
+}
+
+// Scheduler errors.
+var (
+	// ErrQueueFull reports a drop: the subscriber's queue is at its limit.
+	ErrQueueFull = errors.New("core: subscriber queue full")
+	// ErrUnknownSubscriber reports a request for an unregistered subscriber.
+	ErrUnknownSubscriber = errors.New("core: unknown subscriber")
+	// ErrUnknownNode reports a usage message from an unregistered node.
+	ErrUnknownNode = errors.New("core: unknown node")
+)
+
+// queueState is the per-subscriber scheduling state.
+type queueState struct {
+	id    qos.SubscriberID
+	res   qos.GRPS
+	limit int
+
+	fifo []Request
+	head int
+
+	// balance is the reserved-resource account: credited reservation×cycle
+	// each tick, debited with actual usage from accounting messages, and
+	// pre-compensated for spare-round dispatches so it tracks only
+	// reservation-funded consumption. Clamped to ±res×CreditWindow.
+	balance qos.Vector
+
+	// estimated[n] is the predicted usage of this subscriber's in-flight
+	// requests on node n — the paper's "estimated resource usage array".
+	estimated map[NodeID]qos.Vector
+
+	// pending[n] holds the per-dispatch predictions backing estimated[n],
+	// in dispatch order. Accounting messages release exactly these values
+	// (matched by completion count), so prediction error can never
+	// accumulate as phantom outstanding load. Spare-funded dispatches are
+	// flagged: their usage is compensated back into the balance at release
+	// time, atomically with the actual-usage debit.
+	pending map[NodeID][]pendingDispatch
+
+	// predicted is the EWMA per-request usage estimate.
+	predicted qos.Vector
+
+	// vstart is the queue's start-time-fair-queueing tag for the spare
+	// round, in virtual time (generic units divided by reservation weight).
+	vstart float64
+
+	dropped uint64
+}
+
+func (q *queueState) qlen() int { return len(q.fifo) - q.head }
+
+func (q *queueState) push(r Request) {
+	q.fifo = append(q.fifo, r)
+}
+
+func (q *queueState) pop() Request {
+	r := q.fifo[q.head]
+	q.fifo[q.head] = Request{} // release payload for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.fifo) {
+		q.fifo = append(q.fifo[:0], q.fifo[q.head:]...)
+		q.head = 0
+	}
+	return r
+}
+
+// estimatedTotal sums the in-flight estimates across nodes.
+func (q *queueState) estimatedTotal() qos.Vector {
+	var sum qos.Vector
+	for _, v := range q.estimated {
+		sum = sum.Add(v)
+	}
+	return sum
+}
+
+// pendingDispatch is one in-flight request's charged prediction.
+type pendingDispatch struct {
+	predicted qos.Vector
+	spare     bool
+}
+
+// nodeState is the per-RPN scheduling state.
+type nodeState struct {
+	id       NodeID
+	capacity qos.Vector // per second
+	bound    qos.Vector // capacity × OutstandingWindow
+
+	// outstanding is the predicted usage of all pending requests dispatched
+	// to this node and not yet reported complete.
+	outstanding qos.Vector
+
+	// disabled nodes receive no dispatches (health management); their
+	// in-flight accounting still settles via reports.
+	disabled bool
+
+	// drained is the optimistic estimate of how much of outstanding the
+	// node has already served but not yet reported: it grows at the node's
+	// known capacity every scheduling cycle and is reconciled downward when
+	// accounting messages release completed work. Without it, node capacity
+	// would only "reappear" in accounting-cycle-sized batches, making
+	// dispatch bursty at exactly the feedback period. (The paper's RDN
+	// similarly tracks each RPN's capacity between messages, §3.5.)
+	drained qos.Vector
+}
+
+// effective returns the node's believed backlog: outstanding minus the
+// optimistic drain.
+func (nd *nodeState) effective() qos.Vector {
+	return nd.outstanding.Sub(nd.drained).ClampNonNegative()
+}
+
+// Scheduler is the RDN request+node scheduler. It is safe for concurrent
+// use; the live dispatcher calls Enqueue from connection goroutines while a
+// ticker goroutine calls Tick.
+type Scheduler struct {
+	mu sync.Mutex
+
+	cfg   Config
+	dir   *qos.Directory
+	subs  map[qos.SubscriberID]*queueState
+	order []qos.SubscriberID // fixed visit order; start rotates per tick
+	start int
+
+	nodes     map[NodeID]*nodeState
+	nodeOrder []NodeID
+	nodeStart int
+
+	// vtime is the spare round's global virtual time: the start tag of the
+	// most recent spare dispatch. Queues re-activating after idleness join
+	// at vtime so they cannot bank spare credit.
+	vtime float64
+
+	dispatched uint64
+}
+
+// New builds a scheduler for the given subscribers and nodes.
+func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error) {
+	if dir == nil || dir.Len() == 0 {
+		return nil, errors.New("core: at least one subscriber required")
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("core: at least one node required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:   cfg,
+		dir:   dir,
+		subs:  make(map[qos.SubscriberID]*queueState, dir.Len()),
+		nodes: make(map[NodeID]*nodeState, len(nodes)),
+	}
+	for _, id := range dir.IDs() {
+		sub, err := dir.Subscriber(id)
+		if err != nil {
+			return nil, err
+		}
+		s.subs[id] = &queueState{
+			id:        id,
+			res:       sub.Reservation,
+			limit:     sub.EffectiveQueueLimit(),
+			estimated: make(map[NodeID]qos.Vector),
+			pending:   make(map[NodeID][]pendingDispatch),
+			predicted: qos.GenericCost(), // prior until feedback arrives
+		}
+		s.order = append(s.order, id)
+	}
+	for _, nc := range nodes {
+		if _, dup := s.nodes[nc.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate node %d", nc.ID)
+		}
+		if nc.Capacity.AnyNegative() || nc.Capacity.IsZero() {
+			return nil, fmt.Errorf("core: node %d: capacity must be positive, got %v", nc.ID, nc.Capacity)
+		}
+		s.nodes[nc.ID] = &nodeState{
+			id:       nc.ID,
+			capacity: nc.Capacity,
+			bound:    nc.Capacity.Scale(cfg.OutstandingWindow.Seconds()),
+		}
+		s.nodeOrder = append(s.nodeOrder, nc.ID)
+	}
+	sort.Slice(s.nodeOrder, func(i, j int) bool { return s.nodeOrder[i] < s.nodeOrder[j] })
+	return s, nil
+}
+
+// Cycle returns the configured scheduling cycle.
+func (s *Scheduler) Cycle() time.Duration { return s.cfg.Cycle }
+
+// Enqueue classifies nothing — the caller already did — it appends the
+// request to its subscriber's FIFO queue. It returns ErrQueueFull on a drop
+// and ErrUnknownSubscriber for unregistered subscribers.
+func (s *Scheduler) Enqueue(req Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.subs[req.Subscriber]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscriber, req.Subscriber)
+	}
+	if q.qlen() >= q.limit {
+		q.dropped++
+		return fmt.Errorf("%w: %q at limit %d", ErrQueueFull, req.Subscriber, q.limit)
+	}
+	if q.qlen() == 0 && q.vstart < s.vtime {
+		// SFQ activation: a queue returning from idleness joins the spare
+		// round at the current virtual time instead of replaying the past.
+		q.vstart = s.vtime
+	}
+	q.push(req)
+	return nil
+}
+
+// Tick runs one scheduling cycle and returns the dispatch decisions in
+// order. The caller delivers each dispatch to its node.
+func (s *Scheduler) Tick() []Dispatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var out []Dispatch
+
+	// Advance each node's optimistic drain by one cycle of its capacity:
+	// between accounting messages the RDN assumes a busy node keeps serving
+	// at its known rate.
+	if !s.cfg.DisableCapacityDrain {
+		for _, id := range s.nodeOrder {
+			nd := s.nodes[id]
+			nd.drained = nd.drained.Add(nd.capacity.Scale(s.cfg.Cycle.Seconds())).Min(nd.outstanding)
+		}
+	}
+
+	// Round 1 — reservation round. Visit queues cyclically (rotating start
+	// for long-run fairness), credit each queue its per-cycle entitlement,
+	// and dispatch while the effective balance stays non-negative.
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		q := s.subs[s.order[(s.start+i)%n]]
+		q.balance = s.clampBalance(q, q.balance.Add(q.res.PerCycle(s.cfg.Cycle)))
+		for q.qlen() > 0 {
+			effective := q.balance
+			if s.cfg.Gate == GateSelfClocked {
+				effective = effective.Sub(q.estimatedTotal())
+			}
+			if effective.AnyNegative() {
+				break
+			}
+			d, ok := s.dispatchOne(q, false /* reservation-funded */)
+			if !ok {
+				break // no node has room; leave queued
+			}
+			out = append(out, d)
+		}
+	}
+	if n > 0 {
+		s.start = (s.start + 1) % n
+	}
+
+	// Round 2 — spare round. Remaining node capacity is shared among still
+	// backlogged queues in proportion to their reservations ("higher
+	// reservation gets larger share of spare", §4.1) using start-time fair
+	// queueing: each backlogged queue carries a virtual start tag advanced
+	// by cost/weight per dispatch, and the smallest tag dispatches next.
+	// Node capacity bounds terminate the sweep; the scheme is
+	// work-conserving, so an otherwise idle cluster serves any backlog
+	// regardless of reservations. Spare dispatches pre-compensate the
+	// balance so the later actual-usage debit does not consume reserved
+	// credit.
+	for {
+		var best *queueState
+		for i := 0; i < n; i++ {
+			q := s.subs[s.order[(s.start+i)%n]]
+			if q.qlen() == 0 {
+				continue
+			}
+			if s.pickNode(q.predicted) == nil {
+				continue
+			}
+			if best == nil || q.vstart < best.vstart {
+				best = q
+			}
+		}
+		if best == nil {
+			break
+		}
+		need := best.predicted.GenericUnits()
+		if need <= 0 {
+			need = 1e-9
+		}
+		d, ok := s.dispatchOne(best, true /* spare-funded */)
+		if !ok {
+			break // capacity raced away; re-check next tick
+		}
+		s.vtime = best.vstart
+		weight := float64(best.res)
+		if weight <= 0 {
+			// Zero-reservation subscribers receive spare only at a token
+			// weight, after everyone with a real reservation.
+			weight = 1e-3
+		}
+		best.vstart += need / weight
+		out = append(out, d)
+	}
+	return out
+}
+
+// dispatchOne pops the head request of q and assigns it to the least-loaded
+// node with room. It updates the in-flight estimates. It reports false —
+// without popping — when no node can take the request. Spare-funded
+// dispatches are flagged so their usage is refunded to the balance when the
+// accounting message releases them.
+func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
+	affinity := q.fifo[q.head].Affinity
+	node := s.pickNodeAffine(q.predicted, affinity)
+	if node == nil {
+		return Dispatch{}, false
+	}
+	req := q.pop()
+	node.outstanding = node.outstanding.Add(q.predicted)
+	q.estimated[node.id] = q.estimated[node.id].Add(q.predicted)
+	q.pending[node.id] = append(q.pending[node.id], pendingDispatch{predicted: q.predicted, spare: spare})
+	s.dispatched++
+	if n := len(s.nodeOrder); n > 0 {
+		s.nodeStart = (s.nodeStart + 1) % n
+	}
+	return Dispatch{Req: req, Node: node.id, Predicted: q.predicted}, true
+}
+
+// pickNodeAffine prefers the affinity-designated node when it has room,
+// falling back to least-loaded dispatch — content-aware request
+// distribution (§3.6) that trades perfect balance for cache locality.
+func (s *Scheduler) pickNodeAffine(predicted qos.Vector, affinity uint64) *nodeState {
+	if affinity != 0 && len(s.nodeOrder) > 0 {
+		nd := s.nodes[s.nodeOrder[affinity%uint64(len(s.nodeOrder))]]
+		if !nd.disabled && nd.bound.Dominates(nd.effective().Add(predicted)) {
+			return nd
+		}
+	}
+	return s.pickNode(predicted)
+}
+
+// pickNode returns the node with the least estimated outstanding load (in
+// generic units) that still has room for the predicted usage, or nil. Ties
+// are broken by a rotating starting offset so identical nodes share work
+// evenly instead of the lowest ID starving the rest.
+func (s *Scheduler) pickNode(predicted qos.Vector) *nodeState {
+	var best *nodeState
+	bestLoad := 0.0
+	n := len(s.nodeOrder)
+	for i := 0; i < n; i++ {
+		nd := s.nodes[s.nodeOrder[(s.nodeStart+i)%n]]
+		if nd.disabled {
+			continue
+		}
+		effective := nd.effective()
+		if !nd.bound.Dominates(effective.Add(predicted)) {
+			continue
+		}
+		load := effective.GenericUnits()
+		if best == nil || load < bestLoad {
+			best, bestLoad = nd, load
+		}
+	}
+	return best
+}
+
+// ReportUsage ingests an accounting message: it releases the node's
+// outstanding load, releases per-subscriber in-flight estimates, debits
+// balances with actual usage, and refreshes the per-request predictors.
+func (s *Scheduler) ReportUsage(rep UsageReport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[rep.Node]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, rep.Node)
+	}
+	for id, u := range rep.BySubscriber {
+		q, ok := s.subs[id]
+		if !ok {
+			continue // subscriber removed or unknown; skip
+		}
+		// Release the predictions charged at dispatch time for the
+		// completed requests — exactly those, so prediction error never
+		// lingers as phantom estimated load. Spare-funded dispatches are
+		// refunded here, atomically with the actual-usage debit, so the
+		// reservation balance pays only for reservation-round work and the
+		// clamp can never eat a compensation.
+		fifo := q.pending[rep.Node]
+		k := u.Completed
+		if k > len(fifo) {
+			k = len(fifo)
+		}
+		var released, refund qos.Vector
+		for i := 0; i < k; i++ {
+			released = released.Add(fifo[i].predicted)
+			if fifo[i].spare {
+				refund = refund.Add(fifo[i].predicted)
+			}
+		}
+		q.pending[rep.Node] = fifo[k:]
+		q.balance = s.clampBalance(q, q.balance.Sub(u.Usage).Add(refund))
+		nd.outstanding = nd.outstanding.Sub(released).ClampNonNegative()
+		// Reconcile the optimistic drain: the released work was (mostly)
+		// the work we assumed was draining.
+		nd.drained = nd.drained.Sub(released).ClampNonNegative().Min(nd.outstanding)
+		q.estimated[rep.Node] = q.estimated[rep.Node].Sub(released).ClampNonNegative()
+		if u.Completed > 0 {
+			sample := u.Usage.Scale(1 / float64(u.Completed))
+			a := s.cfg.PredictionAlpha
+			q.predicted = sample.Scale(a).Add(q.predicted.Scale(1 - a))
+		}
+	}
+	return nil
+}
+
+// clampBalance bounds a balance to ±reservation×CreditWindow.
+func (s *Scheduler) clampBalance(q *queueState, b qos.Vector) qos.Vector {
+	lim := q.res.PerCycle(s.cfg.CreditWindow)
+	return b.Min(lim).Max(lim.Neg())
+}
+
+// QueueLen returns the number of queued (undispatched) requests for a
+// subscriber, or 0 for unknown subscribers.
+func (s *Scheduler) QueueLen(id qos.SubscriberID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.subs[id]; ok {
+		return q.qlen()
+	}
+	return 0
+}
+
+// Dropped returns how many requests have been dropped for a subscriber due
+// to queue overflow.
+func (s *Scheduler) Dropped(id qos.SubscriberID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.subs[id]; ok {
+		return q.dropped
+	}
+	return 0
+}
+
+// Balance returns a subscriber's current reserved-resource balance. The
+// balance is clamped to ±reservation×CreditWindow; tests and monitoring use
+// this to observe the credit cap.
+func (s *Scheduler) Balance(id qos.SubscriberID) (qos.Vector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.subs[id]; ok {
+		return q.balance, true
+	}
+	return qos.Vector{}, false
+}
+
+// Predicted returns the current per-request usage estimate for a subscriber.
+func (s *Scheduler) Predicted(id qos.SubscriberID) (qos.Vector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.subs[id]; ok {
+		return q.predicted, true
+	}
+	return qos.Vector{}, false
+}
+
+// Outstanding returns a node's estimated outstanding load.
+func (s *Scheduler) Outstanding(id NodeID) (qos.Vector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nd, ok := s.nodes[id]; ok {
+		return nd.outstanding, true
+	}
+	return qos.Vector{}, false
+}
+
+// TotalDispatched returns the number of dispatches since creation.
+func (s *Scheduler) TotalDispatched() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatched
+}
+
+// SetNodeEnabled enables or disables dispatching to a node (health
+// management: a node that stops answering should stop receiving work).
+// In-flight accounting on a disabled node still settles normally.
+func (s *Scheduler) SetNodeEnabled(id NodeID, enabled bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.disabled = !enabled
+	return nil
+}
+
+// NodeEnabled reports whether a node currently receives dispatches.
+func (s *Scheduler) NodeEnabled(id NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[id]
+	return ok && !nd.disabled
+}
+
+// AddSubscriber registers a new subscriber at runtime — hosting providers
+// sign customers while the cluster is live. It fails on duplicates and
+// invalid definitions. The caller must also update its classifier so the
+// new subscriber's requests resolve.
+func (s *Scheduler) AddSubscriber(sub qos.Subscriber) error {
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.subs[sub.ID]; dup {
+		return fmt.Errorf("core: subscriber %q already registered", sub.ID)
+	}
+	s.subs[sub.ID] = &queueState{
+		id:        sub.ID,
+		res:       sub.Reservation,
+		limit:     sub.EffectiveQueueLimit(),
+		estimated: make(map[NodeID]qos.Vector),
+		pending:   make(map[NodeID][]pendingDispatch),
+		predicted: qos.GenericCost(),
+		vstart:    s.vtime, // join the spare round at the current virtual time
+	}
+	s.order = append(s.order, sub.ID)
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	return nil
+}
+
+// RemoveSubscriber unregisters a subscriber. Queued requests are dropped
+// and returned so the caller can fail them; in-flight accounting state is
+// discarded (its node outstanding still settles via reports of other
+// subscribers' completions only — the node's remaining share drains).
+func (s *Scheduler) RemoveSubscriber(id qos.SubscriberID) ([]Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.subs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSubscriber, id)
+	}
+	var orphans []Request
+	for q.qlen() > 0 {
+		orphans = append(orphans, q.pop())
+	}
+	// Release the subscriber's in-flight estimates from its nodes so the
+	// capacity does not leak.
+	for nodeID, est := range q.estimated {
+		if nd, ok := s.nodes[nodeID]; ok {
+			nd.outstanding = nd.outstanding.Sub(est).ClampNonNegative()
+			nd.drained = nd.drained.Min(nd.outstanding)
+		}
+	}
+	delete(s.subs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.start >= len(s.order) {
+		s.start = 0
+	}
+	return orphans, nil
+}
+
+// Nodes returns the node IDs in deterministic order.
+func (s *Scheduler) Nodes() []NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NodeID, len(s.nodeOrder))
+	copy(out, s.nodeOrder)
+	return out
+}

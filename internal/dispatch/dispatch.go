@@ -1,0 +1,576 @@
+// Package dispatch is the live-network Gage front end: a TCP listener that
+// classifies incoming HTTP requests by virtual host, queues them in the core
+// scheduler's per-subscriber queues, dispatches them to back-end servers
+// under the credit-based QoS discipline, and feeds the back ends' accounting
+// reports into the scheduler's balances.
+//
+// It plays the RDN's role over real sockets. The first-leg handshake and
+// URL read happen here; the second leg is a fresh connection to the chosen
+// backend and the response is relayed to the client — application-level
+// splicing, the deployable stand-in for the kernel-level packet remapping
+// that internal/splice models packet by packet.
+package dispatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gage/internal/backend"
+	"gage/internal/classify"
+	"gage/internal/core"
+	"gage/internal/httpwire"
+	"gage/internal/qos"
+)
+
+// Backend declares one back-end server to the dispatcher.
+type Backend struct {
+	// ID is the node identity used by the scheduler and in reports.
+	ID core.NodeID
+	// Addr is the host:port the backend listens on.
+	Addr string
+	// Capacity is the node's per-second resource capacity.
+	Capacity qos.Vector
+}
+
+// Config assembles a dispatcher.
+type Config struct {
+	// Subscribers defines sites, hosts, reservations.
+	Subscribers []qos.Subscriber
+	// Backends lists the back-end pool (at least one).
+	Backends []Backend
+	// Scheduler tunes the core scheduler (defaults apply).
+	Scheduler core.Config
+	// AcctCycle is how often backends are polled for usage (default 100 ms).
+	AcctCycle time.Duration
+	// DialTimeout bounds backend dials (default 2 s).
+	DialTimeout time.Duration
+	// Logger receives operational errors (default: standard logger).
+	Logger *log.Logger
+}
+
+// Stats counts dispatcher outcomes.
+type Stats struct {
+	// Accepted is connections accepted.
+	Accepted uint64
+	// Served is requests relayed successfully.
+	Served uint64
+	// Rejected is requests refused with 503 (queue overflow).
+	Rejected uint64
+	// Unclassified is requests with no matching subscriber (404).
+	Unclassified uint64
+	// Errors is backend dial/relay failures (502).
+	Errors uint64
+}
+
+// Server is a running dispatcher.
+type Server struct {
+	cfg        Config
+	dir        *qos.Directory
+	classifier classify.Classifier
+	sched      *core.Scheduler
+	addrs      map[core.NodeID]string
+	logger     *log.Logger
+
+	accepted     atomic.Uint64
+	served       atomic.Uint64
+	rejected     atomic.Uint64
+	unclassified atomic.Uint64
+	errs         atomic.Uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	// lastSeen holds each backend's previous cumulative report, so usage
+	// deltas survive lost polls.
+	lastSeen map[core.NodeID]core.UsageReport
+
+	// failures counts consecutive poll/relay failures per node; at
+	// UnhealthyAfter the node is disabled until a poll succeeds again.
+	failMu   sync.Mutex
+	failures map[core.NodeID]int
+}
+
+// UnhealthyAfter is how many consecutive backend failures disable a node.
+const UnhealthyAfter = 3
+
+// pendingConn is the scheduler payload for a waiting client connection.
+type pendingConn struct {
+	conn net.Conn
+	req  *httpwire.Request
+	sub  qos.SubscriberID
+	// node receives the dispatch decision.
+	node chan core.NodeID
+}
+
+// New builds a dispatcher.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("dispatch: at least one backend required")
+	}
+	if cfg.AcctCycle <= 0 {
+		cfg.AcctCycle = 100 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	dir, err := qos.NewDirectory(cfg.Subscribers)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]core.NodeConfig, 0, len(cfg.Backends))
+	addrs := make(map[core.NodeID]string, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		cap := b.Capacity
+		if cap.IsZero() {
+			cap = qos.Vector{CPUTime: time.Second, DiskTime: time.Second, NetBytes: 12_500_000}
+		}
+		nodes = append(nodes, core.NodeConfig{ID: b.ID, Capacity: cap})
+		addrs[b.ID] = b.Addr
+	}
+	sched, err := core.New(dir, nodes, cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		dir:        dir,
+		classifier: classify.NewHostClassifier(dir),
+		sched:      sched,
+		addrs:      addrs,
+		logger:     cfg.Logger,
+		stopCh:     make(chan struct{}),
+		lastSeen:   make(map[core.NodeID]core.UsageReport, len(addrs)),
+		failures:   make(map[core.NodeID]int, len(addrs)),
+	}, nil
+}
+
+// Scheduler exposes the core scheduler for inspection.
+func (s *Server) Scheduler() *core.Scheduler { return s.sched }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:     s.accepted.Load(),
+		Served:       s.served.Load(),
+		Rejected:     s.rejected.Load(),
+		Unclassified: s.unclassified.Load(),
+		Errors:       s.errs.Load(),
+	}
+}
+
+// Serve runs the dispatcher on the listener until Close. It starts the
+// scheduling ticker and the accounting poller.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dispatch: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.tickLoop()
+	go s.acctLoop()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopCh:
+				return nil
+			default:
+				return fmt.Errorf("dispatch: accept: %w", err)
+			}
+		}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the dispatcher and waits for in-flight work.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stopCh)
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// tickLoop runs the scheduling cycle against wall time.
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.sched.Cycle())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			for _, d := range s.sched.Tick() {
+				pc, ok := d.Req.Payload.(*pendingConn)
+				if !ok {
+					continue
+				}
+				pc.node <- d.Node
+			}
+		}
+	}
+}
+
+// acctLoop polls every backend for its accounting report each cycle.
+func (s *Server) acctLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.AcctCycle)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			for id, addr := range s.addrs {
+				cum, err := s.pollReport(id, addr)
+				if err != nil {
+					s.logger.Printf("dispatch: poll %v: %v", addr, err)
+					s.noteFailure(id)
+					continue
+				}
+				s.noteSuccess(id)
+				delta := diffReports(cum, s.lastSeen[id])
+				s.lastSeen[id] = cum
+				if err := s.sched.ReportUsage(delta); err != nil {
+					s.logger.Printf("dispatch: report usage: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// pollReport fetches one backend's usage report.
+func (s *Server) pollReport(id core.NodeID, addr string) (core.UsageReport, error) {
+	conn, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
+	if err != nil {
+		return core.UsageReport{}, err
+	}
+	defer conn.Close()
+	// A hung backend must not wedge the accounting loop.
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.DialTimeout))
+	req := &httpwire.Request{Method: "GET", Target: backend.ReportPath, Proto: "HTTP/1.0"}
+	if err := req.Write(conn); err != nil {
+		return core.UsageReport{}, err
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return core.UsageReport{}, err
+	}
+	if resp.StatusCode != 200 {
+		return core.UsageReport{}, fmt.Errorf("report status %d", resp.StatusCode)
+	}
+	rep, err := backend.DecodeReport(resp.Body)
+	if err != nil {
+		return core.UsageReport{}, err
+	}
+	rep.Node = id // trust our own pool identity, not the backend's claim
+	return rep, nil
+}
+
+// diffReports converts a backend's cumulative report into the delta since
+// the previous snapshot. A backend restart (counters going backwards) is
+// treated as a fresh start: the new cumulative IS the delta.
+func diffReports(cum, prev core.UsageReport) core.UsageReport {
+	delta := core.UsageReport{
+		Node:         cum.Node,
+		Total:        cum.Total.Sub(prev.Total),
+		BySubscriber: make(map[qos.SubscriberID]core.SubscriberUsage, len(cum.BySubscriber)),
+	}
+	if delta.Total.AnyNegative() {
+		delta.Total = cum.Total
+		prev = core.UsageReport{}
+	}
+	for id, u := range cum.BySubscriber {
+		p := prev.BySubscriber[id]
+		d := core.SubscriberUsage{
+			Usage:     u.Usage.Sub(p.Usage),
+			Completed: u.Completed - p.Completed,
+		}
+		if d.Usage.AnyNegative() || d.Completed < 0 {
+			d = u // restarted backend: take the fresh cumulative
+		}
+		if d.Usage.IsZero() && d.Completed == 0 {
+			continue
+		}
+		delta.BySubscriber[id] = d
+	}
+	return delta
+}
+
+var reqIDs atomic.Uint64
+
+// handle serves one client connection. HTTP/1.1 connections are persistent
+// (P-HTTP): each request on the connection is classified, queued and
+// scheduled independently — consecutive requests may be relayed to
+// different back ends, just as the paper's splicing handles one request per
+// spliced connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		// Stuck clients must not pin handler goroutines forever; the
+		// deadline renews per request on persistent connections.
+		_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+		req, err := httpwire.ReadRequest(br)
+		if err != nil {
+			if err != io.EOF {
+				s.respondError(conn, 400)
+			}
+			return
+		}
+		if !s.serveOne(conn, req) {
+			return
+		}
+		if !wantKeepAlive(req) {
+			return
+		}
+	}
+}
+
+// serveOne processes a single parsed request on the connection; it reports
+// whether the connection is still usable for another request.
+func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
+	if req.Path() == StatsPath {
+		s.serveStats(conn)
+		return true
+	}
+	sub, ok := s.classifier.Classify(req.Host, req.Path())
+	if !ok {
+		s.unclassified.Add(1)
+		s.respondError(conn, 404)
+		return true
+	}
+	pc := &pendingConn{
+		conn: conn,
+		req:  req,
+		sub:  sub,
+		node: make(chan core.NodeID, 1),
+	}
+	err := s.sched.Enqueue(core.Request{
+		ID:         reqIDs.Add(1),
+		Subscriber: sub,
+		Payload:    pc,
+	})
+	if err != nil {
+		s.rejected.Add(1)
+		s.respondError(conn, 503)
+		return true
+	}
+	select {
+	case node := <-pc.node:
+		return s.relay(pc, node)
+	case <-s.stopCh:
+		s.respondError(conn, 503)
+		return false
+	case <-time.After(30 * time.Second):
+		// The scheduler never dispatched us (sustained overload).
+		s.rejected.Add(1)
+		s.respondError(conn, 503)
+		return true
+	}
+}
+
+// wantKeepAlive implements the HTTP/1.x persistence rules: 1.1 defaults to
+// keep-alive unless "Connection: close"; 1.0 requires an explicit opt-in.
+func wantKeepAlive(req *httpwire.Request) bool {
+	c := req.Header["Connection"]
+	if req.Proto == "HTTP/1.1" {
+		return !strings.EqualFold(c, "close")
+	}
+	return strings.EqualFold(c, "keep-alive")
+}
+
+// relay forwards the request to the chosen backend and the parsed response
+// to the client — the application-level splice. It reports whether the
+// client connection remains usable.
+func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
+	addr := s.addrs[node]
+	be, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
+	if err != nil {
+		s.errs.Add(1)
+		s.noteFailure(node)
+		s.respondError(pc.conn, 502)
+		return true
+	}
+	s.noteSuccess(node)
+	defer be.Close()
+	// Bound the whole backend exchange.
+	_ = be.SetDeadline(time.Now().Add(60 * time.Second))
+
+	// Tag the request with its charging entity for backend accounting.
+	if pc.req.Header == nil {
+		pc.req.Header = make(map[string]string)
+	}
+	pc.req.Header[backend.SubscriberHeader] = string(pc.sub)
+	if err := pc.req.Write(be); err != nil {
+		s.errs.Add(1)
+		s.respondError(pc.conn, 502)
+		return true
+	}
+	// Parse the response so the client connection's framing survives for
+	// the next request; usage accounting arrives separately via the
+	// periodic report poll.
+	resp, err := httpwire.ReadResponse(bufio.NewReader(be))
+	if err != nil {
+		s.errs.Add(1)
+		s.respondError(pc.conn, 502)
+		return true
+	}
+	if err := resp.Write(pc.conn); err != nil {
+		s.errs.Add(1)
+		return false
+	}
+	s.served.Add(1)
+	return true
+}
+
+// noteFailure records one consecutive failure against a node, disabling it
+// at the threshold so the scheduler stops sending work its way.
+func (s *Server) noteFailure(id core.NodeID) {
+	s.failMu.Lock()
+	s.failures[id]++
+	n := s.failures[id]
+	s.failMu.Unlock()
+	if n == UnhealthyAfter {
+		s.logger.Printf("dispatch: node %d unhealthy after %d failures; disabling", id, n)
+		if err := s.sched.SetNodeEnabled(id, false); err != nil {
+			s.logger.Printf("dispatch: disable node %d: %v", id, err)
+		}
+	}
+}
+
+// noteSuccess clears a node's failure streak, re-enabling it if needed.
+func (s *Server) noteSuccess(id core.NodeID) {
+	s.failMu.Lock()
+	wasUnhealthy := s.failures[id] >= UnhealthyAfter
+	s.failures[id] = 0
+	s.failMu.Unlock()
+	if wasUnhealthy {
+		s.logger.Printf("dispatch: node %d healthy again; enabling", id)
+		if err := s.sched.SetNodeEnabled(id, true); err != nil {
+			s.logger.Printf("dispatch: enable node %d: %v", id, err)
+		}
+	}
+}
+
+// StatsPath serves the dispatcher's operational state as JSON.
+const StatsPath = "/_gage/stats"
+
+// statsJSON is the wire form of the stats endpoint.
+type statsJSON struct {
+	Accepted     uint64                    `json:"accepted"`
+	Served       uint64                    `json:"served"`
+	Rejected     uint64                    `json:"rejected"`
+	Unclassified uint64                    `json:"unclassified"`
+	Errors       uint64                    `json:"errors"`
+	Subscribers  map[string]subscriberJSON `json:"subscribers"`
+	Nodes        map[string]nodeJSON       `json:"nodes"`
+}
+
+type subscriberJSON struct {
+	ReservationGRPS float64 `json:"reservationGRPS"`
+	QueueLen        int     `json:"queueLen"`
+	Dropped         uint64  `json:"dropped"`
+	PredictedCPU    int64   `json:"predictedCpuNanos"`
+	PredictedDisk   int64   `json:"predictedDiskNanos"`
+	PredictedNet    int64   `json:"predictedNetBytes"`
+}
+
+type nodeJSON struct {
+	Addr            string `json:"addr"`
+	OutstandingCPU  int64  `json:"outstandingCpuNanos"`
+	OutstandingDisk int64  `json:"outstandingDiskNanos"`
+	OutstandingNet  int64  `json:"outstandingNetBytes"`
+}
+
+// serveStats answers the operational-stats endpoint.
+func (s *Server) serveStats(conn net.Conn) {
+	st := s.Stats()
+	out := statsJSON{
+		Accepted:     st.Accepted,
+		Served:       st.Served,
+		Rejected:     st.Rejected,
+		Unclassified: st.Unclassified,
+		Errors:       st.Errors,
+		Subscribers:  make(map[string]subscriberJSON, s.dir.Len()),
+		Nodes:        make(map[string]nodeJSON, len(s.addrs)),
+	}
+	for _, id := range s.dir.IDs() {
+		sub, err := s.dir.Subscriber(id)
+		if err != nil {
+			continue
+		}
+		pred, _ := s.sched.Predicted(id)
+		out.Subscribers[string(id)] = subscriberJSON{
+			ReservationGRPS: float64(sub.Reservation),
+			QueueLen:        s.sched.QueueLen(id),
+			Dropped:         s.sched.Dropped(id),
+			PredictedCPU:    pred.CPUTime.Nanoseconds(),
+			PredictedDisk:   pred.DiskTime.Nanoseconds(),
+			PredictedNet:    pred.NetBytes,
+		}
+	}
+	for _, nodeID := range s.sched.Nodes() {
+		outst, _ := s.sched.Outstanding(nodeID)
+		out.Nodes[fmt.Sprintf("%d", nodeID)] = nodeJSON{
+			Addr:            s.addrs[nodeID],
+			OutstandingCPU:  outst.CPUTime.Nanoseconds(),
+			OutstandingDisk: outst.DiskTime.Nanoseconds(),
+			OutstandingNet:  outst.NetBytes,
+		}
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		s.respondError(conn, 500)
+		return
+	}
+	resp := &httpwire.Response{
+		StatusCode: 200,
+		Header:     map[string]string{"Content-Type": "application/json"},
+		Body:       body,
+	}
+	// The poller may be gone; nothing else to do.
+	_ = resp.Write(conn)
+}
+
+func (s *Server) respondError(conn net.Conn, code int) {
+	resp := &httpwire.Response{StatusCode: code, Header: map[string]string{}}
+	// The client may already be gone; nothing more to do.
+	_ = resp.Write(conn)
+}

@@ -1,0 +1,495 @@
+package dispatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gage/internal/backend"
+	"gage/internal/core"
+	"gage/internal/httpwire"
+	"gage/internal/qos"
+)
+
+// cluster spins up n backends plus a dispatcher on loopback and returns the
+// dispatcher's address.
+func cluster(t *testing.T, n int, subs []qos.Subscriber, sched core.Config) (string, *Server) {
+	t.Helper()
+	backends := make([]Backend, 0, n)
+	for i := 1; i <= n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("backend listen: %v", err)
+		}
+		be := backend.New(backend.Config{Node: core.NodeID(i)})
+		go func() { _ = be.Serve(ln) }()
+		t.Cleanup(func() { _ = be.Close() })
+		backends = append(backends, Backend{ID: core.NodeID(i), Addr: ln.Addr().String()})
+	}
+	srv, err := New(Config{
+		Subscribers: subs,
+		Backends:    backends,
+		Scheduler:   sched,
+		AcctCycle:   50 * time.Millisecond,
+		Logger:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("dispatcher listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+func defaultSubs() []qos.Subscriber {
+	return []qos.Subscriber{
+		{ID: "site1", Hosts: []string{"www.site1.example"}, Reservation: 500},
+		{ID: "site2", Hosts: []string{"www.site2.example"}, Reservation: 200},
+	}
+}
+
+// get issues one request through the dispatcher.
+func get(t *testing.T, addr, host, path string) (*httpwire.Response, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Dispatcher queueing can hold a request across scheduling cycles.
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	req := &httpwire.Request{Method: "GET", Target: path, Proto: "HTTP/1.0", Host: host}
+	if err := req.Write(conn); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return httpwire.ReadResponse(bufio.NewReader(conn))
+}
+
+func TestRelayEndToEnd(t *testing.T) {
+	addr, srv := cluster(t, 2, defaultSubs(), core.Config{})
+	resp, err := get(t, addr, "www.site1.example", "/static/2048.html")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(resp.Body) != 2048 {
+		t.Errorf("body = %d bytes, want 2048", len(resp.Body))
+	}
+	st := srv.Stats()
+	if st.Served != 1 || st.Accepted != 1 {
+		t.Errorf("stats = %+v, want served=1", st)
+	}
+}
+
+func TestUnknownHost404(t *testing.T) {
+	addr, srv := cluster(t, 1, defaultSubs(), core.Config{})
+	resp, err := get(t, addr, "www.nope.example", "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+	if srv.Stats().Unclassified != 1 {
+		t.Errorf("unclassified = %d, want 1", srv.Stats().Unclassified)
+	}
+}
+
+func TestMalformedRequest400(t *testing.T) {
+	addr, _ := cluster(t, 1, defaultSubs(), core.Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("garbage\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if resp.StatusCode != 400 {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOverflow503(t *testing.T) {
+	subs := []qos.Subscriber{
+		{ID: "tiny", Hosts: []string{"tiny.example"}, Reservation: 1, QueueLimit: 1},
+	}
+	// A slow cycle so queued requests cannot drain between arrivals.
+	addr, srv := cluster(t, 1, subs, core.Config{Cycle: 200 * time.Millisecond})
+
+	const n = 12
+	var (
+		mu     sync.Mutex
+		counts = map[int]int{}
+		wg     sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := get(t, addr, "tiny.example", "/x")
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			counts[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if counts[503] == 0 {
+		t.Errorf("responses = %v, want some 503s under overflow", counts)
+	}
+	if srv.Stats().Rejected == 0 {
+		t.Error("rejected counter must be non-zero")
+	}
+}
+
+func TestBackendDown502(t *testing.T) {
+	// One backend that is immediately closed: dials fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	srv, err := New(Config{
+		Subscribers: defaultSubs(),
+		Backends:    []Backend{{ID: 1, Addr: deadAddr}},
+		Logger:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(dln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	resp, err := get(t, dln.Addr().String(), "www.site1.example", "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.StatusCode != 502 {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+	if srv.Stats().Errors == 0 {
+		t.Error("errors counter must be non-zero")
+	}
+}
+
+func TestAccountingFeedsScheduler(t *testing.T) {
+	addr, srv := cluster(t, 1, defaultSubs(), core.Config{})
+	for i := 0; i < 5; i++ {
+		if _, err := get(t, addr, "www.site1.example", "/static/6144.html"); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	// Wait for at least one accounting poll.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		pred, ok := srv.Scheduler().Predicted("site1")
+		if ok && pred != qos.GenericCost() {
+			// Predictor moved off its 2000-byte prior toward the measured
+			// 6544 bytes (one EWMA step: 0.3×6544 + 0.7×2000 ≈ 3363).
+			if pred.NetBytes <= 2000 {
+				t.Errorf("predicted net = %d, must move above the 2000-byte prior", pred.NetBytes)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Error("scheduler predictor never updated from backend reports")
+}
+
+func TestManyConcurrentRequestsSpreadAcrossBackends(t *testing.T) {
+	addr, srv := cluster(t, 3, defaultSubs(), core.Config{})
+	const n = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := get(t, addr, "www.site2.example", "/static/512.html")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != 200 || len(resp.Body) != 512 {
+				errs <- io.ErrUnexpectedEOF
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("request failed: %v", err)
+	}
+	if got := srv.Stats().Served; got != n {
+		t.Errorf("served = %d, want %d", got, n)
+	}
+}
+
+func TestPersistentConnectionServesMultipleRequests(t *testing.T) {
+	// P-HTTP: an HTTP/1.1 client reuses one connection for several
+	// requests, each scheduled independently.
+	addr, srv := cluster(t, 2, defaultSubs(), core.Config{})
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < 3; i++ {
+		req := &httpwire.Request{
+			Method: "GET",
+			Target: "/static/512.html",
+			Proto:  "HTTP/1.1",
+			Host:   "www.site1.example",
+		}
+		if err := req.Write(conn); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		resp, err := httpwire.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 || len(resp.Body) != 512 {
+			t.Fatalf("request %d: status %d, %d bytes", i, resp.StatusCode, len(resp.Body))
+		}
+	}
+	if got := srv.Stats().Served; got != 3 {
+		t.Errorf("served = %d, want 3 on one connection", got)
+	}
+	if got := srv.Stats().Accepted; got != 1 {
+		t.Errorf("accepted = %d, want 1 connection", got)
+	}
+}
+
+func TestWantKeepAlive(t *testing.T) {
+	tests := []struct {
+		proto, connection string
+		want              bool
+	}{
+		{"HTTP/1.1", "", true},
+		{"HTTP/1.1", "keep-alive", true},
+		{"HTTP/1.1", "close", false},
+		{"HTTP/1.1", "Close", false},
+		{"HTTP/1.0", "", false},
+		{"HTTP/1.0", "keep-alive", true},
+		{"HTTP/1.0", "Keep-Alive", true},
+	}
+	for _, tt := range tests {
+		req := &httpwire.Request{Proto: tt.proto, Header: map[string]string{}}
+		if tt.connection != "" {
+			req.Header["Connection"] = tt.connection
+		}
+		if got := wantKeepAlive(req); got != tt.want {
+			t.Errorf("wantKeepAlive(%s, %q) = %v, want %v", tt.proto, tt.connection, got, tt.want)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	addr, _ := cluster(t, 2, defaultSubs(), core.Config{})
+	if _, err := get(t, addr, "www.site1.example", "/static/100.html"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp, err := get(t, addr, "", StatsPath)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var out statsJSON
+	if err := json.Unmarshal(resp.Body, &out); err != nil {
+		t.Fatalf("stats body: %v\n%s", err, resp.Body)
+	}
+	if out.Served != 1 {
+		t.Errorf("served = %d, want 1", out.Served)
+	}
+	s1, ok := out.Subscribers["site1"]
+	if !ok {
+		t.Fatalf("stats missing site1: %+v", out.Subscribers)
+	}
+	if s1.ReservationGRPS != 500 {
+		t.Errorf("site1 reservation = %v, want 500", s1.ReservationGRPS)
+	}
+	if len(out.Nodes) != 2 {
+		t.Errorf("nodes = %d, want 2", len(out.Nodes))
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	usage := func(cpu int64, completed int) core.SubscriberUsage {
+		return core.SubscriberUsage{
+			Usage:     qos.Vector{CPUTime: time.Duration(cpu)},
+			Completed: completed,
+		}
+	}
+	prev := core.UsageReport{
+		Node:  1,
+		Total: qos.Vector{CPUTime: 100},
+		BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
+			"a": usage(100, 10),
+		},
+	}
+	cum := core.UsageReport{
+		Node:  1,
+		Total: qos.Vector{CPUTime: 130},
+		BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
+			"a": usage(120, 12),
+			"b": usage(10, 1),
+		},
+	}
+	delta := diffReports(cum, prev)
+	if delta.Total != (qos.Vector{CPUTime: 30}) {
+		t.Errorf("delta total = %v, want 30", delta.Total)
+	}
+	if got := delta.BySubscriber["a"]; got != usage(20, 2) {
+		t.Errorf("delta a = %+v, want 20/2", got)
+	}
+	if got := delta.BySubscriber["b"]; got != usage(10, 1) {
+		t.Errorf("delta b = %+v (new subscriber keeps full value)", got)
+	}
+	// Unchanged subscribers are omitted.
+	same := diffReports(cum, cum)
+	if len(same.BySubscriber) != 0 || !same.Total.IsZero() {
+		t.Errorf("identical snapshots must produce an empty delta: %+v", same)
+	}
+	// A restarted backend (counters going backwards) resets the baseline.
+	restarted := diffReports(prev, cum)
+	if restarted.Total != prev.Total {
+		t.Errorf("restart delta total = %v, want fresh cumulative %v", restarted.Total, prev.Total)
+	}
+	if got := restarted.BySubscriber["a"]; got != usage(100, 10) {
+		t.Errorf("restart delta a = %+v, want fresh cumulative", got)
+	}
+}
+
+func TestAccountingSurvivesLostPolls(t *testing.T) {
+	// Two requests, then a poll; the backend serves cumulative counters, so
+	// even if earlier polls were lost, the dispatcher's delta accounts for
+	// everything since its last successful poll.
+	addr, srv := cluster(t, 1, defaultSubs(), core.Config{})
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, addr, "www.site1.example", "/static/1000.html"); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if out, ok := srv.Scheduler().Outstanding(1); ok && out.IsZero() && srv.Stats().Served == 3 {
+			return // all usage accounted: outstanding fully released
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	out, _ := srv.Scheduler().Outstanding(1)
+	t.Errorf("outstanding after all completions = %v, want zero", out)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Subscribers: defaultSubs()}); err == nil {
+		t.Error("missing backends must be rejected")
+	}
+	if _, err := New(Config{Backends: []Backend{{ID: 1, Addr: "x"}}}); err == nil {
+		t.Error("missing subscribers must be rejected")
+	}
+}
+
+func TestUnhealthyBackendDisabledThenRecovered(t *testing.T) {
+	// One live backend and one dead address. After the health threshold,
+	// the scheduler must stop picking the dead node so requests stop
+	// hitting 502s.
+	liveLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	be := backend.New(backend.Config{Node: 1})
+	go func() { _ = be.Serve(liveLn) }()
+	t.Cleanup(func() { _ = be.Close() })
+
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	srv, err := New(Config{
+		Subscribers: defaultSubs(),
+		Backends: []Backend{
+			{ID: 1, Addr: liveLn.Addr().String()},
+			{ID: 2, Addr: deadAddr},
+		},
+		AcctCycle: 30 * time.Millisecond,
+		Logger:    log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// The accounting poller hits the dead backend every 30 ms: within a few
+	// cycles it crosses the failure threshold and disables node 2.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && srv.Scheduler().NodeEnabled(2) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if srv.Scheduler().NodeEnabled(2) {
+		t.Fatal("dead node 2 was never disabled")
+	}
+	// All requests now succeed via the healthy node.
+	for i := 0; i < 6; i++ {
+		resp, err := get(t, ln.Addr().String(), "www.site1.example", "/static/256.html")
+		if err != nil {
+			t.Fatalf("get after disable: %v", err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("status after disable = %d, want 200", resp.StatusCode)
+		}
+	}
+	if srv.Scheduler().NodeEnabled(2) {
+		t.Error("node 2 must stay disabled while unreachable")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	_, srv := cluster(t, 1, defaultSubs(), core.Config{})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package httpwire implements the minimal HTTP/1.x wire subset Gage needs:
+// parsing a request head (request line + headers + optional Content-Length
+// body) to extract the Host and path for classification, and writing
+// well-formed requests and responses. It is intentionally small — the
+// dispatcher only routes bytes; origin-server semantics live in the
+// backends.
+package httpwire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/textproto"
+	"strconv"
+	"strings"
+)
+
+// Parse errors.
+var (
+	// ErrMalformedRequest reports an unparseable request head.
+	ErrMalformedRequest = errors.New("httpwire: malformed request")
+	// ErrMalformedResponse reports an unparseable response head.
+	ErrMalformedResponse = errors.New("httpwire: malformed response")
+	// ErrBodyTooLarge reports a Content-Length beyond the configured cap.
+	ErrBodyTooLarge = errors.New("httpwire: body too large")
+)
+
+// MaxBodyBytes caps bodies read into memory.
+const MaxBodyBytes = 16 << 20
+
+// Request is a parsed HTTP request.
+type Request struct {
+	Method string
+	// Target is the request-target as sent (path or absolute URL).
+	Target string
+	Proto  string
+	// Host is resolved from an absolute request-target or the Host header.
+	Host   string
+	Header map[string]string
+	Body   []byte
+}
+
+// Path returns the path component of the request target.
+func (r *Request) Path() string {
+	t := r.Target
+	if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") {
+		rest := t[strings.Index(t, "//")+2:]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return rest[i:]
+		}
+		return "/"
+	}
+	return t
+}
+
+// ReadRequest parses one request (head and Content-Length body) from r.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return nil, fmt.Errorf("%w: request line %q", ErrMalformedRequest, line)
+	}
+	req := &Request{
+		Method: parts[0],
+		Target: parts[1],
+		Proto:  parts[2],
+		Header: make(map[string]string),
+	}
+	if !strings.HasPrefix(req.Proto, "HTTP/") {
+		return nil, fmt.Errorf("%w: protocol %q", ErrMalformedRequest, req.Proto)
+	}
+	if err := readHeaders(r, req.Header); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedRequest, err)
+	}
+	req.Host = hostOf(req.Target, req.Header)
+	body, err := readBody(r, req.Header)
+	if err != nil {
+		return nil, err
+	}
+	req.Body = body
+	return req, nil
+}
+
+// ParseRequest parses a request from a byte slice (the splicer's URL-packet
+// payload). A request head that is complete but has a short body is still
+// an error: the splicer only dispatches whole requests.
+func ParseRequest(b []byte) (*Request, error) {
+	return ReadRequest(bufio.NewReader(bytes.NewReader(b)))
+}
+
+// Write serializes the request, normalizing Host into a header.
+func (r *Request) Write(w io.Writer) error {
+	var buf bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.0"
+	}
+	fmt.Fprintf(&buf, "%s %s %s\r\n", r.Method, r.Target, proto)
+	if r.Host != "" {
+		fmt.Fprintf(&buf, "Host: %s\r\n", r.Host)
+	}
+	writeHeaders(&buf, r.Header, len(r.Body), "Host")
+	buf.Write(r.Body)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Proto      string
+	StatusCode int
+	Status     string
+	Header     map[string]string
+	Body       []byte
+}
+
+// ReadResponse parses one response from r.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: status line %q", ErrMalformedResponse, line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: status code %q", ErrMalformedResponse, parts[1])
+	}
+	resp := &Response{
+		Proto:      parts[0],
+		StatusCode: code,
+		Header:     make(map[string]string),
+	}
+	if len(parts) == 3 {
+		resp.Status = parts[2]
+	}
+	if err := readHeaders(r, resp.Header); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedResponse, err)
+	}
+	body, err := readBody(r, resp.Header)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+// Write serializes the response with a correct Content-Length.
+func (r *Response) Write(w io.Writer) error {
+	var buf bytes.Buffer
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.0"
+	}
+	status := r.Status
+	if status == "" {
+		status = StatusText(r.StatusCode)
+	}
+	fmt.Fprintf(&buf, "%s %d %s\r\n", proto, r.StatusCode, status)
+	writeHeaders(&buf, r.Header, len(r.Body))
+	buf.Write(r.Body)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// StatusText returns standard reason phrases for the codes Gage emits.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func readHeaders(r *bufio.Reader, into map[string]string) error {
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if line == "" {
+			return nil
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("header line %q", line)
+		}
+		into[textproto.CanonicalMIMEHeaderKey(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+}
+
+func readBody(r *bufio.Reader, header map[string]string) ([]byte, error) {
+	cl, ok := header["Content-Length"]
+	if !ok {
+		return nil, nil
+	}
+	n, err := strconv.ParseInt(cl, 10, 64)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: content-length %q", ErrMalformedRequest, cl)
+	}
+	if n > MaxBodyBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBodyTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("httpwire: short body: %w", err)
+	}
+	return body, nil
+}
+
+func writeHeaders(buf *bytes.Buffer, header map[string]string, bodyLen int, skip ...string) {
+	keys := make([]string, 0, len(header))
+outer:
+	for k := range header {
+		for _, s := range skip {
+			if k == s {
+				continue outer
+			}
+		}
+		if k == "Content-Length" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	// Deterministic header order.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(buf, "%s: %s\r\n", k, header[k])
+	}
+	if bodyLen > 0 || header["Content-Length"] != "" {
+		fmt.Fprintf(buf, "Content-Length: %d\r\n", bodyLen)
+	}
+	buf.WriteString("\r\n")
+}
+
+func hostOf(target string, header map[string]string) string {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		rest := target[strings.Index(target, "//")+2:]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return rest[:i]
+		}
+		return rest
+	}
+	return header["Host"]
+}

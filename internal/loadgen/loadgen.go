@@ -1,0 +1,186 @@
+// Package loadgen is an open-loop constant-rate HTTP load generator in the
+// style of Banga & Druschel's "Measuring the Capacity of a Web Server" — the
+// client model the paper uses (§4): requests are issued at a fixed rate
+// regardless of completions, so an overloaded server cannot slow the offered
+// load down.
+package loadgen
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gage/internal/httpwire"
+)
+
+// Target is the request the generator repeats.
+type Target struct {
+	// Addr is the dispatcher's host:port.
+	Addr string
+	// Host is the virtual host (the classification key).
+	Host string
+	// Path is the request path; a "*" is replaced with a random page size,
+	// exercising distinct URLs.
+	Path string
+}
+
+// Options paces the run.
+type Options struct {
+	// Rate is requests per second.
+	Rate float64
+	// Duration is how long to generate.
+	Duration time.Duration
+	// MaxInFlight bounds concurrent requests (default 512); arrivals beyond
+	// it are counted as shed, keeping the generator itself open-loop.
+	MaxInFlight int
+	// Timeout bounds each request (default 10 s).
+	Timeout time.Duration
+	// Seed randomizes "*" path substitution.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Sent is how many requests were issued (excluding shed ones).
+	Sent int
+	// Shed is how many arrivals were dropped at the in-flight cap.
+	Shed int
+	// StatusCounts maps HTTP status to count; transport failures are -1.
+	StatusCounts map[int]int
+	// AchievedOK is successful (HTTP 200) responses per second.
+	AchievedOK float64
+	// MeanLatency and P95Latency cover successful responses.
+	MeanLatency time.Duration
+	P95Latency  time.Duration
+}
+
+// OK returns the number of HTTP-200 responses.
+func (r Result) OK() int { return r.StatusCounts[200] }
+
+// Run drives the target at the configured rate and blocks until all issued
+// requests resolve.
+func Run(target Target, opts Options) (Result, error) {
+	if opts.Rate <= 0 {
+		return Result{}, errors.New("loadgen: rate must be positive")
+	}
+	if opts.Duration <= 0 {
+		return Result{}, errors.New("loadgen: duration must be positive")
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 512
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var (
+		wg       sync.WaitGroup
+		inFlight atomic.Int64
+		shed     atomic.Int64
+
+		mu        sync.Mutex
+		statuses  = make(map[int]int)
+		latencies []float64
+	)
+	record := func(code int, latency time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		statuses[code]++
+		if code == 200 {
+			latencies = append(latencies, latency.Seconds())
+		}
+	}
+
+	gap := time.Duration(float64(time.Second) / opts.Rate)
+	n := int(opts.Duration / gap)
+	sent := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		// Open loop: wait until this arrival's scheduled instant.
+		sleepUntil := start.Add(time.Duration(i+1) * gap)
+		if d := time.Until(sleepUntil); d > 0 {
+			time.Sleep(d)
+		}
+		if inFlight.Load() >= int64(opts.MaxInFlight) {
+			shed.Add(1)
+			continue
+		}
+		sent++
+		path := target.Path
+		if path == "" {
+			path = "/index.html"
+		}
+		if path == "*" {
+			path = fmt.Sprintf("/static/%d.html", 512+rng.Intn(8192))
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			issued := time.Now()
+			code := fetch(target.Addr, target.Host, path, opts.Timeout)
+			record(code, time.Since(issued))
+		}(path)
+	}
+	wg.Wait()
+
+	res := Result{
+		Sent:         sent,
+		Shed:         int(shed.Load()),
+		StatusCounts: statuses,
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		res.AchievedOK = float64(statuses[200]) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		res.MeanLatency = time.Duration(mean(latencies) * float64(time.Second))
+		res.P95Latency = time.Duration(percentile(latencies, 95) * float64(time.Second))
+	}
+	return res, nil
+}
+
+// fetch performs one HTTP/1.0 request and returns the status code, or -1 on
+// transport failure.
+func fetch(addr, host, path string, timeout time.Duration) int {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return -1
+	}
+	defer conn.Close()
+	// The deadline bounds the whole exchange.
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	req := &httpwire.Request{Method: "GET", Target: path, Proto: "HTTP/1.0", Host: host}
+	if err := req.Write(conn); err != nil {
+		return -1
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		return -1
+	}
+	return resp.StatusCode
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func percentile(xs []float64, p float64) float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}

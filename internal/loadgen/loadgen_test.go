@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"io"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"gage/internal/backend"
+	"gage/internal/dispatch"
+	"gage/internal/qos"
+)
+
+// liveCluster starts one backend plus a dispatcher and returns its address.
+func liveCluster(t *testing.T, subs []qos.Subscriber) string {
+	t.Helper()
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	be := backend.New(backend.Config{Node: 1})
+	go func() { _ = be.Serve(bln) }()
+	t.Cleanup(func() { _ = be.Close() })
+
+	srv, err := dispatch.New(dispatch.Config{
+		Subscribers: subs,
+		Backends:    []dispatch.Backend{{ID: 1, Addr: bln.Addr().String()}},
+		AcctCycle:   50 * time.Millisecond,
+		Logger:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(dln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return dln.Addr().String()
+}
+
+func TestRunAgainstLiveCluster(t *testing.T) {
+	addr := liveCluster(t, []qos.Subscriber{
+		{ID: "site1", Hosts: []string{"site1.example"}, Reservation: 500},
+	})
+	res, err := Run(
+		Target{Addr: addr, Host: "site1.example", Path: "/static/1024.html"},
+		Options{Rate: 100, Duration: time.Second},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Sent < 90 || res.Sent > 100 {
+		t.Errorf("sent = %d, want ≈100", res.Sent)
+	}
+	if ok := res.OK(); ok < res.Sent*9/10 {
+		t.Errorf("ok = %d of %d, want ≥90%%", ok, res.Sent)
+	}
+	if res.MeanLatency <= 0 || res.P95Latency < res.MeanLatency/2 {
+		t.Errorf("latencies = mean %v p95 %v", res.MeanLatency, res.P95Latency)
+	}
+	if res.Shed != 0 {
+		t.Errorf("shed = %d, want 0 at this trivial rate", res.Shed)
+	}
+}
+
+func TestRandomPaths(t *testing.T) {
+	addr := liveCluster(t, []qos.Subscriber{
+		{ID: "site1", Hosts: []string{"site1.example"}, Reservation: 500},
+	})
+	res, err := Run(
+		Target{Addr: addr, Host: "site1.example", Path: "*"},
+		Options{Rate: 50, Duration: 500 * time.Millisecond, Seed: 7},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.OK() == 0 {
+		t.Errorf("no successful responses: %+v", res.StatusCounts)
+	}
+}
+
+func TestLiveQoSIsolation(t *testing.T) {
+	// A live miniature of Table 1 on real sockets: vip inside its
+	// reservation stays error-free while hog floods a tiny queue.
+	addr := liveCluster(t, []qos.Subscriber{
+		{ID: "vip", Hosts: []string{"vip.example"}, Reservation: 400},
+		{ID: "hog", Hosts: []string{"hog.example"}, Reservation: 5, QueueLimit: 4},
+	})
+	type out struct {
+		res Result
+		err error
+	}
+	vipCh := make(chan out, 1)
+	hogCh := make(chan out, 1)
+	go func() {
+		r, err := Run(Target{Addr: addr, Host: "vip.example", Path: "/static/512.html"},
+			Options{Rate: 80, Duration: 2 * time.Second})
+		vipCh <- out{r, err}
+	}()
+	go func() {
+		r, err := Run(Target{Addr: addr, Host: "hog.example", Path: "/static/512.html"},
+			Options{Rate: 300, Duration: 2 * time.Second, Timeout: 3 * time.Second})
+		hogCh <- out{r, err}
+	}()
+	vip, hog := <-vipCh, <-hogCh
+	if vip.err != nil || hog.err != nil {
+		t.Fatalf("run errors: %v / %v", vip.err, hog.err)
+	}
+	if ok := vip.res.OK(); ok < vip.res.Sent*9/10 {
+		t.Errorf("vip ok = %d of %d, want ≥90%% despite hog flood (statuses %v)",
+			ok, vip.res.Sent, vip.res.StatusCounts)
+	}
+	if hog.res.StatusCounts[503] == 0 {
+		t.Errorf("hog must see 503s at 300 req/s against a 5-GRPS reservation: %v",
+			hog.res.StatusCounts)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Target{}, Options{Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+	if _, err := Run(Target{}, Options{Rate: 1}); err == nil {
+		t.Error("zero duration must be rejected")
+	}
+}
+
+func TestTransportFailuresCounted(t *testing.T) {
+	// Nothing listens on this address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	res, err := Run(Target{Addr: dead, Host: "h", Path: "/"},
+		Options{Rate: 50, Duration: 200 * time.Millisecond, Timeout: time.Second})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.StatusCounts[-1] == 0 {
+		t.Errorf("transport failures not counted: %v", res.StatusCounts)
+	}
+}

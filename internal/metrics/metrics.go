@@ -1,0 +1,218 @@
+// Package metrics collects throughput and stability measurements for Gage
+// experiments: per-subscriber served/dropped counters and the
+// deviation-from-reservation statistic that the paper plots in Figure 3.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// Sample is one recorded completion: at offset t from the measurement start,
+// units of work (in generic-request units) were delivered.
+type Sample struct {
+	// T is the offset from the start of the measurement window.
+	T time.Duration
+	// Units is the amount of service delivered, in generic-request units.
+	Units float64
+}
+
+// Series accumulates completion samples for a single subscriber.
+// The zero value is ready to use.
+type Series struct {
+	samples []Sample
+}
+
+// Record appends a sample. Offsets should be non-decreasing, but Series
+// tolerates out-of-order recording (it sorts lazily when queried).
+func (s *Series) Record(t time.Duration, units float64) {
+	s.samples = append(s.samples, Sample{T: t, Units: units})
+}
+
+// Len returns the number of recorded samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Total returns the sum of all recorded units.
+func (s *Series) Total() float64 {
+	var sum float64
+	for _, x := range s.samples {
+		sum += x.Units
+	}
+	return sum
+}
+
+// Rate returns the average delivery rate in units/sec over the window.
+func (s *Series) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return s.Total() / window.Seconds()
+}
+
+// sorted returns samples ordered by offset.
+func (s *Series) sorted() []Sample {
+	if sort.SliceIsSorted(s.samples, func(i, j int) bool { return s.samples[i].T < s.samples[j].T }) {
+		return s.samples
+	}
+	cp := make([]Sample, len(s.samples))
+	copy(cp, s.samples)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].T < cp[j].T })
+	return cp
+}
+
+// IntervalRates bins the window [0, window) into consecutive intervals of the
+// given length and returns the delivery rate (units/sec) in each complete
+// interval. A trailing partial interval is discarded.
+func (s *Series) IntervalRates(window, interval time.Duration) []float64 {
+	if interval <= 0 || window < interval {
+		return nil
+	}
+	n := int(window / interval)
+	rates := make([]float64, n)
+	for _, x := range s.sorted() {
+		if x.T < 0 || x.T >= time.Duration(n)*interval {
+			continue
+		}
+		rates[int(x.T/interval)] += x.Units
+	}
+	sec := interval.Seconds()
+	for i := range rates {
+		rates[i] /= sec
+	}
+	return rates
+}
+
+// DeviationFromReservation computes the paper's Figure-3 statistic for this
+// subscriber: the mean over complete averaging intervals of
+// |measured rate − reservation| / reservation, as a fraction (0.08 = 8%).
+func (s *Series) DeviationFromReservation(res qos.GRPS, window, interval time.Duration) (float64, error) {
+	if res <= 0 {
+		return 0, fmt.Errorf("metrics: reservation must be positive, got %v", res)
+	}
+	rates := s.IntervalRates(window, interval)
+	if len(rates) == 0 {
+		return 0, fmt.Errorf("metrics: window %v too short for interval %v", window, interval)
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += math.Abs(r-float64(res)) / float64(res)
+	}
+	return sum / float64(len(rates)), nil
+}
+
+// Throughput tracks per-subscriber offered/served/dropped totals, in
+// generic-request units, over one experiment run.
+type Throughput struct {
+	offered map[qos.SubscriberID]float64
+	served  map[qos.SubscriberID]float64
+	dropped map[qos.SubscriberID]float64
+}
+
+// NewThroughput returns an empty accumulator.
+func NewThroughput() *Throughput {
+	return &Throughput{
+		offered: make(map[qos.SubscriberID]float64),
+		served:  make(map[qos.SubscriberID]float64),
+		dropped: make(map[qos.SubscriberID]float64),
+	}
+}
+
+// Offered records units of offered load for a subscriber.
+func (t *Throughput) Offered(id qos.SubscriberID, units float64) { t.offered[id] += units }
+
+// Served records units of completed service for a subscriber.
+func (t *Throughput) Served(id qos.SubscriberID, units float64) { t.served[id] += units }
+
+// Dropped records units of dropped load for a subscriber.
+func (t *Throughput) Dropped(id qos.SubscriberID, units float64) { t.dropped[id] += units }
+
+// Row summarizes one subscriber's totals converted to rates.
+type Row struct {
+	ID          qos.SubscriberID
+	OfferedRate float64 // units/sec
+	ServedRate  float64 // units/sec
+	DroppedRate float64 // units/sec
+}
+
+// Rows returns per-subscriber rates over the given run duration, ordered by
+// subscriber ID for stable output.
+func (t *Throughput) Rows(run time.Duration) []Row {
+	ids := make([]qos.SubscriberID, 0, len(t.offered))
+	seen := make(map[qos.SubscriberID]bool, len(t.offered))
+	for _, m := range []map[qos.SubscriberID]float64{t.offered, t.served, t.dropped} {
+		for id := range m {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sec := run.Seconds()
+	rows := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		r := Row{ID: id}
+		if sec > 0 {
+			r.OfferedRate = t.offered[id] / sec
+			r.ServedRate = t.served[id] / sec
+			r.DroppedRate = t.dropped[id] / sec
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; it returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	pos := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}

@@ -1,0 +1,495 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gage/internal/vclock"
+)
+
+// MSS is the maximum payload per TCP-lite segment.
+const MSS = 1460
+
+// Retransmission parameters: a fixed retransmission timeout (the simulated
+// LAN has no RTT variance worth estimating) and a give-up bound.
+const (
+	// RTO is the Go-Back-N retransmission timeout.
+	RTO = 200 * time.Millisecond
+	// MaxRetries closes a connection that cannot get anything through.
+	MaxRetries = 10
+)
+
+// connState is the TCP-lite connection state.
+type connState int
+
+const (
+	stateSynSent connState = iota + 1
+	stateSynRcvd
+	stateEstablished
+	stateFinWait // we sent FIN; retransmission continues until acked
+	stateClosed
+)
+
+// Conn is one TCP-lite connection endpoint.
+type Conn struct {
+	stack *Stack
+	state connState
+
+	localPort  uint16
+	remoteIP   IPAddr
+	remotePort uint16
+	remoteMAC  MAC
+
+	sndNxt uint32 // next sequence number to send
+	rcvNxt uint32 // next sequence number expected
+
+	// Go-Back-N sender state: unacknowledged segments in send order, the
+	// running retransmission timer, and the consecutive-timeout count.
+	retxq     []Packet
+	retxTimer *vclock.Timer
+	retries   int
+
+	// OnData is called with each in-order payload delivered to this
+	// endpoint. Set before data can arrive (at accept/connect time).
+	OnData func(c *Conn, data []byte)
+	// OnEstablished fires when the handshake completes.
+	OnEstablished func(c *Conn)
+	// OnClose fires when the peer's FIN is processed.
+	OnClose func(c *Conn)
+}
+
+// State helpers for tests.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.state == stateClosed }
+
+// LocalPort returns the endpoint's port.
+func (c *Conn) LocalPort() uint16 { return c.localPort }
+
+// RemoteAddr returns the peer's IP and port.
+func (c *Conn) RemoteAddr() (IPAddr, uint16) { return c.remoteIP, c.remotePort }
+
+// SndNxt exposes the sender sequence state (the splicer needs it).
+func (c *Conn) SndNxt() uint32 { return c.sndNxt }
+
+// RcvNxt exposes the receiver sequence state.
+func (c *Conn) RcvNxt() uint32 { return c.rcvNxt }
+
+// Send transmits application data, segmented to the MSS. It is a no-op on a
+// connection that is not established.
+func (c *Conn) Send(data []byte) {
+	if c.state != stateEstablished {
+		return
+	}
+	for len(data) > 0 {
+		n := len(data)
+		if n > MSS {
+			n = MSS
+		}
+		seg := data[:n]
+		data = data[n:]
+		// Sequence state advances before transmission: transmit may
+		// synchronously re-enter the stack (the LSM's egress hook injects
+		// packets back), and the stream must already be consistent then.
+		seq := c.sndNxt
+		c.sndNxt += uint32(n)
+		c.sendTracked(Packet{
+			SrcMAC:  c.stack.mac,
+			DstMAC:  c.remoteMAC,
+			SrcIP:   c.stack.ip,
+			DstIP:   c.remoteIP,
+			SrcPort: c.localPort,
+			DstPort: c.remotePort,
+			Seq:     seq,
+			Ack:     c.rcvNxt,
+			Flags:   ACK | PSH,
+			Payload: seg,
+		})
+	}
+}
+
+// Close sends a FIN and enters FIN-WAIT: unacknowledged data (and the FIN
+// itself) keep retransmitting until the peer has everything, then the
+// connection finalizes.
+func (c *Conn) Close() {
+	if c.state != stateEstablished && c.state != stateSynRcvd {
+		return
+	}
+	seq := c.sndNxt
+	c.sndNxt++
+	c.state = stateFinWait
+	c.sendTracked(Packet{
+		SrcMAC:  c.stack.mac,
+		DstMAC:  c.remoteMAC,
+		SrcIP:   c.stack.ip,
+		DstIP:   c.remoteIP,
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Seq:     seq,
+		Ack:     c.rcvNxt,
+		Flags:   FIN | ACK,
+	})
+	// A lossless same-instant ack may already have finalized us; otherwise
+	// the ACK-processing path finalizes when the queue drains.
+	c.maybeFinalize()
+}
+
+// maybeFinalize completes a FIN-WAIT close once nothing is left in flight.
+func (c *Conn) maybeFinalize() {
+	if c.state != stateFinWait || len(c.retxq) != 0 {
+		return
+	}
+	c.state = stateClosed
+	delete(c.stack.conns, connKey{ip: c.remoteIP, port: c.remotePort, local: c.localPort})
+	if c.retxTimer != nil {
+		c.retxTimer.Stop()
+		c.retxTimer = nil
+	}
+}
+
+// sendTracked transmits a retransmittable segment (SYN, SYNACK, data): it
+// joins the Go-Back-N queue and arms the retransmission timer.
+func (c *Conn) sendTracked(pkt Packet) {
+	c.retxq = append(c.retxq, pkt)
+	c.armRetx()
+	c.stack.transmit(pkt)
+}
+
+func (c *Conn) armRetx() {
+	if c.retxTimer != nil {
+		return
+	}
+	c.retxTimer = c.stack.netw.Timer(RTO, c.onRetxTimeout)
+}
+
+// onRetxTimeout resends everything unacknowledged (Go-Back-N) or gives up
+// after MaxRetries consecutive silent timeouts.
+func (c *Conn) onRetxTimeout() {
+	c.retxTimer = nil
+	if c.state == stateClosed || len(c.retxq) == 0 {
+		return
+	}
+	c.retries++
+	if c.retries > MaxRetries {
+		c.state = stateClosed
+		delete(c.stack.conns, connKey{ip: c.remoteIP, port: c.remotePort, local: c.localPort})
+		if c.OnClose != nil {
+			c.OnClose(c)
+		}
+		return
+	}
+	for _, pkt := range c.retxq {
+		pkt.Ack = c.rcvNxt // refresh the cumulative acknowledgement
+		c.stack.transmit(pkt)
+	}
+	c.armRetx()
+}
+
+// processAck advances the Go-Back-N window past fully acknowledged segments.
+func (c *Conn) processAck(ack uint32) {
+	popped := false
+	for len(c.retxq) > 0 && seqLE(seqEnd(c.retxq[0]), ack) {
+		c.retxq = c.retxq[1:]
+		popped = true
+	}
+	if popped {
+		c.retries = 0
+		if len(c.retxq) == 0 && c.retxTimer != nil {
+			c.retxTimer.Stop()
+			c.retxTimer = nil
+		}
+		c.maybeFinalize()
+	}
+}
+
+// seqEnd returns the sequence number just past a segment (SYN and FIN each
+// occupy one sequence slot).
+func seqEnd(pkt Packet) uint32 {
+	end := pkt.Seq + uint32(len(pkt.Payload))
+	if pkt.Flags.Has(SYN) || pkt.Flags.Has(FIN) {
+		end++
+	}
+	return end
+}
+
+// seqLE compares sequence numbers modulo 2³².
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// connKey demultiplexes incoming packets to connections.
+type connKey struct {
+	ip    IPAddr
+	port  uint16
+	local uint16
+}
+
+// Stack is one host's TCP-lite stack: a NIC (MAC + IP), listeners, and live
+// connections. It implements Receiver.
+type Stack struct {
+	netw *Network
+	mac  MAC
+	ip   IPAddr
+
+	listeners map[uint16]func(*Conn)
+	conns     map[connKey]*Conn
+
+	nextEphemeral uint16
+	nextISN       uint32
+
+	// egress overrides frame transmission; the local service manager hooks
+	// here to remap outgoing packets. nil sends straight to the network.
+	egress func(Packet)
+
+	// arp resolves IPs to MACs via the network's registry.
+	arp func(IPAddr) (MAC, bool)
+}
+
+// NewStack creates a host stack and attaches it to the network.
+func NewStack(n *Network, mac MAC, ip IPAddr) (*Stack, error) {
+	s := newStack(n, mac, ip)
+	if err := n.Attach(mac, s); err != nil {
+		return nil, err
+	}
+	if err := n.RegisterIP(ip, mac); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewDetachedStack creates a stack that is NOT attached to the network: it
+// neither receives frames nor owns an ARP binding. Gage's local service
+// manager interposes one of these behind each RPN's NIC, feeding it remapped
+// frames via Receive and intercepting its output via SetEgress.
+func NewDetachedStack(n *Network, mac MAC, ip IPAddr) *Stack {
+	return newStack(n, mac, ip)
+}
+
+func newStack(n *Network, mac MAC, ip IPAddr) *Stack {
+	return &Stack{
+		netw:          n,
+		mac:           mac,
+		ip:            ip,
+		listeners:     make(map[uint16]func(*Conn)),
+		conns:         make(map[connKey]*Conn),
+		nextEphemeral: 49152,
+		nextISN:       1000,
+		arp:           n.Resolve,
+	}
+}
+
+var _ Receiver = (*Stack)(nil)
+
+// MAC returns the stack's link-layer address.
+func (s *Stack) MAC() MAC { return s.mac }
+
+// IP returns the stack's network-layer address.
+func (s *Stack) IP() IPAddr { return s.ip }
+
+// SetEgress diverts all transmitted frames through fn (the LSM hook).
+func (s *Stack) SetEgress(fn func(Packet)) { s.egress = fn }
+
+// transmit sends a frame via the egress hook or straight to the network.
+func (s *Stack) transmit(pkt Packet) {
+	if s.egress != nil {
+		s.egress(pkt)
+		return
+	}
+	s.netw.Send(pkt)
+}
+
+// Listen registers an accept callback for a port. The callback fires when a
+// new connection completes its handshake.
+func (s *Stack) Listen(port uint16, accept func(*Conn)) error {
+	if _, dup := s.listeners[port]; dup {
+		return fmt.Errorf("netsim: port %d already listening on %s", port, s.ip)
+	}
+	s.listeners[port] = accept
+	return nil
+}
+
+// Connect opens a connection to the remote address. The returned Conn fires
+// OnEstablished when the handshake completes.
+func (s *Stack) Connect(remoteIP IPAddr, remotePort uint16) (*Conn, error) {
+	mac, ok := s.arp(remoteIP)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, remoteIP)
+	}
+	port := s.allocPort()
+	c := &Conn{
+		stack:      s,
+		state:      stateSynSent,
+		localPort:  port,
+		remoteIP:   remoteIP,
+		remotePort: remotePort,
+		remoteMAC:  mac,
+		sndNxt:     s.allocISN(),
+	}
+	s.conns[connKey{ip: remoteIP, port: remotePort, local: port}] = c
+	seq := c.sndNxt
+	c.sndNxt++
+	c.sendTracked(Packet{
+		SrcMAC:  s.mac,
+		DstMAC:  mac,
+		SrcIP:   s.ip,
+		DstIP:   remoteIP,
+		SrcPort: port,
+		DstPort: remotePort,
+		Seq:     seq,
+		Flags:   SYN,
+	})
+	return c, nil
+}
+
+func (s *Stack) allocPort() uint16 {
+	p := s.nextEphemeral
+	s.nextEphemeral++
+	if s.nextEphemeral == 0 {
+		s.nextEphemeral = 49152
+	}
+	return p
+}
+
+func (s *Stack) allocISN() uint32 {
+	isn := s.nextISN
+	s.nextISN += 64007 // odd stride walks the space
+	return isn
+}
+
+// Receive implements Receiver: the TCP-lite input state machine.
+func (s *Stack) Receive(pkt Packet) {
+	key := connKey{ip: pkt.SrcIP, port: pkt.SrcPort, local: pkt.DstPort}
+	if c, ok := s.conns[key]; ok {
+		s.deliver(c, pkt)
+		return
+	}
+	// New connection? Only a bare SYN to a listening port opens one.
+	if pkt.Flags.Has(SYN) && !pkt.Flags.Has(ACK) {
+		accept, ok := s.listeners[pkt.DstPort]
+		if !ok {
+			return // no listener: silently dropped (no RST in TCP-lite)
+		}
+		c := &Conn{
+			stack:      s,
+			state:      stateSynRcvd,
+			localPort:  pkt.DstPort,
+			remoteIP:   pkt.SrcIP,
+			remotePort: pkt.SrcPort,
+			remoteMAC:  pkt.SrcMAC,
+			sndNxt:     s.allocISN(),
+			rcvNxt:     pkt.Seq + 1,
+		}
+		s.conns[key] = c
+		// Stash the accept callback to fire at establishment.
+		onEst := c.OnEstablished
+		c.OnEstablished = func(conn *Conn) {
+			accept(conn)
+			if onEst != nil {
+				onEst(conn)
+			}
+		}
+		seq := c.sndNxt
+		c.sndNxt++
+		c.sendTracked(Packet{
+			SrcMAC:  s.mac,
+			DstMAC:  c.remoteMAC,
+			SrcIP:   s.ip,
+			DstIP:   c.remoteIP,
+			SrcPort: c.localPort,
+			DstPort: c.remotePort,
+			Seq:     seq,
+			Ack:     c.rcvNxt,
+			Flags:   SYN | ACK,
+		})
+	}
+}
+
+// deliver advances an existing connection's state machine.
+func (s *Stack) deliver(c *Conn, pkt Packet) {
+	if pkt.Flags.Has(ACK) {
+		c.processAck(pkt.Ack)
+	}
+	switch c.state {
+	case stateSynSent:
+		if pkt.Flags.Has(SYN | ACK) {
+			c.rcvNxt = pkt.Seq + 1
+			c.remoteMAC = pkt.SrcMAC
+			c.state = stateEstablished
+			s.transmit(Packet{
+				SrcMAC:  s.mac,
+				DstMAC:  c.remoteMAC,
+				SrcIP:   s.ip,
+				DstIP:   c.remoteIP,
+				SrcPort: c.localPort,
+				DstPort: c.remotePort,
+				Seq:     c.sndNxt,
+				Ack:     c.rcvNxt,
+				Flags:   ACK,
+			})
+			if c.OnEstablished != nil {
+				c.OnEstablished(c)
+			}
+		}
+	case stateSynRcvd:
+		if pkt.Flags.Has(ACK) {
+			c.state = stateEstablished
+			if c.OnEstablished != nil {
+				c.OnEstablished(c)
+			}
+		}
+		// A data-bearing first ACK falls through to payload handling.
+		fallthrough
+	case stateEstablished:
+		c.handleSegment(pkt)
+	case stateFinWait:
+		// Only ACK bookkeeping (done above) matters; the peer's data was
+		// all delivered before we closed in this half-duplex usage.
+	case stateClosed:
+		// Late packets to a closed connection are dropped.
+	}
+}
+
+// handleSegment processes an in-sequence-checked data/FIN segment on an
+// established connection: in-order payload is delivered, an in-order FIN
+// closes, anything else (duplicate or beyond a gap) is dropped with the
+// cumulative ACK re-asserted so the Go-Back-N sender recovers.
+func (c *Conn) handleSegment(pkt Packet) {
+	inOrderData := len(pkt.Payload) > 0 && pkt.Seq == c.rcvNxt
+	if inOrderData {
+		c.rcvNxt += uint32(len(pkt.Payload))
+	}
+	finSeq := pkt.Seq + uint32(len(pkt.Payload))
+	inOrderFIN := pkt.Flags.Has(FIN) && finSeq == c.rcvNxt
+	if inOrderFIN {
+		c.rcvNxt++
+	}
+	if len(pkt.Payload) == 0 && !pkt.Flags.Has(FIN) {
+		return // pure ACK: window bookkeeping happened in deliver
+	}
+	// Acknowledge whatever the receive window now covers — this re-asserts
+	// the cumulative ACK for duplicates and out-of-order segments too.
+	c.stack.transmit(Packet{
+		SrcMAC:  c.stack.mac,
+		DstMAC:  c.remoteMAC,
+		SrcIP:   c.stack.ip,
+		DstIP:   c.remoteIP,
+		SrcPort: c.localPort,
+		DstPort: c.remotePort,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   ACK,
+	})
+	if inOrderData && c.OnData != nil {
+		c.OnData(c, pkt.Payload)
+	}
+	if inOrderFIN {
+		c.state = stateClosed
+		delete(c.stack.conns, connKey{ip: c.remoteIP, port: c.remotePort, local: c.localPort})
+		if c.OnClose != nil {
+			c.OnClose(c)
+		}
+	}
+}
+
+// ErrNoRoute is returned when an IP cannot be resolved to a MAC.
+var ErrNoRoute = errors.New("netsim: no route")

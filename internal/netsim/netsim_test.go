@@ -1,0 +1,518 @@
+package netsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gage/internal/vclock"
+)
+
+func testNet(t *testing.T) (*vclock.Engine, *Network) {
+	t.Helper()
+	e := vclock.NewEngine(time.Time{})
+	return e, NewNetwork(e, 50*time.Microsecond)
+}
+
+func mustStack(t *testing.T, n *Network, mac MAC, ip IPAddr) *Stack {
+	t.Helper()
+	s, err := NewStack(n, mac, ip)
+	if err != nil {
+		t.Fatalf("NewStack(%d, %s): %v", mac, ip, err)
+	}
+	return s
+}
+
+func run(t *testing.T, e *vclock.Engine, d time.Duration) {
+	t.Helper()
+	if err := e.RunFor(d); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	tests := []struct {
+		give Flags
+		want string
+	}{
+		{0, "-"},
+		{SYN, "S"},
+		{SYN | ACK, "SA"},
+		{FIN | ACK, "AF"},
+		{ACK | PSH, "AP"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Flags(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestIPAddrString(t *testing.T) {
+	if got := (IPAddr{10, 1, 2, 3}).String(); got != "10.1.2.3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	p := Packet{SrcIP: IPAddr{1}, DstIP: IPAddr{2}, SrcPort: 10, DstPort: 20}
+	f := p.Flow()
+	r := f.Reverse()
+	if r.SrcIP != f.DstIP || r.DstIP != f.SrcIP || r.SrcPort != f.DstPort || r.DstPort != f.SrcPort {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != f {
+		t.Error("double reverse must be identity")
+	}
+}
+
+func TestAttachRejectsDuplicateMAC(t *testing.T) {
+	_, n := testNet(t)
+	mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	if _, err := NewStack(n, 1, IPAddr{10, 0, 0, 2}); err == nil {
+		t.Error("duplicate MAC must be rejected")
+	}
+}
+
+func TestRegisterIPConflict(t *testing.T) {
+	_, n := testNet(t)
+	mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	if err := n.RegisterIP(IPAddr{10, 0, 0, 1}, 2); err == nil {
+		t.Error("IP bound to a different MAC must be rejected")
+	}
+	// Re-registering the same binding is fine.
+	if err := n.RegisterIP(IPAddr{10, 0, 0, 1}, 1); err != nil {
+		t.Errorf("idempotent RegisterIP: %v", err)
+	}
+}
+
+func TestHandshakeAndDataBothWays(t *testing.T) {
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	var serverConn *Conn
+	var serverGot bytes.Buffer
+	if err := server.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.OnData = func(_ *Conn, data []byte) {
+			serverGot.Write(data)
+			c.Send([]byte("response"))
+		}
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+
+	var clientGot bytes.Buffer
+	established := false
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	conn.OnEstablished = func(c *Conn) {
+		established = true
+		c.Send([]byte("GET / HTTP/1.0\r\n\r\n"))
+	}
+	conn.OnData = func(_ *Conn, data []byte) { clientGot.Write(data) }
+
+	run(t, e, 10*time.Millisecond)
+
+	if !established || !conn.Established() {
+		t.Fatal("client connection must establish")
+	}
+	if serverConn == nil || !serverConn.Established() {
+		t.Fatal("server connection must establish")
+	}
+	if got := serverGot.String(); got != "GET / HTTP/1.0\r\n\r\n" {
+		t.Errorf("server received %q", got)
+	}
+	if got := clientGot.String(); got != "response" {
+		t.Errorf("client received %q", got)
+	}
+}
+
+func TestLargeTransferSegmentsToMSS(t *testing.T) {
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	payload := bytes.Repeat([]byte("x"), 4*MSS+123)
+	if err := server.Listen(80, func(c *Conn) {
+		c.OnData = func(_ *Conn, _ []byte) {}
+		c.Send(payload)
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+
+	var got bytes.Buffer
+	var dataPackets int
+	n.Tap(func(p Packet) {
+		if len(p.Payload) > 0 && p.SrcPort == 80 {
+			dataPackets++
+			if len(p.Payload) > MSS {
+				t.Errorf("segment of %d bytes exceeds MSS", len(p.Payload))
+			}
+		}
+	})
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	conn.OnData = func(_ *Conn, data []byte) { got.Write(data) }
+
+	run(t, e, 100*time.Millisecond)
+
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Errorf("received %d bytes, want %d intact", got.Len(), len(payload))
+	}
+	if dataPackets != 5 {
+		t.Errorf("data segments = %d, want 5", dataPackets)
+	}
+}
+
+func TestSequenceNumbersAdvanceCorrectly(t *testing.T) {
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	if err := server.Listen(80, func(c *Conn) { c.OnData = func(*Conn, []byte) {} }); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	isnPlus1 := conn.SndNxt() // Connect consumed the SYN's sequence slot
+	conn.OnEstablished = func(c *Conn) { c.Send(make([]byte, 100)) }
+	run(t, e, 10*time.Millisecond)
+	if got := conn.SndNxt(); got != isnPlus1+100 {
+		t.Errorf("SndNxt = %d, want %d (ISN+1+payload)", got, isnPlus1+100)
+	}
+}
+
+func TestConnectUnknownIP(t *testing.T) {
+	_, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	if _, err := client.Connect(IPAddr{10, 9, 9, 9}, 80); err == nil {
+		t.Error("connecting to an unresolvable IP must fail")
+	}
+}
+
+func TestSynToNonListeningPortIgnored(t *testing.T) {
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	conn, err := client.Connect(IPAddr{10, 0, 0, 2}, 9999)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	run(t, e, 10*time.Millisecond)
+	if conn.Established() {
+		t.Error("connection to closed port must not establish")
+	}
+}
+
+func TestListenRejectsDuplicatePort(t *testing.T) {
+	_, n := testNet(t)
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+	if err := server.Listen(80, func(*Conn) {}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := server.Listen(80, func(*Conn) {}); err == nil {
+		t.Error("duplicate Listen must fail")
+	}
+}
+
+func TestCloseSendsFINAndNotifiesPeer(t *testing.T) {
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	var serverClosed bool
+	if err := server.Listen(80, func(c *Conn) {
+		c.OnClose = func(*Conn) { serverClosed = true }
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	conn.OnEstablished = func(c *Conn) { c.Close() }
+	run(t, e, 10*time.Millisecond)
+	if !conn.Closed() {
+		t.Error("client conn must be closed")
+	}
+	if !serverClosed {
+		t.Error("server must observe the FIN")
+	}
+}
+
+func TestDuplicateDataReAcked(t *testing.T) {
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	deliveries := 0
+	if err := server.Listen(80, func(c *Conn) {
+		c.OnData = func(*Conn, []byte) { deliveries++ }
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	var firstData Packet
+	haveCopy := false
+	n.Tap(func(p Packet) {
+		if len(p.Payload) > 0 && !haveCopy {
+			firstData = p
+			haveCopy = true
+		}
+	})
+	conn.OnEstablished = func(c *Conn) { c.Send([]byte("hello")) }
+	run(t, e, 5*time.Millisecond)
+	if deliveries != 1 {
+		t.Fatalf("deliveries = %d, want 1", deliveries)
+	}
+	// Replay the captured data packet: it must be re-ACKed, not re-delivered.
+	acks := 0
+	n.Tap(func(p Packet) {
+		if p.Flags.Has(ACK) && len(p.Payload) == 0 && p.SrcPort == 80 {
+			acks++
+		}
+	})
+	n.Send(firstData)
+	run(t, e, 5*time.Millisecond)
+	if deliveries != 1 {
+		t.Errorf("deliveries after replay = %d, want 1 (no duplicate delivery)", deliveries)
+	}
+	if acks == 0 {
+		t.Error("duplicate segment must be re-ACKed")
+	}
+}
+
+func TestNetworkLatencyApplied(t *testing.T) {
+	e := vclock.NewEngine(time.Time{})
+	n := NewNetwork(e, 3*time.Millisecond)
+	var deliveredAt time.Time
+	recv := receiverFunc(func(Packet) { deliveredAt = e.Now() })
+	if err := n.Attach(7, recv); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	n.Send(Packet{DstMAC: 7})
+	if err := e.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if want := (time.Time{}).Add(3 * time.Millisecond); !deliveredAt.Equal(want) {
+		t.Errorf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestSendToUnknownMACDropped(t *testing.T) {
+	e, n := testNet(t)
+	n.Send(Packet{DstMAC: 42})
+	run(t, e, time.Millisecond) // must not panic or deliver
+}
+
+type receiverFunc func(Packet)
+
+func (f receiverFunc) Receive(p Packet) { f(p) }
+
+func TestOutOfOrderFINDoesNotSkipData(t *testing.T) {
+	// Regression: a FIN arriving ahead of a lost data segment must NOT
+	// advance the receive window past the gap — the receiver re-asserts its
+	// cumulative ACK and the sender retransmits the missing data first.
+	e, n := testNet(t)
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	if err := server.Listen(80, func(c *Conn) {
+		c.OnData = func(*Conn, []byte) {}
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	run(t, e, time.Millisecond)
+	if !conn.Established() {
+		t.Fatal("not established")
+	}
+	base := conn.SndNxt()
+	// Forge the peer's view: deliver a FIN whose sequence presumes 100
+	// bytes the server never received.
+	var serverConn *Conn
+	for _, c := range server.conns {
+		serverConn = c
+	}
+	if serverConn == nil {
+		t.Fatal("no server conn")
+	}
+	before := serverConn.RcvNxt()
+	server.Receive(Packet{
+		SrcMAC: 1, DstMAC: 2,
+		SrcIP: client.IP(), DstIP: server.IP(),
+		SrcPort: conn.LocalPort(), DstPort: 80,
+		Seq: base + 100, Ack: serverConn.SndNxt(), Flags: FIN | ACK,
+	})
+	if serverConn.Closed() {
+		t.Error("out-of-order FIN must not close the connection")
+	}
+	if got := serverConn.RcvNxt(); got != before {
+		t.Errorf("rcvNxt advanced to %d past a gap, want %d", got, before)
+	}
+}
+
+func TestFinWaitRetransmitsUnackedData(t *testing.T) {
+	// A sender that closes right after sending keeps retransmitting until
+	// the receiver has everything (no data stranded by Close).
+	e := vclock.NewEngine(time.Time{})
+	n := NewNetwork(e, 50*time.Microsecond)
+	// Drop exactly the server's first response segment, nothing else.
+	first := true
+	n.SetLoss(1.0, 1)
+	n.LossExempt = func(p Packet) bool {
+		if len(p.Payload) > 0 && p.SrcPort == 80 && first {
+			first = false
+			return false // lose this one
+		}
+		return true
+	}
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+	if err := server.Listen(80, func(c *Conn) {
+		c.OnData = func(conn *Conn, _ []byte) {
+			conn.Send([]byte("full-response"))
+			conn.Close()
+		}
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var got bytes.Buffer
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	conn.OnEstablished = func(c *Conn) { c.Send([]byte("go")) }
+	conn.OnData = func(_ *Conn, data []byte) { got.Write(data) }
+	run(t, e, 5*time.Second)
+	if got.String() != "full-response" {
+		t.Errorf("received %q, want the retransmitted response", got.String())
+	}
+}
+
+func TestRetransmissionRecoversFromLoss(t *testing.T) {
+	e := vclock.NewEngine(time.Time{})
+	n := NewNetwork(e, 50*time.Microsecond)
+	n.SetLoss(0.15, 42) // drop 15% of frames
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	server := mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	payload := bytes.Repeat([]byte("y"), 6*MSS)
+	if err := server.Listen(80, func(c *Conn) {
+		c.OnData = func(conn *Conn, _ []byte) { conn.Send(payload) }
+	}); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var got bytes.Buffer
+	conn, err := client.Connect(server.IP(), 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	conn.OnEstablished = func(c *Conn) { c.Send([]byte("go")) }
+	conn.OnData = func(_ *Conn, data []byte) { got.Write(data) }
+	run(t, e, 30*time.Second) // plenty of RTOs
+
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Errorf("received %d bytes under loss, want %d intact", got.Len(), len(payload))
+	}
+	if n.Dropped() == 0 {
+		t.Error("the lossy network should actually have dropped frames")
+	}
+}
+
+func TestGiveUpAfterMaxRetries(t *testing.T) {
+	e := vclock.NewEngine(time.Time{})
+	n := NewNetwork(e, 50*time.Microsecond)
+	n.SetLoss(1.0, 1) // everything is lost
+	client := mustStack(t, n, 1, IPAddr{10, 0, 0, 1})
+	mustStack(t, n, 2, IPAddr{10, 0, 0, 2})
+
+	closed := false
+	conn, err := client.Connect(IPAddr{10, 0, 0, 2}, 80)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	conn.OnClose = func(*Conn) { closed = true }
+	run(t, e, time.Duration(MaxRetries+2)*RTO)
+	if !conn.Closed() || !closed {
+		t.Error("a connection that cannot get through must give up and close")
+	}
+}
+
+// Property: any set of random-length messages over concurrent connections
+// between two hosts arrives complete, intact and in order per connection.
+func TestConcurrentTransfersIntactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := vclock.NewEngine(time.Time{})
+		n := NewNetwork(e, 10*time.Microsecond)
+		client, err := NewStack(n, 1, IPAddr{10, 0, 0, 1})
+		if err != nil {
+			return false
+		}
+		server, err := NewStack(n, 2, IPAddr{10, 0, 0, 2})
+		if err != nil {
+			return false
+		}
+		if err := server.Listen(80, func(c *Conn) {
+			var total int
+			c.OnData = func(conn *Conn, data []byte) {
+				total += len(data)
+				// Echo length back when the sentinel arrives.
+				if data[len(data)-1] == 0xFF {
+					reply := make([]byte, total)
+					conn.Send(reply)
+				}
+			}
+		}); err != nil {
+			return false
+		}
+		nConns := 1 + rng.Intn(4)
+		sent := make([]int, nConns)
+		got := make([]int, nConns)
+		for i := 0; i < nConns; i++ {
+			i := i
+			size := 1 + rng.Intn(3*MSS)
+			sent[i] = size
+			conn, err := client.Connect(server.IP(), 80)
+			if err != nil {
+				return false
+			}
+			conn.OnEstablished = func(c *Conn) {
+				msg := make([]byte, size)
+				msg[size-1] = 0xFF
+				c.Send(msg)
+			}
+			conn.OnData = func(_ *Conn, data []byte) { got[i] += len(data) }
+		}
+		if err := e.RunFor(time.Second); err != nil {
+			return false
+		}
+		for i := range sent {
+			if got[i] != sent[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

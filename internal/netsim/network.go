@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gage/internal/vclock"
+)
+
+// Receiver consumes frames delivered to a host's NIC.
+type Receiver interface {
+	// Receive handles one delivered frame. It runs inside the simulation
+	// event loop and may send further packets.
+	Receive(pkt Packet)
+}
+
+// Network is a single Ethernet segment: hosts attached to one learning
+// switch, with a fixed per-hop latency, driven by a virtual-clock engine.
+type Network struct {
+	engine  *vclock.Engine
+	latency time.Duration
+
+	ports map[MAC]Receiver
+	arp   map[IPAddr]MAC
+
+	// loss, when configured, drops each frame independently with the given
+	// probability using a seeded generator (deterministic runs).
+	lossRate float64
+	lossRNG  *rand.Rand
+	dropped  uint64
+
+	// LossExempt, when set, shields matching frames from the configured
+	// loss (e.g. intra-cluster control channels).
+	LossExempt func(Packet) bool
+
+	// Taps observe every delivered frame (for tests and traces).
+	taps []func(Packet)
+}
+
+// NewNetwork creates an empty network on the engine with the given per-hop
+// delivery latency.
+func NewNetwork(engine *vclock.Engine, latency time.Duration) *Network {
+	return &Network{
+		engine:  engine,
+		latency: latency,
+		ports:   make(map[MAC]Receiver),
+		arp:     make(map[IPAddr]MAC),
+	}
+}
+
+// Attach connects a receiver to the switch at the given MAC.
+func (n *Network) Attach(mac MAC, r Receiver) error {
+	if _, dup := n.ports[mac]; dup {
+		return fmt.Errorf("netsim: MAC %d already attached", mac)
+	}
+	n.ports[mac] = r
+	return nil
+}
+
+// Tap registers an observer called for every delivered frame.
+func (n *Network) Tap(fn func(Packet)) {
+	n.taps = append(n.taps, fn)
+}
+
+// RegisterIP publishes an IP→MAC binding (the segment's ARP view). The same
+// IP may not be claimed by two MACs; the cluster IP belongs to the RDN.
+func (n *Network) RegisterIP(ip IPAddr, mac MAC) error {
+	if prev, dup := n.arp[ip]; dup && prev != mac {
+		return fmt.Errorf("netsim: IP %s already bound to MAC %d", ip, prev)
+	}
+	n.arp[ip] = mac
+	return nil
+}
+
+// Resolve looks up the MAC bound to an IP.
+func (n *Network) Resolve(ip IPAddr) (MAC, bool) {
+	mac, ok := n.arp[ip]
+	return mac, ok
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() time.Time { return n.engine.Now() }
+
+// After schedules fn on the simulation clock.
+func (n *Network) After(d time.Duration, fn func()) { n.engine.After(d, fn) }
+
+// Timer schedules fn on the simulation clock and returns a cancellable
+// handle (retransmission timers).
+func (n *Network) Timer(d time.Duration, fn func()) *vclock.Timer {
+	return n.engine.After(d, fn)
+}
+
+// SetLoss configures random frame loss: each frame is dropped independently
+// with probability rate, using a deterministic seeded generator.
+func (n *Network) SetLoss(rate float64, seed int64) {
+	n.lossRate = rate
+	n.lossRNG = rand.New(rand.NewSource(seed))
+}
+
+// Dropped returns how many frames the configured loss has eaten.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Send transmits a frame: it is delivered to the port matching its
+// destination MAC after the network latency, unless the configured loss
+// drops it. Unknown destinations are dropped (the switch here learns at
+// Attach time, so every valid MAC is known; a drop indicates a misaddressed
+// frame, which is silently lost just as on a real segment).
+func (n *Network) Send(pkt Packet) {
+	dst, ok := n.ports[pkt.DstMAC]
+	if !ok {
+		return
+	}
+	if n.lossRNG != nil && (n.LossExempt == nil || !n.LossExempt(pkt)) &&
+		n.lossRNG.Float64() < n.lossRate {
+		n.dropped++
+		return
+	}
+	n.engine.After(n.latency, func() {
+		for _, tap := range n.taps {
+			tap(pkt)
+		}
+		dst.Receive(pkt)
+	})
+}

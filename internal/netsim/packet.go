@@ -1,0 +1,95 @@
+// Package netsim is a deterministic packet-level network simulator with a
+// TCP-lite transport: Ethernet-style frames with MAC addresses, a learning
+// switch, IPv4-style addresses and ports, three-way handshakes, sequence
+// numbers and cumulative ACKs. It exists so Gage's distributed TCP splicing
+// — handshake emulation at the RDN and sequence-number/address remapping at
+// each RPN's local service manager — can be implemented and measured against
+// the same packet fields a kernel module would touch.
+//
+// The network is reliable and delivers frames in FIFO order per link, so the
+// transport needs no retransmission or windowing; the state machines cover
+// connection setup, bidirectional data transfer with ACKs, and teardown.
+package netsim
+
+import (
+	"fmt"
+)
+
+// MAC is a link-layer address.
+type MAC uint64
+
+// IPAddr is a network-layer address.
+type IPAddr [4]byte
+
+// String formats the address in dotted-quad form.
+func (a IPAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Flags is the TCP-lite control-flag set.
+type Flags uint8
+
+// TCP-lite flags.
+const (
+	SYN Flags = 1 << iota
+	ACK
+	FIN
+	PSH
+)
+
+// Has reports whether all the given flags are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// String formats the flag set for traces.
+func (f Flags) String() string {
+	s := ""
+	if f.Has(SYN) {
+		s += "S"
+	}
+	if f.Has(ACK) {
+		s += "A"
+	}
+	if f.Has(FIN) {
+		s += "F"
+	}
+	if f.Has(PSH) {
+		s += "P"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Packet is one TCP-lite segment in an Ethernet-style frame. Packets are
+// passed by value; payloads are shared and must not be mutated by receivers.
+type Packet struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPAddr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Payload          []byte
+}
+
+// String formats the packet one-line for traces and test failures.
+func (p Packet) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d %s seq=%d ack=%d len=%d",
+		p.SrcIP, p.SrcPort, p.DstIP, p.DstPort, p.Flags, p.Seq, p.Ack, len(p.Payload))
+}
+
+// FlowKey identifies the packet's flow as seen on the wire.
+type FlowKey struct {
+	SrcIP, DstIP     IPAddr
+	SrcPort, DstPort uint16
+}
+
+// Flow returns the packet's flow key.
+func (p Packet) Flow() FlowKey {
+	return FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort}
+}
+
+// Reverse returns the flow key of traffic in the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}

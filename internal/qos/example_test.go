@@ -1,0 +1,42 @@
+package qos_test
+
+import (
+	"fmt"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// A reservation of 50 GRPS entitles a subscriber to 500 ms of CPU, 500 ms
+// of disk-channel time and 100 KB of network bandwidth every second — the
+// paper's own worked example (§3.1).
+func ExampleGRPS_Vector() {
+	v := qos.GRPS(50).Vector()
+	fmt.Println(v)
+	// Output: {cpu=500ms disk=500ms net=100000B}
+}
+
+// Costs convert to generic-request units by their dominant resource.
+func ExampleVector_GenericUnits() {
+	cgi := qos.Vector{
+		CPUTime:  30 * time.Millisecond, // 3× a generic request's CPU
+		DiskTime: 5 * time.Millisecond,
+		NetBytes: 2000,
+	}
+	fmt.Printf("%.1f generic units\n", cgi.GenericUnits())
+	// Output: 3.0 generic units
+}
+
+// Directories resolve virtual hosts to subscribers for classification.
+func ExampleDirectory_ByHost() {
+	dir, err := qos.NewDirectory([]qos.Subscriber{
+		{ID: "gold", Hosts: []string{"gold.example", "www.gold.example"}, Reservation: 400},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	id, ok := dir.ByHost("www.gold.example")
+	fmt.Println(id, ok)
+	// Output: gold true
+}

@@ -1,0 +1,237 @@
+// Package qos defines the resource-vector arithmetic and quality-of-service
+// units used throughout Gage.
+//
+// Gage expresses guarantees in generic URL requests per second (GRPS). One
+// generic request represents an average web-site access and is defined by the
+// paper to cost 10 ms of CPU time, 10 ms of disk-channel time, and 2,000
+// bytes of outgoing network bandwidth. A subscriber reservation of R GRPS
+// therefore entitles the subscriber's requests to R×10 ms of CPU, R×10 ms of
+// disk time, and R×2,000 bytes of network bandwidth every second.
+package qos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Generic-request cost constants (paper §3.1).
+const (
+	// GenericCPUTime is the CPU time consumed by one generic request.
+	GenericCPUTime = 10 * time.Millisecond
+	// GenericDiskTime is the disk-channel time consumed by one generic request.
+	GenericDiskTime = 10 * time.Millisecond
+	// GenericNetBytes is the network bandwidth consumed by one generic request.
+	GenericNetBytes = 2000
+)
+
+// Resource identifies one of the three resources Gage accounts for.
+type Resource int
+
+// The three managed resources.
+const (
+	CPU Resource = iota + 1
+	Disk
+	Net
+)
+
+// NumResources is the number of managed resource dimensions.
+const NumResources = 3
+
+// String returns the lower-case resource name.
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "cpu"
+	case Disk:
+		return "disk"
+	case Net:
+		return "net"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Resources lists the managed resources in canonical order.
+func Resources() [NumResources]Resource {
+	return [NumResources]Resource{CPU, Disk, Net}
+}
+
+// Vector is a resource-usage vector: CPU time, disk-channel time, and bytes
+// of network bandwidth. The zero Vector is "no usage" and ready to use.
+//
+// Vectors represent request costs, queue balances, reservations-per-cycle,
+// and accounting-report quantities. Balances may go negative.
+type Vector struct {
+	// CPUTime is processor time consumed.
+	CPUTime time.Duration
+	// DiskTime is disk-channel occupancy time.
+	DiskTime time.Duration
+	// NetBytes is bytes transferred on the outgoing link.
+	NetBytes int64
+}
+
+// GenericCost is the cost vector of one generic request.
+func GenericCost() Vector {
+	return Vector{
+		CPUTime:  GenericCPUTime,
+		DiskTime: GenericDiskTime,
+		NetBytes: GenericNetBytes,
+	}
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) Vector {
+	return Vector{
+		CPUTime:  v.CPUTime + w.CPUTime,
+		DiskTime: v.DiskTime + w.DiskTime,
+		NetBytes: v.NetBytes + w.NetBytes,
+	}
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) Vector {
+	return Vector{
+		CPUTime:  v.CPUTime - w.CPUTime,
+		DiskTime: v.DiskTime - w.DiskTime,
+		NetBytes: v.NetBytes - w.NetBytes,
+	}
+}
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector {
+	return Vector{
+		CPUTime:  time.Duration(float64(v.CPUTime) * k),
+		DiskTime: time.Duration(float64(v.DiskTime) * k),
+		NetBytes: int64(float64(v.NetBytes) * k),
+	}
+}
+
+// Neg returns -v.
+func (v Vector) Neg() Vector {
+	return Vector{CPUTime: -v.CPUTime, DiskTime: -v.DiskTime, NetBytes: -v.NetBytes}
+}
+
+// IsZero reports whether all components are zero.
+func (v Vector) IsZero() bool {
+	return v.CPUTime == 0 && v.DiskTime == 0 && v.NetBytes == 0
+}
+
+// AllNonNegative reports whether every component is >= 0. A dispatch is
+// admissible while the post-dispatch balance stays AllNonNegative.
+func (v Vector) AllNonNegative() bool {
+	return v.CPUTime >= 0 && v.DiskTime >= 0 && v.NetBytes >= 0
+}
+
+// AnyNegative reports whether at least one component is < 0. Per §3.5 the
+// scheduler stops dispatching from a queue when one of the three balances
+// becomes negative.
+func (v Vector) AnyNegative() bool {
+	return v.CPUTime < 0 || v.DiskTime < 0 || v.NetBytes < 0
+}
+
+// Dominates reports whether v >= w component-wise.
+func (v Vector) Dominates(w Vector) bool {
+	return v.CPUTime >= w.CPUTime && v.DiskTime >= w.DiskTime && v.NetBytes >= w.NetBytes
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vector) Min(w Vector) Vector {
+	return Vector{
+		CPUTime:  minDur(v.CPUTime, w.CPUTime),
+		DiskTime: minDur(v.DiskTime, w.DiskTime),
+		NetBytes: minI64(v.NetBytes, w.NetBytes),
+	}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vector) Max(w Vector) Vector {
+	return Vector{
+		CPUTime:  maxDur(v.CPUTime, w.CPUTime),
+		DiskTime: maxDur(v.DiskTime, w.DiskTime),
+		NetBytes: maxI64(v.NetBytes, w.NetBytes),
+	}
+}
+
+// ClampNonNegative returns v with negative components replaced by zero.
+func (v Vector) ClampNonNegative() Vector {
+	return v.Max(Vector{})
+}
+
+// GenericUnits converts a usage vector into generic-request units: the number
+// of generic requests whose aggregate cost the vector represents. The
+// conversion uses the maximum across resource dimensions, so a request that
+// is CPU-heavy but disk-light still counts by its dominant resource — the
+// same convention the paper uses when it reports served GRPS.
+func (v Vector) GenericUnits() float64 {
+	g := GenericCost()
+	cpu := float64(v.CPUTime) / float64(g.CPUTime)
+	disk := float64(v.DiskTime) / float64(g.DiskTime)
+	net := float64(v.NetBytes) / float64(g.NetBytes)
+	return max(cpu, max(disk, net))
+}
+
+// UnitsOf converts the vector to generic-request units along a single
+// resource dimension: usage of that resource divided by the generic
+// request's usage of it. Experiments on CPU-bound workloads measure served
+// GRPS this way, matching the paper's request-count convention.
+func (v Vector) UnitsOf(r Resource) float64 {
+	g := GenericCost()
+	switch r {
+	case CPU:
+		return float64(v.CPUTime) / float64(g.CPUTime)
+	case Disk:
+		return float64(v.DiskTime) / float64(g.DiskTime)
+	case Net:
+		return float64(v.NetBytes) / float64(g.NetBytes)
+	default:
+		return v.GenericUnits()
+	}
+}
+
+// String formats the vector for logs and test failures.
+func (v Vector) String() string {
+	return fmt.Sprintf("{cpu=%v disk=%v net=%dB}", v.CPUTime, v.DiskTime, v.NetBytes)
+}
+
+// GRPS is a rate of generic requests per second.
+type GRPS float64
+
+// PerCycle returns the resource entitlement that a reservation of g GRPS
+// accrues over one scheduling cycle: g × cycle-fraction generic costs.
+func (g GRPS) PerCycle(cycle time.Duration) Vector {
+	return GenericCost().Scale(float64(g) * cycle.Seconds())
+}
+
+// Vector returns the per-second entitlement of the reservation, e.g. 50 GRPS
+// ⇒ 500 ms CPU, 500 ms disk, 100,000 bytes every second.
+func (g GRPS) Vector() Vector {
+	return g.PerCycle(time.Second)
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,297 @@
+package qos
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// genVector yields bounded random vectors so duration arithmetic cannot
+// overflow during property tests.
+func genVector(r *rand.Rand) Vector {
+	return Vector{
+		CPUTime:  time.Duration(r.Int63n(int64(time.Hour))) - 30*time.Minute,
+		DiskTime: time.Duration(r.Int63n(int64(time.Hour))) - 30*time.Minute,
+		NetBytes: r.Int63n(1<<40) - 1<<39,
+	}
+}
+
+type vecPair struct{ A, B Vector }
+
+func (vecPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(vecPair{A: genVector(r), B: genVector(r)})
+}
+
+func TestGenericCost(t *testing.T) {
+	g := GenericCost()
+	if g.CPUTime != 10*time.Millisecond {
+		t.Errorf("generic CPU cost = %v, want 10ms", g.CPUTime)
+	}
+	if g.DiskTime != 10*time.Millisecond {
+		t.Errorf("generic disk cost = %v, want 10ms", g.DiskTime)
+	}
+	if g.NetBytes != 2000 {
+		t.Errorf("generic net cost = %d, want 2000", g.NetBytes)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	tests := []struct {
+		give Resource
+		want string
+	}{
+		{CPU, "cpu"},
+		{Disk, "disk"},
+		{Net, "net"},
+		{Resource(42), "resource(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Resource(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestResourcesCanonicalOrder(t *testing.T) {
+	want := [NumResources]Resource{CPU, Disk, Net}
+	if got := Resources(); got != want {
+		t.Errorf("Resources() = %v, want %v", got, want)
+	}
+}
+
+func TestVectorAddSub(t *testing.T) {
+	a := Vector{CPUTime: 5 * time.Millisecond, DiskTime: 2 * time.Millisecond, NetBytes: 100}
+	b := Vector{CPUTime: 3 * time.Millisecond, DiskTime: 7 * time.Millisecond, NetBytes: 50}
+	sum := a.Add(b)
+	want := Vector{CPUTime: 8 * time.Millisecond, DiskTime: 9 * time.Millisecond, NetBytes: 150}
+	if sum != want {
+		t.Errorf("Add = %v, want %v", sum, want)
+	}
+	if diff := sum.Sub(b); diff != a {
+		t.Errorf("Sub round-trip = %v, want %v", diff, a)
+	}
+}
+
+func TestVectorAddSubRoundTripProperty(t *testing.T) {
+	f := func(p vecPair) bool {
+		return p.A.Add(p.B).Sub(p.B) == p.A
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorAddCommutativeProperty(t *testing.T) {
+	f := func(p vecPair) bool {
+		return p.A.Add(p.B) == p.B.Add(p.A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorMinMaxProperty(t *testing.T) {
+	f := func(p vecPair) bool {
+		lo, hi := p.A.Min(p.B), p.A.Max(p.B)
+		return hi.Dominates(lo) && hi.Dominates(p.A.Min(p.B)) &&
+			lo.Add(hi) == p.A.Add(p.B)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorNegProperty(t *testing.T) {
+	f := func(p vecPair) bool {
+		return p.A.Neg().Neg() == p.A && p.A.Add(p.A.Neg()).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	v := Vector{CPUTime: 10 * time.Millisecond, DiskTime: 20 * time.Millisecond, NetBytes: 1000}
+	half := v.Scale(0.5)
+	want := Vector{CPUTime: 5 * time.Millisecond, DiskTime: 10 * time.Millisecond, NetBytes: 500}
+	if half != want {
+		t.Errorf("Scale(0.5) = %v, want %v", half, want)
+	}
+	if got := v.Scale(0); !got.IsZero() {
+		t.Errorf("Scale(0) = %v, want zero", got)
+	}
+}
+
+func TestVectorPredicates(t *testing.T) {
+	tests := []struct {
+		name       string
+		give       Vector
+		wantNonNeg bool
+		wantAnyNeg bool
+		wantZero   bool
+	}{
+		{"zero", Vector{}, true, false, true},
+		{"positive", Vector{CPUTime: 1, DiskTime: 1, NetBytes: 1}, true, false, false},
+		{"cpu negative", Vector{CPUTime: -1, DiskTime: 1, NetBytes: 1}, false, true, false},
+		{"disk negative", Vector{CPUTime: 1, DiskTime: -1, NetBytes: 1}, false, true, false},
+		{"net negative", Vector{CPUTime: 1, DiskTime: 1, NetBytes: -1}, false, true, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.AllNonNegative(); got != tt.wantNonNeg {
+				t.Errorf("AllNonNegative = %v, want %v", got, tt.wantNonNeg)
+			}
+			if got := tt.give.AnyNegative(); got != tt.wantAnyNeg {
+				t.Errorf("AnyNegative = %v, want %v", got, tt.wantAnyNeg)
+			}
+			if got := tt.give.IsZero(); got != tt.wantZero {
+				t.Errorf("IsZero = %v, want %v", got, tt.wantZero)
+			}
+		})
+	}
+}
+
+func TestAnyNegativeIsNotAllNonNegativeProperty(t *testing.T) {
+	f := func(p vecPair) bool {
+		return p.A.AnyNegative() == !p.A.AllNonNegative()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	v := Vector{CPUTime: -5, DiskTime: 7, NetBytes: -3}
+	got := v.ClampNonNegative()
+	want := Vector{CPUTime: 0, DiskTime: 7, NetBytes: 0}
+	if got != want {
+		t.Errorf("ClampNonNegative = %v, want %v", got, want)
+	}
+	if !got.AllNonNegative() {
+		t.Error("clamped vector must be non-negative")
+	}
+}
+
+func TestGenericUnits(t *testing.T) {
+	if got := GenericCost().GenericUnits(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("GenericUnits(generic) = %v, want 1", got)
+	}
+	// A CPU-dominant request counts by its CPU usage.
+	v := Vector{CPUTime: 30 * time.Millisecond, DiskTime: 10 * time.Millisecond, NetBytes: 2000}
+	if got := v.GenericUnits(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("GenericUnits(cpu-heavy) = %v, want 3", got)
+	}
+	if got := (Vector{}).GenericUnits(); got != 0 {
+		t.Errorf("GenericUnits(zero) = %v, want 0", got)
+	}
+}
+
+func TestGRPSVector(t *testing.T) {
+	// Paper example: 50 GRPS ⇒ 500 ms CPU, 500 ms disk, 100 KB per second.
+	v := GRPS(50).Vector()
+	want := Vector{CPUTime: 500 * time.Millisecond, DiskTime: 500 * time.Millisecond, NetBytes: 100_000}
+	if v != want {
+		t.Errorf("GRPS(50).Vector() = %v, want %v", v, want)
+	}
+}
+
+func TestGRPSPerCycle(t *testing.T) {
+	// 100 GRPS over a 10 ms cycle is one generic request of entitlement.
+	v := GRPS(100).PerCycle(10 * time.Millisecond)
+	if v != GenericCost() {
+		t.Errorf("GRPS(100).PerCycle(10ms) = %v, want %v", v, GenericCost())
+	}
+}
+
+func TestSubscriberValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Subscriber
+		wantErr bool
+	}{
+		{"valid", Subscriber{ID: "site1", Reservation: 100}, false},
+		{"empty id", Subscriber{Reservation: 100}, true},
+		{"negative reservation", Subscriber{ID: "s", Reservation: -1}, true},
+		{"negative queue limit", Subscriber{ID: "s", QueueLimit: -2}, true},
+		{"zero reservation ok", Subscriber{ID: "s"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEffectiveQueueLimit(t *testing.T) {
+	if got := (Subscriber{ID: "s"}).EffectiveQueueLimit(); got != DefaultQueueLimit {
+		t.Errorf("default queue limit = %d, want %d", got, DefaultQueueLimit)
+	}
+	if got := (Subscriber{ID: "s", QueueLimit: 7}).EffectiveQueueLimit(); got != 7 {
+		t.Errorf("explicit queue limit = %d, want 7", got)
+	}
+}
+
+func TestDirectoryLookup(t *testing.T) {
+	d, err := NewDirectory([]Subscriber{
+		{ID: "site1", Hosts: []string{"www.one.example"}, Reservation: 250},
+		{ID: "site2", Hosts: []string{"www.two.example", "two.example"}, Reservation: 150},
+	})
+	if err != nil {
+		t.Fatalf("NewDirectory: %v", err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	s, err := d.Subscriber("site1")
+	if err != nil || s.Reservation != 250 {
+		t.Errorf("Subscriber(site1) = %+v, %v", s, err)
+	}
+	if _, err := d.Subscriber("nope"); err == nil {
+		t.Error("Subscriber(nope) should fail")
+	}
+	id, ok := d.ByHost("two.example")
+	if !ok || id != "site2" {
+		t.Errorf("ByHost(two.example) = %q, %v", id, ok)
+	}
+	if _, ok := d.ByHost("unknown.example"); ok {
+		t.Error("ByHost(unknown) should miss")
+	}
+	if got := d.TotalReservation(); got != 400 {
+		t.Errorf("TotalReservation = %v, want 400", got)
+	}
+}
+
+func TestDirectoryRejectsDuplicates(t *testing.T) {
+	if _, err := NewDirectory([]Subscriber{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Error("duplicate subscriber IDs must be rejected")
+	}
+	_, err := NewDirectory([]Subscriber{
+		{ID: "a", Hosts: []string{"h"}},
+		{ID: "b", Hosts: []string{"h"}},
+	})
+	if err == nil {
+		t.Error("duplicate hosts must be rejected")
+	}
+}
+
+func TestDirectoryIDsSortedAndCopied(t *testing.T) {
+	d, err := NewDirectory([]Subscriber{{ID: "z"}, {ID: "a"}, {ID: "m"}})
+	if err != nil {
+		t.Fatalf("NewDirectory: %v", err)
+	}
+	ids := d.IDs()
+	want := []SubscriberID{"a", "m", "z"}
+	if !reflect.DeepEqual(ids, want) {
+		t.Errorf("IDs() = %v, want %v", ids, want)
+	}
+	ids[0] = "mutated"
+	if got := d.IDs()[0]; got != "a" {
+		t.Errorf("IDs() must return a copy; got %q after mutation", got)
+	}
+}

@@ -1,0 +1,125 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SubscriberID identifies a hosting-service subscriber (one logical web
+// site / charging entity).
+type SubscriberID string
+
+// ErrDuplicateSubscriber is returned when a subscriber ID is registered twice.
+var ErrDuplicateSubscriber = errors.New("qos: duplicate subscriber")
+
+// ErrUnknownSubscriber is returned for lookups of unregistered subscribers.
+var ErrUnknownSubscriber = errors.New("qos: unknown subscriber")
+
+// Subscriber describes one service subscriber and its static reservation.
+type Subscriber struct {
+	// ID is the unique subscriber identifier.
+	ID SubscriberID
+	// Hosts are the virtual-host names that classify requests to this
+	// subscriber (the host-name part of the URL, §3.3).
+	Hosts []string
+	// Reservation is the guaranteed service rate in generic requests/sec.
+	Reservation GRPS
+	// QueueLimit bounds the subscriber's request queue; arrivals beyond it
+	// are dropped. Zero means DefaultQueueLimit.
+	QueueLimit int
+}
+
+// DefaultQueueLimit is the per-subscriber queue bound used when a Subscriber
+// does not specify one.
+const DefaultQueueLimit = 512
+
+// Validate checks the subscriber definition for internal consistency.
+func (s Subscriber) Validate() error {
+	if s.ID == "" {
+		return errors.New("qos: subscriber ID must be non-empty")
+	}
+	if s.Reservation < 0 {
+		return fmt.Errorf("qos: subscriber %q: negative reservation %v", s.ID, s.Reservation)
+	}
+	if s.QueueLimit < 0 {
+		return fmt.Errorf("qos: subscriber %q: negative queue limit %d", s.ID, s.QueueLimit)
+	}
+	return nil
+}
+
+// EffectiveQueueLimit returns the queue bound, defaulting when unset.
+func (s Subscriber) EffectiveQueueLimit() int {
+	if s.QueueLimit == 0 {
+		return DefaultQueueLimit
+	}
+	return s.QueueLimit
+}
+
+// Directory is an immutable registry of subscribers with host-based lookup.
+type Directory struct {
+	byID   map[SubscriberID]Subscriber
+	byHost map[string]SubscriberID
+	ids    []SubscriberID
+}
+
+// NewDirectory builds a Directory from subscriber definitions. Host names
+// must be unique across subscribers.
+func NewDirectory(subs []Subscriber) (*Directory, error) {
+	d := &Directory{
+		byID:   make(map[SubscriberID]Subscriber, len(subs)),
+		byHost: make(map[string]SubscriberID),
+	}
+	for _, s := range subs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if _, ok := d.byID[s.ID]; ok {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateSubscriber, s.ID)
+		}
+		d.byID[s.ID] = s
+		d.ids = append(d.ids, s.ID)
+		for _, h := range s.Hosts {
+			if prev, ok := d.byHost[h]; ok {
+				return nil, fmt.Errorf("qos: host %q claimed by both %q and %q", h, prev, s.ID)
+			}
+			d.byHost[h] = s.ID
+		}
+	}
+	sort.Slice(d.ids, func(i, j int) bool { return d.ids[i] < d.ids[j] })
+	return d, nil
+}
+
+// Subscriber returns the definition for id.
+func (d *Directory) Subscriber(id SubscriberID) (Subscriber, error) {
+	s, ok := d.byID[id]
+	if !ok {
+		return Subscriber{}, fmt.Errorf("%w: %q", ErrUnknownSubscriber, id)
+	}
+	return s, nil
+}
+
+// ByHost resolves a virtual-host name to a subscriber ID.
+func (d *Directory) ByHost(host string) (SubscriberID, bool) {
+	id, ok := d.byHost[host]
+	return id, ok
+}
+
+// IDs returns all subscriber IDs in deterministic (sorted) order.
+func (d *Directory) IDs() []SubscriberID {
+	out := make([]SubscriberID, len(d.ids))
+	copy(out, d.ids)
+	return out
+}
+
+// Len returns the number of registered subscribers.
+func (d *Directory) Len() int { return len(d.ids) }
+
+// TotalReservation sums all subscribers' reservations.
+func (d *Directory) TotalReservation() GRPS {
+	var total GRPS
+	for _, s := range d.byID {
+		total += s.Reservation
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+package splice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gage/internal/netsim"
+)
+
+// controlHeaderLen is the fixed-size prefix of a dispatched-request message.
+const controlHeaderLen = 4 + 2 + 8 + 4 + 4
+
+// ErrBadControl reports an undecodable dispatched-request message.
+var ErrBadControl = errors.New("splice: malformed control message")
+
+// controlMsg is the connection state the RDN hands to an RPN's local
+// service manager when dispatching a request (the "Dispatched Request"
+// arrow of Figure 1): everything the LSM needs to splice the client's
+// first-leg connection onto a fresh local connection.
+type controlMsg struct {
+	ClientIP   netsim.IPAddr
+	ClientPort uint16
+	ClientMAC  netsim.MAC
+	ClientISN  uint32 // sequence number of the client's SYN
+	RDNISN     uint32 // ISN the RDN chose for the emulated first leg
+	URL        []byte // the first payload packet, carrying the HTTP request
+}
+
+// encode serializes the message into a control-packet payload.
+func (m controlMsg) encode() []byte {
+	buf := make([]byte, controlHeaderLen+len(m.URL))
+	copy(buf[0:4], m.ClientIP[:])
+	binary.BigEndian.PutUint16(buf[4:6], m.ClientPort)
+	binary.BigEndian.PutUint64(buf[6:14], uint64(m.ClientMAC))
+	binary.BigEndian.PutUint32(buf[14:18], m.ClientISN)
+	binary.BigEndian.PutUint32(buf[18:22], m.RDNISN)
+	copy(buf[controlHeaderLen:], m.URL)
+	return buf
+}
+
+// decodeControl parses a control-packet payload.
+func decodeControl(b []byte) (controlMsg, error) {
+	if len(b) < controlHeaderLen {
+		return controlMsg{}, fmt.Errorf("%w: %d bytes", ErrBadControl, len(b))
+	}
+	var m controlMsg
+	copy(m.ClientIP[:], b[0:4])
+	m.ClientPort = binary.BigEndian.Uint16(b[4:6])
+	m.ClientMAC = netsim.MAC(binary.BigEndian.Uint64(b[6:14]))
+	m.ClientISN = binary.BigEndian.Uint32(b[14:18])
+	m.RDNISN = binary.BigEndian.Uint32(b[18:22])
+	m.URL = b[controlHeaderLen:]
+	return m, nil
+}

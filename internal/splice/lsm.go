@@ -1,0 +1,231 @@
+package splice
+
+import (
+	"gage/internal/netsim"
+)
+
+// spliceState is one spliced connection's remapping state at an RPN.
+type spliceState struct {
+	phase     splicePhase
+	clientMAC netsim.MAC
+	clientIP  netsim.IPAddr
+	clientPt  uint16
+	clientISN uint32
+	rdnISN    uint32
+	delta     uint32 // server ISN − RDN ISN; valid once phase == phaseSpliced
+	url       []byte
+	closing   bool   // the server sent its FIN
+	sentEnd   uint32 // highest server-space sequence end sent to the client
+}
+
+type splicePhase int
+
+const (
+	phaseSynSent splicePhase = iota + 1
+	phaseSpliced
+)
+
+// LSM is an RPN's local service manager: the thin layer between the node's
+// NIC and its TCP/IP stack (§3.2). It terminates dispatched-request control
+// messages from the RDN by synthesizing the second-leg connection with the
+// local web server, and remaps the sequence number and address of every
+// packet in both directions so the client and the server each believe they
+// are talking to the cluster IP and to the client respectively.
+type LSM struct {
+	netw      *netsim.Network
+	mac       netsim.MAC
+	ip        netsim.IPAddr // the RPN's own address
+	clusterIP netsim.IPAddr
+
+	server  *netsim.Stack
+	splices map[spliceKey]*spliceState
+
+	// onSpliced, when set, fires after a second-leg connection is fully
+	// established and the URL injected (for tests/metrics).
+	onSpliced func(clientIP netsim.IPAddr, clientPort uint16)
+
+	stats LSMStats
+}
+
+// LSMStats counts the LSM's packet work.
+type LSMStats struct {
+	// Spliced counts completed second-leg setups.
+	Spliced uint64
+	// RemappedIn counts inbound client packets rewritten for the stack.
+	RemappedIn uint64
+	// RemappedOut counts outbound server packets rewritten for the client.
+	RemappedOut uint64
+	// Dropped counts packets with no splice state.
+	Dropped uint64
+}
+
+// spliceKey identifies a spliced connection by its client endpoint.
+type spliceKey struct {
+	ip   netsim.IPAddr
+	port uint16
+}
+
+// NewLSM attaches a local service manager to the network at the RPN's MAC
+// and interposes it around a fresh local TCP stack, which is returned via
+// Stack() for the web server application to Listen on.
+func NewLSM(netw *netsim.Network, mac netsim.MAC, rpnIP, clusterIP netsim.IPAddr) (*LSM, error) {
+	l := &LSM{
+		netw:      netw,
+		mac:       mac,
+		ip:        rpnIP,
+		clusterIP: clusterIP,
+		splices:   make(map[spliceKey]*spliceState),
+	}
+	l.server = netsim.NewDetachedStack(netw, mac, rpnIP)
+	l.server.SetEgress(l.egress)
+	if err := netw.Attach(mac, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+var _ netsim.Receiver = (*LSM)(nil)
+
+// Stack returns the RPN's local TCP stack (behind the LSM).
+func (l *LSM) Stack() *netsim.Stack { return l.server }
+
+// Stats returns a copy of the LSM counters.
+func (l *LSM) Stats() LSMStats { return l.stats }
+
+// SetOnSpliced registers a hook fired when a splice completes.
+func (l *LSM) SetOnSpliced(fn func(clientIP netsim.IPAddr, clientPort uint16)) {
+	l.onSpliced = fn
+}
+
+// Receive implements Receiver: control messages establish new splices;
+// bridged client packets are remapped into the local stack.
+func (l *LSM) Receive(pkt netsim.Packet) {
+	if pkt.DstPort == ControlPort && pkt.Flags.Has(netsim.PSH) {
+		l.handleControl(pkt)
+		return
+	}
+	st, ok := l.splices[spliceKey{ip: pkt.SrcIP, port: pkt.SrcPort}]
+	if !ok || st.phase != phaseSpliced {
+		l.stats.Dropped++
+		return
+	}
+	// A bridged client packet: rewrite destination and ACK space, then hand
+	// it to the local stack as if the client had addressed this RPN.
+	RemapInbound(&pkt, l.ip, st.delta)
+	l.stats.RemappedIn++
+	l.server.Receive(pkt)
+	// Teardown: once the server has sent its FIN *and* the client has
+	// acknowledged everything up to and including it, the splice state is
+	// safe to retire — earlier would strand retransmissions of lost
+	// response segments.
+	if st.closing && pkt.Flags.Has(netsim.ACK) && seqLE(st.sentEnd, pkt.Ack) {
+		delete(l.splices, spliceKey{ip: st.clientIP, port: st.clientPt})
+	}
+}
+
+// seqLE compares sequence numbers modulo 2³².
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// ActiveSplices returns the number of live spliced connections.
+func (l *LSM) ActiveSplices() int { return len(l.splices) }
+
+// handleControl performs the distributed part of TCP splicing: it sets up
+// the second-leg connection between the (impersonated) client and the local
+// web server by synthesizing the three-way handshake against the local
+// stack, then injects the URL packet (steps 5–9 of Figure 2).
+func (l *LSM) handleControl(pkt netsim.Packet) {
+	msg, err := decodeControl(pkt.Payload)
+	if err != nil {
+		l.stats.Dropped++
+		return
+	}
+	st := &spliceState{
+		phase:     phaseSynSent,
+		clientMAC: msg.ClientMAC,
+		clientIP:  msg.ClientIP,
+		clientPt:  msg.ClientPort,
+		clientISN: msg.ClientISN,
+		rdnISN:    msg.RDNISN,
+		url:       msg.URL,
+	}
+	l.splices[spliceKey{ip: msg.ClientIP, port: msg.ClientPort}] = st
+	// Step 6: synthesized SYN, impersonating the client. The local stack's
+	// SYNACK comes back through egress, which completes the splice.
+	l.server.Receive(netsim.Packet{
+		SrcMAC:  l.mac,
+		DstMAC:  l.mac,
+		SrcIP:   msg.ClientIP,
+		DstIP:   l.ip,
+		SrcPort: msg.ClientPort,
+		DstPort: WebPort,
+		Seq:     msg.ClientISN,
+		Flags:   netsim.SYN,
+	})
+}
+
+// egress intercepts every frame the local stack emits. During second-leg
+// setup it swallows the SYNACK (step 7) and answers it locally (steps 8–9);
+// afterwards it remaps outgoing packets into the client's sequence space and
+// sends them straight to the client (step 10).
+func (l *LSM) egress(pkt netsim.Packet) {
+	st, ok := l.splices[spliceKey{ip: pkt.DstIP, port: pkt.DstPort}]
+	if !ok {
+		// Traffic for a non-spliced peer (none in Gage): deliver as-is.
+		l.netw.Send(pkt)
+		return
+	}
+	if st.phase == phaseSynSent && pkt.Flags.Has(netsim.SYN|netsim.ACK) {
+		st.delta = pkt.Seq - st.rdnISN
+		st.phase = phaseSpliced
+		l.stats.Spliced++
+		// Step 8: complete the local handshake on the client's behalf.
+		l.server.Receive(netsim.Packet{
+			SrcMAC:  l.mac,
+			DstMAC:  l.mac,
+			SrcIP:   st.clientIP,
+			DstIP:   l.ip,
+			SrcPort: st.clientPt,
+			DstPort: WebPort,
+			Seq:     st.clientISN + 1,
+			Ack:     pkt.Seq + 1,
+			Flags:   netsim.ACK,
+		})
+		// Step 9: inject the URL packet the client already sent to the RDN.
+		l.server.Receive(netsim.Packet{
+			SrcMAC:  l.mac,
+			DstMAC:  l.mac,
+			SrcIP:   st.clientIP,
+			DstIP:   l.ip,
+			SrcPort: st.clientPt,
+			DstPort: WebPort,
+			Seq:     st.clientISN + 1,
+			Ack:     pkt.Seq + 1,
+			Flags:   netsim.ACK | netsim.PSH,
+			Payload: st.url,
+		})
+		if l.onSpliced != nil {
+			l.onSpliced(st.clientIP, st.clientPt)
+		}
+		return
+	}
+	// Step 10: response traffic, remapped and sent directly to the client.
+	if pkt.Flags.Has(netsim.FIN) {
+		st.closing = true
+	}
+	if end := segEnd(pkt); seqLE(st.sentEnd, end) {
+		st.sentEnd = end
+	}
+	RemapOutbound(&pkt, l.clusterIP, l.mac, st.clientMAC, st.delta)
+	l.stats.RemappedOut++
+	l.netw.Send(pkt)
+}
+
+// segEnd returns the sequence number just past a segment (SYN and FIN each
+// occupy one slot).
+func segEnd(pkt netsim.Packet) uint32 {
+	end := pkt.Seq + uint32(len(pkt.Payload))
+	if pkt.Flags.Has(netsim.SYN) || pkt.Flags.Has(netsim.FIN) {
+		end++
+	}
+	return end
+}

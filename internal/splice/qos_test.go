@@ -1,0 +1,83 @@
+package splice
+
+import (
+	"testing"
+	"time"
+
+	"gage/internal/httpwire"
+	"gage/internal/qos"
+)
+
+// TestQoSIsolationOverSplicedCluster runs a miniature Table-1 experiment
+// through the full packet-level stack: real TCP-lite handshakes, splicing,
+// per-packet remapping, accounting messages — not the resource-station
+// simulator. A hog site floods the cluster; the vip site must still be
+// served at its offered rate, and the hog must be throttled to its
+// guarantee plus the spare.
+func TestQoSIsolationOverSplicedCluster(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Subscribers: []qos.Subscriber{
+			{ID: "vip", Hosts: []string{"vip.example"}, Reservation: 70, QueueLimit: 64},
+			{ID: "hog", Hosts: []string{"hog.example"}, Reservation: 10, QueueLimit: 64},
+		},
+		NumRPNs: 1, // one 100-GRPS node: the cluster is the bottleneck
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+
+	// A few client hosts, each issuing many requests (one connection per
+	// request, distinct ephemeral ports).
+	clients := make([]*Client, 4)
+	for i := range clients {
+		clients[i], err = sys.NewClient(i)
+		if err != nil {
+			t.Fatalf("NewClient(%d): %v", i, err)
+		}
+	}
+
+	const (
+		run     = 12 * time.Second
+		measure = 10 * time.Second // skip the first 2 s of warmup
+	)
+	served := map[string]int{}
+	issue := func(host, site string, rate float64, client *Client) {
+		gap := time.Duration(float64(time.Second) / rate)
+		n := int(run / gap)
+		for i := 0; i < n; i++ {
+			at := time.Duration(i+1) * gap
+			sys.Engine.At((time.Time{}).Add(at), func() {
+				// Connection setup over the simulated LAN cannot fail.
+				_ = client.Get(host, "/index.html", func(r *httpwire.Response) {
+					if r.StatusCode == 200 && sys.Engine.Now().Sub(time.Time{}) >= run-measure {
+						served[site]++
+					}
+				})
+			})
+		}
+	}
+	issue("vip.example", "vip", 60, clients[0])
+	issue("hog.example", "hog", 100, clients[1])
+	issue("hog.example", "hog", 100, clients[2])
+
+	if err := sys.Engine.RunFor(run + time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+
+	vipRate := float64(served["vip"]) / measure.Seconds()
+	hogRate := float64(served["hog"]) / measure.Seconds()
+	t.Logf("vip %.1f req/s, hog %.1f req/s, rejected %d", vipRate, hogRate, sys.Rejected())
+
+	// vip offered 60 < its 70 reservation: everything must be served.
+	if vipRate < 55 || vipRate > 63 {
+		t.Errorf("vip served = %.1f req/s, want ≈60 despite the hog's 200 req/s flood", vipRate)
+	}
+	// hog gets its 10 plus the ≈30 spare, nowhere near its 200 offered.
+	if hogRate < 20 || hogRate > 55 {
+		t.Errorf("hog served = %.1f req/s, want ≈40 (guarantee + spare)", hogRate)
+	}
+	// The hog's excess must be rejected at the queue.
+	if sys.Rejected() == 0 {
+		t.Error("hog overload must cause queue rejections")
+	}
+}

@@ -1,0 +1,317 @@
+package splice
+
+import (
+	"fmt"
+
+	"gage/internal/classify"
+	"gage/internal/conntrack"
+	"gage/internal/httpwire"
+	"gage/internal/netsim"
+	"gage/internal/qos"
+)
+
+// Binding is the connection table's value: the MAC of the RPN servicing a
+// spliced connection.
+type Binding struct {
+	MAC netsim.MAC
+}
+
+// PendingRequest is a classified URL request waiting in the scheduler. It
+// carries the spliced-connection state the LSM will need.
+type PendingRequest struct {
+	// Subscriber is the charging entity the request classified to.
+	Subscriber qos.SubscriberID
+	// Host and Path identify the resource for the back-end web server.
+	Host, Path string
+	// URLPayload is the raw first payload packet (the HTTP request head).
+	URLPayload []byte
+
+	flow      netsim.FlowKey
+	clientMAC netsim.MAC
+	clientISN uint32
+	rdnISN    uint32
+}
+
+// Stats counts the RDN's packet classification outcomes (§3.3's three
+// categories plus drops).
+type Stats struct {
+	// Handshakes counts first-leg SYNs emulated.
+	Handshakes uint64
+	// Requests counts URL packets classified and queued.
+	Requests uint64
+	// Forwarded counts packets bridged through the connection table.
+	Forwarded uint64
+	// Unclassified counts URL packets with no matching subscriber.
+	Unclassified uint64
+	// Dropped counts packets with no half-connection or table entry.
+	Dropped uint64
+}
+
+// halfConn is the emulated first-leg connection state between SYN and
+// dispatch.
+type halfConn struct {
+	clientMAC  netsim.MAC
+	clientISN  uint32
+	rdnISN     uint32
+	dispatched bool
+}
+
+// RDN is the front-end request distribution node on the simulated network.
+// It owns the cluster IP; every client packet reaches it first. It is not a
+// TCP endpoint — it emulates the three-way handshake itself (§3.3) so the
+// first-leg setup stays cheap, and bridges post-dispatch packets at Layer 2.
+type RDN struct {
+	netw       *netsim.Network
+	mac        netsim.MAC
+	clusterIP  netsim.IPAddr
+	classifier classify.Classifier
+
+	table   *conntrack.Table[Binding]
+	half    map[netsim.FlowKey]*halfConn
+	nextISN uint32
+
+	// secondaries, when non-empty, receive delegated first-leg work (the
+	// asymmetric RDN cluster of §3.2): SYNs and pre-dispatch packets of a
+	// connection are forwarded to one secondary round-robin, which emulates
+	// the handshake and returns the classified request by control message.
+	secondaries []netsim.MAC
+	delegated   map[netsim.FlowKey]netsim.MAC
+	nextSec     int
+
+	// onRequest receives classified URL requests (the scheduler enqueues).
+	onRequest func(*PendingRequest)
+
+	stats Stats
+}
+
+// NewRDN attaches a front end to the network at mac, owning clusterIP.
+// onRequest is invoked for every classified URL request.
+func NewRDN(netw *netsim.Network, mac netsim.MAC, clusterIP netsim.IPAddr,
+	classifier classify.Classifier, onRequest func(*PendingRequest)) (*RDN, error) {
+	r := &RDN{
+		netw:       netw,
+		mac:        mac,
+		clusterIP:  clusterIP,
+		classifier: classifier,
+		table:      conntrack.New[Binding](),
+		half:       make(map[netsim.FlowKey]*halfConn),
+		delegated:  make(map[netsim.FlowKey]netsim.MAC),
+		nextISN:    77000,
+		onRequest:  onRequest,
+	}
+	if err := netw.Attach(mac, r); err != nil {
+		return nil, err
+	}
+	if err := netw.RegisterIP(clusterIP, mac); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+var _ netsim.Receiver = (*RDN)(nil)
+
+// Stats returns a copy of the packet counters.
+func (r *RDN) Stats() Stats { return r.stats }
+
+// Table exposes the connection table (for expiry policies and tests).
+func (r *RDN) Table() *conntrack.Table[Binding] { return r.table }
+
+// AddSecondary registers a secondary RDN; once any is registered, all
+// first-leg handshake and classification work is delegated.
+func (r *RDN) AddSecondary(mac netsim.MAC) {
+	r.secondaries = append(r.secondaries, mac)
+}
+
+// Receive implements the §3.3 packet classification: (1) handshake packets
+// are handled by the emulator (or delegated to a secondary RDN), (2) URL
+// packets are classified and queued, (3) everything else is bridged through
+// the connection table.
+func (r *RDN) Receive(pkt netsim.Packet) {
+	// Classified-request hand-backs from secondary RDNs.
+	if pkt.DstPort == ControlPort && pkt.Flags.Has(netsim.PSH) {
+		r.handleClassified(pkt)
+		return
+	}
+	flow := pkt.Flow()
+
+	// Category 1: first-leg handshake emulation, possibly delegated.
+	if pkt.Flags.Has(netsim.SYN) && !pkt.Flags.Has(netsim.ACK) {
+		if len(r.secondaries) > 0 {
+			sec := r.secondaries[r.nextSec%len(r.secondaries)]
+			r.nextSec++
+			r.delegated[flow] = sec
+			r.stats.Handshakes++
+			// Preserve the client's SrcMAC so the secondary can answer it.
+			pkt.DstMAC = sec
+			r.netw.Send(pkt)
+			return
+		}
+		r.handleSYN(pkt, flow)
+		return
+	}
+	// Pre-dispatch packets of a delegated connection go to its secondary.
+	if sec, ok := r.delegated[flow]; ok {
+		pkt.DstMAC = sec
+		r.stats.Forwarded++
+		r.netw.Send(pkt)
+		return
+	}
+	if hc, ok := r.half[flow]; ok && !hc.dispatched {
+		if len(pkt.Payload) == 0 {
+			// The client's handshake-completing ACK: nothing to do, the
+			// emulated connection is already primed.
+			return
+		}
+		// Category 2: the URL packet.
+		r.handleURL(pkt, flow, hc)
+		return
+	}
+
+	// Category 3: bridge through the connection table.
+	if b, ok := r.table.Lookup(fourTuple(flow)); ok {
+		pkt.SrcMAC = r.mac
+		pkt.DstMAC = b.MAC
+		r.stats.Forwarded++
+		r.netw.Send(pkt)
+		return
+	}
+	r.stats.Dropped++
+}
+
+// handleSYN emulates the server side of the first-leg three-way handshake.
+func (r *RDN) handleSYN(pkt netsim.Packet, flow netsim.FlowKey) {
+	hc := &halfConn{
+		clientMAC: pkt.SrcMAC,
+		clientISN: pkt.Seq,
+		rdnISN:    r.allocISN(),
+	}
+	r.half[flow] = hc
+	r.stats.Handshakes++
+	r.netw.Send(netsim.Packet{
+		SrcMAC:  r.mac,
+		DstMAC:  pkt.SrcMAC,
+		SrcIP:   r.clusterIP,
+		DstIP:   pkt.SrcIP,
+		SrcPort: pkt.DstPort,
+		DstPort: pkt.SrcPort,
+		Seq:     hc.rdnISN,
+		Ack:     pkt.Seq + 1,
+		Flags:   netsim.SYN | netsim.ACK,
+	})
+}
+
+// handleURL classifies the first payload packet by the host part of its URL
+// and hands the request to the scheduler. Unclassifiable connections are
+// torn down: the half-connection state is dropped, so the client's
+// retransmissions die quietly and its Go-Back-N sender eventually gives up.
+func (r *RDN) handleURL(pkt netsim.Packet, flow netsim.FlowKey, hc *halfConn) {
+	req, err := httpwire.ParseRequest(pkt.Payload)
+	if err != nil {
+		r.stats.Unclassified++
+		delete(r.half, flow)
+		return
+	}
+	sub, ok := r.classifier.Classify(req.Host, req.Path())
+	if !ok {
+		r.stats.Unclassified++
+		delete(r.half, flow)
+		return
+	}
+	hc.dispatched = true
+	r.stats.Requests++
+	r.onRequest(&PendingRequest{
+		Subscriber: sub,
+		Host:       req.Host,
+		Path:       req.Path(),
+		URLPayload: pkt.Payload,
+		flow:       flow,
+		clientMAC:  hc.clientMAC,
+		clientISN:  hc.clientISN,
+		rdnISN:     hc.rdnISN,
+	})
+}
+
+// handleClassified ingests a classified-request control message from a
+// secondary RDN: it resolves the subscriber and queues the pending request
+// exactly as the primary's own classifier path would.
+func (r *RDN) handleClassified(pkt netsim.Packet) {
+	msg, err := decodeControl(pkt.Payload)
+	if err != nil {
+		r.stats.Dropped++
+		return
+	}
+	flow := netsim.FlowKey{
+		SrcIP:   msg.ClientIP,
+		DstIP:   r.clusterIP,
+		SrcPort: msg.ClientPort,
+		DstPort: WebPort,
+	}
+	delete(r.delegated, flow)
+	req, err := httpwire.ParseRequest(msg.URL)
+	if err != nil {
+		r.stats.Unclassified++
+		return
+	}
+	sub, ok := r.classifier.Classify(req.Host, req.Path())
+	if !ok {
+		r.stats.Unclassified++
+		return
+	}
+	r.stats.Requests++
+	r.onRequest(&PendingRequest{
+		Subscriber: sub,
+		Host:       req.Host,
+		Path:       req.Path(),
+		URLPayload: msg.URL,
+		flow:       flow,
+		clientMAC:  msg.ClientMAC,
+		clientISN:  msg.ClientISN,
+		rdnISN:     msg.RDNISN,
+	})
+}
+
+// Dispatch sends a scheduled request to the chosen RPN's local service
+// manager and installs the connection-table entry that bridges all of the
+// client's subsequent packets to that RPN.
+func (r *RDN) Dispatch(req *PendingRequest, rpnMAC netsim.MAC) error {
+	if req == nil {
+		return fmt.Errorf("splice: nil request")
+	}
+	r.table.Insert(fourTuple(req.flow), Binding{MAC: rpnMAC}, r.netw.Now())
+	delete(r.half, req.flow)
+	msg := controlMsg{
+		ClientIP:   req.flow.SrcIP,
+		ClientPort: req.flow.SrcPort,
+		ClientMAC:  req.clientMAC,
+		ClientISN:  req.clientISN,
+		RDNISN:     req.rdnISN,
+		URL:        req.URLPayload,
+	}
+	r.netw.Send(netsim.Packet{
+		SrcMAC:  r.mac,
+		DstMAC:  rpnMAC,
+		SrcIP:   r.clusterIP,
+		DstIP:   req.flow.DstIP,
+		SrcPort: ControlPort,
+		DstPort: ControlPort,
+		Flags:   netsim.PSH,
+		Payload: msg.encode(),
+	})
+	return nil
+}
+
+func (r *RDN) allocISN() uint32 {
+	isn := r.nextISN
+	r.nextISN += 98765
+	return isn
+}
+
+// fourTuple converts a netsim flow key into the conntrack key.
+func fourTuple(f netsim.FlowKey) conntrack.FourTuple {
+	return conntrack.FourTuple{
+		SrcIP:   f.SrcIP,
+		DstIP:   f.DstIP,
+		SrcPort: f.SrcPort,
+		DstPort: f.DstPort,
+	}
+}

@@ -1,0 +1,115 @@
+package splice
+
+import (
+	"gage/internal/netsim"
+)
+
+// SecondaryRDN is one node of the asymmetric RDN cluster (§3.2, Figure 1):
+// it shoulders the time-consuming first-leg work — TCP handshake emulation
+// and URL classification — while the primary RDN keeps all queueing and
+// scheduling decisions. The primary forwards a new connection's packets to
+// a secondary until the URL is classified; the secondary then hands the
+// pending request back to the primary as a control message.
+type SecondaryRDN struct {
+	netw      *netsim.Network
+	mac       netsim.MAC
+	clusterIP netsim.IPAddr
+	primary   netsim.MAC
+
+	half    map[netsim.FlowKey]*halfConn
+	nextISN uint32
+
+	stats Stats
+}
+
+// NewSecondaryRDN attaches a secondary front end at mac, answering for
+// clusterIP on connections the primary delegates to it.
+func NewSecondaryRDN(netw *netsim.Network, mac netsim.MAC, clusterIP netsim.IPAddr, primary netsim.MAC) (*SecondaryRDN, error) {
+	s := &SecondaryRDN{
+		netw:      netw,
+		mac:       mac,
+		clusterIP: clusterIP,
+		primary:   primary,
+		half:      make(map[netsim.FlowKey]*halfConn),
+		nextISN:   41000,
+	}
+	if err := netw.Attach(mac, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+var _ netsim.Receiver = (*SecondaryRDN)(nil)
+
+// Stats returns a copy of the secondary's counters.
+func (s *SecondaryRDN) Stats() Stats { return s.stats }
+
+// Receive handles connection packets the primary delegated: SYNs get an
+// emulated SYNACK straight to the client; the URL packet is parsed and
+// returned to the primary as a classified-request control message.
+func (s *SecondaryRDN) Receive(pkt netsim.Packet) {
+	flow := pkt.Flow()
+	if pkt.Flags.Has(netsim.SYN) && !pkt.Flags.Has(netsim.ACK) {
+		hc := &halfConn{
+			clientMAC: originMAC(pkt),
+			clientISN: pkt.Seq,
+			rdnISN:    s.allocISN(),
+		}
+		s.half[flow] = hc
+		s.stats.Handshakes++
+		s.netw.Send(netsim.Packet{
+			SrcMAC:  s.mac,
+			DstMAC:  hc.clientMAC,
+			SrcIP:   s.clusterIP,
+			DstIP:   pkt.SrcIP,
+			SrcPort: pkt.DstPort,
+			DstPort: pkt.SrcPort,
+			Seq:     hc.rdnISN,
+			Ack:     pkt.Seq + 1,
+			Flags:   netsim.SYN | netsim.ACK,
+		})
+		return
+	}
+	hc, ok := s.half[flow]
+	if !ok {
+		s.stats.Dropped++
+		return
+	}
+	if len(pkt.Payload) == 0 {
+		return // the handshake-completing ACK
+	}
+	// The URL packet: hand the connection state plus URL to the primary,
+	// whose scheduler owns the queueing decision.
+	delete(s.half, flow)
+	s.stats.Requests++
+	msg := controlMsg{
+		ClientIP:   flow.SrcIP,
+		ClientPort: flow.SrcPort,
+		ClientMAC:  hc.clientMAC,
+		ClientISN:  hc.clientISN,
+		RDNISN:     hc.rdnISN,
+		URL:        pkt.Payload,
+	}
+	s.netw.Send(netsim.Packet{
+		SrcMAC:  s.mac,
+		DstMAC:  s.primary,
+		SrcIP:   flow.SrcIP,
+		DstIP:   flow.DstIP,
+		SrcPort: ControlPort,
+		DstPort: ControlPort,
+		Flags:   netsim.PSH,
+		Payload: msg.encode(),
+	})
+}
+
+func (s *SecondaryRDN) allocISN() uint32 {
+	isn := s.nextISN
+	s.nextISN += 86243
+	return isn
+}
+
+// originMAC recovers the client's MAC from a delegated frame: the primary
+// rewrites SrcMAC when it bridges, so it stamps the original into the frame
+// before delegating. For simplicity the primary preserves the client MAC in
+// SrcMAC on delegated frames.
+func originMAC(pkt netsim.Packet) netsim.MAC { return pkt.SrcMAC }

@@ -1,0 +1,129 @@
+package splice
+
+import (
+	"testing"
+	"time"
+
+	"gage/internal/httpwire"
+	"gage/internal/netsim"
+	"gage/internal/qos"
+	"gage/internal/vclock"
+)
+
+func secondarySystem(t *testing.T, numSecondaries int) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{
+		Subscribers: []qos.Subscriber{
+			{ID: "site1", Hosts: []string{"www.site1.example"}, Reservation: 100},
+		},
+		NumRPNs:          2,
+		NumSecondaryRDNs: numSecondaries,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestSecondaryRDNEndToEnd(t *testing.T) {
+	sys := secondarySystem(t, 2)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var resp *httpwire.Response
+	if err := client.Get("www.site1.example", "/x", func(r *httpwire.Response) { resp = r }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("no response through the secondary-RDN path")
+	}
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSecondaryHandlesHandshakeNotPrimary(t *testing.T) {
+	sys := secondarySystem(t, 1)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var synackFrom netsim.MAC
+	sys.Net.Tap(func(p netsim.Packet) {
+		if p.Flags.Has(netsim.SYN | netsim.ACK) {
+			synackFrom = p.SrcMAC
+		}
+	})
+	done := false
+	if err := client.Get("www.site1.example", "/x", func(*httpwire.Response) { done = true }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	if synackFrom != secMACBase {
+		t.Errorf("SYNACK sent by MAC %d, want secondary %d", synackFrom, secMACBase)
+	}
+	sec := sys.Secondaries()[0]
+	if got := sec.Stats().Handshakes; got != 1 {
+		t.Errorf("secondary handshakes = %d, want 1", got)
+	}
+	if got := sec.Stats().Requests; got != 1 {
+		t.Errorf("secondary classified requests = %d, want 1", got)
+	}
+	// The primary still made the scheduling decision and owns the table.
+	if got := sys.RDN.Stats().Requests; got != 1 {
+		t.Errorf("primary queued requests = %d, want 1", got)
+	}
+	if got := sys.RDN.Table().Len(); got != 1 {
+		t.Errorf("primary connection table = %d entries, want 1", got)
+	}
+}
+
+func TestSecondariesRoundRobin(t *testing.T) {
+	sys := secondarySystem(t, 2)
+	const n = 6
+	responses := 0
+	for i := 0; i < n; i++ {
+		client, err := sys.NewClient(i)
+		if err != nil {
+			t.Fatalf("NewClient(%d): %v", i, err)
+		}
+		if err := client.Get("www.site1.example", "/p", func(*httpwire.Response) { responses++ }); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	if err := sys.Engine.RunFor(2 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if responses != n {
+		t.Fatalf("responses = %d, want %d", responses, n)
+	}
+	secs := sys.Secondaries()
+	h0 := secs[0].Stats().Handshakes
+	h1 := secs[1].Stats().Handshakes
+	if h0 != n/2 || h1 != n/2 {
+		t.Errorf("handshake split = %d/%d, want %d/%d", h0, h1, n/2, n/2)
+	}
+}
+
+func TestSecondaryDropsStrayPackets(t *testing.T) {
+	engine := vclock.NewEngine(time.Time{})
+	netw := netsim.NewNetwork(engine, 0)
+	sec, err := NewSecondaryRDN(netw, 50, netsim.IPAddr{10, 0, 0, 1}, 1)
+	if err != nil {
+		t.Fatalf("NewSecondaryRDN: %v", err)
+	}
+	// A non-SYN packet for an unknown flow is dropped.
+	sec.Receive(netsim.Packet{Flags: netsim.ACK, SrcIP: netsim.IPAddr{9, 9, 9, 9}})
+	if got := sec.Stats().Dropped; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+}

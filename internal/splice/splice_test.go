@@ -1,0 +1,422 @@
+package splice
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gage/internal/httpwire"
+	"gage/internal/netsim"
+	"gage/internal/qos"
+)
+
+func testSystem(t *testing.T, numRPNs int) *System {
+	t.Helper()
+	sys, err := NewSystem(SystemConfig{
+		Subscribers: []qos.Subscriber{
+			{ID: "site1", Hosts: []string{"www.site1.example"}, Reservation: 100},
+			{ID: "site2", Hosts: []string{"www.site2.example"}, Reservation: 50},
+		},
+		NumRPNs: numRPNs,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestControlMessageRoundTrip(t *testing.T) {
+	msg := controlMsg{
+		ClientIP:   netsim.IPAddr{10, 0, 2, 1},
+		ClientPort: 49152,
+		ClientMAC:  1000,
+		ClientISN:  12345,
+		RDNISN:     77000,
+		URL:        []byte("GET / HTTP/1.0\r\nHost: h\r\n\r\n"),
+	}
+	got, err := decodeControl(msg.encode())
+	if err != nil {
+		t.Fatalf("decodeControl: %v", err)
+	}
+	if got.ClientIP != msg.ClientIP || got.ClientPort != msg.ClientPort ||
+		got.ClientMAC != msg.ClientMAC || got.ClientISN != msg.ClientISN ||
+		got.RDNISN != msg.RDNISN || string(got.URL) != string(msg.URL) {
+		t.Errorf("round trip = %+v, want %+v", got, msg)
+	}
+}
+
+func TestControlMessageTooShort(t *testing.T) {
+	if _, err := decodeControl([]byte{1, 2, 3}); err == nil {
+		t.Error("short control message must fail")
+	}
+}
+
+func TestRemapInbound(t *testing.T) {
+	pkt := netsim.Packet{
+		DstIP: netsim.IPAddr{10, 0, 0, 1},
+		Ack:   1000,
+		Flags: netsim.ACK,
+	}
+	RemapInbound(&pkt, netsim.IPAddr{10, 0, 1, 1}, 500)
+	if pkt.DstIP != (netsim.IPAddr{10, 0, 1, 1}) {
+		t.Errorf("DstIP = %v", pkt.DstIP)
+	}
+	if pkt.Ack != 1500 {
+		t.Errorf("Ack = %d, want 1500", pkt.Ack)
+	}
+	// Non-ACK packets keep their ack field untouched.
+	syn := netsim.Packet{Flags: netsim.SYN, Ack: 7}
+	RemapInbound(&syn, netsim.IPAddr{10, 0, 1, 1}, 500)
+	if syn.Ack != 7 {
+		t.Errorf("SYN ack remapped to %d, want 7", syn.Ack)
+	}
+}
+
+func TestRemapOutbound(t *testing.T) {
+	pkt := netsim.Packet{
+		SrcIP: netsim.IPAddr{10, 0, 1, 1},
+		Seq:   2000,
+	}
+	RemapOutbound(&pkt, netsim.IPAddr{10, 0, 0, 1}, 5, 9, 500)
+	if pkt.SrcIP != (netsim.IPAddr{10, 0, 0, 1}) {
+		t.Errorf("SrcIP = %v", pkt.SrcIP)
+	}
+	if pkt.Seq != 1500 {
+		t.Errorf("Seq = %d, want 1500", pkt.Seq)
+	}
+	if pkt.SrcMAC != 5 || pkt.DstMAC != 9 {
+		t.Errorf("MACs = %d→%d, want 5→9", pkt.SrcMAC, pkt.DstMAC)
+	}
+}
+
+func TestRemapRoundTripProperty(t *testing.T) {
+	// delta wrap-around: remapping out then accounting back in is identity
+	// on the sequence space even across uint32 wrap.
+	for _, delta := range []uint32{0, 1, 500, 1 << 31, ^uint32(0)} {
+		out := netsim.Packet{Seq: 42, Flags: netsim.ACK, Ack: 42}
+		RemapOutbound(&out, netsim.IPAddr{}, 0, 0, delta)
+		in := netsim.Packet{Ack: out.Seq, Flags: netsim.ACK}
+		RemapInbound(&in, netsim.IPAddr{}, delta)
+		if in.Ack != 42 {
+			t.Errorf("delta %d: round trip ack = %d, want 42", delta, in.Ack)
+		}
+	}
+}
+
+func TestEndToEndRequestThroughSplicedCluster(t *testing.T) {
+	sys := testSystem(t, 2)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var resp *httpwire.Response
+	err = client.Get("www.site1.example", "/hello.html", func(r *httpwire.Response) { resp = r })
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("no response received")
+	}
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(resp.Body), "/hello.html") {
+		t.Errorf("body = %q, must echo the path", resp.Body)
+	}
+	if got := sys.RDN.Stats().Requests; got != 1 {
+		t.Errorf("RDN classified %d requests, want 1", got)
+	}
+}
+
+func TestResponseBypassesRDN(t *testing.T) {
+	// The point of distributed splicing: response data flows RPN→client
+	// directly; the RDN only ever forwards client→RPN packets.
+	sys := testSystem(t, 1)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var rdnSawResponseData bool
+	sys.Net.Tap(func(p netsim.Packet) {
+		if p.DstMAC == rdnMAC && len(p.Payload) > 0 && p.SrcPort == WebPort {
+			rdnSawResponseData = true
+		}
+	})
+	done := false
+	if err := client.Get("www.site1.example", "/x", func(*httpwire.Response) { done = true }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	if rdnSawResponseData {
+		t.Error("response data must not traverse the RDN")
+	}
+}
+
+func TestClientSeesConsistentSequenceSpace(t *testing.T) {
+	// The client's stack verifies sequence continuity implicitly: data
+	// whose seq does not match rcvNxt is never delivered. A successful
+	// multi-segment transfer therefore proves the remapping is seamless.
+	sys, err := NewSystem(SystemConfig{
+		Subscribers: []qos.Subscriber{
+			{ID: "site1", Hosts: []string{"www.site1.example"}, Reservation: 100},
+		},
+		NumRPNs: 1,
+		App: func(req *httpwire.Request) *httpwire.Response {
+			return &httpwire.Response{
+				StatusCode: 200,
+				Header:     map[string]string{},
+				Body:       make([]byte, 5*netsim.MSS+77), // forces 6 segments
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var resp *httpwire.Response
+	if err := client.Get("www.site1.example", "/big", func(r *httpwire.Response) { resp = r }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("large response not fully received")
+	}
+	if len(resp.Body) != 5*netsim.MSS+77 {
+		t.Errorf("body = %d bytes, want %d", len(resp.Body), 5*netsim.MSS+77)
+	}
+	lsm := sys.LSM(1)
+	st := lsm.Stats()
+	if st.Spliced != 1 {
+		t.Errorf("splices = %d, want 1", st.Spliced)
+	}
+	if st.RemappedOut < 6 {
+		t.Errorf("outbound remaps = %d, want ≥6 (one per data segment)", st.RemappedOut)
+	}
+	if st.RemappedIn < 1 {
+		t.Errorf("inbound remaps = %d, want ≥1 (client ACKs bridged)", st.RemappedIn)
+	}
+}
+
+func TestManyClientsAcrossSubscribersAndRPNs(t *testing.T) {
+	sys := testSystem(t, 4)
+	const n = 20
+	responses := 0
+	for i := 0; i < n; i++ {
+		client, err := sys.NewClient(i)
+		if err != nil {
+			t.Fatalf("NewClient(%d): %v", i, err)
+		}
+		host := "www.site1.example"
+		if i%2 == 1 {
+			host = "www.site2.example"
+		}
+		if err := client.Get(host, "/p", func(*httpwire.Response) { responses++ }); err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+	}
+	if err := sys.Engine.RunFor(2 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if responses != n {
+		t.Errorf("responses = %d, want %d", responses, n)
+	}
+	if got := sys.Enqueued(); got != n {
+		t.Errorf("enqueued = %d, want %d", got, n)
+	}
+	if got := sys.Rejected(); got != 0 {
+		t.Errorf("rejected = %d, want 0", got)
+	}
+}
+
+func TestUnknownHostNotServed(t *testing.T) {
+	sys := testSystem(t, 1)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	served := false
+	if err := client.Get("www.unknown.example", "/x", func(*httpwire.Response) { served = true }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if served {
+		t.Error("unclassifiable request must not be served")
+	}
+	if got := sys.RDN.Stats().Unclassified; got != 1 {
+		t.Errorf("unclassified = %d, want 1", got)
+	}
+}
+
+func TestAccountingFlowsBackToScheduler(t *testing.T) {
+	sys := testSystem(t, 1)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if err := client.Get("www.site1.example", "/x", nil); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	// After at least one accounting cycle, the scheduler's predictor for
+	// site1 reflects the configured per-request cost (generic).
+	predicted, ok := sys.Sched.Predicted("site1")
+	if !ok {
+		t.Fatal("predictor missing for site1")
+	}
+	if predicted != qos.GenericCost() {
+		t.Errorf("predicted = %v, want generic (exact feedback)", predicted)
+	}
+	out, _ := sys.Sched.Outstanding(1)
+	if !out.IsZero() {
+		t.Errorf("outstanding after completion = %v, want zero", out)
+	}
+}
+
+func TestFigure2MessageSequence(t *testing.T) {
+	// Trace the wire and check the canonical splicing exchange in order:
+	// SYN → SYNACK → ACK → URL → (dispatch) → response direct to client.
+	sys := testSystem(t, 1)
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var trace []string
+	sys.Net.Tap(func(p netsim.Packet) {
+		switch {
+		case p.Flags.Has(netsim.SYN) && !p.Flags.Has(netsim.ACK):
+			trace = append(trace, "SYN")
+		case p.Flags.Has(netsim.SYN | netsim.ACK):
+			trace = append(trace, "SYNACK")
+		case p.DstPort == ControlPort:
+			trace = append(trace, "DISPATCH")
+		case len(p.Payload) > 0 && p.DstMAC == rdnMAC:
+			trace = append(trace, "URL")
+		case len(p.Payload) > 0 && p.SrcPort == WebPort:
+			trace = append(trace, "RESPONSE")
+		}
+	})
+	if err := client.Get("www.site1.example", "/x", nil); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	got := strings.Join(trace, " ")
+	want := "SYN SYNACK URL DISPATCH RESPONSE"
+	if got != want {
+		t.Errorf("message sequence = %q, want %q", got, want)
+	}
+}
+
+func TestSplicingSurvivesPacketLoss(t *testing.T) {
+	// A lossy LAN: retransmitted handshakes, URLs and response segments all
+	// traverse the splicing path (remapped consistently) and the request
+	// still completes. Dispatch control frames are exempt, as the paper's
+	// RDN→RPN dispatch channel is internal to the cluster fabric.
+	sys, err := NewSystem(SystemConfig{
+		Subscribers: []qos.Subscriber{
+			{ID: "site1", Hosts: []string{"www.site1.example"}, Reservation: 100},
+		},
+		NumRPNs: 1,
+		App: func(req *httpwire.Request) *httpwire.Response {
+			return &httpwire.Response{
+				StatusCode: 200,
+				Header:     map[string]string{},
+				Body:       make([]byte, 3*netsim.MSS),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	sys.Net.SetLoss(0.10, 7)
+	sys.Net.LossExempt = func(p netsim.Packet) bool { return p.DstPort == ControlPort }
+
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var resp *httpwire.Response
+	if err := client.Get("www.site1.example", "/big", func(r *httpwire.Response) { resp = r }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(20 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if resp == nil {
+		t.Fatal("request did not survive the lossy network")
+	}
+	if len(resp.Body) != 3*netsim.MSS {
+		t.Errorf("body = %d bytes, want %d intact", len(resp.Body), 3*netsim.MSS)
+	}
+	if sys.Net.Dropped() == 0 {
+		t.Error("the lossy network should have dropped frames")
+	}
+}
+
+func TestTeardownRetiresSpliceAndTableState(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Subscribers: []qos.Subscriber{
+			{ID: "site1", Hosts: []string{"www.site1.example"}, Reservation: 100},
+		},
+		NumRPNs: 1,
+		ConnTTL: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	client, err := sys.NewClient(0)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	done := false
+	if err := client.Get("www.site1.example", "/x", func(*httpwire.Response) { done = true }); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if err := sys.Engine.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	// The server's FIN plus the client's final ACK retire the LSM state.
+	if got := sys.LSM(1).ActiveSplices(); got != 0 {
+		t.Errorf("active splices after teardown = %d, want 0", got)
+	}
+	// The RDN's connection-table entry ages out after the TTL.
+	if got := sys.RDN.Table().Len(); got != 1 {
+		t.Fatalf("table before expiry = %d entries, want 1", got)
+	}
+	if err := sys.Engine.RunFor(4 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if got := sys.RDN.Table().Len(); got != 0 {
+		t.Errorf("table after TTL = %d entries, want 0", got)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{NumRPNs: 0}); err == nil {
+		t.Error("zero RPNs must be rejected")
+	}
+	if _, err := NewSystem(SystemConfig{NumRPNs: 1}); err == nil {
+		t.Error("no subscribers must be rejected")
+	}
+}

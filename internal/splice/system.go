@@ -1,0 +1,362 @@
+package splice
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"gage/internal/accounting"
+	"gage/internal/classify"
+	"gage/internal/core"
+	"gage/internal/httpwire"
+	"gage/internal/netsim"
+	"gage/internal/qos"
+	"gage/internal/vclock"
+)
+
+// WebApp produces the back-end web server's response to a request.
+type WebApp func(req *httpwire.Request) *httpwire.Response
+
+// DefaultWebApp serves a fixed HTML page for any request.
+func DefaultWebApp(req *httpwire.Request) *httpwire.Response {
+	body := fmt.Sprintf("<html><body>%s%s</body></html>", req.Host, req.Path())
+	return &httpwire.Response{
+		StatusCode: 200,
+		Header:     map[string]string{"Content-Type": "text/html"},
+		Body:       []byte(body),
+	}
+}
+
+// SystemConfig assembles a full simulated Gage cluster on netsim.
+type SystemConfig struct {
+	// Subscribers defines sites, hosts and reservations.
+	Subscribers []qos.Subscriber
+	// NumRPNs is the back-end count.
+	NumRPNs int
+	// NumSecondaryRDNs adds an asymmetric front-end tier (§3.2): secondary
+	// RDNs take over first-leg handshakes and URL classification while the
+	// primary keeps all scheduling decisions. Zero means the primary does
+	// everything, as in the paper's evaluated prototype.
+	NumSecondaryRDNs int
+	// App handles requests at every RPN (DefaultWebApp when nil).
+	App WebApp
+	// RequestCost is charged per completed request (generic when zero).
+	RequestCost qos.Vector
+	// NodeCapacity is each RPN's declared capacity (100 GRPS when zero).
+	NodeCapacity qos.Vector
+	// SchedCycle and AcctCycle default to 10 ms and 100 ms.
+	SchedCycle, AcctCycle time.Duration
+	// Latency is the per-hop network latency (50 µs when zero).
+	Latency time.Duration
+	// ConnTTL expires idle connection-table entries (default 60 s).
+	ConnTTL time.Duration
+}
+
+// System is a complete spliced Gage cluster on a virtual-clock network:
+// front-end RDN, core scheduler, and NumRPNs back ends each with a local
+// service manager, a TCP stack, a web application and an accountant.
+type System struct {
+	Engine *vclock.Engine
+	Net    *netsim.Network
+	RDN    *RDN
+	Sched  *core.Scheduler
+
+	lsms        map[core.NodeID]*LSM
+	secondaries []*SecondaryRDN
+	busy        map[core.NodeID]*time.Time // each RPN's service-station horizon
+	accts       map[core.NodeID]*accounting.Accountant
+	procs       map[core.NodeID]map[qos.SubscriberID]accounting.ProcessID
+	dir         *qos.Directory
+	classifier  classify.Classifier
+	cfg         SystemConfig
+	nextID      uint64
+	stops       []func()
+	enqueued    uint64
+	rejected    uint64
+}
+
+// ClusterIP is the cluster's public address on the simulated segment.
+var ClusterIP = netsim.IPAddr{10, 0, 0, 1}
+
+const (
+	rdnMAC      netsim.MAC = 1
+	secMACBase  netsim.MAC = 50
+	rpnMACBase  netsim.MAC = 100
+	clientBase  netsim.MAC = 1000
+	rpnIPPrefix            = 1 // 10.0.1.x
+)
+
+// NewSystem builds and starts the cluster's periodic machinery on a fresh
+// engine. Call Engine.RunFor to advance the world.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if cfg.NumRPNs <= 0 {
+		return nil, errors.New("splice: at least one RPN required")
+	}
+	if cfg.App == nil {
+		cfg.App = DefaultWebApp
+	}
+	if cfg.RequestCost.IsZero() {
+		cfg.RequestCost = qos.GenericCost()
+	}
+	if cfg.NodeCapacity.IsZero() {
+		cfg.NodeCapacity = qos.Vector{
+			CPUTime:  time.Second,
+			DiskTime: time.Second,
+			NetBytes: 12_500_000,
+		}
+	}
+	if cfg.SchedCycle <= 0 {
+		cfg.SchedCycle = core.DefaultCycle
+	}
+	if cfg.AcctCycle <= 0 {
+		cfg.AcctCycle = 100 * time.Millisecond
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Microsecond
+	}
+	if cfg.ConnTTL <= 0 {
+		cfg.ConnTTL = 60 * time.Second
+	}
+
+	dir, err := qos.NewDirectory(cfg.Subscribers)
+	if err != nil {
+		return nil, err
+	}
+	engine := vclock.NewEngine(time.Time{})
+	netw := netsim.NewNetwork(engine, cfg.Latency)
+
+	sys := &System{
+		Engine: engine,
+		Net:    netw,
+		lsms:   make(map[core.NodeID]*LSM, cfg.NumRPNs),
+		busy:   make(map[core.NodeID]*time.Time, cfg.NumRPNs),
+		accts:  make(map[core.NodeID]*accounting.Accountant, cfg.NumRPNs),
+		procs:  make(map[core.NodeID]map[qos.SubscriberID]accounting.ProcessID, cfg.NumRPNs),
+		dir:    dir,
+		cfg:    cfg,
+	}
+
+	classifier := classify.NewHostClassifier(dir)
+	sys.classifier = classifier
+	sys.RDN, err = NewRDN(netw, rdnMAC, ClusterIP, classifier, sys.enqueue)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.NumSecondaryRDNs; i++ {
+		mac := secMACBase + netsim.MAC(i)
+		sec, err := NewSecondaryRDN(netw, mac, ClusterIP, rdnMAC)
+		if err != nil {
+			return nil, err
+		}
+		sys.secondaries = append(sys.secondaries, sec)
+		sys.RDN.AddSecondary(mac)
+	}
+
+	nodeCfgs := make([]core.NodeConfig, 0, cfg.NumRPNs)
+	for i := 1; i <= cfg.NumRPNs; i++ {
+		id := core.NodeID(i)
+		mac := rpnMACBase + netsim.MAC(i)
+		ip := netsim.IPAddr{10, 0, rpnIPPrefix, byte(i)}
+		lsm, err := NewLSM(netw, mac, ip, ClusterIP)
+		if err != nil {
+			return nil, err
+		}
+		sys.lsms[id] = lsm
+		sys.busy[id] = &time.Time{}
+		sys.accts[id] = accounting.NewAccountant(id)
+		sys.procs[id] = make(map[qos.SubscriberID]accounting.ProcessID)
+		nodeCfgs = append(nodeCfgs, core.NodeConfig{ID: id, Capacity: cfg.NodeCapacity})
+		if err := sys.serveWeb(id, lsm); err != nil {
+			return nil, err
+		}
+	}
+
+	sys.Sched, err = core.New(dir, nodeCfgs, core.Config{Cycle: cfg.SchedCycle})
+	if err != nil {
+		return nil, err
+	}
+
+	// Scheduling cycle: dispatch decisions travel to their LSMs.
+	sys.stops = append(sys.stops, engine.Every(cfg.SchedCycle, func() {
+		for _, d := range sys.Sched.Tick() {
+			req, ok := d.Req.Payload.(*PendingRequest)
+			if !ok {
+				continue
+			}
+			// Dispatch to a known node cannot fail.
+			_ = sys.RDN.Dispatch(req, rpnMACBase+netsim.MAC(d.Node))
+		}
+	}))
+	// Connection-table expiry: stale spliced-connection entries age out.
+	sys.stops = append(sys.stops, engine.Every(cfg.ConnTTL/2, func() {
+		sys.RDN.Table().Expire(engine.Now().Add(-cfg.ConnTTL))
+	}))
+	// Accounting cycle per RPN.
+	for id := range sys.lsms {
+		id := id
+		sys.stops = append(sys.stops, engine.Every(cfg.AcctCycle, func() {
+			// Reports from known nodes cannot fail.
+			_ = sys.Sched.ReportUsage(sys.accts[id].Cycle())
+		}))
+	}
+	return sys, nil
+}
+
+// Stop halts the periodic machinery.
+func (s *System) Stop() {
+	for _, stop := range s.stops {
+		stop()
+	}
+}
+
+// LSM returns a node's local service manager.
+func (s *System) LSM(id core.NodeID) *LSM { return s.lsms[id] }
+
+// Secondaries returns the secondary RDN tier (empty without one).
+func (s *System) Secondaries() []*SecondaryRDN { return s.secondaries }
+
+// Enqueued returns how many classified requests entered the scheduler.
+func (s *System) Enqueued() uint64 { return s.enqueued }
+
+// Rejected returns how many classified requests the scheduler refused
+// (queue overflow).
+func (s *System) Rejected() uint64 { return s.rejected }
+
+// enqueue is the RDN's onRequest hook: classified requests enter the
+// scheduler's per-subscriber queues.
+func (s *System) enqueue(req *PendingRequest) {
+	s.nextID++
+	err := s.Sched.Enqueue(core.Request{
+		ID:         s.nextID,
+		Subscriber: req.Subscriber,
+		Payload:    req,
+	})
+	if err != nil {
+		s.rejected++
+		return
+	}
+	s.enqueued++
+}
+
+// serveWeb runs the web application on an RPN's local stack: each request
+// occupies the node's service station for its modeled service time (its
+// cost against the node capacity), then the response is sent and the
+// accountant charged. This makes a node's real throughput match its
+// declared capacity, so the QoS guarantees are load-bearing end to end.
+func (s *System) serveWeb(id core.NodeID, lsm *LSM) error {
+	return lsm.Stack().Listen(WebPort, func(c *netsim.Conn) {
+		var buf bytes.Buffer
+		c.OnData = func(conn *netsim.Conn, data []byte) {
+			buf.Write(data)
+			req, err := httpwire.ParseRequest(buf.Bytes())
+			if err != nil {
+				return // incomplete request head; wait for more data
+			}
+			buf.Reset()
+			// FIFO service station: start when the node frees up.
+			now := s.Engine.Now()
+			start := now
+			if s.busy[id].After(start) {
+				start = *s.busy[id]
+			}
+			fin := start.Add(serviceTime(s.cfg.RequestCost, s.cfg.NodeCapacity))
+			*s.busy[id] = fin
+			s.Engine.At(fin, func() {
+				resp := s.cfg.App(req)
+				var out bytes.Buffer
+				// Serialization of a well-formed response cannot fail.
+				_ = resp.Write(&out)
+				conn.Send(out.Bytes())
+				// HTTP/1.0: one request per connection; the FIN also
+				// retires the splice state at the LSM.
+				conn.Close()
+				s.charge(id, req.Host, req.Path())
+			})
+		}
+	})
+}
+
+// serviceTime is how long a request of the given cost occupies a node of
+// the given per-second capacity: its bottleneck resource's share.
+func serviceTime(cost, capacity qos.Vector) time.Duration {
+	d := ratioDur(float64(cost.CPUTime), float64(capacity.CPUTime))
+	if disk := ratioDur(float64(cost.DiskTime), float64(capacity.DiskTime)); disk > d {
+		d = disk
+	}
+	if net := ratioDur(float64(cost.NetBytes), float64(capacity.NetBytes)); net > d {
+		d = net
+	}
+	return d
+}
+
+func ratioDur(cost, capPerSecond float64) time.Duration {
+	if capPerSecond <= 0 {
+		return 0
+	}
+	return time.Duration(cost / capPerSecond * float64(time.Second))
+}
+
+// charge attributes one completed request to its subscriber's process.
+func (s *System) charge(id core.NodeID, host, path string) {
+	sub, ok := s.classifier.Classify(host, path)
+	if !ok {
+		return
+	}
+	acct := s.accts[id]
+	pid, ok := s.procs[id][sub]
+	if !ok {
+		pid = acct.Launch(sub)
+		s.procs[id][sub] = pid
+	}
+	// Charging a live process cannot fail.
+	_ = acct.Charge(pid, s.cfg.RequestCost)
+	_ = acct.CompleteRequest(pid)
+}
+
+// Client is a simulated web client on the cluster's network.
+type Client struct {
+	sys   *System
+	stack *netsim.Stack
+}
+
+// NewClient attaches a client host to the network. Index keeps MACs and IPs
+// unique; use 0,1,2,...
+func (s *System) NewClient(index int) (*Client, error) {
+	mac := clientBase + netsim.MAC(index)
+	ip := netsim.IPAddr{10, 0, 2, byte(index + 1)}
+	stack, err := netsim.NewStack(s.Net, mac, ip)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{sys: s, stack: stack}, nil
+}
+
+// Get issues an HTTP GET through the cluster. onDone fires with the parsed
+// response once it fully arrives (in virtual time).
+func (c *Client) Get(host, path string, onDone func(*httpwire.Response)) error {
+	conn, err := c.stack.Connect(ClusterIP, WebPort)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	conn.OnEstablished = func(conn *netsim.Conn) {
+		req := &httpwire.Request{Method: "GET", Target: path, Proto: "HTTP/1.0", Host: host}
+		var out bytes.Buffer
+		// Serialization of a well-formed request cannot fail.
+		_ = req.Write(&out)
+		conn.Send(out.Bytes())
+	}
+	conn.OnData = func(conn *netsim.Conn, data []byte) {
+		buf.Write(data)
+		resp, err := httpwire.ReadResponse(bufio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			return // incomplete
+		}
+		if onDone != nil {
+			onDone(resp)
+		}
+	}
+	return nil
+}

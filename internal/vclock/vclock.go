@@ -1,0 +1,208 @@
+// Package vclock provides the virtual-time discrete-event engine that drives
+// Gage's cluster and network simulators, plus a real-clock adapter so the
+// same scheduling code can run against wall time in the live dispatcher.
+//
+// The engine is deterministic: events scheduled for the same instant fire in
+// FIFO order of scheduling, so simulation runs are exactly reproducible.
+package vclock
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// Clock exposes the current time to components that must work both in
+// simulation and against wall time.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// ErrStopped is returned by Run variants after Stop has been called.
+var ErrStopped = errors.New("vclock: engine stopped")
+
+// event is one scheduled callback.
+type event struct {
+	at   time.Time
+	seq  uint64 // FIFO tie-break for identical times
+	fn   func()
+	heap *eventHeap
+	idx  int // index in heap, -1 once popped or cancelled
+}
+
+// Timer handles a scheduled event and allows cancellation.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(t.ev.heap, t.ev.idx)
+	t.ev.idx = -1
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all components of one simulation share one goroutine.
+type Engine struct {
+	now     time.Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+}
+
+// NewEngine returns an engine whose clock starts at the given origin.
+// A zero origin is valid and convenient: times are then just offsets.
+func NewEngine(origin time.Time) *Engine {
+	return &Engine{now: origin}
+}
+
+var _ Clock = (*Engine)(nil)
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// At schedules fn to run at instant t. Scheduling in the past (before Now)
+// clamps to Now, which makes "run immediately" idioms safe.
+func (e *Engine) At(t time.Time, fn func()) *Timer {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.nextSeq, fn: fn, heap: &e.queue}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn to run every period, starting one period from now, until
+// the returned Timer chain is stopped via the returned stop function.
+func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
+	var (
+		timer   *Timer
+		stopped bool
+	)
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			timer = e.After(period, tick)
+		}
+	}
+	timer = e.After(period, tick)
+	return func() {
+		stopped = true
+		timer.Stop()
+	}
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Stop halts the engine: Run and Step become no-ops.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// RunUntil fires events in order until the queue empties, the engine is
+// stopped, or the next event lies after deadline. The clock is left at
+// min(deadline, last fired event). It returns ErrStopped if halted by Stop.
+func (e *Engine) RunUntil(deadline time.Time) error {
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		if e.queue[0].at.After(deadline) {
+			break
+		}
+		e.Step()
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d time.Duration) error {
+	return e.RunUntil(e.now.Add(d))
+}
+
+// Drain fires all pending events regardless of time. Use with care: with
+// self-rescheduling periodic events this never returns; prefer RunUntil.
+func (e *Engine) Drain() error {
+	for e.Step() {
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RealClock adapts the wall clock to the Clock interface.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }

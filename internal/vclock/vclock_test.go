@@ -1,0 +1,253 @@
+package vclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOForEqualTimes(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(time.Time{})
+		var fired []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			e.After(d, func() { fired = append(fired, d) })
+		}
+		if err := e.RunFor(time.Hour); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var at time.Time
+	e.After(42*time.Millisecond, func() { at = e.Now() })
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if want := (time.Time{}).Add(42 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("clock inside event = %v, want %v", at, want)
+	}
+	if want := (time.Time{}).Add(time.Second); !e.Now().Equal(want) {
+		t.Errorf("clock after RunFor = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestEnginePastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine(time.Time{}.Add(time.Hour))
+	fired := false
+	e.At(time.Time{}, func() { fired = true })
+	if err := e.RunFor(time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !fired {
+		t.Error("past-scheduled event must fire immediately")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(time.Time{})
+	fired := false
+	timer := e.After(10*time.Millisecond, func() { fired = true })
+	if !timer.Stop() {
+		t.Error("first Stop should report true")
+	}
+	if timer.Stop() {
+		t.Error("second Stop should report false")
+	}
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if fired {
+		t.Error("stopped timer must not fire")
+	}
+}
+
+func TestTimerStopMiddleOfHeap(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var got []int
+	var timers []*Timer
+	for i := 0; i < 5; i++ {
+		i := i
+		timers = append(timers, e.After(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))
+	}
+	timers[2].Stop()
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(time.Time{})
+	count := 0
+	stop := e.Every(10*time.Millisecond, func() { count++ })
+	if err := e.RunFor(55 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("ticks in 55ms at 10ms period = %d, want 5", count)
+	}
+	stop()
+	if err := e.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("ticks after stop = %d, want 5", count)
+	}
+}
+
+func TestEveryStopFromWithinCallback(t *testing.T) {
+	e := NewEngine(time.Time{})
+	count := 0
+	var stop func()
+	stop = e.Every(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("self-stopped ticker fired %d times, want 3", count)
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine(time.Time{})
+	fired := false
+	e.After(100*time.Millisecond, func() { fired = true })
+	if err := e.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if fired {
+		t.Error("event beyond the deadline must not fire")
+	}
+	if e.Len() != 1 {
+		t.Errorf("pending events = %d, want 1", e.Len())
+	}
+	if err := e.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if !fired {
+		t.Error("event must fire once the deadline passes it")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(time.Time{})
+	count := 0
+	e.Every(time.Millisecond, func() {
+		count++
+		if count == 2 {
+			e.Stop()
+		}
+	})
+	err := e.RunFor(time.Second)
+	if err != ErrStopped {
+		t.Errorf("RunFor after Stop = %v, want ErrStopped", err)
+	}
+	if count != 2 {
+		t.Errorf("events after stop = %d, want 2", count)
+	}
+	if e.Step() {
+		t.Error("Step after Stop must be a no-op")
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() must report true")
+	}
+}
+
+func TestDrainFiresEverything(t *testing.T) {
+	e := NewEngine(time.Time{})
+	count := 0
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Hour, func() { count++ })
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if count != 7 {
+		t.Errorf("drained %d events, want 7", count)
+	}
+}
+
+func TestEventsScheduledDuringEventsFire(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var order []string
+	e.After(time.Millisecond, func() {
+		order = append(order, "outer")
+		e.After(time.Millisecond, func() { order = append(order, "inner") })
+	})
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Errorf("order = %v, want [outer inner]", order)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	got := RealClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("RealClock.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"fmt"
+	"time"
+
+	"gage/internal/workload"
+)
+
+// A constant-rate source materializes an arrival-stamped request stream.
+func ExampleSource_Schedule() {
+	arr, err := workload.NewConstantRate(100) // 100 req/s
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	src := workload.Source{
+		Subscriber: "gold",
+		Gen:        workload.NewGeneric("gold.example"),
+		Arrivals:   arr,
+	}
+	reqs, _ := src.Schedule(50*time.Millisecond, 1)
+	for _, r := range reqs {
+		fmt.Printf("%v %s%s\n", r.Arrival, r.Host, r.Path)
+	}
+	// Output:
+	// 10ms gold.example/index.html
+	// 20ms gold.example/index.html
+	// 30ms gold.example/index.html
+	// 40ms gold.example/index.html
+}
+
+// The default cost model prices a 6 KB page so one nominal RPN sustains
+// ≈540 requests/sec — the paper's measured per-node capacity.
+func ExampleCostModel_Cost() {
+	cost := workload.DefaultCostModel().Cost(workload.SixKBPage)
+	fmt.Printf("%.0f req/s per node\n", 1/cost.CPUTime.Seconds())
+	// Output: 542 req/s per node
+}

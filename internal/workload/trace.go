@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// traceRecord is the on-disk form of one request. Durations are serialized
+// in nanoseconds with explicit unit-bearing names.
+type traceRecord struct {
+	ID         uint64 `json:"id"`
+	Subscriber string `json:"subscriber"`
+	Host       string `json:"host"`
+	Path       string `json:"path"`
+	CPUNanos   int64  `json:"cpuNanos"`
+	DiskNanos  int64  `json:"diskNanos"`
+	NetBytes   int64  `json:"netBytes"`
+	ArrivalNs  int64  `json:"arrivalNanos"`
+}
+
+// WriteTrace serializes requests as JSON lines, one request per line —
+// the same record/replay role SPECWeb99 trace files play in the paper.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range reqs {
+		rec := traceRecord{
+			ID:         r.ID,
+			Subscriber: string(r.Subscriber),
+			Host:       r.Host,
+			Path:       r.Path,
+			CPUNanos:   int64(r.Cost.CPUTime),
+			DiskNanos:  int64(r.Cost.DiskTime),
+			NetBytes:   r.Cost.NetBytes,
+			ArrivalNs:  int64(r.Arrival),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("workload: encode trace record %d: %w", r.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON-lines trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var out []Request
+	dec := json.NewDecoder(r)
+	for {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decode trace record: %w", err)
+		}
+		out = append(out, Request{
+			ID:         rec.ID,
+			Subscriber: qos.SubscriberID(rec.Subscriber),
+			Host:       rec.Host,
+			Path:       rec.Path,
+			Cost: qos.Vector{
+				CPUTime:  time.Duration(rec.CPUNanos),
+				DiskTime: time.Duration(rec.DiskNanos),
+				NetBytes: rec.NetBytes,
+			},
+			Arrival: time.Duration(rec.ArrivalNs),
+		})
+	}
+	return out, nil
+}
+
+// Merge combines several per-source request streams into one arrival-ordered
+// stream, as the RDN would observe it on the wire. Ordering ties break by
+// request ID for determinism.
+func Merge(streams ...[]Request) []Request {
+	var total int
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Request, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

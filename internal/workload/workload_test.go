@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gage/internal/qos"
+)
+
+func TestFixedGenerator(t *testing.T) {
+	cost := qos.Vector{CPUTime: time.Millisecond, DiskTime: 2 * time.Millisecond, NetBytes: 512}
+	g := NewFixed("www.a.example", "/p", cost)
+	for i := 0; i < 3; i++ {
+		r := g.Next()
+		if r.Host != "www.a.example" || r.Path != "/p" || r.Cost != cost {
+			t.Fatalf("Next() = %+v, want fixed shape", r)
+		}
+	}
+}
+
+func TestNewGenericCostsOneUnit(t *testing.T) {
+	r := NewGeneric("h").Next()
+	if got := r.GenericUnits(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("generic request units = %v, want 1", got)
+	}
+}
+
+func TestCostModelMonotoneInSize(t *testing.T) {
+	m := DefaultCostModel()
+	small, big := m.Cost(1024), m.Cost(64*1024)
+	if !big.Dominates(small) {
+		t.Errorf("larger pages must cost at least as much: %v vs %v", big, small)
+	}
+	if big == small {
+		t.Error("cost must grow with size")
+	}
+}
+
+func TestCostModelCalibration(t *testing.T) {
+	// A 6 KB page must cost ≈1.85 ms CPU so a single simulated RPN
+	// sustains ≈540 req/s, the per-RPN capacity measured in §4.3.
+	c := DefaultCostModel().Cost(SixKBPage)
+	perRPN := 1 / c.CPUTime.Seconds()
+	if perRPN < 500 || perRPN > 580 {
+		t.Errorf("6KB-page RPN capacity = %.1f req/s, want ≈540", perRPN)
+	}
+	if c.NetBytes != SixKBPage+400 {
+		t.Errorf("6KB wire bytes = %d, want %d", c.NetBytes, SixKBPage+400)
+	}
+}
+
+func TestSPECWeb99Deterministic(t *testing.T) {
+	a, b := NewSPECWeb99("h", 7), NewSPECWeb99("h", 7)
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Next(), b.Next()
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("same-seed generators diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestSPECWeb99ClassMix(t *testing.T) {
+	g := NewSPECWeb99("h", 42)
+	const n = 20000
+	classCount := make(map[int]int)
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		var class, idx int
+		if _, err := fmt.Sscanf(r.Path, "/class%d/file%d.html", &class, &idx); err != nil {
+			t.Fatalf("unexpected path %q: %v", r.Path, err)
+		}
+		classCount[class]++
+		if idx < 1 || idx > 9 {
+			t.Fatalf("file index %d out of range in %q", idx, r.Path)
+		}
+		if !r.Cost.AllNonNegative() || r.Cost.IsZero() {
+			t.Fatalf("invalid cost %v", r.Cost)
+		}
+	}
+	// Published SPECweb99 class frequencies: 35%, 50%, 14%, 1%.
+	want := []float64{0.35, 0.50, 0.14, 0.01}
+	for class, w := range want {
+		got := float64(classCount[class]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("class %d frequency = %.3f, want ≈%.2f", class, got, w)
+		}
+	}
+}
+
+func TestCGIMixFractions(t *testing.T) {
+	static := qos.Vector{CPUTime: time.Millisecond, DiskTime: time.Millisecond, NetBytes: 1000}
+	cgi := qos.Vector{CPUTime: 50 * time.Millisecond, DiskTime: 5 * time.Millisecond, NetBytes: 3000}
+	g := NewCGIMix("h", 3, 0.25, static, cgi)
+	const n = 20000
+	var cgiCount int
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		switch r.Cost {
+		case cgi:
+			cgiCount++
+		case static:
+		default:
+			t.Fatalf("unexpected cost %v", r.Cost)
+		}
+	}
+	if got := float64(cgiCount) / n; math.Abs(got-0.25) > 0.02 {
+		t.Errorf("CGI fraction = %.3f, want ≈0.25", got)
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	c, err := NewConstantRate(100)
+	if err != nil {
+		t.Fatalf("NewConstantRate: %v", err)
+	}
+	if got := c.NextGap(); got != 10*time.Millisecond {
+		t.Errorf("gap = %v, want 10ms", got)
+	}
+	if _, err := NewConstantRate(0); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+	if _, err := NewConstantRate(-5); err == nil {
+		t.Error("negative rate must be rejected")
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p, err := NewPoisson(200, 11)
+	if err != nil {
+		t.Fatalf("NewPoisson: %v", err)
+	}
+	const n = 50000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		g := p.NextGap()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+	}
+	mean := sum.Seconds() / n
+	if math.Abs(mean-0.005) > 0.0005 {
+		t.Errorf("mean gap = %vs, want ≈0.005s", mean)
+	}
+	if _, err := NewPoisson(0, 1); err == nil {
+		t.Error("zero rate must be rejected")
+	}
+}
+
+func TestSourceSchedule(t *testing.T) {
+	arr, err := NewConstantRate(100)
+	if err != nil {
+		t.Fatalf("NewConstantRate: %v", err)
+	}
+	src := Source{Subscriber: "site1", Gen: NewGeneric("h"), Arrivals: arr}
+	reqs, next := src.Schedule(time.Second, 10)
+	// Arrivals at 10ms, 20ms, ..., 990ms → 99 requests strictly inside [0,1s).
+	if len(reqs) != 99 {
+		t.Fatalf("scheduled %d requests, want 99", len(reqs))
+	}
+	if next != 10+99 {
+		t.Errorf("next ID = %d, want %d", next, 10+99)
+	}
+	for i, r := range reqs {
+		if r.ID != 10+uint64(i) {
+			t.Errorf("req %d ID = %d, want %d", i, r.ID, 10+uint64(i))
+		}
+		if r.Subscriber != "site1" {
+			t.Errorf("req %d subscriber = %q", i, r.Subscriber)
+		}
+		if want := time.Duration(i+1) * 10 * time.Millisecond; r.Arrival != want {
+			t.Errorf("req %d arrival = %v, want %v", i, r.Arrival, want)
+		}
+	}
+}
+
+func TestScheduleRateProperty(t *testing.T) {
+	f := func(rate uint8) bool {
+		r := float64(rate%200) + 1
+		arr, err := NewConstantRate(r)
+		if err != nil {
+			return false
+		}
+		src := Source{Subscriber: "s", Gen: NewGeneric("h"), Arrivals: arr}
+		reqs, _ := src.Schedule(2*time.Second, 0)
+		// Expect ≈ 2r arrivals (within rounding of the open interval).
+		return math.Abs(float64(len(reqs))-2*r) <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	arr, err := NewConstantRate(50)
+	if err != nil {
+		t.Fatalf("NewConstantRate: %v", err)
+	}
+	src := Source{Subscriber: "site1", Gen: NewSPECWeb99("h", 5), Arrivals: arr}
+	reqs, _ := src.Schedule(time.Second, 0)
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Errorf("trace round-trip mismatch: got %d reqs, want %d", len(got), len(reqs))
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("garbage trace must fail to parse")
+	}
+}
+
+func TestMergeOrdersByArrival(t *testing.T) {
+	a := []Request{{ID: 1, Arrival: 30 * time.Millisecond}, {ID: 2, Arrival: 50 * time.Millisecond}}
+	b := []Request{{ID: 3, Arrival: 10 * time.Millisecond}, {ID: 4, Arrival: 30 * time.Millisecond}}
+	got := Merge(a, b)
+	wantIDs := []uint64{3, 1, 4, 2}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("merged %d, want %d", len(got), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Errorf("merge[%d].ID = %d, want %d (tie-break by ID)", i, got[i].ID, id)
+		}
+	}
+}
