@@ -1,0 +1,19 @@
+# Tier-1 verification gate. Every change must keep `make verify` green.
+.PHONY: verify build vet test race
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# The scheduler and dispatcher are the concurrency hot spots (connection
+# goroutines vs ticker vs concurrent accounting pollers): run them under the
+# race detector on every change.
+race:
+	go test -race ./internal/core/... ./internal/dispatch/...

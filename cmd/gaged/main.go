@@ -18,7 +18,10 @@
 //	    {"id": 1, "addr": "127.0.0.1:9001"}
 //	  ],
 //	  "acctCycleMillis": 100,
-//	  "schedCycleMillis": 10
+//	  "schedCycleMillis": 10,
+//	  "dialTimeoutMillis": 2000,
+//	  "queueTimeoutMillis": 30000,
+//	  "retryBackoffMillis": 25
 //	}
 package main
 
@@ -47,8 +50,11 @@ type fileConfig struct {
 		ID   int    `json:"id"`
 		Addr string `json:"addr"`
 	} `json:"backends"`
-	AcctCycleMillis  int `json:"acctCycleMillis"`
-	SchedCycleMillis int `json:"schedCycleMillis"`
+	AcctCycleMillis    int `json:"acctCycleMillis"`
+	SchedCycleMillis   int `json:"schedCycleMillis"`
+	DialTimeoutMillis  int `json:"dialTimeoutMillis"`
+	QueueTimeoutMillis int `json:"queueTimeoutMillis"`
+	RetryBackoffMillis int `json:"retryBackoffMillis"`
 }
 
 func main() {
@@ -114,6 +120,15 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	}
 	if fc.SchedCycleMillis > 0 {
 		cfg.Scheduler.Cycle = time.Duration(fc.SchedCycleMillis) * time.Millisecond
+	}
+	if fc.DialTimeoutMillis > 0 {
+		cfg.DialTimeout = time.Duration(fc.DialTimeoutMillis) * time.Millisecond
+	}
+	if fc.QueueTimeoutMillis > 0 {
+		cfg.QueueTimeout = time.Duration(fc.QueueTimeoutMillis) * time.Millisecond
+	}
+	if fc.RetryBackoffMillis > 0 {
+		cfg.RetryBackoff = time.Duration(fc.RetryBackoffMillis) * time.Millisecond
 	}
 	return cfg, nil
 }

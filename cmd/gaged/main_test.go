@@ -16,7 +16,10 @@ func TestParseConfig(t *testing.T) {
 	    {"id": 2, "addr": "127.0.0.1:9002"}
 	  ],
 	  "acctCycleMillis": 250,
-	  "schedCycleMillis": 20
+	  "schedCycleMillis": 20,
+	  "dialTimeoutMillis": 1500,
+	  "queueTimeoutMillis": 10000,
+	  "retryBackoffMillis": 40
 	}`)
 	cfg, err := parseConfig(raw)
 	if err != nil {
@@ -41,6 +44,15 @@ func TestParseConfig(t *testing.T) {
 	if cfg.Scheduler.Cycle != 20*time.Millisecond {
 		t.Errorf("sched cycle = %v, want 20ms", cfg.Scheduler.Cycle)
 	}
+	if cfg.DialTimeout != 1500*time.Millisecond {
+		t.Errorf("dial timeout = %v, want 1.5s", cfg.DialTimeout)
+	}
+	if cfg.QueueTimeout != 10*time.Second {
+		t.Errorf("queue timeout = %v, want 10s", cfg.QueueTimeout)
+	}
+	if cfg.RetryBackoff != 40*time.Millisecond {
+		t.Errorf("retry backoff = %v, want 40ms", cfg.RetryBackoff)
+	}
 }
 
 func TestParseConfigDefaultsAndErrors(t *testing.T) {
@@ -51,6 +63,10 @@ func TestParseConfigDefaultsAndErrors(t *testing.T) {
 	if cfg.AcctCycle != 0 || cfg.Scheduler.Cycle != 0 {
 		t.Errorf("unset cycles must stay zero (library defaults apply): %v %v",
 			cfg.AcctCycle, cfg.Scheduler.Cycle)
+	}
+	if cfg.DialTimeout != 0 || cfg.QueueTimeout != 0 || cfg.RetryBackoff != 0 {
+		t.Errorf("unset timeouts must stay zero (library defaults apply): %v %v %v",
+			cfg.DialTimeout, cfg.QueueTimeout, cfg.RetryBackoff)
 	}
 	if _, err := parseConfig([]byte(`{not json`)); err == nil {
 		t.Error("malformed JSON must be rejected")

@@ -56,7 +56,10 @@ type Server struct {
 
 	wg     sync.WaitGroup
 	closed chan struct{}
-	ln     net.Listener
+
+	// lnMu guards ln: Serve publishes it while Close may run concurrently.
+	lnMu sync.Mutex
+	ln   net.Listener
 }
 
 // New creates a backend server.
@@ -76,7 +79,17 @@ func New(cfg Config) *Server {
 // served per connection (HTTP/1.0 style) — the dispatcher splices one
 // request per backend connection.
 func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
 	s.ln = ln
+	select {
+	case <-s.closed:
+		// Close already ran: do not start accepting on a listener it will
+		// never see again.
+		s.lnMu.Unlock()
+		return ln.Close()
+	default:
+	}
+	s.lnMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -98,9 +111,12 @@ func (s *Server) Serve(ln net.Listener) error {
 // Close stops accepting and waits for in-flight requests.
 func (s *Server) Close() error {
 	close(s.closed)
+	s.lnMu.Lock()
+	ln := s.ln
+	s.lnMu.Unlock()
 	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
+	if ln != nil {
+		err = ln.Close()
 	}
 	s.wg.Wait()
 	return err

@@ -212,8 +212,11 @@ func (q *queueState) estimatedTotal() qos.Vector {
 	return sum
 }
 
-// pendingDispatch is one in-flight request's charged prediction.
+// pendingDispatch is one in-flight request's charged prediction. The request
+// ID keys the lifecycle API: an abandoned dispatch is released by ID, not by
+// completion count.
 type pendingDispatch struct {
+	reqID     uint64
 	predicted qos.Vector
 	spare     bool
 }
@@ -452,7 +455,7 @@ func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 	req := q.pop()
 	node.outstanding = node.outstanding.Add(q.predicted)
 	q.estimated[node.id] = q.estimated[node.id].Add(q.predicted)
-	q.pending[node.id] = append(q.pending[node.id], pendingDispatch{predicted: q.predicted, spare: spare})
+	q.pending[node.id] = append(q.pending[node.id], pendingDispatch{reqID: req.ID, predicted: q.predicted, spare: spare})
 	s.dispatched++
 	if n := len(s.nodeOrder); n > 0 {
 		s.nodeStart = (s.nodeStart + 1) % n
@@ -478,12 +481,18 @@ func (s *Scheduler) pickNodeAffine(predicted qos.Vector, affinity uint64) *nodeS
 // are broken by a rotating starting offset so identical nodes share work
 // evenly instead of the lowest ID starving the rest.
 func (s *Scheduler) pickNode(predicted qos.Vector) *nodeState {
+	return s.pickNodeExcept(predicted, nil)
+}
+
+// pickNodeExcept is pickNode with one node ruled out — the redispatch path
+// must never hand a request back to the node that just failed it.
+func (s *Scheduler) pickNodeExcept(predicted qos.Vector, except *nodeState) *nodeState {
 	var best *nodeState
 	bestLoad := 0.0
 	n := len(s.nodeOrder)
 	for i := 0; i < n; i++ {
 		nd := s.nodes[s.nodeOrder[(s.nodeStart+i)%n]]
-		if nd.disabled {
+		if nd.disabled || nd == except {
 			continue
 		}
 		effective := nd.effective()
@@ -545,6 +554,110 @@ func (s *Scheduler) ReportUsage(rep UsageReport) error {
 		}
 	}
 	return nil
+}
+
+// CancelQueued removes a not-yet-dispatched request from its subscriber's
+// FIFO queue, reporting whether it was found. A caller abandoning a request
+// (client hang-up, wait timeout, shutdown) calls this first; a false return
+// means the scheduler already dispatched the request and the caller must
+// settle the charge with ReleaseDispatch instead.
+func (s *Scheduler) CancelQueued(sub qos.SubscriberID, reqID uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.subs[sub]
+	if !ok {
+		return false
+	}
+	for i := q.head; i < len(q.fifo); i++ {
+		if q.fifo[i].ID == reqID {
+			copy(q.fifo[i:], q.fifo[i+1:])
+			q.fifo[len(q.fifo)-1] = Request{} // release payload for GC
+			q.fifo = q.fifo[:len(q.fifo)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseDispatch returns the charge of a dispatched-but-abandoned request:
+// the prediction charged at dispatch time is removed from the node's
+// outstanding load and the subscriber's in-flight estimate, atomically, as
+// if an accounting message had released it — but without a usage debit,
+// because the request never ran. Without this, an abandoned dispatch (the
+// relay never executed, so the backend never completes it) would shrink the
+// node's capacity forever. It reports whether the (subscriber, node, request)
+// charge was found.
+func (s *Scheduler) ReleaseDispatch(sub qos.SubscriberID, node NodeID, reqID uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.subs[sub]
+	if !ok {
+		return false
+	}
+	nd, ok := s.nodes[node]
+	if !ok {
+		return false
+	}
+	pd, ok := s.takePending(q, node, reqID)
+	if !ok {
+		return false
+	}
+	s.releaseCharge(q, nd, pd.predicted)
+	return true
+}
+
+// Redispatch moves an in-flight charge off a failed node: it releases the
+// request's prediction from `from` and charges the least-loaded enabled node
+// other than `from` instead, atomically. It returns the new node, or false
+// when no alternate has room — in which case the charge has still been
+// released and the caller should fail the request. This backs the dispatcher's
+// relay retry: a backend that dies between dispatch and dial costs one extra
+// round trip instead of a 502.
+func (s *Scheduler) Redispatch(sub qos.SubscriberID, reqID uint64, from NodeID) (NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.subs[sub]
+	if !ok {
+		return 0, false
+	}
+	fromNode, ok := s.nodes[from]
+	if !ok {
+		return 0, false
+	}
+	pd, ok := s.takePending(q, from, reqID)
+	if !ok {
+		return 0, false
+	}
+	s.releaseCharge(q, fromNode, pd.predicted)
+	alt := s.pickNodeExcept(pd.predicted, fromNode)
+	if alt == nil {
+		return 0, false
+	}
+	alt.outstanding = alt.outstanding.Add(pd.predicted)
+	q.estimated[alt.id] = q.estimated[alt.id].Add(pd.predicted)
+	q.pending[alt.id] = append(q.pending[alt.id], pendingDispatch{reqID: reqID, predicted: pd.predicted, spare: pd.spare})
+	return alt.id, true
+}
+
+// takePending removes and returns the pending-prediction entry for reqID on
+// node, if present. Callers hold s.mu.
+func (s *Scheduler) takePending(q *queueState, node NodeID, reqID uint64) (pendingDispatch, bool) {
+	fifo := q.pending[node]
+	for i, pd := range fifo {
+		if pd.reqID == reqID {
+			q.pending[node] = append(fifo[:i], fifo[i+1:]...)
+			return pd, true
+		}
+	}
+	return pendingDispatch{}, false
+}
+
+// releaseCharge backs out one dispatch-time prediction from a node's
+// outstanding load and a subscriber's estimate. Callers hold s.mu.
+func (s *Scheduler) releaseCharge(q *queueState, nd *nodeState, predicted qos.Vector) {
+	nd.outstanding = nd.outstanding.Sub(predicted).ClampNonNegative()
+	nd.drained = nd.drained.Min(nd.outstanding)
+	q.estimated[nd.id] = q.estimated[nd.id].Sub(predicted).ClampNonNegative()
 }
 
 // clampBalance bounds a balance to ±reservation×CreditWindow.

@@ -928,3 +928,137 @@ func TestQueueLenUnknownSubscriber(t *testing.T) {
 		t.Error("Outstanding(99) must miss")
 	}
 }
+
+func TestCancelQueuedRemovesFromFIFO(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 100}},
+		[]NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	for id := uint64(1); id <= 3; id++ {
+		if err := s.Enqueue(Request{ID: id, Subscriber: "a"}); err != nil {
+			t.Fatalf("Enqueue %d: %v", id, err)
+		}
+	}
+	if !s.CancelQueued("a", 2) {
+		t.Fatal("CancelQueued(2) = false, want true for a queued request")
+	}
+	if got := s.QueueLen("a"); got != 2 {
+		t.Errorf("QueueLen = %d after cancel, want 2", got)
+	}
+	if s.CancelQueued("a", 2) {
+		t.Error("second CancelQueued(2) must miss")
+	}
+	if s.CancelQueued("ghost", 1) {
+		t.Error("CancelQueued on unknown subscriber must miss")
+	}
+	// The canceled request must never dispatch; the others keep FIFO order.
+	ds := s.Tick()
+	var ids []uint64
+	for _, d := range ds {
+		ids = append(ids, d.Req.ID)
+	}
+	if !reflect.DeepEqual(ids, []uint64{1, 3}) {
+		t.Errorf("dispatched IDs = %v, want [1 3]", ids)
+	}
+}
+
+func TestReleaseDispatchReclaimsCharge(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 100}},
+		[]NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	if err := s.Enqueue(Request{ID: 7, Subscriber: "a"}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ds := s.Tick()
+	if len(ds) != 1 {
+		t.Fatalf("dispatched %d, want 1", len(ds))
+	}
+	if out, _ := s.Outstanding(1); out.IsZero() {
+		t.Fatal("outstanding must grow on dispatch")
+	}
+	if s.ReleaseDispatch("a", 1, 99) {
+		t.Error("ReleaseDispatch with wrong request ID must miss")
+	}
+	if s.ReleaseDispatch("a", 2, 7) {
+		t.Error("ReleaseDispatch with unknown node must miss")
+	}
+	if !s.ReleaseDispatch("a", 1, 7) {
+		t.Fatal("ReleaseDispatch = false, want true for an in-flight charge")
+	}
+	if out, _ := s.Outstanding(1); !out.IsZero() {
+		t.Errorf("outstanding after release = %v, want zero", out)
+	}
+	if s.ReleaseDispatch("a", 1, 7) {
+		t.Error("double ReleaseDispatch must miss")
+	}
+	// A later (empty) accounting report must not go negative or panic.
+	if err := s.ReportUsage(UsageReport{Node: 1}); err != nil {
+		t.Fatalf("ReportUsage: %v", err)
+	}
+}
+
+func TestRedispatchMovesChargeToAlternateNode(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 100}},
+		[]NodeConfig{
+			{ID: 1, Capacity: nodeCap()},
+			{ID: 2, Capacity: nodeCap()},
+		}, Config{})
+	if err := s.Enqueue(Request{ID: 5, Subscriber: "a"}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	ds := s.Tick()
+	if len(ds) != 1 {
+		t.Fatalf("dispatched %d, want 1", len(ds))
+	}
+	from := ds[0].Node
+	alt, ok := s.Redispatch("a", 5, from)
+	if !ok {
+		t.Fatal("Redispatch = false, want an alternate node")
+	}
+	if alt == from {
+		t.Fatalf("Redispatch returned the failed node %d", from)
+	}
+	if out, _ := s.Outstanding(from); !out.IsZero() {
+		t.Errorf("failed node outstanding = %v, want zero after redispatch", out)
+	}
+	if out, _ := s.Outstanding(alt); out.IsZero() {
+		t.Error("alternate node must carry the moved charge")
+	}
+	// The moved charge settles via a normal accounting report on the
+	// alternate node.
+	err := s.ReportUsage(UsageReport{
+		Node: alt,
+		BySubscriber: map[qos.SubscriberID]SubscriberUsage{
+			"a": {Usage: ds[0].Predicted, Completed: 1},
+		},
+	})
+	if err != nil {
+		t.Fatalf("ReportUsage: %v", err)
+	}
+	if out, _ := s.Outstanding(alt); !out.IsZero() {
+		t.Errorf("alternate outstanding after report = %v, want zero", out)
+	}
+}
+
+func TestRedispatchWithoutAlternateReleasesCharge(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 100}},
+		[]NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	if err := s.Enqueue(Request{ID: 5, Subscriber: "a"}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if got := len(s.Tick()); got != 1 {
+		t.Fatalf("dispatched %d, want 1", got)
+	}
+	if _, ok := s.Redispatch("a", 5, 1); ok {
+		t.Fatal("Redispatch with a single node must fail (no alternate)")
+	}
+	// Even a failed redispatch must reclaim the charge: the caller is
+	// about to 502 the request, so nothing will ever complete it.
+	if out, _ := s.Outstanding(1); !out.IsZero() {
+		t.Errorf("outstanding after failed redispatch = %v, want zero", out)
+	}
+	if _, ok := s.Redispatch("a", 5, 1); ok {
+		t.Error("second Redispatch must miss (charge already gone)")
+	}
+}

@@ -53,6 +53,12 @@ type Config struct {
 	AcctCycle time.Duration
 	// DialTimeout bounds backend dials (default 2 s).
 	DialTimeout time.Duration
+	// QueueTimeout bounds how long an accepted request may wait for a
+	// dispatch decision before it is abandoned with a 503 (default 30 s).
+	QueueTimeout time.Duration
+	// RetryBackoff is the pause before the relay's single retry against an
+	// alternate backend after a dial failure (default 25 ms).
+	RetryBackoff time.Duration
 	// Logger receives operational errors (default: standard logger).
 	Logger *log.Logger
 }
@@ -69,6 +75,12 @@ type Stats struct {
 	Unclassified uint64
 	// Errors is backend dial/relay failures (502).
 	Errors uint64
+	// Retried is relays re-dispatched to an alternate backend after a
+	// dial failure.
+	Retried uint64
+	// Abandoned is requests withdrawn after enqueue (wait timeout, client
+	// hang-up, shutdown) whose scheduler charge was reclaimed.
+	Abandoned uint64
 }
 
 // Server is a running dispatcher.
@@ -85,6 +97,8 @@ type Server struct {
 	rejected     atomic.Uint64
 	unclassified atomic.Uint64
 	errs         atomic.Uint64
+	retried      atomic.Uint64
+	abandoned    atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -93,11 +107,18 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	// lastSeen holds each backend's previous cumulative report, so usage
-	// deltas survive lost polls.
+	// deltas survive lost polls. Guarded by acctMu: polls run concurrently.
+	acctMu   sync.Mutex
 	lastSeen map[core.NodeID]core.UsageReport
 
+	// polling marks backends with a poll currently in flight, so a dead
+	// node slow-failing at DialTimeout accumulates one blocked probe, not
+	// one per accounting cycle. Guarded by acctMu.
+	polling map[core.NodeID]bool
+
 	// failures counts consecutive poll/relay failures per node; at
-	// UnhealthyAfter the node is disabled until a poll succeeds again.
+	// UnhealthyAfter the node is disabled until a poll or relay succeeds
+	// again.
 	failMu   sync.Mutex
 	failures map[core.NodeID]int
 }
@@ -105,13 +126,28 @@ type Server struct {
 // UnhealthyAfter is how many consecutive backend failures disable a node.
 const UnhealthyAfter = 3
 
+// pendingConn lifecycle states: the dispatch/abandon handshake. Exactly one
+// side wins the CAS from pcWaiting, so a dispatch decision is either
+// delivered to the serving goroutine or its charge is reclaimed — never
+// both, never neither.
+const (
+	pcWaiting    int32 = iota // queued or in flight, serving goroutine waiting
+	pcDispatched              // claimed by the dispatcher; node sent on the channel
+	pcAbandoned               // withdrawn by the serving goroutine; never relay
+)
+
 // pendingConn is the scheduler payload for a waiting client connection.
 type pendingConn struct {
+	// id is the scheduler request ID, the key for cancel/release.
+	id   uint64
 	conn net.Conn
 	req  *httpwire.Request
 	sub  qos.SubscriberID
-	// node receives the dispatch decision.
+	// node receives the dispatch decision (buffered; sent only after a
+	// successful CAS to pcDispatched).
 	node chan core.NodeID
+	// state is the pcWaiting/pcDispatched/pcAbandoned handshake word.
+	state atomic.Int32
 }
 
 // New builds a dispatcher.
@@ -124,6 +160,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 30 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
@@ -155,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 		logger:     cfg.Logger,
 		stopCh:     make(chan struct{}),
 		lastSeen:   make(map[core.NodeID]core.UsageReport, len(addrs)),
+		polling:    make(map[core.NodeID]bool, len(addrs)),
 		failures:   make(map[core.NodeID]int, len(addrs)),
 	}, nil
 }
@@ -170,6 +213,8 @@ func (s *Server) Stats() Stats {
 		Rejected:     s.rejected.Load(),
 		Unclassified: s.unclassified.Load(),
 		Errors:       s.errs.Load(),
+		Retried:      s.retried.Load(),
+		Abandoned:    s.abandoned.Load(),
 	}
 }
 
@@ -237,17 +282,36 @@ func (s *Server) tickLoop() {
 			return
 		case <-ticker.C:
 			for _, d := range s.sched.Tick() {
-				pc, ok := d.Req.Payload.(*pendingConn)
-				if !ok {
-					continue
-				}
-				pc.node <- d.Node
+				s.deliver(d)
 			}
 		}
 	}
 }
 
-// acctLoop polls every backend for its accounting report each cycle.
+// deliver hands one dispatch decision to its waiting connection goroutine —
+// unless that goroutine already abandoned the request (wait timeout, client
+// hang-up, shutdown). An abandoned dispatch is never relayed, so the backend
+// will never complete it; its charge must be reclaimed here or it leaks from
+// the node's capacity forever.
+func (s *Server) deliver(d core.Dispatch) {
+	pc, ok := d.Req.Payload.(*pendingConn)
+	if !ok {
+		return
+	}
+	if pc.state.CompareAndSwap(pcWaiting, pcDispatched) {
+		pc.node <- d.Node
+	} else {
+		s.sched.ReleaseDispatch(pc.sub, d.Node, d.Req.ID)
+	}
+}
+
+// acctLoop polls every backend for its accounting report each cycle. Polls
+// run concurrently, one goroutine per backend, each bounded by DialTimeout:
+// a dead or hung backend costs itself its deadline but never delays the
+// other nodes' feedback — sequential polling would stretch every node's
+// accounting cycle by DialTimeout per dead peer, exactly the feedback lag
+// Figure 3 shows destabilizes the guarantee. A node whose previous poll is
+// still in flight is skipped this cycle rather than probed again.
 func (s *Server) acctLoop() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.AcctCycle)
@@ -258,20 +322,44 @@ func (s *Server) acctLoop() {
 			return
 		case <-ticker.C:
 			for id, addr := range s.addrs {
-				cum, err := s.pollReport(id, addr)
-				if err != nil {
-					s.logger.Printf("dispatch: poll %v: %v", addr, err)
-					s.noteFailure(id)
+				s.acctMu.Lock()
+				busy := s.polling[id]
+				if !busy {
+					s.polling[id] = true
+				}
+				s.acctMu.Unlock()
+				if busy {
 					continue
 				}
-				s.noteSuccess(id)
-				delta := diffReports(cum, s.lastSeen[id])
-				s.lastSeen[id] = cum
-				if err := s.sched.ReportUsage(delta); err != nil {
-					s.logger.Printf("dispatch: report usage: %v", err)
-				}
+				s.wg.Add(1)
+				go s.pollOne(id, addr)
 			}
 		}
+	}
+}
+
+// pollOne fetches one backend's report and folds the usage delta into the
+// scheduler. It owns the node's polling slot for its duration.
+func (s *Server) pollOne(id core.NodeID, addr string) {
+	defer s.wg.Done()
+	defer func() {
+		s.acctMu.Lock()
+		s.polling[id] = false
+		s.acctMu.Unlock()
+	}()
+	cum, err := s.pollReport(id, addr)
+	if err != nil {
+		s.logger.Printf("dispatch: poll %v: %v", addr, err)
+		s.noteFailure(id)
+		return
+	}
+	s.noteSuccess(id)
+	s.acctMu.Lock()
+	delta := diffReports(cum, s.lastSeen[id])
+	s.lastSeen[id] = cum
+	s.acctMu.Unlock()
+	if err := s.sched.ReportUsage(delta); err != nil {
+		s.logger.Printf("dispatch: report usage: %v", err)
 	}
 }
 
@@ -377,13 +465,14 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		return true
 	}
 	pc := &pendingConn{
+		id:   reqIDs.Add(1),
 		conn: conn,
 		req:  req,
 		sub:  sub,
 		node: make(chan core.NodeID, 1),
 	}
 	err := s.sched.Enqueue(core.Request{
-		ID:         reqIDs.Add(1),
+		ID:         pc.id,
 		Subscriber: sub,
 		Payload:    pc,
 	})
@@ -392,18 +481,45 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		s.respondError(conn, 503)
 		return true
 	}
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
 	select {
 	case node := <-pc.node:
 		return s.relay(pc, node)
 	case <-s.stopCh:
+		s.abandon(pc)
 		s.respondError(conn, 503)
 		return false
-	case <-time.After(30 * time.Second):
-		// The scheduler never dispatched us (sustained overload).
+	case <-timer.C:
+		// The scheduler never dispatched us (sustained overload). Withdraw
+		// the request before moving on: once we answer 503 and keep reading
+		// the connection, a late dispatch must never relay onto it.
+		s.abandon(pc)
 		s.rejected.Add(1)
 		s.respondError(conn, 503)
 		return true
 	}
+}
+
+// abandon withdraws a request that will never be relayed. Wherever the
+// request currently is — still queued, mid-dispatch in the tick loop, or
+// already charged to a node — its scheduler charge is reclaimed, and the
+// dispatch decision (if any) is consumed so relay can never run against a
+// connection that has moved on to its next request.
+func (s *Server) abandon(pc *pendingConn) {
+	s.abandoned.Add(1)
+	if !pc.state.CompareAndSwap(pcWaiting, pcAbandoned) {
+		// The tick loop won the race: the node is already (or imminently)
+		// in the channel. Take it and release the charge.
+		node := <-pc.node
+		s.sched.ReleaseDispatch(pc.sub, node, pc.id)
+		return
+	}
+	// We won the CAS, so the dispatch decision can no longer reach us. If
+	// the request still sits in its FIFO, remove it here; if the scheduler
+	// popped it but the tick loop has not reached its CAS yet, that failed
+	// CAS releases the charge instead.
+	s.sched.CancelQueued(pc.sub, pc.id)
 }
 
 // wantKeepAlive implements the HTTP/1.x persistence rules: 1.1 defaults to
@@ -417,18 +533,34 @@ func wantKeepAlive(req *httpwire.Request) bool {
 }
 
 // relay forwards the request to the chosen backend and the parsed response
-// to the client — the application-level splice. It reports whether the
-// client connection remains usable.
+// to the client — the application-level splice. A backend that fails the
+// dial gets one retry: the charge is re-dispatched through the scheduler to
+// an alternate node after a short backoff, so a node dying between dispatch
+// and dial degrades to extra latency instead of a 502. It reports whether
+// the client connection remains usable.
 func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
-	addr := s.addrs[node]
-	be, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
+	be, err := net.DialTimeout("tcp", s.addrs[node], s.cfg.DialTimeout)
 	if err != nil {
-		s.errs.Add(1)
 		s.noteFailure(node)
-		s.respondError(pc.conn, 502)
-		return true
+		alt, ok := s.sched.Redispatch(pc.sub, pc.id, node)
+		if !ok {
+			// No alternate has room; the charge is already released.
+			s.errs.Add(1)
+			s.respondError(pc.conn, 502)
+			return true
+		}
+		s.retried.Add(1)
+		time.Sleep(s.cfg.RetryBackoff)
+		be, err = net.DialTimeout("tcp", s.addrs[alt], s.cfg.DialTimeout)
+		if err != nil {
+			s.noteFailure(alt)
+			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
+			s.errs.Add(1)
+			s.respondError(pc.conn, 502)
+			return true
+		}
+		node = alt
 	}
-	s.noteSuccess(node)
 	defer be.Close()
 	// Bound the whole backend exchange.
 	_ = be.SetDeadline(time.Now().Add(60 * time.Second))
@@ -440,6 +572,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	pc.req.Header[backend.SubscriberHeader] = string(pc.sub)
 	if err := pc.req.Write(be); err != nil {
 		s.errs.Add(1)
+		s.noteFailure(node)
 		s.respondError(pc.conn, 502)
 		return true
 	}
@@ -449,9 +582,15 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	resp, err := httpwire.ReadResponse(bufio.NewReader(be))
 	if err != nil {
 		s.errs.Add(1)
+		s.noteFailure(node)
 		s.respondError(pc.conn, 502)
 		return true
 	}
+	// Only a complete exchange clears the node's failure streak: a backend
+	// that accepts TCP but fails every request must still cross
+	// UnhealthyAfter and be disabled, so success is noted here rather than
+	// at dial time.
+	s.noteSuccess(node)
 	if err := resp.Write(pc.conn); err != nil {
 		s.errs.Add(1)
 		return false
@@ -499,6 +638,8 @@ type statsJSON struct {
 	Rejected     uint64                    `json:"rejected"`
 	Unclassified uint64                    `json:"unclassified"`
 	Errors       uint64                    `json:"errors"`
+	Retried      uint64                    `json:"retried"`
+	Abandoned    uint64                    `json:"abandoned"`
 	Subscribers  map[string]subscriberJSON `json:"subscribers"`
 	Nodes        map[string]nodeJSON       `json:"nodes"`
 }
@@ -528,6 +669,8 @@ func (s *Server) serveStats(conn net.Conn) {
 		Rejected:     st.Rejected,
 		Unclassified: st.Unclassified,
 		Errors:       st.Errors,
+		Retried:      st.Retried,
+		Abandoned:    st.Abandoned,
 		Subscribers:  make(map[string]subscriberJSON, s.dir.Len()),
 		Nodes:        make(map[string]nodeJSON, len(s.addrs)),
 	}

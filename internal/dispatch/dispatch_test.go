@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -491,5 +492,426 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// countingListener counts accepted connections — a probe for poll cadence.
+type countingListener struct {
+	net.Listener
+	hits atomic.Int64
+}
+
+func (cl *countingListener) Accept() (net.Conn, error) {
+	c, err := cl.Listener.Accept()
+	if err == nil {
+		cl.hits.Add(1)
+	}
+	return c, err
+}
+
+// hangingBackend accepts TCP connections and never answers — the worst kind
+// of dead node: dials succeed and every exchange runs out its full deadline.
+func hangingBackend(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	return ln.Addr().String()
+}
+
+// brokenBackend accepts TCP connections and immediately closes them: the
+// dial succeeds but every request fails at the exchange.
+func brokenBackend(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// startServer runs a dispatcher for a prebuilt config and returns its address.
+func startServer(t *testing.T, cfg Config) (string, *Server) {
+	t.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+// liveBackend starts one real backend and returns its address.
+func liveBackend(t *testing.T, id core.NodeID) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("backend listen: %v", err)
+	}
+	be := backend.New(backend.Config{Node: id})
+	go func() { _ = be.Serve(ln) }()
+	t.Cleanup(func() { _ = be.Close() })
+	return ln.Addr().String()
+}
+
+// TestAbandonedRequestReleasesCharge is the lifecycle regression test: a
+// request whose client gave up (queue-wait timeout) is later dispatched by
+// the scheduler, but the relay never runs — before the lifecycle fix the
+// predicted usage stayed in the node's outstanding load forever, shrinking
+// its capacity with every abandoned request.
+func TestAbandonedRequestReleasesCharge(t *testing.T) {
+	addr, srv := startServer(t, Config{
+		Subscribers: defaultSubs(),
+		Backends:    []Backend{{ID: 1, Addr: liveBackend(t, 1)}},
+		// The first scheduling tick lands well after the queue timeout, so
+		// the client abandons while its request is still queued; the tick
+		// then dispatches the stale request.
+		Scheduler:    core.Config{Cycle: 200 * time.Millisecond},
+		QueueTimeout: 40 * time.Millisecond,
+		AcctCycle:    50 * time.Millisecond,
+	})
+	resp, err := get(t, addr, "www.site1.example", "/static/512.html")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503 (abandoned before dispatch)", resp.StatusCode)
+	}
+	// Whether the abandonment canceled the queued request or the tick loop
+	// reclaimed the dispatched charge, all accounting must return to zero.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		out, _ := srv.Scheduler().Outstanding(1)
+		if out.IsZero() && srv.Scheduler().QueueLen("site1") == 0 {
+			if got := srv.Stats().Abandoned; got != 1 {
+				t.Errorf("abandoned = %d, want 1", got)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	out, _ := srv.Scheduler().Outstanding(1)
+	t.Errorf("abandoned request leaked: outstanding = %v, queued = %d, want zero",
+		out, srv.Scheduler().QueueLen("site1"))
+}
+
+// TestAbandonDispatchHandshake drives both interleavings of the
+// dispatch/abandon race deterministically against the handshake primitives.
+func TestAbandonDispatchHandshake(t *testing.T) {
+	newSrv := func() (*Server, *pendingConn) {
+		srv, err := New(Config{
+			Subscribers: defaultSubs(),
+			Backends:    []Backend{{ID: 1, Addr: "127.0.0.1:1"}},
+			Logger:      log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		pc := &pendingConn{id: 1, sub: "site1", node: make(chan core.NodeID, 1)}
+		if err := srv.sched.Enqueue(core.Request{ID: 1, Subscriber: "site1", Payload: pc}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+		return srv, pc
+	}
+
+	// Abandon wins: the request was popped by Tick but not yet delivered.
+	// deliver's failed CAS must reclaim the charge.
+	srv, pc := newSrv()
+	ds := srv.sched.Tick()
+	if len(ds) != 1 {
+		t.Fatalf("dispatched %d, want 1", len(ds))
+	}
+	srv.abandon(pc)
+	srv.deliver(ds[0])
+	if out, _ := srv.sched.Outstanding(1); !out.IsZero() {
+		t.Errorf("abandon-then-deliver: outstanding = %v, want zero", out)
+	}
+	select {
+	case n := <-pc.node:
+		t.Errorf("abandoned request must not receive a node, got %d", n)
+	default:
+	}
+
+	// Dispatcher wins: the node is already in the channel when the client
+	// abandons. abandon must consume it and release the charge, so a stale
+	// relay can never run against the moved-on connection.
+	srv, pc = newSrv()
+	ds = srv.sched.Tick()
+	if len(ds) != 1 {
+		t.Fatalf("dispatched %d, want 1", len(ds))
+	}
+	srv.deliver(ds[0])
+	srv.abandon(pc)
+	if out, _ := srv.sched.Outstanding(1); !out.IsZero() {
+		t.Errorf("deliver-then-abandon: outstanding = %v, want zero", out)
+	}
+	select {
+	case n := <-pc.node:
+		t.Errorf("abandon must consume the dispatch decision, got %d", n)
+	default:
+	}
+}
+
+// TestTimedOutKeepAliveConnStaysUsable: after a queue-wait timeout answers
+// 503, the persistent connection keeps serving subsequent requests with
+// clean framing — the abandoned request can never write to it.
+func TestTimedOutKeepAliveConnStaysUsable(t *testing.T) {
+	addr, srv := startServer(t, Config{
+		Subscribers:  defaultSubs(),
+		Backends:     []Backend{{ID: 1, Addr: liveBackend(t, 1)}},
+		Scheduler:    core.Config{Cycle: 300 * time.Millisecond},
+		QueueTimeout: 50 * time.Millisecond,
+		AcctCycle:    50 * time.Millisecond,
+	})
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		req := &httpwire.Request{
+			Method: "GET",
+			Target: "/static/512.html",
+			Proto:  "HTTP/1.1",
+			Host:   "www.site1.example",
+		}
+		if err := req.Write(conn); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		resp, err := httpwire.ReadResponse(br)
+		if err != nil {
+			t.Fatalf("read %d: %v (framing corrupted?)", i, err)
+		}
+		if resp.StatusCode != 503 {
+			t.Fatalf("request %d: status = %d, want 503 (queue timeout)", i, resp.StatusCode)
+		}
+	}
+	if got := srv.Stats().Abandoned; got != 2 {
+		t.Errorf("abandoned = %d, want 2", got)
+	}
+	if got := srv.Stats().Served; got != 0 {
+		t.Errorf("served = %d, want 0", got)
+	}
+}
+
+// TestRelayRetriesAlternateNode: with one dead and one live backend every
+// request succeeds — a dial failure re-dispatches the charge through the
+// scheduler to the other node instead of answering 502.
+func TestRelayRetriesAlternateNode(t *testing.T) {
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	addr, srv := startServer(t, Config{
+		Subscribers: defaultSubs(),
+		Backends: []Backend{
+			{ID: 1, Addr: deadAddr},
+			{ID: 2, Addr: liveBackend(t, 2)},
+		},
+		// Keep accounting polls out of the way so only relay dials count
+		// toward node health and the dead node stays dispatched-to at first.
+		AcctCycle:    time.Hour,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		resp, err := get(t, addr, "www.site1.example", "/static/256.html")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status = %d, want 200 (retry must route around the dead node)", i, resp.StatusCode)
+		}
+	}
+	st := srv.Stats()
+	if st.Served != n {
+		t.Errorf("served = %d, want %d", st.Served, n)
+	}
+	if st.Retried == 0 {
+		t.Error("retried = 0: the dead node was never dialed — test did not exercise the retry path")
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (no request may 502)", st.Errors)
+	}
+	if srv.Scheduler().NodeEnabled(1) {
+		t.Error("dead node must be disabled after repeated dial failures")
+	}
+	// Every retried charge moved off the dead node: it must carry nothing.
+	// (Node 2's outstanding settles via accounting reports, which this test
+	// deliberately suppresses.)
+	if o1, _ := srv.Scheduler().Outstanding(1); !o1.IsZero() {
+		t.Errorf("dead node outstanding = %v, want zero (charge stuck on unreachable node)", o1)
+	}
+}
+
+// TestRequestLevelFailuresDisableBackend: a backend that accepts TCP but
+// fails every exchange must still cross UnhealthyAfter — before the fix only
+// dial failures counted, and the successful dial even reset the streak.
+func TestRequestLevelFailuresDisableBackend(t *testing.T) {
+	addr, srv := startServer(t, Config{
+		Subscribers: defaultSubs(),
+		Backends: []Backend{
+			{ID: 1, Addr: brokenBackend(t)},
+			{ID: 2, Addr: liveBackend(t, 2)},
+		},
+		AcctCycle: time.Hour, // only relay outcomes drive health here
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && srv.Scheduler().NodeEnabled(1) {
+		if _, err := get(t, addr, "www.site1.example", "/static/128.html"); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	if srv.Scheduler().NodeEnabled(1) {
+		t.Fatal("request-level relay failures never disabled the broken node")
+	}
+	// With the broken node out of rotation, service is clean again.
+	for i := 0; i < 5; i++ {
+		resp, err := get(t, addr, "www.site1.example", "/static/128.html")
+		if err != nil {
+			t.Fatalf("get after disable: %v", err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("status after disable = %d, want 200", resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentAcctPollsSurviveDeadBackend: one hung backend (accepts, then
+// stalls for the full per-node deadline) must not stretch the other nodes'
+// accounting cadence — polls run concurrently, so live nodes keep their
+// AcctCycle feedback loop.
+func TestConcurrentAcctPollsSurviveDeadBackend(t *testing.T) {
+	const acct = 50 * time.Millisecond
+	makeCounted := func(id core.NodeID) (*countingListener, string) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		cl := &countingListener{Listener: ln}
+		be := backend.New(backend.Config{Node: id})
+		go func() { _ = be.Serve(cl) }()
+		t.Cleanup(func() { _ = be.Close() })
+		return cl, ln.Addr().String()
+	}
+	cl1, addr1 := makeCounted(1)
+	cl2, addr2 := makeCounted(2)
+
+	_, srv := startServer(t, Config{
+		Subscribers: defaultSubs(),
+		Backends: []Backend{
+			{ID: 1, Addr: addr1},
+			{ID: 2, Addr: addr2},
+			{ID: 3, Addr: hangingBackend(t)},
+		},
+		AcctCycle: acct,
+		// The hung node burns its full deadline on every probe; with
+		// sequential polling this would stall every round for 400 ms.
+		DialTimeout: 400 * time.Millisecond,
+	})
+	const window = 1500 * time.Millisecond
+	time.Sleep(window)
+	// Each live backend must have been polled at least once per 2×AcctCycle
+	// over the window (generous slack for scheduling jitter).
+	minPolls := int64(window / (2 * acct) / 2)
+	if got := cl1.hits.Load(); got < minPolls {
+		t.Errorf("node 1 polled %d times in %v, want ≥ %d (cadence within 2×AcctCycle)", got, window, minPolls)
+	}
+	if got := cl2.hits.Load(); got < minPolls {
+		t.Errorf("node 2 polled %d times in %v, want ≥ %d (cadence within 2×AcctCycle)", got, window, minPolls)
+	}
+	// The hung node crosses the failure threshold (one slow failure per
+	// DialTimeout, serialized by the in-flight guard) and leaves rotation.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && srv.Scheduler().NodeEnabled(3) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if srv.Scheduler().NodeEnabled(3) {
+		t.Error("hung node 3 must be disabled")
+	}
+}
+
+// TestDiffReportsPerSubscriberRestart: one subscriber's counters jump
+// backwards (its worker restarted) while another's advance — the restarted
+// one contributes its fresh cumulative, the healthy one its normal delta.
+func TestDiffReportsPerSubscriberRestart(t *testing.T) {
+	usage := func(cpu int64, completed int) core.SubscriberUsage {
+		return core.SubscriberUsage{
+			Usage:     qos.Vector{CPUTime: time.Duration(cpu)},
+			Completed: completed,
+		}
+	}
+	prev := core.UsageReport{
+		Node:  1,
+		Total: qos.Vector{CPUTime: 300},
+		BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
+			"steady":    usage(200, 20),
+			"restarted": usage(100, 10),
+		},
+	}
+	cum := core.UsageReport{
+		Node:  1,
+		Total: qos.Vector{CPUTime: 330}, // total still advances
+		BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
+			"steady":    usage(310, 31),
+			"restarted": usage(20, 2), // went backwards: fresh start
+		},
+	}
+	delta := diffReports(cum, prev)
+	if got := delta.BySubscriber["steady"]; got != usage(110, 11) {
+		t.Errorf("steady delta = %+v, want 110/11", got)
+	}
+	if got := delta.BySubscriber["restarted"]; got != usage(20, 2) {
+		t.Errorf("restarted delta = %+v, want fresh cumulative 20/2", got)
+	}
+	if delta.Total != (qos.Vector{CPUTime: 30}) {
+		t.Errorf("delta total = %v, want 30", delta.Total)
 	}
 }
