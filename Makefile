@@ -1,5 +1,5 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race
+.PHONY: verify build vet test race chaos
 
 verify: build vet test race
 
@@ -12,8 +12,15 @@ vet:
 test:
 	go test ./...
 
-# The scheduler and dispatcher are the concurrency hot spots (connection
-# goroutines vs ticker vs concurrent accounting pollers): run them under the
-# race detector on every change.
+# Every package runs under the race detector: the scheduler and dispatcher
+# are the concurrency hot spots (connection goroutines vs ticker vs
+# concurrent accounting pollers), and the chaos/fault suites add crash-time
+# races worth catching everywhere else too.
 race:
-	go test -race ./internal/core/... ./internal/dispatch/...
+	go test -race ./internal/...
+
+# Fault-injection suite: the simulator's chaos tests (replayable crash
+# schedules, settlement and balance invariants) and the live dispatcher's
+# scripted-outage tests, run twice to shake out order dependence between runs.
+chaos:
+	go test -race -count=2 -run 'TestChaos|TestDiffReports' ./internal/cluster/ ./internal/dispatch/ ./internal/faults/

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"sort"
+
+	"gage/internal/core"
+	"gage/internal/qos"
+)
+
+// unhealthyAfterMissedAcct is how many consecutive silent accounting cycles
+// make the harness's RDN declare an RPN dead and stop dispatching to it —
+// the simulator's analogue of dispatch.UnhealthyAfter on the live path.
+const unhealthyAfterMissedAcct = 3
+
+// acctMsg is one accounting message in flight RDN-ward: the node's
+// cumulative counters stamped with its incarnation and a send sequence, so
+// delayed messages that arrive out of order are recognized as stale instead
+// of being mistaken for a counter reset.
+type acctMsg struct {
+	seq   int
+	epoch int
+	cum   core.UsageReport
+}
+
+// chaosRun is the harness bookkeeping that makes every dispatch settle
+// exactly once and turns missing feedback into failure detection. It exists
+// on every run (fault plan or not) so the settlement invariant is always
+// audited for free.
+type chaosRun struct {
+	crashed  map[core.NodeID]bool
+	inflight map[core.NodeID]map[uint64]qos.SubscriberID
+
+	dispatched, delivered, reclaimed int
+	balanceViolations                int
+
+	// Accounting-feedback health per node.
+	missed   map[core.NodeID]int
+	disabled map[core.NodeID]bool // disabled by the missed-streak detector
+
+	// Cumulative-report differ state per node.
+	sendSeq  map[core.NodeID]int
+	lastSeq  map[core.NodeID]int
+	lastEp   map[core.NodeID]int
+	lastSeen map[core.NodeID]core.UsageReport
+}
+
+func newChaosRun(nodes []*RPN) *chaosRun {
+	cs := &chaosRun{
+		crashed:  make(map[core.NodeID]bool, len(nodes)),
+		inflight: make(map[core.NodeID]map[uint64]qos.SubscriberID, len(nodes)),
+		missed:   make(map[core.NodeID]int, len(nodes)),
+		disabled: make(map[core.NodeID]bool, len(nodes)),
+		sendSeq:  make(map[core.NodeID]int, len(nodes)),
+		lastSeq:  make(map[core.NodeID]int, len(nodes)),
+		lastEp:   make(map[core.NodeID]int, len(nodes)),
+		lastSeen: make(map[core.NodeID]core.UsageReport, len(nodes)),
+	}
+	for _, r := range nodes {
+		cs.inflight[r.id] = make(map[uint64]qos.SubscriberID)
+		cs.lastSeq[r.id] = -1
+	}
+	return cs
+}
+
+// track records a dispatch as in flight on its node.
+func (cs *chaosRun) track(node core.NodeID, reqID uint64, sub qos.SubscriberID) {
+	cs.dispatched++
+	cs.inflight[node][reqID] = sub
+}
+
+// complete settles one delivered request.
+func (cs *chaosRun) complete(node core.NodeID, reqID uint64) {
+	delete(cs.inflight[node], reqID)
+	cs.delivered++
+}
+
+// reclaimOne settles one crash-lost request: its dispatch-time charge is
+// released back to the scheduler so the dead node's capacity and the
+// subscriber's in-flight estimate do not leak.
+func (cs *chaosRun) reclaimOne(sched *core.Scheduler, node core.NodeID, reqID uint64, sub qos.SubscriberID) {
+	delete(cs.inflight[node], reqID)
+	cs.reclaimed++
+	sched.ReleaseDispatch(sub, node, reqID)
+}
+
+// crash fail-stops a node: every request in flight there is reclaimed and
+// the RPN restarts cold. The scheduler keeps dispatching to the node until
+// the missed-accounting streak disables it — the RDN has no crash oracle.
+func (cs *chaosRun) crash(sched *core.Scheduler, r *RPN) {
+	cs.crashed[r.id] = true
+	// Reclaim in request-ID order: scheduler release math clamps at zero,
+	// so a deterministic order keeps chaos runs byte-replayable.
+	ids := make([]uint64, 0, len(cs.inflight[r.id]))
+	for reqID := range cs.inflight[r.id] {
+		ids = append(ids, reqID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, reqID := range ids {
+		cs.reclaimed++
+		sched.ReleaseDispatch(cs.inflight[r.id][reqID], r.id, reqID)
+	}
+	cs.inflight[r.id] = make(map[uint64]qos.SubscriberID)
+	r.Crash()
+}
+
+// recover brings a crashed node back; it resumes answering accounting
+// cycles, and the first delivered report re-enables it.
+func (cs *chaosRun) recover(node core.NodeID) {
+	cs.crashed[node] = false
+}
+
+// missAcct records one silent accounting cycle for a node, disabling it at
+// the streak threshold.
+func (cs *chaosRun) missAcct(sched *core.Scheduler, node core.NodeID) {
+	cs.missed[node]++
+	if cs.missed[node] == unhealthyAfterMissedAcct && !cs.disabled[node] {
+		cs.disabled[node] = true
+		// Known nodes cannot fail to toggle.
+		_ = sched.SetNodeEnabled(node, false)
+	}
+}
+
+// ackAcct records one delivered report, clearing the streak and re-enabling
+// a detector-disabled node.
+func (cs *chaosRun) ackAcct(sched *core.Scheduler, node core.NodeID) {
+	cs.missed[node] = 0
+	if cs.disabled[node] {
+		cs.disabled[node] = false
+		_ = sched.SetNodeEnabled(node, true)
+	}
+}
+
+// deliverAcct folds one arriving accounting message into the delta the
+// scheduler consumes. Stale messages (an older send overtaken by a newer
+// one inside a delay window) return ok=false and must be ignored. A message
+// from a new incarnation is a counter reset: the fresh cumulative IS the
+// delta, mirroring the live dispatcher's report differ.
+func (cs *chaosRun) deliverAcct(node core.NodeID, msg acctMsg) (core.UsageReport, bool) {
+	if msg.epoch == cs.lastEp[node] && msg.seq <= cs.lastSeq[node] {
+		return core.UsageReport{}, false
+	}
+	prev := cs.lastSeen[node]
+	if msg.epoch != cs.lastEp[node] {
+		prev = core.UsageReport{} // restarted: counters began again at zero
+	}
+	cs.lastSeq[node] = msg.seq
+	cs.lastEp[node] = msg.epoch
+	cs.lastSeen[node] = msg.cum
+	return diffCumulative(msg.cum, prev), true
+}
+
+// inflightTotal counts requests still in flight across all nodes.
+func (cs *chaosRun) inflightTotal() int {
+	var n int
+	for _, m := range cs.inflight {
+		n += len(m)
+	}
+	return n
+}
+
+// diffCumulative converts a node's cumulative usage report into the delta
+// since prev. Within one incarnation counters are monotone, so no negative
+// handling is needed here; incarnation changes zero prev before the call.
+func diffCumulative(cum, prev core.UsageReport) core.UsageReport {
+	delta := core.UsageReport{
+		Node:         cum.Node,
+		Total:        cum.Total.Sub(prev.Total),
+		BySubscriber: make(map[qos.SubscriberID]core.SubscriberUsage, len(cum.BySubscriber)),
+	}
+	for id, u := range cum.BySubscriber {
+		p := prev.BySubscriber[id]
+		d := core.SubscriberUsage{
+			Usage:     u.Usage.Sub(p.Usage),
+			Completed: u.Completed - p.Completed,
+		}
+		if d.Usage.IsZero() && d.Completed == 0 {
+			continue
+		}
+		delta.BySubscriber[id] = d
+	}
+	return delta
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gage/internal/core"
+	"gage/internal/faults"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+// chaosOptions is the canonical chaos scenario: four subscribers each
+// reserving a quarter of their demand's worth of capacity, on four RPNs that
+// together hold 4× the total reservation — so three survivors can absorb the
+// fourth node's load during a crash.
+func chaosOptions(plan *faults.Plan) Options {
+	return Options{
+		Subscribers: []qos.Subscriber{
+			{ID: "a", Hosts: []string{"a.example"}, Reservation: 25},
+			{ID: "b", Hosts: []string{"b.example"}, Reservation: 25},
+			{ID: "c", Hosts: []string{"c.example"}, Reservation: 25},
+			{ID: "d", Hosts: []string{"d.example"}, Reservation: 25},
+		},
+		Sources: []workload.Source{
+			mustConstSource("a", "a.example", 25, qos.GenericCost()),
+			mustConstSource("b", "b.example", 25, qos.GenericCost()),
+			mustConstSource("c", "c.example", 25, qos.GenericCost()),
+			mustConstSource("d", "d.example", 25, qos.GenericCost()),
+		},
+		NumRPNs:  4,
+		Faults:   plan,
+		Warmup:   2 * time.Second,
+		Duration: 30 * time.Second,
+	}
+}
+
+// crashPlan crashes node 2 at t=10s into the run and recovers it at t=20s —
+// the scripted-failure experiment from EXPERIMENTS.md.
+func crashPlan() *faults.Plan {
+	return &faults.Plan{Seed: 42, Events: []faults.Event{
+		{At: 10 * time.Second, Kind: faults.NodeCrash, Node: 2},
+		{At: 20 * time.Second, Kind: faults.NodeRecover, Node: 2},
+	}}
+}
+
+// assertSettled checks the standing chaos invariants on any Result: every
+// dispatch settles exactly once, and no balance ever fell below its clamp
+// floor.
+func assertSettled(t *testing.T, res *Result) {
+	t.Helper()
+	if got := res.DeliveredReqs + res.ReclaimedReqs + res.InflightAtEnd; got != res.DispatchedReqs {
+		t.Errorf("settlement broken: dispatched=%d but delivered+reclaimed+inflight=%d (%d+%d+%d)",
+			res.DispatchedReqs, got, res.DeliveredReqs, res.ReclaimedReqs, res.InflightAtEnd)
+	}
+	if res.BalanceViolations != 0 {
+		t.Errorf("balance audit found %d violations below the clamp floor, want 0", res.BalanceViolations)
+	}
+}
+
+func TestChaosCrashReplayable(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(chaosOptions(crashPlan()))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	r1 := run()
+	r2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("same workload seed + fault plan produced different Results; chaos runs must be byte-replayable")
+	}
+	assertSettled(t, r1)
+	if r1.ReclaimedReqs == 0 {
+		t.Error("crashing a node mid-run reclaimed nothing; in-flight requests must be released")
+	}
+	if r1.Fault == nil {
+		t.Fatal("Result.Fault is nil for a run with a fault plan")
+	}
+	// Plan offsets count from run start; FaultReport offsets from warmup end.
+	if r1.Fault.Start != 8*time.Second || r1.Fault.End != 18*time.Second {
+		t.Errorf("FaultReport = [%v, %v], want [8s, 18s]", r1.Fault.Start, r1.Fault.End)
+	}
+}
+
+func TestChaosCrashDeviationBounded(t *testing.T) {
+	res, err := Run(chaosOptions(crashPlan()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertSettled(t, res)
+	// Three survivors hold 3× the total reservation, so every subscriber's
+	// guarantee must hold through the crash: brief turbulence while the
+	// missed-accounting detector converges (3 cycles) is acceptable, but the
+	// mean deviation in each phase stays bounded.
+	for _, row := range res.Rows {
+		pd, err := res.PhaseDeviation(row.ID, time.Second)
+		if err != nil {
+			t.Fatalf("PhaseDeviation(%s): %v", row.ID, err)
+		}
+		if !pd.PreOK || !pd.DuringOK || !pd.PostOK {
+			t.Fatalf("phase windows too short for %s: %+v", row.ID, pd)
+		}
+		t.Logf("%s: pre=%.3f during=%.3f post=%.3f", row.ID, pd.Pre, pd.During, pd.Post)
+		if pd.Pre > 0.10 {
+			t.Errorf("%s: pre-fault deviation %.3f exceeds 0.10", row.ID, pd.Pre)
+		}
+		if pd.During > 0.25 {
+			t.Errorf("%s: during-crash deviation %.3f exceeds 0.25", row.ID, pd.During)
+		}
+		if pd.Post > 0.10 {
+			t.Errorf("%s: post-recovery deviation %.3f exceeds 0.10", row.ID, pd.Post)
+		}
+	}
+}
+
+func TestChaosEmptyPlanMatchesNoPlan(t *testing.T) {
+	bare, err := Run(chaosOptions(nil))
+	if err != nil {
+		t.Fatalf("Run without plan: %v", err)
+	}
+	empty, err := Run(chaosOptions(&faults.Plan{Seed: 99}))
+	if err != nil {
+		t.Fatalf("Run with empty plan: %v", err)
+	}
+	if !reflect.DeepEqual(bare, empty) {
+		t.Error("an empty fault plan changed the Result; injection must be a no-op without events")
+	}
+	assertSettled(t, bare)
+	if bare.ReclaimedReqs != 0 {
+		t.Errorf("fault-free run reclaimed %d requests, want 0", bare.ReclaimedReqs)
+	}
+	if bare.Fault != nil {
+		t.Error("Result.Fault must be nil when the plan has no events")
+	}
+}
+
+func TestChaosMixedPlanDeterministic(t *testing.T) {
+	plan := &faults.Plan{Seed: 1234, Events: []faults.Event{
+		{At: 5 * time.Second, Kind: faults.SlowNode, Node: 1, Until: 12 * time.Second, Speed: 0.5},
+		{At: 6 * time.Second, Kind: faults.LinkDegrade, Node: 3, Until: 14 * time.Second, Bandwidth: 0.25, Loss: 0.3},
+		{At: 8 * time.Second, Kind: faults.DelayAccounting, Node: 2, Until: 16 * time.Second, Delay: 250 * time.Millisecond},
+		{At: 10 * time.Second, Kind: faults.DropAccounting, Node: 4, Until: 13 * time.Second, Loss: 0.5},
+		{At: 18 * time.Second, Kind: faults.NodeCrash, Node: 1},
+		{At: 24 * time.Second, Kind: faults.NodeRecover, Node: 1},
+	}}
+	run := func() *Result {
+		res, err := Run(chaosOptions(plan))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	r1 := run()
+	r2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("mixed fault plan is not replayable; every injected decision must come from the plan's seed")
+	}
+	assertSettled(t, r1)
+}
+
+func TestChaosAccountingBlackoutDisablesThenRecovers(t *testing.T) {
+	// A total accounting blackout on node 2 long past the streak threshold:
+	// the detector must disable the node (so load shifts) and the first
+	// report after the window must re-enable it. The node itself never
+	// stops serving, so nothing is reclaimed and guarantees hold throughout.
+	plan := &faults.Plan{Seed: 7, Events: []faults.Event{
+		{At: 10 * time.Second, Kind: faults.DropAccounting, Node: 2, Until: 15 * time.Second},
+	}}
+	res, err := Run(chaosOptions(plan))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertSettled(t, res)
+	if res.ReclaimedReqs != 0 {
+		t.Errorf("blackout (no crash) reclaimed %d requests, want 0", res.ReclaimedReqs)
+	}
+	for _, row := range res.Rows {
+		pd, err := res.PhaseDeviation(row.ID, time.Second)
+		if err != nil {
+			t.Fatalf("PhaseDeviation(%s): %v", row.ID, err)
+		}
+		t.Logf("%s: pre=%.3f during=%.3f post=%.3f", row.ID, pd.Pre, pd.During, pd.Post)
+		if pd.DuringOK && pd.During > 0.25 {
+			t.Errorf("%s: deviation %.3f during accounting blackout exceeds 0.25", row.ID, pd.During)
+		}
+	}
+}
+
+func TestChaosPlanTargetingMissingNodeRejected(t *testing.T) {
+	opts := chaosOptions(&faults.Plan{Events: []faults.Event{
+		{At: time.Second, Kind: faults.NodeCrash, Node: 9},
+		{At: 2 * time.Second, Kind: faults.NodeRecover, Node: 9},
+	}})
+	if _, err := Run(opts); err == nil {
+		t.Fatal("plan targeting node 9 of a 4-RPN cluster must be rejected")
+	}
+}
+
+// --- white-box unit tests for the chaosRun bookkeeping ---
+
+func chaosFixture(t *testing.T) (*core.Scheduler, *chaosRun, []*RPN) {
+	t.Helper()
+	dir, err := qos.NewDirectory([]qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 10},
+	})
+	if err != nil {
+		t.Fatalf("directory: %v", err)
+	}
+	rpns := []*RPN{NewRPN(1, 1, 12.5e6), NewRPN(2, 1, 12.5e6)}
+	cfgs := []core.NodeConfig{
+		{ID: 1, Capacity: rpns[0].Capacity()},
+		{ID: 2, Capacity: rpns[1].Capacity()},
+	}
+	sched, err := core.New(dir, cfgs, core.Config{})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	return sched, newChaosRun(rpns), rpns
+}
+
+func TestChaosRunMissedStreakDisablesAndReportReenables(t *testing.T) {
+	sched, cs, _ := chaosFixture(t)
+	for i := 0; i < unhealthyAfterMissedAcct-1; i++ {
+		cs.missAcct(sched, 1)
+		if cs.disabled[1] {
+			t.Fatalf("node disabled after %d misses, threshold is %d", i+1, unhealthyAfterMissedAcct)
+		}
+	}
+	cs.missAcct(sched, 1)
+	if !cs.disabled[1] {
+		t.Fatal("node not disabled at the missed-accounting streak threshold")
+	}
+	cs.ackAcct(sched, 1)
+	if cs.disabled[1] || cs.missed[1] != 0 {
+		t.Error("a delivered report must clear the streak and re-enable the node")
+	}
+}
+
+func TestChaosRunDeliverAcctStaleAndEpoch(t *testing.T) {
+	_, cs, _ := chaosFixture(t)
+	mk := func(seq, epoch int, cpu time.Duration) acctMsg {
+		return acctMsg{seq: seq, epoch: epoch, cum: core.UsageReport{
+			Node:  1,
+			Total: qos.Vector{CPUTime: cpu},
+			BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
+				"a": {Usage: qos.Vector{CPUTime: cpu}, Completed: int(cpu / time.Millisecond)},
+			},
+		}}
+	}
+
+	d1, ok := cs.deliverAcct(1, mk(0, 0, 10*time.Millisecond))
+	if !ok || d1.Total.CPUTime != 10*time.Millisecond {
+		t.Fatalf("first delivery: delta=%v ok=%v", d1.Total, ok)
+	}
+	d2, ok := cs.deliverAcct(1, mk(2, 0, 30*time.Millisecond))
+	if !ok || d2.Total.CPUTime != 20*time.Millisecond {
+		t.Fatalf("in-order delivery: delta=%v ok=%v, want 20ms delta", d2.Total, ok)
+	}
+	// seq 1 was overtaken by seq 2 inside a delay window: stale, ignored.
+	if _, ok := cs.deliverAcct(1, mk(1, 0, 20*time.Millisecond)); ok {
+		t.Fatal("stale out-of-order message was accepted; it would double-count usage")
+	}
+	// New epoch: the node rebooted and counters restarted — the fresh
+	// cumulative IS the delta even though it is smaller than the last seen.
+	d3, ok := cs.deliverAcct(1, mk(0, 1, 5*time.Millisecond))
+	if !ok || d3.Total.CPUTime != 5*time.Millisecond {
+		t.Fatalf("post-crash delivery: delta=%v ok=%v, want 5ms delta", d3.Total, ok)
+	}
+	if d3.BySubscriber["a"].Usage.CPUTime != 5*time.Millisecond {
+		t.Errorf("post-crash per-subscriber delta = %v, want 5ms", d3.BySubscriber["a"].Usage.CPUTime)
+	}
+}
+
+func TestChaosRunCrashReclaimsInflight(t *testing.T) {
+	sched, cs, rpns := chaosFixture(t)
+	cs.track(1, 101, "a")
+	cs.track(1, 102, "a")
+	cs.track(2, 201, "a")
+	epochBefore := rpns[0].Epoch()
+	cs.crash(sched, rpns[0])
+	if cs.reclaimed != 2 {
+		t.Errorf("reclaimed = %d, want 2 (only node 1's in-flight work)", cs.reclaimed)
+	}
+	if len(cs.inflight[1]) != 0 || len(cs.inflight[2]) != 1 {
+		t.Errorf("inflight after crash: node1=%d node2=%d, want 0 and 1", len(cs.inflight[1]), len(cs.inflight[2]))
+	}
+	if rpns[0].Epoch() != epochBefore+1 {
+		t.Error("crash must bump the node's epoch")
+	}
+	if !cs.crashed[1] {
+		t.Error("node 1 not marked crashed")
+	}
+	cs.recover(1)
+	if cs.crashed[1] {
+		t.Error("node 1 still marked crashed after recovery")
+	}
+	cs.complete(2, 201)
+	if got := cs.delivered + cs.reclaimed + cs.inflightTotal(); got != cs.dispatched {
+		t.Errorf("settlement: dispatched=%d, delivered+reclaimed+inflight=%d", cs.dispatched, got)
+	}
+}

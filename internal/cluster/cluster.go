@@ -45,6 +45,17 @@ type RPN struct {
 	bwBps    float64       // link bandwidth, bytes/sec
 	overhead time.Duration // per-request CPU cost of Gage's local service manager
 
+	// speedFactor and bwFactor are the fault injector's transient
+	// multipliers (SlowNode, LinkDegrade); 1 when healthy.
+	speedFactor float64
+	bwFactor    float64
+	// epoch counts crashes: a completion event whose node has since
+	// crashed belongs to a previous incarnation and must not charge.
+	epoch int
+	// cacheEntries remembers the configured cache size across crashes
+	// (the machine reboots with a cold cache of the same capacity).
+	cacheEntries int
+
 	cpu  station
 	disk station
 	link station
@@ -92,11 +103,13 @@ func (c *pageCache) touch(key string) bool {
 // outbound link bandwidth in bytes per second.
 func NewRPN(id core.NodeID, speed float64, bwBps float64) *RPN {
 	return &RPN{
-		id:    id,
-		speed: speed,
-		bwBps: bwBps,
-		acct:  accounting.NewAccountant(id),
-		procs: make(map[qos.SubscriberID]accounting.ProcessID),
+		id:          id,
+		speed:       speed,
+		bwBps:       bwBps,
+		speedFactor: 1,
+		bwFactor:    1,
+		acct:        accounting.NewAccountant(id),
+		procs:       make(map[qos.SubscriberID]accounting.ProcessID),
 	}
 }
 
@@ -117,10 +130,51 @@ func (r *RPN) SetOverhead(d time.Duration) { r.overhead = d }
 
 // SetCache enables an LRU page cache of the given entry count (0 disables).
 func (r *RPN) SetCache(entries int) {
+	r.cacheEntries = entries
 	if entries > 0 {
 		r.cache = newPageCache(entries)
 	} else {
 		r.cache = nil
+	}
+}
+
+// SetSpeedFactor applies a transient CPU/disk speed multiplier (SlowNode
+// fault windows); 1 restores nominal speed. It affects only newly admitted
+// work — requests already in the pipeline keep their computed finish times.
+func (r *RPN) SetSpeedFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	r.speedFactor = f
+}
+
+// SetBandwidthFactor applies a transient outbound-bandwidth multiplier
+// (LinkDegrade fault windows); 1 restores nominal bandwidth.
+func (r *RPN) SetBandwidthFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	r.bwFactor = f
+}
+
+// Epoch returns the node's incarnation number (crash count).
+func (r *RPN) Epoch() int { return r.epoch }
+
+// Crash fail-stops the node: every station empties (the queued work is
+// lost, not finished), the page cache goes cold, and the accountant
+// restarts with zeroed counters — exactly what a reboot does to a real RPN,
+// including the counter reset the dispatcher's report differ must survive.
+// The epoch bump invalidates completion events already scheduled for the
+// dead incarnation.
+func (r *RPN) Crash() {
+	r.epoch++
+	r.cpu = station{}
+	r.disk = station{}
+	r.link = station{}
+	r.acct = accounting.NewAccountant(r.id)
+	r.procs = make(map[qos.SubscriberID]accounting.ProcessID)
+	if r.cacheEntries > 0 {
+		r.cache = newPageCache(r.cacheEntries)
 	}
 }
 
@@ -141,9 +195,10 @@ func (r *RPN) process(now time.Time, req workload.Request) (time.Time, qos.Vecto
 			r.misses++
 		}
 	}
-	cpuFin := r.cpu.admit(now, scaleDur(effective.CPUTime+r.overhead, 1/r.speed))
-	diskFin := r.disk.admit(cpuFin, scaleDur(effective.DiskTime, 1/r.speed))
-	xmit := time.Duration(float64(effective.NetBytes) / r.bwBps * float64(time.Second))
+	speed := r.speed * r.speedFactor
+	cpuFin := r.cpu.admit(now, scaleDur(effective.CPUTime+r.overhead, 1/speed))
+	diskFin := r.disk.admit(cpuFin, scaleDur(effective.DiskTime, 1/speed))
+	xmit := time.Duration(float64(effective.NetBytes) / (r.bwBps * r.bwFactor) * float64(time.Second))
 	return r.link.admit(diskFin, xmit), effective
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"gage/internal/classify"
 	"gage/internal/core"
+	"gage/internal/faults"
 	"gage/internal/metrics"
 	"gage/internal/qos"
 	"gage/internal/vclock"
@@ -76,6 +77,13 @@ type Options struct {
 	// CacheEntries gives each RPN an LRU page cache of that many entries;
 	// cache hits skip the request's disk-channel time (0 disables).
 	CacheEntries int
+
+	// Faults, when non-nil, is the deterministic chaos schedule executed at
+	// exact virtual times: node crashes/recoveries, accounting drop/delay
+	// windows, link degradation, CPU-speed dips. Same (workload, plan) ⇒
+	// identical Result. Event offsets count from the start of the run
+	// (warmup included), like request arrivals.
+	Faults *faults.Plan
 
 	// Warmup is excluded from all measurements; Duration is the measured
 	// window after warmup.
@@ -162,6 +170,81 @@ type Result struct {
 	CacheHitRate float64
 	// Window is the measured duration.
 	Window time.Duration
+
+	// Settlement counters over the whole run (warmup included): every
+	// dispatch the scheduler emitted settles exactly once — delivered (its
+	// completion was charged), reclaimed (a crash lost it and its charge
+	// was released back to the scheduler), or still in flight at run end.
+	// DispatchedReqs == DeliveredReqs + ReclaimedReqs + InflightAtEnd is a
+	// standing chaos invariant.
+	DispatchedReqs int
+	DeliveredReqs  int
+	ReclaimedReqs  int
+	InflightAtEnd  int
+	// BalanceViolations counts per-tick audits that found a subscriber
+	// balance below its clamp floor (−reservation×CreditWindow). Must be 0.
+	BalanceViolations int
+	// Fault reports the injected plan's active window relative to the
+	// measured window; nil when the run had no fault plan.
+	Fault *FaultReport
+}
+
+// FaultReport locates the fault plan's active span inside the measured
+// window: offsets from the end of warmup, unclipped (Start may be negative
+// when faults began during warmup; End may exceed Window).
+type FaultReport struct {
+	Start time.Duration
+	End   time.Duration
+}
+
+// PhaseDeviation is one subscriber's deviation statistic split around the
+// fault plan's active window. A phase too short to hold one full averaging
+// interval has its OK flag false and a zero value.
+type PhaseDeviation struct {
+	Pre, During, Post       float64
+	PreOK, DuringOK, PostOK bool
+}
+
+// PhaseDeviation computes the served-rate deviation statistic separately
+// over the pre-fault, during-fault and post-recovery windows of the run —
+// the instrument that shows a guarantee holding before a crash, degrading
+// (or not) while it is active, and recovering afterwards. It errors when
+// the run had no fault plan or the subscriber is unknown.
+func (r *Result) PhaseDeviation(id qos.SubscriberID, interval time.Duration) (PhaseDeviation, error) {
+	if r.Fault == nil {
+		return PhaseDeviation{}, errors.New("cluster: run had no fault plan")
+	}
+	s, ok := r.Series[id]
+	if !ok {
+		return PhaseDeviation{}, fmt.Errorf("cluster: no series for subscriber %q", id)
+	}
+	var res qos.GRPS
+	for _, row := range r.Rows {
+		if row.ID == id {
+			res = row.Reservation
+		}
+	}
+	clip := func(t time.Duration) time.Duration {
+		if t < 0 {
+			return 0
+		}
+		if t > r.Window {
+			return r.Window
+		}
+		return t
+	}
+	from, to := clip(r.Fault.Start), clip(r.Fault.End)
+	var pd PhaseDeviation
+	if d, err := s.DeviationBetween(res, 0, from, interval); err == nil {
+		pd.Pre, pd.PreOK = d, true
+	}
+	if d, err := s.DeviationBetween(res, from, to, interval); err == nil {
+		pd.During, pd.DuringOK = d, true
+	}
+	if d, err := s.DeviationBetween(res, to, r.Window, interval); err == nil {
+		pd.Post, pd.PostOK = d, true
+	}
+	return pd, nil
 }
 
 // Row returns the row for a subscriber ID.
@@ -258,6 +341,18 @@ func Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		if maxNode := opts.Faults.MaxNode(); int(maxNode) > opts.NumRPNs {
+			return nil, fmt.Errorf("cluster: fault plan targets node %d but cluster has %d RPNs", maxNode, opts.NumRPNs)
+		}
+		inj, err = faults.NewInjector(*opts.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cs := newChaosRun(rpns)
+
 	classifier := classify.NewHostClassifier(dir)
 	engine := vclock.NewEngine(time.Time{})
 	front := &rdn{model: opts.RDN}
@@ -334,7 +429,44 @@ func Run(opts Options) (*Result, error) {
 		})
 	}
 
-	// Scheduling cycle: dispatch decisions travel to their RPNs.
+	// Fault schedule: crash/recover events fire at their exact virtual
+	// times; at every other state transition, each RPN's speed and
+	// bandwidth multipliers are re-derived from the injector.
+	if inj != nil {
+		for _, ev := range opts.Faults.Events {
+			ev := ev
+			switch ev.Kind {
+			case faults.NodeCrash:
+				engine.At(start.Add(ev.At), func() { cs.crash(sched, byID[ev.Node]) })
+			case faults.NodeRecover:
+				engine.At(start.Add(ev.At), func() { cs.recover(ev.Node) })
+			}
+		}
+		for _, tr := range inj.Transitions() {
+			tr := tr
+			engine.At(start.Add(tr), func() {
+				for _, r := range rpns {
+					r.SetSpeedFactor(inj.Speed(r.id, tr))
+					r.SetBandwidthFactor(inj.Bandwidth(r.id, tr))
+				}
+			})
+		}
+	}
+
+	// Balance clamp floors for the per-tick audit: no balance may ever sit
+	// below −reservation×CreditWindow (tiny slack for Scale rounding).
+	floors := make(map[qos.SubscriberID]qos.Vector, dir.Len())
+	for _, id := range dir.IDs() {
+		sub, err := dir.Subscriber(id)
+		if err != nil {
+			continue
+		}
+		floors[id] = sub.Reservation.PerCycle(opts.CreditWindow).Neg()
+	}
+
+	// Scheduling cycle: dispatch decisions travel to their RPNs. A decision
+	// that reaches a node which crashed while it was on the wire is lost;
+	// its charge is reclaimed so it still settles exactly once.
 	stopSched := engine.Every(opts.SchedCycle, func() {
 		for _, d := range sched.Tick() {
 			d := d
@@ -343,9 +475,21 @@ func Run(opts Options) (*Result, error) {
 				continue
 			}
 			node := byID[d.Node]
+			cs.track(d.Node, req.ID, req.Subscriber)
 			engine.After(opts.DispatchLatency, func() {
+				if cs.crashed[node.id] {
+					cs.reclaimOne(sched, node.id, req.ID, req.Subscriber)
+					return
+				}
+				epoch := node.Epoch()
 				fin, effective := node.process(engine.Now(), req)
 				engine.At(fin, func() {
+					if node.Epoch() != epoch {
+						// The node crashed mid-service; the crash handler
+						// already reclaimed this request's charge.
+						return
+					}
+					cs.complete(node.id, req.ID)
 					node.chargeCompletion(req, effective)
 					now := engine.Now()
 					if inWindow(now) {
@@ -359,18 +503,51 @@ func Run(opts Options) (*Result, error) {
 				})
 			})
 		}
+		for id, floor := range floors {
+			b, ok := sched.Balance(id)
+			if !ok {
+				continue
+			}
+			slack := b.Sub(floor)
+			if slack.CPUTime < -time.Microsecond || slack.DiskTime < -time.Microsecond || slack.NetBytes < -1 {
+				cs.balanceViolations++
+			}
+		}
 	})
 	defer stopSched()
 
-	// Accounting cycle per RPN: usage reports flow back with latency.
+	// Accounting cycle per RPN: cumulative counters flow back with latency
+	// and are diffed at delivery (like the live dispatcher's poller), so a
+	// dropped message delays feedback instead of losing usage forever. A
+	// crashed node is silent; silence past the streak threshold disables
+	// the node, and the first report after recovery re-enables it.
 	var stops []func()
 	for _, r := range rpns {
 		r := r
 		stops = append(stops, engine.Every(opts.AcctCycle, func() {
-			rep := r.Accountant().Cycle()
-			engine.After(opts.FeedbackLatency, func() {
+			if cs.crashed[r.id] {
+				cs.missAcct(sched, r.id)
+				return
+			}
+			off := engine.Now().Sub(start)
+			if inj != nil && (inj.DropAcct(r.id, off) || inj.DropFrame(r.id, off)) {
+				cs.missAcct(sched, r.id)
+				return
+			}
+			msg := acctMsg{seq: cs.sendSeq[r.id], epoch: r.Epoch(), cum: r.Accountant().CumulativeReport()}
+			cs.sendSeq[r.id]++
+			delay := opts.FeedbackLatency
+			if inj != nil {
+				delay += inj.AcctDelay(r.id, off)
+			}
+			engine.After(delay, func() {
+				rep, ok := cs.deliverAcct(r.id, msg)
+				if !ok {
+					return // stale: overtaken inside a delay window
+				}
 				// Reports for known nodes cannot fail.
 				_ = sched.ReportUsage(rep)
+				cs.ackAcct(sched, r.id)
 				now := engine.Now()
 				if !inWindow(now) {
 					return
@@ -399,9 +576,19 @@ func Run(opts Options) (*Result, error) {
 
 	// Assemble results.
 	res := &Result{
-		Series:   series,
-		Observed: observed,
-		Window:   opts.Duration,
+		Series:            series,
+		Observed:          observed,
+		Window:            opts.Duration,
+		DispatchedReqs:    cs.dispatched,
+		DeliveredReqs:     cs.delivered,
+		ReclaimedReqs:     cs.reclaimed,
+		InflightAtEnd:     cs.inflightTotal(),
+		BalanceViolations: cs.balanceViolations,
+	}
+	if opts.Faults != nil {
+		if fs, fe, ok := opts.Faults.ActiveWindow(); ok {
+			res.Fault = &FaultReport{Start: fs - opts.Warmup, End: fe - opts.Warmup}
+		}
 	}
 	sec := opts.Duration.Seconds()
 	var servedReqs int

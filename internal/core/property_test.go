@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gage/internal/qos"
+)
+
+// checkSchedulerInvariants asserts the scheduler's internal accounting
+// identities, which every interleaving of Enqueue/Tick/ReportUsage/
+// CancelQueued/ReleaseDispatch/Redispatch must preserve:
+//
+//  1. every balance sits inside its clamp band ±reservation×CreditWindow;
+//  2. each subscriber's per-node estimate equals the sum of its pending
+//     dispatch-time predictions on that node (credits are conserved — no
+//     charge is ever lost or double-released);
+//  3. each node's outstanding load equals the sum of all subscribers'
+//     estimates on it, is never negative, and bounds the optimistic drain.
+func checkSchedulerInvariants(t *testing.T, s *Scheduler, step string) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, q := range s.subs {
+		lim := q.res.PerCycle(s.cfg.CreditWindow)
+		if !lim.Dominates(q.balance) || !q.balance.Dominates(lim.Neg()) {
+			t.Fatalf("%s: subscriber %s balance %+v outside clamp band ±%+v", step, id, q.balance, lim)
+		}
+		for n, est := range q.estimated {
+			var sum qos.Vector
+			for _, pd := range q.pending[n] {
+				sum = sum.Add(pd.predicted)
+			}
+			if est != sum {
+				t.Fatalf("%s: subscriber %s node %d estimate %+v != pending sum %+v",
+					step, id, n, est, sum)
+			}
+			if est.AnyNegative() {
+				t.Fatalf("%s: subscriber %s node %d estimate went negative: %+v", step, id, n, est)
+			}
+		}
+	}
+	for nid, nd := range s.nodes {
+		var sum qos.Vector
+		for _, q := range s.subs {
+			sum = sum.Add(q.estimated[nid])
+		}
+		if nd.outstanding != sum {
+			t.Fatalf("%s: node %d outstanding %+v != Σ subscriber estimates %+v",
+				step, nid, nd.outstanding, sum)
+		}
+		if nd.outstanding.AnyNegative() {
+			t.Fatalf("%s: node %d outstanding went negative: %+v", step, nid, nd.outstanding)
+		}
+		if !nd.outstanding.Dominates(nd.drained) {
+			t.Fatalf("%s: node %d drained %+v exceeds outstanding %+v",
+				step, nid, nd.drained, nd.outstanding)
+		}
+	}
+}
+
+// propEntry is one harness-tracked in-flight dispatch.
+type propEntry struct {
+	id  uint64
+	sub qos.SubscriberID
+}
+
+func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
+	subs := []qos.Subscriber{
+		{ID: "hi", Reservation: 100, QueueLimit: 16},
+		{ID: "lo", Reservation: 10, QueueLimit: 16},
+		{ID: "zero", Reservation: 0, QueueLimit: 16},
+	}
+	subIDs := []qos.SubscriberID{"hi", "lo", "zero"}
+	nodeIDs := []NodeID{1, 2, 3}
+
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			var nodes []NodeConfig
+			for _, id := range nodeIDs {
+				nodes = append(nodes, NodeConfig{ID: id, Capacity: nodeCap()})
+			}
+			s := mustScheduler(t, subs, nodes, Config{})
+
+			queued := make(map[qos.SubscriberID][]uint64) // per-sub FIFO of queued IDs
+			inflight := make(map[NodeID][]propEntry)      // per-node dispatch order
+			var nextID uint64
+
+			nodesWithWork := func() []NodeID {
+				var out []NodeID
+				for _, n := range nodeIDs {
+					if len(inflight[n]) > 0 {
+						out = append(out, n)
+					}
+				}
+				return out
+			}
+
+			for op := 0; op < 400; op++ {
+				step := fmt.Sprintf("op %d", op)
+				switch k := rng.Intn(100); {
+				case k < 35: // enqueue a burst
+					sub := subIDs[rng.Intn(len(subIDs))]
+					for i := 0; i < 1+rng.Intn(4); i++ {
+						nextID++
+						err := s.Enqueue(Request{ID: nextID, Subscriber: sub})
+						if errors.Is(err, ErrQueueFull) {
+							nextID-- // not admitted; harness forgets it
+							break
+						} else if err != nil {
+							t.Fatalf("%s: Enqueue: %v", step, err)
+						}
+						queued[sub] = append(queued[sub], nextID)
+					}
+				case k < 55: // scheduling tick
+					for _, d := range s.Tick() {
+						fifo := queued[d.Req.Subscriber]
+						if len(fifo) == 0 || fifo[0] != d.Req.ID {
+							t.Fatalf("%s: dispatch %d for %s violates FIFO (queue %v)",
+								step, d.Req.ID, d.Req.Subscriber, fifo)
+						}
+						queued[d.Req.Subscriber] = fifo[1:]
+						inflight[d.Node] = append(inflight[d.Node], propEntry{id: d.Req.ID, sub: d.Req.Subscriber})
+					}
+				case k < 70: // accounting message completing a prefix of a node's work
+					ns := nodesWithWork()
+					if len(ns) == 0 {
+						continue
+					}
+					n := ns[rng.Intn(len(ns))]
+					c := 1 + rng.Intn(len(inflight[n]))
+					rep := UsageReport{Node: n, BySubscriber: make(map[qos.SubscriberID]SubscriberUsage)}
+					// Per-request usage between 0.25× and 4× the generic cost:
+					// under- and over-prediction both exercise the clamp.
+					cost := qos.GenericCost().Scale(0.25 + 3.75*rng.Float64())
+					for _, e := range inflight[n][:c] {
+						u := rep.BySubscriber[e.sub]
+						u.Usage = u.Usage.Add(cost)
+						u.Completed++
+						rep.BySubscriber[e.sub] = u
+						rep.Total = rep.Total.Add(cost)
+					}
+					inflight[n] = inflight[n][c:]
+					if err := s.ReportUsage(rep); err != nil {
+						t.Fatalf("%s: ReportUsage: %v", step, err)
+					}
+				case k < 80: // abandon a queued request (any position, not just head)
+					sub := subIDs[rng.Intn(len(subIDs))]
+					if len(queued[sub]) == 0 {
+						continue
+					}
+					i := rng.Intn(len(queued[sub]))
+					id := queued[sub][i]
+					if !s.CancelQueued(sub, id) {
+						t.Fatalf("%s: CancelQueued(%s, %d) = false for a queued request", step, sub, id)
+					}
+					queued[sub] = append(queued[sub][:i], queued[sub][i+1:]...)
+				case k < 90: // abandon an in-flight dispatch
+					ns := nodesWithWork()
+					if len(ns) == 0 {
+						continue
+					}
+					n := ns[rng.Intn(len(ns))]
+					i := rng.Intn(len(inflight[n]))
+					e := inflight[n][i]
+					if !s.ReleaseDispatch(e.sub, n, e.id) {
+						t.Fatalf("%s: ReleaseDispatch(%s, %d, %d) = false for an in-flight charge", step, e.sub, n, e.id)
+					}
+					inflight[n] = append(inflight[n][:i], inflight[n][i+1:]...)
+				case k < 96: // move an in-flight charge off its node
+					ns := nodesWithWork()
+					if len(ns) == 0 {
+						continue
+					}
+					n := ns[rng.Intn(len(ns))]
+					i := rng.Intn(len(inflight[n]))
+					e := inflight[n][i]
+					inflight[n] = append(inflight[n][:i], inflight[n][i+1:]...)
+					if alt, ok := s.Redispatch(e.sub, e.id, n); ok {
+						inflight[alt] = append(inflight[alt], e)
+					} // else: no alternate had room; the charge is released
+				default: // flap a node's health
+					n := nodeIDs[rng.Intn(len(nodeIDs))]
+					if err := s.SetNodeEnabled(n, rng.Intn(2) == 0); err != nil {
+						t.Fatalf("%s: SetNodeEnabled: %v", step, err)
+					}
+				}
+				checkSchedulerInvariants(t, s, step)
+			}
+
+			// Settle everything: complete all in-flight work, withdraw all
+			// queued requests, and confirm no charge is left anywhere.
+			for _, n := range nodeIDs {
+				if len(inflight[n]) == 0 {
+					continue
+				}
+				rep := UsageReport{Node: n, BySubscriber: make(map[qos.SubscriberID]SubscriberUsage)}
+				for _, e := range inflight[n] {
+					u := rep.BySubscriber[e.sub]
+					u.Usage = u.Usage.Add(qos.GenericCost())
+					u.Completed++
+					rep.BySubscriber[e.sub] = u
+				}
+				inflight[n] = nil
+				if err := s.ReportUsage(rep); err != nil {
+					t.Fatalf("final ReportUsage: %v", err)
+				}
+			}
+			for sub, ids := range queued {
+				for _, id := range ids {
+					if !s.CancelQueued(sub, id) {
+						t.Fatalf("final CancelQueued(%s, %d) = false", sub, id)
+					}
+				}
+			}
+			checkSchedulerInvariants(t, s, "settled")
+			for _, n := range nodeIDs {
+				if out, _ := s.Outstanding(n); !out.IsZero() {
+					t.Errorf("node %d outstanding %+v after full settlement, want zero", n, out)
+				}
+			}
+			for _, sub := range subIDs {
+				if l := s.QueueLen(sub); l != 0 {
+					t.Errorf("subscriber %s queue length %d after settlement, want 0", sub, l)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerBalanceNeverBelowFloorUnderHostileUsage drives one subscriber
+// with usage reports far above its reservation and prediction: the balance
+// must pin at the clamp floor, never below, and recover once the overuse
+// stops — the property the harness's per-tick balance audit enforces in
+// every chaos run.
+func TestSchedulerBalanceNeverBelowFloorUnderHostileUsage(t *testing.T) {
+	subs := []qos.Subscriber{{ID: "a", Reservation: 10}}
+	s := mustScheduler(t, subs, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	floor := qos.GRPS(10).PerCycle(s.cfg.CreditWindow).Neg()
+	var id uint64
+	for round := 0; round < 50; round++ {
+		id++
+		if err := s.Enqueue(Request{ID: id, Subscriber: "a"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+		n := 0
+		for _, d := range s.Tick() {
+			n++
+			_ = d
+		}
+		if n > 0 {
+			// Report 20× the generic cost per completion: hostile overuse.
+			if err := s.ReportUsage(UsageReport{Node: 1, BySubscriber: map[qos.SubscriberID]SubscriberUsage{
+				"a": {Usage: qos.GenericCost().Scale(20 * float64(n)), Completed: n},
+			}}); err != nil {
+				t.Fatalf("ReportUsage: %v", err)
+			}
+		}
+		b, ok := s.Balance("a")
+		if !ok {
+			t.Fatal("Balance lookup failed")
+		}
+		if !b.Dominates(floor) {
+			t.Fatalf("round %d: balance %+v fell below clamp floor %+v", round, b, floor)
+		}
+	}
+	// Idle recovery: with no further usage, per-tick credits walk the
+	// balance back up to the ceiling.
+	for i := 0; i < 1000; i++ {
+		s.Tick()
+	}
+	b, _ := s.Balance("a")
+	ceiling := qos.GRPS(10).PerCycle(s.cfg.CreditWindow)
+	if b != ceiling {
+		t.Errorf("idle balance = %+v, want clamp ceiling %+v", b, ceiling)
+	}
+}

@@ -59,6 +59,10 @@ type Config struct {
 	// RetryBackoff is the pause before the relay's single retry against an
 	// alternate backend after a dial failure (default 25 ms).
 	RetryBackoff time.Duration
+	// Dial opens backend connections; nil means net.DialTimeout. Fault
+	// drills swap in a chaos dialer here to script backend outages without
+	// touching real processes.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Logger receives operational errors (default: standard logger).
 	Logger *log.Logger
 }
@@ -169,6 +173,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.DialTimeout
 	}
 	dir, err := qos.NewDirectory(cfg.Subscribers)
 	if err != nil {
@@ -365,7 +372,7 @@ func (s *Server) pollOne(id core.NodeID, addr string) {
 
 // pollReport fetches one backend's usage report.
 func (s *Server) pollReport(id core.NodeID, addr string) (core.UsageReport, error) {
-	conn, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
+	conn, err := s.cfg.Dial("tcp", addr, s.cfg.DialTimeout)
 	if err != nil {
 		return core.UsageReport{}, err
 	}
@@ -539,7 +546,7 @@ func wantKeepAlive(req *httpwire.Request) bool {
 // and dial degrades to extra latency instead of a 502. It reports whether
 // the client connection remains usable.
 func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
-	be, err := net.DialTimeout("tcp", s.addrs[node], s.cfg.DialTimeout)
+	be, err := s.cfg.Dial("tcp", s.addrs[node], s.cfg.DialTimeout)
 	if err != nil {
 		s.noteFailure(node)
 		alt, ok := s.sched.Redispatch(pc.sub, pc.id, node)
@@ -551,7 +558,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		}
 		s.retried.Add(1)
 		time.Sleep(s.cfg.RetryBackoff)
-		be, err = net.DialTimeout("tcp", s.addrs[alt], s.cfg.DialTimeout)
+		be, err = s.cfg.Dial("tcp", s.addrs[alt], s.cfg.DialTimeout)
 		if err != nil {
 			s.noteFailure(alt)
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)

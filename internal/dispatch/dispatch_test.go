@@ -346,53 +346,6 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 }
 
-func TestDiffReports(t *testing.T) {
-	usage := func(cpu int64, completed int) core.SubscriberUsage {
-		return core.SubscriberUsage{
-			Usage:     qos.Vector{CPUTime: time.Duration(cpu)},
-			Completed: completed,
-		}
-	}
-	prev := core.UsageReport{
-		Node:  1,
-		Total: qos.Vector{CPUTime: 100},
-		BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
-			"a": usage(100, 10),
-		},
-	}
-	cum := core.UsageReport{
-		Node:  1,
-		Total: qos.Vector{CPUTime: 130},
-		BySubscriber: map[qos.SubscriberID]core.SubscriberUsage{
-			"a": usage(120, 12),
-			"b": usage(10, 1),
-		},
-	}
-	delta := diffReports(cum, prev)
-	if delta.Total != (qos.Vector{CPUTime: 30}) {
-		t.Errorf("delta total = %v, want 30", delta.Total)
-	}
-	if got := delta.BySubscriber["a"]; got != usage(20, 2) {
-		t.Errorf("delta a = %+v, want 20/2", got)
-	}
-	if got := delta.BySubscriber["b"]; got != usage(10, 1) {
-		t.Errorf("delta b = %+v (new subscriber keeps full value)", got)
-	}
-	// Unchanged subscribers are omitted.
-	same := diffReports(cum, cum)
-	if len(same.BySubscriber) != 0 || !same.Total.IsZero() {
-		t.Errorf("identical snapshots must produce an empty delta: %+v", same)
-	}
-	// A restarted backend (counters going backwards) resets the baseline.
-	restarted := diffReports(prev, cum)
-	if restarted.Total != prev.Total {
-		t.Errorf("restart delta total = %v, want fresh cumulative %v", restarted.Total, prev.Total)
-	}
-	if got := restarted.BySubscriber["a"]; got != usage(100, 10) {
-		t.Errorf("restart delta a = %+v, want fresh cumulative", got)
-	}
-}
-
 func TestAccountingSurvivesLostPolls(t *testing.T) {
 	// Two requests, then a poll; the backend serves cumulative counters, so
 	// even if earlier polls were lost, the dispatcher's delta accounts for

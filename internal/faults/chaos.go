@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrDown is the dial error a crashed endpoint produces.
+var ErrDown = errors.New("faults: endpoint down")
+
+// Chaos scripts the fault vocabulary against live TCP endpoints, keyed by
+// address. The dispatcher's injectable dialer and a listener wrapper around
+// a backend both consult it, so a test can crash an RPN mid-run — new dials
+// fail, in-flight connections die, accepted connections are cut — and
+// recover it later, exercising the dispatcher's retry/redispatch/unhealthy-
+// streak machinery against scripted failures instead of hand-rolled fakes.
+// It is safe for concurrent use.
+type Chaos struct {
+	mu    sync.Mutex
+	down  map[string]bool
+	delay map[string]time.Duration
+	conns map[string]map[net.Conn]struct{}
+}
+
+// NewChaos returns an empty switchboard: every endpoint healthy.
+func NewChaos() *Chaos {
+	return &Chaos{
+		down:  make(map[string]bool),
+		delay: make(map[string]time.Duration),
+		conns: make(map[string]map[net.Conn]struct{}),
+	}
+}
+
+// Crash fail-stops an address: subsequent dials to it fail with ErrDown,
+// its listener wrapper cuts accepted connections, and every tracked live
+// connection is closed immediately (in-flight requests die mid-exchange,
+// exactly as with a seized machine).
+func (c *Chaos) Crash(addr string) {
+	c.mu.Lock()
+	c.down[addr] = true
+	victims := c.conns[addr]
+	delete(c.conns, addr)
+	c.mu.Unlock()
+	for conn := range victims {
+		_ = conn.Close()
+	}
+}
+
+// Recover brings a crashed address back.
+func (c *Chaos) Recover(addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.down, addr)
+}
+
+// Down reports whether the address is currently crashed.
+func (c *Chaos) Down(addr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[addr]
+}
+
+// SetDelay adds fixed latency to every subsequent dial of addr (a degraded
+// link); zero removes it.
+func (c *Chaos) SetDelay(addr string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		delete(c.delay, addr)
+	} else {
+		c.delay[addr] = d
+	}
+}
+
+// Dial is a drop-in for the dispatcher's backend dialer (dispatch
+// Config.Dial): it fails crashed addresses, applies scripted dial latency,
+// and tracks the resulting connection so a later Crash severs it.
+func (c *Chaos) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
+	c.mu.Lock()
+	down := c.down[addr]
+	delay := c.delay[addr]
+	c.mu.Unlock()
+	if down {
+		return nil, &net.OpError{Op: "dial", Net: network, Err: ErrDown}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	conn, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return c.track(addr, conn), nil
+}
+
+// Listener wraps a backend's listener: while the address is crashed,
+// accepted connections are closed before the backend sees them (the peer
+// observes an immediate hang-up), and accepted connections are tracked so a
+// Crash severs in-flight exchanges. The address key is the listener's own
+// address.
+func (c *Chaos) Listener(ln net.Listener) net.Listener {
+	return &chaosListener{Listener: ln, chaos: c, addr: ln.Addr().String()}
+}
+
+type chaosListener struct {
+	net.Listener
+	chaos *Chaos
+	addr  string
+}
+
+// Accept implements net.Listener with the crash gate applied.
+func (l *chaosListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.chaos.Down(l.addr) {
+			_ = conn.Close()
+			continue
+		}
+		return l.chaos.track(l.addr, conn), nil
+	}
+}
+
+// track registers a connection under addr and wraps it so closing untracks.
+func (c *Chaos) track(addr string, conn net.Conn) net.Conn {
+	c.mu.Lock()
+	set, ok := c.conns[addr]
+	if !ok {
+		set = make(map[net.Conn]struct{})
+		c.conns[addr] = set
+	}
+	set[conn] = struct{}{}
+	c.mu.Unlock()
+	return &trackedConn{Conn: conn, chaos: c, addr: addr}
+}
+
+// untrack forgets a connection (it closed on its own).
+func (c *Chaos) untrack(addr string, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if set, ok := c.conns[addr]; ok {
+		delete(set, conn)
+	}
+}
+
+type trackedConn struct {
+	net.Conn
+	chaos *Chaos
+	addr  string
+	once  sync.Once
+}
+
+// Close implements net.Conn, untracking exactly once.
+func (t *trackedConn) Close() error {
+	t.once.Do(func() { t.chaos.untrack(t.addr, t.Conn) })
+	return t.Conn.Close()
+}

@@ -1,0 +1,340 @@
+// Package faults is Gage's deterministic fault-injection vocabulary: a
+// Plan of timed events — node crashes and recoveries, accounting-message
+// drop/delay windows, link-degradation windows, CPU-speed dips — plus the
+// Injector that answers "what is broken at virtual time t" queries for the
+// discrete-event cluster simulator, and a live-path Chaos switchboard that
+// scripts the same event kinds against real TCP backends.
+//
+// Everything is replayable: windowed probabilistic loss draws come from one
+// seeded generator consumed in simulation-event order, so a chaos run is
+// fully determined by (workload seed, fault plan). The paper's guarantee —
+// per-subscriber GRPS "regardless of total input load" — is only credible
+// if it survives partial failure; this package is the instrument that lets
+// every experiment ask that question on schedule.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gage/internal/core"
+)
+
+// Kind enumerates the fault-event vocabulary.
+type Kind int
+
+const (
+	// NodeCrash fail-stops an RPN at an instant: in-flight requests are
+	// lost (the harness reclaims their scheduler charges), its stations
+	// and accountant reset, and it answers nothing until NodeRecover.
+	NodeCrash Kind = iota + 1
+	// NodeRecover restarts a crashed RPN with cold caches and fresh
+	// (reset-to-zero) accounting counters, as a rebooted machine would.
+	NodeRecover
+	// DropAccounting is a window during which the node's accounting
+	// messages are lost with probability Loss (1.0 when zero — a total
+	// feedback blackout).
+	DropAccounting
+	// DelayAccounting is a window adding Delay to the node's accounting
+	// feedback latency (a congested or degraded control path).
+	DelayAccounting
+	// LinkDegrade is a window scaling the node's outbound bandwidth by
+	// Bandwidth (0 < f ≤ 1) and dropping its frames with probability Loss.
+	LinkDegrade
+	// SlowNode is a window scaling the node's CPU/disk speed by Speed
+	// (0 < f ≤ 1) — thermal throttling, a co-located batch job.
+	SlowNode
+)
+
+// String names the kind for plan dumps and test failures.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "NodeCrash"
+	case NodeRecover:
+		return "NodeRecover"
+	case DropAccounting:
+		return "DropAccounting"
+	case DelayAccounting:
+		return "DelayAccounting"
+	case LinkDegrade:
+		return "LinkDegrade"
+	case SlowNode:
+		return "SlowNode"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// windowed reports whether the kind spans [At, Until) rather than firing at
+// an instant.
+func (k Kind) windowed() bool {
+	switch k {
+	case DropAccounting, DelayAccounting, LinkDegrade, SlowNode:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduled fault. Instant kinds (NodeCrash, NodeRecover) fire
+// at At; windowed kinds are active over [At, Until).
+type Event struct {
+	// At is the event's virtual-time offset from the start of the run
+	// (warmup included), matching workload.Request.Arrival.
+	At time.Duration
+	// Kind selects the fault.
+	Kind Kind
+	// Node is the target RPN; 0 targets every node (windowed kinds only).
+	Node core.NodeID
+	// Until ends a windowed event (exclusive). Ignored for instant kinds.
+	Until time.Duration
+
+	// Delay is DelayAccounting's added feedback latency.
+	Delay time.Duration
+	// Loss is the drop probability for DropAccounting (default 1.0) and
+	// LinkDegrade (default 0).
+	Loss float64
+	// Bandwidth is LinkDegrade's bandwidth multiplier (default 1.0).
+	Bandwidth float64
+	// Speed is SlowNode's CPU/disk speed multiplier.
+	Speed float64
+}
+
+// Plan is a deterministic fault schedule: a seed for the loss draws plus the
+// event list. The zero Plan injects nothing.
+type Plan struct {
+	// Seed feeds the injector's loss generator; runs with equal
+	// (workload, Seed, Events) are byte-identical.
+	Seed int64
+	// Events is the schedule; order is irrelevant (normalized by time).
+	Events []Event
+}
+
+// Validate checks the plan's internal consistency: known kinds, sane
+// windows and factors, crash/recover pairing per node.
+func (p Plan) Validate() error {
+	crashed := map[core.NodeID]bool{}
+	for i, ev := range sortedEvents(p.Events) {
+		prefix := fmt.Sprintf("faults: event %d (%s, node %d)", i, ev.Kind, ev.Node)
+		if ev.At < 0 {
+			return fmt.Errorf("%s: negative time %v", prefix, ev.At)
+		}
+		switch ev.Kind {
+		case NodeCrash, NodeRecover:
+			if ev.Node == 0 {
+				return fmt.Errorf("%s: crash/recover needs an explicit node", prefix)
+			}
+			want := ev.Kind == NodeRecover
+			if crashed[ev.Node] != want {
+				if want {
+					return fmt.Errorf("%s: recover without a preceding crash", prefix)
+				}
+				return fmt.Errorf("%s: node already crashed", prefix)
+			}
+			crashed[ev.Node] = ev.Kind == NodeCrash
+		case DropAccounting, DelayAccounting, LinkDegrade, SlowNode:
+			if ev.Until <= ev.At {
+				return fmt.Errorf("%s: window [%v, %v) is empty", prefix, ev.At, ev.Until)
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind", prefix)
+		}
+		if ev.Loss < 0 || ev.Loss > 1 {
+			return fmt.Errorf("%s: loss %v outside [0, 1]", prefix, ev.Loss)
+		}
+		if ev.Kind == LinkDegrade && (ev.Bandwidth < 0 || ev.Bandwidth > 1) {
+			return fmt.Errorf("%s: bandwidth factor %v outside [0, 1]", prefix, ev.Bandwidth)
+		}
+		if ev.Kind == SlowNode && (ev.Speed <= 0 || ev.Speed > 1) {
+			return fmt.Errorf("%s: speed factor %v outside (0, 1]", prefix, ev.Speed)
+		}
+	}
+	return nil
+}
+
+// MaxNode returns the highest node ID any event targets, so a harness can
+// reject plans that script nodes the cluster does not have.
+func (p Plan) MaxNode() core.NodeID {
+	var m core.NodeID
+	for _, ev := range p.Events {
+		if ev.Node > m {
+			m = ev.Node
+		}
+	}
+	return m
+}
+
+// ActiveWindow returns the span from the first event to the last event end
+// (Until for windows, At for instants) — the "during-fault" phase a Result
+// splits its deviation report around. ok is false for an empty plan.
+func (p Plan) ActiveWindow() (start, end time.Duration, ok bool) {
+	for i, ev := range p.Events {
+		evEnd := ev.At
+		if ev.Kind.windowed() {
+			evEnd = ev.Until
+		}
+		if i == 0 {
+			start, end = ev.At, evEnd
+			continue
+		}
+		if ev.At < start {
+			start = ev.At
+		}
+		if evEnd > end {
+			end = evEnd
+		}
+	}
+	return start, end, len(p.Events) > 0
+}
+
+// sortedEvents returns the events ordered by time (stable on ties), leaving
+// the input untouched.
+func sortedEvents(evs []Event) []Event {
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Injector answers fault-state queries at exact virtual times. It is not
+// safe for concurrent use: like the vclock engine that drives it, it belongs
+// to the single simulation goroutine, and its loss draws must happen in
+// event order to stay replayable.
+type Injector struct {
+	events []Event // time-sorted
+	rng    *rand.Rand
+}
+
+// NewInjector validates the plan and builds its injector.
+func NewInjector(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		events: sortedEvents(p.Events),
+		rng:    rand.New(rand.NewSource(p.Seed)),
+	}, nil
+}
+
+// Transitions returns every instant at which some fault state changes
+// (event starts and window ends), deduplicated and sorted — the exact times
+// a harness must re-evaluate node state.
+func (in *Injector) Transitions() []time.Duration {
+	seen := map[time.Duration]bool{}
+	var out []time.Duration
+	for _, ev := range in.events {
+		for _, t := range []time.Duration{ev.At, ev.Until} {
+			if t == ev.Until && !ev.Kind.windowed() {
+				continue
+			}
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// matches reports whether a windowed event targets node (0 = all) and is
+// active at offset at.
+func (ev Event) activeOn(node core.NodeID, at time.Duration) bool {
+	if ev.Node != 0 && ev.Node != node {
+		return false
+	}
+	return at >= ev.At && at < ev.Until
+}
+
+// Crashed reports whether the node is down at offset at: the most recent
+// crash/recover event at or before at decides.
+func (in *Injector) Crashed(node core.NodeID, at time.Duration) bool {
+	down := false
+	for _, ev := range in.events {
+		if ev.At > at || ev.Node != node {
+			continue
+		}
+		switch ev.Kind {
+		case NodeCrash:
+			down = true
+		case NodeRecover:
+			down = false
+		}
+	}
+	return down
+}
+
+// Speed returns the node's CPU/disk speed multiplier at offset at:
+// overlapping SlowNode windows compound.
+func (in *Injector) Speed(node core.NodeID, at time.Duration) float64 {
+	f := 1.0
+	for _, ev := range in.events {
+		if ev.Kind == SlowNode && ev.activeOn(node, at) {
+			f *= ev.Speed
+		}
+	}
+	return f
+}
+
+// Bandwidth returns the node's outbound-bandwidth multiplier at offset at:
+// overlapping LinkDegrade windows compound. A window with a zero Bandwidth
+// field means "loss only" and leaves bandwidth at 1.
+func (in *Injector) Bandwidth(node core.NodeID, at time.Duration) float64 {
+	f := 1.0
+	for _, ev := range in.events {
+		if ev.Kind == LinkDegrade && ev.activeOn(node, at) && ev.Bandwidth > 0 {
+			f *= ev.Bandwidth
+		}
+	}
+	return f
+}
+
+// AcctDelay returns the extra accounting-feedback latency at offset at
+// (overlapping DelayAccounting windows add).
+func (in *Injector) AcctDelay(node core.NodeID, at time.Duration) time.Duration {
+	var d time.Duration
+	for _, ev := range in.events {
+		if ev.Kind == DelayAccounting && ev.activeOn(node, at) {
+			d += ev.Delay
+		}
+	}
+	return d
+}
+
+// DropAcct decides the fate of one accounting message sent by node at
+// offset at. It consumes one loss draw per probabilistic window the message
+// falls inside, so calls must happen in simulation-event order.
+func (in *Injector) DropAcct(node core.NodeID, at time.Duration) bool {
+	drop := false
+	for _, ev := range in.events {
+		if ev.Kind != DropAccounting || !ev.activeOn(node, at) {
+			continue
+		}
+		p := ev.Loss
+		if p == 0 {
+			p = 1 // an unqualified drop window is a blackout
+		}
+		if p >= 1 || in.rng.Float64() < p {
+			drop = true
+		}
+	}
+	return drop
+}
+
+// DropFrame decides the fate of one outbound frame of node at offset at
+// under active LinkDegrade loss windows, consuming one draw per window with
+// 0 < Loss < 1. Calls must happen in simulation-event order.
+func (in *Injector) DropFrame(node core.NodeID, at time.Duration) bool {
+	drop := false
+	for _, ev := range in.events {
+		if ev.Kind != LinkDegrade || ev.Loss == 0 || !ev.activeOn(node, at) {
+			continue
+		}
+		if ev.Loss >= 1 || in.rng.Float64() < ev.Loss {
+			drop = true
+		}
+	}
+	return drop
+}

@@ -1,0 +1,310 @@
+package faults
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    Plan
+		wantErr bool
+	}{
+		{"empty", Plan{}, false},
+		{"crash-recover", Plan{Events: []Event{
+			{At: time.Second, Kind: NodeCrash, Node: 2},
+			{At: 2 * time.Second, Kind: NodeRecover, Node: 2},
+		}}, false},
+		{"recover-first", Plan{Events: []Event{
+			{At: time.Second, Kind: NodeRecover, Node: 2},
+		}}, true},
+		{"double-crash", Plan{Events: []Event{
+			{At: time.Second, Kind: NodeCrash, Node: 2},
+			{At: 2 * time.Second, Kind: NodeCrash, Node: 2},
+		}}, true},
+		{"crash-all-nodes", Plan{Events: []Event{
+			{At: time.Second, Kind: NodeCrash, Node: 0},
+		}}, true},
+		{"empty-window", Plan{Events: []Event{
+			{At: time.Second, Kind: SlowNode, Node: 1, Until: time.Second, Speed: 0.5},
+		}}, true},
+		{"bad-speed", Plan{Events: []Event{
+			{At: time.Second, Kind: SlowNode, Node: 1, Until: 2 * time.Second, Speed: 1.5},
+		}}, true},
+		{"bad-loss", Plan{Events: []Event{
+			{At: time.Second, Kind: DropAccounting, Node: 1, Until: 2 * time.Second, Loss: 1.5},
+		}}, true},
+		{"negative-time", Plan{Events: []Event{
+			{At: -time.Second, Kind: NodeCrash, Node: 1},
+		}}, true},
+		{"windows-ok", Plan{Events: []Event{
+			{At: time.Second, Kind: DropAccounting, Node: 0, Until: 2 * time.Second},
+			{At: time.Second, Kind: DelayAccounting, Node: 1, Until: 3 * time.Second, Delay: time.Millisecond},
+			{At: time.Second, Kind: LinkDegrade, Node: 1, Until: 3 * time.Second, Bandwidth: 0.5, Loss: 0.1},
+			{At: time.Second, Kind: SlowNode, Node: 1, Until: 3 * time.Second, Speed: 0.25},
+		}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestInjectorStateQueries(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{At: 10 * time.Second, Kind: NodeCrash, Node: 2},
+		{At: 20 * time.Second, Kind: NodeRecover, Node: 2},
+		{At: 5 * time.Second, Kind: SlowNode, Node: 1, Until: 8 * time.Second, Speed: 0.5},
+		{At: 6 * time.Second, Kind: SlowNode, Node: 0, Until: 7 * time.Second, Speed: 0.5},
+		{At: 4 * time.Second, Kind: DelayAccounting, Node: 3, Until: 9 * time.Second, Delay: 2 * time.Millisecond},
+		{At: 4 * time.Second, Kind: LinkDegrade, Node: 3, Until: 9 * time.Second, Bandwidth: 0.25},
+	}}
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+
+	if in.Crashed(2, 9*time.Second) {
+		t.Error("node 2 crashed before its crash event")
+	}
+	if !in.Crashed(2, 10*time.Second) || !in.Crashed(2, 19*time.Second) {
+		t.Error("node 2 not crashed inside [10s, 20s)")
+	}
+	if in.Crashed(2, 20*time.Second) {
+		t.Error("node 2 still crashed after recovery")
+	}
+	if in.Crashed(1, 15*time.Second) {
+		t.Error("node 1 never crashes")
+	}
+
+	if got := in.Speed(1, 4*time.Second); got != 1 {
+		t.Errorf("Speed before window = %v, want 1", got)
+	}
+	if got := in.Speed(1, 5*time.Second); got != 0.5 {
+		t.Errorf("Speed inside window = %v, want 0.5", got)
+	}
+	// Node-0 window overlaps the node-1 window: factors compound.
+	if got := in.Speed(1, 6500*time.Millisecond); got != 0.25 {
+		t.Errorf("Speed in overlapping windows = %v, want 0.25", got)
+	}
+	if got := in.Speed(2, 6500*time.Millisecond); got != 0.5 {
+		t.Errorf("Speed under all-nodes window = %v, want 0.5", got)
+	}
+	if got := in.Speed(1, 8*time.Second); got != 1 {
+		t.Errorf("Speed after window = %v, want 1 (Until exclusive)", got)
+	}
+
+	if got := in.AcctDelay(3, 5*time.Second); got != 2*time.Millisecond {
+		t.Errorf("AcctDelay = %v, want 2ms", got)
+	}
+	if got := in.AcctDelay(1, 5*time.Second); got != 0 {
+		t.Errorf("AcctDelay wrong node = %v, want 0", got)
+	}
+	if got := in.Bandwidth(3, 5*time.Second); got != 0.25 {
+		t.Errorf("Bandwidth = %v, want 0.25", got)
+	}
+
+	wantTrans := []time.Duration{4 * time.Second, 5 * time.Second, 6 * time.Second,
+		7 * time.Second, 8 * time.Second, 9 * time.Second, 10 * time.Second, 20 * time.Second}
+	got := in.Transitions()
+	if len(got) != len(wantTrans) {
+		t.Fatalf("Transitions = %v, want %v", got, wantTrans)
+	}
+	for i := range got {
+		if got[i] != wantTrans[i] {
+			t.Fatalf("Transitions = %v, want %v", got, wantTrans)
+		}
+	}
+}
+
+func TestInjectorDropDeterminism(t *testing.T) {
+	plan := Plan{Seed: 7, Events: []Event{
+		{At: 0, Kind: DropAccounting, Node: 1, Until: 10 * time.Second, Loss: 0.5},
+		{At: 0, Kind: LinkDegrade, Node: 1, Until: 10 * time.Second, Loss: 0.3},
+	}}
+	draw := func() ([]bool, []bool) {
+		in, err := NewInjector(plan)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		var acct, frames []bool
+		for i := 0; i < 200; i++ {
+			at := time.Duration(i) * 50 * time.Millisecond
+			acct = append(acct, in.DropAcct(1, at))
+			frames = append(frames, in.DropFrame(1, at))
+		}
+		return acct, frames
+	}
+	a1, f1 := draw()
+	a2, f2 := draw()
+	for i := range a1 {
+		if a1[i] != a2[i] || f1[i] != f2[i] {
+			t.Fatalf("draw %d differs between identical injectors", i)
+		}
+	}
+	// A blackout window (Loss zero-valued ⇒ 1.0) drops everything without
+	// consuming randomness.
+	in, _ := NewInjector(Plan{Events: []Event{
+		{At: 0, Kind: DropAccounting, Node: 2, Until: time.Second},
+	}})
+	for i := 0; i < 5; i++ {
+		if !in.DropAcct(2, time.Duration(i)*100*time.Millisecond) {
+			t.Fatal("blackout window failed to drop")
+		}
+	}
+	if in.DropAcct(2, 2*time.Second) {
+		t.Error("drop outside window")
+	}
+	if in.DropAcct(1, 500*time.Millisecond) {
+		t.Error("drop for untargeted node")
+	}
+}
+
+func TestPlanActiveWindow(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{At: 10 * time.Second, Kind: NodeCrash, Node: 1},
+		{At: 20 * time.Second, Kind: NodeRecover, Node: 1},
+		{At: 5 * time.Second, Kind: SlowNode, Node: 2, Until: 25 * time.Second, Speed: 0.5},
+	}}
+	start, end, ok := plan.ActiveWindow()
+	if !ok || start != 5*time.Second || end != 25*time.Second {
+		t.Fatalf("ActiveWindow = %v, %v, %v; want 5s, 25s, true", start, end, ok)
+	}
+	if _, _, ok := (Plan{}).ActiveWindow(); ok {
+		t.Error("empty plan reported an active window")
+	}
+}
+
+// echoServe accepts connections on ln and echoes one line per connection.
+func echoServe(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			line, err := bufio.NewReader(c).ReadString('\n')
+			if err != nil {
+				return
+			}
+			_, _ = io.WriteString(c, line)
+		}(conn)
+	}
+}
+
+func TestChaosDialCrashRecover(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer inner.Close()
+	chaos := NewChaos()
+	ln := chaos.Listener(inner)
+	go echoServe(ln)
+	addr := inner.Addr().String()
+
+	roundTrip := func() error {
+		conn, err := chaos.Dial("tcp", addr, time.Second)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := io.WriteString(conn, "ping\n"); err != nil {
+			return err
+		}
+		_, err = bufio.NewReader(conn).ReadString('\n')
+		return err
+	}
+
+	if err := roundTrip(); err != nil {
+		t.Fatalf("healthy round trip: %v", err)
+	}
+	chaos.Crash(addr)
+	err = roundTrip()
+	if err == nil {
+		t.Fatal("dial to crashed endpoint succeeded")
+	}
+	if !errors.Is(err, ErrDown) {
+		t.Fatalf("crash dial error = %v, want ErrDown", err)
+	}
+	chaos.Recover(addr)
+	if err := roundTrip(); err != nil {
+		t.Fatalf("post-recovery round trip: %v", err)
+	}
+}
+
+func TestChaosCrashSeversLiveConns(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer inner.Close()
+	chaos := NewChaos()
+	ln := chaos.Listener(inner)
+	addr := inner.Addr().String()
+
+	// Server accepts and then blocks reading; the crash must unblock it.
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	conn, err := chaos.Dial("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	chaos.Crash(addr)
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read on severed connection succeeded")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("severed connection timed out instead of closing")
+	}
+}
+
+func TestChaosListenerGateWhileDown(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer inner.Close()
+	chaos := NewChaos()
+	ln := chaos.Listener(inner)
+	go echoServe(ln)
+	addr := inner.Addr().String()
+
+	chaos.Crash(addr)
+	// Dial the inner listener directly (bypassing the chaos dialer, as a
+	// stray client would): the TCP connect lands in the accept queue but
+	// the gate cuts it, so the exchange dies.
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	_, _ = io.WriteString(conn, "ping\n")
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("exchange with crashed endpoint succeeded")
+	}
+}

@@ -1,0 +1,74 @@
+package httpwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRequest hunts for parser panics and round-trip breakage: any input
+// must either fail cleanly or parse into a request that survives
+// Write→ReadRequest with its routing-relevant fields (method, target, proto,
+// host, path, body) intact — the dispatcher classifies and relays off these,
+// so a lossy round trip would silently misroute.
+func FuzzReadRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("GET / HTTP/1.0\r\n\r\n"),
+		[]byte("GET /index.html HTTP/1.1\r\nHost: www.site1.example\r\n\r\n"),
+		[]byte("GET http://site.example/a/b HTTP/1.1\r\n\r\n"),
+		[]byte("POST /submit HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd"),
+		// Malformed request lines.
+		[]byte("garbage\r\n\r\n"),
+		[]byte("GET\r\n\r\n"),
+		[]byte("GET  HTTP/1.1\r\n\r\n"),
+		[]byte("GET / NOTHTTP\r\n\r\n"),
+		[]byte(" / HTTP/1.1\r\n\r\n"),
+		// Split / odd Host headers.
+		[]byte("GET / HTTP/1.1\r\nHost\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nHost:\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nhOsT:   spaced.example   \r\n\r\n"),
+		[]byte("GET http://url.example/ HTTP/1.1\r\nHost: header.example\r\n\r\n"),
+		// Content-Length abuse: oversized, negative, non-numeric, short body.
+		[]byte("GET / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: 17000000\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+		// Bare LF line endings and stray CRs.
+		[]byte("GET / HTTP/1.1\nHost: lf.example\n\n"),
+		[]byte("GET /a\rb HTTP/1.1\r\n\r\n"),
+		[]byte("\r\n\r\n"),
+		{},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		path := req.Path()
+		var buf bytes.Buffer
+		if err := req.Write(&buf); err != nil {
+			t.Fatalf("Write of parsed request failed: %v", err)
+		}
+		got, err := ParseRequest(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of written request failed: %v\nwire: %q", err, buf.Bytes())
+		}
+		if got.Method != req.Method || got.Target != req.Target || got.Proto != req.Proto {
+			t.Fatalf("request line changed: %q %q %q -> %q %q %q",
+				req.Method, req.Target, req.Proto, got.Method, got.Target, got.Proto)
+		}
+		if got.Host != req.Host {
+			t.Fatalf("host changed: %q -> %q", req.Host, got.Host)
+		}
+		if got.Path() != path {
+			t.Fatalf("path changed: %q -> %q", path, got.Path())
+		}
+		if !bytes.Equal(got.Body, req.Body) {
+			t.Fatalf("body changed: %q -> %q", req.Body, got.Body)
+		}
+	})
+}

@@ -68,16 +68,26 @@ func (s *Series) sorted() []Sample {
 // given length and returns the delivery rate (units/sec) in each complete
 // interval. A trailing partial interval is discarded.
 func (s *Series) IntervalRates(window, interval time.Duration) []float64 {
-	if interval <= 0 || window < interval {
+	return s.IntervalRatesBetween(0, window, interval)
+}
+
+// IntervalRatesBetween bins the sub-window [from, to) into consecutive
+// intervals of the given length and returns the delivery rate (units/sec)
+// in each complete interval; a trailing partial interval is discarded. It
+// backs the fault-phase deviation split (pre-fault / during-fault /
+// post-recovery windows of one run).
+func (s *Series) IntervalRatesBetween(from, to, interval time.Duration) []float64 {
+	if interval <= 0 || to-from < interval {
 		return nil
 	}
-	n := int(window / interval)
+	n := int((to - from) / interval)
 	rates := make([]float64, n)
 	for _, x := range s.sorted() {
-		if x.T < 0 || x.T >= time.Duration(n)*interval {
+		t := x.T - from
+		if t < 0 || t >= time.Duration(n)*interval {
 			continue
 		}
-		rates[int(x.T/interval)] += x.Units
+		rates[int(t/interval)] += x.Units
 	}
 	sec := interval.Seconds()
 	for i := range rates {
@@ -90,12 +100,19 @@ func (s *Series) IntervalRates(window, interval time.Duration) []float64 {
 // subscriber: the mean over complete averaging intervals of
 // |measured rate − reservation| / reservation, as a fraction (0.08 = 8%).
 func (s *Series) DeviationFromReservation(res qos.GRPS, window, interval time.Duration) (float64, error) {
+	return s.DeviationBetween(res, 0, window, interval)
+}
+
+// DeviationBetween computes the Figure-3 deviation statistic over the
+// sub-window [from, to) only — the per-phase form used to compare a
+// subscriber's stability before, during and after an injected fault.
+func (s *Series) DeviationBetween(res qos.GRPS, from, to, interval time.Duration) (float64, error) {
 	if res <= 0 {
 		return 0, fmt.Errorf("metrics: reservation must be positive, got %v", res)
 	}
-	rates := s.IntervalRates(window, interval)
+	rates := s.IntervalRatesBetween(from, to, interval)
 	if len(rates) == 0 {
-		return 0, fmt.Errorf("metrics: window %v too short for interval %v", window, interval)
+		return 0, fmt.Errorf("metrics: window [%v, %v) too short for interval %v", from, to, interval)
 	}
 	var sum float64
 	for _, r := range rates {

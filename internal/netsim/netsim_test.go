@@ -7,6 +7,8 @@ import (
 	"testing/quick"
 	"time"
 
+	"gage/internal/core"
+	"gage/internal/faults"
 	"gage/internal/vclock"
 )
 
@@ -514,5 +516,102 @@ func TestConcurrentTransfersIntactProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// recvFunc adapts a function to the Receiver interface for raw-frame tests.
+type recvFunc func(Packet)
+
+func (f recvFunc) Receive(p Packet) { f(p) }
+
+func TestNetworkFaultHookDropsAndDelays(t *testing.T) {
+	e, n := testNet(t) // 50µs segment latency
+	var arrivals []time.Duration
+	if err := n.Attach(2, recvFunc(func(Packet) {
+		arrivals = append(arrivals, e.Now().Sub(time.Time{}))
+	})); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+
+	// Scripted fate: frames sent inside [10ms, 20ms) are dropped; frames
+	// sent inside [20ms, 30ms) are held an extra 1ms.
+	start := e.Now()
+	n.SetFault(func(Packet) (bool, time.Duration) {
+		off := n.Now().Sub(start)
+		switch {
+		case off >= 10*time.Millisecond && off < 20*time.Millisecond:
+			return true, 0
+		case off >= 20*time.Millisecond && off < 30*time.Millisecond:
+			return false, time.Millisecond
+		}
+		return false, 0
+	})
+
+	for _, at := range []time.Duration{5, 15, 25, 35} {
+		at := at * time.Millisecond
+		n.After(at, func() { n.Send(Packet{SrcMAC: 1, DstMAC: 2}) })
+	}
+	run(t, e, 50*time.Millisecond)
+
+	want := []time.Duration{
+		5*time.Millisecond + 50*time.Microsecond,    // clean
+		25*time.Millisecond + 1050*time.Microsecond, // held 1ms extra
+		35*time.Millisecond + 50*time.Microsecond,   // hook windows over
+	}
+	if len(arrivals) != len(want) {
+		t.Fatalf("arrivals = %v, want %v (frame at 15ms dropped)", arrivals, want)
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Errorf("arrival %d = %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+	if n.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", n.Dropped())
+	}
+
+	// Removing the hook restores clean delivery.
+	n.SetFault(nil)
+	n.Send(Packet{SrcMAC: 1, DstMAC: 2})
+	run(t, e, time.Millisecond)
+	if len(arrivals) != 4 {
+		t.Errorf("delivery after SetFault(nil): got %d arrivals, want 4", len(arrivals))
+	}
+}
+
+func TestNetworkFaultHookDrivenByInjector(t *testing.T) {
+	e, n := testNet(t)
+	delivered := 0
+	if err := n.Attach(2, recvFunc(func(Packet) { delivered++ })); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+
+	// The simulator's fault vocabulary plugs straight into the frame-fate
+	// hook: a LinkDegrade blackout window on "node 1" (here: the host at
+	// MAC 1) eats its outbound frames for 10ms.
+	in, err := faults.NewInjector(faults.Plan{Seed: 3, Events: []faults.Event{
+		{At: 10 * time.Millisecond, Kind: faults.LinkDegrade, Node: 1,
+			Until: 20 * time.Millisecond, Loss: 1},
+	}})
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	macToNode := map[MAC]core.NodeID{1: 1}
+	start := e.Now()
+	n.SetFault(func(p Packet) (bool, time.Duration) {
+		return in.DropFrame(macToNode[p.SrcMAC], n.Now().Sub(start)), 0
+	})
+
+	// One frame per millisecond for 30ms: the 10 inside the window die.
+	for i := 0; i < 30; i++ {
+		at := time.Duration(i) * time.Millisecond
+		n.After(at, func() { n.Send(Packet{SrcMAC: 1, DstMAC: 2}) })
+	}
+	run(t, e, 40*time.Millisecond)
+	if delivered != 20 {
+		t.Errorf("delivered = %d, want 20 (10 frames inside the blackout window dropped)", delivered)
+	}
+	if n.Dropped() != 10 {
+		t.Errorf("Dropped = %d, want 10", n.Dropped())
 	}
 }

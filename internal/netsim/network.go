@@ -34,6 +34,13 @@ type Network struct {
 	// loss (e.g. intra-cluster control channels).
 	LossExempt func(Packet) bool
 
+	// fault, when set, decides every frame's fate before the random-loss
+	// stage: drop it outright or hold it for extra latency. It is the
+	// segment-level attachment point for a scripted fault plan (link
+	// blackouts, degradation windows) and must be deterministic for
+	// replayable runs.
+	fault func(Packet) (drop bool, extra time.Duration)
+
 	// Taps observe every delivered frame (for tests and traces).
 	taps []func(Packet)
 }
@@ -98,6 +105,16 @@ func (n *Network) SetLoss(rate float64, seed int64) {
 	n.lossRNG = rand.New(rand.NewSource(seed))
 }
 
+// SetFault installs a per-frame fate function consulted on every Send: a
+// frame it drops counts toward Dropped; a frame it holds is delivered after
+// the segment latency plus the returned extra delay. Passing nil removes the
+// hook. LossExempt does not shield frames from the fault hook — a scripted
+// outage severs control channels too, which is exactly what fault drills
+// need to exercise.
+func (n *Network) SetFault(fn func(pkt Packet) (drop bool, extra time.Duration)) {
+	n.fault = fn
+}
+
 // Dropped returns how many frames the configured loss has eaten.
 func (n *Network) Dropped() uint64 { return n.dropped }
 
@@ -111,12 +128,21 @@ func (n *Network) Send(pkt Packet) {
 	if !ok {
 		return
 	}
+	var extra time.Duration
+	if n.fault != nil {
+		drop, hold := n.fault(pkt)
+		if drop {
+			n.dropped++
+			return
+		}
+		extra = hold
+	}
 	if n.lossRNG != nil && (n.LossExempt == nil || !n.LossExempt(pkt)) &&
 		n.lossRNG.Float64() < n.lossRate {
 		n.dropped++
 		return
 	}
-	n.engine.After(n.latency, func() {
+	n.engine.After(n.latency+extra, func() {
 		for _, tap := range n.taps {
 			tap(pkt)
 		}

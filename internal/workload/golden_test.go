@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenSource is the pinned workload for the regression trace: the
+// SPECweb99-like mix under Poisson arrivals, both seeded. Any change to the
+// generator's draw order, the cost model, or the trace encoding shows up as
+// a byte diff against the checked-in golden file.
+func goldenSource() Source {
+	arr, err := NewPoisson(50, 7)
+	if err != nil {
+		panic(err)
+	}
+	return Source{
+		Subscriber: "spec",
+		Gen:        NewSPECWeb99("spec.example", 99),
+		Arrivals:   arr,
+	}
+}
+
+func TestSPECWeb99GoldenTrace(t *testing.T) {
+	reqs, next := goldenSource().Schedule(2*time.Second, 1)
+	if len(reqs) == 0 {
+		t.Fatal("golden schedule produced no requests")
+	}
+	if next != uint64(len(reqs))+1 {
+		t.Fatalf("next ID = %d, want %d", next, len(reqs)+1)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "specweb99_seed99.trace")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		gl := bytes.Split(buf.Bytes(), []byte("\n"))
+		wl := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("trace is not byte-identical to golden; first diff at line %d:\n got %s\nwant %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length changed: got %d lines, golden %d lines", len(gl), len(wl))
+	}
+
+	// Record/replay parity: reading the trace back yields exactly the
+	// requests that were scheduled, so a trace-driven run replays the same
+	// arrival stream the live generator produced.
+	back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(back, reqs) {
+		t.Error("trace round trip lost information; replayed requests differ from scheduled ones")
+	}
+}
