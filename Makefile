@@ -1,5 +1,5 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos
+.PHONY: verify build vet test race chaos lint
 
 verify: build vet test race
 
@@ -20,7 +20,16 @@ race:
 	go test -race ./internal/...
 
 # Fault-injection suite: the simulator's chaos tests (replayable crash
-# schedules, settlement and balance invariants) and the live dispatcher's
-# scripted-outage tests, run twice to shake out order dependence between runs.
+# schedules, settlement and balance invariants, the 3×-load overload drill)
+# and the live dispatcher's scripted-outage, health-flap, overload-shedding
+# and drain drills, run twice to shake out order dependence between runs.
 chaos:
-	go test -race -count=2 -run 'TestChaos|TestDiffReports' ./internal/cluster/ ./internal/dispatch/ ./internal/faults/
+	go test -race -count=2 -run 'TestChaos|TestDiffReports|TestMaxConns|TestAdmission' \
+		./internal/cluster/ ./internal/dispatch/ ./internal/faults/
+	go test -race -count=2 ./internal/breaker/
+
+# Static hygiene gate: vet plus gofmt drift.
+lint:
+	go vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -21,7 +21,14 @@
 //	  "schedCycleMillis": 10,
 //	  "dialTimeoutMillis": 2000,
 //	  "queueTimeoutMillis": 30000,
-//	  "retryBackoffMillis": 25
+//	  "retryBackoffMillis": 25,
+//	  "maxConns": 1024,
+//	  "drainTimeoutMillis": 5000,
+//	  "clientIdleTimeoutMillis": 60000,
+//	  "backendTimeoutMillis": 60000,
+//	  "breakerThreshold": 3,
+//	  "breakerCooldownMillis": 1000,
+//	  "slowStartCycles": 4
 //	}
 package main
 
@@ -55,6 +62,16 @@ type fileConfig struct {
 	DialTimeoutMillis  int `json:"dialTimeoutMillis"`
 	QueueTimeoutMillis int `json:"queueTimeoutMillis"`
 	RetryBackoffMillis int `json:"retryBackoffMillis"`
+	// Overload control and graceful degradation.
+	MaxConns                int `json:"maxConns"`
+	DrainTimeoutMillis      int `json:"drainTimeoutMillis"`
+	ClientIdleTimeoutMillis int `json:"clientIdleTimeoutMillis"`
+	BackendTimeoutMillis    int `json:"backendTimeoutMillis"`
+	BreakerThreshold        int `json:"breakerThreshold"`
+	BreakerCooldownMillis   int `json:"breakerCooldownMillis"`
+	// SlowStartCycles is the recovery ramp length in accounting cycles;
+	// -1 disables the ramp (recovered nodes rejoin at full weight).
+	SlowStartCycles int `json:"slowStartCycles"`
 }
 
 func main() {
@@ -129,6 +146,27 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	}
 	if fc.RetryBackoffMillis > 0 {
 		cfg.RetryBackoff = time.Duration(fc.RetryBackoffMillis) * time.Millisecond
+	}
+	if fc.MaxConns > 0 {
+		cfg.MaxConns = fc.MaxConns
+	}
+	if fc.DrainTimeoutMillis > 0 {
+		cfg.DrainTimeout = time.Duration(fc.DrainTimeoutMillis) * time.Millisecond
+	}
+	if fc.ClientIdleTimeoutMillis > 0 {
+		cfg.ClientIdleTimeout = time.Duration(fc.ClientIdleTimeoutMillis) * time.Millisecond
+	}
+	if fc.BackendTimeoutMillis > 0 {
+		cfg.BackendTimeout = time.Duration(fc.BackendTimeoutMillis) * time.Millisecond
+	}
+	if fc.BreakerThreshold > 0 {
+		cfg.Breaker.Threshold = fc.BreakerThreshold
+	}
+	if fc.BreakerCooldownMillis > 0 {
+		cfg.Breaker.Cooldown = time.Duration(fc.BreakerCooldownMillis) * time.Millisecond
+	}
+	if fc.SlowStartCycles != 0 {
+		cfg.Breaker.SlowStart = fc.SlowStartCycles
 	}
 	return cfg, nil
 }

@@ -19,7 +19,14 @@ func TestParseConfig(t *testing.T) {
 	  "schedCycleMillis": 20,
 	  "dialTimeoutMillis": 1500,
 	  "queueTimeoutMillis": 10000,
-	  "retryBackoffMillis": 40
+	  "retryBackoffMillis": 40,
+	  "maxConns": 512,
+	  "drainTimeoutMillis": 3000,
+	  "clientIdleTimeoutMillis": 45000,
+	  "backendTimeoutMillis": 20000,
+	  "breakerThreshold": 5,
+	  "breakerCooldownMillis": 1500,
+	  "slowStartCycles": 8
 	}`)
 	cfg, err := parseConfig(raw)
 	if err != nil {
@@ -53,6 +60,37 @@ func TestParseConfig(t *testing.T) {
 	if cfg.RetryBackoff != 40*time.Millisecond {
 		t.Errorf("retry backoff = %v, want 40ms", cfg.RetryBackoff)
 	}
+	if cfg.MaxConns != 512 {
+		t.Errorf("max conns = %d, want 512", cfg.MaxConns)
+	}
+	if cfg.DrainTimeout != 3*time.Second {
+		t.Errorf("drain timeout = %v, want 3s", cfg.DrainTimeout)
+	}
+	if cfg.ClientIdleTimeout != 45*time.Second {
+		t.Errorf("client idle timeout = %v, want 45s", cfg.ClientIdleTimeout)
+	}
+	if cfg.BackendTimeout != 20*time.Second {
+		t.Errorf("backend timeout = %v, want 20s", cfg.BackendTimeout)
+	}
+	if cfg.Breaker.Threshold != 5 {
+		t.Errorf("breaker threshold = %d, want 5", cfg.Breaker.Threshold)
+	}
+	if cfg.Breaker.Cooldown != 1500*time.Millisecond {
+		t.Errorf("breaker cooldown = %v, want 1.5s", cfg.Breaker.Cooldown)
+	}
+	if cfg.Breaker.SlowStart != 8 {
+		t.Errorf("slow-start cycles = %d, want 8", cfg.Breaker.SlowStart)
+	}
+}
+
+func TestParseConfigSlowStartDisable(t *testing.T) {
+	cfg, err := parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],"slowStartCycles":-1}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.Breaker.SlowStart != -1 {
+		t.Errorf("slowStartCycles -1 must pass through (ramp disabled), got %d", cfg.Breaker.SlowStart)
+	}
 }
 
 func TestParseConfigDefaultsAndErrors(t *testing.T) {
@@ -67,6 +105,13 @@ func TestParseConfigDefaultsAndErrors(t *testing.T) {
 	if cfg.DialTimeout != 0 || cfg.QueueTimeout != 0 || cfg.RetryBackoff != 0 {
 		t.Errorf("unset timeouts must stay zero (library defaults apply): %v %v %v",
 			cfg.DialTimeout, cfg.QueueTimeout, cfg.RetryBackoff)
+	}
+	if cfg.MaxConns != 0 || cfg.DrainTimeout != 0 || cfg.ClientIdleTimeout != 0 || cfg.BackendTimeout != 0 {
+		t.Errorf("unset overload knobs must stay zero (library defaults apply): %d %v %v %v",
+			cfg.MaxConns, cfg.DrainTimeout, cfg.ClientIdleTimeout, cfg.BackendTimeout)
+	}
+	if cfg.Breaker.Threshold != 0 || cfg.Breaker.Cooldown != 0 || cfg.Breaker.SlowStart != 0 {
+		t.Errorf("unset breaker knobs must stay zero (library defaults apply): %+v", cfg.Breaker)
 	}
 	if _, err := parseConfig([]byte(`{not json`)); err == nil {
 		t.Error("malformed JSON must be rejected")

@@ -1,0 +1,294 @@
+// Package breaker implements a per-node circuit breaker with slow-start
+// recovery, shared by the live dispatcher and the cluster simulator.
+//
+// Each back-end node gets one Breaker fed from two independent failure
+// sources: the accounting path (Poll — the periodic /_gage/report fetch) and
+// the request path (Relay — actual client work forwarded to the node). The
+// sources keep separate consecutive-failure streaks and separate tripped
+// flags, so a node whose report endpoint answers happily while its request
+// path is dead stays open: a poll success never clears a relay trip. That
+// asymmetry is the whole point — the predecessor design kept one shared
+// streak and flapped between enabled and disabled every accounting cycle.
+//
+// The state machine is the classic three states:
+//
+//	Closed    — healthy; traffic flows. Consecutive failures from either
+//	            source trip it to Open at Config.Threshold.
+//	Open      — no traffic. A relay-tripped breaker transitions to HalfOpen
+//	            after Config.Cooldown (measured in Tick calls, which the
+//	            owner invokes once per accounting cycle). A poll-tripped
+//	            breaker stays Open until a poll succeeds again: the poll
+//	            itself is the probe, no trial request is needed.
+//	HalfOpen  — exactly one trial relay is admitted (Allow). Success closes
+//	            the breaker; failure reopens it and restarts the cooldown.
+//
+// Leaving Open or HalfOpen re-enters Closed in slow start: Weight ramps from
+// 1/(SlowStart+1) to 1 over SlowStart Ticks, so a rejoining node is handed a
+// growing fraction of its capacity instead of a thundering herd.
+//
+// The clock is explicit — every mutating method takes `now` — so the
+// deterministic simulator can drive a Breaker on virtual time and the live
+// dispatcher on wall time, and unit tests never sleep.
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the breaker's position.
+type State int
+
+const (
+	// Closed means the node is healthy and receives traffic.
+	Closed State = iota
+	// Open means the node receives no traffic.
+	Open
+	// HalfOpen means exactly one trial request may probe the node.
+	HalfOpen
+)
+
+// String names the state for logs and the stats endpoint.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Source identifies which path observed a success or failure.
+type Source int
+
+const (
+	// Poll is the accounting path: the periodic usage-report fetch.
+	Poll Source = iota
+	// Relay is the request path: real client work forwarded to the node.
+	Relay
+
+	numSources
+)
+
+// String names the source for logs.
+func (src Source) String() string {
+	if src == Poll {
+		return "poll"
+	}
+	return "relay"
+}
+
+// Config tunes a Breaker. Zero values select the defaults.
+type Config struct {
+	// Threshold is how many consecutive failures from one source trip the
+	// breaker (default 3).
+	Threshold int
+	// Cooldown is how long a relay-tripped breaker stays Open before
+	// admitting the half-open trial request (default 1s). It is evaluated
+	// on Tick, so the effective granularity is the owner's accounting
+	// cycle.
+	Cooldown time.Duration
+	// SlowStart is how many Ticks (accounting cycles) a re-closed breaker
+	// takes to ramp from its initial fraction back to full weight
+	// (default 4). Zero after explicit defaulting means "no ramp".
+	SlowStart int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.SlowStart < 0 {
+		c.SlowStart = 0
+	} else if c.SlowStart == 0 {
+		c.SlowStart = 4
+	}
+	return c
+}
+
+// Snapshot is a point-in-time view of a breaker for stats endpoints.
+type Snapshot struct {
+	State  State
+	Weight float64
+	// PollStreak and RelayStreak are the current consecutive-failure
+	// counts per source.
+	PollStreak  int
+	RelayStreak int
+}
+
+// Breaker is one node's health gate. Safe for concurrent use.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg Config
+
+	state    State
+	streak   [numSources]int
+	tripped  [numSources]bool
+	openedAt time.Time
+	// probing marks the half-open trial slot as taken.
+	probing bool
+	// ramp counts completed slow-start Ticks since the breaker last
+	// closed; weight is (ramp+1)/(SlowStart+1).
+	ramp int
+}
+
+// New builds a closed breaker at full weight.
+func New(cfg Config) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, state: Closed, ramp: cfg.SlowStart}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Weight returns the fraction of the node's capacity the scheduler should
+// use: 0 while Open, the first ramp step while HalfOpen (the probe must be
+// admittable), and (ramp+1)/(SlowStart+1) while Closed — 1.0 once the ramp
+// completes.
+func (b *Breaker) Weight() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.weightLocked()
+}
+
+func (b *Breaker) weightLocked() float64 {
+	switch b.state {
+	case Open:
+		return 0
+	case HalfOpen:
+		return 1 / float64(b.cfg.SlowStart+1)
+	default:
+		return float64(b.ramp+1) / float64(b.cfg.SlowStart+1)
+	}
+}
+
+// Snapshot returns the state, weight and streaks in one consistent read.
+func (b *Breaker) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Snapshot{
+		State:       b.state,
+		Weight:      b.weightLocked(),
+		PollStreak:  b.streak[Poll],
+		RelayStreak: b.streak[Relay],
+	}
+}
+
+// Failure records one failure from src. Returns true if the call changed
+// the state (tripped Open or reopened from HalfOpen), so callers can log
+// transitions without diffing snapshots.
+func (b *Breaker) Failure(src Source, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak[src]++
+	switch b.state {
+	case Closed:
+		if b.streak[src] >= b.cfg.Threshold {
+			b.tripped[src] = true
+			b.openLocked(now)
+			return true
+		}
+	case HalfOpen:
+		// Any failure while probing reopens immediately — the trial
+		// request answered the question.
+		b.tripped[src] = true
+		b.openLocked(now)
+		return true
+	case Open:
+		if b.streak[src] >= b.cfg.Threshold {
+			b.tripped[src] = true
+		}
+	}
+	return false
+}
+
+// Success records one success from src. The source's streak and trip clear;
+// the breaker closes only when no source remains tripped — this is the flap
+// fix: a healthy accounting poll cannot re-enable a node whose relay path
+// tripped the breaker. Returns true if the call closed the breaker.
+func (b *Breaker) Success(src Source, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak[src] = 0
+	b.tripped[src] = false
+	if b.state == Closed {
+		return false
+	}
+	if b.tripped[Poll] || b.tripped[Relay] {
+		return false
+	}
+	b.closeLocked()
+	return true
+}
+
+// Allow reports whether a relay may target this node right now. Closed
+// always admits; Open never does; HalfOpen admits exactly one caller — the
+// trial request — until its outcome arrives via Success or Failure.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// Tick advances breaker time by one accounting cycle: a Closed breaker
+// ramps its slow-start weight one step; a relay-tripped Open breaker whose
+// cooldown has elapsed moves to HalfOpen (poll-tripped breakers wait for a
+// poll success instead — the poll is its own probe). Returns true if the
+// call changed the state.
+func (b *Breaker) Tick(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if b.ramp < b.cfg.SlowStart {
+			b.ramp++
+		}
+	case Open:
+		if b.tripped[Relay] && !b.tripped[Poll] && now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probing = false
+			return true
+		}
+	}
+	return false
+}
+
+// openLocked moves to Open and restarts the cooldown clock.
+func (b *Breaker) openLocked(now time.Time) {
+	b.state = Open
+	b.openedAt = now
+	b.probing = false
+}
+
+// closeLocked moves to Closed in slow start with a clean slate: streaks
+// reset so the node gets a full Threshold of grace before re-tripping.
+func (b *Breaker) closeLocked() {
+	b.state = Closed
+	b.ramp = 0
+	b.probing = false
+	for i := range b.streak {
+		b.streak[i] = 0
+	}
+}

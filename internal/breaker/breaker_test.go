@@ -1,0 +1,223 @@
+package breaker
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_000_000, 0)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+// trip drives src failures until the breaker opens.
+func trip(t *testing.T, b *Breaker, src Source, now time.Time) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if b.Failure(src, now) {
+			return
+		}
+	}
+	t.Fatalf("breaker never opened after 100 %v failures", src)
+}
+
+func TestClosedOpensAtThreshold(t *testing.T) {
+	b := New(Config{Threshold: 3})
+	if b.State() != Closed || b.Weight() != 1.0 {
+		t.Fatalf("new breaker: state=%v weight=%v, want closed at weight 1", b.State(), b.Weight())
+	}
+	if b.Failure(Relay, t0) || b.Failure(Relay, t0) {
+		t.Fatal("breaker opened before the threshold")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state=%v after 2/3 failures, want closed", b.State())
+	}
+	if !b.Failure(Relay, t0) {
+		t.Fatal("third failure did not report a state change")
+	}
+	if b.State() != Open || b.Weight() != 0 {
+		t.Fatalf("state=%v weight=%v after threshold, want open at weight 0", b.State(), b.Weight())
+	}
+	if b.Allow(t0) {
+		t.Fatal("open breaker admitted a relay")
+	}
+}
+
+func TestSuccessBelowThresholdResetsStreak(t *testing.T) {
+	b := New(Config{Threshold: 3})
+	b.Failure(Relay, t0)
+	b.Failure(Relay, t0)
+	b.Success(Relay, t0)
+	// The streak restarted: two more failures must not trip.
+	if b.Failure(Relay, t0) || b.Failure(Relay, t0) {
+		t.Fatal("breaker opened although the streak was reset")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+}
+
+// TestPollSuccessDoesNotClearRelayTrip is the flap regression: a node whose
+// report endpoint answers while its request path is dead must stay open.
+func TestPollSuccessDoesNotClearRelayTrip(t *testing.T) {
+	b := New(Config{Threshold: 3})
+	trip(t, b, Relay, t0)
+	for i := 0; i < 10; i++ {
+		if b.Success(Poll, at(time.Duration(i)*time.Millisecond)) {
+			t.Fatal("poll success closed a relay-tripped breaker")
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state=%v after poll successes, want open", b.State())
+	}
+	if b.Allow(t0) {
+		t.Fatal("relay admitted to a relay-tripped node on poll health alone")
+	}
+}
+
+// TestPollTripClearsOnPollSuccess: a breaker tripped only by the accounting
+// path recovers on the first poll success — the poll is its own probe.
+func TestPollTripClearsOnPollSuccess(t *testing.T) {
+	b := New(Config{Threshold: 3, SlowStart: 4})
+	trip(t, b, Poll, t0)
+	// Cooldown cannot move a poll-tripped breaker to half-open.
+	if b.Tick(at(time.Hour)) {
+		t.Fatal("poll-tripped breaker entered half-open via cooldown")
+	}
+	if !b.Success(Poll, at(time.Second)) {
+		t.Fatal("poll success did not close a poll-tripped breaker")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+	if w := b.Weight(); w != 1.0/5.0 {
+		t.Fatalf("weight=%v right after close, want slow-start start 0.2", w)
+	}
+}
+
+func TestHalfOpenAfterCooldownThenCloses(t *testing.T) {
+	b := New(Config{Threshold: 3, Cooldown: time.Second, SlowStart: 4})
+	trip(t, b, Relay, t0)
+	if b.Tick(at(999 * time.Millisecond)) {
+		t.Fatal("breaker left open before the cooldown elapsed")
+	}
+	if !b.Tick(at(time.Second)) {
+		t.Fatal("breaker did not go half-open after the cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	// Exactly one probe is admitted.
+	if !b.Allow(at(time.Second)) {
+		t.Fatal("half-open breaker refused the trial request")
+	}
+	if b.Allow(at(time.Second)) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// The trial succeeds: closed, in slow start.
+	if !b.Success(Relay, at(1100*time.Millisecond)) {
+		t.Fatal("trial success did not close the breaker")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+	if !b.Allow(at(1100 * time.Millisecond)) {
+		t.Fatal("closed breaker refused a relay")
+	}
+}
+
+func TestHalfOpenReopensOnTrialFailure(t *testing.T) {
+	b := New(Config{Threshold: 3, Cooldown: time.Second})
+	trip(t, b, Relay, t0)
+	b.Tick(at(time.Second))
+	if !b.Allow(at(time.Second)) {
+		t.Fatal("no trial admitted")
+	}
+	if !b.Failure(Relay, at(1100*time.Millisecond)) {
+		t.Fatal("trial failure did not reopen the breaker")
+	}
+	if b.State() != Open {
+		t.Fatalf("state=%v, want open", b.State())
+	}
+	// The cooldown restarted at the reopen time.
+	if b.Tick(at(2 * time.Second)) {
+		t.Fatal("breaker went half-open before the restarted cooldown elapsed")
+	}
+	if !b.Tick(at(2100 * time.Millisecond)) {
+		t.Fatal("breaker did not go half-open after the restarted cooldown")
+	}
+}
+
+func TestSlowStartRampIsExact(t *testing.T) {
+	b := New(Config{Threshold: 1, Cooldown: time.Second, SlowStart: 4})
+	trip(t, b, Relay, t0)
+	b.Tick(at(time.Second))
+	b.Allow(at(time.Second))
+	b.Success(Relay, at(time.Second))
+	want := []float64{1.0 / 5, 2.0 / 5, 3.0 / 5, 4.0 / 5, 1.0, 1.0}
+	got := []float64{b.Weight()}
+	for i := 0; i < 5; i++ {
+		b.Tick(at(time.Duration(2+i) * time.Second))
+		got = append(got, b.Weight())
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ramp step %d: weight=%v, want %v (full ramp %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestReclosedBreakerGetsFreshStreakGrace(t *testing.T) {
+	b := New(Config{Threshold: 3, Cooldown: time.Second})
+	trip(t, b, Relay, t0)
+	b.Tick(at(time.Second))
+	b.Allow(at(time.Second))
+	b.Success(Relay, at(time.Second))
+	// After re-closing, a single failure must not re-trip: the streak was
+	// reset along with the trip flags.
+	if b.Failure(Relay, at(2*time.Second)) || b.Failure(Relay, at(2*time.Second)) {
+		t.Fatal("re-closed breaker tripped below the threshold")
+	}
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+}
+
+func TestDoubleTripNeedsBothSourcesHealthy(t *testing.T) {
+	b := New(Config{Threshold: 2, Cooldown: time.Second})
+	// Both paths dead — the crash case.
+	trip(t, b, Relay, t0)
+	b.Failure(Poll, t0)
+	b.Failure(Poll, t0)
+	// Poll recovers first; relay is still tripped, so the breaker stays
+	// open and waits for the half-open trial.
+	if b.Success(Poll, at(time.Second)) {
+		t.Fatal("poll success closed a breaker with a tripped relay path")
+	}
+	if b.State() != Open {
+		t.Fatalf("state=%v, want open", b.State())
+	}
+	if !b.Tick(at(2 * time.Second)) {
+		t.Fatal("cooldown did not move the breaker to half-open once poll health returned")
+	}
+	if !b.Allow(at(2 * time.Second)) {
+		t.Fatal("no trial admitted")
+	}
+	if !b.Success(Relay, at(2*time.Second)) {
+		t.Fatal("trial success did not close the breaker")
+	}
+}
+
+func TestSnapshotReportsStreaks(t *testing.T) {
+	b := New(Config{Threshold: 5})
+	b.Failure(Poll, t0)
+	b.Failure(Relay, t0)
+	b.Failure(Relay, t0)
+	snap := b.Snapshot()
+	if snap.State != Closed || snap.PollStreak != 1 || snap.RelayStreak != 2 {
+		t.Fatalf("snapshot=%+v, want closed with streaks 1/2", snap)
+	}
+	if snap.Weight != 1.0 {
+		t.Fatalf("snapshot weight=%v, want 1", snap.Weight)
+	}
+}

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"sort"
+	"time"
 
+	"gage/internal/breaker"
 	"gage/internal/core"
 	"gage/internal/qos"
 )
@@ -11,6 +13,13 @@ import (
 // make the harness's RDN declare an RPN dead and stop dispatching to it —
 // the simulator's analogue of dispatch.UnhealthyAfter on the live path.
 const unhealthyAfterMissedAcct = 3
+
+// slowStartAcctCycles is the slow-start window mirrored from the live
+// dispatcher: a node leaving its breaker re-enters the scheduler at
+// 1/(slowStartAcctCycles+1) of its capacity and ramps to full weight over
+// that many accounting cycles, so a recovered RPN is not handed a
+// thundering herd the instant its first report lands.
+const slowStartAcctCycles = 4
 
 // acctMsg is one accounting message in flight RDN-ward: the node's
 // cumulative counters stamped with its incarnation and a send sequence, so
@@ -33,9 +42,12 @@ type chaosRun struct {
 	dispatched, delivered, reclaimed int
 	balanceViolations                int
 
-	// Accounting-feedback health per node.
-	missed   map[core.NodeID]int
-	disabled map[core.NodeID]bool // disabled by the missed-streak detector
+	// Accounting-feedback health per node: each RPN's breaker trips on the
+	// missed-cycle streak and ramps the node back through slow start after
+	// recovery. The sim only ever feeds the Poll source — there is no
+	// separate request path to probe — so recovery is always "first
+	// delivered report re-enables, at reduced weight".
+	breakers map[core.NodeID]*breaker.Breaker
 
 	// Cumulative-report differ state per node.
 	sendSeq  map[core.NodeID]int
@@ -48,8 +60,7 @@ func newChaosRun(nodes []*RPN) *chaosRun {
 	cs := &chaosRun{
 		crashed:  make(map[core.NodeID]bool, len(nodes)),
 		inflight: make(map[core.NodeID]map[uint64]qos.SubscriberID, len(nodes)),
-		missed:   make(map[core.NodeID]int, len(nodes)),
-		disabled: make(map[core.NodeID]bool, len(nodes)),
+		breakers: make(map[core.NodeID]*breaker.Breaker, len(nodes)),
 		sendSeq:  make(map[core.NodeID]int, len(nodes)),
 		lastSeq:  make(map[core.NodeID]int, len(nodes)),
 		lastEp:   make(map[core.NodeID]int, len(nodes)),
@@ -58,6 +69,10 @@ func newChaosRun(nodes []*RPN) *chaosRun {
 	for _, r := range nodes {
 		cs.inflight[r.id] = make(map[uint64]qos.SubscriberID)
 		cs.lastSeq[r.id] = -1
+		cs.breakers[r.id] = breaker.New(breaker.Config{
+			Threshold: unhealthyAfterMissedAcct,
+			SlowStart: slowStartAcctCycles,
+		})
 	}
 	return cs
 }
@@ -109,25 +124,38 @@ func (cs *chaosRun) recover(node core.NodeID) {
 	cs.crashed[node] = false
 }
 
-// missAcct records one silent accounting cycle for a node, disabling it at
-// the streak threshold.
-func (cs *chaosRun) missAcct(sched *core.Scheduler, node core.NodeID) {
-	cs.missed[node]++
-	if cs.missed[node] == unhealthyAfterMissedAcct && !cs.disabled[node] {
-		cs.disabled[node] = true
-		// Known nodes cannot fail to toggle.
-		_ = sched.SetNodeEnabled(node, false)
-	}
+// missAcct records one silent accounting cycle for a node; at the streak
+// threshold the breaker opens and the node's scheduler weight drops to 0.
+func (cs *chaosRun) missAcct(sched *core.Scheduler, node core.NodeID, now time.Time) {
+	cs.breakers[node].Failure(breaker.Poll, now)
+	cs.applyWeight(sched, node)
 }
 
-// ackAcct records one delivered report, clearing the streak and re-enabling
-// a detector-disabled node.
-func (cs *chaosRun) ackAcct(sched *core.Scheduler, node core.NodeID) {
-	cs.missed[node] = 0
-	if cs.disabled[node] {
-		cs.disabled[node] = false
-		_ = sched.SetNodeEnabled(node, true)
-	}
+// ackAcct records one delivered report. A tripped breaker closes — the poll
+// is its own probe — and the node rejoins the scheduler at the bottom of
+// the slow-start ramp rather than at full weight.
+func (cs *chaosRun) ackAcct(sched *core.Scheduler, node core.NodeID, now time.Time) {
+	cs.breakers[node].Success(breaker.Poll, now)
+	cs.applyWeight(sched, node)
+}
+
+// tickAcct advances breaker time one accounting cycle: the slow-start ramp
+// climbs one step for closed breakers.
+func (cs *chaosRun) tickAcct(sched *core.Scheduler, node core.NodeID, now time.Time) {
+	cs.breakers[node].Tick(now)
+	cs.applyWeight(sched, node)
+}
+
+// nodeWeight reports the breaker's current scheduler weight for a node.
+func (cs *chaosRun) nodeWeight(node core.NodeID) float64 {
+	return cs.breakers[node].Weight()
+}
+
+// applyWeight keeps the scheduler's admission weight in lockstep with the
+// breaker — the single place health changes what the scheduler may dispatch.
+func (cs *chaosRun) applyWeight(sched *core.Scheduler, node core.NodeID) {
+	// Known nodes cannot fail to update.
+	_ = sched.SetNodeWeight(node, cs.breakers[node].Weight())
 }
 
 // deliverAcct folds one arriving accounting message into the delta the

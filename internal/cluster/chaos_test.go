@@ -7,6 +7,7 @@ import (
 
 	"gage/internal/core"
 	"gage/internal/faults"
+	"gage/internal/metrics"
 	"gage/internal/qos"
 	"gage/internal/workload"
 )
@@ -199,6 +200,131 @@ func TestChaosPlanTargetingMissingNodeRejected(t *testing.T) {
 	}
 }
 
+// overloadOptions is the overload-drill scenario: two reserved subscribers
+// offered exactly their reservation, plus a zero-reservation site flooding
+// the cluster to 3× its aggregate capacity, on four half-speed RPNs
+// (≈50 GRPS each, ≈200 GRPS aggregate vs 600 GRPS offered). The flood must
+// be shed at the queue limit while the reserved subscribers ride through a
+// mid-run crash inside their guarantee.
+func overloadOptions(plan *faults.Plan) Options {
+	return Options{
+		Subscribers: []qos.Subscriber{
+			{ID: "gold", Hosts: []string{"gold.example"}, Reservation: 25},
+			{ID: "silver", Hosts: []string{"silver.example"}, Reservation: 25},
+			{ID: "free", Hosts: []string{"free.example"}, Reservation: 0, QueueLimit: 256},
+		},
+		Sources: []workload.Source{
+			mustConstSource("gold", "gold.example", 25, qos.GenericCost()),
+			mustConstSource("silver", "silver.example", 25, qos.GenericCost()),
+			mustConstSource("free", "free.example", 550, qos.GenericCost()),
+		},
+		NumRPNs:  4,
+		RPNSpeed: 0.5,
+		Faults:   plan,
+		Warmup:   2 * time.Second,
+		Duration: 30 * time.Second,
+	}
+}
+
+// TestChaosOverloadDrill is the acceptance drill for the overload-control
+// layer: under 3× offered load with one backend crashing and recovering
+// mid-run, reserved subscribers stay within 5% of their guarantee during the
+// fault, the spare-capacity flood is shed instead of them, the recovered
+// node's admission weight ramps monotonically through slow start back to
+// full, and every offered request is accounted for exactly.
+func TestChaosOverloadDrill(t *testing.T) {
+	res, err := Run(overloadOptions(crashPlan()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertSettled(t, res)
+	if got := res.DispatchedReqs + res.QueuedAtEnd; got != res.AdmittedReqs {
+		t.Errorf("admission books broken: admitted=%d but dispatched+queued=%d (%d+%d)",
+			res.AdmittedReqs, got, res.DispatchedReqs, res.QueuedAtEnd)
+	}
+
+	// Shedding order: the flood is shed, reserved traffic never is.
+	if res.ShedReqs == 0 {
+		t.Error("3× overload shed nothing; the queue limit must bound the flood")
+	}
+	free, _ := res.Row("free")
+	if free.DroppedReqs == 0 {
+		t.Error("free subscriber saw no drops under 3× overload")
+	}
+	for _, id := range []qos.SubscriberID{"gold", "silver"} {
+		row, ok := res.Row(id)
+		if !ok {
+			t.Fatalf("no row for %s", id)
+		}
+		if row.DroppedReqs != 0 {
+			t.Errorf("%s: %d reserved requests shed; spare traffic must be shed first", id, row.DroppedReqs)
+		}
+		pd, err := res.PhaseDeviation(id, time.Second)
+		if err != nil {
+			t.Fatalf("PhaseDeviation(%s): %v", id, err)
+		}
+		if !pd.DuringOK {
+			t.Fatalf("during-fault window too short for %s", id)
+		}
+		t.Logf("%s: pre=%.3f during=%.3f post=%.3f", id, pd.Pre, pd.During, pd.Post)
+		if pd.During > 0.05 {
+			t.Errorf("%s: during-fault deviation %.3f exceeds 0.05", id, pd.During)
+		}
+	}
+
+	// Slow-start ramp: from the recovery instant on, the crashed node's
+	// admission weight never moves backwards and ends at full capacity.
+	recoverOff := res.Fault.End
+	var ramp []float64
+	for _, s := range res.NodeWeights[2].Samples() {
+		if s.T >= recoverOff {
+			ramp = append(ramp, s.Units)
+		}
+	}
+	if len(ramp) == 0 {
+		t.Fatal("no weight samples after recovery")
+	}
+	if !metrics.MonotoneNonDecreasing(ramp, 0) {
+		t.Errorf("recovered node's weight ramp is not monotone: %v", ramp[:min(len(ramp), 12)])
+	}
+	if last := ramp[len(ramp)-1]; last != 1 {
+		t.Errorf("recovered node's final weight = %v, want 1", last)
+	}
+	if ramp[0] >= 1 {
+		t.Errorf("weight right after recovery = %v; slow start must begin below full", ramp[0])
+	}
+
+	// Dispatch share follows the ramp: nothing lands on the node between
+	// failure detection and recovery, and across the slow-start window the
+	// per-cycle dispatch count climbs monotonically as the weight steps up.
+	const cycle = 100 * time.Millisecond // default accounting cycle
+	rampBuckets := make([]float64, slowStartAcctCycles+1)
+	var detectGap, afterRecovery int
+	for _, s := range res.NodeDispatches[2].Samples() {
+		switch {
+		case s.T >= res.Fault.Start+time.Second && s.T < recoverOff:
+			detectGap++
+		case s.T >= recoverOff:
+			afterRecovery++
+			if i := int((s.T - recoverOff) / cycle); i < len(rampBuckets) {
+				rampBuckets[i]++
+			}
+		}
+	}
+	if detectGap != 0 {
+		t.Errorf("%d dispatches sent to the dead node after the detection window", detectGap)
+	}
+	if afterRecovery == 0 {
+		t.Error("recovered node received no dispatches after recovery")
+	}
+	if rampBuckets[0] == 0 {
+		t.Error("no dispatches in the first slow-start cycle; recovery must reopen traffic immediately")
+	}
+	if !metrics.MonotoneNonDecreasing(rampBuckets, 0) {
+		t.Errorf("per-cycle dispatch share over the slow-start window is not monotone: %v", rampBuckets)
+	}
+}
+
 // --- white-box unit tests for the chaosRun bookkeeping ---
 
 func chaosFixture(t *testing.T) (*core.Scheduler, *chaosRun, []*RPN) {
@@ -223,19 +349,43 @@ func chaosFixture(t *testing.T) (*core.Scheduler, *chaosRun, []*RPN) {
 
 func TestChaosRunMissedStreakDisablesAndReportReenables(t *testing.T) {
 	sched, cs, _ := chaosFixture(t)
+	now := time.Unix(0, 0)
 	for i := 0; i < unhealthyAfterMissedAcct-1; i++ {
-		cs.missAcct(sched, 1)
-		if cs.disabled[1] {
+		cs.missAcct(sched, 1, now)
+		if !sched.NodeEnabled(1) {
 			t.Fatalf("node disabled after %d misses, threshold is %d", i+1, unhealthyAfterMissedAcct)
 		}
 	}
-	cs.missAcct(sched, 1)
-	if !cs.disabled[1] {
+	cs.missAcct(sched, 1, now)
+	if sched.NodeEnabled(1) {
 		t.Fatal("node not disabled at the missed-accounting streak threshold")
 	}
-	cs.ackAcct(sched, 1)
-	if cs.disabled[1] || cs.missed[1] != 0 {
-		t.Error("a delivered report must clear the streak and re-enable the node")
+	// The first delivered report re-enables the node — but at the bottom of
+	// the slow-start ramp, not at full weight.
+	cs.ackAcct(sched, 1, now)
+	if !sched.NodeEnabled(1) {
+		t.Fatal("a delivered report must re-enable the node")
+	}
+	wantStart := 1.0 / float64(slowStartAcctCycles+1)
+	if w, _ := sched.NodeWeight(1); w != wantStart {
+		t.Errorf("weight right after recovery = %v, want slow-start %v", w, wantStart)
+	}
+	// One step per accounting cycle back to full capacity.
+	prev := wantStart
+	for i := 0; i < slowStartAcctCycles; i++ {
+		cs.tickAcct(sched, 1, now)
+		w, _ := sched.NodeWeight(1)
+		if w < prev {
+			t.Fatalf("ramp went backwards at cycle %d: %v -> %v", i+1, prev, w)
+		}
+		prev = w
+	}
+	if prev != 1 {
+		t.Errorf("weight after %d cycles = %v, want 1", slowStartAcctCycles, prev)
+	}
+	// An untouched node never moved off full weight.
+	if w, _ := sched.NodeWeight(2); w != 1 {
+		t.Errorf("untouched node weight = %v, want 1", w)
 	}
 }
 

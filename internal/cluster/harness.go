@@ -184,6 +184,26 @@ type Result struct {
 	// BalanceViolations counts per-tick audits that found a subscriber
 	// balance below its clamp floor (−reservation×CreditWindow). Must be 0.
 	BalanceViolations int
+	// Whole-run admission counters (warmup included): every classified
+	// arrival either entered a subscriber queue (AdmittedReqs) or was shed
+	// at the queue limit (ShedReqs); QueuedAtEnd is what still waits in
+	// queues when the run stops. Combined with the settlement counters this
+	// closes the books over every offered request:
+	//
+	//	AdmittedReqs == DispatchedReqs + QueuedAtEnd
+	//	AdmittedReqs + ShedReqs == DeliveredReqs + ReclaimedReqs +
+	//	                           ShedReqs + InflightAtEnd + QueuedAtEnd
+	AdmittedReqs int
+	ShedReqs     int
+	QueuedAtEnd  int
+	// NodeWeights samples each node's scheduler admission weight once per
+	// accounting cycle (offsets from the end of warmup; warmup samples are
+	// negative). The overload drill asserts a recovered node's slow-start
+	// ramp is monotone on this series.
+	NodeWeights map[core.NodeID]*metrics.Series
+	// NodeDispatches records one unit per dispatch decision at its decision
+	// time, per node — the recovered node's dispatch share over time.
+	NodeDispatches map[core.NodeID]*metrics.Series
 	// Fault reports the injected plan's active window relative to the
 	// measured window; nil when the run had no fault plan.
 	Fault *FaultReport
@@ -383,6 +403,13 @@ func Run(opts Options) (*Result, error) {
 		series[id] = &metrics.Series{}
 		observed[id] = &metrics.Series{}
 	}
+	nodeWeights := make(map[core.NodeID]*metrics.Series, len(rpns))
+	nodeDispatches := make(map[core.NodeID]*metrics.Series, len(rpns))
+	for _, r := range rpns {
+		nodeWeights[r.id] = &metrics.Series{}
+		nodeDispatches[r.id] = &metrics.Series{}
+	}
+	var admittedReqs, shedReqs int
 	counts := struct {
 		offered, served, dropped map[qos.SubscriberID]int
 	}{
@@ -421,9 +448,17 @@ func Run(opts Options) (*Result, error) {
 					affinity = localityKey(req.Host, req.Path)
 				}
 				err := sched.Enqueue(core.Request{ID: req.ID, Subscriber: sub, Affinity: affinity, Payload: req})
-				if err != nil && inWindow(now) {
-					tp.Dropped(sub, u)
-					counts.dropped[sub]++
+				if err != nil {
+					// Queue-limit admission shed: overload control at the
+					// RDN's edge, counted over the whole run so the books
+					// close exactly.
+					shedReqs++
+					if inWindow(now) {
+						tp.Dropped(sub, u)
+						counts.dropped[sub]++
+					}
+				} else {
+					admittedReqs++
 				}
 			})
 		})
@@ -476,6 +511,7 @@ func Run(opts Options) (*Result, error) {
 			}
 			node := byID[d.Node]
 			cs.track(d.Node, req.ID, req.Subscriber)
+			nodeDispatches[d.Node].Record(engine.Now().Sub(measureFrom), 1)
 			engine.After(opts.DispatchLatency, func() {
 				if cs.crashed[node.id] {
 					cs.reclaimOne(sched, node.id, req.ID, req.Subscriber)
@@ -525,15 +561,26 @@ func Run(opts Options) (*Result, error) {
 	for _, r := range rpns {
 		r := r
 		stops = append(stops, engine.Every(opts.AcctCycle, func() {
+			now := engine.Now()
+			// Breaker time advances with the accounting cycle: slow-start
+			// ramps climb here. The weight sample lands after this cycle's
+			// miss/ack outcome is known.
+			cs.tickAcct(sched, r.id, now)
+			recordWeight := func() {
+				nodeWeights[r.id].Record(engine.Now().Sub(measureFrom), cs.nodeWeight(r.id))
+			}
 			if cs.crashed[r.id] {
-				cs.missAcct(sched, r.id)
+				cs.missAcct(sched, r.id, now)
+				recordWeight()
 				return
 			}
-			off := engine.Now().Sub(start)
+			off := now.Sub(start)
 			if inj != nil && (inj.DropAcct(r.id, off) || inj.DropFrame(r.id, off)) {
-				cs.missAcct(sched, r.id)
+				cs.missAcct(sched, r.id, now)
+				recordWeight()
 				return
 			}
+			recordWeight()
 			msg := acctMsg{seq: cs.sendSeq[r.id], epoch: r.Epoch(), cum: r.Accountant().CumulativeReport()}
 			cs.sendSeq[r.id]++
 			delay := opts.FeedbackLatency
@@ -547,7 +594,7 @@ func Run(opts Options) (*Result, error) {
 				}
 				// Reports for known nodes cannot fail.
 				_ = sched.ReportUsage(rep)
-				cs.ackAcct(sched, r.id)
+				cs.ackAcct(sched, r.id, engine.Now())
 				now := engine.Now()
 				if !inWindow(now) {
 					return
@@ -575,6 +622,10 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	// Assemble results.
+	var queuedAtEnd int
+	for _, id := range dir.IDs() {
+		queuedAtEnd += sched.QueueLen(id)
+	}
 	res := &Result{
 		Series:            series,
 		Observed:          observed,
@@ -584,6 +635,11 @@ func Run(opts Options) (*Result, error) {
 		ReclaimedReqs:     cs.reclaimed,
 		InflightAtEnd:     cs.inflightTotal(),
 		BalanceViolations: cs.balanceViolations,
+		AdmittedReqs:      admittedReqs,
+		ShedReqs:          shedReqs,
+		QueuedAtEnd:       queuedAtEnd,
+		NodeWeights:       nodeWeights,
+		NodeDispatches:    nodeDispatches,
 	}
 	if opts.Faults != nil {
 		if fs, fe, ok := opts.Faults.ActiveWindow(); ok {

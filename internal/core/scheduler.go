@@ -231,9 +231,12 @@ type nodeState struct {
 	// to this node and not yet reported complete.
 	outstanding qos.Vector
 
-	// disabled nodes receive no dispatches (health management); their
-	// in-flight accounting still settles via reports.
-	disabled bool
+	// weight scales the node's admission bound: 1 is full capacity, 0
+	// receives no dispatches (health management), and fractions in between
+	// implement slow-start recovery — a node rejoining after an outage is
+	// offered a growing slice of its bound instead of a thundering herd.
+	// In-flight accounting settles normally at any weight.
+	weight float64
 
 	// drained is the optimistic estimate of how much of outstanding the
 	// node has already served but not yet reported: it grows at the node's
@@ -249,6 +252,15 @@ type nodeState struct {
 // optimistic drain.
 func (nd *nodeState) effective() qos.Vector {
 	return nd.outstanding.Sub(nd.drained).ClampNonNegative()
+}
+
+// hasRoom reports whether the node may accept one more request of the
+// predicted size under its weight-scaled admission bound.
+func (nd *nodeState) hasRoom(predicted qos.Vector) bool {
+	if nd.weight <= 0 {
+		return false
+	}
+	return nd.bound.Scale(nd.weight).Dominates(nd.effective().Add(predicted))
 }
 
 // Scheduler is the RDN request+node scheduler. It is safe for concurrent
@@ -316,6 +328,7 @@ func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error)
 			id:       nc.ID,
 			capacity: nc.Capacity,
 			bound:    nc.Capacity.Scale(cfg.OutstandingWindow.Seconds()),
+			weight:   1,
 		}
 		s.nodeOrder = append(s.nodeOrder, nc.ID)
 	}
@@ -469,7 +482,7 @@ func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 func (s *Scheduler) pickNodeAffine(predicted qos.Vector, affinity uint64) *nodeState {
 	if affinity != 0 && len(s.nodeOrder) > 0 {
 		nd := s.nodes[s.nodeOrder[affinity%uint64(len(s.nodeOrder))]]
-		if !nd.disabled && nd.bound.Dominates(nd.effective().Add(predicted)) {
+		if nd.hasRoom(predicted) {
 			return nd
 		}
 	}
@@ -492,14 +505,10 @@ func (s *Scheduler) pickNodeExcept(predicted qos.Vector, except *nodeState) *nod
 	n := len(s.nodeOrder)
 	for i := 0; i < n; i++ {
 		nd := s.nodes[s.nodeOrder[(s.nodeStart+i)%n]]
-		if nd.disabled || nd == except {
+		if nd == except || !nd.hasRoom(predicted) {
 			continue
 		}
-		effective := nd.effective()
-		if !nd.bound.Dominates(effective.Add(predicted)) {
-			continue
-		}
-		load := effective.GenericUnits()
+		load := nd.effective().GenericUnits()
 		if best == nil || load < bestLoad {
 			best, bestLoad = nd, load
 		}
@@ -727,26 +736,55 @@ func (s *Scheduler) TotalDispatched() uint64 {
 	return s.dispatched
 }
 
-// SetNodeEnabled enables or disables dispatching to a node (health
-// management: a node that stops answering should stop receiving work).
-// In-flight accounting on a disabled node still settles normally.
-func (s *Scheduler) SetNodeEnabled(id NodeID, enabled bool) error {
+// SetNodeWeight scales a node's admission bound to the fraction w of its
+// capacity, clamped to [0, 1]. Weight 0 disables dispatching entirely
+// (health management: a node that stops answering should stop receiving
+// work); fractional weights implement slow-start recovery. In-flight
+// accounting on a down-weighted node still settles normally, and its
+// optimistic drain still runs at full physical capacity — the weight limits
+// what we offer the node, not what we believe it can finish.
+func (s *Scheduler) SetNodeWeight(id NodeID, w float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	nd, ok := s.nodes[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	nd.disabled = !enabled
+	if w < 0 {
+		w = 0
+	} else if w > 1 {
+		w = 1
+	}
+	nd.weight = w
 	return nil
 }
 
-// NodeEnabled reports whether a node currently receives dispatches.
-func (s *Scheduler) NodeEnabled(id NodeID) bool {
+// NodeWeight returns a node's current admission weight.
+func (s *Scheduler) NodeWeight(id NodeID) (float64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	nd, ok := s.nodes[id]
-	return ok && !nd.disabled
+	if !ok {
+		return 0, false
+	}
+	return nd.weight, true
+}
+
+// SetNodeEnabled enables (weight 1) or disables (weight 0) dispatching to a
+// node — the pre-slow-start health interface, kept for callers that only
+// need the binary form.
+func (s *Scheduler) SetNodeEnabled(id NodeID, enabled bool) error {
+	w := 0.0
+	if enabled {
+		w = 1.0
+	}
+	return s.SetNodeWeight(id, w)
+}
+
+// NodeEnabled reports whether a node currently receives any dispatches.
+func (s *Scheduler) NodeEnabled(id NodeID) bool {
+	w, ok := s.NodeWeight(id)
+	return ok && w > 0
 }
 
 // AddSubscriber registers a new subscriber at runtime — hosting providers

@@ -1062,3 +1062,109 @@ func TestRedispatchWithoutAlternateReleasesCharge(t *testing.T) {
 		t.Error("second Redispatch must miss (charge already gone)")
 	}
 }
+
+func TestNodeWeightScalesAdmissionBound(t *testing.T) {
+	// One node, default 50 ms outstanding window over a 100 GRPS capacity:
+	// the full-weight bound admits exactly 5 generic requests per tick.
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 1000}},
+		[]NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	for i := uint64(1); i <= 10; i++ {
+		if err := s.Enqueue(Request{ID: i, Subscriber: "a"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	if err := s.SetNodeWeight(1, 0.4); err != nil {
+		t.Fatalf("SetNodeWeight: %v", err)
+	}
+	if got := len(s.Tick()); got != 2 {
+		t.Errorf("dispatches at weight 0.4 = %d, want 2 (bound scaled 5 -> 2)", got)
+	}
+	// Restoring full weight opens the rest of the bound; the outstanding
+	// charge from the first tick still counts against it.
+	if err := s.SetNodeWeight(1, 1); err != nil {
+		t.Fatalf("SetNodeWeight: %v", err)
+	}
+	// 5-unit bound minus 2 outstanding, plus one unit the optimistic drain
+	// assumes finished during the first cycle.
+	if got := len(s.Tick()); got != 4 {
+		t.Errorf("dispatches after restoring weight = %d, want 4", got)
+	}
+}
+
+func TestNodeWeightZeroBehavesLikeDisabled(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 1000}},
+		twoNodes(), Config{})
+	if err := s.SetNodeWeight(1, 0); err != nil {
+		t.Fatalf("SetNodeWeight: %v", err)
+	}
+	if s.NodeEnabled(1) {
+		t.Error("weight-0 node must report disabled")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := s.Enqueue(Request{ID: i, Subscriber: "a"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	for _, d := range s.Tick() {
+		if d.Node == 1 {
+			t.Fatalf("request %d dispatched to weight-0 node", d.Req.ID)
+		}
+	}
+	// The binary wrapper restores full weight.
+	if err := s.SetNodeEnabled(1, true); err != nil {
+		t.Fatalf("SetNodeEnabled: %v", err)
+	}
+	if w, ok := s.NodeWeight(1); !ok || w != 1 {
+		t.Errorf("weight after SetNodeEnabled(true) = %v/%v, want 1", w, ok)
+	}
+}
+
+func TestSetNodeWeightClampsAndRejectsUnknown(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 100}},
+		twoNodes(), Config{})
+	if err := s.SetNodeWeight(1, -0.5); err != nil {
+		t.Fatalf("SetNodeWeight(-0.5): %v", err)
+	}
+	if w, _ := s.NodeWeight(1); w != 0 {
+		t.Errorf("weight after -0.5 = %v, want clamped 0", w)
+	}
+	if err := s.SetNodeWeight(1, 7); err != nil {
+		t.Fatalf("SetNodeWeight(7): %v", err)
+	}
+	if w, _ := s.NodeWeight(1); w != 1 {
+		t.Errorf("weight after 7 = %v, want clamped 1", w)
+	}
+	if err := s.SetNodeWeight(99, 1); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node = %v, want ErrUnknownNode", err)
+	}
+	if _, ok := s.NodeWeight(99); ok {
+		t.Error("NodeWeight(99) must report not-found")
+	}
+}
+
+func TestAffinityRespectsNodeWeight(t *testing.T) {
+	s := mustScheduler(t,
+		[]qos.Subscriber{{ID: "a", Reservation: 1000}},
+		twoNodes(), Config{})
+	// Affinity 7 prefers node 2 (7 % 2 = 1 -> second in sorted order).
+	if err := s.SetNodeWeight(2, 0); err != nil {
+		t.Fatalf("SetNodeWeight: %v", err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := s.Enqueue(Request{ID: i, Subscriber: "a", Affinity: 7}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	ds := s.Tick()
+	if len(ds) == 0 {
+		t.Fatal("no dispatches with a healthy fallback node")
+	}
+	for _, d := range ds {
+		if d.Node == 2 {
+			t.Fatalf("request %d followed affinity onto a weight-0 node", d.Req.ID)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"sync"
+
+	"gage/internal/qos"
+)
+
+// admission is the request-level admission controller: it decides, before a
+// request is ever queued, whether accepting it would let spare-capacity
+// traffic exhaust the handler slots that reserved traffic is entitled to.
+//
+// Each subscriber gets a quota of guaranteed in-flight slots proportional to
+// its reservation: quota_i = floor(MaxConns × res_i / Σres). A request is
+// "reserved" while its subscriber is below quota and always admitted — the
+// controller maintains the invariant
+//
+//	total + reservedIdle ≤ max
+//
+// where reservedIdle is the number of unclaimed guaranteed slots, so a
+// reserved request always finds room. A request beyond its subscriber's
+// quota is spare-capacity traffic and is admitted only if it leaves every
+// idle guaranteed slot intact: spare is shed first, reserved traffic is
+// protected last, mirroring the scheduler's reservation-round/spare-round
+// split at the connection-accept edge.
+type admission struct {
+	mu sync.Mutex
+	// max is the in-flight request cap; 0 disables admission control.
+	max int
+	// quota is each subscriber's guaranteed in-flight slot count.
+	quota map[qos.SubscriberID]int
+	// inflight is each subscriber's admitted-and-unreleased request count.
+	inflight map[qos.SubscriberID]int
+	// shed counts refusals per subscriber.
+	shed map[qos.SubscriberID]uint64
+	// total is Σ inflight.
+	total int
+	// reservedIdle is Σ max(0, quota−inflight): guaranteed slots nobody
+	// is using right now, which spare admissions must not consume.
+	reservedIdle int
+}
+
+func newAdmission(max int, subs []qos.Subscriber) *admission {
+	a := &admission{
+		max:      max,
+		quota:    make(map[qos.SubscriberID]int, len(subs)),
+		inflight: make(map[qos.SubscriberID]int, len(subs)),
+		shed:     make(map[qos.SubscriberID]uint64, len(subs)),
+	}
+	if max <= 0 {
+		return a
+	}
+	var totalRes float64
+	for _, s := range subs {
+		totalRes += float64(s.Reservation)
+	}
+	if totalRes <= 0 {
+		return a
+	}
+	for _, s := range subs {
+		q := int(float64(max) * float64(s.Reservation) / totalRes)
+		a.quota[s.ID] = q
+		a.reservedIdle += q
+	}
+	return a
+}
+
+// admit claims an in-flight slot for sub, reporting whether the request may
+// proceed. Every true return must be paired with exactly one release.
+func (a *admission) admit(sub qos.SubscriberID) bool {
+	if a.max <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	in := a.inflight[sub]
+	if in >= a.quota[sub] {
+		// Spare traffic: it must fit without touching idle reserved slots.
+		if a.total+a.reservedIdle >= a.max {
+			a.shed[sub]++
+			return false
+		}
+	} else {
+		// Reserved traffic consumes one of its own guaranteed slots; the
+		// invariant total+reservedIdle ≤ max proves the slot exists.
+		a.reservedIdle--
+	}
+	a.inflight[sub] = in + 1
+	a.total++
+	return true
+}
+
+// release returns sub's slot. If the subscriber drops back below quota the
+// freed slot re-joins the guaranteed pool.
+func (a *admission) release(sub qos.SubscriberID) {
+	if a.max <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight[sub]--
+	a.total--
+	if a.inflight[sub] < a.quota[sub] {
+		a.reservedIdle++
+	}
+}
+
+// subSnapshot reports one subscriber's admission view for the stats
+// endpoint.
+func (a *admission) subSnapshot(sub qos.SubscriberID) (quota, inflight int, shed uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.quota[sub], a.inflight[sub], a.shed[sub]
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"gage/internal/backend"
+	"gage/internal/breaker"
 	"gage/internal/classify"
 	"gage/internal/core"
 	"gage/internal/httpwire"
@@ -59,6 +60,25 @@ type Config struct {
 	// RetryBackoff is the pause before the relay's single retry against an
 	// alternate backend after a dial failure (default 25 ms).
 	RetryBackoff time.Duration
+	// MaxConns caps concurrently accepted client connections; connections
+	// past the cap are shed with a fast 503. It also sizes the
+	// per-subscriber in-flight request quotas (proportional to
+	// reservations) that shed spare-capacity traffic first under
+	// saturation. 0 means unlimited (admission control off).
+	MaxConns int
+	// DrainTimeout bounds Close's drain phase: how long in-flight requests
+	// may keep finishing after the listener stops accepting, before they
+	// are abandoned (default 5 s).
+	DrainTimeout time.Duration
+	// ClientIdleTimeout bounds each request's client-side read/write on a
+	// persistent connection (default 60 s).
+	ClientIdleTimeout time.Duration
+	// BackendTimeout bounds the whole backend exchange of one relay
+	// (default 60 s).
+	BackendTimeout time.Duration
+	// Breaker tunes the per-backend circuit breakers (defaults apply; see
+	// package breaker).
+	Breaker breaker.Config
 	// Dial opens backend connections; nil means net.DialTimeout. Fault
 	// drills swap in a chaos dialer here to script backend outages without
 	// touching real processes.
@@ -85,6 +105,11 @@ type Stats struct {
 	// Abandoned is requests withdrawn after enqueue (wait timeout, client
 	// hang-up, shutdown) whose scheduler charge was reclaimed.
 	Abandoned uint64
+	// ShedConns is connections refused with a fast 503 past MaxConns.
+	ShedConns uint64
+	// Shed is requests refused by per-subscriber admission control (spare
+	// traffic beyond quota while the in-flight cap is saturated).
+	Shed uint64
 }
 
 // Server is a running dispatcher.
@@ -103,12 +128,43 @@ type Server struct {
 	errs         atomic.Uint64
 	retried      atomic.Uint64
 	abandoned    atomic.Uint64
+	shedConns    atomic.Uint64
+	shedReqs     atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
+	// stopCh aborts everything: queue waits, retry backoffs, the tick and
+	// accounting loops. It closes only after the drain phase.
 	stopCh chan struct{}
-	wg     sync.WaitGroup
+	// drainCh closes first on shutdown: stop accepting requests, but let
+	// the loops keep dispatching what is already in flight.
+	drainCh chan struct{}
+	// connWG tracks client-connection handlers — the work Close drains.
+	connWG sync.WaitGroup
+	// loopWG tracks the tick/accounting loops and pollers, which must
+	// outlive the drain so queued requests still dispatch during it.
+	loopWG sync.WaitGroup
+
+	// conns tracks accepted client connections, both to enforce MaxConns
+	// and so Close can nudge idle keep-alive readers (deadline zap) and
+	// later force-close stragglers. Guarded by connMu.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// beConns tracks live backend connections so the post-drain abort can
+	// cut hung exchanges instead of waiting out BackendTimeout. Guarded by
+	// beMu.
+	beMu    sync.Mutex
+	beConns map[net.Conn]struct{}
+
+	// admission is the reservation-aware in-flight limiter (MaxConns).
+	admission *admission
+
+	// breakers gate each backend's health: accounting-poll and relay
+	// failures feed per-source streaks, and the scheduler's node weight
+	// follows the breaker's slow-start ramp.
+	breakers map[core.NodeID]*breaker.Breaker
 
 	// lastSeen holds each backend's previous cumulative report, so usage
 	// deltas survive lost polls. Guarded by acctMu: polls run concurrently.
@@ -119,15 +175,10 @@ type Server struct {
 	// node slow-failing at DialTimeout accumulates one blocked probe, not
 	// one per accounting cycle. Guarded by acctMu.
 	polling map[core.NodeID]bool
-
-	// failures counts consecutive poll/relay failures per node; at
-	// UnhealthyAfter the node is disabled until a poll or relay succeeds
-	// again.
-	failMu   sync.Mutex
-	failures map[core.NodeID]int
 }
 
-// UnhealthyAfter is how many consecutive backend failures disable a node.
+// UnhealthyAfter is the default consecutive-failure threshold that trips a
+// backend's breaker (Config.Breaker.Threshold overrides it).
 const UnhealthyAfter = 3
 
 // pendingConn lifecycle states: the dispatch/abandon handshake. Exactly one
@@ -171,6 +222,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 25 * time.Millisecond
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.ClientIdleTimeout <= 0 {
+		cfg.ClientIdleTimeout = 60 * time.Second
+	}
+	if cfg.BackendTimeout <= 0 {
+		cfg.BackendTimeout = 60 * time.Second
+	}
+	if cfg.Breaker.Threshold <= 0 {
+		cfg.Breaker.Threshold = UnhealthyAfter
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
@@ -195,6 +258,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	breakers := make(map[core.NodeID]*breaker.Breaker, len(addrs))
+	for id := range addrs {
+		breakers[id] = breaker.New(cfg.Breaker)
+	}
 	return &Server{
 		cfg:        cfg,
 		dir:        dir,
@@ -203,9 +270,13 @@ func New(cfg Config) (*Server, error) {
 		addrs:      addrs,
 		logger:     cfg.Logger,
 		stopCh:     make(chan struct{}),
+		drainCh:    make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		beConns:    make(map[net.Conn]struct{}),
+		admission:  newAdmission(cfg.MaxConns, cfg.Subscribers),
+		breakers:   breakers,
 		lastSeen:   make(map[core.NodeID]core.UsageReport, len(addrs)),
 		polling:    make(map[core.NodeID]bool, len(addrs)),
-		failures:   make(map[core.NodeID]int, len(addrs)),
 	}, nil
 }
 
@@ -222,6 +293,8 @@ func (s *Server) Stats() Stats {
 		Errors:       s.errs.Load(),
 		Retried:      s.retried.Load(),
 		Abandoned:    s.abandoned.Load(),
+		ShedConns:    s.shedConns.Load(),
+		Shed:         s.shedReqs.Load(),
 	}
 }
 
@@ -236,7 +309,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 
-	s.wg.Add(2)
+	s.loopWG.Add(2)
 	go s.tickLoop()
 	go s.acctLoop()
 
@@ -244,22 +317,56 @@ func (s *Server) Serve(ln net.Listener) error {
 		conn, err := ln.Accept()
 		if err != nil {
 			select {
-			case <-s.stopCh:
+			case <-s.drainCh:
 				return nil
 			default:
 				return fmt.Errorf("dispatch: accept: %w", err)
 			}
 		}
 		s.accepted.Add(1)
-		s.wg.Add(1)
+		if !s.trackConn(conn) {
+			// Past MaxConns (or already draining): shed fast. The 503 is
+			// written off the accept path so a slow client cannot stall
+			// new accepts.
+			s.shedConns.Add(1)
+			s.connWG.Add(1)
+			go func() {
+				defer s.connWG.Done()
+				s.respondError(conn, 503)
+				conn.Close()
+			}()
+			continue
+		}
+		s.connWG.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer s.connWG.Done()
+			defer s.untrackConn(conn)
 			s.handle(conn)
 		}()
 	}
 }
 
-// Close stops the dispatcher and waits for in-flight work.
+// trackConn registers an accepted connection, refusing past MaxConns.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// Close stops the dispatcher gracefully: it stops accepting, lets in-flight
+// requests finish for up to DrainTimeout (the scheduling and accounting
+// loops keep running through the drain so queued requests still dispatch),
+// then aborts whatever remains and waits for every goroutine.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -267,20 +374,75 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	close(s.stopCh)
+	close(s.drainCh)
 	ln := s.ln
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()
+	// Nudge idle keep-alive readers: expiring the read deadline unblocks
+	// handlers parked in ReadRequest without disturbing in-flight response
+	// writes.
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+	}
+
+	// Drain is over: abort queue waits and retry backoffs, cut hung client
+	// and backend sockets, and stop the loops.
+	close(s.stopCh)
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	s.beMu.Lock()
+	for c := range s.beConns {
+		_ = c.Close()
+	}
+	s.beMu.Unlock()
+	<-done
+	s.loopWG.Wait()
 	return err
+}
+
+// trackBackend registers a live backend connection for the shutdown sweep.
+// If the abort already happened the connection is cut immediately so the
+// caller's exchange fails fast instead of waiting out BackendTimeout.
+func (s *Server) trackBackend(c net.Conn) func() {
+	s.beMu.Lock()
+	defer s.beMu.Unlock()
+	select {
+	case <-s.stopCh:
+		_ = c.Close()
+		return func() {}
+	default:
+	}
+	s.beConns[c] = struct{}{}
+	return func() {
+		s.beMu.Lock()
+		delete(s.beConns, c)
+		s.beMu.Unlock()
+	}
 }
 
 // tickLoop runs the scheduling cycle against wall time.
 func (s *Server) tickLoop() {
-	defer s.wg.Done()
+	defer s.loopWG.Done()
 	ticker := time.NewTicker(s.sched.Cycle())
 	defer ticker.Stop()
 	for {
@@ -320,7 +482,7 @@ func (s *Server) deliver(d core.Dispatch) {
 // Figure 3 shows destabilizes the guarantee. A node whose previous poll is
 // still in flight is skipped this cycle rather than probed again.
 func (s *Server) acctLoop() {
-	defer s.wg.Done()
+	defer s.loopWG.Done()
 	ticker := time.NewTicker(s.cfg.AcctCycle)
 	defer ticker.Stop()
 	for {
@@ -328,6 +490,15 @@ func (s *Server) acctLoop() {
 		case <-s.stopCh:
 			return
 		case <-ticker.C:
+			// Advance breaker time first: cooldowns elapse and slow-start
+			// ramps climb one step per accounting cycle.
+			now := time.Now()
+			for id, b := range s.breakers {
+				if b.Tick(now) {
+					s.logger.Printf("dispatch: node %d breaker %v", id, b.State())
+				}
+				s.applyWeight(id, b)
+			}
 			for id, addr := range s.addrs {
 				s.acctMu.Lock()
 				busy := s.polling[id]
@@ -338,7 +509,7 @@ func (s *Server) acctLoop() {
 				if busy {
 					continue
 				}
-				s.wg.Add(1)
+				s.loopWG.Add(1)
 				go s.pollOne(id, addr)
 			}
 		}
@@ -348,7 +519,7 @@ func (s *Server) acctLoop() {
 // pollOne fetches one backend's report and folds the usage delta into the
 // scheduler. It owns the node's polling slot for its duration.
 func (s *Server) pollOne(id core.NodeID, addr string) {
-	defer s.wg.Done()
+	defer s.loopWG.Done()
 	defer func() {
 		s.acctMu.Lock()
 		s.polling[id] = false
@@ -357,10 +528,10 @@ func (s *Server) pollOne(id core.NodeID, addr string) {
 	cum, err := s.pollReport(id, addr)
 	if err != nil {
 		s.logger.Printf("dispatch: poll %v: %v", addr, err)
-		s.noteFailure(id)
+		s.noteBreaker(id, breaker.Poll, false)
 		return
 	}
-	s.noteSuccess(id)
+	s.noteBreaker(id, breaker.Poll, true)
 	s.acctMu.Lock()
 	delta := diffReports(cum, s.lastSeen[id])
 	s.lastSeen[id] = cum
@@ -439,11 +610,25 @@ func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	for {
+		// A draining server reads no further requests, even on persistent
+		// connections.
+		select {
+		case <-s.drainCh:
+			return
+		default:
+		}
 		// Stuck clients must not pin handler goroutines forever; the
 		// deadline renews per request on persistent connections.
-		_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+		_ = conn.SetDeadline(time.Now().Add(s.cfg.ClientIdleTimeout))
 		req, err := httpwire.ReadRequest(br)
 		if err != nil {
+			select {
+			case <-s.drainCh:
+				// Close zapped the read deadline to unpark this idle
+				// keep-alive connection; quit silently.
+				return
+			default:
+			}
 			if err != io.EOF {
 				s.respondError(conn, 400)
 			}
@@ -471,6 +656,16 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		s.respondError(conn, 404)
 		return true
 	}
+	if !s.admission.admit(sub) {
+		// Admission shed: this subscriber is past its guaranteed in-flight
+		// quota and the only free slots are idle reserved ones. Drop the
+		// connection too — under saturation a persistent connection must
+		// not squat an accept slot while being refused work.
+		s.shedReqs.Add(1)
+		s.respondError(conn, 503)
+		return false
+	}
+	defer s.admission.release(sub)
 	pc := &pendingConn{
 		id:   reqIDs.Add(1),
 		conn: conn,
@@ -541,14 +736,26 @@ func wantKeepAlive(req *httpwire.Request) bool {
 
 // relay forwards the request to the chosen backend and the parsed response
 // to the client — the application-level splice. A backend that fails the
-// dial gets one retry: the charge is re-dispatched through the scheduler to
-// an alternate node after a short backoff, so a node dying between dispatch
-// and dial degrades to extra latency instead of a 502. It reports whether
-// the client connection remains usable.
+// dial (or whose breaker refuses the relay) gets one retry: the charge is
+// re-dispatched through the scheduler to an alternate node after a short
+// backoff, so a node dying between dispatch and dial degrades to extra
+// latency instead of a 502. The backoff and the whole path select on stopCh
+// so Close never blocks on a sleeping retry. It reports whether the client
+// connection remains usable.
 func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
-	be, err := s.cfg.Dial("tcp", s.addrs[node], s.cfg.DialTimeout)
+	var be net.Conn
+	var err error
+	if s.breakerAllow(node) {
+		be, err = s.cfg.Dial("tcp", s.addrs[node], s.cfg.DialTimeout)
+		if err != nil {
+			s.noteBreaker(node, breaker.Relay, false)
+		}
+	} else {
+		// The breaker tripped between dispatch and relay (or the half-open
+		// probe slot is taken); skip straight to the alternate.
+		err = errBreakerRefused
+	}
 	if err != nil {
-		s.noteFailure(node)
 		alt, ok := s.sched.Redispatch(pc.sub, pc.id, node)
 		if !ok {
 			// No alternate has room; the charge is already released.
@@ -557,10 +764,23 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 			return true
 		}
 		s.retried.Add(1)
-		time.Sleep(s.cfg.RetryBackoff)
+		select {
+		case <-time.After(s.cfg.RetryBackoff):
+		case <-s.stopCh:
+			// Shutdown abort: reclaim the alternate's charge and give up.
+			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
+			s.respondError(pc.conn, 503)
+			return false
+		}
+		if !s.breakerAllow(alt) {
+			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
+			s.errs.Add(1)
+			s.respondError(pc.conn, 502)
+			return true
+		}
 		be, err = s.cfg.Dial("tcp", s.addrs[alt], s.cfg.DialTimeout)
 		if err != nil {
-			s.noteFailure(alt)
+			s.noteBreaker(alt, breaker.Relay, false)
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
 			s.errs.Add(1)
 			s.respondError(pc.conn, 502)
@@ -568,9 +788,11 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		}
 		node = alt
 	}
+	untrack := s.trackBackend(be)
+	defer untrack()
 	defer be.Close()
 	// Bound the whole backend exchange.
-	_ = be.SetDeadline(time.Now().Add(60 * time.Second))
+	_ = be.SetDeadline(time.Now().Add(s.cfg.BackendTimeout))
 
 	// Tag the request with its charging entity for backend accounting.
 	if pc.req.Header == nil {
@@ -579,7 +801,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	pc.req.Header[backend.SubscriberHeader] = string(pc.sub)
 	if err := pc.req.Write(be); err != nil {
 		s.errs.Add(1)
-		s.noteFailure(node)
+		s.noteBreaker(node, breaker.Relay, false)
 		s.respondError(pc.conn, 502)
 		return true
 	}
@@ -589,15 +811,14 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	resp, err := httpwire.ReadResponse(bufio.NewReader(be))
 	if err != nil {
 		s.errs.Add(1)
-		s.noteFailure(node)
+		s.noteBreaker(node, breaker.Relay, false)
 		s.respondError(pc.conn, 502)
 		return true
 	}
-	// Only a complete exchange clears the node's failure streak: a backend
-	// that accepts TCP but fails every request must still cross
-	// UnhealthyAfter and be disabled, so success is noted here rather than
-	// at dial time.
-	s.noteSuccess(node)
+	// Only a complete exchange counts as relay success: a backend that
+	// accepts TCP but fails every request must still trip its breaker, so
+	// success is noted here rather than at dial time.
+	s.noteBreaker(node, breaker.Relay, true)
 	if err := resp.Write(pc.conn); err != nil {
 		s.errs.Add(1)
 		return false
@@ -606,33 +827,54 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	return true
 }
 
-// noteFailure records one consecutive failure against a node, disabling it
-// at the threshold so the scheduler stops sending work its way.
-func (s *Server) noteFailure(id core.NodeID) {
-	s.failMu.Lock()
-	s.failures[id]++
-	n := s.failures[id]
-	s.failMu.Unlock()
-	if n == UnhealthyAfter {
-		s.logger.Printf("dispatch: node %d unhealthy after %d failures; disabling", id, n)
-		if err := s.sched.SetNodeEnabled(id, false); err != nil {
-			s.logger.Printf("dispatch: disable node %d: %v", id, err)
-		}
+// errBreakerRefused marks a relay skipped because the target's breaker is
+// open or its half-open probe slot is already claimed.
+var errBreakerRefused = errors.New("dispatch: breaker refused relay")
+
+// breakerAllow asks a node's breaker to admit one relay.
+func (s *Server) breakerAllow(id core.NodeID) bool {
+	b, ok := s.breakers[id]
+	if !ok {
+		return true
+	}
+	return b.Allow(time.Now())
+}
+
+// noteBreaker feeds one poll/relay outcome into a node's breaker and keeps
+// the scheduler's node weight in lockstep with the breaker's verdict — the
+// single place health events change what the scheduler may dispatch.
+func (s *Server) noteBreaker(id core.NodeID, src breaker.Source, success bool) {
+	b, ok := s.breakers[id]
+	if !ok {
+		return
+	}
+	var changed bool
+	if success {
+		changed = b.Success(src, time.Now())
+	} else {
+		changed = b.Failure(src, time.Now())
+	}
+	if changed {
+		s.logger.Printf("dispatch: node %d breaker %v after %v %s", id, b.State(), src,
+			map[bool]string{true: "success", false: "failure"}[success])
+	}
+	s.applyWeight(id, b)
+}
+
+// applyWeight pushes a breaker's current weight into the scheduler.
+func (s *Server) applyWeight(id core.NodeID, b *breaker.Breaker) {
+	if err := s.sched.SetNodeWeight(id, b.Weight()); err != nil {
+		s.logger.Printf("dispatch: set node %d weight: %v", id, err)
 	}
 }
 
-// noteSuccess clears a node's failure streak, re-enabling it if needed.
-func (s *Server) noteSuccess(id core.NodeID) {
-	s.failMu.Lock()
-	wasUnhealthy := s.failures[id] >= UnhealthyAfter
-	s.failures[id] = 0
-	s.failMu.Unlock()
-	if wasUnhealthy {
-		s.logger.Printf("dispatch: node %d healthy again; enabling", id)
-		if err := s.sched.SetNodeEnabled(id, true); err != nil {
-			s.logger.Printf("dispatch: enable node %d: %v", id, err)
-		}
+// BreakerSnapshot exposes one node's breaker view (tests, stats).
+func (s *Server) BreakerSnapshot(id core.NodeID) (breaker.Snapshot, bool) {
+	b, ok := s.breakers[id]
+	if !ok {
+		return breaker.Snapshot{}, false
 	}
+	return b.Snapshot(), true
 }
 
 // StatsPath serves the dispatcher's operational state as JSON.
@@ -647,6 +889,8 @@ type statsJSON struct {
 	Errors       uint64                    `json:"errors"`
 	Retried      uint64                    `json:"retried"`
 	Abandoned    uint64                    `json:"abandoned"`
+	ShedConns    uint64                    `json:"shedConns"`
+	Shed         uint64                    `json:"shed"`
 	Subscribers  map[string]subscriberJSON `json:"subscribers"`
 	Nodes        map[string]nodeJSON       `json:"nodes"`
 }
@@ -658,13 +902,20 @@ type subscriberJSON struct {
 	PredictedCPU    int64   `json:"predictedCpuNanos"`
 	PredictedDisk   int64   `json:"predictedDiskNanos"`
 	PredictedNet    int64   `json:"predictedNetBytes"`
+	AdmissionQuota  int     `json:"admissionQuota"`
+	Inflight        int     `json:"inflight"`
+	Shed            uint64  `json:"shed"`
 }
 
 type nodeJSON struct {
-	Addr            string `json:"addr"`
-	OutstandingCPU  int64  `json:"outstandingCpuNanos"`
-	OutstandingDisk int64  `json:"outstandingDiskNanos"`
-	OutstandingNet  int64  `json:"outstandingNetBytes"`
+	Addr            string  `json:"addr"`
+	OutstandingCPU  int64   `json:"outstandingCpuNanos"`
+	OutstandingDisk int64   `json:"outstandingDiskNanos"`
+	OutstandingNet  int64   `json:"outstandingNetBytes"`
+	Breaker         string  `json:"breaker"`
+	Weight          float64 `json:"weight"`
+	PollStreak      int     `json:"pollStreak"`
+	RelayStreak     int     `json:"relayStreak"`
 }
 
 // serveStats answers the operational-stats endpoint.
@@ -678,6 +929,8 @@ func (s *Server) serveStats(conn net.Conn) {
 		Errors:       st.Errors,
 		Retried:      st.Retried,
 		Abandoned:    st.Abandoned,
+		ShedConns:    st.ShedConns,
+		Shed:         st.Shed,
 		Subscribers:  make(map[string]subscriberJSON, s.dir.Len()),
 		Nodes:        make(map[string]nodeJSON, len(s.addrs)),
 	}
@@ -687,6 +940,7 @@ func (s *Server) serveStats(conn net.Conn) {
 			continue
 		}
 		pred, _ := s.sched.Predicted(id)
+		quota, inflight, shed := s.admission.subSnapshot(id)
 		out.Subscribers[string(id)] = subscriberJSON{
 			ReservationGRPS: float64(sub.Reservation),
 			QueueLen:        s.sched.QueueLen(id),
@@ -694,16 +948,26 @@ func (s *Server) serveStats(conn net.Conn) {
 			PredictedCPU:    pred.CPUTime.Nanoseconds(),
 			PredictedDisk:   pred.DiskTime.Nanoseconds(),
 			PredictedNet:    pred.NetBytes,
+			AdmissionQuota:  quota,
+			Inflight:        inflight,
+			Shed:            shed,
 		}
 	}
 	for _, nodeID := range s.sched.Nodes() {
 		outst, _ := s.sched.Outstanding(nodeID)
-		out.Nodes[fmt.Sprintf("%d", nodeID)] = nodeJSON{
+		nj := nodeJSON{
 			Addr:            s.addrs[nodeID],
 			OutstandingCPU:  outst.CPUTime.Nanoseconds(),
 			OutstandingDisk: outst.DiskTime.Nanoseconds(),
 			OutstandingNet:  outst.NetBytes,
 		}
+		if snap, ok := s.BreakerSnapshot(nodeID); ok {
+			nj.Breaker = snap.State.String()
+			nj.Weight = snap.Weight
+			nj.PollStreak = snap.PollStreak
+			nj.RelayStreak = snap.RelayStreak
+		}
+		out.Nodes[fmt.Sprintf("%d", nodeID)] = nj
 	}
 	body, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

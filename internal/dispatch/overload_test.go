@@ -1,0 +1,376 @@
+package dispatch
+
+import (
+	"bufio"
+	"io"
+	"log"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gage/internal/backend"
+	"gage/internal/breaker"
+	"gage/internal/core"
+	"gage/internal/faults"
+	"gage/internal/httpwire"
+	"gage/internal/metrics"
+)
+
+// flakyBackend answers the accounting report path like a healthy node but
+// slams the door on every relayed request until healed — the failure mode the
+// old binary health streak could not see: poll successes kept re-enabling a
+// node that failed every real request.
+func flakyBackend(t *testing.T, id core.NodeID) (addr string, heal func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var healthy atomic.Bool
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				req, err := httpwire.ReadRequest(bufio.NewReader(c))
+				if err != nil {
+					return
+				}
+				if req.Path() == backend.ReportPath {
+					resp := &httpwire.Response{
+						StatusCode: 200,
+						Header:     map[string]string{"Content-Type": "application/json"},
+						Body:       []byte(`{"node":` + string(rune('0'+id)) + `}`),
+					}
+					_ = resp.Write(c)
+					return
+				}
+				if healthy.Load() {
+					resp := &httpwire.Response{StatusCode: 200, Header: map[string]string{}, Body: []byte("ok")}
+					_ = resp.Write(c)
+					return
+				}
+				// Unhealthy request path: hang up mid-exchange.
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln.Addr().String(), func() { healthy.Store(true) }
+}
+
+// TestChaosHealthFlapRequiresRelayRecovery is the flap regression: a backend
+// whose accounting endpoint stays healthy while its request path fails every
+// exchange must trip its breaker on the relay streak and STAY tripped through
+// any number of poll successes. Recovery happens only the half-open way — a
+// cooled-down trial relay succeeding — and then the node ramps back through
+// slow start.
+func TestChaosHealthFlapRequiresRelayRecovery(t *testing.T) {
+	flakyAddr, heal := flakyBackend(t, 1)
+	addr, srv := startServer(t, Config{
+		Subscribers: defaultSubs(),
+		Backends: []Backend{
+			{ID: 1, Addr: flakyAddr},
+			{ID: 2, Addr: liveBackend(t, 2)},
+		},
+		AcctCycle: 25 * time.Millisecond,
+		Breaker:   breaker.Config{Threshold: 3, Cooldown: 1500 * time.Millisecond, SlowStart: 4},
+	})
+
+	// Drive traffic until node 1's relay streak trips its breaker. Requests
+	// landing on the flaky node come back 502; the healthy node's answers are
+	// 200 — both outcomes are fine here.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap, _ := srv.BreakerSnapshot(1); snap.State == breaker.Open {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flaky node's breaker never opened on relay failures")
+		}
+		_, _ = get(t, addr, "www.site1.example", "/static/512.html")
+	}
+
+	// The flap window: ~20 successful polls land while the breaker cools
+	// down. Before the fix each one re-enabled the node; now the relay trip
+	// holds until a trial request proves the path.
+	time.Sleep(500 * time.Millisecond)
+	if snap, _ := srv.BreakerSnapshot(1); snap.State != breaker.Open {
+		t.Fatalf("breaker %v after poll successes; relay trip must hold until a trial relay", snap.State)
+	}
+	if srv.Scheduler().NodeEnabled(1) {
+		t.Fatal("scheduler still dispatches to the relay-dead node")
+	}
+
+	// Heal the request path and wait out the cooldown: the half-open trial
+	// relay must close the breaker.
+	heal()
+	deadline = time.Now().Add(8 * time.Second)
+	for {
+		if snap, _ := srv.BreakerSnapshot(1); snap.State == breaker.Closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			snap, _ := srv.BreakerSnapshot(1)
+			t.Fatalf("breaker stuck %v; the healed node's trial relay must close it", snap.State)
+		}
+		_, _ = get(t, addr, "www.site1.example", "/static/512.html")
+	}
+
+	// Slow start: the recovered node's scheduler weight climbs monotonically
+	// from a fraction to full capacity, one accounting cycle at a time.
+	var ramp []float64
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		w, ok := srv.Scheduler().NodeWeight(1)
+		if !ok {
+			t.Fatal("node 1 unknown to the scheduler")
+		}
+		ramp = append(ramp, w)
+		if w == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("weight never ramped to 1; last %v", w)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ramp[0] >= 1 {
+		t.Errorf("first observed post-recovery weight = %v; slow start must begin below full", ramp[0])
+	}
+	if !metrics.MonotoneNonDecreasing(ramp, 0) {
+		t.Errorf("weight ramp is not monotone: %v", ramp)
+	}
+}
+
+func TestMaxConnsShedsFastAndRecovers(t *testing.T) {
+	addr, srv := startServer(t, Config{
+		Subscribers: defaultSubs(),
+		Backends:    []Backend{{ID: 1, Addr: liveBackend(t, 1)}},
+		AcctCycle:   50 * time.Millisecond,
+		MaxConns:    2,
+	})
+
+	// Two idle clients squat the connection cap.
+	hold := make([]net.Conn, 2)
+	for i := range hold {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatalf("hold dial %d: %v", i, err)
+		}
+		defer c.Close()
+		hold[i] = c
+	}
+	// Wait for both to be accepted and tracked.
+	waitFor(t, time.Second, func() bool { return srv.Stats().Accepted >= 2 })
+
+	// The next connection is shed with a fast 503 — no queueing, no backend.
+	resp, err := get(t, addr, "www.site1.example", "/static/512.html")
+	if err != nil {
+		t.Fatalf("shed get: %v", err)
+	}
+	if resp.StatusCode != 503 {
+		t.Fatalf("status past MaxConns = %d, want 503", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.ShedConns == 0 {
+		t.Errorf("ShedConns = 0 after over-cap connection, stats %+v", st)
+	}
+
+	// Freeing a slot restores service.
+	hold[0].Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := get(t, addr, "www.site1.example", "/static/512.html")
+		if err == nil && resp.StatusCode == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service never recovered after a slot freed (last resp %v err %v)", resp, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// slowBackend answers the report path immediately but holds every relayed
+// request for delay before responding 200 — in-flight work for drain tests.
+func slowBackend(t *testing.T, delay time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				req, err := httpwire.ReadRequest(bufio.NewReader(c))
+				if err != nil {
+					return
+				}
+				if req.Path() == backend.ReportPath {
+					resp := &httpwire.Response{
+						StatusCode: 200,
+						Header:     map[string]string{"Content-Type": "application/json"},
+						Body:       []byte(`{"node":1}`),
+					}
+					_ = resp.Write(c)
+					return
+				}
+				time.Sleep(delay)
+				resp := &httpwire.Response{StatusCode: 200, Header: map[string]string{}, Body: []byte("slow but done")}
+				_ = resp.Write(c)
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestChaosDrainLetsInflightFinish: Close must not axe a request already at a
+// backend — the drain phase lets it complete and the client still gets its
+// 200 while the listener is already gone.
+func TestChaosDrainLetsInflightFinish(t *testing.T) {
+	addr, srv := startServer(t, Config{
+		Subscribers:  defaultSubs(),
+		Backends:     []Backend{{ID: 1, Addr: slowBackend(t, 400*time.Millisecond)}},
+		AcctCycle:    50 * time.Millisecond,
+		DrainTimeout: 5 * time.Second,
+	})
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req := &httpwire.Request{Method: "GET", Target: "/x", Proto: "HTTP/1.0", Host: "www.site1.example"}
+	if err := req.Write(conn); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Let the request reach the slow backend, then shut down around it.
+	time.Sleep(150 * time.Millisecond)
+	closed := make(chan error, 1)
+	start := time.Now()
+	go func() { closed <- srv.Close() }()
+
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("read during drain: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status during drain = %d, want 200", resp.StatusCode)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if el := time.Since(start); el >= 5*time.Second {
+		t.Errorf("Close took %v; drain must end when work ends, not at the timeout", el)
+	}
+}
+
+// TestChaosDrainUnparksIdleKeepAlive: an idle persistent connection must not
+// hold Close hostage for DrainTimeout — the read-deadline zap unparks its
+// handler immediately.
+func TestChaosDrainUnparksIdleKeepAlive(t *testing.T) {
+	addr, srv := startServer(t, Config{
+		Subscribers:  defaultSubs(),
+		Backends:     []Backend{{ID: 1, Addr: liveBackend(t, 1)}},
+		AcctCycle:    50 * time.Millisecond,
+		DrainTimeout: 5 * time.Second,
+	})
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	req := &httpwire.Request{Method: "GET", Target: "/static/512.html", Proto: "HTTP/1.1", Host: "www.site1.example"}
+	if err := req.Write(conn); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("keep-alive request: resp=%v err=%v", resp, err)
+	}
+
+	// The connection now sits idle in ReadRequest.
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if el := time.Since(start); el >= 2*time.Second {
+		t.Errorf("Close took %v with one idle keep-alive connection; want prompt drain", el)
+	}
+}
+
+// TestChaosCloseInterruptsRetryBackoff: a relay sleeping in its retry backoff
+// when shutdown lands must wake on the abort instead of running the backoff
+// out — before the fix this was a bare time.Sleep that pinned Close for the
+// full backoff.
+func TestChaosCloseInterruptsRetryBackoff(t *testing.T) {
+	chaos := faults.NewChaos()
+	be1, be2 := liveBackend(t, 1), liveBackend(t, 2)
+	srv, err := New(Config{
+		Subscribers: defaultSubs(),
+		Backends:    []Backend{{ID: 1, Addr: be1}, {ID: 2, Addr: be2}},
+		// No accounting polls during the test: the dial failures must come
+		// from the relay path, with both breakers still closed.
+		AcctCycle:    time.Hour,
+		RetryBackoff: 30 * time.Second,
+		DrainTimeout: 200 * time.Millisecond,
+		Dial:         chaos.Dial,
+		Logger:       log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+
+	// Both backends unreachable: the first dial fails, the relay redispatches
+	// and parks in its 30 s backoff.
+	chaos.Crash(be1)
+	chaos.Crash(be2)
+	go func() {
+		c, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		_ = c.SetDeadline(time.Now().Add(10 * time.Second))
+		req := &httpwire.Request{Method: "GET", Target: "/x", Proto: "HTTP/1.0", Host: "www.site1.example"}
+		_ = req.Write(c)
+		_, _ = httpwire.ReadResponse(bufio.NewReader(c))
+	}()
+	waitFor(t, 5*time.Second, func() bool { return srv.Stats().Retried >= 1 })
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if el := time.Since(start); el >= 5*time.Second {
+		t.Errorf("Close took %v; the shutdown abort must interrupt the 30s retry backoff", el)
+	}
+}
+
+// waitFor polls cond until true or the deadline, failing the test on timeout.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -233,3 +233,23 @@ func Percentile(xs []float64, p float64) float64 {
 	frac := pos - float64(lo)
 	return cp[lo]*(1-frac) + cp[hi]*frac
 }
+
+// Samples returns a copy of the recorded samples ordered by offset, for
+// shape analysis (e.g. a recovered node's slow-start weight ramp).
+func (s *Series) Samples() []Sample {
+	out := make([]Sample, len(s.samples))
+	copy(out, s.sorted())
+	return out
+}
+
+// MonotoneNonDecreasing reports whether xs never drops by more than tol
+// between consecutive entries — the shape check the overload drill applies
+// to a recovered node's slow-start ramp.
+func MonotoneNonDecreasing(xs []float64, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1]-tol {
+			return false
+		}
+	}
+	return true
+}

@@ -222,3 +222,38 @@ func TestPercentile(t *testing.T) {
 		t.Errorf("Percentile mutated input: %v", ys)
 	}
 }
+
+func TestSamplesSortedCopy(t *testing.T) {
+	s := &Series{}
+	s.Record(2*time.Second, 1)
+	s.Record(time.Second, 2)
+	got := s.Samples()
+	if len(got) != 2 || got[0].T != time.Second || got[1].T != 2*time.Second {
+		t.Fatalf("Samples() = %v, want sorted by offset", got)
+	}
+	// Mutating the copy must not corrupt the series.
+	got[0].Units = 99
+	if s.Samples()[0].Units != 2 {
+		t.Error("Samples() returned a view into the series, want a copy")
+	}
+}
+
+func TestMonotoneNonDecreasing(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		tol  float64
+		want bool
+	}{
+		{nil, 0, true},
+		{[]float64{1}, 0, true},
+		{[]float64{0, 0.2, 0.4, 1}, 0, true},
+		{[]float64{0, 0.4, 0.2}, 0, false},
+		{[]float64{0, 0.4, 0.35}, 0.1, true}, // dip within tolerance
+		{[]float64{1, 1, 1}, 0, true},
+	}
+	for i, tc := range cases {
+		if got := MonotoneNonDecreasing(tc.xs, tc.tol); got != tc.want {
+			t.Errorf("case %d: MonotoneNonDecreasing(%v, %v) = %v, want %v", i, tc.xs, tc.tol, got, tc.want)
+		}
+	}
+}
