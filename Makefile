@@ -1,5 +1,5 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint
+.PHONY: verify build vet test race chaos lint bench
 
 verify: build vet test race
 
@@ -27,6 +27,17 @@ chaos:
 	go test -race -count=2 -run 'TestChaos|TestDiffReports|TestMaxConns|TestAdmission' \
 		./internal/cluster/ ./internal/dispatch/ ./internal/faults/
 	go test -race -count=2 ./internal/breaker/
+
+# Benchmark trajectory: the root suite (one benchmark per paper table /
+# figure) plus the telemetry overhead benchmarks — histogram record and the
+# live dispatcher's request path with tracing off / every request / 1-in-100.
+# Results land in BENCH_telemetry.json (go test -json stream) so regressions
+# in the hot-path numbers (Record must stay 0 allocs/op, tracing-off serve
+# overhead ≲5%) are diffable across commits.
+bench:
+	go test -run '^$$' -bench . -benchmem -benchtime=1x -json \
+		. ./internal/telemetry/ ./internal/dispatch/ > BENCH_telemetry.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_telemetry.json | cut -d'"' -f4 || true
 
 # Static hygiene gate: vet plus gofmt drift.
 lint:

@@ -28,8 +28,15 @@
 //	  "backendTimeoutMillis": 60000,
 //	  "breakerThreshold": 3,
 //	  "breakerCooldownMillis": 1000,
-//	  "slowStartCycles": 4
+//	  "slowStartCycles": 4,
+//	  "traceSampleEvery": 100,
+//	  "traceBuffer": 256
 //	}
+//
+// Every millisecond/count knob is optional: 0 or absent means the library
+// default applies; negative values are configuration errors (except
+// slowStartCycles, where -1 disables the recovery ramp). With -pprof ADDR
+// the standard net/http/pprof debug server is served on ADDR.
 package main
 
 import (
@@ -37,6 +44,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -72,6 +81,11 @@ type fileConfig struct {
 	// SlowStartCycles is the recovery ramp length in accounting cycles;
 	// -1 disables the ramp (recovered nodes rejoin at full weight).
 	SlowStartCycles int `json:"slowStartCycles"`
+	// Telemetry: every Nth request is lifecycle-traced (0 = tracing off),
+	// with the most recent TraceBuffer completed traces retained for the
+	// /_gage/trace endpoint.
+	TraceSampleEvery int `json:"traceSampleEvery"`
+	TraceBuffer      int `json:"traceBuffer"`
 }
 
 func main() {
@@ -83,8 +97,9 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", ":8080", "address to listen on")
-		config = flag.String("config", "", "path to the cluster JSON config (required)")
+		listen    = flag.String("listen", ":8080", "address to listen on")
+		config    = flag.String("config", "", "path to the cluster JSON config (required)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (disabled when empty)")
 	)
 	flag.Parse()
 	if *config == "" {
@@ -102,6 +117,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *pprofAddr != "" {
+		// The pprof mux is the package-registered DefaultServeMux; it runs
+		// beside (never on) the dispatcher's listener.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gaged: pprof:", err)
+			}
+		}()
+		fmt.Printf("gaged: pprof on %s\n", *pprofAddr)
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -112,6 +137,10 @@ func run() error {
 }
 
 // parseConfig converts the on-disk JSON into a dispatcher configuration.
+// Knobs left at 0 stay zero so the library defaults apply; negative knobs
+// are configuration errors (except slowStartCycles = -1, the documented
+// ramp-off switch) — a typo like "queueTimeoutMillis": -30000 must fail
+// loudly at startup, not silently become an infinite or default timeout.
 func parseConfig(raw []byte) (dispatch.Config, error) {
 	var fc fileConfig
 	if err := json.Unmarshal(raw, &fc); err != nil {
@@ -119,6 +148,12 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	}
 	cfg := dispatch.Config{}
 	for _, s := range fc.Subscribers {
+		if s.ReservationGRPS < 0 {
+			return dispatch.Config{}, fmt.Errorf("subscriber %q: reservationGRPS must not be negative (got %v)", s.ID, s.ReservationGRPS)
+		}
+		if s.QueueLimit < 0 {
+			return dispatch.Config{}, fmt.Errorf("subscriber %q: queueLimit must not be negative (got %d)", s.ID, s.QueueLimit)
+		}
 		cfg.Subscribers = append(cfg.Subscribers, qos.Subscriber{
 			ID:          qos.SubscriberID(s.ID),
 			Hosts:       s.Hosts,
@@ -132,38 +167,51 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 			Addr: b.Addr,
 		})
 	}
-	if fc.AcctCycleMillis > 0 {
-		cfg.AcctCycle = time.Duration(fc.AcctCycleMillis) * time.Millisecond
+	// millis applies one optional millisecond knob: 0 leaves the library
+	// default, positive sets, negative is an error naming the knob.
+	var err error
+	millis := func(name string, v int, dst *time.Duration) {
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			err = fmt.Errorf("%s must not be negative (got %d)", name, v)
+			return
+		}
+		if v > 0 {
+			*dst = time.Duration(v) * time.Millisecond
+		}
 	}
-	if fc.SchedCycleMillis > 0 {
-		cfg.Scheduler.Cycle = time.Duration(fc.SchedCycleMillis) * time.Millisecond
+	count := func(name string, v int, dst *int) {
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			err = fmt.Errorf("%s must not be negative (got %d)", name, v)
+			return
+		}
+		if v > 0 {
+			*dst = v
+		}
 	}
-	if fc.DialTimeoutMillis > 0 {
-		cfg.DialTimeout = time.Duration(fc.DialTimeoutMillis) * time.Millisecond
+	millis("acctCycleMillis", fc.AcctCycleMillis, &cfg.AcctCycle)
+	millis("schedCycleMillis", fc.SchedCycleMillis, &cfg.Scheduler.Cycle)
+	millis("dialTimeoutMillis", fc.DialTimeoutMillis, &cfg.DialTimeout)
+	millis("queueTimeoutMillis", fc.QueueTimeoutMillis, &cfg.QueueTimeout)
+	millis("retryBackoffMillis", fc.RetryBackoffMillis, &cfg.RetryBackoff)
+	millis("drainTimeoutMillis", fc.DrainTimeoutMillis, &cfg.DrainTimeout)
+	millis("clientIdleTimeoutMillis", fc.ClientIdleTimeoutMillis, &cfg.ClientIdleTimeout)
+	millis("backendTimeoutMillis", fc.BackendTimeoutMillis, &cfg.BackendTimeout)
+	millis("breakerCooldownMillis", fc.BreakerCooldownMillis, &cfg.Breaker.Cooldown)
+	count("maxConns", fc.MaxConns, &cfg.MaxConns)
+	count("breakerThreshold", fc.BreakerThreshold, &cfg.Breaker.Threshold)
+	count("traceSampleEvery", fc.TraceSampleEvery, &cfg.TraceSampleEvery)
+	count("traceBuffer", fc.TraceBuffer, &cfg.TraceBuffer)
+	if err != nil {
+		return dispatch.Config{}, err
 	}
-	if fc.QueueTimeoutMillis > 0 {
-		cfg.QueueTimeout = time.Duration(fc.QueueTimeoutMillis) * time.Millisecond
-	}
-	if fc.RetryBackoffMillis > 0 {
-		cfg.RetryBackoff = time.Duration(fc.RetryBackoffMillis) * time.Millisecond
-	}
-	if fc.MaxConns > 0 {
-		cfg.MaxConns = fc.MaxConns
-	}
-	if fc.DrainTimeoutMillis > 0 {
-		cfg.DrainTimeout = time.Duration(fc.DrainTimeoutMillis) * time.Millisecond
-	}
-	if fc.ClientIdleTimeoutMillis > 0 {
-		cfg.ClientIdleTimeout = time.Duration(fc.ClientIdleTimeoutMillis) * time.Millisecond
-	}
-	if fc.BackendTimeoutMillis > 0 {
-		cfg.BackendTimeout = time.Duration(fc.BackendTimeoutMillis) * time.Millisecond
-	}
-	if fc.BreakerThreshold > 0 {
-		cfg.Breaker.Threshold = fc.BreakerThreshold
-	}
-	if fc.BreakerCooldownMillis > 0 {
-		cfg.Breaker.Cooldown = time.Duration(fc.BreakerCooldownMillis) * time.Millisecond
+	if fc.SlowStartCycles < -1 {
+		return dispatch.Config{}, fmt.Errorf("slowStartCycles must be >= -1 (got %d; -1 disables the ramp)", fc.SlowStartCycles)
 	}
 	if fc.SlowStartCycles != 0 {
 		cfg.Breaker.SlowStart = fc.SlowStartCycles

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -115,5 +117,84 @@ func TestParseConfigDefaultsAndErrors(t *testing.T) {
 	}
 	if _, err := parseConfig([]byte(`{not json`)); err == nil {
 		t.Error("malformed JSON must be rejected")
+	}
+}
+
+func TestParseConfigTelemetryKnobs(t *testing.T) {
+	cfg, err := parseConfig([]byte(`{
+	  "subscribers":[{"id":"a"}],
+	  "backends":[{"id":1,"addr":"x"}],
+	  "traceSampleEvery": 100,
+	  "traceBuffer": 512
+	}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.TraceSampleEvery != 100 {
+		t.Errorf("traceSampleEvery = %d, want 100", cfg.TraceSampleEvery)
+	}
+	if cfg.TraceBuffer != 512 {
+		t.Errorf("traceBuffer = %d, want 512", cfg.TraceBuffer)
+	}
+
+	cfg, err = parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}]}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.TraceSampleEvery != 0 || cfg.TraceBuffer != 0 {
+		t.Errorf("unset telemetry knobs must stay zero (tracing off, default buffer): %d %d",
+			cfg.TraceSampleEvery, cfg.TraceBuffer)
+	}
+}
+
+// TestParseConfigRejectsNegativeKnobs: a negative timeout or count is never a
+// sane default request — it's a typo — and the error must name the offending
+// JSON field so the operator can find it.
+func TestParseConfigRejectsNegativeKnobs(t *testing.T) {
+	knobs := []string{
+		"acctCycleMillis",
+		"schedCycleMillis",
+		"dialTimeoutMillis",
+		"queueTimeoutMillis",
+		"retryBackoffMillis",
+		"drainTimeoutMillis",
+		"clientIdleTimeoutMillis",
+		"backendTimeoutMillis",
+		"breakerCooldownMillis",
+		"maxConns",
+		"breakerThreshold",
+		"traceSampleEvery",
+		"traceBuffer",
+	}
+	for _, knob := range knobs {
+		raw := fmt.Sprintf(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],%q:-7}`, knob)
+		_, err := parseConfig([]byte(raw))
+		if err == nil {
+			t.Errorf("%s: negative value accepted, want error", knob)
+			continue
+		}
+		if !strings.Contains(err.Error(), knob) {
+			t.Errorf("%s: error %q does not name the offending field", knob, err)
+		}
+	}
+
+	// slowStartCycles is special: -1 is the documented ramp-off switch
+	// (covered elsewhere), anything below it is a typo.
+	if _, err := parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],"slowStartCycles":-2}`)); err == nil {
+		t.Error("slowStartCycles=-2 accepted, want error")
+	} else if !strings.Contains(err.Error(), "slowStartCycles") {
+		t.Errorf("slowStartCycles error %q does not name the field", err)
+	}
+
+	// Per-subscriber knobs carry the subscriber ID in the error.
+	if _, err := parseConfig([]byte(`{"subscribers":[{"id":"a","reservationGRPS":-5}],"backends":[{"id":1,"addr":"x"}]}`)); err == nil {
+		t.Error("negative reservationGRPS accepted, want error")
+	} else if !strings.Contains(err.Error(), "reservationGRPS") || !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("reservation error %q must name the field and subscriber", err)
+	}
+	if _, err := parseConfig([]byte(`{"subscribers":[{"id":"a","queueLimit":-1}],"backends":[{"id":1,"addr":"x"}]}`)); err == nil {
+		t.Error("negative queueLimit accepted, want error")
+	} else if !strings.Contains(err.Error(), "queueLimit") {
+		t.Errorf("queueLimit error %q must name the field", err)
 	}
 }

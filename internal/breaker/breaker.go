@@ -121,6 +121,8 @@ type Snapshot struct {
 	// counts per source.
 	PollStreak  int
 	RelayStreak int
+	// Opens counts transitions into Open since creation.
+	Opens uint64
 }
 
 // Breaker is one node's health gate. Safe for concurrent use.
@@ -137,6 +139,8 @@ type Breaker struct {
 	// ramp counts completed slow-start Ticks since the breaker last
 	// closed; weight is (ramp+1)/(SlowStart+1).
 	ramp int
+	// opens counts transitions into Open since creation (monitoring).
+	opens uint64
 }
 
 // New builds a closed breaker at full weight.
@@ -182,6 +186,7 @@ func (b *Breaker) Snapshot() Snapshot {
 		Weight:      b.weightLocked(),
 		PollStreak:  b.streak[Poll],
 		RelayStreak: b.streak[Relay],
+		Opens:       b.opens,
 	}
 }
 
@@ -280,6 +285,7 @@ func (b *Breaker) openLocked(now time.Time) {
 	b.state = Open
 	b.openedAt = now
 	b.probing = false
+	b.opens++
 }
 
 // closeLocked moves to Closed in slow start with a clean slate: streaks

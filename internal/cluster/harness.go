@@ -12,6 +12,7 @@ import (
 	"gage/internal/faults"
 	"gage/internal/metrics"
 	"gage/internal/qos"
+	"gage/internal/telemetry"
 	"gage/internal/vclock"
 	"gage/internal/workload"
 )
@@ -160,6 +161,11 @@ type Result struct {
 	// a whole cycle's worth, which is exactly the paper's ">100% at a 2 s
 	// cycle under a 1 s interval" effect.
 	Observed map[qos.SubscriberID]*metrics.Series
+	// LatencyHist holds each subscriber's completion latencies over the
+	// measurement window in the same histogram type the live dispatcher
+	// exposes at /metrics, so simulated and measured quantiles are directly
+	// comparable.
+	LatencyHist map[qos.SubscriberID]*telemetry.Histogram
 	// ServedReqPerSec is the cluster-wide request completion rate.
 	ServedReqPerSec float64
 	// RDNUtilization is the front end's CPU utilization over the window
@@ -418,6 +424,10 @@ func Run(opts Options) (*Result, error) {
 		dropped: make(map[qos.SubscriberID]int),
 	}
 	latencies := make(map[qos.SubscriberID][]float64, dir.Len())
+	latHist := make(map[qos.SubscriberID]*telemetry.Histogram, dir.Len())
+	for _, id := range dir.IDs() {
+		latHist[id] = telemetry.NewHistogram()
+	}
 	inWindow := func(t time.Time) bool { return !t.Before(measureFrom) }
 	units := func(v qos.Vector) float64 {
 		if opts.UnitResource != 0 {
@@ -535,6 +545,7 @@ func Run(opts Options) (*Result, error) {
 						series[req.Subscriber].Record(now.Sub(measureFrom), u)
 						latency := now.Sub(start.Add(req.Arrival))
 						latencies[req.Subscriber] = append(latencies[req.Subscriber], latency.Seconds())
+						latHist[req.Subscriber].Record(latency)
 					}
 				})
 			})
@@ -629,6 +640,7 @@ func Run(opts Options) (*Result, error) {
 	res := &Result{
 		Series:            series,
 		Observed:          observed,
+		LatencyHist:       latHist,
 		Window:            opts.Duration,
 		DispatchedReqs:    cs.dispatched,
 		DeliveredReqs:     cs.delivered,

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gage/internal/qos"
+	"gage/internal/telemetry"
+	"gage/internal/workload"
+)
+
+// TestLatencyHistogramMatchesSamples: the simulator records completion
+// latencies into the same histogram type the live dispatcher exposes at
+// /metrics, and the histogram's quantiles track the raw-sample statistics
+// the Result rows are computed from — so simulated and measured latency
+// distributions are comparable within the histogram's documented error.
+func TestLatencyHistogramMatchesSamples(t *testing.T) {
+	res, err := Run(Options{
+		Subscribers: []qos.Subscriber{
+			{ID: "a", Hosts: []string{"a.example"}, Reservation: 30},
+			{ID: "b", Hosts: []string{"b.example"}, Reservation: 10},
+		},
+		Sources: []workload.Source{
+			mustConstSource("a", "a.example", 30, qos.GenericCost()),
+			mustConstSource("b", "b.example", 10, qos.GenericCost()),
+		},
+		NumRPNs:  2,
+		Warmup:   time.Second,
+		Duration: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, row := range res.Rows {
+		h := res.LatencyHist[row.ID]
+		if h == nil {
+			t.Fatalf("no latency histogram for %q", row.ID)
+		}
+		snap := h.Snapshot()
+		if snap.Count != uint64(row.ServedReqs) {
+			t.Errorf("%s: histogram count = %d, want ServedReqs %d", row.ID, snap.Count, row.ServedReqs)
+		}
+		if snap.Count == 0 {
+			t.Fatalf("%s: no served requests — the comparison is vacuous", row.ID)
+		}
+		// The exact mean must agree with the raw-sample mean (the only
+		// difference is float seconds vs integer nanoseconds).
+		if diff := math.Abs(snap.Mean().Seconds() - row.MeanLatency.Seconds()); diff > 1e-4 {
+			t.Errorf("%s: histogram mean %v vs raw mean %v", row.ID, snap.Mean(), row.MeanLatency)
+		}
+		// The p95 estimate must track the interpolated raw percentile within
+		// the documented relative error plus the discretization between the
+		// two quantile definitions (one order statistic apart).
+		p95 := snap.Quantile(0.95).Seconds()
+		raw := row.P95Latency.Seconds()
+		tol := raw*(2*telemetry.RelativeError) + 0.005
+		if math.Abs(p95-raw) > tol {
+			t.Errorf("%s: histogram p95 %.6fs vs raw p95 %.6fs exceeds tolerance %.6fs",
+				row.ID, p95, raw, tol)
+		}
+		// Extremes are exact.
+		if snap.Min <= 0 || snap.Max < snap.Min {
+			t.Errorf("%s: degenerate extremes min=%v max=%v", row.ID, snap.Min, snap.Max)
+		}
+	}
+}

@@ -184,6 +184,10 @@ type queueState struct {
 	vstart float64
 
 	dropped uint64
+
+	// dispatched counts this subscriber's dispatch decisions since creation
+	// (monitoring; the per-scheduler total lives on Scheduler.dispatched).
+	dispatched uint64
 }
 
 func (q *queueState) qlen() int { return len(q.fifo) - q.head }
@@ -470,6 +474,7 @@ func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 	q.estimated[node.id] = q.estimated[node.id].Add(q.predicted)
 	q.pending[node.id] = append(q.pending[node.id], pendingDispatch{reqID: req.ID, predicted: q.predicted, spare: spare})
 	s.dispatched++
+	q.dispatched++
 	if n := len(s.nodeOrder); n > 0 {
 		s.nodeStart = (s.nodeStart + 1) % n
 	}
@@ -693,6 +698,17 @@ func (s *Scheduler) Dropped(id qos.SubscriberID) uint64 {
 	defer s.mu.Unlock()
 	if q, ok := s.subs[id]; ok {
 		return q.dropped
+	}
+	return 0
+}
+
+// Dispatched returns how many dispatch decisions a subscriber has received
+// since creation, or 0 for unknown subscribers.
+func (s *Scheduler) Dispatched(id qos.SubscriberID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.subs[id]; ok {
+		return q.dispatched
 	}
 	return 0
 }

@@ -30,6 +30,7 @@ import (
 	"gage/internal/core"
 	"gage/internal/httpwire"
 	"gage/internal/qos"
+	"gage/internal/telemetry"
 )
 
 // Backend declares one back-end server to the dispatcher.
@@ -79,6 +80,14 @@ type Config struct {
 	// Breaker tunes the per-backend circuit breakers (defaults apply; see
 	// package breaker).
 	Breaker breaker.Config
+	// TraceSampleEvery samples every Nth request's lifecycle trace
+	// deterministically (request IDs divisible by N). 1 traces everything,
+	// 0 (the default) disables tracing; unsampled requests pay no
+	// allocation. Sampled traces are retained in a ring served at
+	// TracePath.
+	TraceSampleEvery int
+	// TraceBuffer is the completed-trace ring capacity (default 256).
+	TraceBuffer int
 	// Dial opens backend connections; nil means net.DialTimeout. Fault
 	// drills swap in a chaos dialer here to script backend outages without
 	// touching real processes.
@@ -175,6 +184,16 @@ type Server struct {
 	// node slow-failing at DialTimeout accumulates one blocked probe, not
 	// one per accounting cycle. Guarded by acctMu.
 	polling map[core.NodeID]bool
+
+	// tracer samples per-request lifecycle traces (Config.TraceSampleEvery).
+	tracer *telemetry.Tracer
+
+	// reqLat and relayLat are the latency histograms behind MetricsPath:
+	// end-to-end served latency per subscriber, and backend-exchange
+	// latency per node. Both maps are fixed at New; the histograms
+	// themselves are concurrency-safe.
+	reqLat   map[qos.SubscriberID]*telemetry.Histogram
+	relayLat map[core.NodeID]*telemetry.Histogram
 }
 
 // UnhealthyAfter is the default consecutive-failure threshold that trips a
@@ -203,6 +222,12 @@ type pendingConn struct {
 	node chan core.NodeID
 	// state is the pcWaiting/pcDispatched/pcAbandoned handshake word.
 	state atomic.Int32
+	// start is when the request was classified; end-to-end latency for the
+	// per-subscriber histogram measures from here to the response write.
+	start time.Time
+	// trace is the sampled lifecycle trace, nil for unsampled requests
+	// (every Trace method is nil-safe).
+	trace *telemetry.Trace
 }
 
 // New builds a dispatcher.
@@ -262,6 +287,14 @@ func New(cfg Config) (*Server, error) {
 	for id := range addrs {
 		breakers[id] = breaker.New(cfg.Breaker)
 	}
+	reqLat := make(map[qos.SubscriberID]*telemetry.Histogram, dir.Len())
+	for _, id := range dir.IDs() {
+		reqLat[id] = telemetry.NewHistogram()
+	}
+	relayLat := make(map[core.NodeID]*telemetry.Histogram, len(addrs))
+	for id := range addrs {
+		relayLat[id] = telemetry.NewHistogram()
+	}
 	return &Server{
 		cfg:        cfg,
 		dir:        dir,
@@ -277,6 +310,12 @@ func New(cfg Config) (*Server, error) {
 		breakers:   breakers,
 		lastSeen:   make(map[core.NodeID]core.UsageReport, len(addrs)),
 		polling:    make(map[core.NodeID]bool, len(addrs)),
+		tracer: telemetry.NewTracer(telemetry.TracerConfig{
+			SampleEvery: cfg.TraceSampleEvery,
+			Buffer:      cfg.TraceBuffer,
+		}),
+		reqLat:   reqLat,
+		relayLat: relayLat,
 	}, nil
 }
 
@@ -646,32 +685,52 @@ func (s *Server) handle(conn net.Conn) {
 // serveOne processes a single parsed request on the connection; it reports
 // whether the connection is still usable for another request.
 func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
-	if req.Path() == StatsPath {
+	switch req.Path() {
+	case StatsPath:
 		s.serveStats(conn)
 		return true
+	case MetricsPath:
+		s.serveMetrics(conn)
+		return true
+	case TracePath:
+		s.serveTrace(conn)
+		return true
 	}
+	// The request ID doubles as the trace-sampling key, so it is drawn
+	// before classification: every client request — even one that never
+	// reaches the scheduler — is a sampling candidate.
+	id := reqIDs.Add(1)
+	start := time.Now()
+	tr := s.tracer.Sample(id)
 	sub, ok := s.classifier.Classify(req.Host, req.Path())
 	if !ok {
+		tr.Add(telemetry.StageClassify, 0, "")
+		tr.Settle(telemetry.OutcomeUnclassified)
 		s.unclassified.Add(1)
 		s.respondError(conn, 404)
 		return true
 	}
+	tr.SetSubscriber(string(sub))
+	tr.Add(telemetry.StageClassify, 0, string(sub))
 	if !s.admission.admit(sub) {
 		// Admission shed: this subscriber is past its guaranteed in-flight
 		// quota and the only free slots are idle reserved ones. Drop the
 		// connection too — under saturation a persistent connection must
 		// not squat an accept slot while being refused work.
+		tr.Settle(telemetry.OutcomeShed)
 		s.shedReqs.Add(1)
 		s.respondError(conn, 503)
 		return false
 	}
 	defer s.admission.release(sub)
 	pc := &pendingConn{
-		id:   reqIDs.Add(1),
-		conn: conn,
-		req:  req,
-		sub:  sub,
-		node: make(chan core.NodeID, 1),
+		id:    id,
+		conn:  conn,
+		req:   req,
+		sub:   sub,
+		node:  make(chan core.NodeID, 1),
+		start: start,
+		trace: tr,
 	}
 	err := s.sched.Enqueue(core.Request{
 		ID:         pc.id,
@@ -679,17 +738,21 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		Payload:    pc,
 	})
 	if err != nil {
+		tr.Settle(telemetry.OutcomeRejected)
 		s.rejected.Add(1)
 		s.respondError(conn, 503)
 		return true
 	}
+	tr.Add(telemetry.StageQueue, 0, "")
 	timer := time.NewTimer(s.cfg.QueueTimeout)
 	defer timer.Stop()
 	select {
 	case node := <-pc.node:
+		tr.Add(telemetry.StageDispatch, int64(node), "")
 		return s.relay(pc, node)
 	case <-s.stopCh:
 		s.abandon(pc)
+		tr.Settle(telemetry.OutcomeDrainAbort)
 		s.respondError(conn, 503)
 		return false
 	case <-timer.C:
@@ -697,6 +760,7 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		// the request before moving on: once we answer 503 and keep reading
 		// the connection, a late dispatch must never relay onto it.
 		s.abandon(pc)
+		tr.Settle(telemetry.OutcomeQueueTimeout)
 		s.rejected.Add(1)
 		s.respondError(conn, 503)
 		return true
@@ -743,6 +807,9 @@ func wantKeepAlive(req *httpwire.Request) bool {
 // so Close never blocks on a sleeping retry. It reports whether the client
 // connection remains usable.
 func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
+	tr := pc.trace
+	tr.Add(telemetry.StageRelay, int64(node), "")
+	attempt := time.Now()
 	var be net.Conn
 	var err error
 	if s.breakerAllow(node) {
@@ -759,29 +826,37 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		alt, ok := s.sched.Redispatch(pc.sub, pc.id, node)
 		if !ok {
 			// No alternate has room; the charge is already released.
+			tr.Settle(telemetry.OutcomeError)
 			s.errs.Add(1)
 			s.respondError(pc.conn, 502)
 			return true
 		}
 		s.retried.Add(1)
+		tr.Add(telemetry.StageRetry, int64(alt), "dial failed, redispatched")
 		select {
 		case <-time.After(s.cfg.RetryBackoff):
 		case <-s.stopCh:
 			// Shutdown abort: reclaim the alternate's charge and give up.
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
+			tr.Settle(telemetry.OutcomeDrainAbort)
 			s.respondError(pc.conn, 503)
 			return false
 		}
 		if !s.breakerAllow(alt) {
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
+			tr.Settle(telemetry.OutcomeError)
 			s.errs.Add(1)
 			s.respondError(pc.conn, 502)
 			return true
 		}
+		// The relay latency histogram measures the exchange against the
+		// node that actually served; restart the clock for the alternate.
+		attempt = time.Now()
 		be, err = s.cfg.Dial("tcp", s.addrs[alt], s.cfg.DialTimeout)
 		if err != nil {
 			s.noteBreaker(alt, breaker.Relay, false)
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
+			tr.Settle(telemetry.OutcomeError)
 			s.errs.Add(1)
 			s.respondError(pc.conn, 502)
 			return true
@@ -800,6 +875,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	}
 	pc.req.Header[backend.SubscriberHeader] = string(pc.sub)
 	if err := pc.req.Write(be); err != nil {
+		tr.Settle(telemetry.OutcomeError)
 		s.errs.Add(1)
 		s.noteBreaker(node, breaker.Relay, false)
 		s.respondError(pc.conn, 502)
@@ -810,6 +886,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	// periodic report poll.
 	resp, err := httpwire.ReadResponse(bufio.NewReader(be))
 	if err != nil {
+		tr.Settle(telemetry.OutcomeError)
 		s.errs.Add(1)
 		s.noteBreaker(node, breaker.Relay, false)
 		s.respondError(pc.conn, 502)
@@ -819,11 +896,19 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	// accepts TCP but fails every request must still trip its breaker, so
 	// success is noted here rather than at dial time.
 	s.noteBreaker(node, breaker.Relay, true)
+	if h := s.relayLat[node]; h != nil {
+		h.Record(time.Since(attempt))
+	}
 	if err := resp.Write(pc.conn); err != nil {
+		tr.Settle(telemetry.OutcomeClientGone)
 		s.errs.Add(1)
 		return false
 	}
 	s.served.Add(1)
+	if h := s.reqLat[pc.sub]; h != nil {
+		h.Record(time.Since(pc.start))
+	}
+	tr.Settle(telemetry.OutcomeServed)
 	return true
 }
 

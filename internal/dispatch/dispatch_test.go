@@ -535,7 +535,7 @@ func startServer(t *testing.T, cfg Config) (string, *Server) {
 }
 
 // liveBackend starts one real backend and returns its address.
-func liveBackend(t *testing.T, id core.NodeID) string {
+func liveBackend(t testing.TB, id core.NodeID) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

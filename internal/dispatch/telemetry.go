@@ -1,0 +1,203 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+
+	"gage/internal/core"
+	"gage/internal/httpwire"
+	"gage/internal/qos"
+	"gage/internal/telemetry"
+)
+
+// MetricsPath serves the dispatcher's state in Prometheus text format: the
+// Stats counters, per-subscriber scheduler and admission state, per-node
+// breaker state, and the latency summaries.
+const MetricsPath = "/metrics"
+
+// TracePath dumps the tracer's retained request-lifecycle traces as JSON.
+const TracePath = "/_gage/trace"
+
+// latencyQuantiles are the summary quantiles exposed at MetricsPath.
+var latencyQuantiles = []float64{0.5, 0.9, 0.99}
+
+// buildExposition renders one scrape. Families and series are emitted in a
+// fixed order (counters first, then per-subscriber, per-node, latency
+// summaries; subscribers and nodes sorted by ID) so successive scrapes are
+// comparable line by line.
+func (s *Server) buildExposition() ([]byte, error) {
+	st := s.Stats()
+	e := telemetry.NewExposition()
+
+	counters := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"gage_connections_accepted_total", "Client connections accepted.", st.Accepted},
+		{"gage_requests_served_total", "Requests relayed successfully.", st.Served},
+		{"gage_requests_rejected_total", "Requests refused with 503 (queue overflow or queue timeout).", st.Rejected},
+		{"gage_requests_unclassified_total", "Requests with no matching subscriber (404).", st.Unclassified},
+		{"gage_relay_errors_total", "Backend dial/relay failures (502).", st.Errors},
+		{"gage_relays_retried_total", "Relays re-dispatched to an alternate backend after a dial failure.", st.Retried},
+		{"gage_requests_abandoned_total", "Requests withdrawn after enqueue with their scheduler charge reclaimed.", st.Abandoned},
+		{"gage_connections_shed_total", "Connections refused with a fast 503 past MaxConns.", st.ShedConns},
+		{"gage_requests_shed_total", "Requests refused by per-subscriber admission control.", st.Shed},
+	}
+	seen, sampled, settled := s.tracer.Counts()
+	counters = append(counters, []struct {
+		name, help string
+		value      uint64
+	}{
+		{"gage_traces_seen_total", "Requests considered for trace sampling.", seen},
+		{"gage_traces_sampled_total", "Requests selected for lifecycle tracing.", sampled},
+		{"gage_traces_settled_total", "Sampled traces that reached a terminal outcome.", settled},
+	}...)
+	for _, c := range counters {
+		e.Family(c.name, "counter", c.help)
+		e.Add(c.name, nil, float64(c.value))
+	}
+
+	e.Family("gage_trace_sample_period", "gauge", "Every Nth request is traced; 0 means tracing is off.")
+	e.Add("gage_trace_sample_period", nil, float64(s.tracer.SampleEvery()))
+
+	subIDs := s.dir.IDs() // already sorted
+	subLabel := func(id string) []telemetry.Label {
+		return []telemetry.Label{{Name: "subscriber", Value: id}}
+	}
+	e.Family("gage_subscriber_queue_length", "gauge", "Queued (undispatched) requests per subscriber.")
+	for _, id := range subIDs {
+		e.Add("gage_subscriber_queue_length", subLabel(string(id)), float64(s.sched.QueueLen(id)))
+	}
+	e.Family("gage_subscriber_queue_dropped_total", "counter", "Requests dropped at enqueue due to queue overflow.")
+	for _, id := range subIDs {
+		e.Add("gage_subscriber_queue_dropped_total", subLabel(string(id)), float64(s.sched.Dropped(id)))
+	}
+	e.Family("gage_subscriber_dispatched_total", "counter", "Scheduler dispatch decisions per subscriber.")
+	for _, id := range subIDs {
+		e.Add("gage_subscriber_dispatched_total", subLabel(string(id)), float64(s.sched.Dispatched(id)))
+	}
+	e.Family("gage_subscriber_inflight", "gauge", "Admitted in-flight requests per subscriber.")
+	for _, id := range subIDs {
+		_, inflight, _ := s.admission.subSnapshot(id)
+		e.Add("gage_subscriber_inflight", subLabel(string(id)), float64(inflight))
+	}
+	e.Family("gage_subscriber_admission_quota", "gauge", "Guaranteed in-flight slots per subscriber (0 when admission control is off).")
+	for _, id := range subIDs {
+		quota, _, _ := s.admission.subSnapshot(id)
+		e.Add("gage_subscriber_admission_quota", subLabel(string(id)), float64(quota))
+	}
+	e.Family("gage_subscriber_shed_total", "counter", "Admission-control refusals per subscriber.")
+	for _, id := range subIDs {
+		_, _, shed := s.admission.subSnapshot(id)
+		e.Add("gage_subscriber_shed_total", subLabel(string(id)), float64(shed))
+	}
+
+	nodeIDs := s.sched.Nodes()
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	nodeLabel := func(id core.NodeID) []telemetry.Label {
+		return []telemetry.Label{{Name: "node", Value: fmt.Sprintf("%d", id)}}
+	}
+	e.Family("gage_node_weight", "gauge", "Fraction of the node's capacity the scheduler may use (breaker slow-start ramp).")
+	for _, id := range nodeIDs {
+		if snap, ok := s.BreakerSnapshot(id); ok {
+			e.Add("gage_node_weight", nodeLabel(id), snap.Weight)
+		}
+	}
+	e.Family("gage_node_breaker_state", "gauge", "Breaker state per node: 0 closed, 1 open, 2 half-open.")
+	for _, id := range nodeIDs {
+		if snap, ok := s.BreakerSnapshot(id); ok {
+			e.Add("gage_node_breaker_state", nodeLabel(id), float64(snap.State))
+		}
+	}
+	e.Family("gage_node_breaker_opens_total", "counter", "Breaker transitions into Open per node.")
+	for _, id := range nodeIDs {
+		if snap, ok := s.BreakerSnapshot(id); ok {
+			e.Add("gage_node_breaker_opens_total", nodeLabel(id), float64(snap.Opens))
+		}
+	}
+
+	e.Family("gage_request_latency_seconds", "summary", "End-to-end latency of served requests, classify to response write.")
+	for _, id := range subIDs {
+		if h := s.reqLat[id]; h != nil {
+			e.Summary("gage_request_latency_seconds", subLabel(string(id)), h.Snapshot(), latencyQuantiles)
+		}
+	}
+	e.Family("gage_relay_latency_seconds", "summary", "Backend exchange latency of successful relays, dial to response read.")
+	for _, id := range nodeIDs {
+		if h := s.relayLat[id]; h != nil {
+			e.Summary("gage_relay_latency_seconds", nodeLabel(id), h.Snapshot(), latencyQuantiles)
+		}
+	}
+	return e.Bytes()
+}
+
+// serveMetrics answers the Prometheus exposition endpoint.
+func (s *Server) serveMetrics(conn net.Conn) {
+	body, err := s.buildExposition()
+	if err != nil {
+		// A build error is a bug (malformed family layout), not a client
+		// problem; surface it loudly.
+		s.logger.Printf("dispatch: metrics exposition: %v", err)
+		s.respondError(conn, 500)
+		return
+	}
+	resp := &httpwire.Response{
+		StatusCode: 200,
+		Header:     map[string]string{"Content-Type": telemetry.ContentType},
+		Body:       body,
+	}
+	// The scraper may be gone; nothing else to do.
+	_ = resp.Write(conn)
+}
+
+// traceDumpJSON is the wire form of the trace endpoint.
+type traceDumpJSON struct {
+	// SampleEvery is the tracing period (0 when tracing is off).
+	SampleEvery uint64 `json:"sampleEvery"`
+	// Seen, Sampled and Settled are the tracer's lifetime counts.
+	Seen    uint64 `json:"seen"`
+	Sampled uint64 `json:"sampled"`
+	Settled uint64 `json:"settled"`
+	// Traces is the ring of retained completed traces, oldest first.
+	Traces []telemetry.Trace `json:"traces"`
+}
+
+// serveTrace answers the trace-dump endpoint.
+func (s *Server) serveTrace(conn net.Conn) {
+	seen, sampled, settled := s.tracer.Counts()
+	out := traceDumpJSON{
+		SampleEvery: s.tracer.SampleEvery(),
+		Seen:        seen,
+		Sampled:     sampled,
+		Settled:     settled,
+		Traces:      s.tracer.Traces(),
+	}
+	if out.Traces == nil {
+		out.Traces = []telemetry.Trace{}
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		s.respondError(conn, 500)
+		return
+	}
+	resp := &httpwire.Response{
+		StatusCode: 200,
+		Header:     map[string]string{"Content-Type": "application/json"},
+		Body:       body,
+	}
+	// The poller may be gone; nothing else to do.
+	_ = resp.Write(conn)
+}
+
+// Tracer exposes the request tracer (tests, embedding binaries).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// RequestLatency returns a subscriber's end-to-end served-latency
+// histogram, or nil for unknown subscribers.
+func (s *Server) RequestLatency(id qos.SubscriberID) *telemetry.Histogram { return s.reqLat[id] }
+
+// RelayLatency returns a node's backend-exchange latency histogram, or nil
+// for unknown nodes.
+func (s *Server) RelayLatency(id core.NodeID) *telemetry.Histogram { return s.relayLat[id] }

@@ -1,0 +1,252 @@
+// Package telemetry is the observability layer shared by the live
+// dispatcher and the cluster simulator: latency histograms with bounded
+// quantile error, per-request lifecycle traces with deterministic sampling,
+// and Prometheus text exposition. The paper's feedback loop is only as
+// trustworthy as the monitoring that feeds it — this package makes the
+// guarantees proved in the simulator (deviation bands, shed ordering,
+// slow-start ramps) observable on the real serving path, with both runs
+// recording into the same histogram type so their quantiles are comparable.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram layout: a short linear region of 1 ns buckets for values below
+// 2^subBits, then log-bucketed — each power-of-two range [2^k, 2^(k+1)) is
+// split into 2^subBits equal sub-buckets. Quantile estimates return the
+// midpoint of the target bucket, so the estimate is within RelativeError of
+// the true sample in the log region and within ±0.5 ns in the linear region.
+const (
+	// subBits is the number of sub-bucket bits per power-of-two range.
+	subBits = 4
+	// subCount is the sub-buckets per power-of-two range (and the size of
+	// the exact linear region).
+	subCount = 1 << subBits
+	// maxPow caps the histogram range: values at or above 2^maxPow ns
+	// (≈ 18.3 minutes) clamp into the last bucket.
+	maxPow = 40
+	// numBuckets covers the linear region plus (maxPow−subBits) split
+	// power-of-two ranges.
+	numBuckets = (maxPow-subBits)*subCount + subCount
+	// numStripes is the lock-stripe count; recording locks one stripe,
+	// snapshots fold all of them.
+	numStripes = 8
+)
+
+// RelativeError is the documented quantile error bound: for any recorded
+// value v ≥ subCount ns, the bucket midpoint differs from v by at most
+// v × RelativeError (bucket width is 2^(k−subBits) over [2^k, 2^(k+1)), so
+// the midpoint is within half a width, 2^(k−subBits−1) ≤ v/2^(subBits+1)).
+// Values below subCount ns land in exact 1 ns buckets (±0.5 ns).
+const RelativeError = 1.0 / (1 << (subBits + 1))
+
+// histStripe is one lock stripe's share of the counts. Stripes exist so
+// concurrent recorders contend on different mutexes; any single snapshot or
+// merge folds them back together.
+type histStripe struct {
+	mu       sync.Mutex
+	counts   [numBuckets]uint64
+	count    uint64
+	sum      int64
+	min, max int64
+}
+
+// Histogram is a mergeable, lock-striped, log-bucketed latency histogram.
+// The zero value is NOT ready to use; call NewHistogram.
+type Histogram struct {
+	stripes [numStripes]histStripe
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	for i := range h.stripes {
+		h.stripes[i].min = math.MaxInt64
+	}
+	return h
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	uv := uint64(v)
+	if uv < subCount {
+		return int(uv)
+	}
+	k := bits.Len64(uv) - 1
+	if k >= maxPow {
+		return numBuckets - 1
+	}
+	sub := (uv - 1<<uint(k)) >> uint(k-subBits)
+	return (k-subBits+1)<<subBits + int(sub)
+}
+
+// bucketBounds returns bucket i's half-open nanosecond range [lo, hi).
+func bucketBounds(i int) (lo, hi int64) {
+	if i < subCount {
+		return int64(i), int64(i) + 1
+	}
+	k := subBits + i>>subBits - 1
+	sub := int64(i & (subCount - 1))
+	w := int64(1) << uint(k-subBits)
+	lo = int64(1)<<uint(k) + sub*w
+	return lo, lo + w
+}
+
+// splitmix64 is the stripe selector: a cheap avalanche mix of the recorded
+// value, so concurrent recorders of different latencies spread across
+// stripes without any shared state of their own.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Record adds one duration sample. Negative durations clamp to zero. It
+// never allocates.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	st := &h.stripes[splitmix64(uint64(v))&(numStripes-1)]
+	st.mu.Lock()
+	st.counts[bucketIndex(v)]++
+	st.count++
+	st.sum += v
+	if v < st.min {
+		st.min = v
+	}
+	if v > st.max {
+		st.max = v
+	}
+	st.mu.Unlock()
+}
+
+// Merge folds o's counts into h. Both histograms remain usable; o is not
+// modified. Merging is commutative and associative up to Snapshot equality.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	s := o.Snapshot()
+	st := &h.stripes[0]
+	st.mu.Lock()
+	for i, c := range s.Counts {
+		st.counts[i] += c
+	}
+	st.count += s.Count
+	st.sum += s.Sum
+	if s.Count > 0 {
+		if int64(s.Min) < st.min {
+			st.min = int64(s.Min)
+		}
+		if int64(s.Max) > st.max {
+			st.max = int64(s.Max)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// Snapshot is a point-in-time fold of a histogram: cumulative totals plus
+// the per-bucket counts, enough to answer quantiles offline and to feed the
+// exposition endpoint. Stripes are folded one at a time, so a snapshot taken
+// during concurrent recording is a valid histogram whose totals are bounded
+// by the true before/after counts — every total is monotone across
+// successive snapshots.
+type Snapshot struct {
+	// Count is the number of recorded samples.
+	Count uint64
+	// Sum is the total of all samples.
+	Sum int64
+	// Min and Max are the exact extreme samples (0 when Count is 0).
+	Min, Max time.Duration
+	// Counts holds the per-bucket sample counts.
+	Counts [numBuckets]uint64
+}
+
+// Snapshot folds every stripe into one view.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{}
+	min := int64(math.MaxInt64)
+	var max int64
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for b, c := range st.counts {
+			s.Counts[b] += c
+		}
+		s.Count += st.count
+		s.Sum += st.sum
+		if st.count > 0 {
+			if st.min < min {
+				min = st.min
+			}
+			if st.max > max {
+				max = st.max
+			}
+		}
+		st.mu.Unlock()
+	}
+	if s.Count > 0 {
+		s.Min = time.Duration(min)
+		s.Max = time.Duration(max)
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0..1) by nearest rank: the returned
+// value is the midpoint of the bucket holding the sample of rank ⌈q·Count⌉,
+// clamped into [Min, Max] — so it differs from that sample by at most
+// RelativeError of its value (±0.5 ns in the sub-16 ns linear region).
+// Quantile(0) is the exact minimum, Quantile(1) the exact maximum; an empty
+// snapshot answers 0.
+func (s *Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			est := time.Duration(lo + (hi-lo)/2)
+			if est < s.Min {
+				est = s.Min
+			}
+			if est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the exact average sample, or 0 when empty.
+func (s *Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// Quantile is shorthand for Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}

@@ -1,0 +1,321 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"gage/internal/metrics"
+)
+
+// TestBucketBoundaries pins the bucket layout: every value lands in a
+// bucket whose bounds contain it, indices are monotone in the value, and
+// the documented edge cases (zero, linear/log seam, powers of two, the
+// clamp at 2^maxPow) map where the layout says they must.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{subCount - 1, subCount - 1},             // last exact bucket
+		{subCount, subCount},                     // first log bucket [16,17)
+		{subCount + 1, subCount + 1},             // still width 1 at k=4
+		{31, 31},                                 // top of k=4 range
+		{32, 32},                                 // k=5 starts, width 2
+		{33, 32},                                 // same bucket as 32
+		{1 << 20, (20 - subBits + 1) * subCount}, // power of two → first sub-bucket
+		{1<<20 + 1<<16 - 1, (20 - subBits + 1) * subCount},
+		{1<<20 + 1<<16, (20-subBits+1)*subCount + 1},
+		{1<<maxPow - 1, numBuckets - 1}, // top of range
+		{1 << maxPow, numBuckets - 1},   // clamp
+		{math.MaxInt64, numBuckets - 1}, // clamp
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	// Bounds invert the index and contain the value (below the clamp).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := rng.Int63n(1 << maxPow)
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d in bucket %d with bounds [%d, %d)", v, idx, lo, hi)
+		}
+	}
+
+	// Buckets partition [0, 2^maxPow): each bucket's hi is the next one's lo.
+	for i := 0; i < numBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", i, hi, i+1, lo)
+		}
+	}
+	if lo, _ := bucketBounds(0); lo != 0 {
+		t.Errorf("first bucket starts at %d, want 0", lo)
+	}
+	if _, hi := bucketBounds(numBuckets - 1); hi != 1<<maxPow {
+		t.Errorf("last bucket ends at %d, want 2^%d", hi, maxPow)
+	}
+}
+
+func TestRecordNegativeAndExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5 * time.Second) // clamps to 0
+	h.Record(0)
+	h.Record(time.Duration(math.MaxInt64)) // clamps into the last bucket
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %v, want 0", s.Min)
+	}
+	if s.Max != time.Duration(math.MaxInt64) {
+		t.Errorf("max = %v, want MaxInt64 (min/max stay exact past the clamp)", s.Max)
+	}
+}
+
+// TestMergeAssociativity: merging is associative and commutative up to
+// Snapshot equality — (a⊕b)⊕c equals a⊕(b⊕c) regardless of which stripes
+// absorbed which samples.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func() *Histogram {
+		h := NewHistogram()
+		for i := 0; i < 500; i++ {
+			h.Record(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		return h
+	}
+	a1, b1, c1 := build(), build(), build()
+	// Rebuild identical histograms for the second association order.
+	rng = rand.New(rand.NewSource(7))
+	a2, b2, c2 := build(), build(), build()
+
+	left := NewHistogram() // (a ⊕ b) ⊕ c
+	left.Merge(a1)
+	left.Merge(b1)
+	left.Merge(c1)
+
+	bc := NewHistogram() // a ⊕ (b ⊕ c)
+	bc.Merge(b2)
+	bc.Merge(c2)
+	right := NewHistogram()
+	right.Merge(a2)
+	right.Merge(bc)
+
+	ls, rs := left.Snapshot(), right.Snapshot()
+	if ls != rs {
+		t.Fatalf("association order changed the snapshot:\nleft  count=%d sum=%d min=%v max=%v\nright count=%d sum=%d min=%v max=%v",
+			ls.Count, ls.Sum, ls.Min, ls.Max, rs.Count, rs.Sum, rs.Min, rs.Max)
+	}
+	if ls.Count != 1500 {
+		t.Errorf("merged count = %d, want 1500", ls.Count)
+	}
+	// Merging must not disturb the sources.
+	if a1.Snapshot().Count != 500 {
+		t.Errorf("merge mutated its source")
+	}
+}
+
+// TestQuantilePropertyBound is the statistical contract: for arbitrary
+// sample sets, every estimated quantile stays within the documented
+// RelativeError of the true nearest-rank sample, and within the documented
+// bound of metrics.Percentile on the raw samples once the discretization
+// between the two quantile definitions (at most one order statistic apart)
+// is accounted for.
+func TestQuantilePropertyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+	distributions := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"log-uniform", func() int64 { return int64(math.Exp(rng.Float64()*20) + 1) }},
+		{"uniform", func() int64 { return rng.Int63n(int64(time.Second)) }},
+		{"bimodal", func() int64 {
+			if rng.Intn(2) == 0 {
+				return int64(time.Millisecond) + rng.Int63n(int64(time.Millisecond))
+			}
+			return int64(time.Second) + rng.Int63n(int64(time.Second))
+		}},
+		{"tiny", func() int64 { return rng.Int63n(subCount) }}, // exact linear region
+	}
+	for _, dist := range distributions {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(2000)
+			h := NewHistogram()
+			raw := make([]float64, n)
+			sorted := make([]int64, n)
+			for i := 0; i < n; i++ {
+				v := dist.gen()
+				h.Record(time.Duration(v))
+				raw[i] = float64(v)
+				sorted[i] = v
+			}
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			snap := h.Snapshot()
+			for _, q := range quantiles {
+				est := float64(snap.Quantile(q))
+				// Nearest-rank truth: the sample of rank ⌈q·n⌉.
+				rank := int(math.Ceil(q * float64(n)))
+				if rank < 1 {
+					rank = 1
+				}
+				truth := float64(sorted[rank-1])
+				bound := truth*RelativeError + 1 // +1 ns for the linear region
+				if math.Abs(est-truth) > bound {
+					t.Fatalf("%s n=%d q=%v: estimate %v vs nearest-rank %v exceeds bound %v",
+						dist.name, n, q, est, truth, bound)
+				}
+				// metrics.Percentile interpolates between the order
+				// statistics bracketing q·(n−1); the histogram estimate must
+				// stay within RelativeError of that bracket.
+				p := metrics.Percentile(raw, q*100)
+				loIdx := int(math.Floor(q * float64(n-1)))
+				hiIdx := int(math.Ceil(q * float64(n-1)))
+				if rank-1 < loIdx {
+					loIdx = rank - 1
+				}
+				if rank-1 > hiIdx {
+					hiIdx = rank - 1
+				}
+				bracketLo := float64(sorted[loIdx])*(1-RelativeError) - 1
+				bracketHi := float64(sorted[hiIdx])*(1+RelativeError) + 1
+				if est < bracketLo || est > bracketHi {
+					t.Fatalf("%s n=%d q=%v: estimate %v outside bracket [%v, %v] around Percentile %v",
+						dist.name, n, q, est, bracketLo, bracketHi, p)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	empty := h.Snapshot()
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+	h.Record(3 * time.Millisecond)
+	h.Record(5 * time.Millisecond)
+	h.Record(40 * time.Millisecond)
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 3*time.Millisecond {
+		t.Errorf("q0 = %v, want exact min", got)
+	}
+	if got := s.Quantile(1); got != 40*time.Millisecond {
+		t.Errorf("q1 = %v, want exact max", got)
+	}
+	mean := s.Mean()
+	if mean != 16*time.Millisecond {
+		t.Errorf("mean = %v, want 16ms", mean)
+	}
+}
+
+// TestRecordNoAllocs is the hot-path gate: recording must never allocate,
+// with or without concurrent snapshots.
+func TestRecordNoAllocs(t *testing.T) {
+	h := NewHistogram()
+	var d time.Duration
+	n := testing.AllocsPerRun(1000, func() {
+		h.Record(d)
+		d += 37 * time.Microsecond
+	})
+	if n != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", n)
+	}
+}
+
+// TestTracerOffNoAllocs: with sampling disabled (and for unsampled
+// requests), the whole trace call surface is allocation-free.
+func TestTracerOffNoAllocs(t *testing.T) {
+	off := NewTracer(TracerConfig{})
+	var id uint64
+	n := testing.AllocsPerRun(1000, func() {
+		id++
+		tr := off.Sample(id)
+		tr.SetSubscriber("s")
+		tr.Add(StageClassify, 0, "s")
+		tr.Add(StageQueue, 0, "")
+		tr.Settle(OutcomeServed)
+	})
+	if n != 0 {
+		t.Fatalf("disabled tracer allocates %v per op, want 0", n)
+	}
+
+	sparse := NewTracer(TracerConfig{SampleEvery: 1 << 30})
+	id = 0
+	n = testing.AllocsPerRun(1000, func() {
+		id++
+		tr := sparse.Sample(id)
+		tr.Add(StageClassify, 0, "s")
+		tr.Settle(OutcomeServed)
+	})
+	if n != 0 {
+		t.Fatalf("unsampled requests allocate %v per op, want 0", n)
+	}
+}
+
+// BenchmarkHistogramRecord measures the telemetry hot path: one histogram
+// record. Compare ns/op against the dispatcher's per-request work (network
+// round trips, ≥ tens of microseconds) for the ≤5% overhead claim.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var d time.Duration
+		for pb.Next() {
+			h.Record(d)
+			d += 13 * time.Microsecond
+		}
+	})
+}
+
+// BenchmarkTracerUnsampled measures the per-request tracing cost when the
+// request is not sampled — the common case on the hot path.
+func BenchmarkTracerUnsampled(b *testing.B) {
+	tr := NewTracer(TracerConfig{SampleEvery: 1 << 30})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := tr.Sample(uint64(i)*2 + 1)
+		a.Add(StageClassify, 0, "")
+		a.Add(StageQueue, 0, "")
+		a.Settle(OutcomeServed)
+	}
+}
+
+// BenchmarkTracerSampled measures a fully traced request lifecycle.
+func BenchmarkTracerSampled(b *testing.B) {
+	tr := NewTracer(TracerConfig{SampleEvery: 1, Buffer: 1024})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := tr.Sample(uint64(i))
+		a.SetSubscriber("site1")
+		a.Add(StageClassify, 0, "site1")
+		a.Add(StageQueue, 0, "")
+		a.Add(StageDispatch, 1, "")
+		a.Add(StageRelay, 1, "")
+		a.Settle(OutcomeServed)
+	}
+}

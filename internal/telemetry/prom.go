@@ -1,0 +1,439 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), built strictly enough
+// that the lint in this file — and any real Prometheus scraper — accepts
+// every byte: one HELP+TYPE block per family, samples grouped under their
+// family, no duplicate series, counters named *_total.
+
+// ContentType is the HTTP Content-Type for the exposition format.
+const ContentType = "text/plain; version=0.0.4"
+
+// Label is one name="value" pair on a series.
+type Label struct {
+	Name, Value string
+}
+
+// Exposition accumulates one scrape's worth of families and samples.
+type Exposition struct {
+	buf    bytes.Buffer
+	opened map[string]string // family → type
+	closed map[string]bool   // families whose block has ended
+	series map[string]bool   // full series keys emitted
+	cur    string            // family currently open
+	err    error
+}
+
+// NewExposition returns an empty builder.
+func NewExposition() *Exposition {
+	return &Exposition{
+		opened: make(map[string]string),
+		closed: make(map[string]bool),
+		series: make(map[string]bool),
+	}
+}
+
+// Family opens a new metric family, emitting its HELP and TYPE lines. All
+// of the family's samples must be added before the next Family call.
+func (e *Exposition) Family(name, typ, help string) {
+	if e.err != nil {
+		return
+	}
+	if !validMetricName(name) {
+		e.err = fmt.Errorf("telemetry: invalid metric name %q", name)
+		return
+	}
+	if _, dup := e.opened[name]; dup {
+		e.err = fmt.Errorf("telemetry: family %q reopened", name)
+		return
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		e.err = fmt.Errorf("telemetry: counter family %q must end in _total", name)
+		return
+	}
+	if e.cur != "" {
+		e.closed[e.cur] = true
+	}
+	e.opened[name] = typ
+	e.cur = name
+	fmt.Fprintf(&e.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&e.buf, "# TYPE %s %s\n", name, typ)
+}
+
+// Add emits one sample of the open family. The sample name must be the
+// family name, or the family name suffixed _sum/_count for summaries.
+func (e *Exposition) Add(name string, labels []Label, value float64) {
+	if e.err != nil {
+		return
+	}
+	if e.cur == "" || baseFamily(name, e.opened) != e.cur {
+		e.err = fmt.Errorf("telemetry: sample %q outside its family block (open: %q)", name, e.cur)
+		return
+	}
+	if e.opened[e.cur] == "counter" && (value < 0 || math.IsNaN(value)) {
+		e.err = fmt.Errorf("telemetry: counter %q has invalid value %v", name, value)
+		return
+	}
+	key := seriesKey(name, labels)
+	if e.series[key] {
+		e.err = fmt.Errorf("telemetry: duplicate series %s", key)
+		return
+	}
+	e.series[key] = true
+	e.buf.WriteString(key)
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatValue(value))
+	e.buf.WriteByte('\n')
+}
+
+// Summary emits a full summary family — quantile samples plus _sum and
+// _count — from a histogram snapshot, with durations scaled to seconds.
+func (e *Exposition) Summary(name string, labels []Label, s Snapshot, quantiles []float64) {
+	for _, q := range quantiles {
+		ql := append(append([]Label(nil), labels...), Label{"quantile", trimFloat(q)})
+		e.Add(name, ql, s.Quantile(q).Seconds())
+	}
+	e.Add(name+"_sum", labels, float64(s.Sum)/1e9)
+	e.Add(name+"_count", labels, float64(s.Count))
+}
+
+// Bytes finishes the exposition and returns the text, or the first error
+// any call recorded.
+func (e *Exposition) Bytes() ([]byte, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.buf.Bytes(), nil
+}
+
+// seriesKey renders name{label="value",...} with labels in given order.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseFamily strips the summary/histogram sample suffixes so _sum/_count
+// samples resolve to their family.
+func baseFamily(name string, families map[string]string) string {
+	if _, ok := families[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t, ok := families[base]; ok && (t == "summary" || t == "histogram") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// trimFloat renders a quantile label value without exponent noise.
+func trimFloat(q float64) string {
+	return strconv.FormatFloat(q, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// Series is one parsed sample line.
+type Series struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the series identity with labels sorted, for comparisons.
+func (s Series) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	names := make([]string, 0, len(s.Labels))
+	for n := range s.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	labels := make([]Label, len(names))
+	for i, n := range names {
+		labels[i] = Label{n, s.Labels[n]}
+	}
+	return seriesKey(s.Name, labels)
+}
+
+// Lint checks that b is well-formed Prometheus text by this package's
+// strict rules: every sample belongs to a family announced with HELP and
+// TYPE lines immediately above its block, families are contiguous (never
+// reopened), series are unique, label and metric names are legal, counter
+// families end in _total and carry finite non-negative values. It returns
+// the first violation.
+func Lint(b []byte) error {
+	_, err := Parse(b)
+	return err
+}
+
+// Parse lints b and returns every sample keyed by its sorted-label series
+// identity — the form the monotone-counter and stats-consistency tests
+// compare across scrapes.
+func Parse(b []byte) (map[string]Series, error) {
+	type family struct {
+		typ      string
+		help     bool
+		closed   bool
+		anything bool
+	}
+	families := make(map[string]*family)
+	out := make(map[string]Series)
+	var cur string
+	lines := strings.Split(string(b), "\n")
+	for no, line := range lines {
+		ln := no + 1
+		if line == "" {
+			if no != len(lines)-1 {
+				return nil, fmt.Errorf("line %d: blank line inside exposition", ln)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line %q", ln, line)
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			if f.help {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", ln, name)
+			}
+			f.help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !validMetricName(parts[0]) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", ln, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q for %q", ln, typ, name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			if f.typ != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", ln, name)
+			}
+			if !f.help {
+				return nil, fmt.Errorf("line %d: TYPE for %q precedes its HELP", ln, name)
+			}
+			f.typ = typ
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				return nil, fmt.Errorf("line %d: counter %q must end in _total", ln, name)
+			}
+			if cur != "" && cur != name {
+				families[cur].closed = true
+			}
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment %q", ln, line)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+		fam := s.Name
+		f := families[fam]
+		if f == nil || f.typ == "" {
+			// Try the summary/histogram suffixes.
+			fams := make(map[string]string, len(families))
+			for n, ff := range families {
+				fams[n] = ff.typ
+			}
+			fam = baseFamily(s.Name, fams)
+			f = families[fam]
+		}
+		if f == nil || f.typ == "" || !f.help {
+			return nil, fmt.Errorf("line %d: series %q has no HELP/TYPE", ln, s.Name)
+		}
+		if fam != cur {
+			return nil, fmt.Errorf("line %d: series %q outside its family block (open: %q)", ln, s.Name, cur)
+		}
+		if f.closed {
+			return nil, fmt.Errorf("line %d: family %q reopened", ln, fam)
+		}
+		if f.typ == "counter" && (s.Value < 0 || math.IsNaN(s.Value)) {
+			return nil, fmt.Errorf("line %d: counter %q has invalid value %v", ln, s.Name, s.Value)
+		}
+		key := s.Key()
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", ln, key)
+		}
+		f.anything = true
+		out[key] = s
+	}
+	for name, f := range families {
+		if !f.anything {
+			return nil, fmt.Errorf("family %q has HELP/TYPE but no samples", name)
+		}
+	}
+	return out, nil
+}
+
+// parseSample parses `name{l1="v1",...} value` (no timestamp support — this
+// exposition never emits them).
+func parseSample(line string) (Series, error) {
+	s := Series{Labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	hasLabels := rest[i] == '{'
+	rest = rest[i+1:]
+	if hasLabels {
+		for {
+			eq := strings.Index(rest, "=\"")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			name := rest[:eq]
+			if !validLabelName(name) {
+				return s, fmt.Errorf("invalid label name %q", name)
+			}
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				j := strings.IndexAny(rest, `\"`)
+				if j < 0 {
+					return s, fmt.Errorf("unterminated label value in %q", line)
+				}
+				if rest[j] == '\\' {
+					if len(rest) < j+2 {
+						return s, fmt.Errorf("dangling escape in %q", line)
+					}
+					val.WriteString(rest[:j])
+					switch rest[j+1] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[j+1])
+					}
+					rest = rest[j+2:]
+					continue
+				}
+				val.WriteString(rest[:j])
+				rest = rest[j+1:]
+				break
+			}
+			if _, dup := s.Labels[name]; dup {
+				return s, fmt.Errorf("duplicate label %q in %q", name, line)
+			}
+			s.Labels[name] = val.String()
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return s, fmt.Errorf("malformed labels in %q", line)
+		}
+		if !strings.HasPrefix(rest, " ") {
+			return s, fmt.Errorf("missing value in %q", line)
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		switch rest {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			return s, fmt.Errorf("bad value %q", rest)
+		}
+	}
+	s.Value = v
+	return s, nil
+}

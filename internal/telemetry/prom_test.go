@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExpositionRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	e := NewExposition()
+	e.Family("gage_requests_served_total", "counter", "Requests relayed successfully.")
+	e.Add("gage_requests_served_total", nil, 42)
+	e.Family("gage_subscriber_queue_length", "gauge", "Queued requests per subscriber.")
+	e.Add("gage_subscriber_queue_length", []Label{{"subscriber", "site1"}}, 3)
+	e.Add("gage_subscriber_queue_length", []Label{{"subscriber", `we"ird\sub`}}, 0)
+	e.Family("gage_request_latency_seconds", "summary", "End-to-end latency.")
+	e.Summary("gage_request_latency_seconds", []Label{{"subscriber", "site1"}}, h.Snapshot(), []float64{0.5, 0.99})
+	b, err := e.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	series, err := Parse(b)
+	if err != nil {
+		t.Fatalf("own exposition fails own lint: %v\n%s", err, b)
+	}
+	if got := series["gage_requests_served_total"].Value; got != 42 {
+		t.Errorf("served = %v, want 42", got)
+	}
+	weird := `gage_subscriber_queue_length{subscriber="we\"ird\\sub"}`
+	if _, ok := series[weird]; !ok {
+		t.Errorf("escaped label series missing; have %v", keys(series))
+	}
+	if got := series[`gage_request_latency_seconds_count{subscriber="site1"}`].Value; got != 100 {
+		t.Errorf("summary count = %v, want 100", got)
+	}
+	p50 := series[`gage_request_latency_seconds{quantile="0.5",subscriber="site1"}`].Value
+	if p50 < 0.045 || p50 > 0.055 {
+		t.Errorf("p50 = %v, want ≈0.050", p50)
+	}
+}
+
+func keys(m map[string]Series) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestExpositionBuilderRejectsMisuse(t *testing.T) {
+	// Duplicate series.
+	e := NewExposition()
+	e.Family("x_total", "counter", "h")
+	e.Add("x_total", []Label{{"a", "1"}}, 1)
+	e.Add("x_total", []Label{{"a", "1"}}, 2)
+	if _, err := e.Bytes(); err == nil {
+		t.Error("duplicate series accepted")
+	}
+	// Counter not ending in _total.
+	e = NewExposition()
+	e.Family("x_count_of_things", "counter", "h")
+	if _, err := e.Bytes(); err == nil {
+		t.Error("counter without _total accepted")
+	}
+	// Negative counter value.
+	e = NewExposition()
+	e.Family("x_total", "counter", "h")
+	e.Add("x_total", nil, -1)
+	if _, err := e.Bytes(); err == nil {
+		t.Error("negative counter accepted")
+	}
+	// Sample outside its family block.
+	e = NewExposition()
+	e.Family("a_total", "counter", "h")
+	e.Family("b_total", "counter", "h")
+	e.Add("a_total", nil, 1)
+	if _, err := e.Bytes(); err == nil {
+		t.Error("sample outside family block accepted")
+	}
+	// Reopened family.
+	e = NewExposition()
+	e.Family("a_total", "counter", "h")
+	e.Add("a_total", nil, 1)
+	e.Family("b_total", "counter", "h")
+	e.Add("b_total", nil, 1)
+	e.Family("a_total", "counter", "h")
+	if _, err := e.Bytes(); err == nil {
+		t.Error("reopened family accepted")
+	}
+	// Invalid metric name.
+	e = NewExposition()
+	e.Family("2bad", "gauge", "h")
+	if _, err := e.Bytes(); err == nil {
+		t.Error("invalid metric name accepted")
+	}
+}
+
+func TestLintRejectsMalformedText(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"series without TYPE", "x 1\n"},
+		{"TYPE without HELP", "# TYPE x gauge\nx 1\n"},
+		{"unknown type", "# HELP x h\n# TYPE x widget\nx 1\n"},
+		{"duplicate series", "# HELP x h\n# TYPE x gauge\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n"},
+		{"duplicate series reordered labels", "# HELP x h\n# TYPE x gauge\nx{a=\"1\",b=\"2\"} 1\nx{b=\"2\",a=\"1\"} 2\n"},
+		{"interleaved families", "# HELP x h\n# TYPE x gauge\n# HELP y h\n# TYPE y gauge\nx 1\ny 2\n"},
+		{"reopened family", "# HELP x h\n# TYPE x gauge\nx 1\n# HELP y h\n# TYPE y gauge\ny 1\nx 2\n"},
+		{"counter without _total", "# HELP x h\n# TYPE x counter\nx 1\n"},
+		{"negative counter", "# HELP x_total h\n# TYPE x_total counter\nx_total -4\n"},
+		{"bad value", "# HELP x h\n# TYPE x gauge\nx one\n"},
+		{"bad label name", "# HELP x h\n# TYPE x gauge\nx{9a=\"1\"} 1\n"},
+		{"unterminated label", "# HELP x h\n# TYPE x gauge\nx{a=\"1 1\n"},
+		{"duplicate label", "# HELP x h\n# TYPE x gauge\nx{a=\"1\",a=\"2\"} 1\n"},
+		{"family with no samples", "# HELP x h\n# TYPE x gauge\n"},
+		{"blank line inside", "# HELP x h\n# TYPE x gauge\n\nx 1\n"},
+		{"stray comment", "# HELP x h\n# TYPE x gauge\n# comment\nx 1\n"},
+	}
+	for _, c := range cases {
+		if err := Lint([]byte(c.text)); err == nil {
+			t.Errorf("%s: lint accepted:\n%s", c.name, c.text)
+		}
+	}
+
+	good := strings.Join([]string{
+		"# HELP up h",
+		"# TYPE up gauge",
+		"up 1",
+		"# HELP lat seconds",
+		"# TYPE lat summary",
+		`lat{quantile="0.5"} 0.01`,
+		"lat_sum 12.5",
+		"lat_count 100",
+		"# HELP req_total h",
+		"# TYPE req_total counter",
+		`req_total{code="200"} 10`,
+		`req_total{code="503"} 2`,
+		"",
+	}, "\n")
+	if err := Lint([]byte(good)); err != nil {
+		t.Errorf("lint rejected well-formed text: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRecordingAndScrapes hammers one histogram and one tracer
+// from many goroutines while scrapers snapshot, merge and dump concurrently
+// — the -race gate for the whole telemetry surface. It also asserts the
+// monotonicity contract scrapes rely on: successive snapshot counts never
+// go backwards, even when taken mid-recording.
+func TestConcurrentRecordingAndScrapes(t *testing.T) {
+	h := NewHistogram()
+	tr := NewTracer(TracerConfig{SampleEvery: 2, Buffer: 64})
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: snapshots, quantiles, merges, trace dumps.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastCount uint64
+			agg := NewHistogram()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				if s.Count < lastCount {
+					t.Errorf("snapshot count went backwards: %d after %d", s.Count, lastCount)
+					return
+				}
+				lastCount = s.Count
+				_ = s.Quantile(0.99)
+				agg.Merge(h)
+				for _, dump := range tr.Traces() {
+					if err := Validate(dump); err != nil {
+						t.Errorf("scraped trace invalid: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var ids struct {
+		sync.Mutex
+		next uint64
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(g*perG+i) * time.Microsecond)
+				ids.Lock()
+				ids.next++
+				id := ids.next
+				ids.Unlock()
+				a := tr.Sample(id)
+				a.Add(StageClassify, 0, "s")
+				a.Add(StageQueue, 0, "")
+				a.Add(StageDispatch, 1, "")
+				a.Settle(OutcomeServed)
+			}
+		}(g)
+	}
+
+	// Wait for the writers, then release the scrapers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Writers finish first; snapshot sanity-check, then stop scrapers.
+	for {
+		s := h.Snapshot()
+		if s.Count >= writers*perG {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	s := h.Snapshot()
+	if s.Count != writers*perG {
+		t.Errorf("final count = %d, want %d", s.Count, writers*perG)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	seen, sampled, settled := tr.Counts()
+	if seen != writers*perG {
+		t.Errorf("tracer saw %d requests, want %d", seen, writers*perG)
+	}
+	if sampled != settled {
+		t.Errorf("sampled %d != settled %d (every sampled trace settles exactly once)", sampled, settled)
+	}
+	if want := uint64(writers * perG / 2); sampled != want {
+		t.Errorf("sampled = %d, want %d (every 2nd of sequential IDs)", sampled, want)
+	}
+}

@@ -1,0 +1,312 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one step of a request's lifecycle through the
+// dispatcher. Stages are ordered: a valid trace's spans carry strictly
+// increasing stages and end with exactly one StageSettle.
+type Stage uint8
+
+const (
+	// StageClassify is the virtual-host classification decision.
+	StageClassify Stage = iota
+	// StageQueue marks the request entering its subscriber's FIFO.
+	StageQueue
+	// StageDispatch marks the scheduler's dispatch decision reaching the
+	// waiting connection goroutine, with the chosen node.
+	StageDispatch
+	// StageRelay marks the relay attempt against the dispatched node.
+	StageRelay
+	// StageRetry marks the single re-dispatch to an alternate node after
+	// the first relay attempt failed at dial time.
+	StageRetry
+	// StageSettle is the terminal span; its note is the Outcome.
+	StageSettle
+)
+
+// String names the stage for dumps and logs.
+func (st Stage) String() string {
+	switch st {
+	case StageClassify:
+		return "classify"
+	case StageQueue:
+		return "queue"
+	case StageDispatch:
+		return "dispatch"
+	case StageRelay:
+		return "relay"
+	case StageRetry:
+		return "retry"
+	case StageSettle:
+		return "settle"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalText serializes the stage name into JSON dumps.
+func (st Stage) MarshalText() ([]byte, error) { return []byte(st.String()), nil }
+
+// UnmarshalText parses a stage name, so JSON trace dumps round-trip.
+func (st *Stage) UnmarshalText(b []byte) error {
+	for s := StageClassify; s <= StageSettle; s++ {
+		if string(b) == s.String() {
+			*st = s
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown stage %q", b)
+}
+
+// Outcome is the terminal disposition carried by a trace's settle span.
+// Every sampled request ends in exactly one of these.
+type Outcome string
+
+const (
+	// OutcomeServed is a complete, successful relay.
+	OutcomeServed Outcome = "served"
+	// OutcomeError is a relay failure answered 502.
+	OutcomeError Outcome = "error"
+	// OutcomeRejected is a queue-limit overflow answered 503.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeQueueTimeout is a request abandoned after waiting QueueTimeout
+	// for a dispatch decision, its scheduler charge reclaimed.
+	OutcomeQueueTimeout Outcome = "queue-timeout"
+	// OutcomeShed is an admission-control refusal (reserved-first in-flight
+	// quotas) answered 503.
+	OutcomeShed Outcome = "shed"
+	// OutcomeUnclassified is a request with no matching subscriber (404).
+	OutcomeUnclassified Outcome = "unclassified"
+	// OutcomeDrainAbort is a request cut short by shutdown after the drain
+	// window closed.
+	OutcomeDrainAbort Outcome = "drain-abort"
+	// OutcomeClientGone is a relayed response the client hung up on.
+	OutcomeClientGone Outcome = "client-gone"
+)
+
+// Span is one timestamped lifecycle step.
+type Span struct {
+	Stage Stage     `json:"stage"`
+	At    time.Time `json:"at"`
+	// Node is the back-end node involved (dispatch/relay/retry spans).
+	Node int64 `json:"node,omitempty"`
+	// Note carries stage detail: the subscriber for classify spans, the
+	// outcome for settle spans.
+	Note string `json:"note,omitempty"`
+}
+
+// Trace is one sampled request's span sequence. A Trace is built by a
+// single goroutine (the connection handler that owns the request) and
+// published to the tracer's ring exactly once, by Settle. All methods are
+// nil-receiver safe, so unsampled requests pay a single pointer test per
+// call site and never allocate.
+type Trace struct {
+	ReqID      uint64 `json:"reqId"`
+	Subscriber string `json:"subscriber,omitempty"`
+	Spans      []Span `json:"spans"`
+
+	t *Tracer
+}
+
+// SetSubscriber labels the trace once classification resolves.
+func (tr *Trace) SetSubscriber(sub string) {
+	if tr == nil {
+		return
+	}
+	tr.Subscriber = sub
+}
+
+// Add appends one span at the tracer's current time.
+func (tr *Trace) Add(stage Stage, node int64, note string) {
+	if tr == nil {
+		return
+	}
+	tr.Spans = append(tr.Spans, Span{Stage: stage, At: tr.t.now(), Node: node, Note: note})
+}
+
+// Settle appends the terminal span and publishes the trace into the ring.
+// Calling Settle more than once publishes only the first time.
+func (tr *Trace) Settle(outcome Outcome) {
+	if tr == nil {
+		return
+	}
+	if len(tr.Spans) > 0 && tr.Spans[len(tr.Spans)-1].Stage == StageSettle {
+		return
+	}
+	tr.Spans = append(tr.Spans, Span{Stage: StageSettle, At: tr.t.now(), Note: string(outcome)})
+	tr.t.push(*tr)
+}
+
+// TracerConfig tunes a Tracer.
+type TracerConfig struct {
+	// SampleEvery samples every Nth request deterministically (request IDs
+	// divisible by N): 1 traces everything, 0 disables tracing entirely.
+	SampleEvery int
+	// Buffer is the completed-trace ring capacity (default 256).
+	Buffer int
+}
+
+// Tracer samples request lifecycles deterministically and retains the most
+// recent completed traces in a ring buffer.
+type Tracer struct {
+	every   uint64
+	seen    atomic.Uint64
+	sampled atomic.Uint64
+	settled atomic.Uint64
+
+	now func() time.Time
+
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	full bool
+}
+
+// NewTracer builds a tracer. A SampleEvery of 0 (or negative) returns a
+// disabled tracer: Sample always answers nil and records nothing.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	t := &Tracer{now: time.Now}
+	if cfg.SampleEvery > 0 {
+		t.every = uint64(cfg.SampleEvery)
+		t.ring = make([]Trace, 0, cfg.Buffer)
+	}
+	return t
+}
+
+// SetClock overrides the tracer's time source (deterministic tests).
+func (t *Tracer) SetClock(now func() time.Time) { t.now = now }
+
+// Enabled reports whether the tracer samples at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// Sample decides whether request reqID is traced. The decision is
+// deterministic — request IDs divisible by SampleEvery are traced — so a
+// replayed run samples the same requests. Unsampled requests cost one
+// modulo and allocate nothing.
+func (t *Tracer) Sample(reqID uint64) *Trace {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	t.seen.Add(1)
+	if reqID%t.every != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &Trace{ReqID: reqID, t: t}
+}
+
+// push retains one completed trace, overwriting the oldest past capacity.
+func (t *Tracer) push(tr Trace) {
+	t.settled.Add(1)
+	t.mu.Lock()
+	if !t.full && len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		if len(t.ring) == cap(t.ring) {
+			t.next = 0
+			t.full = true
+		}
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % len(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the retained traces, oldest first.
+func (t *Tracer) Traces() []Trace {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, len(t.ring))
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Counts reports how many requests the tracer has seen, sampled, and
+// settled since creation.
+func (t *Tracer) Counts() (seen, sampled, settled uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.seen.Load(), t.sampled.Load(), t.settled.Load()
+}
+
+// SampleEvery reports the sampling period (0 when disabled).
+func (t *Tracer) SampleEvery() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Validate checks a trace's structural invariants: it is non-empty, its
+// spans carry strictly increasing stages and non-decreasing timestamps, and
+// it ends with exactly one settle span carrying a non-empty outcome. The
+// trace-completeness suite runs every request outcome through this.
+func Validate(tr Trace) error {
+	if len(tr.Spans) == 0 {
+		return fmt.Errorf("telemetry: trace %d has no spans", tr.ReqID)
+	}
+	for i := 1; i < len(tr.Spans); i++ {
+		prev, cur := tr.Spans[i-1], tr.Spans[i]
+		if cur.Stage <= prev.Stage {
+			return fmt.Errorf("telemetry: trace %d: span %d stage %v does not advance past %v",
+				tr.ReqID, i, cur.Stage, prev.Stage)
+		}
+		if cur.At.Before(prev.At) {
+			return fmt.Errorf("telemetry: trace %d: span %d time %v precedes %v",
+				tr.ReqID, i, cur.At, prev.At)
+		}
+	}
+	last := tr.Spans[len(tr.Spans)-1]
+	if last.Stage != StageSettle {
+		return fmt.Errorf("telemetry: trace %d ends in %v, not settle", tr.ReqID, last.Stage)
+	}
+	if last.Note == "" {
+		return fmt.Errorf("telemetry: trace %d settle span has no outcome", tr.ReqID)
+	}
+	for _, sp := range tr.Spans[:len(tr.Spans)-1] {
+		if sp.Stage == StageSettle {
+			return fmt.Errorf("telemetry: trace %d has more than one settle span", tr.ReqID)
+		}
+	}
+	return nil
+}
+
+// Stages lists a trace's stage sequence — the compact form the completeness
+// tests compare against expectations.
+func Stages(tr Trace) []Stage {
+	out := make([]Stage, len(tr.Spans))
+	for i, sp := range tr.Spans {
+		out[i] = sp.Stage
+	}
+	return out
+}
+
+// SettledOutcome returns the trace's terminal outcome, or "" if the trace
+// has not settled.
+func SettledOutcome(tr Trace) Outcome {
+	if len(tr.Spans) == 0 {
+		return ""
+	}
+	last := tr.Spans[len(tr.Spans)-1]
+	if last.Stage != StageSettle {
+		return ""
+	}
+	return Outcome(last.Note)
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing times.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1000, 0)
+	var n int64
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 3, Buffer: 16})
+	var sampled []uint64
+	for id := uint64(1); id <= 12; id++ {
+		if a := tr.Sample(id); a != nil {
+			sampled = append(sampled, id)
+			a.Settle(OutcomeServed)
+		}
+	}
+	want := []uint64{3, 6, 9, 12}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+	seen, smp, settled := tr.Counts()
+	if seen != 12 || smp != 4 || settled != 4 {
+		t.Errorf("counts = %d/%d/%d, want 12/4/4", seen, smp, settled)
+	}
+
+	// A disabled tracer samples nothing and counts nothing.
+	off := NewTracer(TracerConfig{})
+	if off.Sample(3) != nil {
+		t.Error("disabled tracer sampled a request")
+	}
+	if off.Enabled() {
+		t.Error("disabled tracer claims Enabled")
+	}
+	if got := off.Traces(); got != nil {
+		t.Errorf("disabled tracer returned traces: %v", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 1, Buffer: 4})
+	tr.SetClock(fakeClock())
+	for id := uint64(1); id <= 10; id++ {
+		a := tr.Sample(id)
+		a.Add(StageClassify, 0, "s")
+		a.Settle(OutcomeServed)
+	}
+	got := tr.Traces()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if got[i].ReqID != want {
+			t.Errorf("ring[%d] = req %d, want %d (oldest first)", i, got[i].ReqID, want)
+		}
+	}
+}
+
+func TestSettleIdempotent(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 1, Buffer: 8})
+	tr.SetClock(fakeClock())
+	a := tr.Sample(1)
+	a.Add(StageClassify, 0, "s")
+	a.Settle(OutcomeServed)
+	a.Settle(OutcomeError) // must be a no-op
+	got := tr.Traces()
+	if len(got) != 1 {
+		t.Fatalf("ring holds %d traces, want 1 (double settle must not re-publish)", len(got))
+	}
+	if out := SettledOutcome(got[0]); out != OutcomeServed {
+		t.Errorf("outcome = %q, want first settle %q", out, OutcomeServed)
+	}
+	if err := Validate(got[0]); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformedTraces(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+	cases := []struct {
+		name string
+		tr   Trace
+	}{
+		{"empty", Trace{ReqID: 1}},
+		{"no settle", Trace{ReqID: 2, Spans: []Span{
+			{Stage: StageClassify, At: at(1)},
+			{Stage: StageQueue, At: at(2)},
+		}}},
+		{"stage regression", Trace{ReqID: 3, Spans: []Span{
+			{Stage: StageQueue, At: at(1)},
+			{Stage: StageClassify, At: at(2)},
+			{Stage: StageSettle, At: at(3), Note: "served"},
+		}}},
+		{"duplicate stage", Trace{ReqID: 4, Spans: []Span{
+			{Stage: StageRelay, At: at(1)},
+			{Stage: StageRelay, At: at(2)},
+			{Stage: StageSettle, At: at(3), Note: "served"},
+		}}},
+		{"time regression", Trace{ReqID: 5, Spans: []Span{
+			{Stage: StageClassify, At: at(5)},
+			{Stage: StageSettle, At: at(1), Note: "served"},
+		}}},
+		{"settle without outcome", Trace{ReqID: 6, Spans: []Span{
+			{Stage: StageSettle, At: at(1)},
+		}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.tr); err == nil {
+			t.Errorf("%s: Validate accepted a malformed trace", c.name)
+		}
+	}
+
+	good := Trace{ReqID: 7, Spans: []Span{
+		{Stage: StageClassify, At: at(1), Note: "site1"},
+		{Stage: StageQueue, At: at(2)},
+		{Stage: StageDispatch, At: at(3), Node: 1},
+		{Stage: StageRelay, At: at(4), Node: 1},
+		{Stage: StageRetry, At: at(5), Node: 2},
+		{Stage: StageSettle, At: at(6), Note: "served"},
+	}}
+	if err := Validate(good); err != nil {
+		t.Errorf("Validate rejected a complete trace: %v", err)
+	}
+	stages := Stages(good)
+	want := []Stage{StageClassify, StageQueue, StageDispatch, StageRelay, StageRetry, StageSettle}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("Stages = %v, want %v", stages, want)
+		}
+	}
+}
