@@ -1,7 +1,7 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint bench
+.PHONY: verify build vet test race chaos lint bench bench-flightrec audit-smoke
 
-verify: build vet test race
+verify: build vet lint test race audit-smoke
 
 build:
 	go build ./...
@@ -38,6 +38,28 @@ bench:
 	go test -run '^$$' -bench . -benchmem -benchtime=1x -json \
 		. ./internal/telemetry/ ./internal/dispatch/ > BENCH_telemetry.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_telemetry.json | cut -d'"' -f4 || true
+
+# Flight-recorder overhead trajectory: scheduler Tick with the recorder off
+# and on, and the raw Begin/Commit record path. Results land in
+# BENCH_flightrec.json so regressions (recorder-on Tick must stay 0
+# allocs/op in steady state, off/on delta small) are diffable across
+# commits.
+bench-flightrec:
+	go test -run '^$$' -bench Flightrec -benchmem -benchtime=1000x -json \
+		./internal/flightrec/ > BENCH_flightrec.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_flightrec.json | cut -d'"' -f4 || true
+
+# End-to-end flight-recorder round trip through the CLI: generate a short
+# SPECweb99 trace, replay it through the simulator spilling the per-cycle
+# log, then audit the log offline. Exercises gen → replay -cycles → audit
+# exactly as an operator would.
+audit-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	go run ./cmd/gagetrace gen -kind specweb -rate 80 -duration 3s \
+		-poisson -out "$$tmp/trace.jsonl" && \
+	go run ./cmd/gagetrace replay -rpns 2 -grps 60 \
+		-cycles "$$tmp/cycles.jsonl" "$$tmp/trace.jsonl" && \
+	go run ./cmd/gagetrace audit -warmup 1s "$$tmp/cycles.jsonl"
 
 # Static hygiene gate: vet plus gofmt drift.
 lint:

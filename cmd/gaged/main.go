@@ -30,7 +30,10 @@
 //	  "breakerCooldownMillis": 1000,
 //	  "slowStartCycles": 4,
 //	  "traceSampleEvery": 100,
-//	  "traceBuffer": 256
+//	  "traceBuffer": 256,
+//	  "cycleRingSize": 1024,
+//	  "cycleLog": "/var/log/gage/cycles.jsonl",
+//	  "conformanceWindowMillis": 10000
 //	}
 //
 // Every millisecond/count knob is optional: 0 or absent means the library
@@ -86,6 +89,13 @@ type fileConfig struct {
 	// /_gage/trace endpoint.
 	TraceSampleEvery int `json:"traceSampleEvery"`
 	TraceBuffer      int `json:"traceBuffer"`
+	// Flight recorder: CycleRingSize retains that many scheduler cycle
+	// records for /_gage/cycles (0 = recording off unless cycleLog is set);
+	// CycleLog appends every record as JSONL to the named file;
+	// ConformanceWindowMillis is the auditor's slow burn-rate window.
+	CycleRingSize           int    `json:"cycleRingSize"`
+	CycleLog                string `json:"cycleLog"`
+	ConformanceWindowMillis int    `json:"conformanceWindowMillis"`
 }
 
 func main() {
@@ -203,12 +213,23 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	millis("clientIdleTimeoutMillis", fc.ClientIdleTimeoutMillis, &cfg.ClientIdleTimeout)
 	millis("backendTimeoutMillis", fc.BackendTimeoutMillis, &cfg.BackendTimeout)
 	millis("breakerCooldownMillis", fc.BreakerCooldownMillis, &cfg.Breaker.Cooldown)
+	millis("conformanceWindowMillis", fc.ConformanceWindowMillis, &cfg.ConformanceWindow)
 	count("maxConns", fc.MaxConns, &cfg.MaxConns)
 	count("breakerThreshold", fc.BreakerThreshold, &cfg.Breaker.Threshold)
 	count("traceSampleEvery", fc.TraceSampleEvery, &cfg.TraceSampleEvery)
 	count("traceBuffer", fc.TraceBuffer, &cfg.TraceBuffer)
+	count("cycleRingSize", fc.CycleRingSize, &cfg.CycleRingSize)
 	if err != nil {
 		return dispatch.Config{}, err
+	}
+	if fc.CycleLog != "" {
+		// Created (truncated) at startup so a bad path fails loudly before
+		// the listener opens; the dispatcher owns the writer afterwards.
+		f, ferr := os.Create(fc.CycleLog)
+		if ferr != nil {
+			return dispatch.Config{}, fmt.Errorf("cycleLog: %w", ferr)
+		}
+		cfg.CycleLog = f
 	}
 	if fc.SlowStartCycles < -1 {
 		return dispatch.Config{}, fmt.Errorf("slowStartCycles must be >= -1 (got %d; -1 disables the ramp)", fc.SlowStartCycles)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -147,6 +149,52 @@ func TestParseConfigTelemetryKnobs(t *testing.T) {
 	}
 }
 
+func TestParseConfigFlightRecorderKnobs(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "cycles.jsonl")
+	cfg, err := parseConfig([]byte(fmt.Sprintf(`{
+	  "subscribers":[{"id":"a"}],
+	  "backends":[{"id":1,"addr":"x"}],
+	  "cycleRingSize": 2048,
+	  "cycleLog": %q,
+	  "conformanceWindowMillis": 15000
+	}`, logPath)))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.CycleRingSize != 2048 {
+		t.Errorf("cycleRingSize = %d, want 2048", cfg.CycleRingSize)
+	}
+	if cfg.ConformanceWindow != 15*time.Second {
+		t.Errorf("conformance window = %v, want 15s", cfg.ConformanceWindow)
+	}
+	if cfg.CycleLog == nil {
+		t.Fatal("cycleLog path must open a spill writer")
+	}
+	if f, ok := cfg.CycleLog.(*os.File); ok {
+		f.Close()
+	}
+	if _, err := os.Stat(logPath); err != nil {
+		t.Errorf("cycle log not created at startup: %v", err)
+	}
+
+	cfg, err = parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}]}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.CycleRingSize != 0 || cfg.CycleLog != nil || cfg.ConformanceWindow != 0 {
+		t.Errorf("unset recorder knobs must stay zero (recording off): %d %v %v",
+			cfg.CycleRingSize, cfg.CycleLog, cfg.ConformanceWindow)
+	}
+
+	// An unwritable spill path must fail at startup, naming the knob.
+	_, err = parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],"cycleLog":"/nonexistent-dir/cycles.jsonl"}`))
+	if err == nil {
+		t.Error("unwritable cycleLog path accepted, want error")
+	} else if !strings.Contains(err.Error(), "cycleLog") {
+		t.Errorf("cycleLog error %q does not name the field", err)
+	}
+}
+
 // TestParseConfigRejectsNegativeKnobs: a negative timeout or count is never a
 // sane default request — it's a typo — and the error must name the offending
 // JSON field so the operator can find it.
@@ -165,6 +213,8 @@ func TestParseConfigRejectsNegativeKnobs(t *testing.T) {
 		"breakerThreshold",
 		"traceSampleEvery",
 		"traceBuffer",
+		"cycleRingSize",
+		"conformanceWindowMillis",
 	}
 	for _, knob := range knobs {
 		raw := fmt.Sprintf(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],%q:-7}`, knob)

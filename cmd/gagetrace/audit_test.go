@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gage/internal/cluster"
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+// TestConformanceGolden is the tentpole acceptance test: a SPECweb99 trace
+// runs through the simulator with the flight recorder attached, and an
+// offline audit of the recorded cycle log must agree with the simulator's
+// own metrics.Series Figure-3 deviation to within 1% — the recorder and
+// auditor see the same feedback loop the measurement harness does.
+func TestConformanceGolden(t *testing.T) {
+	arr, err := workload.NewPoisson(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := workload.Source{
+		Subscriber: "spec",
+		Gen:        workload.NewSPECWeb99("spec.example", 99),
+		Arrivals:   arr,
+	}
+	reqs, _ := src.Schedule(6*time.Second, 1)
+	if len(reqs) == 0 {
+		t.Fatal("empty SPECweb99 schedule")
+	}
+
+	dir := t.TempDir()
+	cyclesPath := filepath.Join(dir, "cycles.jsonl")
+	f, err := os.Create(cyclesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flightrec.NewRecorder(flightrec.Config{Spill: f})
+	const warmup = time.Second
+	res, err := replay(reqs, 2, 60, warmup, rec)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	logFile, err := os.Open(cyclesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := flightrec.ReadLog(logFile)
+	logFile.Close()
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	rep := flightrec.Replay(recs, flightrec.AuditorConfig{Skip: warmup})
+	sub, ok := rep.Sub("spec")
+	if !ok {
+		t.Fatal("audit lost subscriber spec")
+	}
+	if !sub.DeviationOK {
+		t.Fatal("audit deviation unavailable over a 5 s measured window")
+	}
+	want, err := res.ObservedDeviation("spec", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sub.Deviation-want) > 0.01 {
+		t.Errorf("audit deviation %.4f vs simulator %.4f, want within 1%%", sub.Deviation, want)
+	}
+
+	// The CLI view of the same log: ratios, the deviation column, no
+	// violations for an underloaded subscriber.
+	var out bytes.Buffer
+	if err := run([]string{"audit", "-warmup", "1s", cyclesPath}, &out); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "spec") || !strings.Contains(s, "deviation") {
+		t.Errorf("audit output = %q", s)
+	}
+	if strings.Contains(s, "violation:") {
+		t.Errorf("audit reported violations for an underloaded run:\n%s", s)
+	}
+}
+
+// constSource builds a constant-rate fixed-cost source (the Table-1 client).
+func constSource(t *testing.T, sub qos.SubscriberID, host string, rate float64) workload.Source {
+	t.Helper()
+	arr, err := workload.NewConstantRate(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Source{
+		Subscriber: sub,
+		Gen:        workload.NewFixed(host, "/index.html", qos.GenericCost()),
+		Arrivals:   arr,
+	}
+}
+
+// TestAuditTable1Overload recreates the paper's Table-1 overload scenario
+// (site3 offered almost eight times its reservation while the cluster is
+// saturated) at a shortened duration and audits the recorded cycle log with
+// live burn-rate windows: the reserved traffic must show zero violation
+// spans, and the overloaded subscriber must be the one absorbing the spare
+// round — spare capacity follows the reservation-proportional sharing of
+// §4.1, not the overload.
+func TestAuditTable1Overload(t *testing.T) {
+	var spill bytes.Buffer
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 64, Spill: &spill})
+	const (
+		warmup = 2 * time.Second
+		dur    = 10 * time.Second
+	)
+	_, err := cluster.Run(cluster.Options{
+		Subscribers: []qos.Subscriber{
+			{ID: "site1", Hosts: []string{"site1.example"}, Reservation: 250, QueueLimit: 128},
+			{ID: "site2", Hosts: []string{"site2.example"}, Reservation: 150, QueueLimit: 128},
+			{ID: "site3", Hosts: []string{"site3.example"}, Reservation: 50, QueueLimit: 128},
+		},
+		Sources: []workload.Source{
+			constSource(t, "site1", "site1.example", 259.4),
+			constSource(t, "site2", "site2.example", 161.1),
+			constSource(t, "site3", "site3.example", 390.3),
+		},
+		NumRPNs:  8,
+		RPNSpeed: 0.9825,
+		Recorder: rec,
+		Warmup:   warmup,
+		Duration: dur,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recs, err := flightrec.ReadLog(&spill)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	rep := flightrec.Replay(recs, flightrec.AuditorConfig{
+		Window:     2 * time.Second,
+		FastWindow: 200 * time.Millisecond,
+		Skip:       warmup,
+	})
+	for _, id := range []qos.SubscriberID{"site1", "site2", "site3"} {
+		sub, ok := rep.Sub(id)
+		if !ok {
+			t.Fatalf("audit lost %s", id)
+		}
+		if sub.Violations != 0 {
+			t.Errorf("%s: %d violation spans under a held guarantee: %+v", id, sub.Violations, sub.Spans)
+		}
+		if sub.SlowRatio < 0.95 {
+			t.Errorf("%s: slow conformance ratio %.3f, want >= 0.95 (reservation held)", id, sub.SlowRatio)
+		}
+	}
+	site3, _ := rep.Sub("site3")
+	if site3.SpareShare < 0.7 {
+		t.Errorf("site3 spare share %.3f, want > 0.7 (the overloaded site absorbs the spare round)", site3.SpareShare)
+	}
+	site1, _ := rep.Sub("site1")
+	if site1.SpareShare > 0.2 {
+		t.Errorf("site1 spare share %.3f, want small (its demand barely exceeds its reservation)", site1.SpareShare)
+	}
+}

@@ -6,11 +6,16 @@
 //	gagetrace gen  -kind specweb -host www.site1.example -sub site1 \
 //	               -rate 100 -duration 10s -seed 1 -out trace.jsonl
 //	gagetrace stats  trace.jsonl
-//	gagetrace replay -rpns 4 -grps 100 trace.jsonl
+//	gagetrace replay -rpns 4 -grps 100 -cycles cycles.jsonl trace.jsonl
+//	gagetrace audit  -warmup 1s cycles.jsonl
 //
 // gen writes a JSON-lines trace; stats summarizes it; replay runs it
 // through the cluster simulator under Gage scheduling and prints the
-// per-subscriber outcome.
+// per-subscriber outcome, including the paper's Figure-3 deviation
+// statistic, optionally spilling the scheduler's per-cycle flight-recorder
+// log; audit replays such a cycle log (from replay -cycles or a live
+// dispatcher's cycleLog) through the guarantee-conformance auditor and
+// prints per-subscriber window ratios, deviations and violation spans.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"gage/internal/cluster"
+	"gage/internal/flightrec"
 	"gage/internal/metrics"
 	"gage/internal/qos"
 	"gage/internal/workload"
@@ -45,8 +51,10 @@ func run(args []string, out io.Writer) error {
 		return statsCmd(args[1:], out)
 	case "replay":
 		return replayCmd(args[1:], out)
+	case "audit":
+		return auditCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q (try gen, stats, replay)", args[0])
+		return fmt.Errorf("unknown command %q (try gen, stats, replay, audit)", args[0])
 	}
 }
 
@@ -154,9 +162,11 @@ func statsCmd(args []string, out io.Writer) error {
 func replayCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	var (
-		rpns   = fs.Int("rpns", 4, "back-end cluster size")
-		grps   = fs.Float64("grps", 100, "reservation per subscriber (GRPS)")
-		warmup = fs.Duration("warmup", time.Second, "measurement warmup")
+		rpns     = fs.Int("rpns", 4, "back-end cluster size")
+		grps     = fs.Float64("grps", 100, "reservation per subscriber (GRPS)")
+		warmup   = fs.Duration("warmup", time.Second, "measurement warmup")
+		interval = fs.Duration("interval", time.Second, "deviation averaging interval")
+		cycles   = fs.String("cycles", "", "spill the scheduler's per-cycle flight-recorder log to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -168,23 +178,47 @@ func replayCmd(args []string, out io.Writer) error {
 	if len(reqs) == 0 {
 		return fmt.Errorf("trace is empty")
 	}
-	res, err := replay(reqs, *rpns, qos.GRPS(*grps), *warmup)
+	var rec *flightrec.Recorder
+	if *cycles != "" {
+		f, err := os.Create(*cycles)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = flightrec.NewRecorder(flightrec.Config{Spill: f})
+	}
+	res, err := replay(reqs, *rpns, qos.GRPS(*grps), *warmup, rec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "%-12s %10s %10s %10s %12s\n", "subscriber", "offered", "served", "dropped", "p95 latency")
+	if rec != nil {
+		if err := rec.SpillErr(); err != nil {
+			return fmt.Errorf("cycle log: %w", err)
+		}
+	}
+	fmt.Fprintf(out, "%-12s %10s %10s %10s %12s %10s\n",
+		"subscriber", "offered", "served", "dropped", "p95 latency", "deviation")
 	for _, row := range res.Rows {
-		fmt.Fprintf(out, "%-12s %10.1f %10.1f %10.1f %12s\n",
-			row.ID, row.Offered, row.Served, row.Dropped, row.P95Latency.Round(time.Millisecond))
+		dev := "-"
+		if d, err := res.ObservedDeviation(row.ID, *interval); err == nil {
+			dev = fmt.Sprintf("%.1f%%", d*100)
+		}
+		fmt.Fprintf(out, "%-12s %10.1f %10.1f %10.1f %12s %10s\n",
+			row.ID, row.Offered, row.Served, row.Dropped,
+			row.P95Latency.Round(time.Millisecond), dev)
 	}
 	fmt.Fprintf(out, "cluster: %.1f req/s served\n", res.ServedReqPerSec)
+	if *cycles != "" {
+		fmt.Fprintf(out, "cycle log: %d records to %s\n", rec.Seq(), *cycles)
+	}
 	return nil
 }
 
 // replay runs a trace through the cluster simulator: subscribers are
 // derived from the trace, each with the same reservation, and the trace's
-// host names classify the requests back to them.
-func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Duration) (*cluster.Result, error) {
+// host names classify the requests back to them. A non-nil recorder spills
+// the scheduler's per-cycle state for offline auditing.
+func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Duration, rec *flightrec.Recorder) (*cluster.Result, error) {
 	hosts := make(map[qos.SubscriberID]map[string]bool)
 	var last time.Duration
 	for _, r := range reqs {
@@ -224,9 +258,72 @@ func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Durati
 		Subscribers: subs,
 		ReplayTrace: reqs,
 		NumRPNs:     rpns,
+		Recorder:    rec,
 		Warmup:      warmup,
 		Duration:    measured,
 	})
+}
+
+func auditCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	var (
+		interval = fs.Duration("interval", time.Second, "deviation averaging interval")
+		window   = fs.Duration("window", 0, "slow sliding window (0 = the whole log)")
+		fast     = fs.Duration("fast", 0, "fast burn-rate window (default window/10; violation detection needs a bounded fast window)")
+		warmup   = fs.Duration("warmup", 0, "skip records before this offset (match the run's warmup)")
+		ratio    = fs.Float64("ratio", flightrec.DefaultRatio, "conformance threshold: delivered/reserved below this in both windows is a violation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.Arg(0) == "" {
+		return fmt.Errorf("cycle log file required")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := flightrec.ReadLog(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("cycle log is empty")
+	}
+	rep := flightrec.Replay(recs, flightrec.AuditorConfig{
+		Window:     *window,
+		FastWindow: *fast,
+		Interval:   *interval,
+		Ratio:      *ratio,
+		Skip:       *warmup,
+	})
+	span := recs[len(recs)-1].At - recs[0].At
+	fmt.Fprintf(out, "cycles: %d records over %v (audited %d, at %v)\n",
+		len(recs), span.Round(time.Millisecond), rep.Records, rep.At.Round(time.Millisecond))
+	fmt.Fprintf(out, "%-12s %8s %10s %6s %6s %10s %10s %7s %5s\n",
+		"subscriber", "res", "delivered", "fast", "slow", "deviation", "worst dev", "spare%", "viol")
+	for _, sub := range rep.Subs {
+		dev, worst := "-", "-"
+		if sub.DeviationOK {
+			dev = fmt.Sprintf("%.1f%%", sub.Deviation*100)
+			worst = fmt.Sprintf("%.1f%%", sub.WorstDeviation*100)
+		}
+		fmt.Fprintf(out, "%-12s %8.0f %10.1f %6.2f %6.2f %10s %10s %6.1f%% %5d\n",
+			sub.ID, float64(sub.Reservation), sub.Delivered,
+			sub.FastRatio, sub.SlowRatio, dev, worst, sub.SpareShare*100, sub.Violations)
+	}
+	for _, sub := range rep.Subs {
+		for _, sp := range sub.Spans {
+			state := "closed"
+			if sp.Open {
+				state = "OPEN"
+			}
+			fmt.Fprintf(out, "violation: %-12s %v .. %v (%s)\n",
+				sub.ID, sp.Start.Round(time.Millisecond), sp.End.Round(time.Millisecond), state)
+		}
+	}
+	return nil
 }
 
 func loadTrace(path string) ([]workload.Request, error) {

@@ -10,6 +10,7 @@ import (
 	"gage/internal/classify"
 	"gage/internal/core"
 	"gage/internal/faults"
+	"gage/internal/flightrec"
 	"gage/internal/metrics"
 	"gage/internal/qos"
 	"gage/internal/telemetry"
@@ -78,6 +79,14 @@ type Options struct {
 	// CacheEntries gives each RPN an LRU page cache of that many entries;
 	// cache hits skip the request's disk-channel time (0 disables).
 	CacheEntries int
+
+	// Recorder, when non-nil, receives one flightrec.CycleRecord per
+	// scheduling cycle, stamped with virtual-time offsets from the start of
+	// the run (warmup included) — the same origin convention as request
+	// arrivals, so an offline audit excludes warmup with Skip=Warmup. The
+	// recorder's clock is pointed at the engine's virtual clock; live and
+	// simulated cycle logs then share one format and one time base.
+	Recorder *flightrec.Recorder
 
 	// Faults, when non-nil, is the deterministic chaos schedule executed at
 	// exact virtual times: node crashes/recoveries, accounting drop/delay
@@ -386,6 +395,12 @@ func Run(opts Options) (*Result, error) {
 	total := opts.Warmup + opts.Duration
 	start := engine.Now()
 	measureFrom := start.Add(opts.Warmup)
+
+	if opts.Recorder != nil {
+		// Cycle records carry virtual-time offsets from the run start.
+		opts.Recorder.SetClock(func() time.Duration { return engine.Now().Sub(start) })
+		sched.SetRecorder(opts.Recorder)
+	}
 
 	// Materialize all arrivals up front: deterministic and cheap.
 	var arrivals []workload.Request

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+// TestRunRecordsCycles wires a flight recorder into a simulated run and
+// checks the cycle log: one record per scheduling cycle on the virtual
+// clock, subscriber rows present, and the recorded usage stream consistent
+// with the run's own served measurement.
+func TestRunRecordsCycles(t *testing.T) {
+	var spill bytes.Buffer
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 64, Spill: &spill})
+	const (
+		warmup = 2 * time.Second
+		dur    = 8 * time.Second
+	)
+	res, err := Run(Options{
+		Subscribers: []qos.Subscriber{
+			{ID: "a", Hosts: []string{"a.example"}, Reservation: 50},
+		},
+		Sources: []workload.Source{
+			mustConstSource("a", "a.example", 30, qos.GenericCost()),
+		},
+		NumRPNs:  1,
+		Recorder: rec,
+		Warmup:   warmup,
+		Duration: dur,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	recs, err := flightrec.ReadLog(&spill)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	// One record per 10 ms cycle over warmup+duration. The engine stops at
+	// exactly the total, so the count may be off by one at the boundary.
+	wantCycles := int((warmup + dur) / (10 * time.Millisecond))
+	if len(recs) < wantCycles-1 || len(recs) > wantCycles+1 {
+		t.Fatalf("cycle log holds %d records, want ≈%d", len(recs), wantCycles)
+	}
+	last := time.Duration(-1)
+	var usage float64
+	for i, cr := range recs {
+		if cr.At <= last {
+			t.Fatalf("record %d: At %v not after previous %v", i, cr.At, last)
+		}
+		last = cr.At
+		if len(cr.Subs) != 1 || cr.Subs[0].ID != "a" {
+			t.Fatalf("record %d: subs = %+v, want exactly subscriber a", i, cr.Subs)
+		}
+		if len(cr.Nodes) != 1 {
+			t.Fatalf("record %d: %d nodes, want 1", i, len(cr.Nodes))
+		}
+		if cr.At >= warmup {
+			usage += cr.Subs[0].Usage.GenericUnits()
+		}
+	}
+	if last < warmup+dur-20*time.Millisecond {
+		t.Errorf("last record at %v, want near %v", last, warmup+dur)
+	}
+	// Usage recorded after warmup tracks the run's served measurement. The
+	// edges differ by up to an accounting cycle of in-flight work.
+	row, _ := res.Row("a")
+	served := row.Served * dur.Seconds()
+	if math.Abs(usage-served) > 0.15*served {
+		t.Errorf("recorded usage %.1f units vs served %.1f, want within 15%%", usage, served)
+	}
+
+	// The offline auditor agrees with the run's own Figure-3 deviation to
+	// within 1% when both exclude warmup (satellite of TestConformanceGolden;
+	// the full SPECweb99 version lives in cmd/gagetrace).
+	rep := flightrec.Replay(recs, flightrec.AuditorConfig{Skip: warmup})
+	sub, ok := rep.Sub("a")
+	if !ok {
+		t.Fatal("audit lost subscriber a")
+	}
+	if !sub.DeviationOK {
+		t.Fatal("audit deviation unavailable")
+	}
+	want, err := res.ObservedDeviation("a", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sub.Deviation-want) > 0.01 {
+		t.Errorf("audit deviation %.4f vs simulator %.4f, want within 0.01", sub.Deviation, want)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+)
+
+// recorderSched builds a scheduler with a recorder attached, three
+// subscribers and two nodes.
+func recorderSched(t *testing.T) (*Scheduler, *flightrec.Recorder) {
+	t.Helper()
+	dir, err := qos.NewDirectory([]qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 100},
+		{ID: "b", Hosts: []string{"b.example"}, Reservation: 50},
+		{ID: "c", Hosts: []string{"c.example"}, Reservation: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := New(dir, []NodeConfig{
+		{ID: 1, Capacity: qos.GenericCost().Scale(500)},
+		{ID: 2, Capacity: qos.GenericCost().Scale(500)},
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 256})
+	sched.SetRecorder(rec)
+	return sched, rec
+}
+
+func TestRecordCycleContents(t *testing.T) {
+	sched, rec := recorderSched(t)
+	for i := uint64(1); i <= 5; i++ {
+		if err := sched.Enqueue(Request{ID: i, Subscriber: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disp := sched.Tick()
+	if len(disp) == 0 {
+		t.Fatal("no dispatches from a funded backlog")
+	}
+	recs := rec.Recent(1)
+	if len(recs) != 1 {
+		t.Fatalf("expected 1 record after 1 tick, got %d", len(recs))
+	}
+	cr := recs[0]
+	if len(cr.Subs) != 3 || len(cr.Nodes) != 2 {
+		t.Fatalf("record shape = %d subs / %d nodes, want 3 / 2", len(cr.Subs), len(cr.Nodes))
+	}
+	var a *flightrec.SubRecord
+	for i := range cr.Subs {
+		if cr.Subs[i].ID == "a" {
+			a = &cr.Subs[i]
+		}
+	}
+	if a == nil {
+		t.Fatal("no SubRecord for subscriber a")
+	}
+	if a.Reservation != 100 {
+		t.Errorf("recorded reservation = %v, want 100", a.Reservation)
+	}
+	if got := a.Reserved + a.Spare; got != len(disp) {
+		t.Errorf("recorded dispatch count = %d (reserved %d + spare %d), want %d",
+			got, a.Reserved, a.Spare, len(disp))
+	}
+	if a.QueueLen != 5-len(disp) {
+		t.Errorf("recorded queue length = %d, want %d", a.QueueLen, 5-len(disp))
+	}
+	if a.Credited.IsZero() {
+		t.Error("recorded credit is zero after a credit-granting tick")
+	}
+
+	// Usage reported between ticks lands in the next cycle record, and the
+	// per-cycle accumulators reset after each commit.
+	use := qos.GenericCost().Scale(float64(len(disp)))
+	err := sched.ReportUsage(UsageReport{
+		Node:  disp[0].Node,
+		Total: use,
+		BySubscriber: map[qos.SubscriberID]SubscriberUsage{
+			"a": {Usage: use, Completed: len(disp)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Tick()
+	cr = rec.Recent(1)[0]
+	aa, _ := subOf(cr, "a")
+	if aa.Usage != use {
+		t.Errorf("recorded usage = %v, want %v", aa.Usage, use)
+	}
+	if aa.Completed != len(disp) {
+		t.Errorf("recorded completions = %d, want %d", aa.Completed, len(disp))
+	}
+	sched.Tick()
+	cr = rec.Recent(1)[0]
+	aa, _ = subOf(cr, "a")
+	if !aa.Usage.IsZero() || aa.Completed != 0 {
+		t.Errorf("accumulators did not reset: usage %v completed %d", aa.Usage, aa.Completed)
+	}
+}
+
+func subOf(cr flightrec.CycleRecord, id qos.SubscriberID) (flightrec.SubRecord, bool) {
+	for _, s := range cr.Subs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return flightrec.SubRecord{}, false
+}
+
+// TestRecorderConcurrentMembership races the recording tick against runtime
+// subscriber add/remove, the monitoring accessors, usage reports, and an
+// auditor syncing off the same ring — the full concurrent surface the live
+// dispatcher exercises. Run under -race this is the satellite's contract.
+func TestRecorderConcurrentMembership(t *testing.T) {
+	sched, rec := recorderSched(t)
+	auditor := flightrec.NewAuditor(rec, flightrec.AuditorConfig{Window: time.Second})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	spin := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+					f(i)
+				}
+			}
+		}()
+	}
+
+	spin(func(i int) { // the scheduler's ticker goroutine
+		sched.Tick()
+	})
+	spin(func(i int) { // hosting churn: sign and drop a subscriber
+		id := qos.SubscriberID(fmt.Sprintf("churn%d", i%4))
+		host := fmt.Sprintf("churn%d.example", i%4)
+		if err := sched.AddSubscriber(qos.Subscriber{ID: id, Hosts: []string{host}, Reservation: 10}); err == nil {
+			sched.Enqueue(Request{ID: uint64(1000 + i), Subscriber: id})
+			sched.RemoveSubscriber(id)
+		}
+	})
+	spin(func(i int) { // connection goroutines enqueueing
+		sched.Enqueue(Request{ID: uint64(i), Subscriber: "a"})
+	})
+	spin(func(i int) { // accounting messages
+		u := qos.GenericCost().Scale(0.5)
+		sched.ReportUsage(UsageReport{
+			Node:  NodeID(1 + i%2),
+			Total: u,
+			BySubscriber: map[qos.SubscriberID]SubscriberUsage{
+				"a": {Usage: u, Completed: 1},
+			},
+		})
+	})
+	spin(func(i int) { // monitoring accessors
+		sched.Dispatched("a")
+		sched.Balance("b")
+		sched.QueueLen("c")
+	})
+	spin(func(i int) { // scrape handler: auditor pull + report + ring read
+		auditor.Sync()
+		auditor.Report()
+		rec.Recent(8)
+	})
+
+	time.Sleep(200 * time.Millisecond)
+	close(done)
+	wg.Wait()
+
+	if rec.Seq() == 0 {
+		t.Fatal("no cycles recorded during the race")
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Membership varies per record; every record is internally consistent
+	// (core subscribers always present, in order).
+	for _, cr := range rec.Recent(0) {
+		found := 0
+		for _, sr := range cr.Subs {
+			switch sr.ID {
+			case "a", "b", "c":
+				found++
+			}
+		}
+		if found != 3 {
+			t.Fatalf("record %d: %d of 3 core subscribers present", cr.Seq, found)
+		}
+	}
+}
+
+// TestSetRecorderDetach verifies detaching stops recording and ticks keep
+// working.
+func TestSetRecorderDetach(t *testing.T) {
+	sched, rec := recorderSched(t)
+	sched.Tick()
+	if rec.Seq() != 1 {
+		t.Fatalf("Seq = %d after one tick, want 1", rec.Seq())
+	}
+	if got := sched.Recorder(); got != rec {
+		t.Fatal("Recorder() did not return the attached recorder")
+	}
+	sched.SetRecorder(nil)
+	sched.Tick()
+	if rec.Seq() != 1 {
+		t.Fatalf("Seq = %d after detach, want still 1", rec.Seq())
+	}
+	if sched.Recorder() != nil {
+		t.Fatal("Recorder() non-nil after detach")
+	}
+}

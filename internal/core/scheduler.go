@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"gage/internal/flightrec"
 	"gage/internal/qos"
 )
 
@@ -188,6 +189,16 @@ type queueState struct {
 	// dispatched counts this subscriber's dispatch decisions since creation
 	// (monitoring; the per-scheduler total lives on Scheduler.dispatched).
 	dispatched uint64
+
+	// Per-cycle flight-recorder accumulators, maintained only while a
+	// recorder is attached and reset as each cycle record is committed:
+	// dispatch counts by funding round, the effective credit granted this
+	// cycle, and the usage/completions reported since the previous record.
+	cycReserved  int
+	cycSpare     int
+	cycCompleted int
+	cycUsage     qos.Vector
+	cycCredited  qos.Vector
 }
 
 func (q *queueState) qlen() int { return len(q.fifo) - q.head }
@@ -289,6 +300,10 @@ type Scheduler struct {
 	vtime float64
 
 	dispatched uint64
+
+	// rec, when non-nil, receives one CycleRecord per tick. The hot path
+	// pays a single nil check when no recorder is attached.
+	rec *flightrec.Recorder
 }
 
 // New builds a scheduler for the given subscribers and nodes.
@@ -390,7 +405,12 @@ func (s *Scheduler) Tick() []Dispatch {
 	n := len(s.order)
 	for i := 0; i < n; i++ {
 		q := s.subs[s.order[(s.start+i)%n]]
+		before := q.balance
 		q.balance = s.clampBalance(q, q.balance.Add(q.res.PerCycle(s.cfg.Cycle)))
+		if s.rec != nil {
+			// The effective credit: the balance delta after clamping.
+			q.cycCredited = q.balance.Sub(before)
+		}
 		for q.qlen() > 0 {
 			effective := q.balance
 			if s.cfg.Gate == GateSelfClocked {
@@ -455,7 +475,66 @@ func (s *Scheduler) Tick() []Dispatch {
 		best.vstart += need / weight
 		out = append(out, d)
 	}
+	if s.rec != nil {
+		s.recordCycle()
+	}
 	return out
+}
+
+// recordCycle commits one flight-recorder record of the cycle that just ran
+// and resets the per-cycle accumulators. Callers hold s.mu and have checked
+// s.rec != nil. Steady state allocates nothing: the record's slices retain
+// their capacity across cycles.
+func (s *Scheduler) recordCycle() {
+	cr := s.rec.Begin()
+	for _, id := range s.order {
+		q := s.subs[id]
+		cr.Subs = append(cr.Subs, flightrec.SubRecord{
+			ID:          q.id,
+			Reservation: q.res,
+			Balance:     q.balance,
+			Predicted:   q.predicted,
+			Credited:    q.cycCredited,
+			Usage:       q.cycUsage,
+			QueueLen:    q.qlen(),
+			Reserved:    q.cycReserved,
+			Spare:       q.cycSpare,
+			Completed:   q.cycCompleted,
+			Dropped:     q.dropped,
+		})
+		q.cycReserved, q.cycSpare, q.cycCompleted = 0, 0, 0
+		q.cycUsage, q.cycCredited = qos.Vector{}, qos.Vector{}
+	}
+	for _, id := range s.nodeOrder {
+		nd := s.nodes[id]
+		cr.Nodes = append(cr.Nodes, flightrec.NodeRecord{
+			ID:          int(nd.id),
+			Outstanding: nd.outstanding,
+			Drained:     nd.drained,
+			Weight:      nd.weight,
+		})
+	}
+	s.rec.Commit()
+}
+
+// SetRecorder attaches (or, with nil, detaches) a flight recorder. Each Tick
+// then commits one CycleRecord; per-cycle accumulators start fresh from the
+// next cycle.
+func (s *Scheduler) SetRecorder(rec *flightrec.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+	for _, q := range s.subs {
+		q.cycReserved, q.cycSpare, q.cycCompleted = 0, 0, 0
+		q.cycUsage, q.cycCredited = qos.Vector{}, qos.Vector{}
+	}
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (s *Scheduler) Recorder() *flightrec.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
 }
 
 // dispatchOne pops the head request of q and assigns it to the least-loaded
@@ -475,6 +554,13 @@ func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 	q.pending[node.id] = append(q.pending[node.id], pendingDispatch{reqID: req.ID, predicted: q.predicted, spare: spare})
 	s.dispatched++
 	q.dispatched++
+	if s.rec != nil {
+		if spare {
+			q.cycSpare++
+		} else {
+			q.cycReserved++
+		}
+	}
 	if n := len(s.nodeOrder); n > 0 {
 		s.nodeStart = (s.nodeStart + 1) % n
 	}
@@ -556,6 +642,10 @@ func (s *Scheduler) ReportUsage(rep UsageReport) error {
 		}
 		q.pending[rep.Node] = fifo[k:]
 		q.balance = s.clampBalance(q, q.balance.Sub(u.Usage).Add(refund))
+		if s.rec != nil {
+			q.cycUsage = q.cycUsage.Add(u.Usage)
+			q.cycCompleted += u.Completed
+		}
 		nd.outstanding = nd.outstanding.Sub(released).ClampNonNegative()
 		// Reconcile the optimistic drain: the released work was (mostly)
 		// the work we assumed was draining.

@@ -28,6 +28,7 @@ import (
 	"gage/internal/breaker"
 	"gage/internal/classify"
 	"gage/internal/core"
+	"gage/internal/flightrec"
 	"gage/internal/httpwire"
 	"gage/internal/qos"
 	"gage/internal/telemetry"
@@ -88,6 +89,20 @@ type Config struct {
 	TraceSampleEvery int
 	// TraceBuffer is the completed-trace ring capacity (default 256).
 	TraceBuffer int
+	// CycleRingSize enables the scheduler's flight recorder with a ring
+	// retaining that many cycle records, served at CyclesPath and audited
+	// for guarantee conformance at MetricsPath. 0 leaves recording off
+	// (the scheduler's hot path then pays one nil check per tick) unless
+	// CycleLog is set, in which case the default ring size applies.
+	CycleRingSize int
+	// CycleLog, when non-nil, receives every committed cycle record as one
+	// JSON line — a flight log `gagetrace audit` replays offline. Implies
+	// recording even when CycleRingSize is 0.
+	CycleLog io.Writer
+	// ConformanceWindow is the conformance auditor's slow sliding window
+	// (default 10 s); the fast burn-rate window derives as one tenth of
+	// it. Only meaningful with recording enabled.
+	ConformanceWindow time.Duration
 	// Dial opens backend connections; nil means net.DialTimeout. Fault
 	// drills swap in a chaos dialer here to script backend outages without
 	// touching real processes.
@@ -194,6 +209,12 @@ type Server struct {
 	// themselves are concurrency-safe.
 	reqLat   map[qos.SubscriberID]*telemetry.Histogram
 	relayLat map[core.NodeID]*telemetry.Histogram
+
+	// rec is the scheduler's flight recorder and auditor its conformance
+	// view, both nil when Config left recording off (CyclesPath then 404s
+	// and MetricsPath omits the conformance families).
+	rec     *flightrec.Recorder
+	auditor *flightrec.Auditor
 }
 
 // UnhealthyAfter is the default consecutive-failure threshold that trips a
@@ -283,6 +304,20 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *flightrec.Recorder
+	var auditor *flightrec.Auditor
+	if cfg.CycleRingSize > 0 || cfg.CycleLog != nil {
+		rec = flightrec.NewRecorder(flightrec.Config{
+			RingSize: cfg.CycleRingSize,
+			Spill:    cfg.CycleLog,
+		})
+		sched.SetRecorder(rec)
+		window := cfg.ConformanceWindow
+		if window <= 0 {
+			window = DefaultConformanceWindow
+		}
+		auditor = flightrec.NewAuditor(rec, flightrec.AuditorConfig{Window: window})
+	}
 	breakers := make(map[core.NodeID]*breaker.Breaker, len(addrs))
 	for id := range addrs {
 		breakers[id] = breaker.New(cfg.Breaker)
@@ -316,6 +351,8 @@ func New(cfg Config) (*Server, error) {
 		}),
 		reqLat:   reqLat,
 		relayLat: relayLat,
+		rec:      rec,
+		auditor:  auditor,
 	}, nil
 }
 
@@ -694,6 +731,9 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		return true
 	case TracePath:
 		s.serveTrace(conn)
+		return true
+	case CyclesPath:
+		s.serveCycles(conn)
 		return true
 	}
 	// The request ID doubles as the trace-sampling key, so it is drawn

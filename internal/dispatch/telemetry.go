@@ -130,6 +130,7 @@ func (s *Server) buildExposition() ([]byte, error) {
 			e.Summary("gage_relay_latency_seconds", nodeLabel(id), h.Snapshot(), latencyQuantiles)
 		}
 	}
+	s.addConformance(e)
 	return e.Bytes()
 }
 

@@ -1,0 +1,414 @@
+package flightrec
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"gage/internal/metrics"
+	"gage/internal/qos"
+)
+
+// Auditor defaults.
+const (
+	// DefaultRatio is the conformance threshold: delivered/reserved below
+	// this in both burn-rate windows (with standing demand) is a violation.
+	DefaultRatio = 0.9
+	// DefaultInterval is the deviation-statistic averaging interval, the
+	// paper's Figure-3 setting.
+	DefaultInterval = time.Second
+	// DefaultDemandFraction is the minimum fraction of fast-window cycles
+	// that must end with a standing backlog before low delivery counts as a
+	// violation — an idle subscriber is not a violated one.
+	DefaultDemandFraction = 0.5
+)
+
+// AuditorConfig tunes a conformance auditor.
+type AuditorConfig struct {
+	// Window is the slow sliding window. Zero or negative means unbounded —
+	// the whole stream, the right setting for offline log audits. (The live
+	// dispatcher installs its own default instead; see dispatch.Config.)
+	Window time.Duration
+	// FastWindow is the fast burn-rate window; zero derives Window/10.
+	// Violations require both windows below Ratio: the fast window catches
+	// the onset quickly, the slow window keeps one bad cycle from flapping.
+	FastWindow time.Duration
+	// Interval is the deviation-statistic averaging interval (default 1 s).
+	Interval time.Duration
+	// Ratio is the conformance threshold (default 0.9).
+	Ratio float64
+	// DemandFraction gates violations on demand (default 0.5): at least this
+	// fraction of fast-window cycles must end with a non-empty queue.
+	DemandFraction float64
+	// Skip ignores records before this offset — warmup exclusion, matching
+	// the simulator's measurement window.
+	Skip time.Duration
+	// Units converts usage vectors to generic units (default GenericUnits).
+	Units func(qos.Vector) float64
+}
+
+func (c AuditorConfig) withDefaults() AuditorConfig {
+	if c.FastWindow <= 0 && c.Window > 0 {
+		c.FastWindow = c.Window / 10
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.Ratio <= 0 {
+		c.Ratio = DefaultRatio
+	}
+	if c.DemandFraction <= 0 {
+		c.DemandFraction = DefaultDemandFraction
+	}
+	if c.Units == nil {
+		c.Units = qos.Vector.GenericUnits
+	}
+	return c
+}
+
+// Span is one contiguous run of violating cycles, offsets in record time.
+type Span struct {
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	// Open marks a violation still in progress at the last ingested record.
+	Open bool `json:"open"`
+}
+
+// point is one cycle's contribution to a subscriber's sliding windows.
+type point struct {
+	at         time.Duration
+	units      float64
+	backlogged bool
+	spare      int
+	reserved   int
+}
+
+// subAudit is one subscriber's windowed conformance state.
+type subAudit struct {
+	id  qos.SubscriberID
+	res qos.GRPS
+
+	// pts[head:] is the slow window, pts[fastHead:] the fast window
+	// (fastHead >= head always, since FastWindow <= Window).
+	pts            []point
+	head, fastHead int
+
+	slowUnits      float64
+	slowSpare      int
+	slowReserved   int
+	fastUnits      float64
+	fastBacklogged int
+
+	firstAt, lastAt time.Duration
+	seen            bool
+
+	violating  bool
+	violations uint64
+	spans      []Span
+}
+
+// Auditor consumes cycle records — incrementally from a Recorder via Sync,
+// or pushed via Ingest — and maintains per-subscriber delivered-vs-reserved
+// conformance over fast/slow sliding windows. It is safe for concurrent use.
+type Auditor struct {
+	mu  sync.Mutex
+	cfg AuditorConfig
+	rec *Recorder
+
+	next    uint64 // next Recorder sequence to pull
+	records uint64
+	dropped uint64
+
+	subs  map[qos.SubscriberID]*subAudit
+	order []qos.SubscriberID
+
+	// step is the observed record spacing (the scheduling cycle).
+	step     time.Duration
+	lastAt   time.Duration
+	haveLast bool
+}
+
+// NewAuditor builds an auditor. rec may be nil for push-mode (offline) use.
+func NewAuditor(rec *Recorder, cfg AuditorConfig) *Auditor {
+	return &Auditor{
+		cfg:  cfg.withDefaults(),
+		rec:  rec,
+		subs: make(map[qos.SubscriberID]*subAudit),
+	}
+}
+
+// Sync pulls every record committed since the last Sync from the recorder.
+// The auditor is pull-based — there is no background goroutine; callers
+// (scrape handlers, tests) sync right before reading a Report.
+func (a *Auditor) Sync() {
+	if a.rec == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	recs, next, dropped := a.rec.Since(a.next)
+	a.next = next
+	a.dropped += dropped
+	for i := range recs {
+		a.ingestLocked(&recs[i])
+	}
+}
+
+// Ingest pushes one record — the offline replay path.
+func (a *Auditor) Ingest(rec CycleRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.ingestLocked(&rec)
+}
+
+func (a *Auditor) ingestLocked(rec *CycleRecord) {
+	if rec.At < a.cfg.Skip {
+		return
+	}
+	if a.haveLast {
+		if rec.At <= a.lastAt {
+			return // out-of-order or duplicate; the stream is append-only
+		}
+		a.step = rec.At - a.lastAt
+	}
+	a.lastAt = rec.At
+	a.haveLast = true
+	a.records++
+	for i := range rec.Subs {
+		a.ingestSub(rec.At, &rec.Subs[i])
+	}
+}
+
+func (a *Auditor) ingestSub(at time.Duration, sr *SubRecord) {
+	s := a.subs[sr.ID]
+	if s == nil {
+		s = &subAudit{id: sr.ID}
+		a.subs[sr.ID] = s
+		a.order = append(a.order, sr.ID)
+		sort.Slice(a.order, func(i, j int) bool { return a.order[i] < a.order[j] })
+	}
+	s.res = sr.Reservation
+	p := point{
+		at:         at,
+		units:      a.cfg.Units(sr.Usage),
+		backlogged: sr.QueueLen > 0,
+		spare:      sr.Spare,
+		reserved:   sr.Reserved,
+	}
+	if !s.seen {
+		s.seen = true
+		s.firstAt = at
+	}
+	s.lastAt = at
+	s.pts = append(s.pts, p)
+	s.slowUnits += p.units
+	s.slowSpare += p.spare
+	s.slowReserved += p.reserved
+	s.fastUnits += p.units
+	if p.backlogged {
+		s.fastBacklogged++
+	}
+	if a.cfg.Window > 0 {
+		for s.head < len(s.pts) && s.pts[s.head].at <= at-a.cfg.Window {
+			q := &s.pts[s.head]
+			s.slowUnits -= q.units
+			s.slowSpare -= q.spare
+			s.slowReserved -= q.reserved
+			s.head++
+		}
+	}
+	if a.cfg.FastWindow > 0 {
+		for s.fastHead < len(s.pts) && s.pts[s.fastHead].at <= at-a.cfg.FastWindow {
+			q := &s.pts[s.fastHead]
+			s.fastUnits -= q.units
+			if q.backlogged {
+				s.fastBacklogged--
+			}
+			s.fastHead++
+		}
+		if s.fastHead < s.head {
+			s.fastHead = s.head
+		}
+	}
+	// Compact the consumed prefix once it dominates the slice.
+	if s.head > 4096 && s.head*2 >= len(s.pts) {
+		n := copy(s.pts, s.pts[s.head:])
+		s.pts = s.pts[:n]
+		s.fastHead -= s.head
+		s.head = 0
+	}
+	a.evaluate(s, at)
+}
+
+// evaluate updates a subscriber's violation state after one ingested cycle.
+func (a *Auditor) evaluate(s *subAudit, at time.Duration) {
+	step := a.step
+	// Armed only once the fast window has filled; a bounded fast window is
+	// required for violation detection at all (an unbounded audit reports
+	// ratios but never spans).
+	armed := step > 0 && a.cfg.FastWindow > 0 && at-s.firstAt+step >= a.cfg.FastWindow
+	violating := false
+	if armed && s.res > 0 {
+		fastCount := len(s.pts) - s.fastHead
+		demand := fastCount > 0 &&
+			float64(s.fastBacklogged) >= a.cfg.DemandFraction*float64(fastCount)
+		fastRatio := a.ratioLocked(s.fastUnits, s.res, at+step-s.pts[s.fastHead].at)
+		slowRatio := a.ratioLocked(s.slowUnits, s.res, at+step-s.pts[s.head].at)
+		violating = demand && fastRatio < a.cfg.Ratio && slowRatio < a.cfg.Ratio
+	}
+	switch {
+	case violating && !s.violating:
+		s.violating = true
+		s.violations++
+		s.spans = append(s.spans, Span{Start: at, End: at, Open: true})
+	case violating:
+		s.spans[len(s.spans)-1].End = at
+	case s.violating:
+		s.violating = false
+		sp := &s.spans[len(s.spans)-1]
+		sp.End = at
+		sp.Open = false
+	}
+}
+
+// ratioLocked is delivered/reserved over a span: units relative to what the
+// reservation entitles across it.
+func (a *Auditor) ratioLocked(units float64, res qos.GRPS, span time.Duration) float64 {
+	if res <= 0 || span <= 0 {
+		return 0
+	}
+	return units / (float64(res) * span.Seconds())
+}
+
+// SubReport is one subscriber's conformance view.
+type SubReport struct {
+	ID          qos.SubscriberID `json:"id"`
+	Reservation qos.GRPS         `json:"res"`
+	// Delivered is the slow-window delivered rate in generic units/sec.
+	Delivered float64 `json:"delivered"`
+	// FastRatio and SlowRatio are delivered/reserved over each burn-rate
+	// window (0 when the reservation is zero).
+	FastRatio float64 `json:"fastRatio"`
+	SlowRatio float64 `json:"slowRatio"`
+	// Deviation is the Figure-3 statistic (mean |rate−res|/res over
+	// averaging intervals) across the report window, computed with
+	// metrics.Series; DeviationOK is false when the window holds no
+	// complete interval or the reservation is zero.
+	Deviation   float64 `json:"deviation"`
+	DeviationOK bool    `json:"deviationOk"`
+	// WorstDeviation is the worst single interval's deviation.
+	WorstDeviation float64 `json:"worstDeviation"`
+	// Backlogged is the fraction of fast-window cycles ending with queued
+	// requests — the demand gate's input.
+	Backlogged float64 `json:"backlogged"`
+	// SpareShare is this subscriber's fraction of all spare-round dispatches
+	// in the slow window; Spare/Reserved are its window dispatch counts.
+	SpareShare float64 `json:"spareShare"`
+	Spare      int     `json:"spare"`
+	Reserved   int     `json:"reserved"`
+	// Violating marks an open violation; Violations counts spans opened.
+	Violating  bool   `json:"violating"`
+	Violations uint64 `json:"violations"`
+	Spans      []Span `json:"spans,omitempty"`
+	// Active is false when the subscriber stopped appearing in records
+	// (removed at runtime); its report is frozen at its last cycle.
+	Active bool `json:"active"`
+}
+
+// Report is the auditor's full conformance view.
+type Report struct {
+	// At is the last ingested record's offset; Records counts ingested
+	// cycles, Dropped the ring records the auditor missed between Syncs.
+	At      time.Duration `json:"at"`
+	Records uint64        `json:"records"`
+	Dropped uint64        `json:"dropped"`
+	Subs    []SubReport   `json:"subs"`
+}
+
+// Sub returns the report row for one subscriber.
+func (r Report) Sub(id qos.SubscriberID) (SubReport, bool) {
+	for _, s := range r.Subs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return SubReport{}, false
+}
+
+// Report assembles the current per-subscriber conformance state, subscribers
+// sorted by ID. Callers pulling from a Recorder should Sync first.
+func (a *Auditor) Report() Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := Report{At: a.lastAt, Records: a.records, Dropped: a.dropped}
+	totalSpare := 0
+	for _, s := range a.subs {
+		totalSpare += s.slowSpare
+	}
+	for _, id := range a.order {
+		s := a.subs[id]
+		sr := SubReport{
+			ID:          s.id,
+			Reservation: s.res,
+			Spare:       s.slowSpare,
+			Reserved:    s.slowReserved,
+			Violating:   s.violating,
+			Violations:  s.violations,
+			Spans:       append([]Span(nil), s.spans...),
+			Active:      a.lastAt-s.lastAt <= a.step,
+		}
+		if totalSpare > 0 {
+			sr.SpareShare = float64(s.slowSpare) / float64(totalSpare)
+		}
+		step := a.step
+		if retained := len(s.pts) - s.head; retained > 0 && step > 0 {
+			slowSpan := s.lastAt + step - s.pts[s.head].at
+			if slowSpan > 0 {
+				sr.Delivered = s.slowUnits / slowSpan.Seconds()
+			}
+			sr.SlowRatio = a.ratioLocked(s.slowUnits, s.res, slowSpan)
+			sr.FastRatio = a.ratioLocked(s.fastUnits, s.res, s.lastAt+step-s.pts[s.fastHead].at)
+			if fastCount := len(s.pts) - s.fastHead; fastCount > 0 {
+				sr.Backlogged = float64(s.fastBacklogged) / float64(fastCount)
+			}
+			// Deviation reuses the metrics.Series Figure-3 math over the
+			// retained window: bins start at the warmup edge when the window
+			// reaches back to it, so an offline audit of a simulator log
+			// bins exactly like the simulator's own Observed series.
+			if s.res > 0 {
+				var ser metrics.Series
+				for _, p := range s.pts[s.head:] {
+					ser.Record(p.at, p.units)
+				}
+				from := s.pts[s.head].at - step
+				if a.cfg.Skip > from {
+					from = a.cfg.Skip
+				}
+				to := s.lastAt + step
+				if d, err := ser.DeviationBetween(s.res, from, to, a.cfg.Interval); err == nil {
+					sr.Deviation, sr.DeviationOK = d, true
+				}
+				worst := 0.0
+				for _, r := range ser.IntervalRatesBetween(from, to, a.cfg.Interval) {
+					if d := math.Abs(r-float64(s.res)) / float64(s.res); d > worst {
+						worst = d
+					}
+				}
+				sr.WorstDeviation = worst
+			}
+		}
+		rep.Subs = append(rep.Subs, sr)
+	}
+	return rep
+}
+
+// Replay feeds a recorded cycle log through a fresh auditor and returns its
+// final report — the offline path behind `gagetrace audit`.
+func Replay(recs []CycleRecord, cfg AuditorConfig) Report {
+	a := NewAuditor(nil, cfg)
+	for i := range recs {
+		a.ingestLocked(&recs[i]) // fresh private auditor: no locking needed
+	}
+	return a.Report()
+}

@@ -1,0 +1,365 @@
+package flightrec
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// fill copies one synthetic record into an open ring slot.
+func fill(slot *CycleRecord, rec CycleRecord) {
+	slot.Subs = append(slot.Subs, rec.Subs...)
+	slot.Nodes = append(slot.Nodes, rec.Nodes...)
+}
+
+// usageOf builds a usage vector worth the given number of generic units.
+func usageOf(units float64) qos.Vector {
+	return qos.GenericCost().Scale(units)
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	var tick time.Duration
+	r := NewRecorder(Config{RingSize: 4, Now: func() time.Duration { return tick }})
+	for i := 0; i < 10; i++ {
+		tick = time.Duration(i+1) * 10 * time.Millisecond
+		slot := r.Begin()
+		fill(slot, CycleRecord{Subs: []SubRecord{{ID: "s", QueueLen: i}}})
+		r.Commit()
+	}
+	if got := r.Seq(); got != 10 {
+		t.Fatalf("Seq = %d, want 10", got)
+	}
+	recent := r.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent(0) returned %d records, want 4 (ring size)", len(recent))
+	}
+	for i, rec := range recent {
+		wantSeq := uint64(6 + i)
+		if rec.Seq != wantSeq {
+			t.Errorf("recent[%d].Seq = %d, want %d", i, rec.Seq, wantSeq)
+		}
+		if rec.Subs[0].QueueLen != int(wantSeq) {
+			t.Errorf("recent[%d] queueLen = %d, want %d", i, rec.Subs[0].QueueLen, wantSeq)
+		}
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0].Seq != 8 {
+		t.Fatalf("Recent(2) = %d records starting at seq %d, want 2 from 8", len(got), got[0].Seq)
+	}
+
+	recs, next, dropped := r.Since(0)
+	if dropped != 6 {
+		t.Errorf("Since(0) dropped = %d, want 6", dropped)
+	}
+	if len(recs) != 4 || next != 10 {
+		t.Errorf("Since(0) = %d records, next %d; want 4, 10", len(recs), next)
+	}
+	if recs, next, dropped = r.Since(next); len(recs) != 0 || dropped != 0 || next != 10 {
+		t.Errorf("Since(10) = %d records, next %d, dropped %d; want empty", len(recs), next, dropped)
+	}
+
+	// Mutating a returned copy must not touch the ring.
+	recent[3].Subs[0].QueueLen = -1
+	if again := r.Recent(1); again[0].Subs[0].QueueLen == -1 {
+		t.Fatal("Recent returned a slice aliasing the ring")
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var tick time.Duration
+	r := NewRecorder(Config{RingSize: 2, Spill: &buf, Now: func() time.Duration { return tick }})
+	want := []CycleRecord{
+		{Seq: 0, At: 10 * time.Millisecond, Subs: []SubRecord{{
+			ID: "site1", Reservation: 250,
+			Balance:   qos.Vector{CPUTime: time.Millisecond, DiskTime: 2 * time.Millisecond, NetBytes: 300},
+			Predicted: qos.GenericCost(),
+			Credited:  qos.GRPS(250).PerCycle(10 * time.Millisecond),
+			Usage:     usageOf(2.5),
+			QueueLen:  3, Reserved: 2, Spare: 1, Completed: 4, Dropped: 7,
+		}}, Nodes: []NodeRecord{{
+			ID: 1, Outstanding: usageOf(1), Drained: usageOf(0.5), Weight: 0.75,
+		}}},
+		{Seq: 1, At: 20 * time.Millisecond, Subs: []SubRecord{{ID: "site2"}}},
+		{Seq: 2, At: 30 * time.Millisecond}, // empty cycle: no subs, no nodes
+	}
+	for _, rec := range want {
+		tick = rec.At
+		slot := r.Begin()
+		fill(slot, rec)
+		r.Commit()
+	}
+	if err := r.SpillErr(); err != nil {
+		t.Fatalf("SpillErr: %v", err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReadLog returned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		// JSON round-trips nil and empty slices both to nil.
+		if len(w.Subs) == 0 {
+			w.Subs = g.Subs
+		}
+		if len(w.Nodes) == 0 {
+			w.Nodes = g.Nodes
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("record %d round-trip mismatch:\ngot  %+v\nwant %+v", i, g, w)
+		}
+	}
+
+	// WriteLog produces the same format ReadLog parses.
+	var buf2 bytes.Buffer
+	if err := WriteLog(&buf2, got); err != nil {
+		t.Fatalf("WriteLog: %v", err)
+	}
+	again, err := ReadLog(&buf2)
+	if err != nil {
+		t.Fatalf("ReadLog(WriteLog): %v", err)
+	}
+	if !reflect.DeepEqual(again, got) {
+		t.Fatal("WriteLog/ReadLog round trip diverged")
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(bytes.NewBufferString("{\"seq\":0}\nnot json\n")); err == nil {
+		t.Fatal("ReadLog accepted a malformed line")
+	}
+}
+
+// synth builds a stream of cycle records for one subscriber at a 10 ms cycle:
+// each entry in units is one cycle's delivered units, with backlog marking
+// standing demand.
+func synth(res qos.GRPS, units []float64, backlog []bool) []CycleRecord {
+	const cycle = 10 * time.Millisecond
+	recs := make([]CycleRecord, len(units))
+	for i := range units {
+		qlen := 0
+		if backlog[i] {
+			qlen = 5
+		}
+		recs[i] = CycleRecord{
+			Seq: uint64(i),
+			At:  time.Duration(i+1) * cycle,
+			Subs: []SubRecord{{
+				ID:          "sub",
+				Reservation: res,
+				Usage:       usageOf(units[i]),
+				QueueLen:    qlen,
+			}},
+		}
+	}
+	return recs
+}
+
+func TestAuditorDetectsViolation(t *testing.T) {
+	// 100 GRPS at a 10 ms cycle = 1 unit per cycle. Healthy for 1 s, starved
+	// with standing backlog for 1 s, healthy again for 1 s.
+	const n = 300
+	units := make([]float64, n)
+	backlog := make([]bool, n)
+	for i := range units {
+		switch {
+		case i < 100:
+			units[i] = 1
+		case i < 200:
+			units[i] = 0
+			backlog[i] = true
+		default:
+			units[i] = 1
+		}
+	}
+	rep := Replay(synth(100, units, backlog), AuditorConfig{
+		Window:     time.Second,
+		FastWindow: 200 * time.Millisecond,
+	})
+	if rep.Records != n {
+		t.Fatalf("Records = %d, want %d", rep.Records, n)
+	}
+	sub, ok := rep.Sub("sub")
+	if !ok {
+		t.Fatal("no report row for sub")
+	}
+	if sub.Violations != 1 {
+		t.Fatalf("violations = %d, want exactly 1 span; spans: %+v", sub.Violations, sub.Spans)
+	}
+	sp := sub.Spans[0]
+	if sp.Open {
+		t.Fatalf("span still open at end of healthy tail: %+v", sp)
+	}
+	// The outage spans (1s, 2s]; detection lags by the fast window and
+	// demand gate, recovery by the windows refilling.
+	if sp.Start < time.Second || sp.Start > 1500*time.Millisecond {
+		t.Errorf("span start %v, want shortly after 1s", sp.Start)
+	}
+	if sp.End < 2*time.Second || sp.End > 3*time.Second {
+		t.Errorf("span end %v, want shortly after 2s", sp.End)
+	}
+	if sub.Violating {
+		t.Error("still marked violating after recovery")
+	}
+}
+
+func TestAuditorDemandGate(t *testing.T) {
+	// Delivering only 30% of the reservation but with no backlog: an idle
+	// subscriber, not a violated one.
+	const n = 300
+	units := make([]float64, n)
+	backlog := make([]bool, n)
+	for i := range units {
+		units[i] = 0.3
+	}
+	rep := Replay(synth(100, units, backlog), AuditorConfig{
+		Window:     time.Second,
+		FastWindow: 200 * time.Millisecond,
+	})
+	sub, _ := rep.Sub("sub")
+	if sub.Violations != 0 {
+		t.Fatalf("idle subscriber reported %d violations: %+v", sub.Violations, sub.Spans)
+	}
+	if sub.SlowRatio > 0.35 || sub.SlowRatio < 0.25 {
+		t.Errorf("slow ratio = %.3f, want ≈0.3", sub.SlowRatio)
+	}
+}
+
+func TestAuditorZeroReservation(t *testing.T) {
+	const n = 150
+	units := make([]float64, n)
+	backlog := make([]bool, n)
+	for i := range units {
+		backlog[i] = true // permanently starved best-effort subscriber
+	}
+	rep := Replay(synth(0, units, backlog), AuditorConfig{
+		Window:     time.Second,
+		FastWindow: 200 * time.Millisecond,
+	})
+	sub, _ := rep.Sub("sub")
+	if sub.Violations != 0 {
+		t.Fatalf("zero-reservation subscriber reported %d violations", sub.Violations)
+	}
+}
+
+func TestAuditorRatiosAndDeviation(t *testing.T) {
+	// Steady 1 unit/cycle against 100 GRPS: ratios 1.0, deviation 0.
+	const n = 400
+	units := make([]float64, n)
+	backlog := make([]bool, n)
+	for i := range units {
+		units[i] = 1
+	}
+	rep := Replay(synth(100, units, backlog), AuditorConfig{})
+	sub, _ := rep.Sub("sub")
+	if math.Abs(sub.SlowRatio-1) > 0.01 || math.Abs(sub.FastRatio-1) > 0.01 {
+		t.Errorf("ratios = fast %.4f slow %.4f, want 1.0", sub.FastRatio, sub.SlowRatio)
+	}
+	if math.Abs(sub.Delivered-100) > 1 {
+		t.Errorf("delivered = %.2f units/s, want ≈100", sub.Delivered)
+	}
+	if !sub.DeviationOK {
+		t.Fatal("deviation not computed over a 4 s stream")
+	}
+	if sub.Deviation > 0.01 || sub.WorstDeviation > 0.01 {
+		t.Errorf("deviation = %.4f (worst %.4f), want ≈0", sub.Deviation, sub.WorstDeviation)
+	}
+	if !sub.Active {
+		t.Error("subscriber marked inactive in a live stream")
+	}
+}
+
+func TestAuditorSkipExcludesWarmup(t *testing.T) {
+	// Garbage (zero delivery, full backlog) during the first second, steady
+	// delivery afterwards: with Skip=1s the warmup never reaches the
+	// windows, so no violation and a clean deviation.
+	const n = 400
+	units := make([]float64, n)
+	backlog := make([]bool, n)
+	for i := range units {
+		if i < 100 {
+			backlog[i] = true
+		} else {
+			units[i] = 1
+		}
+	}
+	rep := Replay(synth(100, units, backlog), AuditorConfig{
+		Window:     time.Second,
+		FastWindow: 200 * time.Millisecond,
+		Skip:       time.Second,
+	})
+	sub, _ := rep.Sub("sub")
+	if sub.Violations != 0 {
+		t.Fatalf("warmup leaked into the audit: %d violations %+v", sub.Violations, sub.Spans)
+	}
+	if !sub.DeviationOK || sub.Deviation > 0.01 {
+		t.Errorf("deviation = %.4f (ok=%v), want ≈0", sub.Deviation, sub.DeviationOK)
+	}
+	// Skip excludes records strictly before the offset; the record at
+	// exactly 1s (the 100th) is retained, so 301 of 400 survive.
+	if rep.Records != 301 {
+		t.Errorf("Records = %d, want 301 (skip dropped 99)", rep.Records)
+	}
+}
+
+func TestAuditorSyncCountsRingDrops(t *testing.T) {
+	var tick time.Duration
+	r := NewRecorder(Config{RingSize: 8, Now: func() time.Duration { return tick }})
+	a := NewAuditor(r, AuditorConfig{})
+	commit := func(k int) {
+		for i := 0; i < k; i++ {
+			tick += 10 * time.Millisecond
+			slot := r.Begin()
+			slot.Subs = append(slot.Subs, SubRecord{ID: "s", Reservation: 10, Usage: usageOf(0.1)})
+			r.Commit()
+		}
+	}
+	commit(4)
+	a.Sync()
+	if rep := a.Report(); rep.Records != 4 || rep.Dropped != 0 {
+		t.Fatalf("after first sync: records %d dropped %d, want 4/0", rep.Records, rep.Dropped)
+	}
+	commit(20) // laps the ring: 12 records lost to the auditor
+	a.Sync()
+	rep := a.Report()
+	if rep.Dropped != 12 {
+		t.Errorf("Dropped = %d, want 12", rep.Dropped)
+	}
+	if rep.Records != 12 {
+		t.Errorf("Records = %d, want 12 (4 + the 8 retained)", rep.Records)
+	}
+	a.Sync() // idempotent when nothing new committed
+	if again := a.Report(); again.Records != rep.Records || again.Dropped != rep.Dropped {
+		t.Error("redundant Sync changed the report")
+	}
+}
+
+func TestAuditorSpareShare(t *testing.T) {
+	const cycle = 10 * time.Millisecond
+	var recs []CycleRecord
+	for i := 0; i < 200; i++ {
+		recs = append(recs, CycleRecord{
+			Seq: uint64(i),
+			At:  time.Duration(i+1) * cycle,
+			Subs: []SubRecord{
+				{ID: "a", Reservation: 100, Usage: usageOf(1), Reserved: 1, Spare: 3},
+				{ID: "b", Reservation: 50, Usage: usageOf(0.5), Reserved: 1, Spare: 1},
+			},
+		})
+	}
+	rep := Replay(recs, AuditorConfig{})
+	a, _ := rep.Sub("a")
+	b, _ := rep.Sub("b")
+	if math.Abs(a.SpareShare-0.75) > 1e-9 || math.Abs(b.SpareShare-0.25) > 1e-9 {
+		t.Errorf("spare shares = %.3f / %.3f, want 0.75 / 0.25", a.SpareShare, b.SpareShare)
+	}
+	if a.Spare != 600 || b.Spare != 200 {
+		t.Errorf("spare counts = %d / %d, want 600 / 200", a.Spare, b.Spare)
+	}
+}

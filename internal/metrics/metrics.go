@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"gage/internal/qos"
@@ -23,21 +24,38 @@ type Sample struct {
 
 // Series accumulates completion samples for a single subscriber.
 // The zero value is ready to use.
+//
+// Series is safe for concurrent use: a recorder goroutine may Record while
+// another computes rates or deviations — the shape the conformance auditor
+// shares with scrape handlers. A Series must not be copied after first use.
 type Series struct {
+	mu      sync.Mutex
 	samples []Sample
 }
 
 // Record appends a sample. Offsets should be non-decreasing, but Series
 // tolerates out-of-order recording (it sorts lazily when queried).
 func (s *Series) Record(t time.Duration, units float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.samples = append(s.samples, Sample{T: t, Units: units})
 }
 
 // Len returns the number of recorded samples.
-func (s *Series) Len() int { return len(s.samples) }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
 
 // Total returns the sum of all recorded units.
 func (s *Series) Total() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalLocked()
+}
+
+func (s *Series) totalLocked() float64 {
 	var sum float64
 	for _, x := range s.samples {
 		sum += x.Units
@@ -50,10 +68,26 @@ func (s *Series) Rate(window time.Duration) float64 {
 	if window <= 0 {
 		return 0
 	}
-	return s.Total() / window.Seconds()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalLocked() / window.Seconds()
 }
 
-// sorted returns samples ordered by offset.
+// DropBefore discards samples with offsets earlier than t — how a live
+// auditor bounds a sliding-window series.
+func (s *Series) DropBefore(t time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.samples[:0]
+	for _, x := range s.samples {
+		if x.T >= t {
+			kept = append(kept, x)
+		}
+	}
+	s.samples = kept
+}
+
+// sorted returns samples ordered by offset. Callers hold s.mu.
 func (s *Series) sorted() []Sample {
 	if sort.SliceIsSorted(s.samples, func(i, j int) bool { return s.samples[i].T < s.samples[j].T }) {
 		return s.samples
@@ -77,6 +111,12 @@ func (s *Series) IntervalRates(window, interval time.Duration) []float64 {
 // backs the fault-phase deviation split (pre-fault / during-fault /
 // post-recovery windows of one run).
 func (s *Series) IntervalRatesBetween(from, to, interval time.Duration) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.intervalRatesBetweenLocked(from, to, interval)
+}
+
+func (s *Series) intervalRatesBetweenLocked(from, to, interval time.Duration) []float64 {
 	if interval <= 0 || to-from < interval {
 		return nil
 	}
@@ -110,7 +150,9 @@ func (s *Series) DeviationBetween(res qos.GRPS, from, to, interval time.Duration
 	if res <= 0 {
 		return 0, fmt.Errorf("metrics: reservation must be positive, got %v", res)
 	}
-	rates := s.IntervalRatesBetween(from, to, interval)
+	s.mu.Lock()
+	rates := s.intervalRatesBetweenLocked(from, to, interval)
+	s.mu.Unlock()
 	if len(rates) == 0 {
 		return 0, fmt.Errorf("metrics: window [%v, %v) too short for interval %v", from, to, interval)
 	}
@@ -237,6 +279,8 @@ func Percentile(xs []float64, p float64) float64 {
 // Samples returns a copy of the recorded samples ordered by offset, for
 // shape analysis (e.g. a recovered node's slow-start weight ramp).
 func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]Sample, len(s.samples))
 	copy(out, s.sorted())
 	return out

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -255,5 +256,56 @@ func TestMonotoneNonDecreasing(t *testing.T) {
 		if got := MonotoneNonDecreasing(tc.xs, tc.tol); got != tc.want {
 			t.Errorf("case %d: MonotoneNonDecreasing(%v, %v) = %v, want %v", i, tc.xs, tc.tol, got, tc.want)
 		}
+	}
+}
+
+// TestSeriesConcurrency races recording against every query path and the
+// sliding-window trim — the shape the conformance auditor shares with scrape
+// handlers. Its value is under -race: any unsynchronized access fails the
+// race build.
+func TestSeriesConcurrency(t *testing.T) {
+	var s Series
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	spin := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+					f(i)
+				}
+			}
+		}()
+	}
+	spin(func(i int) { s.Record(time.Duration(i)*time.Millisecond, 1) })
+	spin(func(i int) { s.Total(); s.Len(); s.Rate(time.Second) })
+	spin(func(i int) { s.IntervalRatesBetween(0, time.Duration(i)*time.Millisecond, 100*time.Millisecond) })
+	spin(func(i int) { s.DeviationFromReservation(100, time.Duration(i)*time.Millisecond, 100*time.Millisecond) })
+	spin(func(i int) { s.Samples() })
+	spin(func(i int) { s.DropBefore(time.Duration(i/2) * time.Millisecond) })
+	time.Sleep(100 * time.Millisecond)
+	close(done)
+	wg.Wait()
+}
+
+func TestSeriesDropBefore(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Record(time.Duration(i)*time.Second, float64(i))
+	}
+	s.DropBefore(5 * time.Second)
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len after DropBefore = %d, want 5", got)
+	}
+	if got := s.Total(); !almostEqual(got, 5+6+7+8+9, 1e-12) {
+		t.Errorf("Total after DropBefore = %v, want 35", got)
+	}
+	s.DropBefore(100 * time.Second)
+	if got := s.Len(); got != 0 {
+		t.Errorf("Len after dropping everything = %d, want 0", got)
 	}
 }
