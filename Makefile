@@ -1,7 +1,7 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint bench bench-flightrec audit-smoke
+.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched audit-smoke
 
-verify: build vet lint test race audit-smoke
+verify: build vet lint test race audit-smoke bench-sched
 
 build:
 	go build ./...
@@ -48,6 +48,16 @@ bench-flightrec:
 	go test -run '^$$' -bench Flightrec -benchmem -benchtime=1000x -json \
 		./internal/flightrec/ > BENCH_flightrec.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_flightrec.json | cut -d'"' -f4 || true
+
+# Scheduler hot-path scale trajectory: one steady-state scheduling cycle
+# (arrivals + Tick + accounting feedback, 64-subscriber working set) at
+# 1k/10k/100k registered subscribers, flight recorder off and on. Results
+# land in BENCH_sched.json; per-cycle cost must stay flat across the sweep
+# (O(1) per dispatch decision) and allocs/op must stay 0.
+bench-sched:
+	go test -run '^$$' -bench SchedCycle -benchmem -benchtime=300x -json \
+		./internal/core/ > BENCH_sched.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_sched.json | cut -d'"' -f4 || true
 
 # End-to-end flight-recorder round trip through the CLI: generate a short
 # SPECweb99 trace, replay it through the simulator spilling the per-cycle

@@ -9,6 +9,7 @@
 //	gagebench overhead     §4.2 total QoS overhead per RPN
 //	gagebench scalability  §4.3 throughput vs cluster size
 //	gagebench utilization  §4.3 RDN CPU utilization curve
+//	gagebench sched        per-cycle scheduler cost vs directory size
 //	gagebench all          everything above
 //
 // Output pairs each measured number with the paper's, so shape agreement is
@@ -49,11 +50,13 @@ func run(cmd string) error {
 		"utilization": utilization,
 		"projection":  projection,
 		"locality":    locality,
+		"sched":       sched,
 	}
 	if cmd == "all" {
 		for _, name := range []string{
 			"table1", "table2", "fig3", "fig3r",
 			"table3", "overhead", "scalability", "utilization", "projection", "locality",
+			"sched",
 		} {
 			if err := steps[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -92,6 +95,25 @@ func projection() error {
 	}
 	fmt.Println("paper: 'conservatively ... around 14,000 to 15,000 requests/sec;")
 	fmt.Println("        alternatively it can support up to 24 RPNs'.")
+	fmt.Println()
+	return nil
+}
+
+func sched() error {
+	fmt.Println("== per-cycle scheduler cost vs directory size ==")
+	fmt.Println("(64-subscriber working set; cost must stay flat as the directory grows)")
+	rows, err := benchkit.MeasureSchedScale()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-9s %12s %12s\n", "subscribers", "recorder", "ns/cycle", "allocs/cycle")
+	for _, r := range rows {
+		rec := "off"
+		if r.Recorder {
+			rec = "on"
+		}
+		fmt.Printf("%-12d %-9s %12d %12d\n", r.Subs, rec, r.NsPerOp, r.Allocs)
+	}
 	fmt.Println()
 	return nil
 }

@@ -248,9 +248,22 @@ func encodeReport(rep core.UsageReport) reportJSON {
 
 // DecodeReport parses the JSON form back into a usage report.
 func DecodeReport(body []byte) (core.UsageReport, error) {
+	return DecodeReportInto(body, nil)
+}
+
+// DecodeReportInto is DecodeReport with a caller-supplied subscriber map to
+// reuse (cleared first); nil allocates fresh. The accounting poller cycles a
+// retired report's map back in here so steady-state polling does not grow
+// the heap with every cycle.
+func DecodeReportInto(body []byte, reuse map[qos.SubscriberID]core.SubscriberUsage) (core.UsageReport, error) {
 	var r reportJSON
 	if err := json.Unmarshal(body, &r); err != nil {
 		return core.UsageReport{}, fmt.Errorf("backend: decode report: %w", err)
+	}
+	if reuse == nil {
+		reuse = make(map[qos.SubscriberID]core.SubscriberUsage, len(r.BySubscriber))
+	} else {
+		clear(reuse)
 	}
 	rep := core.UsageReport{
 		Node: core.NodeID(r.Node),
@@ -259,7 +272,7 @@ func DecodeReport(body []byte) (core.UsageReport, error) {
 			DiskTime: time.Duration(r.TotalDisk),
 			NetBytes: r.TotalNet,
 		},
-		BySubscriber: make(map[qos.SubscriberID]core.SubscriberUsage, len(r.BySubscriber)),
+		BySubscriber: reuse,
 	}
 	for id, u := range r.BySubscriber {
 		rep.BySubscriber[qos.SubscriberID(id)] = core.SubscriberUsage{

@@ -336,6 +336,22 @@ func (r *Result) MeanObservedDeviation(interval time.Duration) (float64, error) 
 	return sum / float64(len(r.Rows)), nil
 }
 
+// flight carries one dispatch decision across its wire-latency and
+// service-time hops. Carriers are recycled within a run so the dispatch
+// chain schedules allocation-free.
+type flight struct {
+	req       *workload.Request
+	node      *RPN
+	epoch     int
+	effective qos.Vector
+}
+
+// acctFlight carries one accounting message across its feedback-latency hop.
+type acctFlight struct {
+	node core.NodeID
+	msg  acctMsg
+}
+
 // Run executes one experiment on a fresh virtual-time engine.
 func Run(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
@@ -452,41 +468,45 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	// Client arrivals → RDN admission (classification) → scheduler queue.
-	for _, req := range arrivals {
-		req := req
-		engine.At(start.Add(req.Arrival), func() {
-			ready := front.admit(engine.Now())
-			engine.At(ready, func() {
-				now := engine.Now()
-				sub, ok := classifier.Classify(req.Host, req.Path)
-				if !ok {
-					// Unclassifiable: the RDN has no queue for it.
-					return
-				}
-				u := units(req.Cost)
-				if inWindow(now) {
-					tp.Offered(sub, u)
-					counts.offered[sub]++
-				}
-				var affinity uint64
-				if opts.LocalityDispatch {
-					affinity = localityKey(req.Host, req.Path)
-				}
-				err := sched.Enqueue(core.Request{ID: req.ID, Subscriber: sub, Affinity: affinity, Payload: req})
-				if err != nil {
-					// Queue-limit admission shed: overload control at the
-					// RDN's edge, counted over the whole run so the books
-					// close exactly.
-					shedReqs++
-					if inWindow(now) {
-						tp.Dropped(sub, u)
-						counts.dropped[sub]++
-					}
-				} else {
-					admittedReqs++
-				}
-			})
-		})
+	// Both hops ride AtArg on pointers into the arrivals slice, through two
+	// callbacks allocated once per run — the per-request closures this chain
+	// used to allocate dominated the simulator's heap profile.
+	classifyHop := func(arg any) {
+		req := arg.(*workload.Request)
+		now := engine.Now()
+		sub, ok := classifier.Classify(req.Host, req.Path)
+		if !ok {
+			// Unclassifiable: the RDN has no queue for it.
+			return
+		}
+		u := units(req.Cost)
+		if inWindow(now) {
+			tp.Offered(sub, u)
+			counts.offered[sub]++
+		}
+		var affinity uint64
+		if opts.LocalityDispatch {
+			affinity = localityKey(req.Host, req.Path)
+		}
+		err := sched.Enqueue(core.Request{ID: req.ID, Subscriber: sub, Affinity: affinity, Payload: req})
+		if err != nil {
+			// Queue-limit admission shed: overload control at the
+			// RDN's edge, counted over the whole run so the books
+			// close exactly.
+			shedReqs++
+			if inWindow(now) {
+				tp.Dropped(sub, u)
+				counts.dropped[sub]++
+			}
+		} else {
+			admittedReqs++
+		}
+	}
+	admitHop := func(arg any) {
+		engine.AtArg(front.admit(engine.Now()), classifyHop, arg)
+	}
+	for i := range arrivals {
+		engine.AtArg(start.Add(arrivals[i].Arrival), admitHop, &arrivals[i])
 	}
 
 	// Fault schedule: crash/recover events fire at their exact virtual
@@ -526,44 +546,68 @@ func Run(opts Options) (*Result, error) {
 
 	// Scheduling cycle: dispatch decisions travel to their RPNs. A decision
 	// that reaches a node which crashed while it was on the wire is lost;
-	// its charge is reclaimed so it still settles exactly once.
+	// its charge is reclaimed so it still settles exactly once. Each decision
+	// rides a pooled flight carrier through the wire-latency and service-time
+	// hops instead of a pair of fresh closures.
+	var flightFree []*flight
+	getFlight := func() *flight {
+		if k := len(flightFree); k > 0 {
+			f := flightFree[k-1]
+			flightFree[k-1] = nil
+			flightFree = flightFree[:k-1]
+			return f
+		}
+		return &flight{}
+	}
+	putFlight := func(f *flight) {
+		f.req, f.node = nil, nil
+		flightFree = append(flightFree, f)
+	}
+	finishHop := func(arg any) {
+		f := arg.(*flight)
+		node, req, epoch, effective := f.node, f.req, f.epoch, f.effective
+		putFlight(f)
+		if node.Epoch() != epoch {
+			// The node crashed mid-service; the crash handler
+			// already reclaimed this request's charge.
+			return
+		}
+		cs.complete(node.id, req.ID)
+		node.chargeCompletion(*req, effective)
+		now := engine.Now()
+		if inWindow(now) {
+			u := units(req.Cost)
+			tp.Served(req.Subscriber, u)
+			counts.served[req.Subscriber]++
+			series[req.Subscriber].Record(now.Sub(measureFrom), u)
+			latency := now.Sub(start.Add(req.Arrival))
+			latencies[req.Subscriber] = append(latencies[req.Subscriber], latency.Seconds())
+			latHist[req.Subscriber].Record(latency)
+		}
+	}
+	deliverHop := func(arg any) {
+		f := arg.(*flight)
+		if cs.crashed[f.node.id] {
+			cs.reclaimOne(sched, f.node.id, f.req.ID, f.req.Subscriber)
+			putFlight(f)
+			return
+		}
+		f.epoch = f.node.Epoch()
+		var fin time.Time
+		fin, f.effective = f.node.process(engine.Now(), *f.req)
+		engine.AtArg(fin, finishHop, f)
+	}
 	stopSched := engine.Every(opts.SchedCycle, func() {
 		for _, d := range sched.Tick() {
-			d := d
-			req, ok := d.Req.Payload.(workload.Request)
+			req, ok := d.Req.Payload.(*workload.Request)
 			if !ok {
 				continue
 			}
-			node := byID[d.Node]
 			cs.track(d.Node, req.ID, req.Subscriber)
 			nodeDispatches[d.Node].Record(engine.Now().Sub(measureFrom), 1)
-			engine.After(opts.DispatchLatency, func() {
-				if cs.crashed[node.id] {
-					cs.reclaimOne(sched, node.id, req.ID, req.Subscriber)
-					return
-				}
-				epoch := node.Epoch()
-				fin, effective := node.process(engine.Now(), req)
-				engine.At(fin, func() {
-					if node.Epoch() != epoch {
-						// The node crashed mid-service; the crash handler
-						// already reclaimed this request's charge.
-						return
-					}
-					cs.complete(node.id, req.ID)
-					node.chargeCompletion(req, effective)
-					now := engine.Now()
-					if inWindow(now) {
-						u := units(req.Cost)
-						tp.Served(req.Subscriber, u)
-						counts.served[req.Subscriber]++
-						series[req.Subscriber].Record(now.Sub(measureFrom), u)
-						latency := now.Sub(start.Add(req.Arrival))
-						latencies[req.Subscriber] = append(latencies[req.Subscriber], latency.Seconds())
-						latHist[req.Subscriber].Record(latency)
-					}
-				})
-			})
+			f := getFlight()
+			f.req, f.node = req, byID[d.Node]
+			engine.AfterArg(opts.DispatchLatency, deliverHop, f)
 		}
 		for id, floor := range floors {
 			b, ok := sched.Balance(id)
@@ -584,6 +628,29 @@ func Run(opts Options) (*Result, error) {
 	// crashed node is silent; silence past the streak threshold disables
 	// the node, and the first report after recovery re-enables it.
 	var stops []func()
+	var acctFree []*acctFlight
+	acctHop := func(arg any) {
+		a := arg.(*acctFlight)
+		id, msg := a.node, a.msg
+		a.msg = acctMsg{}
+		acctFree = append(acctFree, a)
+		rep, ok := cs.deliverAcct(id, msg)
+		if !ok {
+			return // stale: overtaken inside a delay window
+		}
+		// Reports for known nodes cannot fail.
+		_ = sched.ReportUsage(rep)
+		cs.ackAcct(sched, id, engine.Now())
+		now := engine.Now()
+		if !inWindow(now) {
+			return
+		}
+		for sub, u := range rep.BySubscriber {
+			if s, ok := observed[sub]; ok {
+				s.Record(now.Sub(measureFrom), units(u.Usage))
+			}
+		}
+	}
 	for _, r := range rpns {
 		r := r
 		stops = append(stops, engine.Every(opts.AcctCycle, func() {
@@ -613,24 +680,16 @@ func Run(opts Options) (*Result, error) {
 			if inj != nil {
 				delay += inj.AcctDelay(r.id, off)
 			}
-			engine.After(delay, func() {
-				rep, ok := cs.deliverAcct(r.id, msg)
-				if !ok {
-					return // stale: overtaken inside a delay window
-				}
-				// Reports for known nodes cannot fail.
-				_ = sched.ReportUsage(rep)
-				cs.ackAcct(sched, r.id, engine.Now())
-				now := engine.Now()
-				if !inWindow(now) {
-					return
-				}
-				for sub, u := range rep.BySubscriber {
-					if s, ok := observed[sub]; ok {
-						s.Record(now.Sub(measureFrom), units(u.Usage))
-					}
-				}
-			})
+			var a *acctFlight
+			if k := len(acctFree); k > 0 {
+				a = acctFree[k-1]
+				acctFree[k-1] = nil
+				acctFree = acctFree[:k-1]
+			} else {
+				a = &acctFlight{}
+			}
+			a.node, a.msg = r.id, msg
+			engine.AfterArg(delay, acctHop, a)
 		}))
 	}
 	defer func() {

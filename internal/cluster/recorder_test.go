@@ -52,20 +52,29 @@ func TestRunRecordsCycles(t *testing.T) {
 	}
 	last := time.Duration(-1)
 	var usage float64
+	active := 0
 	for i, cr := range recs {
 		if cr.At <= last {
 			t.Fatalf("record %d: At %v not after previous %v", i, cr.At, last)
 		}
 		last = cr.At
-		if len(cr.Subs) != 1 || cr.Subs[0].ID != "a" {
-			t.Fatalf("record %d: subs = %+v, want exactly subscriber a", i, cr.Subs)
+		// Records hold only subscribers with activity that cycle; a 30 req/s
+		// arrival stream leaves some 10 ms cycles legitimately idle.
+		if len(cr.Subs) > 1 || (len(cr.Subs) == 1 && cr.Subs[0].ID != "a") {
+			t.Fatalf("record %d: subs = %+v, want subscriber a or none", i, cr.Subs)
 		}
 		if len(cr.Nodes) != 1 {
 			t.Fatalf("record %d: %d nodes, want 1", i, len(cr.Nodes))
 		}
-		if cr.At >= warmup {
-			usage += cr.Subs[0].Usage.GenericUnits()
+		if len(cr.Subs) == 1 {
+			active++
+			if cr.At >= warmup {
+				usage += cr.Subs[0].Usage.GenericUnits()
+			}
 		}
+	}
+	if active < len(recs)/10 {
+		t.Fatalf("only %d of %d records captured the active subscriber", active, len(recs))
 	}
 	if last < warmup+dur-20*time.Millisecond {
 		t.Errorf("last record at %v, want near %v", last, warmup+dur)

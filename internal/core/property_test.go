@@ -28,10 +28,13 @@ func checkSchedulerInvariants(t *testing.T, s *Scheduler, step string) {
 		if !lim.Dominates(q.balance) || !q.balance.Dominates(lim.Neg()) {
 			t.Fatalf("%s: subscriber %s balance %+v outside clamp band ±%+v", step, id, q.balance, lim)
 		}
-		for n, est := range q.estimated {
+		var estSum qos.Vector
+		for idx, est := range q.estimated {
+			n := s.nodeList[idx].id
 			var sum qos.Vector
-			for _, pd := range q.pending[n] {
-				sum = sum.Add(pd.predicted)
+			pq := &q.pending[idx]
+			for i := 0; i < pq.size(); i++ {
+				sum = sum.Add(pq.at(i).predicted)
 			}
 			if est != sum {
 				t.Fatalf("%s: subscriber %s node %d estimate %+v != pending sum %+v",
@@ -40,12 +43,19 @@ func checkSchedulerInvariants(t *testing.T, s *Scheduler, step string) {
 			if est.AnyNegative() {
 				t.Fatalf("%s: subscriber %s node %d estimate went negative: %+v", step, id, n, est)
 			}
+			estSum = estSum.Add(est)
+		}
+		if q.estTotal != estSum {
+			t.Fatalf("%s: subscriber %s cached estTotal %+v != Σ per-node estimates %+v",
+				step, id, q.estTotal, estSum)
 		}
 	}
 	for nid, nd := range s.nodes {
 		var sum qos.Vector
 		for _, q := range s.subs {
-			sum = sum.Add(q.estimated[nid])
+			if q.estimated != nil {
+				sum = sum.Add(q.estimated[nd.idx])
+			}
 		}
 		if nd.outstanding != sum {
 			t.Fatalf("%s: node %d outstanding %+v != Σ subscriber estimates %+v",

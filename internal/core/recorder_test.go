@@ -49,9 +49,11 @@ func TestRecordCycleContents(t *testing.T) {
 	if len(recs) != 1 {
 		t.Fatalf("expected 1 record after 1 tick, got %d", len(recs))
 	}
+	// Records hold only subscribers with activity this cycle — idle b and c
+	// are omitted so recording stays O(active).
 	cr := recs[0]
-	if len(cr.Subs) != 3 || len(cr.Nodes) != 2 {
-		t.Fatalf("record shape = %d subs / %d nodes, want 3 / 2", len(cr.Subs), len(cr.Nodes))
+	if len(cr.Subs) != 1 || len(cr.Nodes) != 2 {
+		t.Fatalf("record shape = %d subs / %d nodes, want 1 / 2", len(cr.Subs), len(cr.Nodes))
 	}
 	var a *flightrec.SubRecord
 	for i := range cr.Subs {
@@ -100,9 +102,8 @@ func TestRecordCycleContents(t *testing.T) {
 	}
 	sched.Tick()
 	cr = rec.Recent(1)[0]
-	aa, _ = subOf(cr, "a")
-	if !aa.Usage.IsZero() || aa.Completed != 0 {
-		t.Errorf("accumulators did not reset: usage %v completed %d", aa.Usage, aa.Completed)
+	if _, ok := subOf(cr, "a"); ok {
+		t.Error("subscriber with no activity this cycle must drop out of the record")
 	}
 }
 
@@ -185,19 +186,26 @@ func TestRecorderConcurrentMembership(t *testing.T) {
 	if err := rec.SpillErr(); err != nil {
 		t.Fatal(err)
 	}
-	// Membership varies per record; every record is internally consistent
-	// (core subscribers always present, in order).
+	// Membership varies per record (only subscribers with activity that
+	// cycle appear — under bursty goroutine scheduling long runs of idle
+	// cycles are legitimately empty); every record is internally
+	// consistent: sorted by ID with no duplicates.
 	for _, cr := range rec.Recent(0) {
-		found := 0
-		for _, sr := range cr.Subs {
-			switch sr.ID {
-			case "a", "b", "c":
-				found++
+		for i, sr := range cr.Subs {
+			if i > 0 && !(cr.Subs[i-1].ID < sr.ID) {
+				t.Fatalf("record %d: subscribers out of order or duplicated: %q !< %q",
+					cr.Seq, cr.Subs[i-1].ID, sr.ID)
 			}
 		}
-		if found != 3 {
-			t.Fatalf("record %d: %d of 3 core subscribers present", cr.Seq, found)
-		}
+	}
+	// Recording still works end to end after the churn: a deterministic
+	// enqueue + tick lands the subscriber in the newest record.
+	if err := sched.Enqueue(Request{ID: 1 << 40, Subscriber: "a"}); err != nil {
+		t.Fatalf("post-race Enqueue: %v", err)
+	}
+	sched.Tick()
+	if _, ok := subOf(rec.Recent(1)[0], "a"); !ok {
+		t.Fatal("post-race cycle record missing the active subscriber")
 	}
 }
 

@@ -1,16 +1,23 @@
 // Package core implements Gage's request-scheduling brain (§3.4–§3.5): the
 // per-subscriber queues, the credit-based weighted-round-robin request
 // scheduler with a reservation round and a reservation-proportional spare
-// round, the per-request resource-usage predictor, and the least-loaded node
-// scheduler. It is pure scheduling logic — both the discrete-event cluster
-// simulator and the live TCP dispatcher drive the same Scheduler, one on a
-// virtual clock and one on wall time.
+// round, the per-request resource-usage predictor, and the weighted
+// round-robin node scheduler. It is pure scheduling logic — both the
+// discrete-event cluster simulator and the live TCP dispatcher drive the same
+// Scheduler, one on a virtual clock and one on wall time.
+//
+// The hot path is allocation-free and O(active) per cycle: idle subscribers
+// cost nothing (their credit settles lazily from a cycle counter), the spare
+// round pops its next dispatch from a min-heap keyed on the SFQ start tag,
+// and the node pick consumes a smooth weighted-round-robin table precompiled
+// from the node weights.
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -32,7 +39,7 @@ type Request struct {
 	// Affinity, when non-zero, requests content-aware dispatch (§3.6): all
 	// requests sharing an affinity value prefer the same node, so URL pages
 	// in the same proximity hit one RPN's cache. The preference yields to
-	// load: a full preferred node falls back to least-loaded dispatch.
+	// load: a full preferred node falls back to the round-robin pick.
 	Affinity uint64
 	// Payload is opaque caller context returned with the dispatch decision.
 	Payload any
@@ -150,6 +157,52 @@ var (
 	ErrUnknownNode = errors.New("core: unknown node")
 )
 
+// pendingDispatch is one in-flight request's charged prediction. The request
+// ID keys the lifecycle API: an abandoned dispatch is released by ID, not by
+// completion count.
+type pendingDispatch struct {
+	reqID     uint64
+	predicted qos.Vector
+	spare     bool
+}
+
+// pendQ is a head-indexed FIFO of in-flight predictions for one (subscriber,
+// node) pair. Accounting releases pop from the head without reslicing the
+// backing array away, so steady-state settle cycles allocate nothing.
+type pendQ struct {
+	items []pendingDispatch
+	head  int
+}
+
+func (p *pendQ) size() int                 { return len(p.items) - p.head }
+func (p *pendQ) at(i int) *pendingDispatch { return &p.items[p.head+i] }
+func (p *pendQ) push(pd pendingDispatch)   { p.items = append(p.items, pd) }
+
+// release drops the first k entries (completed work, matched by count).
+func (p *pendQ) release(k int) {
+	for i := p.head; i < p.head+k; i++ {
+		p.items[i] = pendingDispatch{}
+	}
+	p.head += k
+	if p.head > 64 && p.head*2 >= len(p.items) {
+		p.items = append(p.items[:0], p.items[p.head:]...)
+		p.head = 0
+	}
+}
+
+// remove deletes entry i (relative to head), preserving dispatch order and
+// zeroing the vacated tail slot. Order must be preserved — accounting
+// messages release a completion-count *prefix* of this queue, so a
+// swap-with-tail removal would hand later count-based releases the wrong
+// predictions. The old reslicing shift also left a live duplicate of the
+// tail entry beyond the slice length; the explicit zero fixes that.
+func (p *pendQ) remove(i int) {
+	last := len(p.items) - 1
+	copy(p.items[p.head+i:], p.items[p.head+i+1:])
+	p.items[last] = pendingDispatch{}
+	p.items = p.items[:last]
+}
+
 // queueState is the per-subscriber scheduling state.
 type queueState struct {
 	id    qos.SubscriberID
@@ -160,22 +213,39 @@ type queueState struct {
 	head int
 
 	// balance is the reserved-resource account: credited reservation×cycle
-	// each tick, debited with actual usage from accounting messages, and
+	// per tick, debited with actual usage from accounting messages, and
 	// pre-compensated for spare-round dispatches so it tracks only
 	// reservation-funded consumption. Clamped to ±res×CreditWindow.
-	balance qos.Vector
+	//
+	// Crediting is lazy: lastCredit records the cycle the balance was last
+	// settled to, and settleCredit folds in the missed cycles in one step.
+	// Because the per-cycle credit is non-negative and the clamp band is
+	// fixed, crediting k cycles at once and clamping equals k iterations of
+	// credit-then-clamp, so idle subscribers cost nothing per tick.
+	balance    qos.Vector
+	lastCredit uint64
 
-	// estimated[n] is the predicted usage of this subscriber's in-flight
-	// requests on node n — the paper's "estimated resource usage array".
-	estimated map[NodeID]qos.Vector
+	// creditPerCycle and clampLim cache res.PerCycle(Cycle) and
+	// res.PerCycle(CreditWindow) so settling does no float math per tick.
+	creditPerCycle qos.Vector
+	clampLim       qos.Vector
 
-	// pending[n] holds the per-dispatch predictions backing estimated[n],
+	// estimated[i] is the predicted usage of this subscriber's in-flight
+	// requests on the node at dense index i — the paper's "estimated
+	// resource usage array". estTotal caches the sum across nodes so the
+	// self-clocked gate does not re-sum per dispatch decision. Both the
+	// estimated slice and the pending queues are allocated on first
+	// dispatch, so idle subscribers carry no per-node state.
+	estimated []qos.Vector
+	estTotal  qos.Vector
+
+	// pending[i] holds the per-dispatch predictions backing estimated[i],
 	// in dispatch order. Accounting messages release exactly these values
 	// (matched by completion count), so prediction error can never
 	// accumulate as phantom outstanding load. Spare-funded dispatches are
 	// flagged: their usage is compensated back into the balance at release
 	// time, atomically with the actual-usage debit.
-	pending map[NodeID][]pendingDispatch
+	pending []pendQ
 
 	// predicted is the EWMA per-request usage estimate.
 	predicted qos.Vector
@@ -183,6 +253,11 @@ type queueState struct {
 	// vstart is the queue's start-time-fair-queueing tag for the spare
 	// round, in virtual time (generic units divided by reservation weight).
 	vstart float64
+
+	// inActive marks membership in the scheduler's active list (backlogged
+	// queues); empty queues leave the list at the end of the tick that
+	// drained them.
+	inActive bool
 
 	dropped uint64
 
@@ -194,6 +269,8 @@ type queueState struct {
 	// recorder is attached and reset as each cycle record is committed:
 	// dispatch counts by funding round, the effective credit granted this
 	// cycle, and the usage/completions reported since the previous record.
+	// recTouched marks membership in the cycle's to-record list.
+	recTouched   bool
 	cycReserved  int
 	cycSpare     int
 	cycCompleted int
@@ -218,29 +295,13 @@ func (q *queueState) pop() Request {
 	return r
 }
 
-// estimatedTotal sums the in-flight estimates across nodes.
-func (q *queueState) estimatedTotal() qos.Vector {
-	var sum qos.Vector
-	for _, v := range q.estimated {
-		sum = sum.Add(v)
-	}
-	return sum
-}
-
-// pendingDispatch is one in-flight request's charged prediction. The request
-// ID keys the lifecycle API: an abandoned dispatch is released by ID, not by
-// completion count.
-type pendingDispatch struct {
-	reqID     uint64
-	predicted qos.Vector
-	spare     bool
-}
-
 // nodeState is the per-RPN scheduling state.
 type nodeState struct {
 	id       NodeID
+	idx      int        // dense index into Scheduler.nodeList
 	capacity qos.Vector // per second
 	bound    qos.Vector // capacity × OutstandingWindow
+	perCycle qos.Vector // capacity × Cycle, the optimistic per-tick drain
 
 	// outstanding is the predicted usage of all pending requests dispatched
 	// to this node and not yet reported complete.
@@ -250,8 +311,13 @@ type nodeState struct {
 	// receives no dispatches (health management), and fractions in between
 	// implement slow-start recovery — a node rejoining after an outage is
 	// offered a growing slice of its bound instead of a thundering herd.
-	// In-flight accounting settles normally at any weight.
+	// In-flight accounting settles normally at any weight. The weight also
+	// sets the node's share of the smooth-WRR pick table.
 	weight float64
+
+	// weightedBound caches bound × weight so admission checks do no float
+	// math per dispatch decision.
+	weightedBound qos.Vector
 
 	// drained is the optimistic estimate of how much of outstanding the
 	// node has already served but not yet reported: it grows at the node's
@@ -275,7 +341,7 @@ func (nd *nodeState) hasRoom(predicted qos.Vector) bool {
 	if nd.weight <= 0 {
 		return false
 	}
-	return nd.bound.Scale(nd.weight).Dominates(nd.effective().Add(predicted))
+	return nd.weightedBound.Dominates(nd.effective().Add(predicted))
 }
 
 // Scheduler is the RDN request+node scheduler. It is safe for concurrent
@@ -284,20 +350,46 @@ func (nd *nodeState) hasRoom(predicted qos.Vector) bool {
 type Scheduler struct {
 	mu sync.Mutex
 
-	cfg   Config
-	dir   *qos.Directory
-	subs  map[qos.SubscriberID]*queueState
-	order []qos.SubscriberID // fixed visit order; start rotates per tick
-	start int
+	cfg  Config
+	dir  *qos.Directory
+	subs map[qos.SubscriberID]*queueState
 
-	nodes     map[NodeID]*nodeState
-	nodeOrder []NodeID
-	nodeStart int
+	// active lists the backlogged queues, sorted by subscriber ID; astart
+	// rotates the reservation round's first visit. Membership changes keep
+	// astart pointing at the same queue so no subscriber's turn is skipped.
+	active []*queueState
+	astart int
+
+	// cycleNum counts Ticks; queueState.lastCredit settles against it.
+	cycleNum uint64
+
+	nodes    map[NodeID]*nodeState
+	nodeList []*nodeState // sorted by NodeID; nodeState.idx indexes it
+
+	// wrrTable is the precompiled smooth weighted-round-robin pick sequence
+	// over node weights (nginx-style), recompiled only when a weight or the
+	// membership changes; wrrPos is the cursor. An empty table means no
+	// node accepts work.
+	wrrTable []int32
+	wrrPos   int
+	wrrCur   []int // compile scratch
+	wrrWts   []int // compile scratch
 
 	// vtime is the spare round's global virtual time: the start tag of the
 	// most recent spare dispatch. Queues re-activating after idleness join
 	// at vtime so they cannot bank spare credit.
 	vtime float64
+
+	// spareHeap is the spare round's min-heap scratch, keyed (vstart, id);
+	// dispatchBuf is the reused Tick result slice. Both retain capacity
+	// across cycles so the hot path allocates nothing in steady state.
+	spareHeap   []*queueState
+	dispatchBuf []Dispatch
+
+	// recTouched lists the queues with activity to record this cycle
+	// (visited by the reservation round or named in a usage report);
+	// maintained only while a recorder is attached.
+	recTouched []*queueState
 
 	dispatched uint64
 
@@ -326,15 +418,7 @@ func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error)
 		if err != nil {
 			return nil, err
 		}
-		s.subs[id] = &queueState{
-			id:        id,
-			res:       sub.Reservation,
-			limit:     sub.EffectiveQueueLimit(),
-			estimated: make(map[NodeID]qos.Vector),
-			pending:   make(map[NodeID][]pendingDispatch),
-			predicted: qos.GenericCost(), // prior until feedback arrives
-		}
-		s.order = append(s.order, id)
+		s.subs[id] = s.newQueueState(sub)
 	}
 	for _, nc := range nodes {
 		if _, dup := s.nodes[nc.ID]; dup {
@@ -343,20 +427,108 @@ func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error)
 		if nc.Capacity.AnyNegative() || nc.Capacity.IsZero() {
 			return nil, fmt.Errorf("core: node %d: capacity must be positive, got %v", nc.ID, nc.Capacity)
 		}
-		s.nodes[nc.ID] = &nodeState{
+		nd := &nodeState{
 			id:       nc.ID,
 			capacity: nc.Capacity,
 			bound:    nc.Capacity.Scale(cfg.OutstandingWindow.Seconds()),
+			perCycle: nc.Capacity.Scale(cfg.Cycle.Seconds()),
 			weight:   1,
 		}
-		s.nodeOrder = append(s.nodeOrder, nc.ID)
+		nd.weightedBound = nd.bound
+		s.nodes[nc.ID] = nd
+		s.nodeList = append(s.nodeList, nd)
 	}
-	sort.Slice(s.nodeOrder, func(i, j int) bool { return s.nodeOrder[i] < s.nodeOrder[j] })
+	slices.SortFunc(s.nodeList, func(a, b *nodeState) int { return cmp.Compare(a.id, b.id) })
+	for i, nd := range s.nodeList {
+		nd.idx = i
+	}
+	s.compileWRR()
 	return s, nil
+}
+
+func (s *Scheduler) newQueueState(sub qos.Subscriber) *queueState {
+	return &queueState{
+		id:             sub.ID,
+		res:            sub.Reservation,
+		limit:          sub.EffectiveQueueLimit(),
+		creditPerCycle: sub.Reservation.PerCycle(s.cfg.Cycle),
+		clampLim:       sub.Reservation.PerCycle(s.cfg.CreditWindow),
+		predicted:      qos.GenericCost(), // prior until feedback arrives
+		lastCredit:     s.cycleNum,
+		vstart:         s.vtime,
+	}
 }
 
 // Cycle returns the configured scheduling cycle.
 func (s *Scheduler) Cycle() time.Duration { return s.cfg.Cycle }
+
+// settleCredit folds the cycles elapsed since the queue's last settlement
+// into its balance, clamped to the credit band. Callers hold s.mu.
+func (s *Scheduler) settleCredit(q *queueState) {
+	k := s.cycleNum - q.lastCredit
+	if k == 0 {
+		return
+	}
+	q.lastCredit = s.cycleNum
+	credit := q.creditPerCycle
+	if k > 1 {
+		credit = credit.Scale(float64(k))
+	}
+	q.balance = s.clampBalance(q, q.balance.Add(credit))
+}
+
+// activate inserts q into the active list at its sorted position, keeping
+// the rotation pointer on the queue it pointed at. Callers hold s.mu.
+func (s *Scheduler) activate(q *queueState) {
+	if q.inActive {
+		return
+	}
+	q.inActive = true
+	i, _ := slices.BinarySearchFunc(s.active, q, func(a, b *queueState) int {
+		return cmp.Compare(a.id, b.id)
+	})
+	s.active = append(s.active, nil)
+	copy(s.active[i+1:], s.active[i:])
+	s.active[i] = q
+	if i < s.astart {
+		s.astart++
+	}
+}
+
+// deactivate removes q from the active list, adjusting the rotation pointer
+// relative to the removed index so no subscriber's turn is skipped.
+// Callers hold s.mu.
+func (s *Scheduler) deactivate(q *queueState) {
+	if !q.inActive {
+		return
+	}
+	q.inActive = false
+	i, ok := slices.BinarySearchFunc(s.active, q, func(a, b *queueState) int {
+		return cmp.Compare(a.id, b.id)
+	})
+	if !ok {
+		return
+	}
+	copy(s.active[i:], s.active[i+1:])
+	s.active[len(s.active)-1] = nil
+	s.active = s.active[:len(s.active)-1]
+	if i < s.astart {
+		s.astart--
+	}
+	if s.astart >= len(s.active) {
+		s.astart = 0
+	}
+}
+
+// touch adds q to the cycle's to-record list. Callers hold s.mu and have
+// checked s.rec != nil.
+func (s *Scheduler) touch(q *queueState) {
+	if q.recTouched {
+		return
+	}
+	q.recTouched = true
+	s.recTouched = append(s.recTouched, q)
+}
 
 // Enqueue classifies nothing — the caller already did — it appends the
 // request to its subscriber's FIFO queue. It returns ErrQueueFull on a drop
@@ -372,49 +544,61 @@ func (s *Scheduler) Enqueue(req Request) error {
 		q.dropped++
 		return fmt.Errorf("%w: %q at limit %d", ErrQueueFull, req.Subscriber, q.limit)
 	}
-	if q.qlen() == 0 && q.vstart < s.vtime {
-		// SFQ activation: a queue returning from idleness joins the spare
-		// round at the current virtual time instead of replaying the past.
-		q.vstart = s.vtime
+	if q.qlen() == 0 {
+		if q.vstart < s.vtime {
+			// SFQ activation: a queue returning from idleness joins the spare
+			// round at the current virtual time instead of replaying the past.
+			q.vstart = s.vtime
+		}
+		s.activate(q)
 	}
 	q.push(req)
 	return nil
 }
 
 // Tick runs one scheduling cycle and returns the dispatch decisions in
-// order. The caller delivers each dispatch to its node.
+// order. The caller delivers each dispatch to its node before the next Tick:
+// the returned slice is reused by the following call.
 func (s *Scheduler) Tick() []Dispatch {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	var out []Dispatch
+	s.cycleNum++
+
+	// Reuse the dispatch buffer; clear the previous cycle's entries first so
+	// stale payload references do not outlive their requests.
+	for i := range s.dispatchBuf {
+		s.dispatchBuf[i] = Dispatch{}
+	}
+	out := s.dispatchBuf[:0]
 
 	// Advance each node's optimistic drain by one cycle of its capacity:
 	// between accounting messages the RDN assumes a busy node keeps serving
 	// at its known rate.
 	if !s.cfg.DisableCapacityDrain {
-		for _, id := range s.nodeOrder {
-			nd := s.nodes[id]
-			nd.drained = nd.drained.Add(nd.capacity.Scale(s.cfg.Cycle.Seconds())).Min(nd.outstanding)
+		for _, nd := range s.nodeList {
+			nd.drained = nd.drained.Add(nd.perCycle).Min(nd.outstanding)
 		}
 	}
 
-	// Round 1 — reservation round. Visit queues cyclically (rotating start
-	// for long-run fairness), credit each queue its per-cycle entitlement,
-	// and dispatch while the effective balance stays non-negative.
-	n := len(s.order)
-	for i := 0; i < n; i++ {
-		q := s.subs[s.order[(s.start+i)%n]]
+	// Round 1 — reservation round. Visit the backlogged queues cyclically
+	// (rotating start for long-run fairness), settle each queue's credit,
+	// and dispatch while the effective balance stays non-negative. Idle
+	// queues are not visited; their credit settles lazily when observed.
+	m := len(s.active)
+	for i := 0; i < m; i++ {
+		q := s.active[(s.astart+i)%m]
 		before := q.balance
-		q.balance = s.clampBalance(q, q.balance.Add(q.res.PerCycle(s.cfg.Cycle)))
+		s.settleCredit(q)
 		if s.rec != nil {
 			// The effective credit: the balance delta after clamping.
 			q.cycCredited = q.balance.Sub(before)
+			s.touch(q)
 		}
 		for q.qlen() > 0 {
 			effective := q.balance
 			if s.cfg.Gate == GateSelfClocked {
-				effective = effective.Sub(q.estimatedTotal())
+				effective = effective.Sub(q.estTotal)
 			}
 			if effective.AnyNegative() {
 				break
@@ -426,69 +610,142 @@ func (s *Scheduler) Tick() []Dispatch {
 			out = append(out, d)
 		}
 	}
-	if n > 0 {
-		s.start = (s.start + 1) % n
+	if m > 0 {
+		s.astart = (s.astart + 1) % m
 	}
 
 	// Round 2 — spare round. Remaining node capacity is shared among still
 	// backlogged queues in proportion to their reservations ("higher
 	// reservation gets larger share of spare", §4.1) using start-time fair
 	// queueing: each backlogged queue carries a virtual start tag advanced
-	// by cost/weight per dispatch, and the smallest tag dispatches next.
-	// Node capacity bounds terminate the sweep; the scheme is
-	// work-conserving, so an otherwise idle cluster serves any backlog
+	// by cost/weight per dispatch, and a min-heap keyed (vstart, id) yields
+	// the smallest tag in O(log active) instead of a full rescan. Within a
+	// tick node load only grows (the drain advances once, up front), so a
+	// queue no node can take is discarded for the rest of the cycle — the
+	// heap shrinks monotonically and the sweep terminates. The scheme is
+	// work-conserving: an otherwise idle cluster serves any backlog
 	// regardless of reservations. Spare dispatches pre-compensate the
 	// balance so the later actual-usage debit does not consume reserved
 	// credit.
-	for {
-		var best *queueState
-		for i := 0; i < n; i++ {
-			q := s.subs[s.order[(s.start+i)%n]]
-			if q.qlen() == 0 {
-				continue
-			}
-			if s.pickNode(q.predicted) == nil {
-				continue
-			}
-			if best == nil || q.vstart < best.vstart {
-				best = q
-			}
+	h := s.spareHeap[:0]
+	for _, q := range s.active {
+		if q.qlen() > 0 {
+			h = append(h, q)
 		}
-		if best == nil {
-			break
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		spareSiftDown(h, i)
+	}
+	for len(h) > 0 {
+		q := h[0]
+		d, ok := s.dispatchOne(q, true /* spare-funded */)
+		if !ok {
+			// No node can take this queue's predicted size for the rest of
+			// the tick; drop it from the heap.
+			h = sparePop(h)
+			continue
 		}
-		need := best.predicted.GenericUnits()
+		s.vtime = q.vstart
+		need := q.predicted.GenericUnits()
 		if need <= 0 {
 			need = 1e-9
 		}
-		d, ok := s.dispatchOne(best, true /* spare-funded */)
-		if !ok {
-			break // capacity raced away; re-check next tick
-		}
-		s.vtime = best.vstart
-		weight := float64(best.res)
+		weight := float64(q.res)
 		if weight <= 0 {
 			// Zero-reservation subscribers receive spare only at a token
 			// weight, after everyone with a real reservation.
 			weight = 1e-3
 		}
-		best.vstart += need / weight
+		q.vstart += need / weight
 		out = append(out, d)
+		if q.qlen() == 0 {
+			h = sparePop(h)
+		} else {
+			spareSiftDown(h, 0)
+		}
 	}
+	s.spareHeap = h[:0]
+
+	// Drop drained queues from the active list (one order-preserving
+	// compaction pass), keeping the rotation pointer on its queue.
+	if len(s.active) > 0 {
+		w := 0
+		start := s.astart
+		for i, q := range s.active {
+			if q.qlen() > 0 {
+				s.active[w] = q
+				w++
+				continue
+			}
+			q.inActive = false
+			if i < s.astart {
+				start--
+			}
+		}
+		for i := w; i < len(s.active); i++ {
+			s.active[i] = nil
+		}
+		s.active = s.active[:w]
+		s.astart = start
+		if s.astart >= w || s.astart < 0 {
+			s.astart = 0
+		}
+	}
+
 	if s.rec != nil {
 		s.recordCycle()
 	}
+	s.dispatchBuf = out
 	return out
 }
 
+// spareLess orders the spare heap by (vstart, id); the ID tie-break keeps
+// dispatch sequences deterministic.
+func spareLess(a, b *queueState) bool {
+	return a.vstart < b.vstart || (a.vstart == b.vstart && a.id < b.id)
+}
+
+func spareSiftDown(h []*queueState, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && spareLess(h[r], h[l]) {
+			m = r
+		}
+		if !spareLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// sparePop removes the heap's root, releasing the vacated tail slot.
+func sparePop(h []*queueState) []*queueState {
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 1 {
+		spareSiftDown(h, 0)
+	}
+	return h
+}
+
 // recordCycle commits one flight-recorder record of the cycle that just ran
-// and resets the per-cycle accumulators. Callers hold s.mu and have checked
-// s.rec != nil. Steady state allocates nothing: the record's slices retain
-// their capacity across cycles.
+// and resets the per-cycle accumulators. Only subscribers with activity this
+// cycle — visited by the reservation round or named in a usage report —
+// appear in the record; idle subscribers are omitted so recording stays
+// O(active). Callers hold s.mu and have checked s.rec != nil. Steady state
+// allocates nothing: the record's slices retain their capacity across
+// cycles.
 func (s *Scheduler) recordCycle() {
+	slices.SortFunc(s.recTouched, func(a, b *queueState) int { return cmp.Compare(a.id, b.id) })
 	cr := s.rec.Begin()
-	for _, id := range s.order {
-		q := s.subs[id]
+	for _, q := range s.recTouched {
 		cr.Subs = append(cr.Subs, flightrec.SubRecord{
 			ID:          q.id,
 			Reservation: q.res,
@@ -502,11 +759,11 @@ func (s *Scheduler) recordCycle() {
 			Completed:   q.cycCompleted,
 			Dropped:     q.dropped,
 		})
+		q.recTouched = false
 		q.cycReserved, q.cycSpare, q.cycCompleted = 0, 0, 0
 		q.cycUsage, q.cycCredited = qos.Vector{}, qos.Vector{}
 	}
-	for _, id := range s.nodeOrder {
-		nd := s.nodes[id]
+	for _, nd := range s.nodeList {
 		cr.Nodes = append(cr.Nodes, flightrec.NodeRecord{
 			ID:          int(nd.id),
 			Outstanding: nd.outstanding,
@@ -515,6 +772,10 @@ func (s *Scheduler) recordCycle() {
 		})
 	}
 	s.rec.Commit()
+	for i := range s.recTouched {
+		s.recTouched[i] = nil
+	}
+	s.recTouched = s.recTouched[:0]
 }
 
 // SetRecorder attaches (or, with nil, detaches) a flight recorder. Each Tick
@@ -525,9 +786,14 @@ func (s *Scheduler) SetRecorder(rec *flightrec.Recorder) {
 	defer s.mu.Unlock()
 	s.rec = rec
 	for _, q := range s.subs {
+		q.recTouched = false
 		q.cycReserved, q.cycSpare, q.cycCompleted = 0, 0, 0
 		q.cycUsage, q.cycCredited = qos.Vector{}, qos.Vector{}
 	}
+	for i := range s.recTouched {
+		s.recTouched[i] = nil
+	}
+	s.recTouched = s.recTouched[:0]
 }
 
 // Recorder returns the attached flight recorder, or nil.
@@ -537,11 +803,19 @@ func (s *Scheduler) Recorder() *flightrec.Recorder {
 	return s.rec
 }
 
-// dispatchOne pops the head request of q and assigns it to the least-loaded
-// node with room. It updates the in-flight estimates. It reports false —
-// without popping — when no node can take the request. Spare-funded
-// dispatches are flagged so their usage is refunded to the balance when the
-// accounting message releases them.
+// ensureNodeSlots sizes the queue's per-node arrays on first dispatch.
+func (s *Scheduler) ensureNodeSlots(q *queueState) {
+	if q.estimated == nil {
+		q.estimated = make([]qos.Vector, len(s.nodeList))
+		q.pending = make([]pendQ, len(s.nodeList))
+	}
+}
+
+// dispatchOne pops the head request of q and assigns it to the next node in
+// the weighted-round-robin order with room. It updates the in-flight
+// estimates. It reports false — without popping — when no node can take the
+// request. Spare-funded dispatches are flagged so their usage is refunded to
+// the balance when the accounting message releases them.
 func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 	affinity := q.fifo[q.head].Affinity
 	node := s.pickNodeAffine(q.predicted, affinity)
@@ -550,8 +824,10 @@ func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 	}
 	req := q.pop()
 	node.outstanding = node.outstanding.Add(q.predicted)
-	q.estimated[node.id] = q.estimated[node.id].Add(q.predicted)
-	q.pending[node.id] = append(q.pending[node.id], pendingDispatch{reqID: req.ID, predicted: q.predicted, spare: spare})
+	s.ensureNodeSlots(q)
+	q.estimated[node.idx] = q.estimated[node.idx].Add(q.predicted)
+	q.estTotal = q.estTotal.Add(q.predicted)
+	q.pending[node.idx].push(pendingDispatch{reqID: req.ID, predicted: q.predicted, spare: spare})
 	s.dispatched++
 	q.dispatched++
 	if s.rec != nil {
@@ -561,29 +837,26 @@ func (s *Scheduler) dispatchOne(q *queueState, spare bool) (Dispatch, bool) {
 			q.cycReserved++
 		}
 	}
-	if n := len(s.nodeOrder); n > 0 {
-		s.nodeStart = (s.nodeStart + 1) % n
-	}
 	return Dispatch{Req: req, Node: node.id, Predicted: q.predicted}, true
 }
 
 // pickNodeAffine prefers the affinity-designated node when it has room,
-// falling back to least-loaded dispatch — content-aware request
-// distribution (§3.6) that trades perfect balance for cache locality.
+// falling back to the round-robin pick — content-aware request distribution
+// (§3.6) that trades perfect balance for cache locality.
 func (s *Scheduler) pickNodeAffine(predicted qos.Vector, affinity uint64) *nodeState {
-	if affinity != 0 && len(s.nodeOrder) > 0 {
-		nd := s.nodes[s.nodeOrder[affinity%uint64(len(s.nodeOrder))]]
+	if affinity != 0 && len(s.nodeList) > 0 {
+		nd := s.nodeList[affinity%uint64(len(s.nodeList))]
 		if nd.hasRoom(predicted) {
 			return nd
 		}
 	}
-	return s.pickNode(predicted)
+	return s.pickNodeExcept(predicted, nil)
 }
 
-// pickNode returns the node with the least estimated outstanding load (in
-// generic units) that still has room for the predicted usage, or nil. Ties
-// are broken by a rotating starting offset so identical nodes share work
-// evenly instead of the lowest ID starving the rest.
+// pickNode returns the next node in the precompiled smooth-WRR order that
+// has room for the predicted usage, or nil. The table embodies the weighted
+// interleaving, so the pick is O(1) plus skipped-full entries (bounded by
+// the table length, a function of node count — never of subscriber count).
 func (s *Scheduler) pickNode(predicted qos.Vector) *nodeState {
 	return s.pickNodeExcept(predicted, nil)
 }
@@ -591,20 +864,100 @@ func (s *Scheduler) pickNode(predicted qos.Vector) *nodeState {
 // pickNodeExcept is pickNode with one node ruled out — the redispatch path
 // must never hand a request back to the node that just failed it.
 func (s *Scheduler) pickNodeExcept(predicted qos.Vector, except *nodeState) *nodeState {
-	var best *nodeState
-	bestLoad := 0.0
-	n := len(s.nodeOrder)
+	n := len(s.wrrTable)
 	for i := 0; i < n; i++ {
-		nd := s.nodes[s.nodeOrder[(s.nodeStart+i)%n]]
+		pos := s.wrrPos + i
+		if pos >= n {
+			pos -= n
+		}
+		nd := s.nodeList[s.wrrTable[pos]]
 		if nd == except || !nd.hasRoom(predicted) {
 			continue
 		}
-		load := nd.effective().GenericUnits()
-		if best == nil || load < bestLoad {
-			best, bestLoad = nd, load
+		s.wrrPos = pos + 1
+		if s.wrrPos >= n {
+			s.wrrPos = 0
+		}
+		return nd
+	}
+	return nil
+}
+
+// compileWRR rebuilds the smooth weighted-round-robin pick table from the
+// node weights. It runs only on construction and weight/membership changes,
+// never on the dispatch path. Weights are scaled to 1/64 granularity and
+// reduced by their GCD, so equal-weight clusters compile to one entry per
+// node (plain round-robin) and the table stays small.
+func (s *Scheduler) compileWRR() {
+	const granularity = 64
+	wts := s.wrrWts[:0]
+	total := 0
+	for _, nd := range s.nodeList {
+		w := 0
+		if nd.weight > 0 {
+			w = int(nd.weight*granularity + 0.5)
+			if w == 0 {
+				w = 1
+			}
+		}
+		wts = append(wts, w)
+		total += w
+	}
+	s.wrrWts = wts
+	if total == 0 {
+		s.wrrTable = s.wrrTable[:0]
+		s.wrrPos = 0
+		return
+	}
+	g := 0
+	for _, w := range wts {
+		g = gcd(g, w)
+	}
+	if g > 1 {
+		total = 0
+		for i := range wts {
+			wts[i] /= g
+			total += wts[i]
 		}
 	}
-	return best
+	cur := s.wrrCur
+	if cap(cur) < len(wts) {
+		cur = make([]int, len(wts))
+	}
+	cur = cur[:len(wts)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	s.wrrCur = cur
+	table := s.wrrTable[:0]
+	// nginx-style smooth WRR: each step every candidate gains its weight,
+	// the largest current value wins (lowest index on ties, keeping the
+	// sequence deterministic), and the winner pays back the total.
+	for step := 0; step < total; step++ {
+		best := -1
+		for i, w := range wts {
+			if w == 0 {
+				continue
+			}
+			cur[i] += w
+			if best < 0 || cur[i] > cur[best] {
+				best = i
+			}
+		}
+		cur[best] -= total
+		table = append(table, int32(best))
+	}
+	s.wrrTable = table
+	if s.wrrPos >= len(table) {
+		s.wrrPos = 0
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
 }
 
 // ReportUsage ingests an accounting message: it releases the node's
@@ -622,35 +975,48 @@ func (s *Scheduler) ReportUsage(rep UsageReport) error {
 		if !ok {
 			continue // subscriber removed or unknown; skip
 		}
+		// Settle outstanding credit first so the debit applies to the
+		// up-to-date balance — the same order the eager per-tick crediting
+		// produced.
+		s.settleCredit(q)
 		// Release the predictions charged at dispatch time for the
 		// completed requests — exactly those, so prediction error never
 		// lingers as phantom estimated load. Spare-funded dispatches are
 		// refunded here, atomically with the actual-usage debit, so the
 		// reservation balance pays only for reservation-round work and the
 		// clamp can never eat a compensation.
-		fifo := q.pending[rep.Node]
-		k := u.Completed
-		if k > len(fifo) {
-			k = len(fifo)
-		}
 		var released, refund qos.Vector
-		for i := 0; i < k; i++ {
-			released = released.Add(fifo[i].predicted)
-			if fifo[i].spare {
-				refund = refund.Add(fifo[i].predicted)
+		if q.pending != nil {
+			pq := &q.pending[nd.idx]
+			k := u.Completed
+			if k > pq.size() {
+				k = pq.size()
 			}
+			for i := 0; i < k; i++ {
+				pd := pq.at(i)
+				released = released.Add(pd.predicted)
+				if pd.spare {
+					refund = refund.Add(pd.predicted)
+				}
+			}
+			pq.release(k)
 		}
-		q.pending[rep.Node] = fifo[k:]
 		q.balance = s.clampBalance(q, q.balance.Sub(u.Usage).Add(refund))
 		if s.rec != nil {
 			q.cycUsage = q.cycUsage.Add(u.Usage)
 			q.cycCompleted += u.Completed
+			s.touch(q)
 		}
 		nd.outstanding = nd.outstanding.Sub(released).ClampNonNegative()
 		// Reconcile the optimistic drain: the released work was (mostly)
 		// the work we assumed was draining.
 		nd.drained = nd.drained.Sub(released).ClampNonNegative().Min(nd.outstanding)
-		q.estimated[rep.Node] = q.estimated[rep.Node].Sub(released).ClampNonNegative()
+		if q.estimated != nil {
+			est := q.estimated[nd.idx]
+			newEst := est.Sub(released).ClampNonNegative()
+			q.estimated[nd.idx] = newEst
+			q.estTotal = q.estTotal.Sub(est.Sub(newEst))
+		}
 		if u.Completed > 0 {
 			sample := u.Usage.Scale(1 / float64(u.Completed))
 			a := s.cfg.PredictionAlpha
@@ -702,7 +1068,7 @@ func (s *Scheduler) ReleaseDispatch(sub qos.SubscriberID, node NodeID, reqID uin
 	if !ok {
 		return false
 	}
-	pd, ok := s.takePending(q, node, reqID)
+	pd, ok := s.takePending(q, nd, reqID)
 	if !ok {
 		return false
 	}
@@ -711,12 +1077,12 @@ func (s *Scheduler) ReleaseDispatch(sub qos.SubscriberID, node NodeID, reqID uin
 }
 
 // Redispatch moves an in-flight charge off a failed node: it releases the
-// request's prediction from `from` and charges the least-loaded enabled node
-// other than `from` instead, atomically. It returns the new node, or false
-// when no alternate has room — in which case the charge has still been
-// released and the caller should fail the request. This backs the dispatcher's
-// relay retry: a backend that dies between dispatch and dial costs one extra
-// round trip instead of a 502.
+// request's prediction from `from` and charges the next enabled node other
+// than `from` instead, atomically. It returns the new node, or false when no
+// alternate has room — in which case the charge has still been released and
+// the caller should fail the request. This backs the dispatcher's relay
+// retry: a backend that dies between dispatch and dial costs one extra round
+// trip instead of a 502.
 func (s *Scheduler) Redispatch(sub qos.SubscriberID, reqID uint64, from NodeID) (NodeID, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -728,7 +1094,7 @@ func (s *Scheduler) Redispatch(sub qos.SubscriberID, reqID uint64, from NodeID) 
 	if !ok {
 		return 0, false
 	}
-	pd, ok := s.takePending(q, from, reqID)
+	pd, ok := s.takePending(q, fromNode, reqID)
 	if !ok {
 		return 0, false
 	}
@@ -738,18 +1104,23 @@ func (s *Scheduler) Redispatch(sub qos.SubscriberID, reqID uint64, from NodeID) 
 		return 0, false
 	}
 	alt.outstanding = alt.outstanding.Add(pd.predicted)
-	q.estimated[alt.id] = q.estimated[alt.id].Add(pd.predicted)
-	q.pending[alt.id] = append(q.pending[alt.id], pendingDispatch{reqID: reqID, predicted: pd.predicted, spare: pd.spare})
+	q.estimated[alt.idx] = q.estimated[alt.idx].Add(pd.predicted)
+	q.estTotal = q.estTotal.Add(pd.predicted)
+	q.pending[alt.idx].push(pendingDispatch{reqID: reqID, predicted: pd.predicted, spare: pd.spare})
 	return alt.id, true
 }
 
 // takePending removes and returns the pending-prediction entry for reqID on
-// node, if present. Callers hold s.mu.
-func (s *Scheduler) takePending(q *queueState, node NodeID, reqID uint64) (pendingDispatch, bool) {
-	fifo := q.pending[node]
-	for i, pd := range fifo {
-		if pd.reqID == reqID {
-			q.pending[node] = append(fifo[:i], fifo[i+1:]...)
+// the node, if present. Callers hold s.mu.
+func (s *Scheduler) takePending(q *queueState, nd *nodeState, reqID uint64) (pendingDispatch, bool) {
+	if q.pending == nil {
+		return pendingDispatch{}, false
+	}
+	pq := &q.pending[nd.idx]
+	for i := 0; i < pq.size(); i++ {
+		if pq.at(i).reqID == reqID {
+			pd := *pq.at(i)
+			pq.remove(i)
 			return pd, true
 		}
 	}
@@ -761,13 +1132,17 @@ func (s *Scheduler) takePending(q *queueState, node NodeID, reqID uint64) (pendi
 func (s *Scheduler) releaseCharge(q *queueState, nd *nodeState, predicted qos.Vector) {
 	nd.outstanding = nd.outstanding.Sub(predicted).ClampNonNegative()
 	nd.drained = nd.drained.Min(nd.outstanding)
-	q.estimated[nd.id] = q.estimated[nd.id].Sub(predicted).ClampNonNegative()
+	if q.estimated != nil {
+		est := q.estimated[nd.idx]
+		newEst := est.Sub(predicted).ClampNonNegative()
+		q.estimated[nd.idx] = newEst
+		q.estTotal = q.estTotal.Sub(est.Sub(newEst))
+	}
 }
 
 // clampBalance bounds a balance to ±reservation×CreditWindow.
 func (s *Scheduler) clampBalance(q *queueState, b qos.Vector) qos.Vector {
-	lim := q.res.PerCycle(s.cfg.CreditWindow)
-	return b.Min(lim).Max(lim.Neg())
+	return b.Min(q.clampLim).Max(q.clampLim.Neg())
 }
 
 // QueueLen returns the number of queued (undispatched) requests for a
@@ -805,11 +1180,14 @@ func (s *Scheduler) Dispatched(id qos.SubscriberID) uint64 {
 
 // Balance returns a subscriber's current reserved-resource balance. The
 // balance is clamped to ±reservation×CreditWindow; tests and monitoring use
-// this to observe the credit cap.
+// this to observe the credit cap. Reading settles any lazily accrued credit
+// first, so idle subscribers observe the same balance the eager per-tick
+// crediting produced.
 func (s *Scheduler) Balance(id qos.SubscriberID) (qos.Vector, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if q, ok := s.subs[id]; ok {
+		s.settleCredit(q)
 		return q.balance, true
 	}
 	return qos.Vector{}, false
@@ -848,7 +1226,8 @@ func (s *Scheduler) TotalDispatched() uint64 {
 // work); fractional weights implement slow-start recovery. In-flight
 // accounting on a down-weighted node still settles normally, and its
 // optimistic drain still runs at full physical capacity — the weight limits
-// what we offer the node, not what we believe it can finish.
+// what we offer the node, not what we believe it can finish. Changing a
+// weight recompiles the smooth-WRR pick table.
 func (s *Scheduler) SetNodeWeight(id NodeID, w float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -861,7 +1240,11 @@ func (s *Scheduler) SetNodeWeight(id NodeID, w float64) error {
 	} else if w > 1 {
 		w = 1
 	}
-	nd.weight = w
+	if nd.weight != w {
+		nd.weight = w
+		nd.weightedBound = nd.bound.Scale(w)
+		s.compileWRR()
+	}
 	return nil
 }
 
@@ -906,17 +1289,7 @@ func (s *Scheduler) AddSubscriber(sub qos.Subscriber) error {
 	if _, dup := s.subs[sub.ID]; dup {
 		return fmt.Errorf("core: subscriber %q already registered", sub.ID)
 	}
-	s.subs[sub.ID] = &queueState{
-		id:        sub.ID,
-		res:       sub.Reservation,
-		limit:     sub.EffectiveQueueLimit(),
-		estimated: make(map[NodeID]qos.Vector),
-		pending:   make(map[NodeID][]pendingDispatch),
-		predicted: qos.GenericCost(),
-		vstart:    s.vtime, // join the spare round at the current virtual time
-	}
-	s.order = append(s.order, sub.ID)
-	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	s.subs[sub.ID] = s.newQueueState(sub)
 	return nil
 }
 
@@ -937,22 +1310,17 @@ func (s *Scheduler) RemoveSubscriber(id qos.SubscriberID) ([]Request, error) {
 	}
 	// Release the subscriber's in-flight estimates from its nodes so the
 	// capacity does not leak.
-	for nodeID, est := range q.estimated {
-		if nd, ok := s.nodes[nodeID]; ok {
-			nd.outstanding = nd.outstanding.Sub(est).ClampNonNegative()
-			nd.drained = nd.drained.Min(nd.outstanding)
+	for idx, est := range q.estimated {
+		if est.IsZero() {
+			continue
 		}
+		nd := s.nodeList[idx]
+		nd.outstanding = nd.outstanding.Sub(est).ClampNonNegative()
+		nd.drained = nd.drained.Min(nd.outstanding)
 	}
+	q.estTotal = qos.Vector{}
+	s.deactivate(q)
 	delete(s.subs, id)
-	for i, oid := range s.order {
-		if oid == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-	if s.start >= len(s.order) {
-		s.start = 0
-	}
 	return orphans, nil
 }
 
@@ -960,7 +1328,9 @@ func (s *Scheduler) RemoveSubscriber(id qos.SubscriberID) ([]Request, error) {
 func (s *Scheduler) Nodes() []NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]NodeID, len(s.nodeOrder))
-	copy(out, s.nodeOrder)
+	out := make([]NodeID, len(s.nodeList))
+	for i, nd := range s.nodeList {
+		out[i] = nd.id
+	}
 	return out
 }

@@ -200,6 +200,15 @@ type Server struct {
 	// one per accounting cycle. Guarded by acctMu.
 	polling map[core.NodeID]bool
 
+	// deltaScratch and spareReport recycle the per-node accounting maps:
+	// each poll decodes into the map retired from lastSeen on the previous
+	// cycle and diffs into a per-node scratch map, so steady-state polling
+	// allocates only what the JSON unmarshal itself needs. The polling slot
+	// serializes polls per node, making per-node reuse safe. Guarded by
+	// acctMu.
+	deltaScratch map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage
+	spareReport  map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage
+
 	// tracer samples per-request lifecycle traces (Config.TraceSampleEvery).
 	tracer *telemetry.Tracer
 
@@ -345,6 +354,10 @@ func New(cfg Config) (*Server, error) {
 		breakers:   breakers,
 		lastSeen:   make(map[core.NodeID]core.UsageReport, len(addrs)),
 		polling:    make(map[core.NodeID]bool, len(addrs)),
+		deltaScratch: make(map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage,
+			len(addrs)),
+		spareReport: make(map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage,
+			len(addrs)),
 		tracer: telemetry.NewTracer(telemetry.TracerConfig{
 			SampleEvery: cfg.TraceSampleEvery,
 			Buffer:      cfg.TraceBuffer,
@@ -601,7 +614,11 @@ func (s *Server) pollOne(id core.NodeID, addr string) {
 		s.polling[id] = false
 		s.acctMu.Unlock()
 	}()
-	cum, err := s.pollReport(id, addr)
+	s.acctMu.Lock()
+	reuse := s.spareReport[id]
+	s.spareReport[id] = nil
+	s.acctMu.Unlock()
+	cum, err := s.pollReport(id, addr, reuse)
 	if err != nil {
 		s.logger.Printf("dispatch: poll %v: %v", addr, err)
 		s.noteBreaker(id, breaker.Poll, false)
@@ -609,16 +626,21 @@ func (s *Server) pollOne(id core.NodeID, addr string) {
 	}
 	s.noteBreaker(id, breaker.Poll, true)
 	s.acctMu.Lock()
-	delta := diffReports(cum, s.lastSeen[id])
+	prev := s.lastSeen[id]
+	delta := diffReportsInto(cum, prev, s.deltaScratch[id])
+	s.deltaScratch[id] = delta.BySubscriber
 	s.lastSeen[id] = cum
+	// The displaced snapshot's map becomes the next poll's decode target.
+	s.spareReport[id] = prev.BySubscriber
 	s.acctMu.Unlock()
 	if err := s.sched.ReportUsage(delta); err != nil {
 		s.logger.Printf("dispatch: report usage: %v", err)
 	}
 }
 
-// pollReport fetches one backend's usage report.
-func (s *Server) pollReport(id core.NodeID, addr string) (core.UsageReport, error) {
+// pollReport fetches one backend's usage report, decoding the subscriber
+// usage into the caller's reused map (nil allocates fresh).
+func (s *Server) pollReport(id core.NodeID, addr string, reuse map[qos.SubscriberID]core.SubscriberUsage) (core.UsageReport, error) {
 	conn, err := s.cfg.Dial("tcp", addr, s.cfg.DialTimeout)
 	if err != nil {
 		return core.UsageReport{}, err
@@ -630,14 +652,16 @@ func (s *Server) pollReport(id core.NodeID, addr string) (core.UsageReport, erro
 	if err := req.Write(conn); err != nil {
 		return core.UsageReport{}, err
 	}
-	resp, err := httpwire.ReadResponse(bufio.NewReader(conn))
+	br := getReader(conn)
+	resp, err := httpwire.ReadResponse(br)
+	putReader(br)
 	if err != nil {
 		return core.UsageReport{}, err
 	}
 	if resp.StatusCode != 200 {
 		return core.UsageReport{}, fmt.Errorf("report status %d", resp.StatusCode)
 	}
-	rep, err := backend.DecodeReport(resp.Body)
+	rep, err := backend.DecodeReportInto(resp.Body, reuse)
 	if err != nil {
 		return core.UsageReport{}, err
 	}
@@ -649,10 +673,21 @@ func (s *Server) pollReport(id core.NodeID, addr string) (core.UsageReport, erro
 // the previous snapshot. A backend restart (counters going backwards) is
 // treated as a fresh start: the new cumulative IS the delta.
 func diffReports(cum, prev core.UsageReport) core.UsageReport {
+	return diffReportsInto(cum, prev, nil)
+}
+
+// diffReportsInto is diffReports writing the per-subscriber deltas into the
+// caller's reused map (cleared first; nil allocates fresh).
+func diffReportsInto(cum, prev core.UsageReport, scratch map[qos.SubscriberID]core.SubscriberUsage) core.UsageReport {
+	if scratch == nil {
+		scratch = make(map[qos.SubscriberID]core.SubscriberUsage, len(cum.BySubscriber))
+	} else {
+		clear(scratch)
+	}
 	delta := core.UsageReport{
 		Node:         cum.Node,
 		Total:        cum.Total.Sub(prev.Total),
-		BySubscriber: make(map[qos.SubscriberID]core.SubscriberUsage, len(cum.BySubscriber)),
+		BySubscriber: scratch,
 	}
 	if delta.Total.AnyNegative() {
 		delta.Total = cum.Total
@@ -677,6 +712,43 @@ func diffReports(cum, prev core.UsageReport) core.UsageReport {
 
 var reqIDs atomic.Uint64
 
+// retryTimerPool recycles backoff timers across retries; a timer goes back
+// stopped and drained, so a pooled timer is never live.
+var retryTimerPool sync.Pool
+
+func getRetryTimer(d time.Duration) *time.Timer {
+	if t, _ := retryTimerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putRetryTimer returns a timer to the pool; fired says its channel was
+// already received from, otherwise the timer is stopped and, if it fired
+// concurrently, drained.
+func putRetryTimer(t *time.Timer, fired bool) {
+	if !fired && !t.Stop() {
+		<-t.C
+	}
+	retryTimerPool.Put(t)
+}
+
+// readerPool recycles bufio readers for the relay and accounting-poll paths;
+// both fully materialize what they parse before the reader is released.
+var readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 4096) }}
+
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the connection reference
+	readerPool.Put(br)
+}
+
 // handle serves one client connection. HTTP/1.1 connections are persistent
 // (P-HTTP): each request on the connection is classified, queued and
 // scheduled independently — consecutive requests may be relayed to
@@ -684,7 +756,8 @@ var reqIDs atomic.Uint64
 // spliced connection.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	br := getReader(conn)
+	defer putReader(br)
 	for {
 		// A draining server reads no further requests, even on persistent
 		// connections.
@@ -873,9 +946,15 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		}
 		s.retried.Add(1)
 		tr.Add(telemetry.StageRetry, int64(alt), "dial failed, redispatched")
+		// A pooled timer, stopped and drained on the abort path: time.After
+		// here stranded a live timer until expiry for every shutdown-aborted
+		// retry, pinning its channel and callback for the full backoff.
+		bt := getRetryTimer(s.cfg.RetryBackoff)
 		select {
-		case <-time.After(s.cfg.RetryBackoff):
+		case <-bt.C:
+			putRetryTimer(bt, true)
 		case <-s.stopCh:
+			putRetryTimer(bt, false)
 			// Shutdown abort: reclaim the alternate's charge and give up.
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
 			tr.Settle(telemetry.OutcomeDrainAbort)
@@ -924,7 +1003,9 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	// Parse the response so the client connection's framing survives for
 	// the next request; usage accounting arrives separately via the
 	// periodic report poll.
-	resp, err := httpwire.ReadResponse(bufio.NewReader(be))
+	rbr := getReader(be)
+	resp, err := httpwire.ReadResponse(rbr)
+	putReader(rbr)
 	if err != nil {
 		tr.Settle(telemetry.OutcomeError)
 		s.errs.Add(1)

@@ -47,7 +47,8 @@ type Conn struct {
 	// Go-Back-N sender state: unacknowledged segments in send order, the
 	// running retransmission timer, and the consecutive-timeout count.
 	retxq     []Packet
-	retxTimer *vclock.Timer
+	retxTimer vclock.Timer
+	retxArmed bool
 	retries   int
 
 	// OnData is called with each in-order payload delivered to this
@@ -143,10 +144,8 @@ func (c *Conn) maybeFinalize() {
 	}
 	c.state = stateClosed
 	delete(c.stack.conns, connKey{ip: c.remoteIP, port: c.remotePort, local: c.localPort})
-	if c.retxTimer != nil {
-		c.retxTimer.Stop()
-		c.retxTimer = nil
-	}
+	c.retxTimer.Stop()
+	c.retxArmed = false
 }
 
 // sendTracked transmits a retransmittable segment (SYN, SYNACK, data): it
@@ -158,16 +157,17 @@ func (c *Conn) sendTracked(pkt Packet) {
 }
 
 func (c *Conn) armRetx() {
-	if c.retxTimer != nil {
+	if c.retxArmed {
 		return
 	}
+	c.retxArmed = true
 	c.retxTimer = c.stack.netw.Timer(RTO, c.onRetxTimeout)
 }
 
 // onRetxTimeout resends everything unacknowledged (Go-Back-N) or gives up
 // after MaxRetries consecutive silent timeouts.
 func (c *Conn) onRetxTimeout() {
-	c.retxTimer = nil
+	c.retxArmed = false
 	if c.state == stateClosed || len(c.retxq) == 0 {
 		return
 	}
@@ -196,9 +196,9 @@ func (c *Conn) processAck(ack uint32) {
 	}
 	if popped {
 		c.retries = 0
-		if len(c.retxq) == 0 && c.retxTimer != nil {
+		if len(c.retxq) == 0 {
 			c.retxTimer.Stop()
-			c.retxTimer = nil
+			c.retxArmed = false
 		}
 		c.maybeFinalize()
 	}

@@ -43,6 +43,10 @@ type Network struct {
 
 	// Taps observe every delivered frame (for tests and traces).
 	taps []func(Packet)
+
+	// freeDeliveries recycles in-flight frame carriers so Send allocates
+	// nothing in steady state.
+	freeDeliveries []*delivery
 }
 
 // NewNetwork creates an empty network on the engine with the given per-hop
@@ -94,7 +98,7 @@ func (n *Network) After(d time.Duration, fn func()) { n.engine.After(d, fn) }
 
 // Timer schedules fn on the simulation clock and returns a cancellable
 // handle (retransmission timers).
-func (n *Network) Timer(d time.Duration, fn func()) *vclock.Timer {
+func (n *Network) Timer(d time.Duration, fn func()) vclock.Timer {
 	return n.engine.After(d, fn)
 }
 
@@ -142,10 +146,38 @@ func (n *Network) Send(pkt Packet) {
 		n.dropped++
 		return
 	}
-	n.engine.After(n.latency+extra, func() {
-		for _, tap := range n.taps {
-			tap(pkt)
-		}
-		dst.Receive(pkt)
-	})
+	// Deliveries ride a pooled carrier through AfterArg instead of a fresh
+	// closure per frame: the simulator sends one frame per simulated packet,
+	// so this is the segment's hottest allocation site.
+	var d *delivery
+	if k := len(n.freeDeliveries); k > 0 {
+		d = n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+	} else {
+		d = &delivery{n: n}
+	}
+	d.dst, d.pkt = dst, pkt
+	n.engine.AfterArg(n.latency+extra, deliverFrame, d)
+}
+
+// delivery carries one in-flight frame; nodes are recycled via the network's
+// free list.
+type delivery struct {
+	n   *Network
+	dst Receiver
+	pkt Packet
+}
+
+// deliverFrame is the shared delivery callback (top-level so scheduling it
+// never allocates a closure).
+func deliverFrame(arg any) {
+	d := arg.(*delivery)
+	n, dst, pkt := d.n, d.dst, d.pkt
+	d.dst, d.pkt = nil, Packet{}
+	n.freeDeliveries = append(n.freeDeliveries, d)
+	for _, tap := range n.taps {
+		tap(pkt)
+	}
+	dst.Receive(pkt)
 }

@@ -22,27 +22,38 @@ type Clock interface {
 // ErrStopped is returned by Run variants after Stop has been called.
 var ErrStopped = errors.New("vclock: engine stopped")
 
-// event is one scheduled callback.
+// event is one scheduled callback. Nodes are recycled through the engine's
+// free list once fired or cancelled; gen disambiguates a recycled node from
+// the one a stale Timer still points at.
 type event struct {
-	at   time.Time
-	seq  uint64 // FIFO tie-break for identical times
-	fn   func()
-	heap *eventHeap
-	idx  int // index in heap, -1 once popped or cancelled
+	at    time.Time
+	seq   uint64 // FIFO tie-break for identical times
+	gen   uint32 // bumped on recycle; stale Timer.Stop becomes a no-op
+	fn    func()
+	argFn func(any)
+	arg   any
+	eng   *Engine
+	idx   int // index in heap, -1 once popped or cancelled
 }
 
-// Timer handles a scheduled event and allows cancellation.
+// Timer handles a scheduled event and allows cancellation. The zero Timer is
+// valid and Stop on it reports false.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the event was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.idx < 0 {
+// Stopping an already-fired, already-stopped, or zero Timer is a safe no-op:
+// the generation check keeps a stale handle from cancelling whatever event
+// reuses its node.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.idx < 0 {
 		return false
 	}
-	heap.Remove(t.ev.heap, t.ev.idx)
-	t.ev.idx = -1
+	heap.Remove(&ev.eng.queue, ev.idx)
+	ev.eng.recycle(ev)
 	return true
 }
 
@@ -84,6 +95,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now     time.Time
 	queue   eventHeap
+	free    []*event // recycled event nodes; steady state allocates none
 	nextSeq uint64
 	stopped bool
 }
@@ -104,26 +116,58 @@ func (e *Engine) Len() int { return len(e.queue) }
 
 // At schedules fn to run at instant t. Scheduling in the past (before Now)
 // clamps to Now, which makes "run immediately" idioms safe.
-func (e *Engine) At(t time.Time, fn func()) *Timer {
-	if t.Before(e.now) {
-		t = e.now
-	}
-	ev := &event{at: t, seq: e.nextSeq, fn: fn, heap: &e.queue}
-	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+func (e *Engine) At(t time.Time, fn func()) Timer {
+	return e.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d from now.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
-	return e.At(e.now.Add(d), fn)
+func (e *Engine) After(d time.Duration, fn func()) Timer {
+	return e.schedule(e.now.Add(d), fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at instant t. With a shared top-level fn and a
+// pointer-typed arg this is allocation-free where a closure capturing the
+// same state would allocate per event — the idiom for simulator hot paths.
+func (e *Engine) AtArg(t time.Time, fn func(any), arg any) Timer {
+	return e.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) to run d from now.
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) Timer {
+	return e.schedule(e.now.Add(d), nil, fn, arg)
+}
+
+func (e *Engine) schedule(t time.Time, fn func(), argFn func(any), arg any) Timer {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e}
+	}
+	ev.at, ev.seq, ev.fn, ev.argFn, ev.arg = t, e.nextSeq, fn, argFn, arg
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped or cancelled event node to the free list. The
+// generation bump invalidates every Timer handed out for this node.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.argFn, ev.arg = nil, nil, nil
+	e.free = append(e.free, ev)
 }
 
 // Every schedules fn to run every period, starting one period from now, until
 // the returned Timer chain is stopped via the returned stop function.
 func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
 	var (
-		timer   *Timer
+		timer   Timer
 		stopped bool
 	)
 	var tick func()
@@ -151,7 +195,15 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
-	ev.fn()
+	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+	// Recycle before running: the callback may schedule new events (reusing
+	// this node) and any Timer for this firing is already invalidated.
+	e.recycle(ev)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

@@ -112,7 +112,7 @@ func TestTimerStop(t *testing.T) {
 func TestTimerStopMiddleOfHeap(t *testing.T) {
 	e := NewEngine(time.Time{})
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 5; i++ {
 		i := i
 		timers = append(timers, e.After(time.Duration(i+1)*time.Millisecond, func() { got = append(got, i) }))
