@@ -1,7 +1,7 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched audit-smoke
+.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier stress-hier chaos-hier audit-smoke
 
-verify: build vet lint test race audit-smoke bench-sched
+verify: build vet lint test race audit-smoke bench-sched bench-hier stress-hier
 
 build:
 	go build ./...
@@ -58,6 +58,30 @@ bench-sched:
 	go test -run '^$$' -bench SchedCycle -benchmem -benchtime=300x -json \
 		./internal/core/ > BENCH_sched.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_sched.json | cut -d'"' -f4 || true
+
+# Hierarchical-scale trajectory: one steady-state scheduling cycle with a
+# fixed 100-subscriber Zipf(1.1) hot set across 32 tenant groups while the
+# registered population sweeps 1k→1M, flight recorder off and on. Results
+# land in BENCH_hier.json; per-cycle cost must stay flat within 2× across
+# the sweep (O(active groups + dispatched members), idle subscribers never
+# materialize) and allocs/op must stay 0. The generous benchtime amortizes
+# fixture-construction GC debt out of the per-op numbers.
+bench-hier:
+	go test -run '^$$' -bench HierCycle -benchmem -benchtime=2000x -json \
+		./internal/core/ > BENCH_hier.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_hier.json | cut -d'"' -f4 || true
+
+# Zipf stress, short mode: the simulator-side hierarchical scenario (mostly
+# idle population across 16 tenant groups, Zipf-skewed hot set) with its
+# settlement, no-shed, and zero-violation-span audits.
+stress-hier:
+	go test -short -run 'TestHierStress|TestChaosHierZipf' ./internal/cluster/
+
+# Zipf stress under chaos: the hierarchical scenario driven through the PR-2
+# node crash/recover plan under the race detector, twice — no tenant group's
+# guarantee may break while a quarter of the cluster is down.
+chaos-hier:
+	go test -race -count=2 -run 'TestChaosHierZipf|TestHierStress' ./internal/cluster/
 
 # End-to-end flight-recorder round trip through the CLI: generate a short
 # SPECweb99 trace, replay it through the simulator spilling the per-cycle

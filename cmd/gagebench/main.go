@@ -10,7 +10,15 @@
 //	gagebench scalability  §4.3 throughput vs cluster size
 //	gagebench utilization  §4.3 RDN CPU utilization curve
 //	gagebench sched        per-cycle scheduler cost vs directory size
+//	gagebench hier         hierarchical per-cycle cost, 1k→1M registered
+//	gagebench hierstress   Zipf stress run over tenant groups (simulator)
 //	gagebench all          everything above
+//
+// With -cycles FILE, hierstress also spills the run's per-cycle log as
+// JSONL, ready for an offline conformance audit:
+//
+//	gagebench -cycles /tmp/cycles.jsonl hierstress
+//	gagetrace audit -warmup 2s -window 4s /tmp/cycles.jsonl
 //
 // Output pairs each measured number with the paper's, so shape agreement is
 // inspectable line by line.
@@ -24,7 +32,11 @@ import (
 
 	"gage/internal/benchkit"
 	"gage/internal/cluster"
+	"gage/internal/flightrec"
 )
+
+// cyclesPath is where hierstress spills its per-cycle log (empty = off).
+var cyclesPath = flag.String("cycles", "", "spill the hierstress cycle log to this JSONL file")
 
 func main() {
 	flag.Parse()
@@ -51,12 +63,14 @@ func run(cmd string) error {
 		"projection":  projection,
 		"locality":    locality,
 		"sched":       sched,
+		"hier":        hier,
+		"hierstress":  hierstress,
 	}
 	if cmd == "all" {
 		for _, name := range []string{
 			"table1", "table2", "fig3", "fig3r",
 			"table3", "overhead", "scalability", "utilization", "projection", "locality",
-			"sched",
+			"sched", "hier", "hierstress",
 		} {
 			if err := steps[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -113,6 +127,73 @@ func sched() error {
 			rec = "on"
 		}
 		fmt.Printf("%-12d %-9s %12d %12d\n", r.Subs, rec, r.NsPerOp, r.Allocs)
+	}
+	fmt.Println()
+	return nil
+}
+
+func hier() error {
+	fmt.Println("== hierarchical per-cycle cost vs registered population ==")
+	fmt.Println("(100-subscriber Zipf(1.1) hot set across 32 groups; cost must stay flat)")
+	rows, err := benchkit.MeasureHierScale()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-9s %12s %12s\n", "subscribers", "recorder", "ns/cycle", "allocs/cycle")
+	for _, r := range rows {
+		rec := "off"
+		if r.Recorder {
+			rec = "on"
+		}
+		fmt.Printf("%-12d %-9s %12d %12d\n", r.Subs, rec, r.NsPerOp, r.Allocs)
+	}
+	fmt.Println()
+	return nil
+}
+
+func hierstress() error {
+	fmt.Println("== hierarchical Zipf stress (simulator, tenant groups) ==")
+	opts := cluster.HierStressOptions{}
+	var rec *flightrec.Recorder
+	var spill *os.File
+	if *cyclesPath != "" {
+		f, err := os.Create(*cyclesPath)
+		if err != nil {
+			return fmt.Errorf("cycles: %w", err)
+		}
+		spill = f
+		rec = flightrec.NewRecorder(flightrec.Config{RingSize: 256, Spill: f})
+		opts.Recorder = rec
+	}
+	run, err := cluster.HierStress(opts)
+	if err != nil {
+		return err
+	}
+	opts = cluster.HierStressOptions{}.WithDefaults()
+	fmt.Printf("registered %d across %d groups, %d hot, %d RPNs, %.0f%% utilization\n",
+		opts.Registered, opts.Groups, opts.Hot, opts.NumRPNs, opts.Utilization*100)
+	fmt.Printf("%-10s %-8s %10s %10s %10s %10s\n",
+		"subscriber", "group", "res GRPS", "offered", "served", "p95")
+	for _, sub := range run.Hot {
+		row, ok := run.Row(sub.ID)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s %-8s %10.0f %10d %10d %10s\n",
+			sub.ID, run.GroupOf[sub.ID], float64(sub.Reservation),
+			row.OfferedReqs, row.ServedReqs, row.P95Latency.Round(time.Millisecond))
+	}
+	fmt.Printf("books: dispatched=%d delivered=%d shed=%d balance_violations=%d\n",
+		run.DispatchedReqs, run.DeliveredReqs, run.ShedReqs, run.BalanceViolations)
+	if spill != nil {
+		if err := rec.SpillErr(); err != nil {
+			return fmt.Errorf("cycles spill: %w", err)
+		}
+		if err := spill.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("cycle log: %s (audit with: gagetrace audit -warmup %v -window 4s %s)\n",
+			*cyclesPath, opts.Warmup, *cyclesPath)
 	}
 	fmt.Println()
 	return nil

@@ -12,7 +12,7 @@
 //
 //	{
 //	  "subscribers": [
-//	    {"id": "site1", "hosts": ["www.site1.example"], "reservationGRPS": 250, "queueLimit": 128}
+//	    {"id": "site1", "hosts": ["www.site1.example"], "reservationGRPS": 250, "queueLimit": 128, "group": "tier1"}
 //	  ],
 //	  "backends": [
 //	    {"id": 1, "addr": "127.0.0.1:9001"}
@@ -23,6 +23,7 @@
 //	  "queueTimeoutMillis": 30000,
 //	  "retryBackoffMillis": 25,
 //	  "maxConns": 1024,
+//	  "shardCount": 16,
 //	  "drainTimeoutMillis": 5000,
 //	  "clientIdleTimeoutMillis": 60000,
 //	  "backendTimeoutMillis": 60000,
@@ -64,6 +65,9 @@ type fileConfig struct {
 		Hosts           []string `json:"hosts"`
 		ReservationGRPS float64  `json:"reservationGRPS"`
 		QueueLimit      int      `json:"queueLimit"`
+		// Group is the tenant tier the subscriber schedules under; empty
+		// means the default group (flat, paper-exact scheduling).
+		Group string `json:"group"`
 	} `json:"subscribers"`
 	Backends []struct {
 		ID   int    `json:"id"`
@@ -74,8 +78,11 @@ type fileConfig struct {
 	DialTimeoutMillis  int `json:"dialTimeoutMillis"`
 	QueueTimeoutMillis int `json:"queueTimeoutMillis"`
 	RetryBackoffMillis int `json:"retryBackoffMillis"`
-	// Overload control and graceful degradation.
+	// Overload control and graceful degradation. ShardCount is the
+	// admission/accounting shard count (rounded up to a power of two;
+	// 0 = library default).
 	MaxConns                int `json:"maxConns"`
+	ShardCount              int `json:"shardCount"`
 	DrainTimeoutMillis      int `json:"drainTimeoutMillis"`
 	ClientIdleTimeoutMillis int `json:"clientIdleTimeoutMillis"`
 	BackendTimeoutMillis    int `json:"backendTimeoutMillis"`
@@ -169,6 +176,7 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 			Hosts:       s.Hosts,
 			Reservation: qos.GRPS(s.ReservationGRPS),
 			QueueLimit:  s.QueueLimit,
+			Group:       s.Group,
 		})
 	}
 	for _, b := range fc.Backends {
@@ -215,6 +223,7 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	millis("breakerCooldownMillis", fc.BreakerCooldownMillis, &cfg.Breaker.Cooldown)
 	millis("conformanceWindowMillis", fc.ConformanceWindowMillis, &cfg.ConformanceWindow)
 	count("maxConns", fc.MaxConns, &cfg.MaxConns)
+	count("shardCount", fc.ShardCount, &cfg.ShardCount)
 	count("breakerThreshold", fc.BreakerThreshold, &cfg.Breaker.Threshold)
 	count("traceSampleEvery", fc.TraceSampleEvery, &cfg.TraceSampleEvery)
 	count("traceBuffer", fc.TraceBuffer, &cfg.TraceBuffer)

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gage/internal/faults"
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+	"gage/internal/workload"
+)
+
+// HierStressOptions configures the hierarchical Zipf stress scenario: a
+// large registered population spread over tenant groups, of which only a
+// small Zipf(1.1)-skewed hot set carries traffic. The scenario is the
+// simulator-side companion of benchkit's HierScale sweep — benchkit pins the
+// per-cycle cost at 100k/1M registered, this run proves the guarantees
+// (reservations met, balances clamped, audit clean) still hold end to end
+// through the full RDN/RPN pipeline with groups and skew in play.
+type HierStressOptions struct {
+	// Registered is the total subscriber population. Only the hot set
+	// materializes scheduler state; the rest exist to prove population size
+	// is irrelevant. Default 2000 — the simulator keeps per-subscriber
+	// result series, so population here is bounded by harness memory, not
+	// by the scheduler (benchkit covers 100k/1M).
+	Registered int
+	// Groups is the tenant-tier count; subscriber i joins group i%Groups.
+	// Default 16.
+	Groups int
+	// Hot is the traffic-carrying subscriber count. Default 32.
+	Hot int
+	// NumRPNs is the back-end cluster size. Default 4.
+	NumRPNs int
+	// Utilization is the offered load as a fraction of the cluster's
+	// aggregate GRPS capacity. Default 0.3 — low enough that the 1.5×-sized
+	// reservations still sum under three survivors of a one-node crash, so
+	// no group's guarantee may break during the chaos variant.
+	Utilization float64
+	// Seed fixes the Zipf draws; runs with equal options are identical.
+	Seed int64
+	// Warmup/Duration as in Options. Defaults 2s / 12s.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Faults optionally injects a chaos plan (offsets from run start).
+	Faults *faults.Plan
+	// Recorder optionally captures the per-cycle log for offline audit.
+	Recorder *flightrec.Recorder
+}
+
+// WithDefaults returns the options with every unset knob filled in — the
+// derived numbers callers print alongside a run.
+func (o HierStressOptions) WithDefaults() HierStressOptions {
+	if o.Registered <= 0 {
+		o.Registered = 2000
+	}
+	if o.Groups <= 0 {
+		o.Groups = 16
+	}
+	if o.Hot <= 0 {
+		o.Hot = 32
+	}
+	if o.Hot > o.Registered {
+		o.Hot = o.Registered
+	}
+	if o.NumRPNs <= 0 {
+		o.NumRPNs = 4
+	}
+	if o.Utilization <= 0 {
+		o.Utilization = 0.3
+	}
+	if o.Seed == 0 {
+		o.Seed = 20030519
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.Duration <= 0 {
+		o.Duration = 12 * time.Second
+	}
+	return o
+}
+
+// HierStressRun is a HierStress result plus the scenario's derived cast: the
+// hot subscribers (with their sized reservations and group assignments) that
+// the assertions and the offline audit care about.
+type HierStressRun struct {
+	*Result
+	// Hot holds the traffic-carrying subscribers in draw order.
+	Hot []qos.Subscriber
+	// GroupOf maps every hot subscriber to its tenant group.
+	GroupOf map[qos.SubscriberID]string
+}
+
+// HierStress builds and runs the scenario. The hot set is drawn Zipf(1.1)
+// over the whole population, arrival rates are Zipf(1.1) over the hot set,
+// and each hot reservation is sized 1.5× its arrival share — so every hot
+// queue drains inside its reservation round and a conformance audit of the
+// run must come back clean. Everyone else registers with a zero reservation
+// and no traffic: pure directory weight.
+func HierStress(o HierStressOptions) (*HierStressRun, error) {
+	o = o.WithDefaults()
+
+	r := rand.New(rand.NewSource(o.Seed))
+	zpop := rand.NewZipf(r, 1.1, 1, uint64(o.Registered-1))
+	hotIdx := make([]int, 0, o.Hot)
+	seen := make(map[int]bool, o.Hot)
+	for len(hotIdx) < o.Hot {
+		i := int(zpop.Uint64())
+		if !seen[i] {
+			seen[i] = true
+			hotIdx = append(hotIdx, i)
+		}
+	}
+	// Rate shares over the hot set, from a long Zipf draw.
+	const draws = 4096
+	zhot := rand.NewZipf(r, 1.1, 1, uint64(o.Hot-1))
+	counts := make([]int, o.Hot)
+	for i := 0; i < draws; i++ {
+		counts[zhot.Uint64()]++
+	}
+	// Aggregate offered load in GRPS (one generic request = one generic
+	// unit), split by the Zipf shares with a 1 req/s floor so every hot
+	// subscriber stays measurable.
+	clusterGRPS := float64(o.NumRPNs) * 100
+	offered := o.Utilization * clusterGRPS
+	rates := make([]float64, o.Hot)
+	for j := range rates {
+		rates[j] = offered*float64(counts[j])/float64(draws) + 1
+	}
+
+	subs := make([]qos.Subscriber, o.Registered)
+	groupNames := make([]string, o.Groups)
+	for g := range groupNames {
+		groupNames[g] = fmt.Sprintf("tier%02d", g)
+	}
+	hotRes := make(map[int]qos.GRPS, o.Hot)
+	for j, i := range hotIdx {
+		hotRes[i] = qos.GRPS(rates[j]*1.5) + 1
+	}
+	for i := range subs {
+		subs[i] = qos.Subscriber{
+			ID:          qos.SubscriberID(fmt.Sprintf("s%06d", i)),
+			Reservation: hotRes[i], // zero for the cold population
+			QueueLimit:  1024,
+			Group:       groupNames[i%o.Groups],
+		}
+		if _, hot := hotRes[i]; hot {
+			subs[i].Hosts = []string{fmt.Sprintf("s%06d.example", i)}
+		}
+	}
+
+	run := &HierStressRun{
+		Hot:     make([]qos.Subscriber, o.Hot),
+		GroupOf: make(map[qos.SubscriberID]string, o.Hot),
+	}
+	sources := make([]workload.Source, o.Hot)
+	for j, i := range hotIdx {
+		run.Hot[j] = subs[i]
+		run.GroupOf[subs[i].ID] = subs[i].Group
+		sources[j] = mustConstSource(subs[i].ID, subs[i].Hosts[0], rates[j], qos.GenericCost())
+	}
+
+	res, err := Run(Options{
+		Subscribers: subs,
+		Sources:     sources,
+		NumRPNs:     o.NumRPNs,
+		Warmup:      o.Warmup,
+		Duration:    o.Duration,
+		Faults:      o.Faults,
+		Recorder:    o.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run.Result = res
+	return run, nil
+}

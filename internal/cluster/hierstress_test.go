@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gage/internal/faults"
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+)
+
+// hierStressOpts sizes the scenario for test time: the full population runs
+// in CI, a trimmed one under -short. The scheduler itself is population-
+// independent (benchkit proves that at 100k/1M); here population only costs
+// harness memory and the per-tick balance audit.
+func hierStressOpts(t *testing.T) HierStressOptions {
+	o := HierStressOptions{Registered: 1500, Hot: 32, Duration: 12 * time.Second}
+	if testing.Short() {
+		o.Registered, o.Hot, o.Duration = 600, 16, 6*time.Second
+	}
+	return o
+}
+
+// auditHier replays a spilled cycle log with bounded windows (unbounded
+// windows can never open a violation span, which would make the zero-span
+// assertions vacuous) and returns the per-subscriber report.
+func auditHier(t *testing.T, spill *bytes.Buffer, warmup time.Duration) flightrec.Report {
+	t.Helper()
+	recs, err := flightrec.ReadLog(spill)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("cycle log is empty")
+	}
+	return flightrec.Replay(recs, flightrec.AuditorConfig{
+		Window:     4 * time.Second,
+		FastWindow: time.Second,
+		Skip:       warmup,
+	})
+}
+
+// TestHierStressZipfGuarantees is the healthy-path Zipf stress: a big mostly
+// idle population across 16 tenant groups, 1.5×-sized hot reservations, 8
+// groups' worth of skewed traffic. Everything offered must be served (no
+// shedding, no starvation), the settlement and balance audits must close,
+// and the offline conformance audit of the spilled cycle log must come back
+// with zero violation spans.
+func TestHierStressZipfGuarantees(t *testing.T) {
+	var spill bytes.Buffer
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 256, Spill: &spill})
+	o := hierStressOpts(t)
+	o.Recorder = rec
+	run, err := HierStress(o)
+	if err != nil {
+		t.Fatalf("HierStress: %v", err)
+	}
+	assertSettled(t, run.Result)
+	if run.ShedReqs != 0 {
+		t.Errorf("shed %d requests at 30%% utilization with 1.5× reservations, want 0", run.ShedReqs)
+	}
+	for _, sub := range run.Hot {
+		row, ok := run.Row(sub.ID)
+		if !ok {
+			t.Fatalf("no result row for hot subscriber %s", sub.ID)
+		}
+		if row.OfferedReqs == 0 {
+			t.Fatalf("hot subscriber %s offered nothing; the Zipf source wiring is broken", sub.ID)
+		}
+		// Underloaded relative to its reservation: everything offered is
+		// served, modulo work still in the pipeline at the window edges.
+		if float64(row.ServedReqs) < 0.95*float64(row.OfferedReqs) {
+			t.Errorf("%s (group %s): served %d of %d offered requests",
+				sub.ID, run.GroupOf[sub.ID], row.ServedReqs, row.OfferedReqs)
+		}
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	rep := auditHier(t, &spill, o.WithDefaults().Warmup)
+	for _, sub := range run.Hot {
+		sr, ok := rep.Sub(sub.ID)
+		if !ok {
+			t.Fatalf("audit lost hot subscriber %s", sub.ID)
+		}
+		if sr.Violations != 0 {
+			t.Errorf("%s (group %s): %d violation spans in a healthy run: %+v",
+				sub.ID, run.GroupOf[sub.ID], sr.Violations, sr.Spans)
+		}
+	}
+}
+
+// TestChaosHierZipfCrashSparesGroups runs the Zipf scenario under the PR-2
+// crash plan (node 2 fails mid-run, recovers 4s later). Reservations total
+// well under the three survivors' capacity, so no tenant group's guarantee
+// may break: the settlement books still close exactly, the crash demonstrably
+// reclaimed in-flight work, and the conformance audit must show zero
+// violation spans in every group — including the groups whose members never
+// had a request on the dead node.
+func TestChaosHierZipfCrashSparesGroups(t *testing.T) {
+	var spill bytes.Buffer
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 256, Spill: &spill})
+	o := hierStressOpts(t)
+	o.Recorder = rec
+	// Fault offsets count from run start (warmup included), so pin the
+	// warmup explicitly before deriving the crash window from it.
+	o.Warmup = 2 * time.Second
+	o.Faults = &faults.Plan{Seed: 42, Events: []faults.Event{
+		{At: o.Warmup + o.Duration/3, Kind: faults.NodeCrash, Node: 2},
+		{At: o.Warmup + 2*o.Duration/3, Kind: faults.NodeRecover, Node: 2},
+	}}
+	run, err := HierStress(o)
+	if err != nil {
+		t.Fatalf("HierStress: %v", err)
+	}
+	assertSettled(t, run.Result)
+	if run.ReclaimedReqs == 0 {
+		t.Error("crashing a node mid-run reclaimed nothing; in-flight requests must be released")
+	}
+	if run.Fault == nil {
+		t.Fatal("Result.Fault is nil for a run with a fault plan")
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("spill: %v", err)
+	}
+	rep := auditHier(t, &spill, o.Warmup)
+	violationsByGroup := make(map[string]uint64)
+	for _, sub := range run.Hot {
+		sr, ok := rep.Sub(sub.ID)
+		if !ok {
+			t.Fatalf("audit lost hot subscriber %s", sub.ID)
+		}
+		violationsByGroup[run.GroupOf[sub.ID]] += sr.Violations
+		if sr.Violations != 0 {
+			t.Errorf("%s (group %s): %d violation spans through the crash: %+v",
+				sub.ID, run.GroupOf[sub.ID], sr.Violations, sr.Spans)
+		}
+	}
+	for group, v := range violationsByGroup {
+		if v != 0 {
+			t.Errorf("group %s accumulated %d violation spans; survivors hold the aggregate reservation", group, v)
+		}
+	}
+}
+
+// TestHierStressDeterministic pins replayability: identical options (same
+// Zipf seed, same fault plan) must yield byte-identical hot casts and result
+// books, like every other chaos scenario in this package.
+func TestHierStressDeterministic(t *testing.T) {
+	o := HierStressOptions{Registered: 400, Hot: 12, Duration: 4 * time.Second}
+	r1, err := HierStress(o)
+	if err != nil {
+		t.Fatalf("HierStress: %v", err)
+	}
+	r2, err := HierStress(o)
+	if err != nil {
+		t.Fatalf("HierStress: %v", err)
+	}
+	if len(r1.Hot) != len(r2.Hot) {
+		t.Fatalf("hot casts differ in size: %d vs %d", len(r1.Hot), len(r2.Hot))
+	}
+	for i := range r1.Hot {
+		if r1.Hot[i].ID != r2.Hot[i].ID || r1.Hot[i].Reservation != r2.Hot[i].Reservation {
+			t.Fatalf("hot cast differs at %d: %+v vs %+v", i, r1.Hot[i], r2.Hot[i])
+		}
+	}
+	if r1.DispatchedReqs != r2.DispatchedReqs || r1.AdmittedReqs != r2.AdmittedReqs ||
+		r1.ShedReqs != r2.ShedReqs || r1.QueuedAtEnd != r2.QueuedAtEnd {
+		t.Fatalf("books differ across identical runs: %+v vs %+v", r1.Result, r2.Result)
+	}
+	var ids []qos.SubscriberID
+	for id := range r1.GroupOf {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if r1.GroupOf[id] != r2.GroupOf[id] {
+			t.Fatalf("group assignment differs for %s", id)
+		}
+	}
+}

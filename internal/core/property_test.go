@@ -11,14 +11,20 @@ import (
 
 // checkSchedulerInvariants asserts the scheduler's internal accounting
 // identities, which every interleaving of Enqueue/Tick/ReportUsage/
-// CancelQueued/ReleaseDispatch/Redispatch must preserve:
+// CancelQueued/ReleaseDispatch/Redispatch/MigrateSubscriber/MergeGroups
+// must preserve:
 //
 //  1. every balance sits inside its clamp band ±reservation×CreditWindow;
 //  2. each subscriber's per-node estimate equals the sum of its pending
 //     dispatch-time predictions on that node (credits are conserved — no
 //     charge is ever lost or double-released);
 //  3. each node's outstanding load equals the sum of all subscribers'
-//     estimates on it, is never negative, and bounds the optimistic drain.
+//     estimates on it, is never negative, and bounds the optimistic drain;
+//  4. the group layer reconciles: every group's member count and aggregate
+//     reservation match the registered definitions, active member lists are
+//     sorted and consistent with per-queue flags, every backlogged queue is
+//     on its group's list, and the active-group list holds exactly the
+//     groups with a non-empty active list, sorted by name.
 func checkSchedulerInvariants(t *testing.T, s *Scheduler, step string) {
 	t.Helper()
 	s.mu.Lock()
@@ -49,6 +55,73 @@ func checkSchedulerInvariants(t *testing.T, s *Scheduler, step string) {
 			t.Fatalf("%s: subscriber %s cached estTotal %+v != Σ per-node estimates %+v",
 				step, id, q.estTotal, estSum)
 		}
+	}
+	// Group-layer reconciliation against the registered definitions.
+	wantMembers := make(map[*groupState]int, len(s.groups))
+	wantAgg := make(map[*groupState]qos.GRPS, len(s.groups))
+	for id, def := range s.defs {
+		if def.grp == nil {
+			t.Fatalf("%s: subscriber %s registered without a group", step, id)
+		}
+		if s.groups[def.grp.name] != def.grp {
+			t.Fatalf("%s: subscriber %s points at a group %q not in the index", step, id, def.grp.name)
+		}
+		wantMembers[def.grp]++
+		wantAgg[def.grp] += def.res
+	}
+	for name, g := range s.groups {
+		if g.name != name {
+			t.Fatalf("%s: group indexed as %q names itself %q", step, name, g.name)
+		}
+		if g.members != wantMembers[g] {
+			t.Fatalf("%s: group %q counts %d members, definitions say %d", step, name, g.members, wantMembers[g])
+		}
+		if d := float64(g.aggRes - wantAgg[g]); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("%s: group %q aggregate reservation %v, Σ member reservations %v (credit leaked across migrations)",
+				step, name, g.aggRes, wantAgg[g])
+		}
+		if g.aggRes < 0 {
+			t.Fatalf("%s: group %q aggregate reservation negative: %v", step, name, g.aggRes)
+		}
+		if len(g.active) > 0 && (g.astart < 0 || g.astart >= len(g.active)) {
+			t.Fatalf("%s: group %q rotation pointer %d outside active list of %d", step, name, g.astart, len(g.active))
+		}
+		for i, q := range g.active {
+			if q.grp != g {
+				t.Fatalf("%s: group %q active list holds %s, which belongs to %q", step, name, q.id, q.grp.name)
+			}
+			if !q.inActive {
+				t.Fatalf("%s: group %q active list holds %s with inActive=false", step, name, q.id)
+			}
+			if i > 0 && g.active[i-1].id >= q.id {
+				t.Fatalf("%s: group %q active list unsorted at %d: %s !< %s", step, name, i, g.active[i-1].id, q.id)
+			}
+		}
+		if g.inActive != (len(g.active) > 0) {
+			t.Fatalf("%s: group %q inActive=%v with %d active members", step, name, g.inActive, len(g.active))
+		}
+	}
+	for id, q := range s.subs {
+		if q.qlen() > 0 && !q.inActive {
+			t.Fatalf("%s: subscriber %s has %d queued requests but is off its group's active list", step, id, q.qlen())
+		}
+	}
+	for i, g := range s.activeGroups {
+		if !g.inActive {
+			t.Fatalf("%s: active-group list holds parked group %q", step, g.name)
+		}
+		if i > 0 && s.activeGroups[i-1].name >= g.name {
+			t.Fatalf("%s: active-group list unsorted at %d: %q !< %q", step, i, s.activeGroups[i-1].name, g.name)
+		}
+	}
+	activeCount := 0
+	for _, g := range s.groups {
+		if g.inActive {
+			activeCount++
+		}
+	}
+	if activeCount != len(s.activeGroups) {
+		t.Fatalf("%s: %d groups flagged active but the list holds %d", step, activeCount, len(s.activeGroups))
 	}
 	for nid, nd := range s.nodes {
 		var sum qos.Vector
@@ -181,7 +254,7 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 						t.Fatalf("%s: ReleaseDispatch(%s, %d, %d) = false for an in-flight charge", step, e.sub, n, e.id)
 					}
 					inflight[n] = append(inflight[n][:i], inflight[n][i+1:]...)
-				case k < 96: // move an in-flight charge off its node
+				case k < 93: // move an in-flight charge off its node
 					ns := nodesWithWork()
 					if len(ns) == 0 {
 						continue
@@ -193,6 +266,27 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 					if alt, ok := s.Redispatch(e.sub, e.id, n); ok {
 						inflight[alt] = append(inflight[alt], e)
 					} // else: no alternate had room; the charge is released
+				case k < 97: // reshape the group hierarchy mid-flight
+					if rng.Intn(2) == 0 {
+						// Migrate to one of a few tenant names (created on
+						// demand) or back to the default group; a subscriber's
+						// backlog and in-flight charges ride along untouched.
+						sub := subIDs[rng.Intn(len(subIDs))]
+						grp := ""
+						if g := rng.Intn(4); g > 0 {
+							grp = fmt.Sprintf("t%d", g)
+						}
+						if err := s.MigrateSubscriber(sub, grp); err != nil {
+							t.Fatalf("%s: MigrateSubscriber(%s, %q): %v", step, sub, grp, err)
+						}
+					} else {
+						gs := s.Groups()
+						src := gs[rng.Intn(len(gs))]
+						dst := gs[rng.Intn(len(gs))]
+						if err := s.MergeGroups(src, dst); err != nil {
+							t.Fatalf("%s: MergeGroups(%q, %q): %v", step, src, dst, err)
+						}
+					}
 				default: // flap a node's health
 					n := nodeIDs[rng.Intn(len(nodeIDs))]
 					if err := s.SetNodeEnabled(n, rng.Intn(2) == 0); err != nil {

@@ -11,6 +11,16 @@
 // round pops its next dispatch from a min-heap keyed on the SFQ start tag,
 // and the node pick consumes a smooth weighted-round-robin table precompiled
 // from the node weights.
+//
+// Scheduling is hierarchical: subscribers belong to groups (tenant tiers).
+// The reservation round schedules active groups against each other by smooth
+// weighted round-robin over aggregate reservations, and round-robins the
+// backlogged members within each group, so per-cycle work is O(active groups
+// + active members + dispatches) — independent of the registered population.
+// Registered-but-idle subscribers are not even materialized: their full
+// scheduling state is created lazily on first enqueue, so a directory of a
+// million signed tenants costs one lightweight definition record each and
+// nothing per cycle.
 package core
 
 import (
@@ -203,11 +213,72 @@ func (p *pendQ) remove(i int) {
 	p.items = p.items[:last]
 }
 
+// subDef is one subscriber's lightweight registration record: reservation,
+// queue bound, group membership, and the cycle it registered on. The full
+// scheduling state (queueState) is materialized lazily on first enqueue, with
+// lastCredit set to regCycle — because crediting k cycles at once and
+// clamping equals k iterations of credit-then-clamp, the lazy subscriber's
+// balance is bit-identical to one that carried state from registration. A
+// registered-but-never-active subscriber therefore costs one map entry and
+// nothing per cycle.
+type subDef struct {
+	res      qos.GRPS
+	limit    int
+	grp      *groupState
+	regCycle uint64
+}
+
+// groupState is one subscriber group (tenant tier): the unit the reservation
+// round's top level schedules. Active groups compete by smooth weighted
+// round-robin over aggregate reservation; backlogged members within a group
+// are visited round-robin off the group's active list. A group with no
+// backlogged member parks entirely off the hot path.
+type groupState struct {
+	name string
+
+	// aggRes is the sum of all registered members' reservations — the
+	// group's scheduling weight. Maintained incrementally on
+	// register/remove/migrate; members counts registrations, and a group
+	// whose last member leaves is deleted.
+	aggRes  qos.GRPS
+	members int
+
+	// active lists the group's backlogged queues, sorted by subscriber ID;
+	// astart rotates the member round-robin's first visit exactly as the
+	// pre-hierarchy scheduler rotated its single flat list. Membership
+	// changes keep astart pointing at the same queue.
+	active []*queueState
+	astart int
+
+	// wcur is the group's smooth-WRR credit: each tick every active group
+	// gains its weight and the tick's first-visited group pays back the
+	// total, so first claim on scarce node room rotates in proportion to
+	// aggregate reservations. Reset on activation so an idle spell cannot
+	// bank priority; bounded by ±total active weight thereafter.
+	wcur float64
+
+	// inActive marks membership in Scheduler.activeGroups.
+	inActive bool
+}
+
+// weight is the group's smooth-WRR weight: its aggregate reservation, with
+// non-positive aggregates contributing nothing.
+func (g *groupState) weight() float64 {
+	if g.aggRes <= 0 {
+		return 0
+	}
+	return float64(g.aggRes)
+}
+
 // queueState is the per-subscriber scheduling state.
 type queueState struct {
 	id    qos.SubscriberID
 	res   qos.GRPS
 	limit int
+
+	// grp is the subscriber's group; while backlogged the queue rotates in
+	// grp.active.
+	grp *groupState
 
 	fifo []Request
 	head int
@@ -350,15 +421,23 @@ func (nd *nodeState) hasRoom(predicted qos.Vector) bool {
 type Scheduler struct {
 	mu sync.Mutex
 
-	cfg  Config
-	dir  *qos.Directory
+	cfg Config
+
+	// defs records every registered subscriber; subs holds the materialized
+	// scheduling state of those that have ever been enqueued. The split is
+	// what lets a directory of a million signed tenants cost one small
+	// record each: queues, balances, and per-node arrays exist only for
+	// subscribers that have carried traffic.
+	defs map[qos.SubscriberID]*subDef
 	subs map[qos.SubscriberID]*queueState
 
-	// active lists the backlogged queues, sorted by subscriber ID; astart
-	// rotates the reservation round's first visit. Membership changes keep
-	// astart pointing at the same queue so no subscriber's turn is skipped.
-	active []*queueState
-	astart int
+	// groups indexes the subscriber groups by name. activeGroups lists the
+	// groups with backlogged members, sorted by name; grpOrder is the
+	// per-tick visit-order scratch (sorted by smooth-WRR credit), retained
+	// across cycles so ordering allocates nothing.
+	groups       map[string]*groupState
+	activeGroups []*groupState
+	grpOrder     []*groupState
 
 	// cycleNum counts Ticks; queueState.lastCredit settles against it.
 	cycleNum uint64
@@ -408,17 +487,18 @@ func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error)
 	}
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:   cfg,
-		dir:   dir,
-		subs:  make(map[qos.SubscriberID]*queueState, dir.Len()),
-		nodes: make(map[NodeID]*nodeState, len(nodes)),
+		cfg:    cfg,
+		defs:   make(map[qos.SubscriberID]*subDef, dir.Len()),
+		subs:   make(map[qos.SubscriberID]*queueState),
+		groups: make(map[string]*groupState),
+		nodes:  make(map[NodeID]*nodeState, len(nodes)),
 	}
 	for _, id := range dir.IDs() {
 		sub, err := dir.Subscriber(id)
 		if err != nil {
 			return nil, err
 		}
-		s.subs[id] = s.newQueueState(sub)
+		s.register(sub)
 	}
 	for _, nc := range nodes {
 		if _, dup := s.nodes[nc.ID]; dup {
@@ -446,17 +526,43 @@ func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error)
 	return s, nil
 }
 
-func (s *Scheduler) newQueueState(sub qos.Subscriber) *queueState {
-	return &queueState{
-		id:             sub.ID,
-		res:            sub.Reservation,
-		limit:          sub.EffectiveQueueLimit(),
-		creditPerCycle: sub.Reservation.PerCycle(s.cfg.Cycle),
-		clampLim:       sub.Reservation.PerCycle(s.cfg.CreditWindow),
+// register records a subscriber definition, creating its group on demand and
+// folding its reservation into the group's aggregate. Callers hold s.mu (or
+// run before the scheduler is shared).
+func (s *Scheduler) register(sub qos.Subscriber) {
+	g := s.groups[sub.Group]
+	if g == nil {
+		g = &groupState{name: sub.Group}
+		s.groups[sub.Group] = g
+	}
+	g.aggRes += sub.Reservation
+	g.members++
+	s.defs[sub.ID] = &subDef{
+		res:      sub.Reservation,
+		limit:    sub.EffectiveQueueLimit(),
+		grp:      g,
+		regCycle: s.cycleNum,
+	}
+}
+
+// materialize builds the full scheduling state for a registered subscriber on
+// its first enqueue. lastCredit starts at the registration cycle, so the
+// first settlement folds in the whole idle span — the balance is identical to
+// what eager per-tick crediting would have produced. Callers hold s.mu.
+func (s *Scheduler) materialize(id qos.SubscriberID, def *subDef) *queueState {
+	q := &queueState{
+		id:             id,
+		res:            def.res,
+		limit:          def.limit,
+		grp:            def.grp,
+		creditPerCycle: def.res.PerCycle(s.cfg.Cycle),
+		clampLim:       def.res.PerCycle(s.cfg.CreditWindow),
 		predicted:      qos.GenericCost(), // prior until feedback arrives
-		lastCredit:     s.cycleNum,
+		lastCredit:     def.regCycle,
 		vstart:         s.vtime,
 	}
+	s.subs[id] = q
+	return q
 }
 
 // Cycle returns the configured scheduling cycle.
@@ -477,47 +583,90 @@ func (s *Scheduler) settleCredit(q *queueState) {
 	q.balance = s.clampBalance(q, q.balance.Add(credit))
 }
 
-// activate inserts q into the active list at its sorted position, keeping
-// the rotation pointer on the queue it pointed at. Callers hold s.mu.
+// activate inserts q into its group's active list at its sorted position,
+// keeping the group's rotation pointer on the queue it pointed at, and wakes
+// the group if this is its first backlogged member. Callers hold s.mu.
 func (s *Scheduler) activate(q *queueState) {
 	if q.inActive {
 		return
 	}
 	q.inActive = true
-	i, _ := slices.BinarySearchFunc(s.active, q, func(a, b *queueState) int {
+	g := q.grp
+	i, _ := slices.BinarySearchFunc(g.active, q, func(a, b *queueState) int {
 		return cmp.Compare(a.id, b.id)
 	})
-	s.active = append(s.active, nil)
-	copy(s.active[i+1:], s.active[i:])
-	s.active[i] = q
-	if i < s.astart {
-		s.astart++
+	g.active = append(g.active, nil)
+	copy(g.active[i+1:], g.active[i:])
+	g.active[i] = q
+	if i < g.astart {
+		g.astart++
 	}
+	s.activateGroup(g)
 }
 
-// deactivate removes q from the active list, adjusting the rotation pointer
-// relative to the removed index so no subscriber's turn is skipped.
-// Callers hold s.mu.
+// deactivate removes q from its group's active list, adjusting the group's
+// rotation pointer relative to the removed index so no member's turn is
+// skipped, and parks the group if its list emptied. Callers hold s.mu.
 func (s *Scheduler) deactivate(q *queueState) {
 	if !q.inActive {
 		return
 	}
 	q.inActive = false
-	i, ok := slices.BinarySearchFunc(s.active, q, func(a, b *queueState) int {
+	g := q.grp
+	i, ok := slices.BinarySearchFunc(g.active, q, func(a, b *queueState) int {
 		return cmp.Compare(a.id, b.id)
 	})
 	if !ok {
 		return
 	}
-	copy(s.active[i:], s.active[i+1:])
-	s.active[len(s.active)-1] = nil
-	s.active = s.active[:len(s.active)-1]
-	if i < s.astart {
-		s.astart--
+	copy(g.active[i:], g.active[i+1:])
+	g.active[len(g.active)-1] = nil
+	g.active = g.active[:len(g.active)-1]
+	if i < g.astart {
+		g.astart--
 	}
-	if s.astart >= len(s.active) {
-		s.astart = 0
+	if g.astart >= len(g.active) {
+		g.astart = 0
 	}
+	if len(g.active) == 0 {
+		s.deactivateGroup(g)
+	}
+}
+
+// activateGroup adds g to the active-group list (sorted by name) when its
+// first member backlogs. The smooth-WRR credit resets so a group returning
+// from idleness joins the weighted rotation at parity instead of replaying
+// banked priority — the group-level analogue of the SFQ vstart catch-up.
+// Callers hold s.mu.
+func (s *Scheduler) activateGroup(g *groupState) {
+	if g.inActive {
+		return
+	}
+	g.inActive = true
+	g.wcur = 0
+	i, _ := slices.BinarySearchFunc(s.activeGroups, g, func(a, b *groupState) int {
+		return cmp.Compare(a.name, b.name)
+	})
+	s.activeGroups = append(s.activeGroups, nil)
+	copy(s.activeGroups[i+1:], s.activeGroups[i:])
+	s.activeGroups[i] = g
+}
+
+// deactivateGroup removes g from the active-group list. Callers hold s.mu.
+func (s *Scheduler) deactivateGroup(g *groupState) {
+	if !g.inActive {
+		return
+	}
+	g.inActive = false
+	i, ok := slices.BinarySearchFunc(s.activeGroups, g, func(a, b *groupState) int {
+		return cmp.Compare(a.name, b.name)
+	})
+	if !ok {
+		return
+	}
+	copy(s.activeGroups[i:], s.activeGroups[i+1:])
+	s.activeGroups[len(s.activeGroups)-1] = nil
+	s.activeGroups = s.activeGroups[:len(s.activeGroups)-1]
 }
 
 // touch adds q to the cycle's to-record list. Callers hold s.mu and have
@@ -538,7 +687,11 @@ func (s *Scheduler) Enqueue(req Request) error {
 	defer s.mu.Unlock()
 	q, ok := s.subs[req.Subscriber]
 	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownSubscriber, req.Subscriber)
+		def, registered := s.defs[req.Subscriber]
+		if !registered {
+			return fmt.Errorf("%w: %q", ErrUnknownSubscriber, req.Subscriber)
+		}
+		q = s.materialize(req.Subscriber, def)
 	}
 	if q.qlen() >= q.limit {
 		q.dropped++
@@ -581,37 +734,71 @@ func (s *Scheduler) Tick() []Dispatch {
 		}
 	}
 
-	// Round 1 — reservation round. Visit the backlogged queues cyclically
-	// (rotating start for long-run fairness), settle each queue's credit,
-	// and dispatch while the effective balance stays non-negative. Idle
-	// queues are not visited; their credit settles lazily when observed.
-	m := len(s.active)
-	for i := 0; i < m; i++ {
-		q := s.active[(s.astart+i)%m]
-		before := q.balance
-		s.settleCredit(q)
-		if s.rec != nil {
-			// The effective credit: the balance delta after clamping.
-			q.cycCredited = q.balance.Sub(before)
-			s.touch(q)
+	// Round 1 — reservation round, two levels. Active groups are ordered by
+	// smooth weighted round-robin over aggregate reservations: each tick
+	// every active group gains its weight, groups are visited in descending
+	// credit order (name tie-break keeps it deterministic), and the first
+	// visited group pays back the total — so first claim on scarce node
+	// room rotates in proportion to reservations. Within a group, the
+	// backlogged members are visited cyclically (rotating start for
+	// long-run fairness): settle each queue's credit, dispatch while the
+	// effective balance stays non-negative. Idle queues and idle groups are
+	// not visited; credit settles lazily when observed. With a single group
+	// this reduces exactly to the flat rotating scan it replaced.
+	if len(s.activeGroups) > 0 {
+		order := append(s.grpOrder[:0], s.activeGroups...)
+		var totalW float64
+		for _, g := range order {
+			w := g.weight()
+			g.wcur += w
+			totalW += w
 		}
-		for q.qlen() > 0 {
-			effective := q.balance
-			if s.cfg.Gate == GateSelfClocked {
-				effective = effective.Sub(q.estTotal)
+		slices.SortFunc(order, func(a, b *groupState) int {
+			if a.wcur != b.wcur {
+				if a.wcur > b.wcur {
+					return -1
+				}
+				return 1
 			}
-			if effective.AnyNegative() {
-				break
-			}
-			d, ok := s.dispatchOne(q, false /* reservation-funded */)
-			if !ok {
-				break // no node has room; leave queued
-			}
-			out = append(out, d)
+			return cmp.Compare(a.name, b.name)
+		})
+		if totalW > 0 {
+			order[0].wcur -= totalW
 		}
-	}
-	if m > 0 {
-		s.astart = (s.astart + 1) % m
+		for _, g := range order {
+			m := len(g.active)
+			for i := 0; i < m; i++ {
+				q := g.active[(g.astart+i)%m]
+				before := q.balance
+				s.settleCredit(q)
+				if s.rec != nil {
+					// The effective credit: the balance delta after clamping.
+					q.cycCredited = q.balance.Sub(before)
+					s.touch(q)
+				}
+				for q.qlen() > 0 {
+					effective := q.balance
+					if s.cfg.Gate == GateSelfClocked {
+						effective = effective.Sub(q.estTotal)
+					}
+					if effective.AnyNegative() {
+						break
+					}
+					d, ok := s.dispatchOne(q, false /* reservation-funded */)
+					if !ok {
+						break // no node has room; leave queued
+					}
+					out = append(out, d)
+				}
+			}
+			if m > 0 {
+				g.astart = (g.astart + 1) % m
+			}
+		}
+		for i := range order {
+			order[i] = nil
+		}
+		s.grpOrder = order[:0]
 	}
 
 	// Round 2 — spare round. Remaining node capacity is shared among still
@@ -627,10 +814,16 @@ func (s *Scheduler) Tick() []Dispatch {
 	// regardless of reservations. Spare dispatches pre-compensate the
 	// balance so the later actual-usage debit does not consume reserved
 	// credit.
+	// The heap is global across groups: spare capacity is shared by
+	// individual reservation weight, so the group layer gates only the
+	// reservation round. (vstart, id) is a total order, so building from
+	// group-ordered iteration yields the same pop sequence a flat list did.
 	h := s.spareHeap[:0]
-	for _, q := range s.active {
-		if q.qlen() > 0 {
-			h = append(h, q)
+	for _, g := range s.activeGroups {
+		for _, q := range g.active {
+			if q.qlen() > 0 {
+				h = append(h, q)
+			}
 		}
 	}
 	for i := len(h)/2 - 1; i >= 0; i-- {
@@ -666,30 +859,45 @@ func (s *Scheduler) Tick() []Dispatch {
 	}
 	s.spareHeap = h[:0]
 
-	// Drop drained queues from the active list (one order-preserving
-	// compaction pass), keeping the rotation pointer on its queue.
-	if len(s.active) > 0 {
-		w := 0
-		start := s.astart
-		for i, q := range s.active {
-			if q.qlen() > 0 {
-				s.active[w] = q
-				w++
-				continue
+	// Drop drained queues from each group's active list (one
+	// order-preserving compaction pass per group, keeping the rotation
+	// pointer on its queue), then park the groups whose lists emptied with
+	// a compaction of the active-group list itself.
+	if len(s.activeGroups) > 0 {
+		gw := 0
+		for _, g := range s.activeGroups {
+			w := 0
+			start := g.astart
+			for i, q := range g.active {
+				if q.qlen() > 0 {
+					g.active[w] = q
+					w++
+					continue
+				}
+				q.inActive = false
+				if i < g.astart {
+					start--
+				}
 			}
-			q.inActive = false
-			if i < s.astart {
-				start--
+			for i := w; i < len(g.active); i++ {
+				g.active[i] = nil
+			}
+			g.active = g.active[:w]
+			g.astart = start
+			if g.astart >= w || g.astart < 0 {
+				g.astart = 0
+			}
+			if w > 0 {
+				s.activeGroups[gw] = g
+				gw++
+			} else {
+				g.inActive = false
 			}
 		}
-		for i := w; i < len(s.active); i++ {
-			s.active[i] = nil
+		for i := gw; i < len(s.activeGroups); i++ {
+			s.activeGroups[i] = nil
 		}
-		s.active = s.active[:w]
-		s.astart = start
-		if s.astart >= w || s.astart < 0 {
-			s.astart = 0
-		}
+		s.activeGroups = s.activeGroups[:gw]
 	}
 
 	if s.rec != nil {
@@ -948,9 +1156,12 @@ func (s *Scheduler) compileWRR() {
 		table = append(table, int32(best))
 	}
 	s.wrrTable = table
-	if s.wrrPos >= len(table) {
-		s.wrrPos = 0
-	}
+	// Restart the cursor: the old position indexes the old interleaving,
+	// and carrying it into the new table would serve a stale smooth-WRR
+	// pick — a mid-sequence offset biased toward whichever nodes the old
+	// table front-loaded. The new table always begins with the canonical
+	// smooth-WRR sequence for the new weights.
+	s.wrrPos = 0
 }
 
 func gcd(a, b int) int {
@@ -973,7 +1184,13 @@ func (s *Scheduler) ReportUsage(rep UsageReport) error {
 	for id, u := range rep.BySubscriber {
 		q, ok := s.subs[id]
 		if !ok {
-			continue // subscriber removed or unknown; skip
+			def, registered := s.defs[id]
+			if !registered {
+				continue // subscriber removed or unknown; skip
+			}
+			// A usage report names this subscriber, so it now carries real
+			// accounting state: materialize it.
+			q = s.materialize(id, def)
 		}
 		// Settle outstanding credit first so the debit applies to the
 		// up-to-date balance — the same order the eager per-tick crediting
@@ -1190,6 +1407,20 @@ func (s *Scheduler) Balance(id qos.SubscriberID) (qos.Vector, bool) {
 		s.settleCredit(q)
 		return q.balance, true
 	}
+	if def, ok := s.defs[id]; ok {
+		// Never materialized: the balance is pure accrued credit, computed
+		// directly — the same scale-then-clamp settleCredit would apply.
+		k := s.cycleNum - def.regCycle
+		if k == 0 {
+			return qos.Vector{}, true
+		}
+		credit := def.res.PerCycle(s.cfg.Cycle)
+		if k > 1 {
+			credit = credit.Scale(float64(k))
+		}
+		lim := def.res.PerCycle(s.cfg.CreditWindow)
+		return credit.Min(lim).Max(lim.Neg()), true
+	}
 	return qos.Vector{}, false
 }
 
@@ -1199,6 +1430,10 @@ func (s *Scheduler) Predicted(id qos.SubscriberID) (qos.Vector, bool) {
 	defer s.mu.Unlock()
 	if q, ok := s.subs[id]; ok {
 		return q.predicted, true
+	}
+	if _, ok := s.defs[id]; ok {
+		// Never materialized: still carrying the generic-cost prior.
+		return qos.GenericCost(), true
 	}
 	return qos.Vector{}, false
 }
@@ -1286,42 +1521,197 @@ func (s *Scheduler) AddSubscriber(sub qos.Subscriber) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.subs[sub.ID]; dup {
+	if _, dup := s.defs[sub.ID]; dup {
 		return fmt.Errorf("core: subscriber %q already registered", sub.ID)
 	}
-	s.subs[sub.ID] = s.newQueueState(sub)
+	s.register(sub)
 	return nil
 }
 
 // RemoveSubscriber unregisters a subscriber. Queued requests are dropped
 // and returned so the caller can fail them; in-flight accounting state is
 // discarded (its node outstanding still settles via reports of other
-// subscribers' completions only — the node's remaining share drains).
+// subscribers' completions only — the node's remaining share drains). The
+// reservation leaves its group's aggregate, and a group losing its last
+// member is deleted.
 func (s *Scheduler) RemoveSubscriber(id qos.SubscriberID) ([]Request, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	q, ok := s.subs[id]
+	def, ok := s.defs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSubscriber, id)
 	}
 	var orphans []Request
-	for q.qlen() > 0 {
-		orphans = append(orphans, q.pop())
-	}
-	// Release the subscriber's in-flight estimates from its nodes so the
-	// capacity does not leak.
-	for idx, est := range q.estimated {
-		if est.IsZero() {
-			continue
+	if q, ok := s.subs[id]; ok {
+		for q.qlen() > 0 {
+			orphans = append(orphans, q.pop())
 		}
-		nd := s.nodeList[idx]
-		nd.outstanding = nd.outstanding.Sub(est).ClampNonNegative()
-		nd.drained = nd.drained.Min(nd.outstanding)
+		// Release the subscriber's in-flight estimates from its nodes so the
+		// capacity does not leak.
+		for idx, est := range q.estimated {
+			if est.IsZero() {
+				continue
+			}
+			nd := s.nodeList[idx]
+			nd.outstanding = nd.outstanding.Sub(est).ClampNonNegative()
+			nd.drained = nd.drained.Min(nd.outstanding)
+		}
+		q.estTotal = qos.Vector{}
+		s.deactivate(q)
+		delete(s.subs, id)
 	}
-	q.estTotal = qos.Vector{}
-	s.deactivate(q)
-	delete(s.subs, id)
+	g := def.grp
+	g.aggRes -= def.res
+	g.members--
+	if g.members <= 0 {
+		s.deactivateGroup(g)
+		delete(s.groups, g.name)
+	} else if g.aggRes < 0 {
+		g.aggRes = 0 // float cancellation floor
+	}
+	delete(s.defs, id)
 	return orphans, nil
+}
+
+// MigrateSubscriber moves a subscriber to another group, creating it on
+// demand. Balance, queued requests, and in-flight charges ride along
+// untouched: migration changes only which aggregate the reservation counts
+// toward and which round-robin list the queue rotates in, so the member's
+// own guarantee is unaffected. The vacated group is deleted when the last
+// member leaves it.
+func (s *Scheduler) MigrateSubscriber(id qos.SubscriberID, group string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	def, ok := s.defs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscriber, id)
+	}
+	s.migrateLocked(id, def, group)
+	return nil
+}
+
+// migrateLocked is MigrateSubscriber's body. Callers hold s.mu.
+func (s *Scheduler) migrateLocked(id qos.SubscriberID, def *subDef, group string) {
+	old := def.grp
+	if old.name == group {
+		return
+	}
+	ng := s.groups[group]
+	if ng == nil {
+		ng = &groupState{name: group}
+		s.groups[group] = ng
+	}
+	q := s.subs[id]
+	wasActive := q != nil && q.inActive
+	if wasActive {
+		s.deactivate(q)
+	}
+	old.aggRes -= def.res
+	old.members--
+	if old.members <= 0 {
+		s.deactivateGroup(old)
+		delete(s.groups, old.name)
+	} else if old.aggRes < 0 {
+		old.aggRes = 0 // float cancellation floor
+	}
+	ng.aggRes += def.res
+	ng.members++
+	def.grp = ng
+	if q != nil {
+		q.grp = ng
+		if wasActive {
+			s.activate(q)
+		}
+	}
+}
+
+// MergeGroups migrates every member of src into dst (created on demand),
+// deleting src. Guarantees compose: dst's aggregate reservation becomes the
+// sum of both groups', so the merged group's reservation-round entitlement is
+// exactly what its members held before — no member's guarantee changes. The
+// walk over the registered population makes this O(registered), a
+// control-plane operation that never runs on the dispatch path.
+func (s *Scheduler) MergeGroups(src, dst string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.groups[src]; !ok {
+		return fmt.Errorf("core: unknown group %q", src)
+	}
+	if src == dst {
+		return nil
+	}
+	var members []qos.SubscriberID
+	for id, def := range s.defs {
+		if def.grp.name == src {
+			members = append(members, id)
+		}
+	}
+	slices.Sort(members)
+	for _, id := range members {
+		s.migrateLocked(id, s.defs[id], dst)
+	}
+	return nil
+}
+
+// Groups returns the registered group names in sorted order.
+func (s *Scheduler) Groups() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		out = append(out, name)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// GroupOf returns the group a subscriber belongs to.
+func (s *Scheduler) GroupOf(id qos.SubscriberID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	def, ok := s.defs[id]
+	if !ok {
+		return "", false
+	}
+	return def.grp.name, true
+}
+
+// GroupReservation returns a group's aggregate reservation.
+func (s *Scheduler) GroupReservation(name string) (qos.GRPS, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[name]
+	if !ok {
+		return 0, false
+	}
+	return g.aggRes, true
+}
+
+// GroupMembers returns a group's registered member count.
+func (s *Scheduler) GroupMembers(name string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[name]
+	if !ok {
+		return 0, false
+	}
+	return g.members, true
+}
+
+// Registered returns the registered subscriber population size.
+func (s *Scheduler) Registered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.defs)
+}
+
+// Materialized returns how many subscribers carry full scheduling state —
+// those that have ever been enqueued. The gap to Registered is the lazy
+// layer's win: the rest cost one definition record each.
+func (s *Scheduler) Materialized() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
 }
 
 // Nodes returns the node IDs in deterministic order.

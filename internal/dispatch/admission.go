@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"gage/internal/qos"
 )
@@ -23,29 +24,80 @@ import (
 // idle guaranteed slot intact: spare is shed first, reserved traffic is
 // protected last, mirroring the scheduler's reservation-round/spare-round
 // split at the connection-accept edge.
+//
+// State is sharded by subscriber-ID hash so concurrent accepts, releases,
+// and stats scrapes on different subscribers contend only on their own
+// shard's mutex. The two global counters live packed in one atomic word
+// (total in the high half, reservedIdle in the low half) and move by
+// compare-and-swap, so every transition observes both counters at once and
+// the invariant holds exactly — split atomics would admit an interleaving
+// that overshoots the cap by one.
 type admission struct {
-	mu sync.Mutex
 	// max is the in-flight request cap; 0 disables admission control.
 	max int
-	// quota is each subscriber's guaranteed in-flight slot count.
+	// mask is shardCount−1; shardCount is forced to a power of two so the
+	// shard pick is one AND.
+	mask   uint32
+	shards []admissionShard
+	// packed is total<<32 | reservedIdle: total is Σ inflight, reservedIdle
+	// is Σ max(0, quota−inflight) — guaranteed slots nobody is using right
+	// now, which spare admissions must not consume.
+	packed atomic.Uint64
+}
+
+// admissionShard holds the per-subscriber admission state for one hash
+// shard. Each subscriber's entries live in exactly one shard, so its
+// quota−inflight contribution to the global reservedIdle changes only under
+// this mutex.
+type admissionShard struct {
+	mu sync.Mutex
+	// quota is each subscriber's guaranteed in-flight slot count; zero
+	// quotas are not stored.
 	quota map[qos.SubscriberID]int
 	// inflight is each subscriber's admitted-and-unreleased request count.
 	inflight map[qos.SubscriberID]int
 	// shed counts refusals per subscriber.
 	shed map[qos.SubscriberID]uint64
-	// total is Σ inflight.
-	total int
-	// reservedIdle is Σ max(0, quota−inflight): guaranteed slots nobody
-	// is using right now, which spare admissions must not consume.
-	reservedIdle int
 }
 
-func newAdmission(max int, subs []qos.Subscriber) *admission {
+// DefaultShardCount is the admission/accounting shard count used when the
+// dispatcher Config does not specify one.
+const DefaultShardCount = 16
+
+// normalizeShardCount clamps a configured shard count to the next
+// power of two at or above it, defaulting when unset.
+func normalizeShardCount(n int) int {
+	if n <= 0 {
+		n = DefaultShardCount
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func packCounts(total, reservedIdle int) uint64 {
+	return uint64(uint32(total))<<32 | uint64(uint32(reservedIdle))
+}
+
+func unpackCounts(p uint64) (total, reservedIdle int) {
+	return int(uint32(p >> 32)), int(uint32(p))
+}
+
+func newAdmission(max int, subs []qos.Subscriber, shardCount int) *admission {
+	n := normalizeShardCount(shardCount)
 	a := &admission{
-		max:      max,
-		quota:    make(map[qos.SubscriberID]int, len(subs)),
-		inflight: make(map[qos.SubscriberID]int, len(subs)),
-		shed:     make(map[qos.SubscriberID]uint64, len(subs)),
+		max:    max,
+		mask:   uint32(n - 1),
+		shards: make([]admissionShard, n),
+	}
+	per := len(subs)/n + 1
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.quota = make(map[qos.SubscriberID]int, per)
+		sh.inflight = make(map[qos.SubscriberID]int, per)
+		sh.shed = make(map[qos.SubscriberID]uint64)
 	}
 	if max <= 0 {
 		return a
@@ -57,12 +109,31 @@ func newAdmission(max int, subs []qos.Subscriber) *admission {
 	if totalRes <= 0 {
 		return a
 	}
+	reservedIdle := 0
 	for _, s := range subs {
 		q := int(float64(max) * float64(s.Reservation) / totalRes)
-		a.quota[s.ID] = q
-		a.reservedIdle += q
+		if q > 0 {
+			a.shardFor(s.ID).quota[s.ID] = q
+			reservedIdle += q
+		}
 	}
+	a.packed.Store(packCounts(0, reservedIdle))
 	return a
+}
+
+// shardFor hashes the subscriber ID (FNV-1a) onto its shard; the hash walks
+// the string bytes directly, so the pick allocates nothing.
+func (a *admission) shardFor(sub qos.SubscriberID) *admissionShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(sub); i++ {
+		h ^= uint32(sub[i])
+		h *= prime32
+	}
+	return &a.shards[h&a.mask]
 }
 
 // admit claims an in-flight slot for sub, reporting whether the request may
@@ -71,44 +142,72 @@ func (a *admission) admit(sub qos.SubscriberID) bool {
 	if a.max <= 0 {
 		return true
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	in := a.inflight[sub]
-	if in >= a.quota[sub] {
+	sh := a.shardFor(sub)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in := sh.inflight[sub]
+	if in >= sh.quota[sub] {
 		// Spare traffic: it must fit without touching idle reserved slots.
-		if a.total+a.reservedIdle >= a.max {
-			a.shed[sub]++
-			return false
+		// Check and increment commit in one CAS so a concurrent transition
+		// on another shard cannot be half-observed.
+		for {
+			p := a.packed.Load()
+			total, idle := unpackCounts(p)
+			if total+idle >= a.max {
+				sh.shed[sub]++
+				return false
+			}
+			if a.packed.CompareAndSwap(p, packCounts(total+1, idle)) {
+				break
+			}
 		}
 	} else {
-		// Reserved traffic consumes one of its own guaranteed slots; the
-		// invariant total+reservedIdle ≤ max proves the slot exists.
-		a.reservedIdle--
+		// Reserved traffic consumes one of its own guaranteed slots. Under
+		// the shard lock this subscriber alone contributes quota−in ≥ 1
+		// unclaimed slots to reservedIdle, so the decrement cannot drive it
+		// negative.
+		for {
+			p := a.packed.Load()
+			total, idle := unpackCounts(p)
+			if a.packed.CompareAndSwap(p, packCounts(total+1, idle-1)) {
+				break
+			}
+		}
 	}
-	a.inflight[sub] = in + 1
-	a.total++
+	sh.inflight[sub] = in + 1
 	return true
 }
 
 // release returns sub's slot. If the subscriber drops back below quota the
-// freed slot re-joins the guaranteed pool.
+// freed slot re-joins the guaranteed pool, atomically with the total
+// decrement.
 func (a *admission) release(sub qos.SubscriberID) {
 	if a.max <= 0 {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.inflight[sub]--
-	a.total--
-	if a.inflight[sub] < a.quota[sub] {
-		a.reservedIdle++
+	sh := a.shardFor(sub)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in := sh.inflight[sub] - 1
+	sh.inflight[sub] = in
+	rejoin := in < sh.quota[sub]
+	for {
+		p := a.packed.Load()
+		total, idle := unpackCounts(p)
+		if rejoin {
+			idle++
+		}
+		if a.packed.CompareAndSwap(p, packCounts(total-1, idle)) {
+			return
+		}
 	}
 }
 
 // subSnapshot reports one subscriber's admission view for the stats
-// endpoint.
+// endpoint, touching only that subscriber's shard.
 func (a *admission) subSnapshot(sub qos.SubscriberID) (quota, inflight int, shed uint64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.quota[sub], a.inflight[sub], a.shed[sub]
+	sh := a.shardFor(sub)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.quota[sub], sh.inflight[sub], sh.shed[sub]
 }

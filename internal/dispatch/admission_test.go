@@ -15,7 +15,7 @@ func admSubs() []qos.Subscriber {
 }
 
 func TestAdmissionQuotasProportionalToReservations(t *testing.T) {
-	a := newAdmission(8, admSubs())
+	a := newAdmission(8, admSubs(), 0)
 	cases := map[qos.SubscriberID]int{"gold": 6, "silver": 2, "free": 0}
 	for id, want := range cases {
 		if q, _, _ := a.subSnapshot(id); q != want {
@@ -29,7 +29,7 @@ func TestAdmissionShedsSpareTrafficFirst(t *testing.T) {
 	// subscriber may only use slots nobody is guaranteed — with every quota
 	// idle there are none, so free is shed while both reserved subscribers
 	// still fill their full quotas.
-	a := newAdmission(8, admSubs())
+	a := newAdmission(8, admSubs(), 0)
 	if a.admit("free") {
 		t.Fatal("free admitted while every slot is reserved for quota holders")
 	}
@@ -57,7 +57,7 @@ func TestAdmissionReleaseRestoresGuaranteedSlot(t *testing.T) {
 	a := newAdmission(4, []qos.Subscriber{
 		{ID: "res", Reservation: 10},
 		{ID: "free", Reservation: 0},
-	})
+	}, 0)
 	// quota[res] = 4: the whole cap is guaranteed. Burn two slots, release
 	// one — the freed slot must rejoin the guaranteed pool, so free traffic
 	// still cannot squeeze in.
@@ -81,7 +81,7 @@ func TestAdmissionSpareUsesTrulySpareSlots(t *testing.T) {
 		{ID: "x", Reservation: 1},
 		{ID: "y", Reservation: 1},
 		{ID: "free", Reservation: 0},
-	})
+	}, 0)
 	if !a.admit("free") {
 		t.Fatal("free refused the unreserved remainder slot")
 	}
@@ -94,8 +94,39 @@ func TestAdmissionSpareUsesTrulySpareSlots(t *testing.T) {
 	}
 }
 
+// TestAdmissionShardedAllocFree pins the accept-edge hot path: once a
+// subscriber's shard entries exist, an admit/release round trip must not
+// allocate — the shard pick is an FNV hash over the ID bytes, the counters
+// move by CAS, and the per-shard maps are only read and written, never
+// grown.
+func TestAdmissionShardedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	a := newAdmission(64, admSubs(), 4)
+	// Warm the shard entries: inflight keys materialize on first admit,
+	// shed keys on first refusal (free holds no quota and the whole cap is
+	// reserved, so its admit is always refused).
+	for _, id := range []qos.SubscriberID{"gold", "silver", "free"} {
+		if a.admit(id) {
+			a.release(id)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if !a.admit("gold") {
+			t.Fatal("gold refused under quota")
+		}
+		a.release("gold")
+		if a.admit("free") { // exercises the spare refusal + shed counting
+			t.Fatal("free admitted while every slot is reserved")
+		}
+	}); n != 0 {
+		t.Errorf("admit/release round trip allocates %.1f times, want 0", n)
+	}
+}
+
 func TestAdmissionDisabledWhenNoCap(t *testing.T) {
-	a := newAdmission(0, admSubs())
+	a := newAdmission(0, admSubs(), 0)
 	for i := 0; i < 100; i++ {
 		if !a.admit("free") {
 			t.Fatal("admission refused with MaxConns=0; control must be off")

@@ -68,6 +68,11 @@ type Config struct {
 	// reservations) that shed spare-capacity traffic first under
 	// saturation. 0 means unlimited (admission control off).
 	MaxConns int
+	// ShardCount is how many ways the per-subscriber admission state is
+	// sharded by subscriber-ID hash; concurrent accepts, releases, and
+	// stats scrapes contend only within a shard. Rounded up to a power of
+	// two; 0 means DefaultShardCount.
+	ShardCount int
 	// DrainTimeout bounds Close's drain phase: how long in-flight requests
 	// may keep finishing after the listener stops accepting, before they
 	// are abandoned (default 5 s).
@@ -190,24 +195,11 @@ type Server struct {
 	// follows the breaker's slow-start ramp.
 	breakers map[core.NodeID]*breaker.Breaker
 
-	// lastSeen holds each backend's previous cumulative report, so usage
-	// deltas survive lost polls. Guarded by acctMu: polls run concurrently.
-	acctMu   sync.Mutex
-	lastSeen map[core.NodeID]core.UsageReport
-
-	// polling marks backends with a poll currently in flight, so a dead
-	// node slow-failing at DialTimeout accumulates one blocked probe, not
-	// one per accounting cycle. Guarded by acctMu.
-	polling map[core.NodeID]bool
-
-	// deltaScratch and spareReport recycle the per-node accounting maps:
-	// each poll decodes into the map retired from lastSeen on the previous
-	// cycle and diffs into a per-node scratch map, so steady-state polling
-	// allocates only what the JSON unmarshal itself needs. The polling slot
-	// serializes polls per node, making per-node reuse safe. Guarded by
-	// acctMu.
-	deltaScratch map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage
-	spareReport  map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage
+	// acct holds each backend's accounting-poll state under its own mutex,
+	// so concurrent polls of different nodes never serialize on a global
+	// lock. The map itself is fixed at New (keys are the node pool) and
+	// read without locking.
+	acct map[core.NodeID]*nodeAcct
 
 	// tracer samples per-request lifecycle traces (Config.TraceSampleEvery).
 	tracer *telemetry.Tracer
@@ -229,6 +221,25 @@ type Server struct {
 // UnhealthyAfter is the default consecutive-failure threshold that trips a
 // backend's breaker (Config.Breaker.Threshold overrides it).
 const UnhealthyAfter = 3
+
+// nodeAcct is one backend's accounting-poll state.
+type nodeAcct struct {
+	mu sync.Mutex
+	// lastSeen holds the backend's previous cumulative report, so usage
+	// deltas survive lost polls.
+	lastSeen core.UsageReport
+	// polling marks a poll currently in flight, so a dead node
+	// slow-failing at DialTimeout accumulates one blocked probe, not one
+	// per accounting cycle.
+	polling bool
+	// deltaScratch and spareReport recycle the accounting maps: each poll
+	// decodes into the map retired from lastSeen on the previous cycle and
+	// diffs into the scratch map, so steady-state polling allocates only
+	// what the JSON unmarshal itself needs. The polling slot serializes
+	// polls per node, making the reuse safe.
+	deltaScratch map[qos.SubscriberID]core.SubscriberUsage
+	spareReport  map[qos.SubscriberID]core.SubscriberUsage
+}
 
 // pendingConn lifecycle states: the dispatch/abandon handshake. Exactly one
 // side wins the CAS from pcWaiting, so a dispatch decision is either
@@ -339,6 +350,10 @@ func New(cfg Config) (*Server, error) {
 	for id := range addrs {
 		relayLat[id] = telemetry.NewHistogram()
 	}
+	acct := make(map[core.NodeID]*nodeAcct, len(addrs))
+	for id := range addrs {
+		acct[id] = &nodeAcct{}
+	}
 	return &Server{
 		cfg:        cfg,
 		dir:        dir,
@@ -350,14 +365,9 @@ func New(cfg Config) (*Server, error) {
 		drainCh:    make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 		beConns:    make(map[net.Conn]struct{}),
-		admission:  newAdmission(cfg.MaxConns, cfg.Subscribers),
+		admission:  newAdmission(cfg.MaxConns, cfg.Subscribers, cfg.ShardCount),
 		breakers:   breakers,
-		lastSeen:   make(map[core.NodeID]core.UsageReport, len(addrs)),
-		polling:    make(map[core.NodeID]bool, len(addrs)),
-		deltaScratch: make(map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage,
-			len(addrs)),
-		spareReport: make(map[core.NodeID]map[qos.SubscriberID]core.SubscriberUsage,
-			len(addrs)),
+		acct:       acct,
 		tracer: telemetry.NewTracer(telemetry.TracerConfig{
 			SampleEvery: cfg.TraceSampleEvery,
 			Buffer:      cfg.TraceBuffer,
@@ -589,12 +599,13 @@ func (s *Server) acctLoop() {
 				s.applyWeight(id, b)
 			}
 			for id, addr := range s.addrs {
-				s.acctMu.Lock()
-				busy := s.polling[id]
+				na := s.acct[id]
+				na.mu.Lock()
+				busy := na.polling
 				if !busy {
-					s.polling[id] = true
+					na.polling = true
 				}
-				s.acctMu.Unlock()
+				na.mu.Unlock()
 				if busy {
 					continue
 				}
@@ -609,15 +620,16 @@ func (s *Server) acctLoop() {
 // scheduler. It owns the node's polling slot for its duration.
 func (s *Server) pollOne(id core.NodeID, addr string) {
 	defer s.loopWG.Done()
+	na := s.acct[id]
 	defer func() {
-		s.acctMu.Lock()
-		s.polling[id] = false
-		s.acctMu.Unlock()
+		na.mu.Lock()
+		na.polling = false
+		na.mu.Unlock()
 	}()
-	s.acctMu.Lock()
-	reuse := s.spareReport[id]
-	s.spareReport[id] = nil
-	s.acctMu.Unlock()
+	na.mu.Lock()
+	reuse := na.spareReport
+	na.spareReport = nil
+	na.mu.Unlock()
 	cum, err := s.pollReport(id, addr, reuse)
 	if err != nil {
 		s.logger.Printf("dispatch: poll %v: %v", addr, err)
@@ -625,14 +637,14 @@ func (s *Server) pollOne(id core.NodeID, addr string) {
 		return
 	}
 	s.noteBreaker(id, breaker.Poll, true)
-	s.acctMu.Lock()
-	prev := s.lastSeen[id]
-	delta := diffReportsInto(cum, prev, s.deltaScratch[id])
-	s.deltaScratch[id] = delta.BySubscriber
-	s.lastSeen[id] = cum
+	na.mu.Lock()
+	prev := na.lastSeen
+	delta := diffReportsInto(cum, prev, na.deltaScratch)
+	na.deltaScratch = delta.BySubscriber
+	na.lastSeen = cum
 	// The displaced snapshot's map becomes the next poll's decode target.
-	s.spareReport[id] = prev.BySubscriber
-	s.acctMu.Unlock()
+	na.spareReport = prev.BySubscriber
+	na.mu.Unlock()
 	if err := s.sched.ReportUsage(delta); err != nil {
 		s.logger.Printf("dispatch: report usage: %v", err)
 	}

@@ -28,6 +28,12 @@ type Subscriber struct {
 	// QueueLimit bounds the subscriber's request queue; arrivals beyond it
 	// are dropped. Zero means DefaultQueueLimit.
 	QueueLimit int
+	// Group names the subscriber group (tenant tier) this subscriber
+	// belongs to. The scheduler schedules groups against each other by
+	// aggregate reservation and round-robins members within a group, so
+	// per-cycle cost is independent of the total population. Empty means
+	// the default group.
+	Group string
 }
 
 // DefaultQueueLimit is the per-subscriber queue bound used when a Subscriber
