@@ -1,7 +1,7 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier stress-hier chaos-hier audit-smoke
+.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier bench-frontier stress-hier chaos-hier chaos-rdn audit-smoke
 
-verify: build vet lint test race audit-smoke bench-sched bench-hier stress-hier
+verify: build vet lint test race audit-smoke bench-sched bench-hier stress-hier chaos-rdn
 
 build:
 	go build ./...
@@ -82,6 +82,26 @@ stress-hier:
 # guarantee may break while a quarter of the cluster is down.
 chaos-hier:
 	go test -race -count=2 -run 'TestChaosHierZipf|TestHierStress' ./internal/cluster/
+
+# RDN failover drill under the race detector: a deterministic 3-instance
+# front-end tier loses one instance mid-run and recovers it. Asserts the
+# takeover lands within one lease interval, settlement is exactly-once
+# (admission and dispatch books close), the blast radius stays inside the
+# victim's partition, and the merged flight-recorder audit sees clean
+# survivors — plus run-to-run determinism and the lease-delay fencing case.
+chaos-rdn:
+	go test -race -run 'TestChaosRDNFailover|TestFrontierLeaseDelayFencing|TestFrontierSingleRDNMatchesRun' \
+		./internal/cluster/
+
+# Front-end tier scale trajectory: one steady-state tier-wide scheduling
+# cycle (128 subscribers over 32 rendezvous-partitioned groups) at 1, 2 and
+# 3 front ends. Results land in BENCH_frontier.json; tier-wide per-cycle
+# cost must stay flat vs the single-RDN baseline (each instance does ~1/N of
+# the work) and allocs/op must stay 0.
+bench-frontier:
+	go test -run '^$$' -bench FrontierCycle -benchmem -benchtime=2000x -json \
+		./internal/frontier/ > BENCH_frontier.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_frontier.json | cut -d'"' -f4 || true
 
 # End-to-end flight-recorder round trip through the CLI: generate a short
 # SPECweb99 trace, replay it through the simulator spilling the per-cycle

@@ -12,6 +12,8 @@
 //	gagebench sched        per-cycle scheduler cost vs directory size
 //	gagebench hier         hierarchical per-cycle cost, 1k→1M registered
 //	gagebench hierstress   Zipf stress run over tenant groups (simulator)
+//	gagebench frontier     tier per-cycle cost, 1→3 front ends
+//	gagebench rdnfail      RDN failover drill: kill 1 of 3, audit the blast radius
 //	gagebench all          everything above
 //
 // With -cycles FILE, hierstress also spills the run's per-cycle log as
@@ -35,8 +37,9 @@ import (
 	"gage/internal/flightrec"
 )
 
-// cyclesPath is where hierstress spills its per-cycle log (empty = off).
-var cyclesPath = flag.String("cycles", "", "spill the hierstress cycle log to this JSONL file")
+// cyclesPath is where hierstress spills its per-cycle log, and the prefix
+// where rdnfail spills one log per front end (empty = off).
+var cyclesPath = flag.String("cycles", "", "spill cycle logs to this JSONL file (hierstress) or prefix (rdnfail)")
 
 func main() {
 	flag.Parse()
@@ -65,12 +68,14 @@ func run(cmd string) error {
 		"sched":       sched,
 		"hier":        hier,
 		"hierstress":  hierstress,
+		"frontier":    frontierBench,
+		"rdnfail":     rdnfail,
 	}
 	if cmd == "all" {
 		for _, name := range []string{
 			"table1", "table2", "fig3", "fig3r",
 			"table3", "overhead", "scalability", "utilization", "projection", "locality",
-			"sched", "hier", "hierstress",
+			"sched", "hier", "hierstress", "frontier", "rdnfail",
 		} {
 			if err := steps[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

@@ -34,8 +34,18 @@
 //	  "traceBuffer": 256,
 //	  "cycleRingSize": 1024,
 //	  "cycleLog": "/var/log/gage/cycles.jsonl",
-//	  "conformanceWindowMillis": 10000
+//	  "conformanceWindowMillis": 10000,
+//	  "rdnCount": 3,
+//	  "rdnId": 1,
+//	  "leaseMillis": 1000,
+//	  "leaseListen": "127.0.0.1:7070",
+//	  "leaseAddr": "127.0.0.1:7070"
 //	}
+//
+// With rdnCount >= 2 the instance joins a multi-RDN front-end tier: the
+// instance with leaseListen set hosts the lease table, every instance dials
+// leaseAddr, heartbeats at a third of leaseMillis, and serves only the
+// tenant groups the table currently assigns it (see cmd/gaged/frontier.go).
 //
 // Every millisecond/count knob is optional: 0 or absent means the library
 // default applies; negative values are configuration errors (except
@@ -130,9 +140,28 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("parse %s: %w", *config, err)
 	}
+	tcfg, err := parseTier(raw)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *config, err)
+	}
+	var tr *tierRunner
+	if tcfg.enabled() {
+		tr = newTierRunner(tcfg, subscriberGroups(cfg.Subscribers))
+		cfg.Owns = tr.owns
+		cfg.Fence = tr.owns
+	}
 	srv, err := dispatch.New(cfg)
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		tr.srv = srv
+		if err := tr.start(); err != nil {
+			return err
+		}
+		defer tr.shutdown()
+		fmt.Printf("gaged: tier member %d/%d, lease service %s\n",
+			tcfg.RDNID, tcfg.RDNCount, tcfg.LeaseAddr)
 	}
 	if *pprofAddr != "" {
 		// The pprof mux is the package-registered DefaultServeMux; it runs

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gage/internal/qos"
 )
 
 func TestParseConfig(t *testing.T) {
@@ -246,5 +248,59 @@ func TestParseConfigRejectsNegativeKnobs(t *testing.T) {
 		t.Error("negative queueLimit accepted, want error")
 	} else if !strings.Contains(err.Error(), "queueLimit") {
 		t.Errorf("queueLimit error %q must name the field", err)
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr bool
+	}{
+		{"disabled", `{}`, false},
+		{"singleIsDisabled", `{"rdnCount": 1}`, false},
+		{"negativeCount", `{"rdnCount": -1}`, true},
+		{"negativeLease", `{"rdnCount": 3, "rdnId": 1, "leaseAddr": "x", "leaseMillis": -5}`, true},
+		{"tierKnobsWithoutTier", `{"rdnId": 2}`, true},
+		{"idOutOfRange", `{"rdnCount": 3, "rdnId": 4, "leaseAddr": "x"}`, true},
+		{"idMissing", `{"rdnCount": 3, "leaseAddr": "x"}`, true},
+		{"addrMissing", `{"rdnCount": 3, "rdnId": 2}`, true},
+		{"member", `{"rdnCount": 3, "rdnId": 2, "leaseAddr": "127.0.0.1:7070"}`, false},
+		{"host", `{"rdnCount": 3, "rdnId": 1, "leaseListen": "127.0.0.1:7070"}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseTier([]byte(tc.json))
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("parseTier(%s) error = %v, wantErr %v", tc.json, err, tc.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if tc.name == "host" && got.LeaseAddr != got.LeaseListen {
+				t.Errorf("host: leaseAddr %q, want defaulted to leaseListen %q", got.LeaseAddr, got.LeaseListen)
+			}
+			if tc.name == "member" && got.leaseInterval() != time.Second {
+				t.Errorf("leaseInterval = %v, want default 1s", got.leaseInterval())
+			}
+		})
+	}
+}
+
+func TestSubscriberGroups(t *testing.T) {
+	subs := []qos.Subscriber{
+		{ID: "b1", Group: "tierB"},
+		{ID: "a1", Group: "tierA"},
+		{ID: "a2", Group: "tierA"},
+	}
+	got := subscriberGroups(subs)
+	want := []string{"tierA", "tierB"}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("groups = %v, want %v", got, want)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 //	gagetrace stats  trace.jsonl
 //	gagetrace replay -rpns 4 -grps 100 -cycles cycles.jsonl trace.jsonl
 //	gagetrace audit  -warmup 1s cycles.jsonl
+//	gagetrace audit  -warmup 1s drill.rdn1.jsonl drill.rdn2.jsonl drill.rdn3.jsonl
 //
 // gen writes a JSON-lines trace; stats summarizes it; replay runs it
 // through the cluster simulator under Gage scheduling and prints the
@@ -279,18 +280,27 @@ func auditCmd(args []string, out io.Writer) error {
 	if fs.Arg(0) == "" {
 		return fmt.Errorf("cycle log file required")
 	}
-	f, err := os.Open(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	recs, err := flightrec.ReadLog(f)
-	if err != nil {
-		return err
+	// Several logs (one per front end in a multi-RDN tier) merge into one
+	// stream, stably ordered by offset, so the auditor sees the tier's
+	// interleaved timeline — each instance's records stay in order, which is
+	// all its per-RDN conformance tracking needs.
+	var recs []flightrec.CycleRecord
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		part, err := flightrec.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		recs = append(recs, part...)
 	}
 	if len(recs) == 0 {
 		return fmt.Errorf("cycle log is empty")
 	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
 	rep := flightrec.Replay(recs, flightrec.AuditorConfig{
 		Window:     *window,
 		FastWindow: *fast,
@@ -322,6 +332,25 @@ func auditCmd(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "violation: %-12s %v .. %v (%s)\n",
 				sub.ID, sp.Start.Round(time.Millisecond), sp.End.Round(time.Millisecond), state)
 		}
+	}
+	var takeovers int
+	for _, ev := range rep.Events {
+		e := ev.Event
+		switch e.Kind {
+		case "takeover", "handback":
+			fmt.Fprintf(out, "tier event: %8v rdn %d: %s %s RDN %d -> RDN %d (epoch %d)\n",
+				ev.At.Round(time.Millisecond), ev.RDN, e.Kind, e.Group, e.From, e.To, e.Epoch)
+			if e.Kind == "takeover" {
+				takeovers++
+			}
+		default:
+			fmt.Fprintf(out, "tier event: %8v rdn %d: %s\n",
+				ev.At.Round(time.Millisecond), ev.RDN, e.Kind)
+		}
+	}
+	if takeovers > 0 {
+		fmt.Fprintf(out, "tier verdict: %d takeover(s) in the stream; partitions with zero\n", takeovers)
+		fmt.Fprintf(out, "              violation spans above were untouched by the failover\n")
 	}
 	return nil
 }

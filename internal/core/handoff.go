@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"gage/internal/qos"
+)
+
+// This file is the scheduler's partition-handoff surface: the multi-RDN
+// front-end tier (internal/frontier) moves whole tenant groups between
+// scheduler instances — at lease-expiry takeover, at deposition of a
+// front end that lost its lease, and at graceful handback after recovery.
+// The contract is built around the credit loop's exactly-once settlement:
+//
+//   - Export captures the reservation-account state (balance, usage
+//     predictor) after settling lazily accrued credit, so the snapshot is
+//     exactly what eager per-tick crediting would have produced.
+//   - Import registers the subscriber at the importer's CURRENT cycle:
+//     credit accrual resumes at the takeover epoch, so the span during
+//     which the partition had no live owner earns no retroactive credit.
+//   - In-flight charges are NOT exported. A dispatch settles on the
+//     scheduler that made it (completion, release, or fence); usage
+//     reported after the handoff debits the new owner's balance once.
+
+// SubscriberState is one subscriber's exportable credit-loop state: the
+// definition needed to re-register it plus the reservation-account state a
+// takeover restores. It is the unit of the frontier tier's accounting
+// snapshots, so it marshals to JSON for the live lease channel.
+type SubscriberState struct {
+	ID          qos.SubscriberID `json:"id"`
+	Reservation qos.GRPS         `json:"res"`
+	QueueLimit  int              `json:"limit"`
+	Group       string           `json:"group"`
+	// Balance is the reserved-resource account at export time, credit
+	// settled. Import clamps it to the importer's credit band.
+	Balance qos.Vector `json:"balance"`
+	// Predicted is the EWMA per-request usage estimate; a zero vector means
+	// "never materialized" and the importer keeps its generic-cost prior.
+	Predicted qos.Vector `json:"predicted"`
+}
+
+// ExportGroup snapshots every registered member of a group in subscriber-ID
+// order. Materialized members settle credit first; never-materialized ones
+// export their accrued-credit balance exactly as Balance() reports it. The
+// scheduler is not modified beyond credit settlement.
+func (s *Scheduler) ExportGroup(group string) ([]SubscriberState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[group]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown group %q", group)
+	}
+	ids := make([]qos.SubscriberID, 0, g.members)
+	for id, def := range s.defs {
+		if def.grp == g {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	out := make([]SubscriberState, 0, len(ids))
+	for _, id := range ids {
+		def := s.defs[id]
+		st := SubscriberState{
+			ID:          id,
+			Reservation: def.res,
+			QueueLimit:  def.limit,
+			Group:       group,
+		}
+		if q, ok := s.subs[id]; ok {
+			s.settleCredit(q)
+			st.Balance = q.balance
+			st.Predicted = q.predicted
+		} else {
+			// Never materialized: pure accrued credit, same math Balance()
+			// uses; the predictor is still the prior (zero ⇒ keep prior).
+			k := s.cycleNum - def.regCycle
+			if k > 0 {
+				credit := def.res.PerCycle(s.cfg.Cycle)
+				if k > 1 {
+					credit = credit.Scale(float64(k))
+				}
+				lim := def.res.PerCycle(s.cfg.CreditWindow)
+				st.Balance = credit.Min(lim).Max(lim.Neg())
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// ImportSubscriberState registers a subscriber from an exported snapshot and
+// restores its reservation-account state. Registration happens at the
+// importer's current cycle, so credit accrual resumes at the takeover epoch —
+// the ownerless span between snapshot and import earns nothing. The restored
+// balance is clamped to the importer's credit band. It fails on duplicates
+// and invalid definitions; the caller updates its classifier/ownership map.
+func (s *Scheduler) ImportSubscriberState(st SubscriberState) error {
+	sub := qos.Subscriber{
+		ID:          st.ID,
+		Reservation: st.Reservation,
+		QueueLimit:  st.QueueLimit,
+		Group:       st.Group,
+	}
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.defs[st.ID]; dup {
+		return fmt.Errorf("core: subscriber %q already registered", st.ID)
+	}
+	s.register(sub)
+	if st.Balance.IsZero() && st.Predicted.IsZero() {
+		// Definition-only import: stay lazy, materialize on first traffic.
+		return nil
+	}
+	q := s.materialize(st.ID, s.defs[st.ID])
+	q.balance = s.clampBalance(q, st.Balance)
+	if !st.Predicted.IsZero() {
+		q.predicted = st.Predicted
+	}
+	return nil
+}
+
+// RemoveGroup unregisters every member of a group and returns their queued
+// (undispatched) requests in subscriber-ID order, FIFO within each — the
+// redispatchable backlog a deposed front end hands to the partition's new
+// owner. Members' in-flight estimates are released from the nodes exactly as
+// RemoveSubscriber does, so a front end that keeps serving its remaining
+// partitions leaks no phantom node load.
+func (s *Scheduler) RemoveGroup(group string) ([]Request, error) {
+	s.mu.Lock()
+	g, ok := s.groups[group]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: unknown group %q", group)
+	}
+	ids := make([]qos.SubscriberID, 0, g.members)
+	for id, def := range s.defs {
+		if def.grp == g {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	s.mu.Unlock()
+	var orphans []Request
+	for _, id := range ids {
+		reqs, err := s.RemoveSubscriber(id)
+		if err != nil {
+			return orphans, err
+		}
+		orphans = append(orphans, reqs...)
+	}
+	return orphans, nil
+}
+
+// SetNodeCapacity rescales a node's believed capacity — the frontier tier's
+// rebalancing hook: each front end admits against its share of the physical
+// node, and shares move when partition ownership does. The admission bound,
+// optimistic per-cycle drain, and weighted bound are rederived; the node's
+// health weight and in-flight accounting are untouched.
+func (s *Scheduler) SetNodeCapacity(id NodeID, capacity qos.Vector) error {
+	if capacity.AnyNegative() || capacity.IsZero() {
+		return fmt.Errorf("core: node %d: capacity must be positive, got %v", id, capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.capacity = capacity
+	nd.bound = capacity.Scale(s.cfg.OutstandingWindow.Seconds())
+	nd.perCycle = capacity.Scale(s.cfg.Cycle.Seconds())
+	nd.weightedBound = nd.bound.Scale(nd.weight)
+	return nil
+}

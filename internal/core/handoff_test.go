@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// handoffSubs is a two-group cast: tierA holds a1 (traffic) and a2 (idle,
+// never materialized), tierB holds b1.
+func handoffSubs() []qos.Subscriber {
+	return []qos.Subscriber{
+		{ID: "a1", Reservation: 50, QueueLimit: 64, Group: "tierA"},
+		{ID: "a2", Reservation: 20, QueueLimit: 32, Group: "tierA"},
+		{ID: "b1", Reservation: 30, QueueLimit: 16, Group: "tierB"},
+	}
+}
+
+func TestExportGroupSnapshotsCreditState(t *testing.T) {
+	s := mustScheduler(t, handoffSubs(), []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	// Materialize a1 and run a few cycles so credit accrues and dispatches
+	// charge the balance.
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue(Request{ID: uint64(i + 1), Subscriber: "a1"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		s.Tick()
+	}
+
+	snap, err := s.ExportGroup("tierA")
+	if err != nil {
+		t.Fatalf("ExportGroup: %v", err)
+	}
+	if len(snap) != 2 || snap[0].ID != "a1" || snap[1].ID != "a2" {
+		t.Fatalf("export = %+v, want [a1 a2]", snap)
+	}
+	for _, st := range snap {
+		if st.Group != "tierA" {
+			t.Fatalf("subscriber %s exported group %q", st.ID, st.Group)
+		}
+		want, _ := s.Balance(st.ID)
+		if st.Balance != want {
+			t.Fatalf("subscriber %s: exported balance %v, Balance() %v", st.ID, st.Balance, want)
+		}
+	}
+	// a2 never carried traffic: its balance is pure accrued credit, positive
+	// after 20 cycles.
+	if snap[1].Balance.IsZero() {
+		t.Fatalf("idle subscriber exported a zero balance; want accrued credit")
+	}
+	if _, err := s.ExportGroup("nope"); err == nil {
+		t.Fatalf("ExportGroup(unknown) succeeded")
+	}
+}
+
+func TestImportSubscriberStateResumesCreditAtImportCycle(t *testing.T) {
+	src := mustScheduler(t, handoffSubs(), []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	if err := src.Enqueue(Request{ID: 1, Subscriber: "a1"}); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		src.Tick()
+	}
+	snap, err := src.ExportGroup("tierA")
+	if err != nil {
+		t.Fatalf("ExportGroup: %v", err)
+	}
+
+	dst := mustScheduler(t, []qos.Subscriber{{ID: "seed", Reservation: 1}},
+		[]NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	// Let the importer's clock run ahead: an import must NOT backfill credit
+	// for cycles before it happened.
+	for i := 0; i < 50; i++ {
+		dst.Tick()
+	}
+	for _, st := range snap {
+		if err := dst.ImportSubscriberState(st); err != nil {
+			t.Fatalf("ImportSubscriberState(%s): %v", st.ID, err)
+		}
+	}
+	for _, st := range snap {
+		got, ok := dst.Balance(st.ID)
+		if !ok {
+			t.Fatalf("imported subscriber %s unknown", st.ID)
+		}
+		if got != st.Balance {
+			t.Fatalf("subscriber %s: balance right after import = %v, want snapshot %v", st.ID, got, st.Balance)
+		}
+	}
+	// a1 was materialized at import (it carried state); its predictor rode
+	// along.
+	wantPred := snap[0].Predicted
+	if got, _ := dst.Predicted("a1"); got != wantPred {
+		t.Fatalf("imported predictor = %v, want %v", got, wantPred)
+	}
+	// Credit accrual resumes from the import cycle: k more ticks add exactly
+	// k cycles of credit (within the clamp).
+	before, _ := dst.Balance("a1")
+	for i := 0; i < 5; i++ {
+		dst.Tick()
+	}
+	after, _ := dst.Balance("a1")
+	sub := handoffSubs()[0]
+	wantDelta := sub.Reservation.PerCycle(dst.Cycle()).Scale(5)
+	if got := after.Sub(before); got != wantDelta {
+		t.Fatalf("credit after import = %v over 5 cycles, want %v", got, wantDelta)
+	}
+	// Duplicate import fails.
+	if err := dst.ImportSubscriberState(snap[0]); err == nil {
+		t.Fatalf("duplicate import succeeded")
+	}
+}
+
+func TestImportSubscriberStateDefinitionOnlyStaysLazy(t *testing.T) {
+	dst := mustScheduler(t, []qos.Subscriber{{ID: "seed", Reservation: 1}},
+		[]NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	st := SubscriberState{ID: "cold", Reservation: 5, QueueLimit: 8, Group: "tierC"}
+	if err := dst.ImportSubscriberState(st); err != nil {
+		t.Fatalf("ImportSubscriberState: %v", err)
+	}
+	if got := dst.Materialized(); got != 0 {
+		t.Fatalf("definition-only import materialized %d subscribers, want 0", got)
+	}
+	if got := dst.Registered(); got != 2 {
+		t.Fatalf("registered = %d, want 2", got)
+	}
+	if g, _ := dst.GroupOf("cold"); g != "tierC" {
+		t.Fatalf("imported group = %q, want tierC", g)
+	}
+}
+
+func TestRemoveGroupReturnsOrphansAndDeletesGroup(t *testing.T) {
+	s := mustScheduler(t, handoffSubs(), []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue(Request{ID: uint64(100 + i), Subscriber: "a1"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	orphans, err := s.RemoveGroup("tierA")
+	if err != nil {
+		t.Fatalf("RemoveGroup: %v", err)
+	}
+	if len(orphans) != 3 {
+		t.Fatalf("orphans = %d, want 3", len(orphans))
+	}
+	for i, r := range orphans {
+		if want := uint64(100 + i); r.ID != want {
+			t.Fatalf("orphan %d = request %d, want %d (FIFO order)", i, r.ID, want)
+		}
+	}
+	if _, ok := s.GroupOf("a1"); ok {
+		t.Fatalf("a1 still registered after RemoveGroup")
+	}
+	for _, g := range s.Groups() {
+		if g == "tierA" {
+			t.Fatalf("group tierA still present after RemoveGroup")
+		}
+	}
+	if _, err := s.RemoveGroup("tierA"); err == nil {
+		t.Fatalf("RemoveGroup(removed) succeeded")
+	}
+	// tierB untouched.
+	if _, ok := s.GroupOf("b1"); !ok {
+		t.Fatalf("b1 lost by RemoveGroup(tierA)")
+	}
+}
+
+func TestSetNodeCapacityRescalesAdmissionBound(t *testing.T) {
+	// One node, one subscriber with a huge reservation: dispatch volume per
+	// tick is limited only by the node's outstanding bound.
+	subs := []qos.Subscriber{{ID: "s1", Reservation: 1000, QueueLimit: 4096}}
+	cfg := Config{OutstandingWindow: 100 * time.Millisecond}
+	s := mustScheduler(t, subs, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, cfg)
+	for i := 0; i < 1000; i++ {
+		if err := s.Enqueue(Request{ID: uint64(i + 1), Subscriber: "s1"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	full := len(s.Tick())
+	if full == 0 {
+		t.Fatalf("no dispatches at full capacity")
+	}
+
+	// A second scheduler believing the node is half as big must dispatch
+	// roughly half as much into the empty node.
+	s2 := mustScheduler(t, subs, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, cfg)
+	if err := s2.SetNodeCapacity(1, nodeCap().Scale(0.5)); err != nil {
+		t.Fatalf("SetNodeCapacity: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := s2.Enqueue(Request{ID: uint64(i + 1), Subscriber: "s1"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	half := len(s2.Tick())
+	if half >= full {
+		t.Fatalf("half-capacity node dispatched %d, full %d; want fewer", half, full)
+	}
+	if half == 0 {
+		t.Fatalf("half-capacity node dispatched nothing")
+	}
+
+	if err := s.SetNodeCapacity(99, nodeCap()); err == nil {
+		t.Fatalf("SetNodeCapacity(unknown node) succeeded")
+	}
+	if err := s.SetNodeCapacity(1, qos.Vector{}); err == nil {
+		t.Fatalf("SetNodeCapacity(zero) succeeded")
+	}
+	if err := s.SetNodeCapacity(1, qos.Vector{CPUTime: -time.Second}); err == nil {
+		t.Fatalf("SetNodeCapacity(negative) succeeded")
+	}
+}

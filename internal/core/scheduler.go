@@ -477,10 +477,13 @@ type Scheduler struct {
 	rec *flightrec.Recorder
 }
 
-// New builds a scheduler for the given subscribers and nodes.
+// New builds a scheduler for the given subscribers and nodes. An empty
+// directory is allowed: a recovered front end starts with no partition and
+// receives its subscribers through ImportSubscriberState when the lease
+// table hands groups back.
 func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error) {
-	if dir == nil || dir.Len() == 0 {
-		return nil, errors.New("core: at least one subscriber required")
+	if dir == nil {
+		return nil, errors.New("core: subscriber directory required")
 	}
 	if len(nodes) == 0 {
 		return nil, errors.New("core: at least one node required")

@@ -108,6 +108,20 @@ type Config struct {
 	// (default 10 s); the fast burn-rate window derives as one tenth of
 	// it. Only meaningful with recording enabled.
 	ConformanceWindow time.Duration
+	// Owns reports whether this front end currently owns a tenant group —
+	// the multi-RDN tier's partition-aware admission. When set, requests
+	// whose subscriber's group is homed on another RDN are refused with 503
+	// at classification (counted in Stats.NotOwned) instead of being queued
+	// on a scheduler that must not accrue their state. Nil owns everything
+	// (the single-RDN pipeline).
+	Owns func(group string) bool
+	// Fence validates this front end's claim on a group immediately before
+	// a relay: a false verdict means the front end was deposed — its lease
+	// epoch superseded — between the scheduling decision and the splice.
+	// The dispatch charge is reclaimed and the request refused with 503
+	// (counted in Stats.Fenced), so a deposed RDN's in-flight decisions
+	// never reach a backend twice-owned. Nil disables fencing.
+	Fence func(group string) bool
 	// Dial opens backend connections; nil means net.DialTimeout. Fault
 	// drills swap in a chaos dialer here to script backend outages without
 	// touching real processes.
@@ -139,6 +153,16 @@ type Stats struct {
 	// Shed is requests refused by per-subscriber admission control (spare
 	// traffic beyond quota while the in-flight cap is saturated).
 	Shed uint64
+	// NotOwned is requests refused because their tenant group is homed on
+	// another front end (Config.Owns).
+	NotOwned uint64
+	// Fenced is dispatches refused at relay because this front end was
+	// deposed between decision and splice (Config.Fence); their scheduler
+	// charges were reclaimed.
+	Fenced uint64
+	// HandedOff is queued requests withdrawn at Close because their group
+	// migrated to another front end — redispatchable there, not shed.
+	HandedOff uint64
 }
 
 // Server is a running dispatcher.
@@ -159,6 +183,9 @@ type Server struct {
 	abandoned    atomic.Uint64
 	shedConns    atomic.Uint64
 	shedReqs     atomic.Uint64
+	notOwned     atomic.Uint64
+	fenced       atomic.Uint64
+	handedOff    atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -216,6 +243,16 @@ type Server struct {
 	// and MetricsPath omits the conformance families).
 	rec     *flightrec.Recorder
 	auditor *flightrec.Auditor
+
+	// groupOf caches each subscriber's tenant group for the partition
+	// admission and fencing checks (fixed at New).
+	groupOf map[qos.SubscriberID]string
+
+	// migMu guards the migrating-group set and the handoff backlog Close
+	// collects from them (see frontier.go).
+	migMu     sync.Mutex
+	migrating map[string]struct{}
+	handoffs  []Handoff
 }
 
 // UnhealthyAfter is the default consecutive-failure threshold that trips a
@@ -249,6 +286,7 @@ const (
 	pcWaiting    int32 = iota // queued or in flight, serving goroutine waiting
 	pcDispatched              // claimed by the dispatcher; node sent on the channel
 	pcAbandoned               // withdrawn by the serving goroutine; never relay
+	pcHandedOff               // withdrawn at Close for a migrating partition; redispatchable elsewhere
 )
 
 // pendingConn is the scheduler payload for a waiting client connection.
@@ -258,6 +296,8 @@ type pendingConn struct {
 	conn net.Conn
 	req  *httpwire.Request
 	sub  qos.SubscriberID
+	// group is the subscriber's tenant group, the fencing unit.
+	group string
 	// node receives the dispatch decision (buffered; sent only after a
 	// successful CAS to pcDispatched).
 	node chan core.NodeID
@@ -305,6 +345,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = net.DialTimeout
+	}
+	// The core scheduler accepts an empty directory (a recovering front end
+	// starts that way), but a dispatcher configured with no subscribers can
+	// never classify anything — reject it here.
+	if len(cfg.Subscribers) == 0 {
+		return nil, errors.New("dispatch: at least one subscriber required")
 	}
 	dir, err := qos.NewDirectory(cfg.Subscribers)
 	if err != nil {
@@ -354,6 +400,12 @@ func New(cfg Config) (*Server, error) {
 	for id := range addrs {
 		acct[id] = &nodeAcct{}
 	}
+	groupOf := make(map[qos.SubscriberID]string, dir.Len())
+	for _, id := range dir.IDs() {
+		if sub, err := dir.Subscriber(id); err == nil {
+			groupOf[id] = sub.Group
+		}
+	}
 	return &Server{
 		cfg:        cfg,
 		dir:        dir,
@@ -372,10 +424,12 @@ func New(cfg Config) (*Server, error) {
 			SampleEvery: cfg.TraceSampleEvery,
 			Buffer:      cfg.TraceBuffer,
 		}),
-		reqLat:   reqLat,
-		relayLat: relayLat,
-		rec:      rec,
-		auditor:  auditor,
+		reqLat:    reqLat,
+		relayLat:  relayLat,
+		rec:       rec,
+		auditor:   auditor,
+		groupOf:   groupOf,
+		migrating: make(map[string]struct{}),
 	}, nil
 }
 
@@ -394,6 +448,9 @@ func (s *Server) Stats() Stats {
 		Abandoned:    s.abandoned.Load(),
 		ShedConns:    s.shedConns.Load(),
 		Shed:         s.shedReqs.Load(),
+		NotOwned:     s.notOwned.Load(),
+		Fenced:       s.fenced.Load(),
+		HandedOff:    s.handedOff.Load(),
 	}
 }
 
@@ -480,6 +537,12 @@ func (s *Server) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
+	// Withdraw still-queued requests of migrating partitions before the
+	// drain: letting them dispatch here would splice them from a deposed
+	// owner (the fence would refuse each one the hard way), and counting
+	// them shed would lose them — the partition's new owner redispatches
+	// them instead (see SetMigrating/Handoffs).
+	s.handoffMigrating()
 	// Nudge idle keep-alive readers: expiring the read deadline unblocks
 	// handlers parked in ReadRequest without disturbing in-flight response
 	// writes.
@@ -837,6 +900,17 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	}
 	tr.SetSubscriber(string(sub))
 	tr.Add(telemetry.StageClassify, 0, string(sub))
+	group := s.groupOf[sub]
+	if s.cfg.Owns != nil && !s.cfg.Owns(group) {
+		// Partition admission: this group is homed on another front end.
+		// Queuing it here would grow scheduler state the owner cannot see;
+		// refuse instead, bounding a takeover's blast radius to the groups
+		// that actually moved.
+		tr.Settle(telemetry.OutcomeNotOwned)
+		s.notOwned.Add(1)
+		s.respondError(conn, 503)
+		return true
+	}
 	if !s.admission.admit(sub) {
 		// Admission shed: this subscriber is past its guaranteed in-flight
 		// quota and the only free slots are idle reserved ones. Drop the
@@ -853,6 +927,7 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		conn:  conn,
 		req:   req,
 		sub:   sub,
+		group: group,
 		node:  make(chan core.NodeID, 1),
 		start: start,
 		trace: tr,
@@ -873,6 +948,14 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	defer timer.Stop()
 	select {
 	case node := <-pc.node:
+		if pc.state.Load() == pcHandedOff {
+			// Close withdrew this request because its group migrated; the
+			// new owner redispatches it (see Handoffs). The client retries
+			// there — this is not a shed.
+			tr.Settle(telemetry.OutcomeHandedOff)
+			s.respondError(conn, 503)
+			return false
+		}
 		tr.Add(telemetry.StageDispatch, int64(node), "")
 		return s.relay(pc, node)
 	case <-s.stopCh:
@@ -898,10 +981,17 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 // dispatch decision (if any) is consumed so relay can never run against a
 // connection that has moved on to its next request.
 func (s *Server) abandon(pc *pendingConn) {
-	s.abandoned.Add(1)
 	if !pc.state.CompareAndSwap(pcWaiting, pcAbandoned) {
+		if pc.state.Load() == pcHandedOff {
+			// The migration sweep won: the request was withdrawn from the
+			// scheduler and recorded for the partition's new owner. There is
+			// no charge left to reclaim and it is not an abandonment — the
+			// new owner redispatches it.
+			return
+		}
 		// The tick loop won the race: the node is already (or imminently)
 		// in the channel. Take it and release the charge.
+		s.abandoned.Add(1)
 		node := <-pc.node
 		s.sched.ReleaseDispatch(pc.sub, node, pc.id)
 		return
@@ -910,6 +1000,7 @@ func (s *Server) abandon(pc *pendingConn) {
 	// the request still sits in its FIFO, remove it here; if the scheduler
 	// popped it but the tick loop has not reached its CAS yet, that failed
 	// CAS releases the charge instead.
+	s.abandoned.Add(1)
 	s.sched.CancelQueued(pc.sub, pc.id)
 }
 
@@ -933,6 +1024,20 @@ func wantKeepAlive(req *httpwire.Request) bool {
 // connection remains usable.
 func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	tr := pc.trace
+	if s.cfg.Fence != nil && !s.cfg.Fence(pc.group) {
+		// Deposed between dispatch and relay: the group's lease epoch moved
+		// on, so this decision must not reach a backend — the new owner is
+		// already scheduling the partition against its own capacity share.
+		// Reclaim the charge and refuse.
+		s.sched.ReleaseDispatch(pc.sub, node, pc.id)
+		s.fenced.Add(1)
+		if s.rec != nil {
+			s.rec.Annotate(flightrec.TierEvent{Kind: "fence", Group: pc.group})
+		}
+		tr.Settle(telemetry.OutcomeFenced)
+		s.respondError(pc.conn, 503)
+		return true
+	}
 	tr.Add(telemetry.StageRelay, int64(node), "")
 	attempt := time.Now()
 	var be net.Conn

@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"sort"
+
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+)
+
+// This file is the dispatcher's side of a partition migration in the
+// multi-RDN tier. When a tenant group moves to another front end — a
+// graceful handback after recovery, or this instance shutting down after
+// being deposed — the requests still queued for that group must not be
+// dispatched here (the fence would refuse each one after charging it) and
+// must not be counted as shed (they are not lost): they are withdrawn
+// through the same pendingConn CAS the abandon path uses and handed back as
+// a redispatchable backlog the partition's new owner replays.
+
+// Handoff is one withdrawn request: enough to redispatch it on the
+// partition's new owner.
+type Handoff struct {
+	// ID is the scheduler request id the deposed owner had assigned.
+	ID         uint64           `json:"id"`
+	Subscriber qos.SubscriberID `json:"subscriber"`
+	Group      string           `json:"group"`
+	Method     string           `json:"method"`
+	Target     string           `json:"target"`
+	Host       string           `json:"host"`
+}
+
+// SetMigrating marks tenant groups as migrating away from this front end.
+// Close's drain treats their still-queued requests as handoffs — withdrawn
+// and recorded for the new owner — rather than dispatching or shedding
+// them. Call it when the lease table moves a partition, before Close.
+func (s *Server) SetMigrating(groups ...string) {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	for _, g := range groups {
+		s.migrating[g] = struct{}{}
+	}
+}
+
+// Handoffs returns the withdrawn redispatchable backlog collected by Close,
+// in withdrawal order.
+func (s *Server) Handoffs() []Handoff {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	out := make([]Handoff, len(s.handoffs))
+	copy(out, s.handoffs)
+	return out
+}
+
+// handoffMigrating withdraws every still-queued request of the migrating
+// groups. It runs once, at the start of Close, while the scheduling loop is
+// still live: RemoveGroup pulls the group's queues out of the scheduler
+// atomically, so the tick loop can no longer dispatch what it returns, and
+// the pendingConn CAS settles each request's race against its own serving
+// goroutine — a request the tick loop already claimed relays (and meets the
+// fence); one the client already abandoned stays abandoned; everything else
+// becomes a Handoff.
+func (s *Server) handoffMigrating() {
+	s.migMu.Lock()
+	groups := make([]string, 0, len(s.migrating))
+	for g := range s.migrating {
+		groups = append(groups, g)
+	}
+	s.migMu.Unlock()
+	sort.Strings(groups)
+	for _, g := range groups {
+		orphans, err := s.sched.RemoveGroup(g)
+		if err != nil {
+			s.logger.Printf("dispatch: handoff group %q: %v", g, err)
+			continue
+		}
+		for _, r := range orphans {
+			pc, ok := r.Payload.(*pendingConn)
+			if !ok {
+				continue
+			}
+			if !pc.state.CompareAndSwap(pcWaiting, pcHandedOff) {
+				continue
+			}
+			s.migMu.Lock()
+			s.handoffs = append(s.handoffs, Handoff{
+				ID:         pc.id,
+				Subscriber: pc.sub,
+				Group:      g,
+				Method:     pc.req.Method,
+				Target:     pc.req.Target,
+				Host:       pc.req.Host,
+			})
+			s.migMu.Unlock()
+			s.handedOff.Add(1)
+			if s.rec != nil {
+				s.rec.Annotate(flightrec.TierEvent{Kind: "handback", Group: g})
+			}
+			// Wake the serving goroutine; the zero node is never read — the
+			// pcHandedOff state routes it to the handoff reply.
+			pc.node <- 0
+		}
+	}
+}

@@ -46,6 +46,19 @@ const (
 	// SlowNode is a window scaling the node's CPU/disk speed by Speed
 	// (0 < f ≤ 1) — thermal throttling, a co-located batch job.
 	SlowNode
+	// RDNCrash fail-stops a front-end RDN instance at an instant: its
+	// scheduler stops ticking, its queued requests are lost, and its lease
+	// heartbeats cease — lease expiry then hands its partition to a
+	// surviving RDN.
+	RDNCrash
+	// RDNRecover restarts a crashed RDN empty: it rejoins the lease table
+	// and reclaims its home partition by graceful handback.
+	RDNRecover
+	// LeaseDelay is a window adding Delay to an RDN's lease heartbeats — a
+	// partitioned or GC-stalled front end. A delay longer than the lease
+	// produces the deposed-but-alive scenario epoch fencing exists for:
+	// the partition is taken over while the old owner still dispatches.
+	LeaseDelay
 )
 
 // String names the kind for plan dumps and test failures.
@@ -63,6 +76,12 @@ func (k Kind) String() string {
 		return "LinkDegrade"
 	case SlowNode:
 		return "SlowNode"
+	case RDNCrash:
+		return "RDNCrash"
+	case RDNRecover:
+		return "RDNRecover"
+	case LeaseDelay:
+		return "LeaseDelay"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -72,7 +91,17 @@ func (k Kind) String() string {
 // an instant.
 func (k Kind) windowed() bool {
 	switch k {
-	case DropAccounting, DelayAccounting, LinkDegrade, SlowNode:
+	case DropAccounting, DelayAccounting, LinkDegrade, SlowNode, LeaseDelay:
+		return true
+	}
+	return false
+}
+
+// rdnKind reports whether the kind targets a front-end RDN instance rather
+// than a back-end node.
+func (k Kind) rdnKind() bool {
+	switch k {
+	case RDNCrash, RDNRecover, LeaseDelay:
 		return true
 	}
 	return false
@@ -88,6 +117,9 @@ type Event struct {
 	Kind Kind
 	// Node is the target RPN; 0 targets every node (windowed kinds only).
 	Node core.NodeID
+	// RDN is the target front-end instance for the RDN kinds (RDNCrash,
+	// RDNRecover, LeaseDelay); those kinds require an explicit id ≥ 1.
+	RDN int
 	// Until ends a windowed event (exclusive). Ignored for instant kinds.
 	Until time.Duration
 
@@ -113,13 +145,30 @@ type Plan struct {
 }
 
 // Validate checks the plan's internal consistency: known kinds, sane
-// windows and factors, crash/recover pairing per node.
+// windows and factors, crash/recover pairing per node and per RDN, and
+// non-overlapping LeaseDelay windows per RDN (overlap would make the
+// effective heartbeat delay depend on event-list order, breaking replay).
 func (p Plan) Validate() error {
 	crashed := map[core.NodeID]bool{}
+	rdnCrashed := map[int]bool{}
+	leaseDelayUntil := map[int]time.Duration{}
 	for i, ev := range sortedEvents(p.Events) {
 		prefix := fmt.Sprintf("faults: event %d (%s, node %d)", i, ev.Kind, ev.Node)
+		if ev.Kind.rdnKind() {
+			prefix = fmt.Sprintf("faults: event %d (%s, rdn %d)", i, ev.Kind, ev.RDN)
+		}
 		if ev.At < 0 {
 			return fmt.Errorf("%s: negative time %v", prefix, ev.At)
+		}
+		if ev.Kind.rdnKind() {
+			if ev.RDN <= 0 {
+				return fmt.Errorf("%s: RDN events need an explicit rdn id >= 1", prefix)
+			}
+			if ev.Node != 0 {
+				return fmt.Errorf("%s: RDN events target front ends, not node %d", prefix, ev.Node)
+			}
+		} else if ev.RDN != 0 {
+			return fmt.Errorf("%s: rdn %d set on a node-level kind", prefix, ev.RDN)
 		}
 		switch ev.Kind {
 		case NodeCrash, NodeRecover:
@@ -134,9 +183,31 @@ func (p Plan) Validate() error {
 				return fmt.Errorf("%s: node already crashed", prefix)
 			}
 			crashed[ev.Node] = ev.Kind == NodeCrash
+		case RDNCrash, RDNRecover:
+			want := ev.Kind == RDNRecover
+			if rdnCrashed[ev.RDN] != want {
+				if want {
+					return fmt.Errorf("%s: recover without a preceding crash", prefix)
+				}
+				return fmt.Errorf("%s: rdn already crashed", prefix)
+			}
+			rdnCrashed[ev.RDN] = ev.Kind == RDNCrash
 		case DropAccounting, DelayAccounting, LinkDegrade, SlowNode:
 			if ev.Until <= ev.At {
 				return fmt.Errorf("%s: window [%v, %v) is empty", prefix, ev.At, ev.Until)
+			}
+		case LeaseDelay:
+			if ev.Until <= ev.At {
+				return fmt.Errorf("%s: window [%v, %v) is empty", prefix, ev.At, ev.Until)
+			}
+			if ev.Delay <= 0 {
+				return fmt.Errorf("%s: LeaseDelay needs a positive delay", prefix)
+			}
+			if prev, ok := leaseDelayUntil[ev.RDN]; ok && ev.At < prev {
+				return fmt.Errorf("%s: LeaseDelay window [%v, %v) overlaps an earlier window ending %v", prefix, ev.At, ev.Until, prev)
+			}
+			if ev.Until > leaseDelayUntil[ev.RDN] {
+				leaseDelayUntil[ev.RDN] = ev.Until
 			}
 		default:
 			return fmt.Errorf("%s: unknown kind", prefix)
@@ -164,6 +235,36 @@ func (p Plan) MaxNode() core.NodeID {
 		}
 	}
 	return m
+}
+
+// MaxRDN returns the highest front-end RDN id any event targets, so a
+// multi-RDN harness can reject plans that script front ends the tier does
+// not have.
+func (p Plan) MaxRDN() int {
+	var m int
+	for _, ev := range p.Events {
+		if ev.RDN > m {
+			m = ev.RDN
+		}
+	}
+	return m
+}
+
+// ValidateCluster runs Validate plus topology bounds: every node-targeted
+// event must name a node the cluster has (1..numRPNs) and every RDN event a
+// front end the tier has (1..numRDNs). This is the harness-facing entry
+// point — a plan can be structurally sound yet reference an unknown RDN id.
+func (p Plan) ValidateCluster(numRPNs, numRDNs int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if maxNode := p.MaxNode(); int(maxNode) > numRPNs {
+		return fmt.Errorf("faults: plan targets node %d but cluster has %d RPNs", maxNode, numRPNs)
+	}
+	if maxRDN := p.MaxRDN(); maxRDN > numRDNs {
+		return fmt.Errorf("faults: plan targets rdn %d but tier has %d RDNs", maxRDN, numRDNs)
+	}
+	return nil
 }
 
 // ActiveWindow returns the span from the first event to the last event end
@@ -264,6 +365,35 @@ func (in *Injector) Crashed(node core.NodeID, at time.Duration) bool {
 		}
 	}
 	return down
+}
+
+// RDNCrashed reports whether the front-end RDN is down at offset at: the
+// most recent RDNCrash/RDNRecover event at or before at decides.
+func (in *Injector) RDNCrashed(rdn int, at time.Duration) bool {
+	down := false
+	for _, ev := range in.events {
+		if ev.At > at || ev.RDN != rdn {
+			continue
+		}
+		switch ev.Kind {
+		case RDNCrash:
+			down = true
+		case RDNRecover:
+			down = false
+		}
+	}
+	return down
+}
+
+// LeaseDelayAt returns the extra heartbeat latency for an RDN at offset at.
+// Validate rejects overlapping windows per RDN, so at most one applies.
+func (in *Injector) LeaseDelayAt(rdn int, at time.Duration) time.Duration {
+	for _, ev := range in.events {
+		if ev.Kind == LeaseDelay && ev.RDN == rdn && at >= ev.At && at < ev.Until {
+			return ev.Delay
+		}
+	}
+	return 0
 }
 
 // Speed returns the node's CPU/disk speed multiplier at offset at:

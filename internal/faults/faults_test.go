@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -56,6 +57,130 @@ func TestPlanValidate(t *testing.T) {
 				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestPlanValidateRDNEvents(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    Plan
+		wantErr bool
+	}{
+		{"rdn-crash-recover", Plan{Events: []Event{
+			{At: time.Second, Kind: RDNCrash, RDN: 2},
+			{At: 3 * time.Second, Kind: RDNRecover, RDN: 2},
+		}}, false},
+		{"rdn-crash-without-id", Plan{Events: []Event{
+			{At: time.Second, Kind: RDNCrash},
+		}}, true},
+		{"rdn-recover-first", Plan{Events: []Event{
+			{At: time.Second, Kind: RDNRecover, RDN: 1},
+		}}, true},
+		{"rdn-double-crash", Plan{Events: []Event{
+			{At: time.Second, Kind: RDNCrash, RDN: 1},
+			{At: 2 * time.Second, Kind: RDNCrash, RDN: 1},
+		}}, true},
+		{"rdn-event-with-node", Plan{Events: []Event{
+			{At: time.Second, Kind: RDNCrash, RDN: 1, Node: 2},
+		}}, true},
+		{"node-event-with-rdn", Plan{Events: []Event{
+			{At: time.Second, Kind: NodeCrash, Node: 1, RDN: 2},
+		}}, true},
+		{"lease-delay-ok", Plan{Events: []Event{
+			{At: time.Second, Kind: LeaseDelay, RDN: 1, Until: 2 * time.Second, Delay: 300 * time.Millisecond},
+		}}, false},
+		{"lease-delay-empty-window", Plan{Events: []Event{
+			{At: time.Second, Kind: LeaseDelay, RDN: 1, Until: time.Second, Delay: time.Millisecond},
+		}}, true},
+		{"lease-delay-no-delay", Plan{Events: []Event{
+			{At: time.Second, Kind: LeaseDelay, RDN: 1, Until: 2 * time.Second},
+		}}, true},
+		{"lease-delay-overlap-same-rdn", Plan{Events: []Event{
+			{At: time.Second, Kind: LeaseDelay, RDN: 1, Until: 3 * time.Second, Delay: time.Millisecond},
+			{At: 2 * time.Second, Kind: LeaseDelay, RDN: 1, Until: 4 * time.Second, Delay: time.Millisecond},
+		}}, true},
+		{"lease-delay-touching-windows", Plan{Events: []Event{
+			{At: time.Second, Kind: LeaseDelay, RDN: 1, Until: 2 * time.Second, Delay: time.Millisecond},
+			{At: 2 * time.Second, Kind: LeaseDelay, RDN: 1, Until: 3 * time.Second, Delay: time.Millisecond},
+		}}, false},
+		{"lease-delay-overlap-different-rdn", Plan{Events: []Event{
+			{At: time.Second, Kind: LeaseDelay, RDN: 1, Until: 3 * time.Second, Delay: time.Millisecond},
+			{At: 2 * time.Second, Kind: LeaseDelay, RDN: 2, Until: 4 * time.Second, Delay: time.Millisecond},
+		}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanValidateCluster(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{At: time.Second, Kind: NodeCrash, Node: 3},
+		{At: time.Second, Kind: RDNCrash, RDN: 2},
+		{At: 2 * time.Second, Kind: RDNRecover, RDN: 2},
+	}}
+	cases := []struct {
+		name           string
+		rpns, rdns     int
+		wantErr        bool
+		wantErrMention string
+	}{
+		{"fits", 4, 3, false, ""},
+		{"exact", 3, 2, false, ""},
+		{"unknown-node", 2, 3, true, "node 3"},
+		{"unknown-rdn", 4, 1, true, "rdn 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := plan.ValidateCluster(tc.rpns, tc.rdns)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("ValidateCluster(%d, %d) = %v, wantErr=%v", tc.rpns, tc.rdns, err, tc.wantErr)
+			}
+			if err != nil && tc.wantErrMention != "" && !strings.Contains(err.Error(), tc.wantErrMention) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErrMention)
+			}
+		})
+	}
+	if got := plan.MaxRDN(); got != 2 {
+		t.Fatalf("MaxRDN = %d, want 2", got)
+	}
+}
+
+func TestInjectorRDNQueries(t *testing.T) {
+	plan := Plan{Events: []Event{
+		{At: 10 * time.Second, Kind: RDNCrash, RDN: 2},
+		{At: 20 * time.Second, Kind: RDNRecover, RDN: 2},
+		{At: 5 * time.Second, Kind: LeaseDelay, RDN: 1, Until: 8 * time.Second, Delay: 700 * time.Millisecond},
+	}}
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if in.RDNCrashed(2, 9*time.Second) {
+		t.Fatalf("rdn 2 down before crash")
+	}
+	if !in.RDNCrashed(2, 15*time.Second) {
+		t.Fatalf("rdn 2 up inside crash span")
+	}
+	if in.RDNCrashed(2, 25*time.Second) {
+		t.Fatalf("rdn 2 down after recover")
+	}
+	if in.RDNCrashed(1, 15*time.Second) {
+		t.Fatalf("rdn 1 down; only rdn 2 crashed")
+	}
+	if d := in.LeaseDelayAt(1, 6*time.Second); d != 700*time.Millisecond {
+		t.Fatalf("LeaseDelayAt inside window = %v", d)
+	}
+	if d := in.LeaseDelayAt(1, 9*time.Second); d != 0 {
+		t.Fatalf("LeaseDelayAt outside window = %v", d)
+	}
+	if d := in.LeaseDelayAt(2, 6*time.Second); d != 0 {
+		t.Fatalf("LeaseDelayAt wrong rdn = %v", d)
 	}
 }
 

@@ -124,17 +124,32 @@ type Auditor struct {
 	order []qos.SubscriberID
 
 	// step is the observed record spacing (the scheduling cycle).
-	step     time.Duration
-	lastAt   time.Duration
-	haveLast bool
+	step   time.Duration
+	lastAt time.Duration
+	// lastBy orders each front end's record stream independently: a merged
+	// multi-RDN log interleaves N append-only streams, and a record is stale
+	// only relative to its own RDN's stream. Single-RDN logs stamp RDN 0, so
+	// the map degenerates to the old global ordering check.
+	lastBy map[int]time.Duration
+	// events accumulates tier control events in ingest order.
+	events []TierEventRecord
+}
+
+// TierEventRecord is a tier event with its record context — when it was
+// committed and by which front end.
+type TierEventRecord struct {
+	At    time.Duration `json:"at"`
+	RDN   int           `json:"rdn,omitempty"`
+	Event TierEvent     `json:"event"`
 }
 
 // NewAuditor builds an auditor. rec may be nil for push-mode (offline) use.
 func NewAuditor(rec *Recorder, cfg AuditorConfig) *Auditor {
 	return &Auditor{
-		cfg:  cfg.withDefaults(),
-		rec:  rec,
-		subs: make(map[qos.SubscriberID]*subAudit),
+		cfg:    cfg.withDefaults(),
+		rec:    rec,
+		subs:   make(map[qos.SubscriberID]*subAudit),
+		lastBy: make(map[int]time.Duration),
 	}
 }
 
@@ -166,15 +181,20 @@ func (a *Auditor) ingestLocked(rec *CycleRecord) {
 	if rec.At < a.cfg.Skip {
 		return
 	}
-	if a.haveLast {
-		if rec.At <= a.lastAt {
-			return // out-of-order or duplicate; the stream is append-only
+	if last, seen := a.lastBy[rec.RDN]; seen {
+		if rec.At <= last {
+			return // out-of-order or duplicate; each RDN's stream is append-only
 		}
-		a.step = rec.At - a.lastAt
+		a.step = rec.At - last
 	}
-	a.lastAt = rec.At
-	a.haveLast = true
+	a.lastBy[rec.RDN] = rec.At
+	if rec.At > a.lastAt {
+		a.lastAt = rec.At
+	}
 	a.records++
+	for _, ev := range rec.Events {
+		a.events = append(a.events, TierEventRecord{At: rec.At, RDN: rec.RDN, Event: ev})
+	}
 	for i := range rec.Subs {
 		a.ingestSub(rec.At, &rec.Subs[i])
 	}
@@ -324,6 +344,9 @@ type Report struct {
 	Records uint64        `json:"records"`
 	Dropped uint64        `json:"dropped"`
 	Subs    []SubReport   `json:"subs"`
+	// Events are the tier control events seen in the stream, in ingest
+	// order — the failover audit trail (takeover/handback/fence).
+	Events []TierEventRecord `json:"events,omitempty"`
 }
 
 // Sub returns the report row for one subscriber.
@@ -341,7 +364,8 @@ func (r Report) Sub(id qos.SubscriberID) (SubReport, bool) {
 func (a *Auditor) Report() Report {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	rep := Report{At: a.lastAt, Records: a.records, Dropped: a.dropped}
+	rep := Report{At: a.lastAt, Records: a.records, Dropped: a.dropped,
+		Events: append([]TierEventRecord(nil), a.events...)}
 	totalSpare := 0
 	for _, s := range a.subs {
 		totalSpare += s.slowSpare

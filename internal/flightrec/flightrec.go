@@ -61,15 +61,35 @@ type NodeRecord struct {
 	Weight      float64    `json:"weight"`
 }
 
+// TierEvent is a front-end-tier control event riding on a cycle record:
+// partition takeovers, handbacks, crashes, recoveries and fencing decisions
+// from the multi-RDN frontier. Events make the failover protocol auditable
+// offline — `gagetrace audit` reads them from the same JSONL log as the
+// per-cycle accounting.
+type TierEvent struct {
+	// Kind is one of "takeover", "handback", "crash", "recover", "fence".
+	Kind  string `json:"kind"`
+	Group string `json:"group,omitempty"`
+	From  int    `json:"from,omitempty"`
+	To    int    `json:"to,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
 // CycleRecord is one scheduling cycle's snapshot of the feedback loop.
 type CycleRecord struct {
 	// Seq numbers records from 0 in commit order.
 	Seq uint64 `json:"seq"`
 	// At is the record's offset from the recorder's clock origin (run start).
 	At time.Duration `json:"at"`
+	// RDN identifies which front-end instance committed the record. Zero is
+	// the single-RDN pipeline; multi-RDN logs merge several streams and the
+	// auditor keys its ordering checks on this.
+	RDN int `json:"rdn,omitempty"`
 	// Subs and Nodes are in the scheduler's deterministic visit order.
 	Subs  []SubRecord  `json:"subs"`
 	Nodes []NodeRecord `json:"nodes"`
+	// Events are tier control events observed since the previous record.
+	Events []TierEvent `json:"events,omitempty"`
 }
 
 // clone deep-copies a record so readers never alias ring-owned slices.
@@ -77,6 +97,9 @@ func (c *CycleRecord) clone() CycleRecord {
 	out := *c
 	out.Subs = append([]SubRecord(nil), c.Subs...)
 	out.Nodes = append([]NodeRecord(nil), c.Nodes...)
+	if c.Events != nil {
+		out.Events = append([]TierEvent(nil), c.Events...)
+	}
 	return out
 }
 
@@ -112,6 +135,14 @@ type Recorder struct {
 	now      func() time.Duration
 	enc      *json.Encoder
 	spillErr error
+	// rdn stamps every committed record; zero for the single-RDN pipeline.
+	rdn int
+
+	// pend queues tier events annotated between cycles; Begin drains it into
+	// the next record. Its own lock keeps Annotate callable while the ring
+	// lock is held across a Begin/Commit window.
+	pendMu sync.Mutex
+	pend   []TierEvent
 }
 
 // NewRecorder builds a recorder.
@@ -145,17 +176,44 @@ func (r *Recorder) SetClock(now func() time.Duration) {
 	}
 }
 
+// SetRDN sets the front-end id stamped on subsequent records. The multi-RDN
+// tier gives each instance's recorder its RDN id so merged logs stay
+// attributable; the default zero is the single-RDN pipeline.
+func (r *Recorder) SetRDN(rdn int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rdn = rdn
+}
+
+// Annotate queues a tier event for the next committed record. It is safe to
+// call at any time, including while a Begin/Commit window is open elsewhere;
+// the event rides on the next cycle to start.
+func (r *Recorder) Annotate(ev TierEvent) {
+	r.pendMu.Lock()
+	r.pend = append(r.pend, ev)
+	r.pendMu.Unlock()
+}
+
 // Begin opens the next ring slot for writing and returns it with its Seq and
 // At stamped and its Subs/Nodes reset to length zero (capacity retained, so
-// steady-state appends allocate nothing). The recorder stays locked until
-// Commit; the writer fills the slot in between.
+// steady-state appends allocate nothing). Queued annotations are drained
+// into the slot. The recorder stays locked until Commit; the writer fills
+// the slot in between.
 func (r *Recorder) Begin() *CycleRecord {
 	r.mu.Lock()
 	slot := &r.ring[r.seq%uint64(len(r.ring))]
 	slot.Seq = r.seq
 	slot.At = r.now()
+	slot.RDN = r.rdn
 	slot.Subs = slot.Subs[:0]
 	slot.Nodes = slot.Nodes[:0]
+	slot.Events = slot.Events[:0]
+	r.pendMu.Lock()
+	if len(r.pend) > 0 {
+		slot.Events = append(slot.Events, r.pend...)
+		r.pend = r.pend[:0]
+	}
+	r.pendMu.Unlock()
 	r.cur = slot
 	return slot
 }

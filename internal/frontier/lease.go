@@ -1,0 +1,262 @@
+package frontier
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gage/internal/core"
+)
+
+// Config sizes the front-end tier.
+type Config struct {
+	// RDNs is the number of front-end instances (ids 1..RDNs).
+	RDNs int
+	// LeaseInterval is how long an RDN may go without a heartbeat before its
+	// lease expires and its partition is taken over.
+	LeaseInterval time.Duration
+}
+
+func (c Config) validate() error {
+	if c.RDNs <= 0 {
+		return fmt.Errorf("frontier: RDN count must be positive, got %d", c.RDNs)
+	}
+	if c.LeaseInterval <= 0 {
+		return fmt.Errorf("frontier: lease interval must be positive, got %v", c.LeaseInterval)
+	}
+	return nil
+}
+
+// Ownership is a group's current home: the owning RDN and the fencing epoch.
+// The epoch increments on every ownership change; a dispatch stamped with an
+// older epoch belongs to a deposed owner and is refused at delivery.
+type Ownership struct {
+	RDN   int
+	Epoch uint64
+}
+
+// ChangeKind says why a group moved.
+type ChangeKind int
+
+const (
+	// Takeover: the previous owner's lease expired; a survivor adopts the
+	// group and rebuilds scheduler state from the last accounting snapshot.
+	Takeover ChangeKind = iota
+	// Handback: the previous owner is alive but the group's preferred home
+	// (by rendezvous hash) has rejoined; ownership returns gracefully.
+	Handback
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case Takeover:
+		return "takeover"
+	case Handback:
+		return "handback"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Change is one group changing hands. Snapshot is the group's last
+// heartbeat-carried accounting state (nil if the old owner never reported);
+// the new owner imports it so reclaimed charges settle exactly once.
+type Change struct {
+	Group    string
+	From, To int
+	Epoch    uint64
+	Kind     ChangeKind
+	Snapshot []core.SubscriberState
+}
+
+// Table is the tier's lease table: who owns which tenant group, at what
+// epoch, and which RDNs are live. One Table is authoritative for the tier —
+// the simulator holds it directly, the live path hosts it behind the
+// loopback TCP lease service (see net.go). Time is an explicit offset from
+// the tier's start, so the same state machine runs on the virtual clock and
+// on wall time.
+//
+// The protocol is deliberately small:
+//
+//   - Beat(rdn, now, snaps) renews rdn's lease and records accounting
+//     snapshots for the groups it owns.
+//   - Check(now) expires leases and reassigns groups: every group whose
+//     owner is dead — or whose preferred home has rejoined — moves to its
+//     highest-scoring live candidate with a bumped epoch.
+//   - Valid(group, rdn, epoch) is the fencing read: delivery refuses work
+//     stamped by a deposed (rdn, epoch) pair.
+type Table struct {
+	mu       sync.Mutex
+	cfg      Config
+	part     *Partitioner
+	groups   []string
+	lastBeat map[int]time.Duration
+	own      map[string]Ownership
+	snap     map[string][]core.SubscriberState
+}
+
+// NewTable builds the lease table for a fixed group population. Every RDN
+// starts live (lease granted at offset zero) and every group homes to its
+// rendezvous owner at epoch 1.
+func NewTable(cfg Config, groups []string) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("frontier: no tenant groups")
+	}
+	part, err := NewPartitioner(cfg.RDNs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		cfg:      cfg,
+		part:     part,
+		groups:   make([]string, len(groups)),
+		lastBeat: make(map[int]time.Duration, cfg.RDNs),
+		own:      make(map[string]Ownership, len(groups)),
+		snap:     make(map[string][]core.SubscriberState, len(groups)),
+	}
+	copy(t.groups, groups)
+	sort.Strings(t.groups)
+	for i := 1; i < len(t.groups); i++ {
+		if t.groups[i] == t.groups[i-1] {
+			return nil, fmt.Errorf("frontier: duplicate group %q", t.groups[i])
+		}
+	}
+	for _, r := range part.RDNs() {
+		t.lastBeat[r] = 0
+	}
+	for _, g := range t.groups {
+		t.own[g] = Ownership{RDN: part.Owner(g), Epoch: 1}
+	}
+	return t, nil
+}
+
+// Beat renews an RDN's lease at the given offset and stores the accounting
+// snapshots it carries. Snapshots are only accepted for groups the RDN
+// currently owns: a deposed front end's stale state must not overwrite the
+// snapshot trail of the group's new owner.
+func (t *Table) Beat(rdn int, now time.Duration, snaps map[string][]core.SubscriberState) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.lastBeat[rdn]; !ok {
+		return fmt.Errorf("frontier: unknown rdn %d", rdn)
+	}
+	if prev := t.lastBeat[rdn]; now > prev {
+		t.lastBeat[rdn] = now
+	}
+	for g, snap := range snaps {
+		if own, ok := t.own[g]; ok && own.RDN == rdn {
+			cp := make([]core.SubscriberState, len(snap))
+			copy(cp, snap)
+			t.snap[g] = cp
+		}
+	}
+	return nil
+}
+
+// Live returns the RDNs whose leases are current at the given offset, in
+// ascending id order.
+func (t *Table) Live(now time.Duration) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.liveLocked(now)
+}
+
+func (t *Table) liveLocked(now time.Duration) []int {
+	live := make([]int, 0, t.cfg.RDNs)
+	for _, r := range t.part.RDNs() {
+		if now-t.lastBeat[r] <= t.cfg.LeaseInterval {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// Check expires leases and recomputes ownership at the given offset. Each
+// group whose owner is no longer its highest-scoring live candidate moves:
+// a Takeover if the old owner's lease expired, a Handback if the old owner
+// is alive but the group's preferred home rejoined. Changes are returned in
+// sorted group order with the epoch already bumped; if no RDN is live,
+// ownership is left untouched (there is nobody to fence against).
+func (t *Table) Check(now time.Duration) []Change {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live := t.liveLocked(now)
+	if len(live) == 0 {
+		return nil
+	}
+	liveSet := make(map[int]bool, len(live))
+	for _, r := range live {
+		liveSet[r] = true
+	}
+	var changes []Change
+	for _, g := range t.groups {
+		cur := t.own[g]
+		want := t.part.OwnerAmong(g, live)
+		if want == cur.RDN {
+			continue
+		}
+		kind := Takeover
+		if liveSet[cur.RDN] {
+			kind = Handback
+		}
+		next := Ownership{RDN: want, Epoch: cur.Epoch + 1}
+		t.own[g] = next
+		changes = append(changes, Change{
+			Group:    g,
+			From:     cur.RDN,
+			To:       want,
+			Epoch:    next.Epoch,
+			Kind:     kind,
+			Snapshot: t.snap[g],
+		})
+	}
+	return changes
+}
+
+// Owner returns a group's current ownership.
+func (t *Table) Owner(group string) (Ownership, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	own, ok := t.own[group]
+	return own, ok
+}
+
+// Valid is the fencing read: it reports whether (rdn, epoch) is the group's
+// current owner at its current epoch. Work stamped by any other pair was
+// issued by a deposed owner and must be refused.
+func (t *Table) Valid(group string, rdn int, epoch uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	own, ok := t.own[group]
+	return ok && own.RDN == rdn && own.Epoch == epoch
+}
+
+// Partition returns the groups an RDN currently owns, sorted.
+func (t *Table) Partition(rdn int) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for _, g := range t.groups {
+		if t.own[g].RDN == rdn {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Groups returns all tenant groups in the tier, sorted.
+func (t *Table) Groups() []string {
+	out := make([]string, len(t.groups))
+	copy(out, t.groups)
+	return out
+}
+
+// Partitioner exposes the tier's group→RDN hash for callers that must agree
+// with the table's placement (admission routing, capacity sharing).
+func (t *Table) Partitioner() *Partitioner {
+	return t.part
+}

@@ -1,0 +1,197 @@
+package frontier
+
+import (
+	"testing"
+	"time"
+
+	"gage/internal/core"
+	"gage/internal/qos"
+)
+
+func mustTable(t *testing.T, rdns int, lease time.Duration, groups []string) *Table {
+	t.Helper()
+	tb, err := NewTable(Config{RDNs: rdns, LeaseInterval: lease}, groups)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tb
+}
+
+func beatAll(t *testing.T, tb *Table, rdns []int, now time.Duration) {
+	t.Helper()
+	for _, r := range rdns {
+		if err := tb.Beat(r, now, nil); err != nil {
+			t.Fatalf("Beat(%d, %v): %v", r, now, err)
+		}
+	}
+}
+
+func TestLeaseExpiryTriggersTakeoverToSurvivingCandidate(t *testing.T) {
+	groups := tierGroups(32)
+	tb := mustTable(t, 3, 100*time.Millisecond, groups)
+	victim := 2
+	victimGroups := tb.Partition(victim)
+	if len(victimGroups) == 0 {
+		t.Fatalf("victim owns no groups")
+	}
+
+	// Everyone beats at t=50ms; the victim goes silent afterwards.
+	beatAll(t, tb, []int{1, 3}, 250*time.Millisecond)
+	if err := tb.Beat(victim, 50*time.Millisecond, nil); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+
+	changes := tb.Check(250 * time.Millisecond)
+	if len(changes) != len(victimGroups) {
+		t.Fatalf("takeover moved %d groups, victim owned %d", len(changes), len(victimGroups))
+	}
+	for _, ch := range changes {
+		if ch.From != victim {
+			t.Fatalf("group %s moved from %d; only RDN %d died", ch.Group, ch.From, victim)
+		}
+		if ch.Kind != Takeover {
+			t.Fatalf("group %s: kind %v, want takeover", ch.Group, ch.Kind)
+		}
+		if want := tb.Partitioner().OwnerAmong(ch.Group, []int{1, 3}); ch.To != want {
+			t.Fatalf("group %s adopted by %d, rendezvous successor is %d", ch.Group, ch.To, want)
+		}
+		if ch.Epoch != 2 {
+			t.Fatalf("group %s: epoch %d after first move, want 2", ch.Group, ch.Epoch)
+		}
+		if own, _ := tb.Owner(ch.Group); own.RDN != ch.To || own.Epoch != ch.Epoch {
+			t.Fatalf("table ownership %+v disagrees with change %+v", own, ch)
+		}
+	}
+	// Untouched partitions did not move and a second check is quiescent.
+	for _, r := range []int{1, 3} {
+		for _, g := range tb.Partition(r) {
+			if own, _ := tb.Owner(g); own.RDN == victim {
+				t.Fatalf("group %s still maps to the dead RDN", g)
+			}
+		}
+	}
+	if again := tb.Check(251 * time.Millisecond); len(again) != 0 {
+		t.Fatalf("second check produced %d changes, want 0", len(again))
+	}
+}
+
+func TestRecoveryHandsGroupsBackWithBumpedEpoch(t *testing.T) {
+	groups := tierGroups(32)
+	tb := mustTable(t, 3, 100*time.Millisecond, groups)
+	victimGroups := tb.Partition(2)
+
+	beatAll(t, tb, []int{1, 3}, 200*time.Millisecond)
+	taken := tb.Check(200 * time.Millisecond)
+	if len(taken) != len(victimGroups) {
+		t.Fatalf("takeover moved %d groups, want %d", len(taken), len(victimGroups))
+	}
+
+	// The victim rejoins: every one of its groups returns as a handback at
+	// epoch 3 — exactly the groups that moved, nothing else.
+	beatAll(t, tb, []int{1, 2, 3}, 300*time.Millisecond)
+	back := tb.Check(300 * time.Millisecond)
+	if len(back) != len(victimGroups) {
+		t.Fatalf("handback moved %d groups, want %d", len(back), len(victimGroups))
+	}
+	for _, ch := range back {
+		if ch.To != 2 || ch.Kind != Handback || ch.Epoch != 3 {
+			t.Fatalf("handback change %+v; want To=2 kind=handback epoch=3", ch)
+		}
+	}
+}
+
+func TestBeatSnapshotsRideOnlyWithOwnership(t *testing.T) {
+	groups := tierGroups(8)
+	tb := mustTable(t, 2, 100*time.Millisecond, groups)
+	g := tb.Partition(1)[0]
+	snap := []core.SubscriberState{{ID: "s1", Reservation: 10, QueueLimit: 8, Group: g,
+		Balance: qos.Vector{CPUTime: time.Millisecond}}}
+
+	// Owner's snapshot is stored and travels with the takeover.
+	if err := tb.Beat(1, 10*time.Millisecond, map[string][]core.SubscriberState{g: snap}); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	// A non-owner's snapshot for the same group is refused silently.
+	bogus := []core.SubscriberState{{ID: "intruder", Reservation: 1, Group: g}}
+	if err := tb.Beat(2, 20*time.Millisecond, map[string][]core.SubscriberState{g: bogus}); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+
+	if err := tb.Beat(2, 500*time.Millisecond, nil); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	changes := tb.Check(500 * time.Millisecond)
+	var got *Change
+	for i := range changes {
+		if changes[i].Group == g {
+			got = &changes[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("group %s did not move on owner death", g)
+	}
+	if len(got.Snapshot) != 1 || got.Snapshot[0].ID != "s1" {
+		t.Fatalf("takeover snapshot = %+v, want the owner's beat payload", got.Snapshot)
+	}
+}
+
+func TestLeaseValidFencesDeposedEpochs(t *testing.T) {
+	groups := tierGroups(16)
+	tb := mustTable(t, 3, 100*time.Millisecond, groups)
+	g := tb.Partition(2)[0]
+	if !tb.Valid(g, 2, 1) {
+		t.Fatalf("current owner at current epoch rejected")
+	}
+	beatAll(t, tb, []int{1, 3}, 400*time.Millisecond)
+	tb.Check(400 * time.Millisecond)
+	own, _ := tb.Owner(g)
+	if tb.Valid(g, 2, 1) {
+		t.Fatalf("deposed (rdn=2, epoch=1) still valid after takeover")
+	}
+	if tb.Valid(g, own.RDN, own.Epoch-1) {
+		t.Fatalf("stale epoch accepted for the new owner")
+	}
+	if !tb.Valid(g, own.RDN, own.Epoch) {
+		t.Fatalf("new owner at new epoch rejected")
+	}
+	if tb.Valid("no-such-group", 1, 1) {
+		t.Fatalf("unknown group validated")
+	}
+}
+
+func TestTableRejectsBadConfigAndUnknownRDN(t *testing.T) {
+	if _, err := NewTable(Config{RDNs: 0, LeaseInterval: time.Second}, tierGroups(4)); err == nil {
+		t.Fatalf("zero RDNs accepted")
+	}
+	if _, err := NewTable(Config{RDNs: 2, LeaseInterval: 0}, tierGroups(4)); err == nil {
+		t.Fatalf("zero lease interval accepted")
+	}
+	if _, err := NewTable(Config{RDNs: 2, LeaseInterval: time.Second}, nil); err == nil {
+		t.Fatalf("empty group set accepted")
+	}
+	if _, err := NewTable(Config{RDNs: 2, LeaseInterval: time.Second},
+		[]string{"a", "a"}); err == nil {
+		t.Fatalf("duplicate groups accepted")
+	}
+	tb := mustTable(t, 2, time.Second, tierGroups(4))
+	if err := tb.Beat(7, 0, nil); err == nil {
+		t.Fatalf("unknown RDN heartbeat accepted")
+	}
+	// Stale (out-of-order) beats don't rewind the lease.
+	if err := tb.Beat(1, 500*time.Millisecond, nil); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	if err := tb.Beat(1, 100*time.Millisecond, nil); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	live := tb.Live(1400 * time.Millisecond)
+	found := false
+	for _, r := range live {
+		if r == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale beat rewound RDN 1's lease: live=%v", live)
+	}
+}

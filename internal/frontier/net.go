@@ -1,0 +1,212 @@
+package frontier
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gage/internal/core"
+)
+
+// The live deployment hosts the lease table behind a loopback TCP service:
+// gaged runs one Server next to RDN 1, and every front end (including RDN 1
+// itself) talks to it through a Client. The protocol is newline-delimited
+// JSON — one request object per line, one response object back — because
+// the payloads are tiny (heartbeats plus per-group accounting snapshots)
+// and a human can watch the channel with nc during a drill.
+//
+// The server stamps time itself (offset since Serve started), so clients
+// never exchange clocks: the table's lease arithmetic sees one monotonic
+// timeline exactly as it does under the simulator's virtual clock.
+
+type leaseRequest struct {
+	Op    string                            `json:"op"` // beat | check | owner | live | partition
+	RDN   int                               `json:"rdn,omitempty"`
+	Group string                            `json:"group,omitempty"`
+	Snaps map[string][]core.SubscriberState `json:"snaps,omitempty"`
+}
+
+type leaseResponse struct {
+	OK      bool      `json:"ok"`
+	Err     string    `json:"err,omitempty"`
+	Changes []Change  `json:"changes,omitempty"`
+	Owner   Ownership `json:"owner,omitempty"`
+	Live    []int     `json:"live,omitempty"`
+	Groups  []string  `json:"groups,omitempty"`
+}
+
+// Server hosts a lease Table on a listener.
+type Server struct {
+	tb    *Table
+	start time.Time
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a table for network service. Serve must be called to
+// accept connections.
+func NewServer(tb *Table) *Server {
+	return &Server{tb: tb, start: time.Now()}
+}
+
+// Serve accepts connections on l until Close. It blocks; run it in a
+// goroutine. Each connection handles requests sequentially.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("frontier: server closed")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req leaseRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req leaseRequest) leaseResponse {
+	now := time.Since(s.start)
+	switch req.Op {
+	case "beat":
+		if err := s.tb.Beat(req.RDN, now, req.Snaps); err != nil {
+			return leaseResponse{Err: err.Error()}
+		}
+		return leaseResponse{OK: true}
+	case "check":
+		return leaseResponse{OK: true, Changes: s.tb.Check(now)}
+	case "owner":
+		own, ok := s.tb.Owner(req.Group)
+		if !ok {
+			return leaseResponse{Err: fmt.Sprintf("frontier: unknown group %q", req.Group)}
+		}
+		return leaseResponse{OK: true, Owner: own}
+	case "live":
+		return leaseResponse{OK: true, Live: s.tb.Live(now)}
+	case "partition":
+		return leaseResponse{OK: true, Groups: s.tb.Partition(req.RDN)}
+	default:
+		return leaseResponse{Err: fmt.Sprintf("frontier: unknown op %q", req.Op)}
+	}
+}
+
+// Client is one front end's connection to the lease service. Methods are
+// safe for concurrent use; requests serialize on the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a lease server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req leaseRequest) (leaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return leaseResponse{}, err
+	}
+	var resp leaseResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return leaseResponse{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Beat renews the client RDN's lease, carrying accounting snapshots for the
+// groups it owns.
+func (c *Client) Beat(rdn int, snaps map[string][]core.SubscriberState) error {
+	_, err := c.roundTrip(leaseRequest{Op: "beat", RDN: rdn, Snaps: snaps})
+	return err
+}
+
+// Check runs lease expiry on the server and returns any ownership changes.
+func (c *Client) Check() ([]Change, error) {
+	resp, err := c.roundTrip(leaseRequest{Op: "check"})
+	return resp.Changes, err
+}
+
+// Owner returns a group's current ownership.
+func (c *Client) Owner(group string) (Ownership, error) {
+	resp, err := c.roundTrip(leaseRequest{Op: "owner", Group: group})
+	return resp.Owner, err
+}
+
+// Live returns the RDNs with current leases.
+func (c *Client) Live() ([]int, error) {
+	resp, err := c.roundTrip(leaseRequest{Op: "live"})
+	return resp.Live, err
+}
+
+// Partition returns the groups an RDN currently owns.
+func (c *Client) Partition(rdn int) ([]string, error) {
+	resp, err := c.roundTrip(leaseRequest{Op: "partition", RDN: rdn})
+	return resp.Groups, err
+}

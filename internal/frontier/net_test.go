@@ -1,0 +1,125 @@
+package frontier
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gage/internal/core"
+)
+
+// TestLeaseServiceLoopback drives the lease protocol over a real loopback
+// TCP connection: heartbeats with snapshot payloads, a takeover observed by
+// a second client, and fencing reads — the live-path twin of the virtual
+// clock tests in lease_test.go.
+func TestLeaseServiceLoopback(t *testing.T) {
+	tb := mustTable(t, 2, 50*time.Millisecond, tierGroups(8))
+	srv := NewServer(tb)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		_ = srv.Close()
+		wg.Wait()
+	}()
+
+	c1, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c1.Close()
+	c2, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c2.Close()
+
+	g := tb.Partition(1)[0]
+	snap := []core.SubscriberState{{ID: "x", Reservation: 5, QueueLimit: 4, Group: g}}
+	if err := c1.Beat(1, map[string][]core.SubscriberState{g: snap}); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	if err := c2.Beat(2, nil); err != nil {
+		t.Fatalf("Beat: %v", err)
+	}
+	live, err := c2.Live()
+	if err != nil {
+		t.Fatalf("Live: %v", err)
+	}
+	if len(live) != 2 {
+		t.Fatalf("live = %v, want both RDNs", live)
+	}
+	own, err := c2.Owner(g)
+	if err != nil {
+		t.Fatalf("Owner: %v", err)
+	}
+	if own.RDN != 1 || own.Epoch != 1 {
+		t.Fatalf("owner = %+v, want RDN 1 epoch 1", own)
+	}
+	if _, err := c2.Owner("no-such-group"); err == nil {
+		t.Fatalf("Owner(unknown) succeeded")
+	}
+	if err := c1.Beat(9, nil); err == nil {
+		t.Fatalf("Beat(unknown rdn) succeeded")
+	}
+
+	// RDN 1 goes silent past the lease; RDN 2 keeps beating and then runs
+	// the expiry check. Its client must see the takeover with the snapshot
+	// RDN 1 last reported.
+	deadline := time.Now().Add(5 * time.Second)
+	var changes []Change
+	for time.Now().Before(deadline) {
+		if err := c2.Beat(2, nil); err != nil {
+			t.Fatalf("Beat: %v", err)
+		}
+		changes, err = c2.Check()
+		if err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+		if len(changes) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if want := len(tb.Partition(2)) - len(mustPartitionOf(t, tb, 2, changes)); len(changes) == 0 {
+		t.Fatalf("no takeover observed before deadline (want %d groups to move)", want)
+	}
+	for _, ch := range changes {
+		if ch.From != 1 || ch.To != 2 || ch.Kind != Takeover || ch.Epoch != 2 {
+			t.Fatalf("change %+v; want From=1 To=2 takeover epoch=2", ch)
+		}
+		if ch.Group == g {
+			if len(ch.Snapshot) != 1 || ch.Snapshot[0].ID != "x" {
+				t.Fatalf("takeover snapshot = %+v, want heartbeat payload", ch.Snapshot)
+			}
+		}
+	}
+	groups, err := c2.Partition(2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if len(groups) != 8 {
+		t.Fatalf("after takeover RDN 2 owns %d of 8 groups", len(groups))
+	}
+}
+
+// mustPartitionOf exists only to keep the failure message above honest; it
+// returns the groups among changes that moved to rdn.
+func mustPartitionOf(t *testing.T, tb *Table, rdn int, changes []Change) []string {
+	t.Helper()
+	var out []string
+	for _, ch := range changes {
+		if ch.To == rdn {
+			out = append(out, ch.Group)
+		}
+	}
+	return out
+}

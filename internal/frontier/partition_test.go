@@ -1,0 +1,119 @@
+package frontier
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func tierGroups(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tier%02d", i)
+	}
+	return out
+}
+
+// TestPartitionGoldenDistribution pins the exact partition map for the
+// canonical 32-group / 3-RDN configuration (the hierarchical stress cast) and
+// asserts the balance bound the salt was tuned for: no RDN deviates from the
+// ideal share by more than 5% of the population. Changing partitionSalt (or
+// the hash) reshuffles every deployment's partition map, so it must show up
+// here as a conscious golden update.
+func TestPartitionGoldenDistribution(t *testing.T) {
+	p, err := NewPartitioner(3)
+	if err != nil {
+		t.Fatalf("NewPartitioner: %v", err)
+	}
+	got := p.Assign(tierGroups(32))
+	want := map[int][]string{
+		1: {"tier02", "tier04", "tier07", "tier11", "tier14", "tier15", "tier19", "tier20", "tier25", "tier28", "tier31"},
+		2: {"tier00", "tier01", "tier03", "tier05", "tier10", "tier16", "tier17", "tier22", "tier24", "tier27", "tier29"},
+		3: {"tier06", "tier08", "tier09", "tier12", "tier13", "tier18", "tier21", "tier23", "tier26", "tier30"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("partition map changed:\n got  %v\n want %v", got, want)
+	}
+	ideal := 32.0 / 3.0
+	for r, gs := range got {
+		if dev := float64(len(gs)) - ideal; dev > 1.6 || dev < -1.6 {
+			t.Fatalf("RDN %d owns %d of 32 groups; imbalance %.1f%% exceeds 5%%",
+				r, len(gs), 100*(dev/32))
+		}
+	}
+}
+
+// TestPartitionRemovalMovesOnlyOwnedGroups checks the rendezvous-hash
+// minimal-disruption property the failover protocol depends on: dropping one
+// RDN from the candidate set re-homes exactly the groups it owned. Every
+// other group keeps its owner, so a takeover's blast radius is the dead
+// front end's partition and nothing else.
+func TestPartitionRemovalMovesOnlyOwnedGroups(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		p, err := NewPartitioner(n)
+		if err != nil {
+			t.Fatalf("NewPartitioner(%d): %v", n, err)
+		}
+		groups := tierGroups(64)
+		for dead := 1; dead <= n; dead++ {
+			live := make([]int, 0, n-1)
+			for _, r := range p.RDNs() {
+				if r != dead {
+					live = append(live, r)
+				}
+			}
+			for _, g := range groups {
+				owner := p.Owner(g)
+				after := p.OwnerAmong(g, live)
+				if owner != dead && after != owner {
+					t.Fatalf("n=%d kill=%d: group %s moved %d→%d though its owner survived",
+						n, dead, g, owner, after)
+				}
+				if owner == dead && after == dead {
+					t.Fatalf("n=%d kill=%d: group %s still assigned to the dead RDN", n, dead, g)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionOwnerDeterministicAndTotal(t *testing.T) {
+	p, err := NewPartitioner(4)
+	if err != nil {
+		t.Fatalf("NewPartitioner: %v", err)
+	}
+	for _, g := range tierGroups(40) {
+		first := p.Owner(g)
+		if first < 1 || first > 4 {
+			t.Fatalf("Owner(%s) = %d, outside 1..4", g, first)
+		}
+		for i := 0; i < 3; i++ {
+			if got := p.Owner(g); got != first {
+				t.Fatalf("Owner(%s) not deterministic: %d then %d", g, first, got)
+			}
+		}
+		if got := p.OwnerAmong(g, p.RDNs()); got != first {
+			t.Fatalf("OwnerAmong(all) = %d, Owner = %d", got, first)
+		}
+	}
+	if got := p.OwnerAmong("tier00", nil); got != 0 {
+		t.Fatalf("OwnerAmong(empty live set) = %d, want 0", got)
+	}
+	if _, err := NewPartitioner(0); err == nil {
+		t.Fatalf("NewPartitioner(0) succeeded")
+	}
+	if _, err := NewPartitioner(-2); err == nil {
+		t.Fatalf("NewPartitioner(-2) succeeded")
+	}
+	// Degenerate single-RDN tier: everything homes to RDN 1 — the
+	// configuration whose goldens must match the pre-frontier pipeline.
+	solo, err := NewPartitioner(1)
+	if err != nil {
+		t.Fatalf("NewPartitioner(1): %v", err)
+	}
+	for _, g := range tierGroups(16) {
+		if got := solo.Owner(g); got != 1 {
+			t.Fatalf("single-RDN Owner(%s) = %d, want 1", g, got)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package frontier_test
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates skip under it because instrumentation changes allocation counts.
+const raceEnabled = false

@@ -120,6 +120,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		cfg.ConnTTL = 60 * time.Second
 	}
 
+	// core.New tolerates an empty directory for recovering front ends, but
+	// a simulated system with no subscribers is a misconfiguration.
+	if len(cfg.Subscribers) == 0 {
+		return nil, errors.New("splice: at least one subscriber required")
+	}
 	dir, err := qos.NewDirectory(cfg.Subscribers)
 	if err != nil {
 		return nil, err

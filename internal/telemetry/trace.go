@@ -87,6 +87,18 @@ const (
 	OutcomeDrainAbort Outcome = "drain-abort"
 	// OutcomeClientGone is a relayed response the client hung up on.
 	OutcomeClientGone Outcome = "client-gone"
+	// OutcomeNotOwned is a request for a tenant group this front end does
+	// not own in the multi-RDN tier (503; the client should retry against
+	// the group's owner).
+	OutcomeNotOwned Outcome = "not-owned"
+	// OutcomeFenced is a dispatch refused at relay because the front end
+	// was deposed (lost the group's lease epoch) between the scheduling
+	// decision and the splice; the charge was reclaimed.
+	OutcomeFenced Outcome = "fenced"
+	// OutcomeHandedOff is a queued request withdrawn during shutdown because
+	// its tenant group migrated to another front end; it is redispatchable
+	// there, not lost.
+	OutcomeHandedOff Outcome = "handed-off"
 )
 
 // Span is one timestamped lifecycle step.
