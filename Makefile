@@ -1,7 +1,7 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier bench-frontier stress-hier chaos-hier chaos-rdn audit-smoke
+.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier bench-frontier stress-hier chaos-hier chaos-rdn chaos-elastic audit-smoke
 
-verify: build vet lint test race audit-smoke bench-sched bench-hier stress-hier chaos-rdn
+verify: build vet lint test race audit-smoke bench-sched bench-hier stress-hier chaos-rdn chaos-elastic
 
 build:
 	go build ./...
@@ -92,6 +92,17 @@ chaos-hier:
 chaos-rdn:
 	go test -race -run 'TestChaosRDNFailover|TestFrontierLeaseDelayFencing|TestFrontierSingleRDNMatchesRun' \
 		./internal/cluster/
+
+# Elasticity drill under the race detector: the scripted admission plane
+# (mid-run subscriber admit/resize/remove, node add with slow-start ramp,
+# feasibility-gated drain, and a refused infeasible admission) audited to
+# zero violation spans for untouched subscribers, plus run-to-run
+# determinism and the live admin API's property/decoder suites with a
+# short fuzz smoke over the admin JSON decoders.
+chaos-elastic:
+	go test -race -run 'TestElasticityDrill|TestAdmin|TestServeAdmin' \
+		./internal/cluster/ ./internal/dispatch/
+	go test -run '^$$' -fuzz FuzzAdminDecoders -fuzztime 10s ./internal/dispatch/
 
 # Front-end tier scale trajectory: one steady-state tier-wide scheduling
 # cycle (128 subscribers over 32 rendezvous-partitioned groups) at 1, 2 and

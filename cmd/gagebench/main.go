@@ -14,10 +14,11 @@
 //	gagebench hierstress   Zipf stress run over tenant groups (simulator)
 //	gagebench frontier     tier per-cycle cost, 1→3 front ends
 //	gagebench rdnfail      RDN failover drill: kill 1 of 3, audit the blast radius
+//	gagebench elastic      elasticity drill: scripted admit/resize/add/drain under load
 //	gagebench all          everything above
 //
-// With -cycles FILE, hierstress also spills the run's per-cycle log as
-// JSONL, ready for an offline conformance audit:
+// With -cycles FILE, hierstress and elastic also spill the run's per-cycle
+// log as JSONL, ready for an offline conformance audit:
 //
 //	gagebench -cycles /tmp/cycles.jsonl hierstress
 //	gagetrace audit -warmup 2s -window 4s /tmp/cycles.jsonl
@@ -37,9 +38,9 @@ import (
 	"gage/internal/flightrec"
 )
 
-// cyclesPath is where hierstress spills its per-cycle log, and the prefix
-// where rdnfail spills one log per front end (empty = off).
-var cyclesPath = flag.String("cycles", "", "spill cycle logs to this JSONL file (hierstress) or prefix (rdnfail)")
+// cyclesPath is where hierstress and elastic spill their per-cycle log, and
+// the prefix where rdnfail spills one log per front end (empty = off).
+var cyclesPath = flag.String("cycles", "", "spill cycle logs to this JSONL file (hierstress, elastic) or prefix (rdnfail)")
 
 func main() {
 	flag.Parse()
@@ -70,12 +71,13 @@ func run(cmd string) error {
 		"hierstress":  hierstress,
 		"frontier":    frontierBench,
 		"rdnfail":     rdnfail,
+		"elastic":     elastic,
 	}
 	if cmd == "all" {
 		for _, name := range []string{
 			"table1", "table2", "fig3", "fig3r",
 			"table3", "overhead", "scalability", "utilization", "projection", "locality",
-			"sched", "hier", "hierstress", "frontier", "rdnfail",
+			"sched", "hier", "hierstress", "frontier", "rdnfail", "elastic",
 		} {
 			if err := steps[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -199,6 +201,63 @@ func hierstress() error {
 		}
 		fmt.Printf("cycle log: %s (audit with: gagetrace audit -warmup %v -window 4s %s)\n",
 			*cyclesPath, opts.Warmup, *cyclesPath)
+	}
+	fmt.Println()
+	return nil
+}
+
+func elastic() error {
+	fmt.Println("== elasticity drill: scripted admission plane under load ==")
+	var rec *flightrec.Recorder
+	var spill *os.File
+	if *cyclesPath != "" {
+		f, err := os.Create(*cyclesPath)
+		if err != nil {
+			return fmt.Errorf("cycles: %w", err)
+		}
+		spill = f
+		rec = flightrec.NewRecorder(flightrec.Config{RingSize: 256, Spill: f})
+	}
+	res, err := cluster.Run(cluster.ElasticityDrillOptions(rec))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-18s %-8s %-12s %-8s %10s\n",
+		"at", "operation", "subject", "code", "applied", "committed")
+	for _, out := range res.AdmissionLog {
+		subject := string(out.Subscriber)
+		if subject == "" {
+			subject = fmt.Sprintf("node %d", out.Node)
+		}
+		code := out.Decision.Code
+		if out.Err != "" {
+			code = "error"
+		}
+		fmt.Printf("%-6s %-18s %-8s %-12s %-8v %10.0f\n",
+			out.At, out.Kind, subject, code, out.Applied, float64(out.CommittedAfter))
+		if out.Decision.Reason != "" {
+			fmt.Printf("       └─ %s\n", out.Decision.Reason)
+		}
+	}
+	fmt.Printf("%-10s %10s %10s %10s %10s\n",
+		"subscriber", "res GRPS", "offered", "served", "p95")
+	for _, row := range res.Rows {
+		fmt.Printf("%-10s %10.0f %10d %10d %10s\n",
+			row.ID, float64(row.Reservation),
+			row.OfferedReqs, row.ServedReqs, row.P95Latency.Round(time.Millisecond))
+	}
+	fmt.Printf("books: dispatched=%d delivered=%d shed=%d queued=%d orphaned=%d accepted=%d rejected=%d\n",
+		res.DispatchedReqs, res.DeliveredReqs, res.ShedReqs, res.QueuedAtEnd,
+		res.OrphanedReqs, res.AdmissionAccepted, res.AdmissionRejected)
+	if spill != nil {
+		if err := rec.SpillErr(); err != nil {
+			return fmt.Errorf("cycles spill: %w", err)
+		}
+		if err := spill.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("cycle log: %s (audit with: gagetrace audit -warmup %v %s)\n",
+			*cyclesPath, cluster.ElasticityDrillWarmup, *cyclesPath)
 	}
 	fmt.Println()
 	return nil

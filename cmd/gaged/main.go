@@ -35,6 +35,8 @@
 //	  "cycleRingSize": 1024,
 //	  "cycleLog": "/var/log/gage/cycles.jsonl",
 //	  "conformanceWindowMillis": 10000,
+//	  "adminListen": "127.0.0.1:8081",
+//	  "admitHeadroom": 0.9,
 //	  "rdnCount": 3,
 //	  "rdnId": 1,
 //	  "leaseMillis": 1000,
@@ -113,6 +115,13 @@ type fileConfig struct {
 	CycleRingSize           int    `json:"cycleRingSize"`
 	CycleLog                string `json:"cycleLog"`
 	ConformanceWindowMillis int    `json:"conformanceWindowMillis"`
+	// AdminListen serves the admission control plane (/_gage/admin/*) on a
+	// separate listener so operator traffic never competes with client
+	// traffic; empty disables the admin API. AdmitHeadroom caps the
+	// committed-reservation fraction of enabled capacity the admission
+	// policy will grant, in (0, 1]; 0 means the policy default 1.0.
+	AdminListen   string  `json:"adminListen"`
+	AdmitHeadroom float64 `json:"admitHeadroom"`
 }
 
 func main() {
@@ -172,6 +181,22 @@ func run() error {
 			}
 		}()
 		fmt.Printf("gaged: pprof on %s\n", *pprofAddr)
+	}
+	adminAddr, err := parseAdminListen(raw)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *config, err)
+	}
+	if adminAddr != "" {
+		adminLn, err := net.Listen("tcp", adminAddr)
+		if err != nil {
+			return fmt.Errorf("adminListen: %w", err)
+		}
+		go func() {
+			if err := srv.ServeAdmin(adminLn); err != nil {
+				fmt.Fprintln(os.Stderr, "gaged: admin:", err)
+			}
+		}()
+		fmt.Printf("gaged: admin control plane on %s\n", adminLn.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -275,5 +300,19 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	if fc.SlowStartCycles != 0 {
 		cfg.Breaker.SlowStart = fc.SlowStartCycles
 	}
+	if fc.AdmitHeadroom < 0 || fc.AdmitHeadroom > 1 {
+		return dispatch.Config{}, fmt.Errorf("admitHeadroom must be in [0, 1] (got %v)", fc.AdmitHeadroom)
+	}
+	cfg.AdmitHeadroom = fc.AdmitHeadroom
 	return cfg, nil
+}
+
+// parseAdminListen extracts the admin control-plane listener address; empty
+// means the admin API is disabled.
+func parseAdminListen(raw []byte) (string, error) {
+	var fc fileConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		return "", err
+	}
+	return fc.AdminListen, nil
 }

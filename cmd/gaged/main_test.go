@@ -251,6 +251,48 @@ func TestParseConfigRejectsNegativeKnobs(t *testing.T) {
 	}
 }
 
+func TestParseConfigAdminKnobs(t *testing.T) {
+	cfg, err := parseConfig([]byte(`{
+	  "subscribers":[{"id":"a"}],
+	  "backends":[{"id":1,"addr":"x"}],
+	  "admitHeadroom": 0.85
+	}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.AdmitHeadroom != 0.85 {
+		t.Errorf("admitHeadroom = %v, want 0.85", cfg.AdmitHeadroom)
+	}
+
+	cfg, err = parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}]}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.AdmitHeadroom != 0 {
+		t.Errorf("unset admitHeadroom must stay zero (policy default applies): %v", cfg.AdmitHeadroom)
+	}
+
+	for _, bad := range []string{"-0.1", "1.5"} {
+		raw := fmt.Sprintf(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],"admitHeadroom":%s}`, bad)
+		if _, err := parseConfig([]byte(raw)); err == nil {
+			t.Errorf("admitHeadroom=%s accepted, want error", bad)
+		} else if !strings.Contains(err.Error(), "admitHeadroom") {
+			t.Errorf("admitHeadroom error %q does not name the field", err)
+		}
+	}
+
+	addr, err := parseAdminListen([]byte(`{"adminListen":"127.0.0.1:8081"}`))
+	if err != nil {
+		t.Fatalf("parseAdminListen: %v", err)
+	}
+	if addr != "127.0.0.1:8081" {
+		t.Errorf("adminListen = %q, want 127.0.0.1:8081", addr)
+	}
+	if addr, _ := parseAdminListen([]byte(`{}`)); addr != "" {
+		t.Errorf("unset adminListen = %q, want empty (admin API off)", addr)
+	}
+}
+
 func TestParseTier(t *testing.T) {
 	cases := []struct {
 		name    string

@@ -1,0 +1,147 @@
+// Package admitctl is the admission-control policy for online reservation
+// changes: accept a new or grown guarantee only if the cluster can still
+// honor every existing one.
+//
+// The feasibility test is the paper's capacity-planning inequality run
+// online. Each enabled node contributes its capacity vector; the cluster's
+// sustainable GRPS is the minimum over the three resources of
+// Σ capacity_r / genericCost_r — the binding resource caps how many generic
+// requests per second the pool can absorb. A change is feasible iff the
+// committed reservations after the change fit under that rate, scaled by a
+// configurable headroom fraction (committing 100% of physical capacity
+// leaves no slack for prediction error or spare traffic, so operators may
+// hold some back).
+//
+// The policy is pure arithmetic over snapshots the scheduler already
+// maintains (core.TotalReservation, core.EnabledCapacity), so the dispatcher
+// and the simulator share it verbatim, and a rejection never mutates
+// anything — the caller simply declines the operation and reports the
+// structured Decision.
+package admitctl
+
+import (
+	"fmt"
+
+	"gage/internal/qos"
+)
+
+// Decision codes carried by Decision.Code. Stable strings: they cross the
+// admin API as JSON and land in flight-recorder annotations.
+const (
+	CodeAccepted   = "accepted"
+	CodeInfeasible = "infeasible"
+	CodeInvalid    = "invalid"
+)
+
+// Config tunes the policy. The zero value is ready to use.
+type Config struct {
+	// Headroom is the fraction of enabled capacity that reservations may
+	// commit, in (0, 1]. 0 selects the default 1.0 — commit up to the full
+	// physical rate, the paper's provisioning assumption.
+	Headroom float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Headroom <= 0 || c.Headroom > 1 {
+		c.Headroom = 1
+	}
+	return c
+}
+
+// Decision is the structured outcome of one feasibility evaluation. It holds
+// every number the verdict was computed from, so a rejected tenant (or an
+// operator reading the audit stream) can see exactly which wall was hit.
+type Decision struct {
+	Accepted bool   `json:"accepted"`
+	Code     string `json:"code"`
+	Reason   string `json:"reason,omitempty"`
+
+	// Requested is the reservation delta evaluated (negative for shrinks).
+	Requested qos.GRPS `json:"requestedGRPS"`
+	// Committed is the cluster-wide reservation total before the change.
+	Committed qos.GRPS `json:"committedGRPS"`
+	// Capacity is the sustainable GRPS of the enabled pool after headroom.
+	Capacity qos.GRPS `json:"capacityGRPS"`
+	// Binding names the resource that limits Capacity ("cpu", "disk" or
+	// "net") — the dimension a rejected tenant would need more of.
+	Binding string `json:"binding,omitempty"`
+}
+
+// CapacityGRPS converts an aggregate capacity vector into the sustainable
+// generic-request rate and the binding resource: the minimum over resources
+// of capacity_r / genericCost_r. The dual of Vector.GenericUnits — usage
+// counts by its dominant resource, capacity by its scarcest.
+func CapacityGRPS(capacity qos.Vector) (qos.GRPS, string) {
+	cpu := float64(capacity.CPUTime) / float64(qos.GenericCPUTime)
+	disk := float64(capacity.DiskTime) / float64(qos.GenericDiskTime)
+	net := float64(capacity.NetBytes) / float64(qos.GenericNetBytes)
+	grps, binding := cpu, "cpu"
+	if disk < grps {
+		grps, binding = disk, "disk"
+	}
+	if net < grps {
+		grps, binding = net, "net"
+	}
+	if grps < 0 {
+		grps = 0
+	}
+	return qos.GRPS(grps), binding
+}
+
+// Evaluate decides whether changing the committed reservation total by delta
+// is feasible against the given enabled capacity. Shrinks and deletes
+// (delta ≤ 0) are always feasible — giving capacity back cannot break a
+// guarantee, and an already-overcommitted cluster (e.g. after a node crash)
+// must still be allowed to shed load.
+func Evaluate(cfg Config, committed, delta qos.GRPS, capacity qos.Vector) Decision {
+	cfg = cfg.withDefaults()
+	capGRPS, binding := CapacityGRPS(capacity)
+	capGRPS = qos.GRPS(float64(capGRPS) * cfg.Headroom)
+	d := Decision{
+		Requested: delta,
+		Committed: committed,
+		Capacity:  capGRPS,
+		Binding:   binding,
+	}
+	switch {
+	case delta < 0 && committed+delta < 0:
+		d.Code = CodeInvalid
+		d.Reason = fmt.Sprintf("shrink of %v GRPS exceeds the committed total %v", -delta, committed)
+	case delta <= 0:
+		d.Accepted = true
+		d.Code = CodeAccepted
+	case committed+delta > capGRPS:
+		d.Code = CodeInfeasible
+		d.Reason = fmt.Sprintf(
+			"committed %v GRPS + requested %v exceeds %v-bound capacity %v; honoring existing guarantees forbids the grant",
+			committed, delta, binding, capGRPS)
+	default:
+		d.Accepted = true
+		d.Code = CodeAccepted
+	}
+	return d
+}
+
+// NodeRemovalFeasible decides whether draining or retiring a node of the
+// given capacity still leaves every committed guarantee honorable: the same
+// inequality with the pool shrunk to enabled − leaving.
+func NodeRemovalFeasible(cfg Config, committed qos.GRPS, enabled, leaving qos.Vector) Decision {
+	cfg = cfg.withDefaults()
+	capGRPS, binding := CapacityGRPS(enabled.Sub(leaving).ClampNonNegative())
+	capGRPS = qos.GRPS(float64(capGRPS) * cfg.Headroom)
+	d := Decision{
+		Committed: committed,
+		Capacity:  capGRPS,
+		Binding:   binding,
+	}
+	if committed > capGRPS {
+		d.Code = CodeInfeasible
+		d.Reason = fmt.Sprintf(
+			"removing the node leaves %v-bound capacity %v below the committed %v GRPS",
+			binding, capGRPS, committed)
+		return d
+	}
+	d.Accepted = true
+	d.Code = CodeAccepted
+	return d
+}

@@ -1,0 +1,107 @@
+package admitctl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gage/internal/qos"
+)
+
+// cap100 is a pool that sustains exactly 100 generic requests per second on
+// every resource.
+func cap100() qos.Vector { return qos.GenericCost().Scale(100) }
+
+func TestCapacityGRPSBindingResource(t *testing.T) {
+	if g, b := CapacityGRPS(cap100()); g != 100 || b != "cpu" {
+		t.Fatalf("balanced pool: got %v GRPS bound by %q, want 100 by cpu (tie breaks to cpu)", g, b)
+	}
+	// Starve one dimension at a time; the starved resource must bind.
+	v := cap100()
+	v.DiskTime = 10 * qos.GenericDiskTime
+	if g, b := CapacityGRPS(v); g != 10 || b != "disk" {
+		t.Fatalf("disk-starved pool: got %v by %q, want 10 by disk", g, b)
+	}
+	v = cap100()
+	v.NetBytes = 5 * qos.GenericNetBytes
+	if g, b := CapacityGRPS(v); g != 5 || b != "net" {
+		t.Fatalf("net-starved pool: got %v by %q, want 5 by net", g, b)
+	}
+	if g, _ := CapacityGRPS(qos.Vector{CPUTime: -time.Second}); g != 0 {
+		t.Fatalf("negative capacity: got %v, want floor at 0", g)
+	}
+}
+
+func TestEvaluateAcceptsWithinCapacity(t *testing.T) {
+	d := Evaluate(Config{}, 60, 40, cap100())
+	if !d.Accepted || d.Code != CodeAccepted {
+		t.Fatalf("exact fit rejected: %+v", d)
+	}
+	if d.Committed != 60 || d.Requested != 40 || d.Capacity != 100 {
+		t.Fatalf("decision numbers wrong: %+v", d)
+	}
+}
+
+func TestEvaluateRejectsInfeasibleWithStructuredReason(t *testing.T) {
+	d := Evaluate(Config{}, 60, 41, cap100())
+	if d.Accepted || d.Code != CodeInfeasible {
+		t.Fatalf("over-capacity grant accepted: %+v", d)
+	}
+	if d.Binding != "cpu" {
+		t.Fatalf("binding = %q, want cpu", d.Binding)
+	}
+	for _, frag := range []string{"60", "41", "cpu", "100"} {
+		if !strings.Contains(d.Reason, frag) {
+			t.Fatalf("reason %q omits %q — the rejected tenant cannot see which wall it hit", d.Reason, frag)
+		}
+	}
+}
+
+func TestEvaluateShrinksAlwaysFeasible(t *testing.T) {
+	// Even against an overcommitted pool (post-crash), shedding load passes.
+	d := Evaluate(Config{}, 200, -50, cap100())
+	if !d.Accepted {
+		t.Fatalf("shrink rejected on an overcommitted pool: %+v", d)
+	}
+	// Deleting more than exists is the caller's arithmetic bug, not a grant.
+	d = Evaluate(Config{}, 30, -31, cap100())
+	if d.Accepted || d.Code != CodeInvalid {
+		t.Fatalf("impossible shrink accepted: %+v", d)
+	}
+}
+
+func TestEvaluateHeadroom(t *testing.T) {
+	// 80% headroom on a 100-GRPS pool commits at most 80.
+	d := Evaluate(Config{Headroom: 0.8}, 70, 10, cap100())
+	if !d.Accepted {
+		t.Fatalf("fit under headroom rejected: %+v", d)
+	}
+	d = Evaluate(Config{Headroom: 0.8}, 70, 11, cap100())
+	if d.Accepted {
+		t.Fatalf("grant past headroom accepted: %+v", d)
+	}
+	if d.Capacity != 80 {
+		t.Fatalf("headroom capacity = %v, want 80", d.Capacity)
+	}
+	// Out-of-range headroom falls back to 1.0.
+	if d := Evaluate(Config{Headroom: 7}, 0, 100, cap100()); !d.Accepted {
+		t.Fatalf("default headroom: %+v", d)
+	}
+}
+
+func TestNodeRemovalFeasible(t *testing.T) {
+	one := qos.GenericCost().Scale(50)
+	pool := cap100()
+	// 40 committed, removing 50 GRPS of capacity leaves 50 — fine.
+	if d := NodeRemovalFeasible(Config{}, 40, pool, one); !d.Accepted {
+		t.Fatalf("feasible removal rejected: %+v", d)
+	}
+	// 60 committed, removal leaves 50 — the guarantees no longer fit.
+	d := NodeRemovalFeasible(Config{}, 60, pool, one)
+	if d.Accepted || d.Code != CodeInfeasible {
+		t.Fatalf("infeasible removal accepted: %+v", d)
+	}
+	if d.Capacity != 50 || !strings.Contains(d.Reason, "60") {
+		t.Fatalf("removal decision numbers wrong: %+v", d)
+	}
+}

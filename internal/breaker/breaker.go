@@ -149,6 +149,15 @@ func New(cfg Config) *Breaker {
 	return &Breaker{cfg: cfg, state: Closed, ramp: cfg.SlowStart}
 }
 
+// NewRamping builds a closed breaker at the bottom of its slow-start ramp —
+// weight 1/(SlowStart+1), climbing one step per Tick to full. A node added to
+// a live pool joins through this constructor so scale-out hands it a growing
+// fraction of its capacity instead of a thundering herd, exactly as if it had
+// just recovered.
+func NewRamping(cfg Config) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), state: Closed}
+}
+
 // State returns the current state.
 func (b *Breaker) State() State {
 	b.mu.Lock()

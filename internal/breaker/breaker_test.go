@@ -221,3 +221,38 @@ func TestSnapshotReportsStreaks(t *testing.T) {
 		t.Fatalf("snapshot weight=%v, want 1", snap.Weight)
 	}
 }
+
+// TestNewRampingJoinsAtRampBottom is the scale-out contract: a node added to
+// a live pool starts Closed at the first slow-start step and climbs one step
+// per Tick to full weight — never 0 (it must take some traffic immediately)
+// and never 1 (no thundering herd on join).
+func TestNewRampingJoinsAtRampBottom(t *testing.T) {
+	b := NewRamping(Config{SlowStart: 4})
+	if b.State() != Closed {
+		t.Fatalf("state=%v, want closed", b.State())
+	}
+	if !b.Allow(t0) {
+		t.Fatal("ramping breaker refused a relay")
+	}
+	want := 1.0 / 5.0
+	for step := 0; step <= 6; step++ {
+		if w := b.Weight(); math.Abs(w-want) > 1e-12 {
+			t.Fatalf("tick %d: weight=%v, want %v", step, w, want)
+		}
+		b.Tick(at(time.Duration(step) * time.Second))
+		if want < 1 {
+			want += 1.0 / 5.0
+		}
+		if want > 1 {
+			want = 1
+		}
+	}
+	if w := b.Weight(); w != 1 {
+		t.Fatalf("weight=%v after ramp, want 1", w)
+	}
+	// Ramping breakers share the normal trip machinery.
+	trip(t, b, Relay, t0)
+	if b.State() != Open {
+		t.Fatalf("state=%v after relay trip, want open", b.State())
+	}
+}

@@ -8,6 +8,7 @@ package classify
 
 import (
 	"strings"
+	"sync"
 
 	"gage/internal/qos"
 )
@@ -103,4 +104,51 @@ func (cs Chain) Classify(host, path string) (qos.SubscriberID, bool) {
 		}
 	}
 	return "", false
+}
+
+// DynamicClassifier is a mutable host→subscriber table for elastic
+// deployments: the admin control plane adds a mapping when a tenant is
+// signed and removes it on delete, without rebuilding the directory the rest
+// of the stack reads. Safe for concurrent use; lookups take a read lock
+// only. Typically chained after a HostClassifier so static subscribers keep
+// resolving through the directory.
+type DynamicClassifier struct {
+	mu    sync.RWMutex
+	hosts map[string]qos.SubscriberID
+}
+
+// NewDynamicClassifier returns an empty mutable classifier.
+func NewDynamicClassifier() *DynamicClassifier {
+	return &DynamicClassifier{hosts: make(map[string]qos.SubscriberID)}
+}
+
+var _ Classifier = (*DynamicClassifier)(nil)
+
+// Classify implements Classifier with the same host normalization the
+// directory-backed classifier applies.
+func (c *DynamicClassifier) Classify(host, _ string) (qos.SubscriberID, bool) {
+	c.mu.RLock()
+	id, ok := c.hosts[NormalizeHost(host)]
+	c.mu.RUnlock()
+	return id, ok
+}
+
+// Add maps each host to the subscriber, replacing prior claims.
+func (c *DynamicClassifier) Add(id qos.SubscriberID, hosts ...string) {
+	c.mu.Lock()
+	for _, h := range hosts {
+		c.hosts[NormalizeHost(h)] = id
+	}
+	c.mu.Unlock()
+}
+
+// Remove drops every mapping owned by the subscriber.
+func (c *DynamicClassifier) Remove(id qos.SubscriberID) {
+	c.mu.Lock()
+	for h, owner := range c.hosts {
+		if owner == id {
+			delete(c.hosts, h)
+		}
+	}
+	c.mu.Unlock()
 }

@@ -38,6 +38,10 @@ type acctMsg struct {
 type chaosRun struct {
 	crashed  map[core.NodeID]bool
 	inflight map[core.NodeID]map[uint64]qos.SubscriberID
+	// draining pins a node's scheduler weight at 0 regardless of breaker
+	// state — graceful scale-in must not be undone by a healthy breaker's
+	// ramp on the next accounting tick.
+	draining map[core.NodeID]bool
 
 	dispatched, delivered, reclaimed int
 	balanceViolations                int
@@ -60,6 +64,7 @@ func newChaosRun(nodes []*RPN) *chaosRun {
 	cs := &chaosRun{
 		crashed:  make(map[core.NodeID]bool, len(nodes)),
 		inflight: make(map[core.NodeID]map[uint64]qos.SubscriberID, len(nodes)),
+		draining: make(map[core.NodeID]bool, len(nodes)),
 		breakers: make(map[core.NodeID]*breaker.Breaker, len(nodes)),
 		sendSeq:  make(map[core.NodeID]int, len(nodes)),
 		lastSeq:  make(map[core.NodeID]int, len(nodes)),
@@ -75,6 +80,29 @@ func newChaosRun(nodes []*RPN) *chaosRun {
 		})
 	}
 	return cs
+}
+
+// addNode registers a mid-run node. It enters through a ramping breaker —
+// weight 1/(slowStart+1), climbing one step per accounting tick — so a
+// scale-out joins the pool exactly like a node recovering from a breaker
+// trip rather than being handed a thundering herd.
+func (cs *chaosRun) addNode(r *RPN) {
+	cs.inflight[r.id] = make(map[uint64]qos.SubscriberID)
+	cs.lastSeq[r.id] = -1
+	cs.breakers[r.id] = breaker.NewRamping(breaker.Config{
+		Threshold: unhealthyAfterMissedAcct,
+		SlowStart: slowStartAcctCycles,
+	})
+}
+
+// drain marks a node draining and zeroes its scheduler weight; in-flight
+// accounting keeps settling normally. Returns the node's estimated
+// outstanding load at drain time.
+func (cs *chaosRun) drain(sched *core.Scheduler, node core.NodeID) qos.Vector {
+	cs.draining[node] = true
+	// Known nodes cannot fail to drain.
+	out, _ := sched.DrainNode(node)
+	return out
 }
 
 // track records a dispatch as in flight on its node.
@@ -146,8 +174,12 @@ func (cs *chaosRun) tickAcct(sched *core.Scheduler, node core.NodeID, now time.T
 	cs.applyWeight(sched, node)
 }
 
-// nodeWeight reports the breaker's current scheduler weight for a node.
+// nodeWeight reports the node's current scheduler weight: the breaker's,
+// pinned at 0 while the node drains.
 func (cs *chaosRun) nodeWeight(node core.NodeID) float64 {
+	if cs.draining[node] {
+		return 0
+	}
 	return cs.breakers[node].Weight()
 }
 
@@ -155,7 +187,7 @@ func (cs *chaosRun) nodeWeight(node core.NodeID) float64 {
 // breaker — the single place health changes what the scheduler may dispatch.
 func (cs *chaosRun) applyWeight(sched *core.Scheduler, node core.NodeID) {
 	// Known nodes cannot fail to update.
-	_ = sched.SetNodeWeight(node, cs.breakers[node].Weight())
+	_ = sched.SetNodeWeight(node, cs.nodeWeight(node))
 }
 
 // deliverAcct folds one arriving accounting message into the delta the

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"gage/internal/admitctl"
 	"gage/internal/classify"
 	"gage/internal/core"
 	"gage/internal/faults"
@@ -94,6 +95,17 @@ type Options struct {
 	// identical Result. Event offsets count from the start of the run
 	// (warmup included), like request arrivals.
 	Faults *faults.Plan
+
+	// Admissions, when non-empty, is the deterministic elasticity schedule:
+	// scripted subscriber admissions/resizes/removals and node add/drain
+	// events applied at exact virtual times through the same admitctl policy
+	// the live control plane runs. Event offsets count from the start of the
+	// run (warmup included), like Faults. Same (workload, schedule) ⇒
+	// identical Result and AdmissionLog.
+	Admissions []AdmissionEvent
+	// AdmitHeadroom is the fraction of enabled capacity the admission policy
+	// lets reservations commit, in (0, 1]; 0 selects the policy default 1.0.
+	AdmitHeadroom float64
 
 	// Warmup is excluded from all measurements; Duration is the measured
 	// window after warmup.
@@ -202,15 +214,23 @@ type Result struct {
 	// Whole-run admission counters (warmup included): every classified
 	// arrival either entered a subscriber queue (AdmittedReqs) or was shed
 	// at the queue limit (ShedReqs); QueuedAtEnd is what still waits in
-	// queues when the run stops. Combined with the settlement counters this
-	// closes the books over every offered request:
+	// queues when the run stops, and OrphanedReqs is what a scripted
+	// subscriber removal dropped from its queue. Combined with the
+	// settlement counters this closes the books over every offered request:
 	//
-	//	AdmittedReqs == DispatchedReqs + QueuedAtEnd
-	//	AdmittedReqs + ShedReqs == DeliveredReqs + ReclaimedReqs +
-	//	                           ShedReqs + InflightAtEnd + QueuedAtEnd
+	//	AdmittedReqs == DispatchedReqs + QueuedAtEnd + OrphanedReqs
+	//	AdmittedReqs + ShedReqs == DeliveredReqs + ReclaimedReqs + ShedReqs +
+	//	                           InflightAtEnd + QueuedAtEnd + OrphanedReqs
 	AdmittedReqs int
 	ShedReqs     int
 	QueuedAtEnd  int
+	OrphanedReqs int
+	// AdmissionLog is every scripted admission event's outcome in schedule
+	// order; Accepted/Rejected count applied and refused events. Empty when
+	// the run had no admission schedule.
+	AdmissionLog      []AdmissionOutcome
+	AdmissionAccepted int
+	AdmissionRejected int
 	// NodeWeights samples each node's scheduler admission weight once per
 	// accounting cycle (offsets from the end of warmup; warmup samples are
 	// negative). The overload drill asserts a recovered node's slow-start
@@ -404,7 +424,26 @@ func Run(opts Options) (*Result, error) {
 	}
 	cs := newChaosRun(rpns)
 
-	classifier := classify.NewHostClassifier(dir)
+	// Admitted-at-runtime subscribers resolve through a dynamic classifier
+	// chained after the static directory one; the chain is skipped entirely
+	// when the run has no admission schedule so the steady-state classify
+	// hop stays lock-free.
+	dyn := classify.NewDynamicClassifier()
+	var classifier classify.Classifier = classify.NewHostClassifier(dir)
+	if len(opts.Admissions) > 0 {
+		classifier = classify.Chain{classifier, dyn}
+	}
+	// defsNow tracks each subscriber's current definition through scripted
+	// admissions and resizes; a removed subscriber keeps its final entry so
+	// its result row still assembles.
+	defsNow := make(map[qos.SubscriberID]qos.Subscriber, dir.Len())
+	for _, id := range dir.IDs() {
+		sub, err := dir.Subscriber(id)
+		if err != nil {
+			continue
+		}
+		defsNow[id] = sub
+	}
 	engine := vclock.NewEngine(time.Time{})
 	front := &rdn{model: opts.RDN}
 
@@ -535,12 +574,8 @@ func Run(opts Options) (*Result, error) {
 
 	// Balance clamp floors for the per-tick audit: no balance may ever sit
 	// below −reservation×CreditWindow (tiny slack for Scale rounding).
-	floors := make(map[qos.SubscriberID]qos.Vector, dir.Len())
-	for _, id := range dir.IDs() {
-		sub, err := dir.Subscriber(id)
-		if err != nil {
-			continue
-		}
+	floors := make(map[qos.SubscriberID]qos.Vector, len(defsNow))
+	for id, sub := range defsNow {
 		floors[id] = sub.Reservation.PerCycle(opts.CreditWindow).Neg()
 	}
 
@@ -651,8 +686,9 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 	}
-	for _, r := range rpns {
-		r := r
+	// startAcct begins one RPN's accounting loop; nodes added mid-run get
+	// theirs started at admission time (first tick one cycle later).
+	startAcct := func(r *RPN) {
 		stops = append(stops, engine.Every(opts.AcctCycle, func() {
 			now := engine.Now()
 			// Breaker time advances with the accounting cycle: slow-start
@@ -692,11 +728,68 @@ func Run(opts Options) (*Result, error) {
 			engine.AfterArg(delay, acctHop, a)
 		}))
 	}
+	for _, r := range rpns {
+		startAcct(r)
+	}
 	defer func() {
 		for _, stop := range stops {
 			stop()
 		}
 	}()
+
+	// Scripted admission events fire at their exact virtual times through
+	// the same feasibility policy the live control plane runs.
+	var es *elasticState
+	if len(opts.Admissions) > 0 {
+		es = &elasticState{
+			cfg:          admitctl.Config{Headroom: opts.AdmitHeadroom},
+			sched:        sched,
+			cs:           cs,
+			dyn:          dyn,
+			rec:          opts.Recorder,
+			defsNow:      defsNow,
+			floors:       floors,
+			creditWindow: opts.CreditWindow,
+			ensureSub: func(id qos.SubscriberID) {
+				if series[id] == nil {
+					series[id] = &metrics.Series{}
+				}
+				if observed[id] == nil {
+					observed[id] = &metrics.Series{}
+				}
+				if latHist[id] == nil {
+					latHist[id] = telemetry.NewHistogram()
+				}
+			},
+			nodeByID: func(id core.NodeID) *RPN { return byID[id] },
+		}
+		es.addRPN = func(ev AdmissionEvent) error {
+			if _, dup := byID[ev.Node]; dup {
+				return fmt.Errorf("cluster: duplicate node %d", ev.Node)
+			}
+			speed := ev.NodeSpeed
+			if speed <= 0 {
+				speed = opts.RPNSpeed
+			}
+			r := NewRPN(ev.Node, speed, opts.LinkBandwidth)
+			r.SetOverhead(opts.RPNOverhead)
+			r.SetCache(opts.CacheEntries)
+			cs.addNode(r)
+			if err := sched.AddNode(core.NodeConfig{ID: r.id, Capacity: r.Capacity()}, cs.nodeWeight(r.id)); err != nil {
+				return err
+			}
+			byID[r.id] = r
+			rpns = append(rpns, r)
+			nodeWeights[r.id] = &metrics.Series{}
+			nodeDispatches[r.id] = &metrics.Series{}
+			startAcct(r)
+			return nil
+		}
+		for _, ev := range opts.Admissions {
+			ev := ev
+			engine.At(start.Add(ev.At), func() { es.apply(ev) })
+		}
+	}
 
 	// Utilization is measured over the window only.
 	var rdnBusyAtWindowStart time.Duration
@@ -708,7 +801,7 @@ func Run(opts Options) (*Result, error) {
 
 	// Assemble results.
 	var queuedAtEnd int
-	for _, id := range dir.IDs() {
+	for id := range defsNow {
 		queuedAtEnd += sched.QueueLen(id)
 	}
 	res := &Result{
@@ -727,6 +820,12 @@ func Run(opts Options) (*Result, error) {
 		NodeWeights:       nodeWeights,
 		NodeDispatches:    nodeDispatches,
 	}
+	if es != nil {
+		res.OrphanedReqs = es.orphaned
+		res.AdmissionLog = es.log
+		res.AdmissionAccepted = es.accepted
+		res.AdmissionRejected = es.rejected
+	}
 	if opts.Faults != nil {
 		if fs, fe, ok := opts.Faults.ActiveWindow(); ok {
 			res.Fault = &FaultReport{Start: fs - opts.Warmup, End: fe - opts.Warmup}
@@ -735,8 +834,8 @@ func Run(opts Options) (*Result, error) {
 	sec := opts.Duration.Seconds()
 	var servedReqs int
 	for _, row := range tp.Rows(opts.Duration) {
-		sub, err := dir.Subscriber(row.ID)
-		if err != nil {
+		sub, ok := defsNow[row.ID]
+		if !ok {
 			continue
 		}
 		lats := latencies[row.ID]

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"gage/internal/qos"
+)
+
+// This file is the scheduler's elasticity surface: the control-plane
+// mutations an online admission plane performs against a live scheduler —
+// resizing a subscriber's reservation, growing the node pool, and draining
+// or retiring a node. Subscriber registration itself is AddSubscriber /
+// RemoveSubscriber in scheduler.go; everything here preserves the same
+// invariants those maintain:
+//
+//   - Lazy materialization: a resize of a never-enqueued subscriber touches
+//     only its definition record; the balance it would have accrued is
+//     settled at the OLD rate up to the resize cycle and at the new rate
+//     after, exactly as eager per-tick crediting would have produced.
+//   - Group aggregates: a resize moves the delta through its group's
+//     aggregate reservation, the unit the reservation round's top level
+//     schedules by.
+//   - Dense node indexing: nodes live in nodeList sorted by ID and every
+//     materialized subscriber's estimated/pending arrays are indexed by that
+//     dense position, so growing or shrinking the pool splices a slot into
+//     every such array at the same index, atomically with the reindex.
+
+// ResizeReservation changes a registered subscriber's reservation at
+// runtime. Credit accrued before the resize is settled at the old rate
+// first, so the balance to this cycle is exactly what the old reservation
+// earned; from the next cycle the new rate (and the new ±res×CreditWindow
+// clamp band) applies. The group's aggregate reservation moves by the delta.
+// Queued requests, in-flight charges, and the usage predictor are untouched.
+func (s *Scheduler) ResizeReservation(id qos.SubscriberID, res qos.GRPS) error {
+	if res < 0 {
+		return fmt.Errorf("core: subscriber %q: reservation must not be negative, got %v", id, res)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	def, ok := s.defs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscriber, id)
+	}
+	if def.res == res {
+		return nil
+	}
+	if q, ok := s.subs[id]; ok {
+		// Settle at the old rate up to this cycle, then swap the cached
+		// per-cycle credit and clamp band and re-clamp the balance into the
+		// new ±res×CreditWindow band.
+		s.settleCredit(q)
+		q.res = res
+		q.creditPerCycle = res.PerCycle(s.cfg.Cycle)
+		q.clampLim = res.PerCycle(s.cfg.CreditWindow)
+		q.balance = s.clampBalance(q, q.balance)
+	} else {
+		// Never materialized: materializing later must settle the old-rate
+		// span at the old rate, which lazy settlement cannot split. Pay the
+		// accrued credit into a real queueState now; the subscriber stops
+		// being lazy, which is fine — a resize is a control-plane event.
+		q := s.materialize(id, def)
+		s.settleCredit(q)
+		q.res = res
+		q.creditPerCycle = res.PerCycle(s.cfg.Cycle)
+		q.clampLim = res.PerCycle(s.cfg.CreditWindow)
+		q.balance = s.clampBalance(q, q.balance)
+	}
+	g := def.grp
+	g.aggRes += res - def.res
+	if g.aggRes < 0 {
+		g.aggRes = 0 // float cancellation floor
+	}
+	def.res = res
+	return nil
+}
+
+// AddNode grows the node pool at runtime. The node joins at the given
+// admission weight (clamped to [0, 1]) so a scale-out can start it at the
+// bottom of a slow-start ramp instead of handing it a thundering herd; the
+// caller ramps it to full weight via SetNodeWeight as its breaker climbs.
+// Every materialized subscriber's per-node arrays gain a zero slot at the
+// node's dense index, atomically with the pool reindex and the smooth-WRR
+// recompile, so in-flight accounting on the existing nodes is undisturbed.
+func (s *Scheduler) AddNode(nc NodeConfig, weight float64) error {
+	if nc.Capacity.AnyNegative() || nc.Capacity.IsZero() {
+		return fmt.Errorf("core: node %d: capacity must be positive, got %v", nc.ID, nc.Capacity)
+	}
+	if weight < 0 {
+		weight = 0
+	} else if weight > 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.nodes[nc.ID]; dup {
+		return fmt.Errorf("core: duplicate node %d", nc.ID)
+	}
+	nd := &nodeState{
+		id:       nc.ID,
+		capacity: nc.Capacity,
+		bound:    nc.Capacity.Scale(s.cfg.OutstandingWindow.Seconds()),
+		perCycle: nc.Capacity.Scale(s.cfg.Cycle.Seconds()),
+		weight:   weight,
+	}
+	nd.weightedBound = nd.bound.Scale(weight)
+	i, _ := slices.BinarySearchFunc(s.nodeList, nd, func(a, b *nodeState) int {
+		return cmp.Compare(a.id, b.id)
+	})
+	s.nodes[nc.ID] = nd
+	s.nodeList = append(s.nodeList, nil)
+	copy(s.nodeList[i+1:], s.nodeList[i:])
+	s.nodeList[i] = nd
+	for j := i; j < len(s.nodeList); j++ {
+		s.nodeList[j].idx = j
+	}
+	// Splice a zero slot into every materialized subscriber's per-node
+	// arrays at the same dense index, keeping estimated[idx]/pending[idx]
+	// aligned with the reindexed pool.
+	for _, q := range s.subs {
+		if q.estimated == nil {
+			continue
+		}
+		q.estimated = append(q.estimated, qos.Vector{})
+		copy(q.estimated[i+1:], q.estimated[i:])
+		q.estimated[i] = qos.Vector{}
+		q.pending = append(q.pending, pendQ{})
+		copy(q.pending[i+1:], q.pending[i:])
+		q.pending[i] = pendQ{}
+	}
+	s.compileWRR()
+	return nil
+}
+
+// DrainNode stops offering new work to a node (weight 0) while its in-flight
+// accounting keeps settling normally — graceful scale-in, as opposed to the
+// crash-path weight drop the breakers drive. It returns the node's estimated
+// outstanding load at drain time so the caller can poll for the drain to
+// complete before retiring the node with RemoveNode.
+func (s *Scheduler) DrainNode(id NodeID) (qos.Vector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[id]
+	if !ok {
+		return qos.Vector{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if nd.weight != 0 {
+		nd.weight = 0
+		nd.weightedBound = qos.Vector{}
+		s.compileWRR()
+	}
+	return nd.outstanding, nil
+}
+
+// RemoveNode retires a node from the pool. Any charge still estimated
+// against it is released from the owning subscribers (their in-flight totals
+// shrink accordingly — requests genuinely still running there will never be
+// reported, so holding the charge would leak it forever), every materialized
+// subscriber's per-node arrays drop the node's dense slot, and the pool is
+// reindexed and the smooth-WRR table recompiled. Drain first for a graceful
+// retirement.
+func (s *Scheduler) RemoveNode(id NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	i := nd.idx
+	for _, q := range s.subs {
+		if q.estimated == nil {
+			continue
+		}
+		if est := q.estimated[i]; !est.IsZero() {
+			q.estTotal = q.estTotal.Sub(est)
+		}
+		copy(q.estimated[i:], q.estimated[i+1:])
+		q.estimated = q.estimated[:len(q.estimated)-1]
+		copy(q.pending[i:], q.pending[i+1:])
+		q.pending[len(q.pending)-1] = pendQ{}
+		q.pending = q.pending[:len(q.pending)-1]
+	}
+	delete(s.nodes, id)
+	copy(s.nodeList[i:], s.nodeList[i+1:])
+	s.nodeList[len(s.nodeList)-1] = nil
+	s.nodeList = s.nodeList[:len(s.nodeList)-1]
+	for j := i; j < len(s.nodeList); j++ {
+		s.nodeList[j].idx = j
+	}
+	s.compileWRR()
+	return nil
+}
+
+// TotalReservation returns the sum of every registered subscriber's
+// reservation — the cluster's committed guarantee, the number an admission
+// policy holds against capacity. O(groups), off the aggregates the
+// reservation round already maintains.
+func (s *Scheduler) TotalReservation() qos.GRPS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total qos.GRPS
+	for _, g := range s.groups {
+		total += g.aggRes
+	}
+	return total
+}
+
+// EnabledCapacity returns the summed per-second capacity of the nodes
+// currently accepting work (weight > 0). Draining and breaker-disabled
+// nodes contribute nothing: capacity that takes no new work cannot back a
+// new guarantee.
+func (s *Scheduler) EnabledCapacity() qos.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total qos.Vector
+	for _, nd := range s.nodeList {
+		if nd.weight > 0 {
+			total = total.Add(nd.capacity)
+		}
+	}
+	return total
+}
+
+// NodeCapacity returns a node's configured per-second capacity.
+func (s *Scheduler) NodeCapacity(id NodeID) (qos.Vector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, ok := s.nodes[id]
+	if !ok {
+		return qos.Vector{}, false
+	}
+	return nd.capacity, true
+}
+
+// Reservation returns a subscriber's current reservation.
+func (s *Scheduler) Reservation(id qos.SubscriberID) (qos.GRPS, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	def, ok := s.defs[id]
+	if !ok {
+		return 0, false
+	}
+	return def.res, true
+}

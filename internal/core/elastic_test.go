@@ -1,0 +1,622 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"gage/internal/flightrec"
+	"gage/internal/qos"
+)
+
+// elasticWorkload drives a fixed, fully deterministic script against a
+// scheduler: bursty enqueues across two tenant groups, ticks, prefix
+// completions with varied usage, and a few cancellations. Both schedulers in
+// the golden equivalence test run exactly this script.
+func elasticWorkload(t *testing.T, s *Scheduler) {
+	t.Helper()
+	subIDs := []qos.SubscriberID{"gold", "silver", "bronze"}
+	inflight := make(map[NodeID][]propEntry)
+	var nextID uint64
+	for cycle := 0; cycle < 40; cycle++ {
+		// Deterministic burst shape: each subscriber enqueues a small,
+		// cycle-dependent count.
+		for si, sub := range subIDs {
+			n := (cycle + si) % 4
+			for i := 0; i < n; i++ {
+				nextID++
+				if err := s.Enqueue(Request{ID: nextID, Subscriber: sub}); err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						nextID--
+						break
+					}
+					t.Fatalf("cycle %d: Enqueue: %v", cycle, err)
+				}
+			}
+		}
+		for _, d := range s.Tick() {
+			inflight[d.Node] = append(inflight[d.Node], propEntry{id: d.Req.ID, sub: d.Req.Subscriber})
+		}
+		// Every third cycle, complete a prefix of each node's in-flight work
+		// at a usage that alternates under- and over-prediction.
+		if cycle%3 == 2 {
+			cost := qos.GenericCost().Scale(0.5 + float64(cycle%5)*0.5)
+			for _, n := range s.Nodes() {
+				work := inflight[n]
+				if len(work) == 0 {
+					continue
+				}
+				c := 1 + len(work)/2
+				rep := UsageReport{Node: n, BySubscriber: make(map[qos.SubscriberID]SubscriberUsage)}
+				for _, e := range work[:c] {
+					u := rep.BySubscriber[e.sub]
+					u.Usage = u.Usage.Add(cost)
+					u.Completed++
+					rep.BySubscriber[e.sub] = u
+					rep.Total = rep.Total.Add(cost)
+				}
+				inflight[n] = work[c:]
+				if err := s.ReportUsage(rep); err != nil {
+					t.Fatalf("cycle %d: ReportUsage: %v", cycle, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyStartEquivalence is the golden equivalence satellite: a scheduler
+// born with an empty directory and an empty node pool, populated entirely
+// through AddNode/AddSubscriber, must produce cycle records bit-identical to
+// one seeded at construction. This is the property the admin control plane
+// rests on — elastic population is not a different scheduler, just a
+// different construction order.
+func TestEmptyStartEquivalence(t *testing.T) {
+	subs := []qos.Subscriber{
+		{ID: "gold", Hosts: []string{"gold.example"}, Reservation: 100, QueueLimit: 32, Group: "acme"},
+		{ID: "silver", Hosts: []string{"silver.example"}, Reservation: 50, QueueLimit: 32, Group: "acme"},
+		{ID: "bronze", Hosts: []string{"bronze.example"}, Reservation: 25, QueueLimit: 32},
+	}
+	nodes := []NodeConfig{
+		{ID: 1, Capacity: nodeCap()},
+		{ID: 2, Capacity: nodeCap()},
+		{ID: 3, Capacity: nodeCap()},
+	}
+
+	attach := func(s *Scheduler) *flightrec.Recorder {
+		rec := flightrec.NewRecorder(flightrec.Config{RingSize: 256})
+		var ticks time.Duration
+		rec.SetClock(func() time.Duration {
+			ticks += 10 * time.Millisecond
+			return ticks
+		})
+		s.SetRecorder(rec)
+		return s.Recorder()
+	}
+
+	seeded := mustScheduler(t, subs, nodes, Config{})
+	seededRec := attach(seeded)
+
+	empty, err := New(mustDirectory(t, nil), nil, Config{})
+	if err != nil {
+		t.Fatalf("New with empty directory and empty node pool: %v", err)
+	}
+	for _, nc := range nodes {
+		if err := empty.AddNode(nc, 1); err != nil {
+			t.Fatalf("AddNode(%d): %v", nc.ID, err)
+		}
+	}
+	for _, sub := range subs {
+		if err := empty.AddSubscriber(sub); err != nil {
+			t.Fatalf("AddSubscriber(%s): %v", sub.ID, err)
+		}
+	}
+	emptyRec := attach(empty)
+
+	elasticWorkload(t, seeded)
+	elasticWorkload(t, empty)
+
+	want := seededRec.Recent(0)
+	got := emptyRec.Recent(0)
+	if len(want) == 0 {
+		t.Fatal("seeded run produced no cycle records")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("record counts differ: seeded %d, empty-start %d", len(want), len(got))
+	}
+	for i := range want {
+		w, err := json.Marshal(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := json.Marshal(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(w) != string(g) {
+			t.Fatalf("cycle record %d diverges:\nseeded:      %s\nempty-start: %s", i, w, g)
+		}
+	}
+}
+
+// TestEmptyNodePoolDispatchesNothing pins the empty-pool semantics the doc
+// comment on New promises: no nodes means an empty smooth-WRR table, so a
+// funded backlog sits queued (not dropped, not dispatched) until AddNode
+// grows the pool.
+func TestEmptyNodePoolDispatchesNothing(t *testing.T) {
+	s, err := New(mustDirectory(t, []qos.Subscriber{{ID: "a", Hosts: []string{"a.example"}, Reservation: 50}}), nil, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Enqueue(Request{ID: i, Subscriber: "a"}); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if d := s.Tick(); len(d) != 0 {
+			t.Fatalf("dispatched %d requests with an empty node pool", len(d))
+		}
+	}
+	if l := s.QueueLen("a"); l != 5 {
+		t.Fatalf("queue length = %d with no nodes, want 5 (nothing dropped)", l)
+	}
+	if err := s.AddNode(NodeConfig{ID: 7, Capacity: nodeCap()}, 1); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	var dispatched int
+	for i := 0; i < 10 && dispatched < 5; i++ {
+		dispatched += len(s.Tick())
+	}
+	if dispatched != 5 {
+		t.Fatalf("dispatched %d of 5 after AddNode", dispatched)
+	}
+	checkSchedulerInvariants(t, s, "after first node joined")
+}
+
+// TestResizeReservationMaterialized checks the settle-at-the-old-rate
+// contract: credit accrued before the resize reflects the old reservation
+// exactly; credit after reflects the new one; and the clamp band switches to
+// ±new×CreditWindow immediately.
+func TestResizeReservationMaterialized(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 10},
+		{ID: "peer", Hosts: []string{"peer.example"}, Reservation: 5},
+	}, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+
+	// Materialize "a" without leaving residue: enqueue then cancel.
+	if err := s.Enqueue(Request{ID: 1, Subscriber: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CancelQueued("a", 1) {
+		t.Fatal("CancelQueued failed")
+	}
+
+	const k = 7
+	for i := 0; i < k; i++ {
+		s.Tick()
+	}
+	oldRate := qos.GRPS(10).PerCycle(s.cfg.Cycle)
+	wantOld := oldRate.Scale(k)
+	if b, _ := s.Balance("a"); b != wantOld {
+		t.Fatalf("pre-resize balance = %+v, want %d cycles at the old rate = %+v", b, k, wantOld)
+	}
+
+	if err := s.ResizeReservation("a", 40); err != nil {
+		t.Fatalf("ResizeReservation: %v", err)
+	}
+	// The settled old-rate balance survives the resize untouched (the new
+	// clamp band is wider, so no re-clamp applies here).
+	if b, _ := s.Balance("a"); b != wantOld {
+		t.Fatalf("balance changed across resize: %+v, want %+v", b, wantOld)
+	}
+	if res, ok := s.Reservation("a"); !ok || res != 40 {
+		t.Fatalf("Reservation = %v, %v; want 40, true", res, ok)
+	}
+	// Group aggregate moved by the delta: default group held 10+5, now 40+5.
+	if agg, ok := s.GroupReservation(""); !ok || agg != 45 {
+		t.Fatalf("group aggregate = %v, %v; want 45, true", agg, ok)
+	}
+
+	const m = 3
+	for i := 0; i < m; i++ {
+		s.Tick()
+	}
+	newRate := qos.GRPS(40).PerCycle(s.cfg.Cycle)
+	want := wantOld.Add(newRate.Scale(m))
+	if b, _ := s.Balance("a"); b != want {
+		t.Fatalf("post-resize balance = %+v, want old-rate span + %d cycles at the new rate = %+v", b, m, want)
+	}
+	checkSchedulerInvariants(t, s, "after grow")
+
+	// Shrinking re-clamps immediately: the banked balance cannot exceed the
+	// new ±res×CreditWindow band.
+	if err := s.ResizeReservation("a", 1); err != nil {
+		t.Fatalf("ResizeReservation shrink: %v", err)
+	}
+	lim := qos.GRPS(1).PerCycle(s.cfg.CreditWindow)
+	if b, _ := s.Balance("a"); b != lim {
+		t.Fatalf("post-shrink balance = %+v, want re-clamped to the new ceiling %+v", b, lim)
+	}
+	if agg, _ := s.GroupReservation(""); agg != 6 {
+		t.Fatalf("group aggregate after shrink = %v, want 6", agg)
+	}
+	checkSchedulerInvariants(t, s, "after shrink")
+}
+
+// TestResizeReservationLazy resizes a subscriber that has never carried
+// traffic: the idle span before the resize must settle at the old rate (lazy
+// settlement cannot split a span across two rates, so the resize
+// materializes the subscriber), and accrual after runs at the new rate.
+func TestResizeReservationLazy(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "idle", Hosts: []string{"idle.example"}, Reservation: 100},
+	}, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	if s.Materialized() != 0 {
+		t.Fatalf("Materialized = %d before any traffic, want 0", s.Materialized())
+	}
+
+	const k = 4
+	for i := 0; i < k; i++ {
+		s.Tick()
+	}
+	if err := s.ResizeReservation("idle", 10); err != nil {
+		t.Fatalf("ResizeReservation: %v", err)
+	}
+	if s.Materialized() != 1 {
+		t.Fatal("resize of a lazy subscriber must materialize it")
+	}
+	// Old-rate accrual for k cycles, re-clamped into the new ±10×window band.
+	oldAccrued := qos.GRPS(100).PerCycle(s.cfg.Cycle).Scale(k)
+	lim := qos.GRPS(10).PerCycle(s.cfg.CreditWindow)
+	wantNow := oldAccrued.Min(lim).Max(lim.Neg())
+	if b, _ := s.Balance("idle"); b != wantNow {
+		t.Fatalf("post-resize balance = %+v, want old-rate accrual clamped to the new band = %+v", b, wantNow)
+	}
+
+	const m = 6
+	for i := 0; i < m; i++ {
+		s.Tick()
+	}
+	want := wantNow.Add(qos.GRPS(10).PerCycle(s.cfg.Cycle).Scale(m)).Min(lim)
+	if b, _ := s.Balance("idle"); b != want {
+		t.Fatalf("balance after %d new-rate cycles = %+v, want %+v", m, b, want)
+	}
+	checkSchedulerInvariants(t, s, "lazy resize settled")
+}
+
+func TestResizeReservationErrors(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 10},
+	}, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	if err := s.ResizeReservation("a", -1); err == nil {
+		t.Error("negative reservation accepted")
+	}
+	if err := s.ResizeReservation("ghost", 5); !errors.Is(err, ErrUnknownSubscriber) {
+		t.Errorf("unknown subscriber: got %v, want ErrUnknownSubscriber", err)
+	}
+	// A no-op resize must not materialize a lazy subscriber.
+	if err := s.ResizeReservation("a", 10); err != nil {
+		t.Fatalf("no-op resize: %v", err)
+	}
+	if s.Materialized() != 0 {
+		t.Error("no-op resize materialized a lazy subscriber")
+	}
+}
+
+// TestAddNodeSplicesDenseIndex grows the pool while charges are in flight on
+// nodes whose dense indices shift: node 2 lands between existing nodes 1 and
+// 3, so every materialized subscriber's estimated/pending arrays must gain a
+// zero slot at index 1 in lockstep with the reindex, or per-node accounting
+// silently crosses wires.
+func TestAddNodeSplicesDenseIndex(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 100, QueueLimit: 64},
+	}, []NodeConfig{
+		{ID: 1, Capacity: nodeCap()},
+		{ID: 3, Capacity: nodeCap()},
+	}, Config{})
+
+	inflight := make(map[NodeID][]propEntry)
+	var nextID uint64
+	for burst := 0; burst < 4; burst++ {
+		for i := 0; i < 4; i++ {
+			nextID++
+			if err := s.Enqueue(Request{ID: nextID, Subscriber: "a"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, d := range s.Tick() {
+			inflight[d.Node] = append(inflight[d.Node], propEntry{id: d.Req.ID, sub: d.Req.Subscriber})
+		}
+	}
+	if len(inflight[1]) == 0 || len(inflight[3]) == 0 {
+		t.Fatalf("want in-flight work on both nodes before the splice, got %d/%d",
+			len(inflight[1]), len(inflight[3]))
+	}
+
+	if err := s.AddNode(NodeConfig{ID: 2, Capacity: nodeCap()}, 1); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	checkSchedulerInvariants(t, s, "after mid-flight AddNode")
+	wantNodes := []NodeID{1, 2, 3}
+	got := s.Nodes()
+	for i, id := range wantNodes {
+		if got[i] != id {
+			t.Fatalf("Nodes() = %v, want %v", got, wantNodes)
+		}
+	}
+
+	// Settle the pre-splice charges by exact completion on their original
+	// nodes: if the splice misaligned the dense index, these releases would
+	// hit the wrong slots and the invariant check below would catch it.
+	for _, n := range []NodeID{1, 3} {
+		rep := UsageReport{Node: n, BySubscriber: make(map[qos.SubscriberID]SubscriberUsage)}
+		for range inflight[n] {
+			u := rep.BySubscriber["a"]
+			u.Usage = u.Usage.Add(qos.GenericCost())
+			u.Completed++
+			rep.BySubscriber["a"] = u
+		}
+		if err := s.ReportUsage(rep); err != nil {
+			t.Fatalf("ReportUsage(%d): %v", n, err)
+		}
+	}
+	checkSchedulerInvariants(t, s, "pre-splice charges settled")
+	for _, n := range wantNodes {
+		if out, _ := s.Outstanding(n); !out.IsZero() {
+			t.Errorf("node %d outstanding %+v after settlement, want zero", n, out)
+		}
+	}
+
+	// The new node takes work: drive more traffic and require node 2 to
+	// appear in the dispatch mix.
+	sawNew := false
+	for burst := 0; burst < 8 && !sawNew; burst++ {
+		for i := 0; i < 4; i++ {
+			nextID++
+			if err := s.Enqueue(Request{ID: nextID, Subscriber: "a"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, d := range s.Tick() {
+			if d.Node == 2 {
+				sawNew = true
+			}
+		}
+	}
+	if !sawNew {
+		t.Error("added node never received a dispatch at weight 1")
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 10},
+	}, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{})
+	if err := s.AddNode(NodeConfig{ID: 1, Capacity: nodeCap()}, 1); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if err := s.AddNode(NodeConfig{ID: 2}, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	// Admission weight clamps to [0, 1]; a ramp-bottom join holds weight 0
+	// until the caller ramps it.
+	if err := s.AddNode(NodeConfig{ID: 3, Capacity: nodeCap()}, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := s.NodeWeight(3); w != 1 {
+		t.Errorf("weight = %v after clamp, want 1", w)
+	}
+	if err := s.AddNode(NodeConfig{ID: 4, Capacity: nodeCap()}, -0.5); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := s.NodeWeight(4); w != 0 {
+		t.Errorf("weight = %v after clamp, want 0", w)
+	}
+	if s.NodeEnabled(4) {
+		t.Error("weight-0 join must not receive dispatches")
+	}
+}
+
+// TestDrainNode verifies graceful scale-in: a drained node stops receiving
+// new work immediately, its in-flight accounting settles normally, and
+// RemoveNode afterwards leaves no residue.
+func TestDrainNode(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 100, QueueLimit: 64},
+	}, []NodeConfig{
+		{ID: 1, Capacity: nodeCap()},
+		{ID: 2, Capacity: nodeCap()},
+	}, Config{})
+
+	inflight := make(map[NodeID][]propEntry)
+	var nextID uint64
+	for burst := 0; burst < 4; burst++ {
+		for i := 0; i < 4; i++ {
+			nextID++
+			if err := s.Enqueue(Request{ID: nextID, Subscriber: "a"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, d := range s.Tick() {
+			inflight[d.Node] = append(inflight[d.Node], propEntry{id: d.Req.ID, sub: d.Req.Subscriber})
+		}
+	}
+	if len(inflight[2]) == 0 {
+		t.Fatal("want in-flight work on node 2 before the drain")
+	}
+
+	out, err := s.DrainNode(2)
+	if err != nil {
+		t.Fatalf("DrainNode: %v", err)
+	}
+	if want, _ := s.Outstanding(2); out != want {
+		t.Fatalf("DrainNode returned outstanding %+v, node reports %+v", out, want)
+	}
+	if out.IsZero() {
+		t.Fatal("drain-time outstanding is zero with work in flight")
+	}
+	if s.NodeEnabled(2) {
+		t.Fatal("drained node still enabled")
+	}
+
+	// No new dispatches land on the drained node.
+	for burst := 0; burst < 4; burst++ {
+		for i := 0; i < 2; i++ {
+			nextID++
+			if err := s.Enqueue(Request{ID: nextID, Subscriber: "a"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, d := range s.Tick() {
+			if d.Node == 2 {
+				t.Fatal("dispatch landed on a drained node")
+			}
+			inflight[d.Node] = append(inflight[d.Node], propEntry{id: d.Req.ID, sub: d.Req.Subscriber})
+		}
+	}
+
+	// In-flight work on the drained node settles normally.
+	rep := UsageReport{Node: 2, BySubscriber: make(map[qos.SubscriberID]SubscriberUsage)}
+	for range inflight[2] {
+		u := rep.BySubscriber["a"]
+		u.Usage = u.Usage.Add(qos.GenericCost())
+		u.Completed++
+		rep.BySubscriber["a"] = u
+	}
+	if err := s.ReportUsage(rep); err != nil {
+		t.Fatalf("ReportUsage on drained node: %v", err)
+	}
+	if out, _ := s.Outstanding(2); !out.IsZero() {
+		t.Fatalf("drained node outstanding %+v after settlement, want zero", out)
+	}
+	checkSchedulerInvariants(t, s, "drain settled")
+
+	// Drain complete: retire it.
+	if err := s.RemoveNode(2); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	if got := s.Nodes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Nodes() = %v after removal, want [1]", got)
+	}
+	checkSchedulerInvariants(t, s, "node retired")
+
+	if _, err := s.DrainNode(99); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("DrainNode(unknown): got %v, want ErrUnknownNode", err)
+	}
+}
+
+// TestRemoveNodeReleasesCharges retires a node with charges still estimated
+// against it (the ungraceful path — e.g. the hardware is simply gone): the
+// owning subscribers' in-flight totals must shrink by exactly those
+// estimates, and the remaining pool's accounting must stay coherent.
+func TestRemoveNodeReleasesCharges(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 100, QueueLimit: 64},
+	}, []NodeConfig{
+		{ID: 1, Capacity: nodeCap()},
+		{ID: 2, Capacity: nodeCap()},
+		{ID: 3, Capacity: nodeCap()},
+	}, Config{})
+
+	inflight := make(map[NodeID][]propEntry)
+	var nextID uint64
+	for burst := 0; burst < 4; burst++ {
+		for i := 0; i < 6; i++ {
+			nextID++
+			if err := s.Enqueue(Request{ID: nextID, Subscriber: "a"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, d := range s.Tick() {
+			inflight[d.Node] = append(inflight[d.Node], propEntry{id: d.Req.ID, sub: d.Req.Subscriber})
+		}
+	}
+	if len(inflight[2]) == 0 {
+		t.Fatal("want in-flight work on node 2 before removal")
+	}
+
+	if err := s.RemoveNode(2); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	checkSchedulerInvariants(t, s, "mid-flight removal")
+	if err := s.RemoveNode(2); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("second RemoveNode: got %v, want ErrUnknownNode", err)
+	}
+
+	// Settle the survivors' charges; everything must drain to zero — the
+	// removed node's charges were released at removal, not leaked.
+	for _, n := range []NodeID{1, 3} {
+		if len(inflight[n]) == 0 {
+			continue
+		}
+		rep := UsageReport{Node: n, BySubscriber: make(map[qos.SubscriberID]SubscriberUsage)}
+		for range inflight[n] {
+			u := rep.BySubscriber["a"]
+			u.Usage = u.Usage.Add(qos.GenericCost())
+			u.Completed++
+			rep.BySubscriber["a"] = u
+		}
+		if err := s.ReportUsage(rep); err != nil {
+			t.Fatalf("ReportUsage(%d): %v", n, err)
+		}
+	}
+	checkSchedulerInvariants(t, s, "survivors settled")
+	for _, n := range []NodeID{1, 3} {
+		if out, _ := s.Outstanding(n); !out.IsZero() {
+			t.Errorf("node %d outstanding %+v after settlement, want zero", n, out)
+		}
+	}
+}
+
+// TestTotalReservationAndEnabledCapacity pins the two feasibility inputs the
+// admission policy reads: committed guarantees track resize/add/remove, and
+// enabled capacity excludes drained nodes.
+func TestTotalReservationAndEnabledCapacity(t *testing.T) {
+	s := mustScheduler(t, []qos.Subscriber{
+		{ID: "a", Hosts: []string{"a.example"}, Reservation: 100, Group: "t1"},
+		{ID: "b", Hosts: []string{"b.example"}, Reservation: 50},
+	}, []NodeConfig{
+		{ID: 1, Capacity: nodeCap()},
+		{ID: 2, Capacity: nodeCap()},
+	}, Config{})
+
+	if got := s.TotalReservation(); got != 150 {
+		t.Fatalf("TotalReservation = %v, want 150", got)
+	}
+	if err := s.ResizeReservation("b", 80); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalReservation(); got != 180 {
+		t.Fatalf("TotalReservation after resize = %v, want 180", got)
+	}
+	if err := s.AddSubscriber(qos.Subscriber{ID: "c", Hosts: []string{"c.example"}, Reservation: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalReservation(); got != 200 {
+		t.Fatalf("TotalReservation after add = %v, want 200", got)
+	}
+	if _, err := s.RemoveSubscriber("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalReservation(); got != 100 {
+		t.Fatalf("TotalReservation after remove = %v, want 100", got)
+	}
+
+	if got, want := s.EnabledCapacity(), nodeCap().Scale(2); got != want {
+		t.Fatalf("EnabledCapacity = %+v, want %+v", got, want)
+	}
+	if _, err := s.DrainNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.EnabledCapacity(), nodeCap(); got != want {
+		t.Fatalf("EnabledCapacity with one node drained = %+v, want %+v", got, want)
+	}
+	if err := s.SetNodeWeight(2, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.EnabledCapacity(), nodeCap().Scale(2); got != want {
+		t.Fatalf("EnabledCapacity counts any node with weight > 0 at full capacity: got %+v, want %+v", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"gage/internal/qos"
@@ -11,8 +12,9 @@ import (
 
 // checkSchedulerInvariants asserts the scheduler's internal accounting
 // identities, which every interleaving of Enqueue/Tick/ReportUsage/
-// CancelQueued/ReleaseDispatch/Redispatch/MigrateSubscriber/MergeGroups
-// must preserve:
+// CancelQueued/ReleaseDispatch/Redispatch/MigrateSubscriber/MergeGroups/
+// AddSubscriber/ResizeReservation/RemoveSubscriber/AddNode/DrainNode/
+// RemoveNode must preserve:
 //
 //  1. every balance sits inside its clamp band ±reservation×CreditWindow;
 //  2. each subscriber's per-node estimate equals the sum of its pending
@@ -156,18 +158,24 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 		{ID: "lo", Reservation: 10, QueueLimit: 16},
 		{ID: "zero", Reservation: 0, QueueLimit: 16},
 	}
-	subIDs := []qos.SubscriberID{"hi", "lo", "zero"}
-	nodeIDs := []NodeID{1, 2, 3}
+	baseSubs := []qos.SubscriberID{"hi", "lo", "zero"}
 
 	for seed := int64(0); seed < 25; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
+			nodeIDs := []NodeID{1, 2, 3} // live pool; elasticity ops mutate it
 			var nodes []NodeConfig
 			for _, id := range nodeIDs {
 				nodes = append(nodes, NodeConfig{ID: id, Capacity: nodeCap()})
 			}
 			s := mustScheduler(t, subs, nodes, Config{})
+
+			// Hosting churn pool: dynamic subscribers signed and dropped
+			// mid-run. subIDs always holds the currently registered set (the
+			// base three are never removed).
+			subIDs := append([]qos.SubscriberID(nil), baseSubs...)
+			dynPresent := make(map[qos.SubscriberID]bool)
 
 			queued := make(map[qos.SubscriberID][]uint64) // per-sub FIFO of queued IDs
 			inflight := make(map[NodeID][]propEntry)      // per-node dispatch order
@@ -181,6 +189,21 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 					}
 				}
 				return out
+			}
+			// purgeSub forgets a removed subscriber's harness tracking: its
+			// queued requests were orphaned and its in-flight charges released
+			// by RemoveSubscriber.
+			purgeSub := func(sub qos.SubscriberID) {
+				delete(queued, sub)
+				for n, fl := range inflight {
+					kept := fl[:0]
+					for _, e := range fl {
+						if e.sub != sub {
+							kept = append(kept, e)
+						}
+					}
+					inflight[n] = kept
+				}
 			}
 
 			for op := 0; op < 400; op++ {
@@ -231,7 +254,7 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 					if err := s.ReportUsage(rep); err != nil {
 						t.Fatalf("%s: ReportUsage: %v", step, err)
 					}
-				case k < 80: // abandon a queued request (any position, not just head)
+				case k < 78: // abandon a queued request (any position, not just head)
 					sub := subIDs[rng.Intn(len(subIDs))]
 					if len(queued[sub]) == 0 {
 						continue
@@ -242,7 +265,7 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 						t.Fatalf("%s: CancelQueued(%s, %d) = false for a queued request", step, sub, id)
 					}
 					queued[sub] = append(queued[sub][:i], queued[sub][i+1:]...)
-				case k < 90: // abandon an in-flight dispatch
+				case k < 84: // abandon an in-flight dispatch
 					ns := nodesWithWork()
 					if len(ns) == 0 {
 						continue
@@ -254,7 +277,7 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 						t.Fatalf("%s: ReleaseDispatch(%s, %d, %d) = false for an in-flight charge", step, e.sub, n, e.id)
 					}
 					inflight[n] = append(inflight[n][:i], inflight[n][i+1:]...)
-				case k < 93: // move an in-flight charge off its node
+				case k < 87: // move an in-flight charge off its node
 					ns := nodesWithWork()
 					if len(ns) == 0 {
 						continue
@@ -266,7 +289,7 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 					if alt, ok := s.Redispatch(e.sub, e.id, n); ok {
 						inflight[alt] = append(inflight[alt], e)
 					} // else: no alternate had room; the charge is released
-				case k < 97: // reshape the group hierarchy mid-flight
+				case k < 90: // reshape the group hierarchy mid-flight
 					if rng.Intn(2) == 0 {
 						// Migrate to one of a few tenant names (created on
 						// demand) or back to the default group; a subscriber's
@@ -287,10 +310,89 @@ func TestSchedulerOpInterleavingsPreserveInvariants(t *testing.T) {
 							t.Fatalf("%s: MergeGroups(%q, %q): %v", step, src, dst, err)
 						}
 					}
-				default: // flap a node's health
-					n := nodeIDs[rng.Intn(len(nodeIDs))]
-					if err := s.SetNodeEnabled(n, rng.Intn(2) == 0); err != nil {
-						t.Fatalf("%s: SetNodeEnabled: %v", step, err)
+				case k < 95: // hosting churn: sign, resize, or drop a subscriber
+					switch rng.Intn(3) {
+					case 0: // sign a dynamic subscriber (if a slot is free)
+						id := qos.SubscriberID(fmt.Sprintf("dyn%d", rng.Intn(4)))
+						if dynPresent[id] {
+							continue
+						}
+						sub := qos.Subscriber{
+							ID:          id,
+							Reservation: qos.GRPS(rng.Intn(60)),
+							QueueLimit:  16,
+						}
+						if g := rng.Intn(3); g > 0 {
+							sub.Group = fmt.Sprintf("t%d", g)
+						}
+						if err := s.AddSubscriber(sub); err != nil {
+							t.Fatalf("%s: AddSubscriber(%s): %v", step, id, err)
+						}
+						dynPresent[id] = true
+						subIDs = append(subIDs, id)
+					case 1: // resize any registered reservation
+						sub := subIDs[rng.Intn(len(subIDs))]
+						if err := s.ResizeReservation(sub, qos.GRPS(rng.Intn(150))); err != nil {
+							t.Fatalf("%s: ResizeReservation(%s): %v", step, sub, err)
+						}
+					default: // drop a dynamic subscriber
+						var dyn []qos.SubscriberID
+						for id, ok := range dynPresent {
+							if ok {
+								dyn = append(dyn, id)
+							}
+						}
+						if len(dyn) == 0 {
+							continue
+						}
+						slices.Sort(dyn) // map order is random; keep the seed deterministic
+						id := dyn[rng.Intn(len(dyn))]
+						orphans, err := s.RemoveSubscriber(id)
+						if err != nil {
+							t.Fatalf("%s: RemoveSubscriber(%s): %v", step, id, err)
+						}
+						if len(orphans) != len(queued[id]) {
+							t.Fatalf("%s: RemoveSubscriber(%s) orphaned %d requests, harness tracked %d queued",
+								step, id, len(orphans), len(queued[id]))
+						}
+						delete(dynPresent, id)
+						subIDs = slices.Delete(subIDs, slices.Index(subIDs, id), slices.Index(subIDs, id)+1)
+						purgeSub(id)
+					}
+				default: // pool elasticity: add, drain, retire, or flap a node
+					switch rng.Intn(4) {
+					case 0: // scale out (bounded pool; joins at a random ramp weight)
+						if len(nodeIDs) >= 6 {
+							continue
+						}
+						var id NodeID
+						for id = 1; slices.Contains(nodeIDs, id); id++ {
+						}
+						if err := s.AddNode(NodeConfig{ID: id, Capacity: nodeCap()}, rng.Float64()); err != nil {
+							t.Fatalf("%s: AddNode(%d): %v", step, id, err)
+						}
+						nodeIDs = append(nodeIDs, id)
+						slices.Sort(nodeIDs)
+					case 1: // graceful drain
+						n := nodeIDs[rng.Intn(len(nodeIDs))]
+						if _, err := s.DrainNode(n); err != nil {
+							t.Fatalf("%s: DrainNode(%d): %v", step, n, err)
+						}
+					case 2: // retire a node; its in-flight charges are released
+						if len(nodeIDs) <= 1 {
+							continue
+						}
+						n := nodeIDs[rng.Intn(len(nodeIDs))]
+						if err := s.RemoveNode(n); err != nil {
+							t.Fatalf("%s: RemoveNode(%d): %v", step, n, err)
+						}
+						nodeIDs = slices.Delete(nodeIDs, slices.Index(nodeIDs, n), slices.Index(nodeIDs, n)+1)
+						delete(inflight, n) // charges released, requests never settle
+					default: // flap health
+						n := nodeIDs[rng.Intn(len(nodeIDs))]
+						if err := s.SetNodeEnabled(n, rng.Intn(2) == 0); err != nil {
+							t.Fatalf("%s: SetNodeEnabled: %v", step, err)
+						}
 					}
 				}
 				checkSchedulerInvariants(t, s, step)

@@ -480,13 +480,14 @@ type Scheduler struct {
 // New builds a scheduler for the given subscribers and nodes. An empty
 // directory is allowed: a recovered front end starts with no partition and
 // receives its subscribers through ImportSubscriberState when the lease
-// table hands groups back.
+// table hands groups back. An empty node pool is allowed too — a scheduler
+// born before its cluster dispatches nothing (the smooth-WRR table is empty)
+// until AddNode grows the pool; a scheduler started empty and populated
+// entirely through AddSubscriber/AddNode produces cycle records identical to
+// one seeded at construction.
 func New(dir *qos.Directory, nodes []NodeConfig, cfg Config) (*Scheduler, error) {
 	if dir == nil {
 		return nil, errors.New("core: subscriber directory required")
-	}
-	if len(nodes) == 0 {
-		return nil, errors.New("core: at least one node required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Scheduler{

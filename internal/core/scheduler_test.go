@@ -175,8 +175,8 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, []NodeConfig{{ID: 1, Capacity: nodeCap()}}, Config{}); err == nil {
 		t.Error("nil directory must be rejected")
 	}
-	if _, err := New(dir, nil, Config{}); err == nil {
-		t.Error("empty node list must be rejected")
+	if _, err := New(dir, nil, Config{}); err != nil {
+		t.Errorf("empty node pool must be accepted (grown later via AddNode): %v", err)
 	}
 	if _, err := New(dir, []NodeConfig{{ID: 1, Capacity: nodeCap()}, {ID: 1, Capacity: nodeCap()}}, Config{}); err == nil {
 		t.Error("duplicate node IDs must be rejected")

@@ -211,3 +211,83 @@ func (a *admission) subSnapshot(sub qos.SubscriberID) (quota, inflight int, shed
 	defer sh.mu.Unlock()
 	return sh.quota[sub], sh.inflight[sub], sh.shed[sub]
 }
+
+// setQuota installs sub's guaranteed in-flight slot count at runtime. The
+// global reservedIdle moves by the change in this subscriber's idle
+// contribution max(0, quota−inflight), under the shard lock that freezes
+// that contribution, so the packed cap invariant total+reservedIdle ≤ max
+// is preserved exactly — provided the caller keeps Σ quotas ≤ max (see
+// rebalance for the ordering that guarantees it mid-update).
+func (a *admission) setQuota(sub qos.SubscriberID, quota int) {
+	if a.max <= 0 {
+		return
+	}
+	if quota < 0 {
+		quota = 0
+	}
+	sh := a.shardFor(sub)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := sh.quota[sub]
+	if quota == old {
+		return
+	}
+	if quota == 0 {
+		delete(sh.quota, sub)
+	} else {
+		sh.quota[sub] = quota
+	}
+	in := sh.inflight[sub]
+	d := max(0, quota-in) - max(0, old-in)
+	for d != 0 {
+		p := a.packed.Load()
+		total, idle := unpackCounts(p)
+		if a.packed.CompareAndSwap(p, packCounts(total, idle+d)) {
+			return
+		}
+	}
+}
+
+// rebalance re-derives every subscriber's guaranteed-slot quota from the
+// given reservation set — quota_i = floor(max × res_i / Σres), the same
+// split newAdmission computes at startup — after the admin control plane
+// creates, resizes, or deletes a reservation. Subscribers absent from subs
+// lose their quota. Shrinks apply before grows so Σ quotas never transiently
+// exceeds max: an overshoot would let reserved admissions (which skip the
+// cap check, trusting the quota sum) push total past the cap.
+func (a *admission) rebalance(subs []qos.Subscriber) {
+	if a.max <= 0 {
+		return
+	}
+	var totalRes float64
+	for _, s := range subs {
+		totalRes += float64(s.Reservation)
+	}
+	want := make(map[qos.SubscriberID]int, len(subs))
+	if totalRes > 0 {
+		for _, s := range subs {
+			if q := int(float64(a.max) * float64(s.Reservation) / totalRes); q > 0 {
+				want[s.ID] = q
+			}
+		}
+	}
+	// Pass 1: shrinks and removals for current holders above target.
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		holders := make([]qos.SubscriberID, 0, len(sh.quota))
+		for id := range sh.quota {
+			holders = append(holders, id)
+		}
+		sh.mu.Unlock()
+		for _, id := range holders {
+			if cur, _, _ := a.subSnapshot(id); want[id] < cur {
+				a.setQuota(id, want[id])
+			}
+		}
+	}
+	// Pass 2: grows and brand-new holders (setQuota no-ops when unchanged).
+	for id, q := range want {
+		a.setQuota(id, q)
+	}
+}

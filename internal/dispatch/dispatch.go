@@ -122,6 +122,10 @@ type Config struct {
 	// (counted in Stats.Fenced), so a deposed RDN's in-flight decisions
 	// never reach a backend twice-owned. Nil disables fencing.
 	Fence func(group string) bool
+	// AdmitHeadroom is the fraction of enabled capacity the admin control
+	// plane lets reservations commit, in (0, 1]. 0 means 1.0 — commit up to
+	// the full physical rate (see package admitctl).
+	AdmitHeadroom float64
 	// Dial opens backend connections; nil means net.DialTimeout. Fault
 	// drills swap in a chaos dialer here to script backend outages without
 	// touching real processes.
@@ -165,14 +169,93 @@ type Stats struct {
 	HandedOff uint64
 }
 
-// Server is a running dispatcher.
-type Server struct {
-	cfg        Config
+// topology is the dispatcher's elastic membership state: the subscriber
+// directory and classifier on one side, the backend pool's addresses,
+// breakers, accounting-poll slots, and latency histograms on the other.
+// A published topology is immutable — hot paths read it with one atomic
+// load and index its maps lock-free, exactly as they read the fixed maps
+// before the control plane existed. Admin mutations build a modified copy
+// under Server.adminMu and swap the pointer (copy-on-write), carrying the
+// per-node and per-subscriber stateful objects across by pointer so their
+// streaks, snapshots, and histograms survive the swap.
+type topology struct {
 	dir        *qos.Directory
 	classifier classify.Classifier
-	sched      *core.Scheduler
-	addrs      map[core.NodeID]string
-	logger     *log.Logger
+	// groupOf caches each subscriber's tenant group for the partition
+	// admission and fencing checks.
+	groupOf map[qos.SubscriberID]string
+	// reqLat and relayLat are the latency histograms behind MetricsPath:
+	// end-to-end served latency per subscriber, backend-exchange latency
+	// per node. The histograms themselves are concurrency-safe.
+	reqLat   map[qos.SubscriberID]*telemetry.Histogram
+	relayLat map[core.NodeID]*telemetry.Histogram
+	addrs    map[core.NodeID]string
+	// breakers gate each backend's health: accounting-poll and relay
+	// failures feed per-source streaks, and the scheduler's node weight
+	// follows the breaker's slow-start ramp.
+	breakers map[core.NodeID]*breaker.Breaker
+	// acct holds each backend's accounting-poll state under its own mutex,
+	// so concurrent polls of different nodes never serialize on a global
+	// lock.
+	acct map[core.NodeID]*nodeAcct
+	// draining marks nodes being gracefully retired: applyWeight pins their
+	// scheduler weight at 0 regardless of breaker health, so the per-cycle
+	// breaker tick cannot ramp a drained node back into the rotation.
+	draining map[core.NodeID]bool
+}
+
+// clone copies the topology's maps (shallow: the per-node and
+// per-subscriber objects carry across by pointer) so an admin mutation can
+// edit the copy and publish it atomically.
+func (t *topology) clone() *topology {
+	cp := &topology{
+		dir:        t.dir,
+		classifier: t.classifier,
+		groupOf:    make(map[qos.SubscriberID]string, len(t.groupOf)),
+		reqLat:     make(map[qos.SubscriberID]*telemetry.Histogram, len(t.reqLat)),
+		relayLat:   make(map[core.NodeID]*telemetry.Histogram, len(t.relayLat)),
+		addrs:      make(map[core.NodeID]string, len(t.addrs)),
+		breakers:   make(map[core.NodeID]*breaker.Breaker, len(t.breakers)),
+		acct:       make(map[core.NodeID]*nodeAcct, len(t.acct)),
+		draining:   make(map[core.NodeID]bool, len(t.draining)),
+	}
+	for k, v := range t.groupOf {
+		cp.groupOf[k] = v
+	}
+	for k, v := range t.reqLat {
+		cp.reqLat[k] = v
+	}
+	for k, v := range t.relayLat {
+		cp.relayLat[k] = v
+	}
+	for k, v := range t.addrs {
+		cp.addrs[k] = v
+	}
+	for k, v := range t.breakers {
+		cp.breakers[k] = v
+	}
+	for k, v := range t.acct {
+		cp.acct[k] = v
+	}
+	for k, v := range t.draining {
+		cp.draining[k] = v
+	}
+	return cp
+}
+
+// Server is a running dispatcher.
+type Server struct {
+	cfg    Config
+	sched  *core.Scheduler
+	logger *log.Logger
+
+	// topo is the elastic membership state (see topology). Read with
+	// s.top(); replaced only by admin mutations holding adminMu.
+	topo atomic.Pointer[topology]
+	// adminMu serializes control-plane mutations: topology swaps, scheduler
+	// membership calls, and admission-quota rebalances form one atomic
+	// admin operation under it.
+	adminMu sync.Mutex
 
 	accepted     atomic.Uint64
 	served       atomic.Uint64
@@ -187,9 +270,12 @@ type Server struct {
 	fenced       atomic.Uint64
 	handedOff    atomic.Uint64
 
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
+	mu sync.Mutex
+	ln net.Listener
+	// adminLn is the optional private control-plane listener (ServeAdmin),
+	// closed alongside ln.
+	adminLn net.Listener
+	closed  bool
 	// stopCh aborts everything: queue waits, retry backoffs, the tick and
 	// accounting loops. It closes only after the drain phase.
 	stopCh chan struct{}
@@ -217,36 +303,14 @@ type Server struct {
 	// admission is the reservation-aware in-flight limiter (MaxConns).
 	admission *admission
 
-	// breakers gate each backend's health: accounting-poll and relay
-	// failures feed per-source streaks, and the scheduler's node weight
-	// follows the breaker's slow-start ramp.
-	breakers map[core.NodeID]*breaker.Breaker
-
-	// acct holds each backend's accounting-poll state under its own mutex,
-	// so concurrent polls of different nodes never serialize on a global
-	// lock. The map itself is fixed at New (keys are the node pool) and
-	// read without locking.
-	acct map[core.NodeID]*nodeAcct
-
 	// tracer samples per-request lifecycle traces (Config.TraceSampleEvery).
 	tracer *telemetry.Tracer
-
-	// reqLat and relayLat are the latency histograms behind MetricsPath:
-	// end-to-end served latency per subscriber, and backend-exchange
-	// latency per node. Both maps are fixed at New; the histograms
-	// themselves are concurrency-safe.
-	reqLat   map[qos.SubscriberID]*telemetry.Histogram
-	relayLat map[core.NodeID]*telemetry.Histogram
 
 	// rec is the scheduler's flight recorder and auditor its conformance
 	// view, both nil when Config left recording off (CyclesPath then 404s
 	// and MetricsPath omits the conformance families).
 	rec     *flightrec.Recorder
 	auditor *flightrec.Auditor
-
-	// groupOf caches each subscriber's tenant group for the partition
-	// admission and fencing checks (fixed at New).
-	groupOf map[qos.SubscriberID]string
 
 	// migMu guards the migrating-group set and the handoff backlog Close
 	// collects from them (see frontier.go).
@@ -255,9 +319,17 @@ type Server struct {
 	handoffs  []Handoff
 }
 
+// top returns the current topology. The pointer is immutable; callers may
+// index its maps freely without further synchronization.
+func (s *Server) top() *topology { return s.topo.Load() }
+
 // UnhealthyAfter is the default consecutive-failure threshold that trips a
 // backend's breaker (Config.Breaker.Threshold overrides it).
 const UnhealthyAfter = 3
+
+// defaultBackendCapacity is the per-second capacity assumed for a backend
+// that declares none: one CPU, one disk arm, 100 Mbit of network.
+var defaultBackendCapacity = qos.Vector{CPUTime: time.Second, DiskTime: time.Second, NetBytes: 12_500_000}
 
 // nodeAcct is one backend's accounting-poll state.
 type nodeAcct struct {
@@ -361,7 +433,7 @@ func New(cfg Config) (*Server, error) {
 	for _, b := range cfg.Backends {
 		cap := b.Capacity
 		if cap.IsZero() {
-			cap = qos.Vector{CPUTime: time.Second, DiskTime: time.Second, NetBytes: 12_500_000}
+			cap = defaultBackendCapacity
 		}
 		nodes = append(nodes, core.NodeConfig{ID: b.ID, Capacity: cap})
 		addrs[b.ID] = b.Addr
@@ -406,31 +478,35 @@ func New(cfg Config) (*Server, error) {
 			groupOf[id] = sub.Group
 		}
 	}
-	return &Server{
-		cfg:        cfg,
-		dir:        dir,
-		classifier: classify.NewHostClassifier(dir),
-		sched:      sched,
-		addrs:      addrs,
-		logger:     cfg.Logger,
-		stopCh:     make(chan struct{}),
-		drainCh:    make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
-		beConns:    make(map[net.Conn]struct{}),
-		admission:  newAdmission(cfg.MaxConns, cfg.Subscribers, cfg.ShardCount),
-		breakers:   breakers,
-		acct:       acct,
+	srv := &Server{
+		cfg:       cfg,
+		sched:     sched,
+		logger:    cfg.Logger,
+		stopCh:    make(chan struct{}),
+		drainCh:   make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		beConns:   make(map[net.Conn]struct{}),
+		admission: newAdmission(cfg.MaxConns, cfg.Subscribers, cfg.ShardCount),
 		tracer: telemetry.NewTracer(telemetry.TracerConfig{
 			SampleEvery: cfg.TraceSampleEvery,
 			Buffer:      cfg.TraceBuffer,
 		}),
-		reqLat:    reqLat,
-		relayLat:  relayLat,
 		rec:       rec,
 		auditor:   auditor,
-		groupOf:   groupOf,
 		migrating: make(map[string]struct{}),
-	}, nil
+	}
+	srv.topo.Store(&topology{
+		dir:        dir,
+		classifier: classify.NewHostClassifier(dir),
+		groupOf:    groupOf,
+		reqLat:     reqLat,
+		relayLat:   relayLat,
+		addrs:      addrs,
+		breakers:   breakers,
+		acct:       acct,
+		draining:   make(map[core.NodeID]bool),
+	})
+	return srv, nil
 }
 
 // Scheduler exposes the core scheduler for inspection.
@@ -532,10 +608,14 @@ func (s *Server) Close() error {
 	s.closed = true
 	close(s.drainCh)
 	ln := s.ln
+	adminLn := s.adminLn
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	if adminLn != nil {
+		_ = adminLn.Close()
 	}
 	// Withdraw still-queued requests of migrating partitions before the
 	// drain: letting them dispatch here would splice them from a deposed
@@ -652,17 +732,20 @@ func (s *Server) acctLoop() {
 		case <-s.stopCh:
 			return
 		case <-ticker.C:
+			// One topology for the whole cycle: a node added or retired
+			// mid-cycle joins the rotation on the next tick.
+			t := s.top()
 			// Advance breaker time first: cooldowns elapse and slow-start
 			// ramps climb one step per accounting cycle.
 			now := time.Now()
-			for id, b := range s.breakers {
+			for id, b := range t.breakers {
 				if b.Tick(now) {
 					s.logger.Printf("dispatch: node %d breaker %v", id, b.State())
 				}
 				s.applyWeight(id, b)
 			}
-			for id, addr := range s.addrs {
-				na := s.acct[id]
+			for id, addr := range t.addrs {
+				na := t.acct[id]
 				na.mu.Lock()
 				busy := na.polling
 				if !busy {
@@ -673,17 +756,18 @@ func (s *Server) acctLoop() {
 					continue
 				}
 				s.loopWG.Add(1)
-				go s.pollOne(id, addr)
+				go s.pollOne(id, addr, na)
 			}
 		}
 	}
 }
 
 // pollOne fetches one backend's report and folds the usage delta into the
-// scheduler. It owns the node's polling slot for its duration.
-func (s *Server) pollOne(id core.NodeID, addr string) {
+// scheduler. It owns the node's polling slot for its duration; the slot is
+// passed in from the topology the accounting cycle read, so a concurrent
+// topology swap cannot hand two pollers different slots for one node.
+func (s *Server) pollOne(id core.NodeID, addr string, na *nodeAcct) {
 	defer s.loopWG.Done()
-	na := s.acct[id]
 	defer func() {
 		na.mu.Lock()
 		na.polling = false
@@ -884,13 +968,18 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		s.serveCycles(conn)
 		return true
 	}
+	if strings.HasPrefix(req.Path(), AdminPrefix) {
+		s.serveAdmin(conn, req)
+		return true
+	}
 	// The request ID doubles as the trace-sampling key, so it is drawn
 	// before classification: every client request — even one that never
 	// reaches the scheduler — is a sampling candidate.
 	id := reqIDs.Add(1)
 	start := time.Now()
 	tr := s.tracer.Sample(id)
-	sub, ok := s.classifier.Classify(req.Host, req.Path())
+	t := s.top()
+	sub, ok := t.classifier.Classify(req.Host, req.Path())
 	if !ok {
 		tr.Add(telemetry.StageClassify, 0, "")
 		tr.Settle(telemetry.OutcomeUnclassified)
@@ -900,7 +989,7 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	}
 	tr.SetSubscriber(string(sub))
 	tr.Add(telemetry.StageClassify, 0, string(sub))
-	group := s.groupOf[sub]
+	group := t.groupOf[sub]
 	if s.cfg.Owns != nil && !s.cfg.Owns(group) {
 		// Partition admission: this group is homed on another front end.
 		// Queuing it here would grow scheduler state the owner cannot see;
@@ -948,6 +1037,14 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	defer timer.Stop()
 	select {
 	case node := <-pc.node:
+		if pc.state.Load() == pcAbandoned {
+			// An admin delete removed this request's subscriber while it was
+			// queued; its scheduler state is already gone. Refuse, never relay.
+			tr.Settle(telemetry.OutcomeRejected)
+			s.rejected.Add(1)
+			s.respondError(conn, 503)
+			return true
+		}
 		if pc.state.Load() == pcHandedOff {
 			// Close withdrew this request because its group migrated; the
 			// new owner redispatches it (see Handoffs). The client retries
@@ -1043,7 +1140,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	var be net.Conn
 	var err error
 	if s.breakerAllow(node) {
-		be, err = s.cfg.Dial("tcp", s.addrs[node], s.cfg.DialTimeout)
+		be, err = s.cfg.Dial("tcp", s.top().addrs[node], s.cfg.DialTimeout)
 		if err != nil {
 			s.noteBreaker(node, breaker.Relay, false)
 		}
@@ -1088,7 +1185,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		// The relay latency histogram measures the exchange against the
 		// node that actually served; restart the clock for the alternate.
 		attempt = time.Now()
-		be, err = s.cfg.Dial("tcp", s.addrs[alt], s.cfg.DialTimeout)
+		be, err = s.cfg.Dial("tcp", s.top().addrs[alt], s.cfg.DialTimeout)
 		if err != nil {
 			s.noteBreaker(alt, breaker.Relay, false)
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
@@ -1134,7 +1231,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	// accepts TCP but fails every request must still trip its breaker, so
 	// success is noted here rather than at dial time.
 	s.noteBreaker(node, breaker.Relay, true)
-	if h := s.relayLat[node]; h != nil {
+	if h := s.top().relayLat[node]; h != nil {
 		h.Record(time.Since(attempt))
 	}
 	if err := resp.Write(pc.conn); err != nil {
@@ -1143,7 +1240,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		return false
 	}
 	s.served.Add(1)
-	if h := s.reqLat[pc.sub]; h != nil {
+	if h := s.top().reqLat[pc.sub]; h != nil {
 		h.Record(time.Since(pc.start))
 	}
 	tr.Settle(telemetry.OutcomeServed)
@@ -1156,7 +1253,7 @@ var errBreakerRefused = errors.New("dispatch: breaker refused relay")
 
 // breakerAllow asks a node's breaker to admit one relay.
 func (s *Server) breakerAllow(id core.NodeID) bool {
-	b, ok := s.breakers[id]
+	b, ok := s.top().breakers[id]
 	if !ok {
 		return true
 	}
@@ -1167,7 +1264,7 @@ func (s *Server) breakerAllow(id core.NodeID) bool {
 // the scheduler's node weight in lockstep with the breaker's verdict — the
 // single place health events change what the scheduler may dispatch.
 func (s *Server) noteBreaker(id core.NodeID, src breaker.Source, success bool) {
-	b, ok := s.breakers[id]
+	b, ok := s.top().breakers[id]
 	if !ok {
 		return
 	}
@@ -1184,16 +1281,23 @@ func (s *Server) noteBreaker(id core.NodeID, src breaker.Source, success bool) {
 	s.applyWeight(id, b)
 }
 
-// applyWeight pushes a breaker's current weight into the scheduler.
+// applyWeight pushes a breaker's current weight into the scheduler. A
+// draining node is pinned at weight zero regardless of breaker health —
+// otherwise the accounting loop's per-cycle re-apply would ramp a drained
+// node straight back into rotation.
 func (s *Server) applyWeight(id core.NodeID, b *breaker.Breaker) {
-	if err := s.sched.SetNodeWeight(id, b.Weight()); err != nil {
+	w := b.Weight()
+	if s.top().draining[id] {
+		w = 0
+	}
+	if err := s.sched.SetNodeWeight(id, w); err != nil {
 		s.logger.Printf("dispatch: set node %d weight: %v", id, err)
 	}
 }
 
 // BreakerSnapshot exposes one node's breaker view (tests, stats).
 func (s *Server) BreakerSnapshot(id core.NodeID) (breaker.Snapshot, bool) {
-	b, ok := s.breakers[id]
+	b, ok := s.top().breakers[id]
 	if !ok {
 		return breaker.Snapshot{}, false
 	}
@@ -1244,6 +1348,7 @@ type nodeJSON struct {
 // serveStats answers the operational-stats endpoint.
 func (s *Server) serveStats(conn net.Conn) {
 	st := s.Stats()
+	t := s.top()
 	out := statsJSON{
 		Accepted:     st.Accepted,
 		Served:       st.Served,
@@ -1254,11 +1359,11 @@ func (s *Server) serveStats(conn net.Conn) {
 		Abandoned:    st.Abandoned,
 		ShedConns:    st.ShedConns,
 		Shed:         st.Shed,
-		Subscribers:  make(map[string]subscriberJSON, s.dir.Len()),
-		Nodes:        make(map[string]nodeJSON, len(s.addrs)),
+		Subscribers:  make(map[string]subscriberJSON, t.dir.Len()),
+		Nodes:        make(map[string]nodeJSON, len(t.addrs)),
 	}
-	for _, id := range s.dir.IDs() {
-		sub, err := s.dir.Subscriber(id)
+	for _, id := range t.dir.IDs() {
+		sub, err := t.dir.Subscriber(id)
 		if err != nil {
 			continue
 		}
@@ -1279,14 +1384,20 @@ func (s *Server) serveStats(conn net.Conn) {
 	for _, nodeID := range s.sched.Nodes() {
 		outst, _ := s.sched.Outstanding(nodeID)
 		nj := nodeJSON{
-			Addr:            s.addrs[nodeID],
+			Addr:            t.addrs[nodeID],
 			OutstandingCPU:  outst.CPUTime.Nanoseconds(),
 			OutstandingDisk: outst.DiskTime.Nanoseconds(),
 			OutstandingNet:  outst.NetBytes,
 		}
 		if snap, ok := s.BreakerSnapshot(nodeID); ok {
 			nj.Breaker = snap.State.String()
+			// A draining node's scheduler weight is pinned at zero whatever
+			// its breaker says; report the effective weight the operator is
+			// polling for.
 			nj.Weight = snap.Weight
+			if t.draining[nodeID] {
+				nj.Weight = 0
+			}
 			nj.PollStreak = snap.PollStreak
 			nj.RelayStreak = snap.RelayStreak
 		}

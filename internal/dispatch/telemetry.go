@@ -62,7 +62,8 @@ func (s *Server) buildExposition() ([]byte, error) {
 	e.Family("gage_trace_sample_period", "gauge", "Every Nth request is traced; 0 means tracing is off.")
 	e.Add("gage_trace_sample_period", nil, float64(s.tracer.SampleEvery()))
 
-	subIDs := s.dir.IDs() // already sorted
+	t := s.top()
+	subIDs := t.dir.IDs() // already sorted
 	subLabel := func(id string) []telemetry.Label {
 		return []telemetry.Label{{Name: "subscriber", Value: id}}
 	}
@@ -99,10 +100,15 @@ func (s *Server) buildExposition() ([]byte, error) {
 	nodeLabel := func(id core.NodeID) []telemetry.Label {
 		return []telemetry.Label{{Name: "node", Value: fmt.Sprintf("%d", id)}}
 	}
-	e.Family("gage_node_weight", "gauge", "Fraction of the node's capacity the scheduler may use (breaker slow-start ramp).")
+	e.Family("gage_node_weight", "gauge", "Fraction of the node's capacity the scheduler may use (breaker slow-start ramp; 0 while draining).")
+	draining := s.top().draining
 	for _, id := range nodeIDs {
 		if snap, ok := s.BreakerSnapshot(id); ok {
-			e.Add("gage_node_weight", nodeLabel(id), snap.Weight)
+			w := snap.Weight
+			if draining[id] {
+				w = 0
+			}
+			e.Add("gage_node_weight", nodeLabel(id), w)
 		}
 	}
 	e.Family("gage_node_breaker_state", "gauge", "Breaker state per node: 0 closed, 1 open, 2 half-open.")
@@ -120,13 +126,13 @@ func (s *Server) buildExposition() ([]byte, error) {
 
 	e.Family("gage_request_latency_seconds", "summary", "End-to-end latency of served requests, classify to response write.")
 	for _, id := range subIDs {
-		if h := s.reqLat[id]; h != nil {
+		if h := t.reqLat[id]; h != nil {
 			e.Summary("gage_request_latency_seconds", subLabel(string(id)), h.Snapshot(), latencyQuantiles)
 		}
 	}
 	e.Family("gage_relay_latency_seconds", "summary", "Backend exchange latency of successful relays, dial to response read.")
 	for _, id := range nodeIDs {
-		if h := s.relayLat[id]; h != nil {
+		if h := t.relayLat[id]; h != nil {
 			e.Summary("gage_relay_latency_seconds", nodeLabel(id), h.Snapshot(), latencyQuantiles)
 		}
 	}
@@ -197,8 +203,8 @@ func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // RequestLatency returns a subscriber's end-to-end served-latency
 // histogram, or nil for unknown subscribers.
-func (s *Server) RequestLatency(id qos.SubscriberID) *telemetry.Histogram { return s.reqLat[id] }
+func (s *Server) RequestLatency(id qos.SubscriberID) *telemetry.Histogram { return s.top().reqLat[id] }
 
 // RelayLatency returns a node's backend-exchange latency histogram, or nil
 // for unknown nodes.
-func (s *Server) RelayLatency(id core.NodeID) *telemetry.Histogram { return s.relayLat[id] }
+func (s *Server) RelayLatency(id core.NodeID) *telemetry.Histogram { return s.top().relayLat[id] }

@@ -67,7 +67,11 @@ type NodeRecord struct {
 // offline — `gagetrace audit` reads them from the same JSONL log as the
 // per-cycle accounting.
 type TierEvent struct {
-	// Kind is one of "takeover", "handback", "crash", "recover", "fence".
+	// Kind is one of the frontier kinds — "takeover", "handback", "crash",
+	// "recover", "fence" — or an admission-plane kind: "sub-admit",
+	// "sub-resize", "sub-remove" (Group carries the subscriber ID, From/To
+	// the old/new reservation) and "node-add", "node-drain" (To carries the
+	// node ID).
 	Kind  string `json:"kind"`
 	Group string `json:"group,omitempty"`
 	From  int    `json:"from,omitempty"`
