@@ -85,12 +85,21 @@ type adminResult struct {
 	admitctl.Decision
 	Op         string `json:"op"`
 	Subscriber string `json:"subscriber,omitempty"`
-	Node       int    `json:"node,omitempty"`
-	Error      string `json:"error,omitempty"`
+	// Node is a pointer so node ID 0 — a valid core.NodeID — still
+	// serializes on node operations; subscriber operations omit the field.
+	Node  *int   `json:"node,omitempty"`
+	Error string `json:"error,omitempty"`
 	// OutstandingGeneric is the drained node's estimated in-flight load in
 	// generic units at drain time; poll /_gage/stats for it to reach zero
 	// before retiring the node.
 	OutstandingGeneric float64 `json:"outstandingGeneric,omitempty"`
+}
+
+// nodeRef boxes a node ID for adminResult.Node, which is a pointer so that
+// node 0 survives omitempty.
+func nodeRef(id core.NodeID) *int {
+	n := int(id)
+	return &n
 }
 
 // checkReservation validates a wire-form reservation value.
@@ -379,7 +388,10 @@ func (s *Server) adminResizeSubscriber(conn net.Conn, id qos.SubscriberID, body 
 		return
 	}
 	// Rebuild the directory so stats and future quota splits see the new
-	// reservation. Same IDs and hosts, so this cannot fail.
+	// reservation. Same IDs and hosts, so this cannot fail; if it somehow
+	// does, the scheduler reservation has already changed and silently
+	// keeping the stale topology would let stats and quota splits diverge
+	// from it — answer 500 so the operator knows the swap did not land.
 	t := s.top()
 	subs := directorySubs(t.dir)
 	for i := range subs {
@@ -387,13 +399,18 @@ func (s *Server) adminResizeSubscriber(conn net.Conn, id qos.SubscriberID, body 
 			subs[i].Reservation = newRes
 		}
 	}
-	if newDir, err := qos.NewDirectory(subs); err == nil {
-		cp := t.clone()
-		cp.dir = newDir
-		cp.classifier = classify.NewHostClassifier(newDir)
-		s.topo.Store(cp)
-		s.admission.rebalance(subs)
+	newDir, err := qos.NewDirectory(subs)
+	if err != nil {
+		s.logger.Printf("dispatch: admin resize %s: scheduler resized to %v but directory rebuild failed, topology/quota state is stale: %v", id, newRes, err)
+		res.Error = fmt.Sprintf("directory rebuild failed after scheduler resize: %v", err)
+		s.respondAdminError(conn, 500, res)
+		return
 	}
+	cp := t.clone()
+	cp.dir = newDir
+	cp.classifier = classify.NewHostClassifier(newDir)
+	s.topo.Store(cp)
+	s.admission.rebalance(subs)
 	s.annotate(flightrec.TierEvent{Kind: "sub-resize", Group: string(id), From: int(old), To: int(newRes)})
 	s.respondJSON(conn, 200, res)
 }
@@ -436,15 +453,23 @@ func (s *Server) adminDeleteSubscriber(conn net.Conn, id qos.SubscriberID) {
 			break
 		}
 	}
-	if newDir, err := qos.NewDirectory(subs); err == nil {
-		cp := t.clone()
-		cp.dir = newDir
-		cp.classifier = classify.NewHostClassifier(newDir)
-		delete(cp.groupOf, id)
-		delete(cp.reqLat, id)
-		s.topo.Store(cp)
-		s.admission.rebalance(subs)
+	// Shrinking the directory cannot fail (same entries minus one); if it
+	// somehow does, the scheduler state is already gone while the classifier
+	// still routes the retired hosts — surface that instead of hiding it.
+	newDir, err := qos.NewDirectory(subs)
+	if err != nil {
+		s.logger.Printf("dispatch: admin delete %s: scheduler state removed but directory rebuild failed, classifier still maps its hosts: %v", id, err)
+		res.Error = fmt.Sprintf("directory rebuild failed after scheduler removal: %v", err)
+		s.respondAdminError(conn, 500, res)
+		return
 	}
+	cp := t.clone()
+	cp.dir = newDir
+	cp.classifier = classify.NewHostClassifier(newDir)
+	delete(cp.groupOf, id)
+	delete(cp.reqLat, id)
+	s.topo.Store(cp)
+	s.admission.rebalance(subs)
 	s.annotate(flightrec.TierEvent{Kind: "sub-remove", Group: string(id), From: int(old)})
 	s.respondJSON(conn, 200, res)
 }
@@ -456,10 +481,10 @@ func (s *Server) adminDeleteSubscriber(conn net.Conn, id qos.SubscriberID) {
 func (s *Server) adminAddNode(conn net.Conn, id core.NodeID, body []byte) {
 	addr, capacity, rampFromTop, err := decodeNodeAdd(body)
 	if err != nil {
-		s.respondAdminError(conn, 400, adminResult{Op: "node-add", Node: int(id), Error: err.Error()})
+		s.respondAdminError(conn, 400, adminResult{Op: "node-add", Node: nodeRef(id), Error: err.Error()})
 		return
 	}
-	res := adminResult{Op: "node-add", Node: int(id)}
+	res := adminResult{Op: "node-add", Node: nodeRef(id)}
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	t := s.top()
@@ -499,10 +524,10 @@ func (s *Server) adminAddNode(conn net.Conn, id core.NodeID, body []byte) {
 func (s *Server) adminDrainNode(conn net.Conn, id core.NodeID, body []byte) {
 	force, err := decodeNodeDrain(body)
 	if err != nil {
-		s.respondAdminError(conn, 400, adminResult{Op: "node-drain", Node: int(id), Error: err.Error()})
+		s.respondAdminError(conn, 400, adminResult{Op: "node-drain", Node: nodeRef(id), Error: err.Error()})
 		return
 	}
-	res := adminResult{Op: "node-drain", Node: int(id)}
+	res := adminResult{Op: "node-drain", Node: nodeRef(id)}
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	t := s.top()
@@ -564,13 +589,22 @@ func (s *Server) ServeAdmin(ln net.Listener) error {
 				return fmt.Errorf("dispatch: admin accept: %w", err)
 			}
 		}
+		s.trackAdminConn(conn)
 		s.connWG.Add(1)
 		go func() {
 			defer s.connWG.Done()
+			defer s.untrackAdminConn(conn)
 			defer conn.Close()
 			br := getReader(conn)
 			defer putReader(br)
 			for {
+				// A draining server reads no further admin requests either —
+				// a mutation mid-shutdown would race the teardown.
+				select {
+				case <-s.drainCh:
+					return
+				default:
+				}
 				_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ClientIdleTimeout))
 				req, err := httpwire.ReadRequest(br)
 				if err != nil {

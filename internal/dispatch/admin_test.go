@@ -16,6 +16,20 @@ import (
 	"gage/internal/qos"
 )
 
+// adminCluster builds a cluster plus the dedicated control-plane listener —
+// the only surface that serves /_gage/admin/* (gaged's adminListen shape).
+// It returns the client address, the admin address, and the server.
+func adminCluster(t *testing.T, n int, subs []qos.Subscriber, sched core.Config) (string, string, *Server) {
+	t.Helper()
+	addr, srv := cluster(t, n, subs, sched)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("admin listen: %v", err)
+	}
+	go func() { _ = srv.ServeAdmin(ln) }()
+	return addr, ln.Addr().String(), srv
+}
+
 // adminReq issues one control-plane request against addr and decodes the
 // adminResult body.
 func adminReq(t *testing.T, addr, method, path string, body []byte) (int, adminResult) {
@@ -88,7 +102,7 @@ func feasibleSubs() []qos.Subscriber {
 }
 
 func TestAdminSubscriberLifecycle(t *testing.T) {
-	addr, srv := cluster(t, 2, feasibleSubs(), core.Config{})
+	addr, adminAddr, srv := adminCluster(t, 2, feasibleSubs(), core.Config{})
 
 	// Before signing: the new host classifies nowhere.
 	if resp, err := get(t, addr, "www.site3.example", "/static/512.html"); err != nil || resp.StatusCode != 404 {
@@ -96,7 +110,7 @@ func TestAdminSubscriberLifecycle(t *testing.T) {
 	}
 
 	body := []byte(`{"id":"site3","hosts":["www.site3.example"],"reservationGRPS":50}`)
-	code, res := adminReq(t, addr, "POST", AdminPrefix+"subscribers", body)
+	code, res := adminReq(t, adminAddr, "POST", AdminPrefix+"subscribers", body)
 	if code != 200 || !res.Accepted {
 		t.Fatalf("create = %d %+v, want 200 accepted", code, res)
 	}
@@ -112,7 +126,7 @@ func TestAdminSubscriberLifecycle(t *testing.T) {
 	}
 
 	// Resize up and verify the scheduler tracks it.
-	code, res = adminReq(t, addr, "PUT", AdminPrefix+"subscribers/site3", []byte(`{"reservationGRPS":120}`))
+	code, res = adminReq(t, adminAddr, "PUT", AdminPrefix+"subscribers/site3", []byte(`{"reservationGRPS":120}`))
 	if code != 200 || !res.Accepted {
 		t.Fatalf("resize = %d %+v", code, res)
 	}
@@ -124,7 +138,7 @@ func TestAdminSubscriberLifecycle(t *testing.T) {
 	}
 
 	// Delete: host stops classifying, scheduler forgets the subscriber.
-	code, _ = adminReq(t, addr, "DELETE", AdminPrefix+"subscribers/site3", nil)
+	code, _ = adminReq(t, adminAddr, "DELETE", AdminPrefix+"subscribers/site3", nil)
 	if code != 200 {
 		t.Fatalf("delete = %d, want 200", code)
 	}
@@ -134,7 +148,7 @@ func TestAdminSubscriberLifecycle(t *testing.T) {
 	if resp, err := get(t, addr, "www.site3.example", "/static/512.html"); err != nil || resp.StatusCode != 404 {
 		t.Fatalf("post-delete status = %v err = %v, want 404", resp.StatusCode, err)
 	}
-	if code, _ := adminReq(t, addr, "DELETE", AdminPrefix+"subscribers/site3", nil); code != 404 {
+	if code, _ := adminReq(t, adminAddr, "DELETE", AdminPrefix+"subscribers/site3", nil); code != 404 {
 		t.Fatalf("second delete = %d, want 404", code)
 	}
 }
@@ -143,10 +157,10 @@ func TestAdminInfeasibleRejectionLeavesStateUnchanged(t *testing.T) {
 	// Two default backends sustain 200 GRPS total (2× one CPU-second/s at
 	// 10 ms per generic request); defaultSubs commits 700 already, so the
 	// pool is overcommitted and ANY grow must be refused.
-	addr, srv := cluster(t, 2, defaultSubs(), core.Config{})
+	_, adminAddr, srv := adminCluster(t, 2, defaultSubs(), core.Config{})
 	before := snapshotScheduler(srv)
 
-	code, res := adminReq(t, addr, "POST", AdminPrefix+"subscribers",
+	code, res := adminReq(t, adminAddr, "POST", AdminPrefix+"subscribers",
 		[]byte(`{"id":"greedy","hosts":["g.example"],"reservationGRPS":1000}`))
 	if code != 409 {
 		t.Fatalf("infeasible create = %d %+v, want 409", code, res)
@@ -156,7 +170,7 @@ func TestAdminInfeasibleRejectionLeavesStateUnchanged(t *testing.T) {
 	}
 
 	// Resize of an existing subscriber past capacity must also bounce.
-	if code, res = adminReq(t, addr, "PUT", AdminPrefix+"subscribers/site1", []byte(`{"reservationGRPS":5000}`)); code != 409 {
+	if code, res = adminReq(t, adminAddr, "PUT", AdminPrefix+"subscribers/site1", []byte(`{"reservationGRPS":5000}`)); code != 409 {
 		t.Fatalf("infeasible resize = %d %+v, want 409", code, res)
 	}
 
@@ -170,10 +184,10 @@ func TestAdminInfeasibleRejectionLeavesStateUnchanged(t *testing.T) {
 }
 
 func TestAdminNodeAddAndDrain(t *testing.T) {
-	addr, srv := cluster(t, 2, defaultSubs(), core.Config{})
+	_, adminAddr, srv := adminCluster(t, 2, defaultSubs(), core.Config{})
 	beAddr := spawnBackend(t, 3)
 
-	code, res := adminReq(t, addr, "POST", AdminPrefix+"nodes/3/add",
+	code, res := adminReq(t, adminAddr, "POST", AdminPrefix+"nodes/3/add",
 		[]byte(fmt.Sprintf(`{"addr":%q}`, beAddr)))
 	if code != 200 || !res.Accepted {
 		t.Fatalf("node add = %d %+v", code, res)
@@ -202,18 +216,18 @@ func TestAdminNodeAddAndDrain(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if code, _ := adminReq(t, addr, "POST", AdminPrefix+"nodes/3/add", []byte(fmt.Sprintf(`{"addr":%q}`, beAddr))); code != 409 {
+	if code, _ := adminReq(t, adminAddr, "POST", AdminPrefix+"nodes/3/add", []byte(fmt.Sprintf(`{"addr":%q}`, beAddr))); code != 409 {
 		t.Fatalf("duplicate add = %d, want 409", code)
 	}
 
 	// Drain 3: with 700 GRPS committed against a 300-capacity pool the
 	// feasibility check refuses, so force it (the drill for graceful
 	// scale-in under overcommit).
-	code, res = adminReq(t, addr, "POST", AdminPrefix+"nodes/3/drain", nil)
+	code, res = adminReq(t, adminAddr, "POST", AdminPrefix+"nodes/3/drain", nil)
 	if code != 409 || res.Accepted {
 		t.Fatalf("drain of needed capacity = %d %+v, want 409", code, res)
 	}
-	code, res = adminReq(t, addr, "POST", AdminPrefix+"nodes/3/drain", []byte(`{"force":true}`))
+	code, res = adminReq(t, adminAddr, "POST", AdminPrefix+"nodes/3/drain", []byte(`{"force":true}`))
 	if code != 200 {
 		t.Fatalf("forced drain = %d %+v", code, res)
 	}
@@ -226,13 +240,13 @@ func TestAdminNodeAddAndDrain(t *testing.T) {
 	if srv.sched.NodeEnabled(3) {
 		t.Fatal("drained node ramped back into rotation")
 	}
-	if code, _ := adminReq(t, addr, "POST", AdminPrefix+"nodes/9/drain", nil); code != 404 {
+	if code, _ := adminReq(t, adminAddr, "POST", AdminPrefix+"nodes/9/drain", nil); code != 404 {
 		t.Fatalf("drain unknown node = %d, want 404", code)
 	}
 }
 
 func TestAdminDecoderRejections(t *testing.T) {
-	addr, srv := cluster(t, 1, defaultSubs(), core.Config{})
+	_, adminAddr, srv := adminCluster(t, 1, defaultSubs(), core.Config{})
 	before := snapshotScheduler(srv)
 	cases := []struct {
 		name, method, path string
@@ -255,7 +269,7 @@ func TestAdminDecoderRejections(t *testing.T) {
 		{"unknown route", "POST", AdminPrefix + "frobnicate", ``, 404},
 	}
 	for _, tc := range cases {
-		if code, res := adminReq(t, addr, tc.method, tc.path, []byte(tc.body)); code != tc.want {
+		if code, res := adminReq(t, adminAddr, tc.method, tc.path, []byte(tc.body)); code != tc.want {
 			t.Errorf("%s: status = %d %+v, want %d", tc.name, code, res, tc.want)
 		}
 	}
@@ -265,13 +279,7 @@ func TestAdminDecoderRejections(t *testing.T) {
 }
 
 func TestServeAdminSeparateListener(t *testing.T) {
-	_, srv := cluster(t, 2, feasibleSubs(), core.Config{})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatalf("admin listen: %v", err)
-	}
-	go func() { _ = srv.ServeAdmin(ln) }()
-	adminAddr := ln.Addr().String()
+	addr, adminAddr, srv := adminCluster(t, 2, feasibleSubs(), core.Config{})
 
 	code, res := adminReq(t, adminAddr, "POST", AdminPrefix+"subscribers",
 		[]byte(`{"id":"via-admin","hosts":["va.example"],"reservationGRPS":1}`))
@@ -284,6 +292,50 @@ func TestServeAdminSeparateListener(t *testing.T) {
 	// Client traffic must not relay through the control-plane listener.
 	if resp, err := get(t, adminAddr, "www.site1.example", "/static/512.html"); err != nil || resp.StatusCode != 404 {
 		t.Fatalf("relay via admin listener = %v err = %v, want 404", resp.StatusCode, err)
+	}
+	// And the mutation surface must never answer on the data-plane port: a
+	// subscriber's client reaching /_gage/admin/* gets a 404, not a control
+	// plane.
+	code, res = adminReq(t, addr, "DELETE", AdminPrefix+"subscribers/via-admin", nil)
+	if code != 404 {
+		t.Fatalf("admin op via client listener = %d %+v, want 404", code, res)
+	}
+	if _, ok := srv.sched.Reservation("via-admin"); !ok {
+		t.Fatal("client-port admin request mutated scheduler state")
+	}
+	if code, _ := adminReq(t, addr, "POST", AdminPrefix+"subscribers", []byte(`{"id":"sneak","hosts":["s.example"],"reservationGRPS":1}`)); code != 404 {
+		t.Fatalf("admin create via client listener = %d, want 404", code)
+	}
+}
+
+// TestCloseUnblocksIdleAdminConnection pins the shutdown path: an idle
+// keep-alive control-plane connection must be nudged (deadline zap) and, if
+// need be, force-closed by Close like any client connection — not sat out
+// for ClientIdleTimeout.
+func TestCloseUnblocksIdleAdminConnection(t *testing.T) {
+	_, adminAddr, srv := adminCluster(t, 1, feasibleSubs(), core.Config{})
+	conn, err := net.DialTimeout("tcp", adminAddr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	req := &httpwire.Request{Method: "GET", Target: StatsPath, Proto: "HTTP/1.1", Host: "admin"}
+	if err := req.Write(conn); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := httpwire.ReadResponse(bufio.NewReader(conn)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// The connection now idles in the admin keep-alive loop.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("Close hung on an idle admin keep-alive connection")
 	}
 }
 

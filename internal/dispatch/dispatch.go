@@ -293,6 +293,12 @@ type Server struct {
 	// later force-close stragglers. Guarded by connMu.
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+	// adminConns tracks ServeAdmin's control-plane connections separately so
+	// Close's deadline zap and force-close sweeps reach them too (an idle
+	// keep-alive admin connection must not stall connWG.Wait) without the
+	// operator surface counting against the client MaxConns cap. Guarded by
+	// connMu.
+	adminConns map[net.Conn]struct{}
 
 	// beConns tracks live backend connections so the post-drain abort can
 	// cut hung exchanges instead of waiting out BackendTimeout. Guarded by
@@ -479,14 +485,15 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	srv := &Server{
-		cfg:       cfg,
-		sched:     sched,
-		logger:    cfg.Logger,
-		stopCh:    make(chan struct{}),
-		drainCh:   make(chan struct{}),
-		conns:     make(map[net.Conn]struct{}),
-		beConns:   make(map[net.Conn]struct{}),
-		admission: newAdmission(cfg.MaxConns, cfg.Subscribers, cfg.ShardCount),
+		cfg:        cfg,
+		sched:      sched,
+		logger:     cfg.Logger,
+		stopCh:     make(chan struct{}),
+		drainCh:    make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		adminConns: make(map[net.Conn]struct{}),
+		beConns:    make(map[net.Conn]struct{}),
+		admission:  newAdmission(cfg.MaxConns, cfg.Subscribers, cfg.ShardCount),
 		tracer: telemetry.NewTracer(telemetry.TracerConfig{
 			SampleEvery: cfg.TraceSampleEvery,
 			Buffer:      cfg.TraceBuffer,
@@ -595,6 +602,22 @@ func (s *Server) untrackConn(conn net.Conn) {
 	s.connMu.Unlock()
 }
 
+// trackAdminConn registers a control-plane connection for Close's deadline
+// zap and force-close sweeps. Unlike trackConn it never refuses: MaxConns
+// bounds subscriber traffic, and a saturated data plane must not lock the
+// operator out of the very surface that can shed it.
+func (s *Server) trackAdminConn(conn net.Conn) {
+	s.connMu.Lock()
+	s.adminConns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrackAdminConn(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.adminConns, conn)
+	s.connMu.Unlock()
+}
+
 // Close stops the dispatcher gracefully: it stops accepting, lets in-flight
 // requests finish for up to DrainTimeout (the scheduling and accounting
 // loops keep running through the drain so queued requests still dispatch),
@@ -630,6 +653,9 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		_ = c.SetReadDeadline(time.Now())
 	}
+	for c := range s.adminConns {
+		_ = c.SetReadDeadline(time.Now())
+	}
 	s.connMu.Unlock()
 
 	done := make(chan struct{})
@@ -649,6 +675,9 @@ func (s *Server) Close() error {
 	close(s.stopCh)
 	s.connMu.Lock()
 	for c := range s.conns {
+		_ = c.Close()
+	}
+	for c := range s.adminConns {
 		_ = c.Close()
 	}
 	s.connMu.Unlock()
@@ -969,7 +998,11 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		return true
 	}
 	if strings.HasPrefix(req.Path(), AdminPrefix) {
-		s.serveAdmin(conn, req)
+		// The mutation surface is served only by ServeAdmin's dedicated
+		// listener (gaged's adminListen knob); a client that can reach the
+		// data-plane port must never be able to sign, resize, or retire
+		// subscribers, so the control-plane routes answer 404 here.
+		s.respondError(conn, 404)
 		return true
 	}
 	// The request ID doubles as the trace-sampling key, so it is drawn
@@ -1079,11 +1112,18 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 // connection that has moved on to its next request.
 func (s *Server) abandon(pc *pendingConn) {
 	if !pc.state.CompareAndSwap(pcWaiting, pcAbandoned) {
-		if pc.state.Load() == pcHandedOff {
+		switch pc.state.Load() {
+		case pcHandedOff:
 			// The migration sweep won: the request was withdrawn from the
 			// scheduler and recorded for the partition's new owner. There is
 			// no charge left to reclaim and it is not an abandonment — the
 			// new owner redispatches it.
+			return
+		case pcAbandoned:
+			// An admin delete of the subscriber won: it already reclaimed the
+			// scheduler state and sent the wake-up sentinel on pc.node. There
+			// was no dispatch, so there is no charge to release — consuming
+			// the sentinel and calling ReleaseDispatch here would invent one.
 			return
 		}
 		// The tick loop won the race: the node is already (or imminently)
