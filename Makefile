@@ -1,7 +1,7 @@
 # Tier-1 verification gate. Every change must keep `make verify` green.
-.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier bench-frontier stress-hier chaos-hier chaos-rdn chaos-elastic audit-smoke
+.PHONY: verify build vet test race chaos lint bench bench-flightrec bench-sched bench-hier bench-obs bench-frontier stress-hier chaos-hier chaos-rdn chaos-elastic audit-smoke obs-smoke
 
-verify: build vet lint test race audit-smoke bench-sched bench-hier stress-hier chaos-rdn chaos-elastic
+verify: build vet lint test race audit-smoke obs-smoke bench-sched bench-hier bench-obs stress-hier chaos-rdn chaos-elastic
 
 build:
 	go build ./...
@@ -113,6 +113,33 @@ bench-frontier:
 	go test -run '^$$' -bench FrontierCycle -benchmem -benchtime=2000x -json \
 		./internal/frontier/ > BENCH_frontier.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_frontier.json | cut -d'"' -f4 || true
+
+# Unified-event-bus overhead trajectory: the raw ring publish and the
+# scheduler Tick with recorder + bus mirroring, next to the recorder-only
+# Tick baseline. Results land in BENCH_obs.json; publish and bus-on Tick
+# must stay 0 allocs/op, and the bus's marginal Tick cost within ~10% of
+# the recorder-only path (the BENCH_sched recorder-on baseline).
+bench-obs:
+	go test -run '^$$' -bench 'ObsPublish|ObsTickRecorderAndBus|FlightrecTickRecorderOn' \
+		-benchmem -benchtime=50000x -json \
+		./internal/obs/ ./internal/flightrec/ > BENCH_obs.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | cut -d'"' -f4 || true
+
+# End-to-end observability round trip through the CLI: replay a trace with
+# the unified event log on (the reservation is deliberately infeasible, so
+# the auditor opens violation spans), schema-lint the spilled event log,
+# then render the explain story — gen → replay -events → lint → explain
+# exactly as an operator would.
+obs-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	go run ./cmd/gagetrace gen -kind specweb -rate 300 -duration 5s \
+		-out "$$tmp/trace.jsonl" && \
+	go run ./cmd/gagetrace replay -rpns 1 -grps 5000 -warmup 1s -window 2s \
+		-cycles "$$tmp/cycles.jsonl" -events "$$tmp/events.jsonl" \
+		"$$tmp/trace.jsonl" && \
+	go run ./cmd/gagetrace lint "$$tmp/events.jsonl" && \
+	go run ./cmd/gagetrace explain -cycles "$$tmp/cycles.jsonl" -warmup 1s \
+		-window 2s site1 "$$tmp/events.jsonl"
 
 # End-to-end flight-recorder round trip through the CLI: generate a short
 # SPECweb99 trace, replay it through the simulator spilling the per-cycle

@@ -35,6 +35,9 @@
 //	  "cycleRingSize": 1024,
 //	  "cycleLog": "/var/log/gage/cycles.jsonl",
 //	  "conformanceWindowMillis": 10000,
+//	  "eventRingSize": 4096,
+//	  "eventLog": "/var/log/gage/events.jsonl",
+//	  "exemplarsPerSpan": 4,
 //	  "adminListen": "127.0.0.1:8081",
 //	  "admitHeadroom": 0.9,
 //	  "rdnCount": 3,
@@ -115,6 +118,14 @@ type fileConfig struct {
 	CycleRingSize           int    `json:"cycleRingSize"`
 	CycleLog                string `json:"cycleLog"`
 	ConformanceWindowMillis int    `json:"conformanceWindowMillis"`
+	// Unified event bus: EventRingSize retains that many observability
+	// events for /_gage/events (0 = bus off unless eventLog is set);
+	// EventLog appends every event as JSONL to the named file;
+	// ExemplarsPerSpan is how many recent sampled trace IDs the auditor
+	// attaches to each violation span it opens.
+	EventRingSize    int    `json:"eventRingSize"`
+	EventLog         string `json:"eventLog"`
+	ExemplarsPerSpan int    `json:"exemplarsPerSpan"`
 	// AdminListen serves the admission control plane (/_gage/admin/*) on a
 	// separate listener so operator traffic never competes with client
 	// traffic; empty disables the admin API. AdmitHeadroom caps the
@@ -158,6 +169,9 @@ func run() error {
 		tr = newTierRunner(tcfg, subscriberGroups(cfg.Subscribers))
 		cfg.Owns = tr.owns
 		cfg.Fence = tr.owns
+		// Salt trace IDs and stamp bus events with this instance's id so
+		// per-RDN event logs merge attributably (gagetrace explain).
+		cfg.RDN = tcfg.RDNID
 	}
 	srv, err := dispatch.New(cfg)
 	if err != nil {
@@ -282,6 +296,8 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 	count("traceSampleEvery", fc.TraceSampleEvery, &cfg.TraceSampleEvery)
 	count("traceBuffer", fc.TraceBuffer, &cfg.TraceBuffer)
 	count("cycleRingSize", fc.CycleRingSize, &cfg.CycleRingSize)
+	count("eventRingSize", fc.EventRingSize, &cfg.EventRingSize)
+	count("exemplarsPerSpan", fc.ExemplarsPerSpan, &cfg.ExemplarsPerSpan)
 	if err != nil {
 		return dispatch.Config{}, err
 	}
@@ -293,6 +309,13 @@ func parseConfig(raw []byte) (dispatch.Config, error) {
 			return dispatch.Config{}, fmt.Errorf("cycleLog: %w", ferr)
 		}
 		cfg.CycleLog = f
+	}
+	if fc.EventLog != "" {
+		f, ferr := os.Create(fc.EventLog)
+		if ferr != nil {
+			return dispatch.Config{}, fmt.Errorf("eventLog: %w", ferr)
+		}
+		cfg.EventLog = f
 	}
 	if fc.SlowStartCycles < -1 {
 		return dispatch.Config{}, fmt.Errorf("slowStartCycles must be >= -1 (got %d; -1 disables the ramp)", fc.SlowStartCycles)

@@ -217,6 +217,8 @@ func TestParseConfigRejectsNegativeKnobs(t *testing.T) {
 		"traceBuffer",
 		"cycleRingSize",
 		"conformanceWindowMillis",
+		"eventRingSize",
+		"exemplarsPerSpan",
 	}
 	for _, knob := range knobs {
 		raw := fmt.Sprintf(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],%q:-7}`, knob)
@@ -344,5 +346,53 @@ func TestSubscriberGroups(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("groups = %v, want %v", got, want)
 		}
+	}
+}
+
+// TestParseConfigEventBusKnobs: the unified-event-bus knobs reach the
+// dispatcher config, the spill file is created at startup, an unwritable
+// path fails loudly, and unset knobs leave the bus off.
+func TestParseConfigEventBusKnobs(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	cfg, err := parseConfig([]byte(fmt.Sprintf(`{
+	  "subscribers": [{"id": "a", "hosts": ["a.example"], "reservationGRPS": 10}],
+	  "backends": [{"id": 1, "addr": "127.0.0.1:9001"}],
+	  "eventRingSize": 4096,
+	  "eventLog": %q,
+	  "exemplarsPerSpan": 6
+	}`, logPath)))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.EventRingSize != 4096 {
+		t.Errorf("eventRingSize = %d, want 4096", cfg.EventRingSize)
+	}
+	if cfg.ExemplarsPerSpan != 6 {
+		t.Errorf("exemplarsPerSpan = %d, want 6", cfg.ExemplarsPerSpan)
+	}
+	if cfg.EventLog == nil {
+		t.Fatal("eventLog path must open a spill writer")
+	}
+	if f, ok := cfg.EventLog.(*os.File); ok {
+		f.Close()
+	}
+	if _, err := os.Stat(logPath); err != nil {
+		t.Errorf("event log not created at startup: %v", err)
+	}
+
+	cfg, err = parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}]}`))
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	if cfg.EventRingSize != 0 || cfg.EventLog != nil || cfg.ExemplarsPerSpan != 0 {
+		t.Errorf("unset event-bus knobs must stay zero (bus off): %d %v %d",
+			cfg.EventRingSize, cfg.EventLog, cfg.ExemplarsPerSpan)
+	}
+
+	_, err = parseConfig([]byte(`{"subscribers":[{"id":"a"}],"backends":[{"id":1,"addr":"x"}],"eventLog":"/nonexistent-dir/events.jsonl"}`))
+	if err == nil {
+		t.Error("unwritable eventLog path accepted, want error")
+	} else if !strings.Contains(err.Error(), "eventLog") {
+		t.Errorf("eventLog error %q does not name the field", err)
 	}
 }

@@ -43,7 +43,7 @@ func TestConformanceGolden(t *testing.T) {
 	}
 	rec := flightrec.NewRecorder(flightrec.Config{Spill: f})
 	const warmup = time.Second
-	res, err := replay(reqs, 2, 60, warmup, rec)
+	res, err := replay(reqs, 2, 60, warmup, rec, nil, nil, 0)
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}

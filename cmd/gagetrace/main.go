@@ -6,9 +6,11 @@
 //	gagetrace gen  -kind specweb -host www.site1.example -sub site1 \
 //	               -rate 100 -duration 10s -seed 1 -out trace.jsonl
 //	gagetrace stats  trace.jsonl
-//	gagetrace replay -rpns 4 -grps 100 -cycles cycles.jsonl trace.jsonl
+//	gagetrace replay -rpns 4 -grps 100 -cycles cycles.jsonl -events events.jsonl trace.jsonl
 //	gagetrace audit  -warmup 1s cycles.jsonl
 //	gagetrace audit  -warmup 1s drill.rdn1.jsonl drill.rdn2.jsonl drill.rdn3.jsonl
+//	gagetrace lint   events.jsonl
+//	gagetrace explain -cycles cycles.jsonl -warmup 1s site1 events.jsonl
 //
 // gen writes a JSON-lines trace; stats summarizes it; replay runs it
 // through the cluster simulator under Gage scheduling and prints the
@@ -30,6 +32,7 @@ import (
 	"gage/internal/cluster"
 	"gage/internal/flightrec"
 	"gage/internal/metrics"
+	"gage/internal/obs"
 	"gage/internal/qos"
 	"gage/internal/workload"
 )
@@ -54,8 +57,12 @@ func run(args []string, out io.Writer) error {
 		return replayCmd(args[1:], out)
 	case "audit":
 		return auditCmd(args[1:], out)
+	case "explain":
+		return explainCmd(args[1:], out)
+	case "lint":
+		return lintCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown command %q (try gen, stats, replay, audit)", args[0])
+		return fmt.Errorf("unknown command %q (try gen, stats, replay, audit, explain, lint)", args[0])
 	}
 }
 
@@ -168,6 +175,9 @@ func replayCmd(args []string, out io.Writer) error {
 		warmup   = fs.Duration("warmup", time.Second, "measurement warmup")
 		interval = fs.Duration("interval", time.Second, "deviation averaging interval")
 		cycles   = fs.String("cycles", "", "spill the scheduler's per-cycle flight-recorder log to this JSONL file")
+		events   = fs.String("events", "", "spill the unified observability event log to this JSONL file")
+		traceN   = fs.Uint64("trace-every", 8, "with -events, sample every Nth request for span events (0 = none)")
+		window   = fs.Duration("window", 2*time.Second, "with -events and -cycles, the live auditor's slow window")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -188,13 +198,38 @@ func replayCmd(args []string, out io.Writer) error {
 		defer f.Close()
 		rec = flightrec.NewRecorder(flightrec.Config{Spill: f})
 	}
-	res, err := replay(reqs, *rpns, qos.GRPS(*grps), *warmup, rec)
+	var bus *obs.Bus
+	var auditor *flightrec.Auditor
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bus = obs.NewBus(obs.BusConfig{RingSize: 256, Spill: f})
+		if rec != nil {
+			// A live auditor mirrors violation spans onto the bus at their
+			// exact virtual offsets, so `explain` can line them up with the
+			// faults, breaker flips and span events around them.
+			auditor = flightrec.NewAuditor(rec, flightrec.AuditorConfig{
+				Window: *window,
+				Skip:   *warmup,
+			})
+			auditor.SetBus(bus)
+		}
+	}
+	res, err := replay(reqs, *rpns, qos.GRPS(*grps), *warmup, rec, bus, auditor, *traceN)
 	if err != nil {
 		return err
 	}
 	if rec != nil {
 		if err := rec.SpillErr(); err != nil {
 			return fmt.Errorf("cycle log: %w", err)
+		}
+	}
+	if bus != nil {
+		if err := bus.SpillErr(); err != nil {
+			return fmt.Errorf("event log: %w", err)
 		}
 	}
 	fmt.Fprintf(out, "%-12s %10s %10s %10s %12s %10s\n",
@@ -212,14 +247,20 @@ func replayCmd(args []string, out io.Writer) error {
 	if *cycles != "" {
 		fmt.Fprintf(out, "cycle log: %d records to %s\n", rec.Seq(), *cycles)
 	}
+	if *events != "" {
+		fmt.Fprintf(out, "event log: %d events to %s\n", bus.Seq(), *events)
+	}
 	return nil
 }
 
 // replay runs a trace through the cluster simulator: subscribers are
 // derived from the trace, each with the same reservation, and the trace's
 // host names classify the requests back to them. A non-nil recorder spills
-// the scheduler's per-cycle state for offline auditing.
-func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Duration, rec *flightrec.Recorder) (*cluster.Result, error) {
+// the scheduler's per-cycle state for offline auditing; a non-nil bus
+// additionally streams the unified event log (span events for every
+// traceEvery-th request, plus a non-nil auditor's live violation spans).
+func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Duration,
+	rec *flightrec.Recorder, bus *obs.Bus, auditor *flightrec.Auditor, traceEvery uint64) (*cluster.Result, error) {
 	hosts := make(map[qos.SubscriberID]map[string]bool)
 	var last time.Duration
 	for _, r := range reqs {
@@ -260,6 +301,9 @@ func replay(reqs []workload.Request, rpns int, grps qos.GRPS, warmup time.Durati
 		ReplayTrace: reqs,
 		NumRPNs:     rpns,
 		Recorder:    rec,
+		Bus:         bus,
+		Auditor:     auditor,
+		TraceEvery:  traceEvery,
 		Warmup:      warmup,
 		Duration:    measured,
 	})

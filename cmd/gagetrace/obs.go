@@ -1,0 +1,143 @@
+// Observability subcommands: the unified-event-log half of gagetrace.
+//
+//	gagetrace replay  -cycles cycles.jsonl -events events.jsonl trace.jsonl
+//	gagetrace lint    events.jsonl [more.jsonl ...]
+//	gagetrace explain -cycles cycles.jsonl [-span N] site1 events.jsonl [more.jsonl ...]
+//
+// replay -events spills the run's unified event log (request spans, cycle
+// and tier records, faults, breaker flips, guarantee violations) next to
+// the cycle log; lint checks spilled logs against the event schema's
+// invariants; explain merges per-RDN event logs and reconstructs the
+// causal story behind one subscriber's violation span — the coinciding
+// cluster events and each exemplar request's full hop-by-hop path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gage/internal/flightrec"
+	"gage/internal/obs"
+	"gage/internal/qos"
+)
+
+// explainCmd renders the causal story of one violation span from a cycle
+// log and one or more (per-RDN) unified event logs.
+func explainCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	var (
+		cycles   = fs.String("cycles", "", "cycle log(s), comma-separated for a multi-RDN tier")
+		span     = fs.Int("span", 0, "violation span index for the subscriber (0 = first)")
+		margin   = fs.Duration("margin", 0, "coinciding-event window beyond the span edges (default 2s)")
+		window   = fs.Duration("window", 0, "slow sliding window (0 = the whole log)")
+		fast     = fs.Duration("fast", 0, "fast burn-rate window (default window/10)")
+		warmup   = fs.Duration("warmup", 0, "skip records before this offset (match the run's warmup)")
+		ratio    = fs.Float64("ratio", flightrec.DefaultRatio, "conformance threshold")
+		interval = fs.Duration("interval", 0, "deviation averaging interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cycles == "" {
+		return fmt.Errorf("explain: -cycles cycle log required")
+	}
+	sub := fs.Arg(0)
+	if sub == "" {
+		return fmt.Errorf("explain: subscriber required")
+	}
+	evPaths := fs.Args()[1:]
+	if len(evPaths) == 0 {
+		return fmt.Errorf("explain: at least one event log required")
+	}
+	recs, err := readCycleLogs(strings.Split(*cycles, ","))
+	if err != nil {
+		return err
+	}
+	logs := make([][]obs.Event, 0, len(evPaths))
+	for _, path := range evPaths {
+		evs, err := readEventLog(path)
+		if err != nil {
+			return err
+		}
+		logs = append(logs, evs)
+	}
+	story, err := flightrec.Explain(recs, obs.MergeLogs(logs...), qos.SubscriberID(sub),
+		flightrec.ExplainOptions{Span: *span, Margin: *margin},
+		flightrec.AuditorConfig{
+			Window:     *window,
+			FastWindow: *fast,
+			Interval:   *interval,
+			Ratio:      *ratio,
+			Skip:       *warmup,
+		})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(out, story)
+	return err
+}
+
+// lintCmd checks each spilled event log against the schema invariants:
+// known kinds, per-RDN monotone sequence and time, span events carrying
+// trace identity, at most one terminal settle per trace per RDN.
+func lintCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.Arg(0) == "" {
+		return fmt.Errorf("lint: at least one event log required")
+	}
+	for _, path := range fs.Args() {
+		evs, err := readEventLog(path)
+		if err != nil {
+			return err
+		}
+		if err := obs.LintLog(evs); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "ok %s: %d events (schema %d)\n", path, len(evs), obs.SchemaVersion)
+	}
+	return nil
+}
+
+// readEventLog reads one spilled JSONL event log.
+func readEventLog(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	evs, err := obs.ReadLog(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return evs, nil
+}
+
+// readCycleLogs reads and At-merges one or more cycle logs (one per RDN in
+// a multi-RDN tier), the same stable interleave the audit command uses.
+func readCycleLogs(paths []string) ([]flightrec.CycleRecord, error) {
+	var recs []flightrec.CycleRecord
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		part, err := flightrec.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		recs = append(recs, part...)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("cycle log is empty")
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+	return recs, nil
+}

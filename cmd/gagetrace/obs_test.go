@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// obsPipeline generates an infeasible-reservation trace, replays it with
+// the unified event log on, and returns the spilled cycle and event log
+// paths — the guarantee genuinely breaks (1 RPN cannot deliver 5000 GRPS),
+// so the auditor opens violation spans with exemplars.
+func obsPipeline(t *testing.T) (dir, cycles, events string) {
+	t.Helper()
+	dir = t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	cycles = filepath.Join(dir, "cycles.jsonl")
+	events = filepath.Join(dir, "events.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"gen", "-kind", "specweb", "-host", "www.site1.example", "-sub", "site1",
+		"-rate", "300", "-duration", "5s", "-seed", "3", "-out", trace,
+	}, &out)
+	if err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	out.Reset()
+	err = run([]string{
+		"replay", "-rpns", "1", "-grps", "5000", "-warmup", "1s", "-window", "2s",
+		"-cycles", cycles, "-events", events, trace,
+	}, &out)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "event log:") {
+		t.Errorf("replay output missing event log line: %q", s)
+	}
+	return dir, cycles, events
+}
+
+// TestLintAndExplainPipeline: replay -events spills a lint-clean event log,
+// and explain reconstructs a violation story from it — span header,
+// exemplars, and at least one full classify→settle hop sequence.
+func TestLintAndExplainPipeline(t *testing.T) {
+	_, cycles, events := obsPipeline(t)
+
+	var out bytes.Buffer
+	if err := run([]string{"lint", events}, &out); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "ok ") || !strings.Contains(s, "schema 1") {
+		t.Errorf("lint output = %q", s)
+	}
+
+	out.Reset()
+	err := run([]string{
+		"explain", "-cycles", cycles, "-warmup", "1s", "-window", "2s",
+		"site1", events,
+	}, &out)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	story := out.String()
+	for _, want := range []string{
+		"subscriber site1: violation span 1/",
+		"reservation 5000 GRPS",
+		"exemplar ",
+		"classify",
+		"dispatch",
+		"settle",
+	} {
+		if !strings.Contains(story, want) {
+			t.Errorf("explain story missing %q:\n%s", want, story)
+		}
+	}
+
+	// -span selects a later span; an out-of-range index is an error.
+	out.Reset()
+	err = run([]string{
+		"explain", "-cycles", cycles, "-warmup", "1s", "-window", "2s", "-span", "1",
+		"site1", events,
+	}, &out)
+	if err != nil {
+		t.Fatalf("explain -span 1: %v", err)
+	}
+	if !strings.Contains(out.String(), "violation span 2/") {
+		t.Errorf("explain -span 1 output = %q", out.String())
+	}
+	if err := run([]string{
+		"explain", "-cycles", cycles, "-warmup", "1s", "-window", "2s", "-span", "99",
+		"site1", events,
+	}, &out); err == nil {
+		t.Error("out-of-range span index must fail")
+	}
+}
+
+// TestLintRejectsCorruptLog: a log with a broken invariant (an unknown
+// event kind) fails the lint with a file-qualified error.
+func TestLintRejectsCorruptLog(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	line := `{"schema":1,"seq":0,"at":1000,"kind":99}` + "\n"
+	if err := os.WriteFile(bad, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"lint", bad}, &out)
+	if err == nil {
+		t.Fatal("lint of a corrupt log must fail")
+	}
+	if !strings.Contains(err.Error(), "bad.jsonl") {
+		t.Errorf("lint error %q does not name the file", err)
+	}
+}
+
+// TestObsCommandErrors pins the argument contracts of the new commands.
+func TestObsCommandErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"lint"}, &out); err == nil {
+		t.Error("lint without files must fail")
+	}
+	if err := run([]string{"explain", "site1", "x.jsonl"}, &out); err == nil {
+		t.Error("explain without -cycles must fail")
+	}
+	if err := run([]string{"explain", "-cycles", "c.jsonl"}, &out); err == nil {
+		t.Error("explain without a subscriber must fail")
+	}
+	if err := run([]string{"explain", "-cycles", "c.jsonl", "site1"}, &out); err == nil {
+		t.Error("explain without event logs must fail")
+	}
+}

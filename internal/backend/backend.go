@@ -20,6 +20,7 @@ import (
 	"gage/internal/accounting"
 	"gage/internal/core"
 	"gage/internal/httpwire"
+	"gage/internal/obs"
 	"gage/internal/qos"
 	"gage/internal/workload"
 )
@@ -143,6 +144,11 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	resp, cost := s.render(req)
+	// Echo the trace ID so the front end (and any log scraper watching the
+	// backend side) can attribute the exchange to its end-to-end trace.
+	if tid := req.Header[obs.TraceHeader]; tid != "" {
+		resp.Header[obs.TraceHeader] = tid
+	}
 	if s.cfg.Delay > 0 {
 		time.Sleep(time.Duration(float64(cost.CPUTime+cost.DiskTime) * s.cfg.Delay))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"gage/internal/breaker"
 	"gage/internal/core"
+	"gage/internal/obs"
 	"gage/internal/qos"
 )
 
@@ -58,6 +59,10 @@ type chaosRun struct {
 	lastSeq  map[core.NodeID]int
 	lastEp   map[core.NodeID]int
 	lastSeen map[core.NodeID]core.UsageReport
+
+	// bus, when non-nil, receives one event per breaker state transition —
+	// the failure-detection half of a crash's causal story.
+	bus *obs.Bus
 }
 
 func newChaosRun(nodes []*RPN) *chaosRun {
@@ -155,7 +160,9 @@ func (cs *chaosRun) recover(node core.NodeID) {
 // missAcct records one silent accounting cycle for a node; at the streak
 // threshold the breaker opens and the node's scheduler weight drops to 0.
 func (cs *chaosRun) missAcct(sched *core.Scheduler, node core.NodeID, now time.Time) {
-	cs.breakers[node].Failure(breaker.Poll, now)
+	if cs.breakers[node].Failure(breaker.Poll, now) {
+		cs.publishBreaker(node)
+	}
 	cs.applyWeight(sched, node)
 }
 
@@ -163,15 +170,25 @@ func (cs *chaosRun) missAcct(sched *core.Scheduler, node core.NodeID, now time.T
 // is its own probe — and the node rejoins the scheduler at the bottom of
 // the slow-start ramp rather than at full weight.
 func (cs *chaosRun) ackAcct(sched *core.Scheduler, node core.NodeID, now time.Time) {
-	cs.breakers[node].Success(breaker.Poll, now)
+	if cs.breakers[node].Success(breaker.Poll, now) {
+		cs.publishBreaker(node)
+	}
 	cs.applyWeight(sched, node)
 }
 
 // tickAcct advances breaker time one accounting cycle: the slow-start ramp
 // climbs one step for closed breakers.
 func (cs *chaosRun) tickAcct(sched *core.Scheduler, node core.NodeID, now time.Time) {
-	cs.breakers[node].Tick(now)
+	if cs.breakers[node].Tick(now) {
+		cs.publishBreaker(node)
+	}
 	cs.applyWeight(sched, node)
+}
+
+// publishBreaker records one breaker state transition on the event bus.
+func (cs *chaosRun) publishBreaker(node core.NodeID) {
+	cs.bus.Publish(obs.Event{Kind: obs.KindBreaker, Node: int(node),
+		Stage: cs.breakers[node].State().String(), Detail: breaker.Poll.String()})
 }
 
 // nodeWeight reports the node's current scheduler weight: the breaker's,

@@ -8,6 +8,7 @@ import (
 	"gage/internal/classify"
 	"gage/internal/core"
 	"gage/internal/flightrec"
+	"gage/internal/obs"
 	"gage/internal/qos"
 	"gage/internal/workload"
 )
@@ -154,6 +155,7 @@ type elasticState struct {
 	cs           *chaosRun
 	dyn          *classify.DynamicClassifier
 	rec          *flightrec.Recorder
+	bus          *obs.Bus
 	defsNow      map[qos.SubscriberID]qos.Subscriber
 	floors       map[qos.SubscriberID]qos.Vector
 	creditWindow time.Duration
@@ -283,4 +285,16 @@ func (es *elasticState) apply(ev AdmissionEvent) {
 		es.rejected++
 	}
 	es.log = append(es.log, out)
+	// Every scripted outcome — applied, policy-refused, or mechanically
+	// failed — lands on the event bus, so a violation investigation sees the
+	// control-plane decision that did (or pointedly did not) change capacity.
+	code := "accepted"
+	switch {
+	case out.Err != "":
+		code = "error"
+	case !out.Applied:
+		code = out.Decision.Code
+	}
+	es.bus.Publish(obs.Event{Kind: obs.KindAdmin, Sub: string(out.Subscriber),
+		Node: int(out.Node), Detail: ev.Kind.String() + ":" + code})
 }

@@ -13,6 +13,7 @@ import (
 	"gage/internal/faults"
 	"gage/internal/flightrec"
 	"gage/internal/metrics"
+	"gage/internal/obs"
 	"gage/internal/qos"
 	"gage/internal/telemetry"
 	"gage/internal/vclock"
@@ -88,6 +89,25 @@ type Options struct {
 	// recorder's clock is pointed at the engine's virtual clock; live and
 	// simulated cycle logs then share one format and one time base.
 	Recorder *flightrec.Recorder
+
+	// Auditor, when non-nil alongside a Recorder, audits the run live: it
+	// syncs from the Recorder once per accounting cycle on the virtual
+	// clock, settled traced requests feed its exemplar reservoirs, and —
+	// with a Bus attached via SetBus — violation spans publish as events at
+	// their exact virtual offsets, just as the live dispatcher's auditor
+	// does.
+	Auditor *flightrec.Auditor
+
+	// Bus, when non-nil, receives the run's unified event stream — request
+	// spans for traced arrivals, fault injections, breaker transitions,
+	// scripted admission outcomes, and (through the Recorder) cycle and tier
+	// records — all stamped with virtual-time offsets from the start of the
+	// run, the same origin as cycle records. Same run ⇒ identical stream.
+	Bus *obs.Bus
+	// TraceEvery samples every Nth arrival (by request ID) for span events
+	// on the Bus; 0 disables span tracing. Sampling is deterministic, so a
+	// replayed drill selects the same exemplar requests.
+	TraceEvery uint64
 
 	// Faults, when non-nil, is the deterministic chaos schedule executed at
 	// exact virtual times: node crashes/recoveries, accounting drop/delay
@@ -456,6 +476,30 @@ func Run(opts Options) (*Result, error) {
 		opts.Recorder.SetClock(func() time.Duration { return engine.Now().Sub(start) })
 		sched.SetRecorder(opts.Recorder)
 	}
+	bus := opts.Bus
+	if bus != nil {
+		// Bus events share the cycle records' time base: virtual offsets
+		// from the start of the run, warmup included.
+		bus.SetClock(func() time.Duration { return engine.Now().Sub(start) })
+		if opts.Recorder != nil {
+			opts.Recorder.SetBus(bus)
+		}
+	}
+	cs.bus = bus
+	if opts.Auditor != nil && opts.Recorder != nil {
+		// The live audit ticks with the accounting cycle: violation spans
+		// open and close at deterministic virtual offsets, not at whatever
+		// wall-clock moment a scraper happened to sync.
+		stopAudit := engine.Every(opts.AcctCycle, opts.Auditor.Sync)
+		defer stopAudit()
+	}
+	traceEvery := opts.TraceEvery
+	if bus == nil {
+		traceEvery = 0
+	}
+	// traced selects span-sampled requests; the zero trace ID never occurs
+	// (Mint offsets the RDN field) so "untraced" needs no sentinel.
+	traced := func(id uint64) bool { return traceEvery != 0 && id%traceEvery == 0 }
 
 	// Materialize all arrivals up front: deterministic and cheap.
 	var arrivals []workload.Request
@@ -523,6 +567,10 @@ func Run(opts Options) (*Result, error) {
 			tp.Offered(sub, u)
 			counts.offered[sub]++
 		}
+		if traced(req.ID) {
+			bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, req.ID),
+				Sub: string(sub), Stage: "classify"})
+		}
 		var affinity uint64
 		if opts.LocalityDispatch {
 			affinity = localityKey(req.Host, req.Path)
@@ -537,8 +585,17 @@ func Run(opts Options) (*Result, error) {
 				tp.Dropped(sub, u)
 				counts.dropped[sub]++
 			}
+			if traced(req.ID) {
+				bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, req.ID),
+					Sub: string(sub), Stage: obs.StageSettle, Detail: "shed"})
+				opts.Auditor.NoteExemplar(sub, obs.Mint(0, req.ID))
+			}
 		} else {
 			admittedReqs++
+			if traced(req.ID) {
+				bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, req.ID),
+					Sub: string(sub), Stage: "queue"})
+			}
 		}
 	}
 	admitHop := func(arg any) {
@@ -556,9 +613,15 @@ func Run(opts Options) (*Result, error) {
 			ev := ev
 			switch ev.Kind {
 			case faults.NodeCrash:
-				engine.At(start.Add(ev.At), func() { cs.crash(sched, byID[ev.Node]) })
+				engine.At(start.Add(ev.At), func() {
+					bus.Publish(obs.Event{Kind: obs.KindFault, Node: int(ev.Node), Detail: "crash"})
+					cs.crash(sched, byID[ev.Node])
+				})
 			case faults.NodeRecover:
-				engine.At(start.Add(ev.At), func() { cs.recover(ev.Node) })
+				engine.At(start.Add(ev.At), func() {
+					bus.Publish(obs.Event{Kind: obs.KindFault, Node: int(ev.Node), Detail: "recover"})
+					cs.recover(ev.Node)
+				})
 			}
 		}
 		for _, tr := range inj.Transitions() {
@@ -605,9 +668,21 @@ func Run(opts Options) (*Result, error) {
 		if node.Epoch() != epoch {
 			// The node crashed mid-service; the crash handler
 			// already reclaimed this request's charge.
+			if traced(req.ID) {
+				bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, req.ID),
+					Sub: string(req.Subscriber), Node: int(node.id),
+					Stage: obs.StageSettle, Detail: "reclaimed"})
+				opts.Auditor.NoteExemplar(req.Subscriber, obs.Mint(0, req.ID))
+			}
 			return
 		}
 		cs.complete(node.id, req.ID)
+		if traced(req.ID) {
+			bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, req.ID),
+				Sub: string(req.Subscriber), Node: int(node.id),
+				Stage: obs.StageSettle, Detail: "served"})
+			opts.Auditor.NoteExemplar(req.Subscriber, obs.Mint(0, req.ID))
+		}
 		node.chargeCompletion(*req, effective)
 		now := engine.Now()
 		if inWindow(now) {
@@ -623,6 +698,12 @@ func Run(opts Options) (*Result, error) {
 	deliverHop := func(arg any) {
 		f := arg.(*flight)
 		if cs.crashed[f.node.id] {
+			if traced(f.req.ID) {
+				bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, f.req.ID),
+					Sub: string(f.req.Subscriber), Node: int(f.node.id),
+					Stage: obs.StageSettle, Detail: "reclaimed"})
+				opts.Auditor.NoteExemplar(f.req.Subscriber, obs.Mint(0, f.req.ID))
+			}
 			cs.reclaimOne(sched, f.node.id, f.req.ID, f.req.Subscriber)
 			putFlight(f)
 			return
@@ -639,6 +720,10 @@ func Run(opts Options) (*Result, error) {
 				continue
 			}
 			cs.track(d.Node, req.ID, req.Subscriber)
+			if traced(req.ID) {
+				bus.Publish(obs.Event{Kind: obs.KindSpan, Trace: obs.Mint(0, req.ID),
+					Sub: string(req.Subscriber), Node: int(d.Node), Stage: "dispatch"})
+			}
 			nodeDispatches[d.Node].Record(engine.Now().Sub(measureFrom), 1)
 			f := getFlight()
 			f.req, f.node = req, byID[d.Node]
@@ -747,6 +832,7 @@ func Run(opts Options) (*Result, error) {
 			cs:           cs,
 			dyn:          dyn,
 			rec:          opts.Recorder,
+			bus:          bus,
 			defsNow:      defsNow,
 			floors:       floors,
 			creditWindow: opts.CreditWindow,
@@ -797,6 +883,10 @@ func Run(opts Options) (*Result, error) {
 
 	if err := engine.RunUntil(start.Add(total)); err != nil {
 		return nil, err
+	}
+	if opts.Auditor != nil {
+		// Catch the tail: records committed after the last audit tick.
+		opts.Auditor.Sync()
 	}
 
 	// Assemble results.

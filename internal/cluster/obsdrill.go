@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"time"
+
+	"gage/internal/faults"
+	"gage/internal/flightrec"
+	"gage/internal/obs"
+)
+
+// The observability acceptance drill: the elasticity scenario with a node
+// crash injected mid-churn, run with the unified event bus and trace
+// sampling on. Node 1 dies while three subscribers are committed against a
+// two-node pool, so site1's guarantee genuinely breaks — the auditor opens
+// a violation span whose exemplars resolve end-to-end through the merged
+// event log, and `gagetrace explain` reconstructs the story: the crash,
+// the breaker trip that detected it, the control-plane decisions taken in
+// the same window, and at least one concrete request's full
+// classify→queue→dispatch→settle path. Everything runs on the virtual
+// clock, so two runs produce byte-identical logs and stories.
+const (
+	// ObsDrillTraceEvery samples every 8th arrival for span events.
+	ObsDrillTraceEvery = 8
+	// ObsDrillCrashAt fail-stops node 1 mid-run; ObsDrillRecoverAt restarts
+	// it. Between the two, 130 GRPS of commitments lean on a single
+	// 100-GRPS node — a guaranteed violation with standing demand.
+	ObsDrillCrashAt   = 5 * time.Second
+	ObsDrillRecoverAt = 8 * time.Second
+)
+
+// ObsDrillOptions is the deterministic drill behind the observability
+// acceptance test and the EXPERIMENTS.md "explain a violation" walkthrough.
+// rec and bus may each be nil (the drill then runs without that stream).
+func ObsDrillOptions(rec *flightrec.Recorder, bus *obs.Bus) Options {
+	o := ElasticityDrillOptions(rec)
+	o.Bus = bus
+	o.TraceEvery = ObsDrillTraceEvery
+	o.Faults = &faults.Plan{Events: []faults.Event{
+		{At: ObsDrillCrashAt, Kind: faults.NodeCrash, Node: 1},
+		{At: ObsDrillRecoverAt, Kind: faults.NodeRecover, Node: 1},
+	}}
+	if rec != nil && bus != nil {
+		// A live auditor mirrors violation spans onto the bus at their
+		// exact virtual offsets, like the live dispatcher's does.
+		a := flightrec.NewAuditor(rec, ObsDrillAuditConfig())
+		a.SetBus(bus)
+		o.Auditor = a
+	}
+	return o
+}
+
+// ObsDrillAuditConfig is the auditor configuration the drill's offline
+// replay uses: warmup excluded, a 2-second slow window so the crash-induced
+// under-delivery crosses the violation threshold well before recovery.
+func ObsDrillAuditConfig() flightrec.AuditorConfig {
+	return flightrec.AuditorConfig{
+		Window: 2 * time.Second,
+		Skip:   ElasticityDrillWarmup,
+	}
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gage/internal/faults"
+	"gage/internal/flightrec"
+	"gage/internal/frontier"
+	"gage/internal/obs"
+	"gage/internal/qos"
+)
+
+// obsDrillRun executes the observability drill once and returns the raw
+// spilled cycle log and event log bytes.
+func obsDrillRun(t *testing.T) (cycles, events []byte) {
+	t.Helper()
+	var cycleSpill, eventSpill bytes.Buffer
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 64, Spill: &cycleSpill})
+	bus := obs.NewBus(obs.BusConfig{RingSize: 256, Spill: &eventSpill})
+	if _, err := Run(ObsDrillOptions(rec, bus)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rec.SpillErr(); err != nil {
+		t.Fatalf("cycle spill: %v", err)
+	}
+	if err := bus.SpillErr(); err != nil {
+		t.Fatalf("event spill: %v", err)
+	}
+	if bus.Dropped() != 0 {
+		t.Fatalf("bus dropped %d events despite a healthy spill", bus.Dropped())
+	}
+	return cycleSpill.Bytes(), eventSpill.Bytes()
+}
+
+// TestObsDrillExplainsViolation is the tentpole acceptance drill: a fault-
+// injected crash during the elasticity scenario must produce a violation
+// span whose exemplars resolve end-to-end — the explain story names the
+// crashed node, the breaker trip, the coinciding control-plane decisions,
+// and at least one exemplar's full classify→queue→dispatch→settle path.
+func TestObsDrillExplainsViolation(t *testing.T) {
+	cycleBytes, eventBytes := obsDrillRun(t)
+	recs, err := flightrec.ReadLog(bytes.NewReader(cycleBytes))
+	if err != nil {
+		t.Fatalf("read cycle log: %v", err)
+	}
+	evs, err := obs.ReadLog(bytes.NewReader(eventBytes))
+	if err != nil {
+		t.Fatalf("read event log: %v", err)
+	}
+	if err := obs.LintLog(evs); err != nil {
+		t.Fatalf("event log fails schema lint: %v", err)
+	}
+
+	// Every event kind the drill exercises appears in the stream.
+	seen := map[obs.Kind]int{}
+	for _, ev := range evs {
+		seen[ev.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.KindSpan, obs.KindCycle, obs.KindTier,
+		obs.KindFault, obs.KindBreaker, obs.KindAdmin, obs.KindViolation} {
+		if seen[k] == 0 {
+			t.Errorf("event log holds no %v events", k)
+		}
+	}
+
+	// The crash must open a violation span for site1, and the span must
+	// carry exemplars captured from settled traced requests.
+	rep := flightrec.ReplayEvents(recs, evs, ObsDrillAuditConfig())
+	site1, ok := rep.Sub("site1")
+	if !ok {
+		t.Fatal("audit report has no entry for site1")
+	}
+	if len(site1.Spans) == 0 {
+		t.Fatal("crash produced no violation span for site1")
+	}
+	span := site1.Spans[0]
+	if len(span.Exemplars) == 0 {
+		t.Fatal("violation span captured no exemplars")
+	}
+	// Record offsets count from the run start (warmup included), so the
+	// span must open after the crash and before recovery plus drain slack.
+	if span.Start < ObsDrillCrashAt || span.Start > ObsDrillRecoverAt+2*time.Second {
+		t.Errorf("span opens at %v, want within the crash window [%v, %v]",
+			span.Start, ObsDrillCrashAt, ObsDrillRecoverAt+2*time.Second)
+	}
+
+	// Each exemplar resolves to a settled trace in the event log, settled
+	// exactly once — the trace's terminal outcome is unambiguous.
+	for _, ex := range span.Exemplars {
+		tid, err := obs.ParseTraceID(ex)
+		if err != nil {
+			t.Fatalf("exemplar %q does not parse: %v", ex, err)
+		}
+		settles, classifies := 0, 0
+		for _, ev := range evs {
+			if ev.Kind != obs.KindSpan || ev.Trace != tid {
+				continue
+			}
+			switch ev.Stage {
+			case obs.StageSettle:
+				settles++
+			case "classify":
+				classifies++
+			}
+		}
+		if settles != 1 {
+			t.Errorf("exemplar %s settled %d times, want exactly 1", ex, settles)
+		}
+		if classifies != 1 {
+			t.Errorf("exemplar %s classified %d times, want exactly 1", ex, classifies)
+		}
+	}
+
+	// The explain story names the crashed node, the breaker transition, a
+	// coinciding admin decision, and a full exemplar path.
+	story, err := flightrec.Explain(recs, evs, qos.SubscriberID("site1"),
+		flightrec.ExplainOptions{}, ObsDrillAuditConfig())
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	for _, want := range []string{
+		"violation span 1/",
+		"node 1 crash",
+		"breaker",
+		"admin",
+		"exemplar " + span.Exemplars[0],
+		"classify",
+		"dispatch",
+		"settle",
+	} {
+		if !strings.Contains(story, want) {
+			t.Errorf("explain story missing %q:\n%s", want, story)
+		}
+	}
+}
+
+// TestObsDrillByteDeterministic runs the drill twice: the spilled cycle and
+// event logs, and the rendered explain story, must be byte-identical.
+func TestObsDrillByteDeterministic(t *testing.T) {
+	c1, e1 := obsDrillRun(t)
+	c2, e2 := obsDrillRun(t)
+	if !bytes.Equal(c1, c2) {
+		t.Error("cycle logs differ between identical runs")
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Error("event logs differ between identical runs")
+	}
+	explain := func(cb, eb []byte) string {
+		recs, err := flightrec.ReadLog(bytes.NewReader(cb))
+		if err != nil {
+			t.Fatalf("read cycle log: %v", err)
+		}
+		evs, err := obs.ReadLog(bytes.NewReader(eb))
+		if err != nil {
+			t.Fatalf("read event log: %v", err)
+		}
+		story, err := flightrec.Explain(recs, evs, "site1", flightrec.ExplainOptions{}, ObsDrillAuditConfig())
+		if err != nil {
+			t.Fatalf("Explain: %v", err)
+		}
+		return story
+	}
+	if s1, s2 := explain(c1, e1), explain(c2, e2); s1 != s2 {
+		t.Errorf("explain stories differ between identical runs:\n%s\n---\n%s", s1, s2)
+	}
+}
+
+// frontierEventRun executes the 3-RDN failover drill with one flight
+// recorder and one event bus per instance, and returns the merged event
+// stream plus its canonical JSONL bytes (obs.MergeLogs + obs.WriteLog).
+func frontierEventRun(t *testing.T) ([]obs.Event, []byte) {
+	t.Helper()
+	const rdnCount = 3
+	subs, sources := frontierTestPopulation(t, 6, 2, 20, 1.0)
+	part, err := frontier.NewPartitioner(rdnCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := part.Owner(drillGroup(0))
+	recs := make([]*flightrec.Recorder, rdnCount)
+	spills := make([]bytes.Buffer, rdnCount)
+	for i := range recs {
+		recs[i] = flightrec.NewRecorder(flightrec.Config{RingSize: 1024})
+		bus := obs.NewBus(obs.BusConfig{RingSize: 64, Spill: &spills[i]})
+		recs[i].SetBus(bus)
+	}
+	_, err = RunFrontier(FrontierOptions{
+		Options: Options{
+			Subscribers: subs,
+			Sources:     sources,
+			NumRPNs:     4,
+			Warmup:      time.Second,
+			Duration:    8 * time.Second,
+			Faults: &faults.Plan{Events: []faults.Event{
+				{Kind: faults.RDNCrash, RDN: victim, At: 4 * time.Second},
+				{Kind: faults.RDNRecover, RDN: victim, At: 6500 * time.Millisecond},
+			}},
+		},
+		RDNCount:      rdnCount,
+		LeaseInterval: 400 * time.Millisecond,
+		Recorders:     recs,
+	})
+	if err != nil {
+		t.Fatalf("RunFrontier: %v", err)
+	}
+	logs := make([][]obs.Event, rdnCount)
+	for i := range spills {
+		if logs[i], err = obs.ReadLog(&spills[i]); err != nil {
+			t.Fatalf("read rdn %d event log: %v", i+1, err)
+		}
+		if len(logs[i]) == 0 {
+			t.Fatalf("rdn %d spilled no events", i+1)
+		}
+	}
+	merged := obs.MergeLogs(logs...)
+	var buf bytes.Buffer
+	if err := obs.WriteLog(&buf, merged); err != nil {
+		t.Fatalf("write merged log: %v", err)
+	}
+	return merged, buf.Bytes()
+}
+
+// TestFrontierEventMergeByteDeterministic is the multi-RDN merge gate:
+// three per-instance event logs with interleaved takeover/crash/recover
+// tier events merge into one stable, lint-clean stream whose JSONL bytes
+// are identical run to run — the contract `gagetrace` relies on when it
+// merges spills collected from different front ends.
+func TestFrontierEventMergeByteDeterministic(t *testing.T) {
+	merged, raw := frontierEventRun(t)
+	if err := obs.LintLog(merged); err != nil {
+		t.Fatalf("merged log fails schema lint: %v", err)
+	}
+	// The failover story is present and comes from more than one instance:
+	// cycles from every RDN, the crash note, and the takeover annotations
+	// recorded by the adopting survivor.
+	cyclesBy := map[int]int{}
+	tierBy := map[int]int{}
+	details := map[string]int{}
+	for _, ev := range merged {
+		switch ev.Kind {
+		case obs.KindCycle:
+			cyclesBy[ev.RDN]++
+		case obs.KindTier:
+			tierBy[ev.RDN]++
+			details[ev.Detail]++
+		}
+	}
+	for r := 1; r <= 3; r++ {
+		if cyclesBy[r] == 0 {
+			t.Errorf("merged log holds no cycle events from rdn %d", r)
+		}
+	}
+	for _, want := range []string{"takeover", "rdn-crash", "rdn-recover"} {
+		if details[want] == 0 {
+			t.Errorf("merged log holds no %q tier events; have %v", want, details)
+		}
+	}
+	if len(tierBy) < 2 {
+		t.Errorf("tier events come from %d instance(s), want interleaving from ≥2: %v", len(tierBy), tierBy)
+	}
+	// The merge keys on (At, RDN, Seq) only — stable and total for any
+	// interleaving — so a second run must reproduce the bytes exactly.
+	_, raw2 := frontierEventRun(t)
+	if !bytes.Equal(raw, raw2) {
+		t.Error("merged event logs differ between identical runs")
+	}
+}

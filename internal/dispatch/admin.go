@@ -29,6 +29,7 @@ import (
 	"gage/internal/core"
 	"gage/internal/flightrec"
 	"gage/internal/httpwire"
+	"gage/internal/obs"
 	"gage/internal/qos"
 	"gage/internal/telemetry"
 )
@@ -249,9 +250,37 @@ func (s *Server) respondJSON(conn net.Conn, code int, v any) {
 	_ = resp.Write(conn)
 }
 
+// publishAdmin mirrors one control-plane decision onto the event bus, so a
+// merged event log shows the operator's request next to the cycles and tier
+// transitions it caused — or, for a refusal, the wall it hit.
+func (s *Server) publishAdmin(res adminResult) {
+	code := res.Code
+	if code == "" {
+		if res.Error != "" {
+			code = "error"
+		} else {
+			code = "accepted"
+		}
+	}
+	ev := obs.Event{Kind: obs.KindAdmin, Sub: res.Subscriber, Detail: res.Op + ":" + code}
+	if res.Node != nil {
+		ev.Node = *res.Node
+	}
+	s.bus.Publish(ev)
+}
+
+// respondAdmin answers an accepted admin request and records the decision
+// on the event bus.
+func (s *Server) respondAdmin(conn net.Conn, res adminResult) {
+	s.publishAdmin(res)
+	s.respondJSON(conn, 200, res)
+}
+
 // respondAdminError answers a refused admin request without mutating
-// anything.
+// anything; the refusal still lands on the event bus — a denied scale-up is
+// exactly the kind of context a violation investigation needs.
 func (s *Server) respondAdminError(conn net.Conn, code int, res adminResult) {
+	s.publishAdmin(res)
 	s.respondJSON(conn, code, res)
 }
 
@@ -358,7 +387,7 @@ func (s *Server) adminCreateSubscriber(conn net.Conn, body []byte) {
 	s.topo.Store(cp)
 	s.admission.rebalance(directorySubs(newDir))
 	s.annotate(flightrec.TierEvent{Kind: "sub-admit", Group: string(sub.ID), To: int(sub.Reservation)})
-	s.respondJSON(conn, 200, res)
+	s.respondAdmin(conn, res)
 }
 
 // adminResizeSubscriber changes a live reservation, gated on the delta.
@@ -412,7 +441,7 @@ func (s *Server) adminResizeSubscriber(conn net.Conn, id qos.SubscriberID, body 
 	s.topo.Store(cp)
 	s.admission.rebalance(subs)
 	s.annotate(flightrec.TierEvent{Kind: "sub-resize", Group: string(id), From: int(old), To: int(newRes)})
-	s.respondJSON(conn, 200, res)
+	s.respondAdmin(conn, res)
 }
 
 // adminDeleteSubscriber retires a subscriber: its queued requests are
@@ -471,7 +500,7 @@ func (s *Server) adminDeleteSubscriber(conn net.Conn, id qos.SubscriberID) {
 	s.topo.Store(cp)
 	s.admission.rebalance(subs)
 	s.annotate(flightrec.TierEvent{Kind: "sub-remove", Group: string(id), From: int(old)})
-	s.respondJSON(conn, 200, res)
+	s.respondAdmin(conn, res)
 }
 
 // adminAddNode grows the backend pool. The node joins at the bottom of a
@@ -514,7 +543,7 @@ func (s *Server) adminAddNode(conn net.Conn, id core.NodeID, body []byte) {
 	// records the post-add committed/capacity state for the operator's log.
 	res.Decision = admitctl.Evaluate(s.admitCfg(), s.sched.TotalReservation(), 0, s.sched.EnabledCapacity())
 	s.annotate(flightrec.TierEvent{Kind: "node-add", To: int(id)})
-	s.respondJSON(conn, 200, res)
+	s.respondAdmin(conn, res)
 }
 
 // adminDrainNode gracefully retires a node: feasibility-gated (the remaining
@@ -563,7 +592,7 @@ func (s *Server) adminDrainNode(conn net.Conn, id core.NodeID, body []byte) {
 	}
 	res.OutstandingGeneric = outst.GenericUnits()
 	s.annotate(flightrec.TierEvent{Kind: "node-drain", To: int(id)})
-	s.respondJSON(conn, 200, res)
+	s.respondAdmin(conn, res)
 }
 
 // ServeAdmin runs a control-plane-only listener until Close: the admin

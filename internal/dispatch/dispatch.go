@@ -30,6 +30,7 @@ import (
 	"gage/internal/core"
 	"gage/internal/flightrec"
 	"gage/internal/httpwire"
+	"gage/internal/obs"
 	"gage/internal/qos"
 	"gage/internal/telemetry"
 )
@@ -108,6 +109,24 @@ type Config struct {
 	// (default 10 s); the fast burn-rate window derives as one tenth of
 	// it. Only meaningful with recording enabled.
 	ConformanceWindow time.Duration
+	// RDN is this front end's instance id: it salts every minted trace ID
+	// (obs.Mint) and stamps bus events, so merged multi-RDN logs stay
+	// attributable. Zero is the single-RDN pipeline.
+	RDN int
+	// EventRingSize enables the unified observability event bus with a ring
+	// retaining that many events, served at EventsPath. Lifecycle spans of
+	// sampled traces, cycle commits, tier events, breaker transitions,
+	// admin decisions and conformance violations all publish into it. 0
+	// leaves the bus off unless EventLog is set, in which case the default
+	// ring size applies.
+	EventRingSize int
+	// EventLog, when non-nil, receives every bus event as one JSON line —
+	// the stream `gagetrace explain` and `gagetrace lint` consume.
+	EventLog io.Writer
+	// ExemplarsPerSpan is how many recent sampled trace IDs the conformance
+	// auditor attaches to each violation span it opens (default 4, negative
+	// disables). Only meaningful with recording enabled.
+	ExemplarsPerSpan int
 	// Owns reports whether this front end currently owns a tenant group —
 	// the multi-RDN tier's partition-aware admission. When set, requests
 	// whose subscriber's group is homed on another RDN are refused with 503
@@ -312,6 +331,10 @@ type Server struct {
 	// tracer samples per-request lifecycle traces (Config.TraceSampleEvery).
 	tracer *telemetry.Tracer
 
+	// bus is the unified observability event ring (Config.EventRingSize),
+	// nil when the bus is off — every publisher is nil-safe.
+	bus *obs.Bus
+
 	// rec is the scheduler's flight recorder and auditor its conformance
 	// view, both nil when Config left recording off (CyclesPath then 404s
 	// and MetricsPath omits the conformance families).
@@ -387,6 +410,10 @@ type pendingConn struct {
 	// trace is the sampled lifecycle trace, nil for unsampled requests
 	// (every Trace method is nil-safe).
 	trace *telemetry.Trace
+	// tid is the tier-wide trace identity minted at classify time and
+	// injected into the relayed request's X-Gage-Trace header; every
+	// request carries one even when its lifecycle trace is unsampled.
+	tid obs.TraceID
 }
 
 // New builds a dispatcher.
@@ -448,6 +475,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var bus *obs.Bus
+	if cfg.EventRingSize > 0 || cfg.EventLog != nil {
+		bus = obs.NewBus(obs.BusConfig{
+			RingSize: cfg.EventRingSize,
+			Spill:    cfg.EventLog,
+			RDN:      cfg.RDN,
+		})
+	}
 	var rec *flightrec.Recorder
 	var auditor *flightrec.Auditor
 	if cfg.CycleRingSize > 0 || cfg.CycleLog != nil {
@@ -455,12 +490,18 @@ func New(cfg Config) (*Server, error) {
 			RingSize: cfg.CycleRingSize,
 			Spill:    cfg.CycleLog,
 		})
+		rec.SetRDN(cfg.RDN)
+		rec.SetBus(bus)
 		sched.SetRecorder(rec)
 		window := cfg.ConformanceWindow
 		if window <= 0 {
 			window = DefaultConformanceWindow
 		}
-		auditor = flightrec.NewAuditor(rec, flightrec.AuditorConfig{Window: window})
+		auditor = flightrec.NewAuditor(rec, flightrec.AuditorConfig{
+			Window:           window,
+			ExemplarsPerSpan: cfg.ExemplarsPerSpan,
+		})
+		auditor.SetBus(bus)
 	}
 	breakers := make(map[core.NodeID]*breaker.Breaker, len(addrs))
 	for id := range addrs {
@@ -498,10 +539,12 @@ func New(cfg Config) (*Server, error) {
 			SampleEvery: cfg.TraceSampleEvery,
 			Buffer:      cfg.TraceBuffer,
 		}),
+		bus:       bus,
 		rec:       rec,
 		auditor:   auditor,
 		migrating: make(map[string]struct{}),
 	}
+	srv.tracer.SetBus(bus)
 	srv.topo.Store(&topology{
 		dir:        dir,
 		classifier: classify.NewHostClassifier(dir),
@@ -996,6 +1039,9 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	case CyclesPath:
 		s.serveCycles(conn)
 		return true
+	case EventsPath:
+		s.serveEvents(conn)
+		return true
 	}
 	if strings.HasPrefix(req.Path(), AdminPrefix) {
 		// The mutation surface is served only by ServeAdmin's dedicated
@@ -1010,7 +1056,9 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	// reaches the scheduler — is a sampling candidate.
 	id := reqIDs.Add(1)
 	start := time.Now()
+	tid := obs.Mint(s.cfg.RDN, id)
 	tr := s.tracer.Sample(id)
+	tr.SetID(tid)
 	t := s.top()
 	sub, ok := t.classifier.Classify(req.Host, req.Path())
 	if !ok {
@@ -1022,6 +1070,12 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 	}
 	tr.SetSubscriber(string(sub))
 	tr.Add(telemetry.StageClassify, 0, string(sub))
+	if tr != nil && s.auditor != nil {
+		// Feed the conformance auditor's exemplar reservoir once this
+		// sampled request settles, whichever path it takes — a violation
+		// span opening for sub snapshots the last few IDs.
+		defer s.auditor.NoteExemplar(sub, tid)
+	}
 	group := t.groupOf[sub]
 	if s.cfg.Owns != nil && !s.cfg.Owns(group) {
 		// Partition admission: this group is homed on another front end.
@@ -1053,6 +1107,7 @@ func (s *Server) serveOne(conn net.Conn, req *httpwire.Request) bool {
 		node:  make(chan core.NodeID, 1),
 		start: start,
 		trace: tr,
+		tid:   tid,
 	}
 	err := s.sched.Enqueue(core.Request{
 		ID:         pc.id,
@@ -1177,18 +1232,7 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	}
 	tr.Add(telemetry.StageRelay, int64(node), "")
 	attempt := time.Now()
-	var be net.Conn
-	var err error
-	if s.breakerAllow(node) {
-		be, err = s.cfg.Dial("tcp", s.top().addrs[node], s.cfg.DialTimeout)
-		if err != nil {
-			s.noteBreaker(node, breaker.Relay, false)
-		}
-	} else {
-		// The breaker tripped between dispatch and relay (or the half-open
-		// probe slot is taken); skip straight to the alternate.
-		err = errBreakerRefused
-	}
+	be, untrack, err := s.sendRequest(pc, node)
 	if err != nil {
 		alt, ok := s.sched.Redispatch(pc.sub, pc.id, node)
 		if !ok {
@@ -1199,7 +1243,10 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 			return true
 		}
 		s.retried.Add(1)
-		tr.Add(telemetry.StageRetry, int64(alt), "dial failed, redispatched")
+		// The retry hop is marked whether the first attempt failed at dial
+		// time or after a partial request write — the settled trace must
+		// name every node the request was aimed at.
+		tr.Add(telemetry.StageRetry, int64(alt), "relay failed, redispatched")
 		// A pooled timer, stopped and drained on the abort path: time.After
 		// here stranded a live timer until expiry for every shutdown-aborted
 		// retry, pinning its channel and callback for the full backoff.
@@ -1215,19 +1262,13 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 			s.respondError(pc.conn, 503)
 			return false
 		}
-		if !s.breakerAllow(alt) {
-			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
-			tr.Settle(telemetry.OutcomeError)
-			s.errs.Add(1)
-			s.respondError(pc.conn, 502)
-			return true
-		}
 		// The relay latency histogram measures the exchange against the
 		// node that actually served; restart the clock for the alternate.
 		attempt = time.Now()
-		be, err = s.cfg.Dial("tcp", s.top().addrs[alt], s.cfg.DialTimeout)
+		be, untrack, err = s.sendRequest(pc, alt)
 		if err != nil {
-			s.noteBreaker(alt, breaker.Relay, false)
+			// The retry hop is already in the trace; exactly one terminal
+			// outcome settles it here.
 			s.sched.ReleaseDispatch(pc.sub, alt, pc.id)
 			tr.Settle(telemetry.OutcomeError)
 			s.errs.Add(1)
@@ -1236,24 +1277,8 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 		}
 		node = alt
 	}
-	untrack := s.trackBackend(be)
 	defer untrack()
 	defer be.Close()
-	// Bound the whole backend exchange.
-	_ = be.SetDeadline(time.Now().Add(s.cfg.BackendTimeout))
-
-	// Tag the request with its charging entity for backend accounting.
-	if pc.req.Header == nil {
-		pc.req.Header = make(map[string]string)
-	}
-	pc.req.Header[backend.SubscriberHeader] = string(pc.sub)
-	if err := pc.req.Write(be); err != nil {
-		tr.Settle(telemetry.OutcomeError)
-		s.errs.Add(1)
-		s.noteBreaker(node, breaker.Relay, false)
-		s.respondError(pc.conn, 502)
-		return true
-	}
 	// Parse the response so the client connection's framing survives for
 	// the next request; usage accounting arrives separately via the
 	// periodic report poll.
@@ -1287,6 +1312,45 @@ func (s *Server) relay(pc *pendingConn, node core.NodeID) bool {
 	return true
 }
 
+// sendRequest performs one full request transmission toward a backend:
+// breaker admission, dial, deadline, and the request write, with the
+// charging-entity and trace headers applied. Any failure — refusal, dial
+// error, or a partially written request — tears the attempt down (breaker
+// failure noted, connection untracked and closed) and returns the error so
+// the caller can redispatch. A write that fails mid-request must reach the
+// retry path exactly like a failed dial: the backend may or may not have
+// seen the bytes, but the client has seen nothing, so the exchange is safe
+// to re-aim at an alternate.
+func (s *Server) sendRequest(pc *pendingConn, node core.NodeID) (net.Conn, func(), error) {
+	if !s.breakerAllow(node) {
+		return nil, nil, errBreakerRefused
+	}
+	be, err := s.cfg.Dial("tcp", s.top().addrs[node], s.cfg.DialTimeout)
+	if err != nil {
+		s.noteBreaker(node, breaker.Relay, false)
+		return nil, nil, err
+	}
+	untrack := s.trackBackend(be)
+	// Bound the whole backend exchange.
+	_ = be.SetDeadline(time.Now().Add(s.cfg.BackendTimeout))
+	// Tag the request with its charging entity for backend accounting, and
+	// with its trace ID so the backend can echo it back for attribution.
+	if pc.req.Header == nil {
+		pc.req.Header = make(map[string]string)
+	}
+	pc.req.Header[backend.SubscriberHeader] = string(pc.sub)
+	if pc.tid != 0 {
+		pc.req.Header[obs.TraceHeader] = pc.tid.String()
+	}
+	if err := pc.req.Write(be); err != nil {
+		untrack()
+		be.Close()
+		s.noteBreaker(node, breaker.Relay, false)
+		return nil, nil, err
+	}
+	return be, untrack, nil
+}
+
 // errBreakerRefused marks a relay skipped because the target's breaker is
 // open or its half-open probe slot is already claimed.
 var errBreakerRefused = errors.New("dispatch: breaker refused relay")
@@ -1317,6 +1381,8 @@ func (s *Server) noteBreaker(id core.NodeID, src breaker.Source, success bool) {
 	if changed {
 		s.logger.Printf("dispatch: node %d breaker %v after %v %s", id, b.State(), src,
 			map[bool]string{true: "success", false: "failure"}[success])
+		s.bus.Publish(obs.Event{Kind: obs.KindBreaker, Node: int(id),
+			Stage: b.State().String(), Detail: src.String()})
 	}
 	s.applyWeight(id, b)
 }

@@ -1,0 +1,199 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"gage/internal/obs"
+	"gage/internal/telemetry"
+)
+
+// partialWriteConn fails every Write after pushing only half the bytes:
+// the deterministic stand-in for a backend that died mid-request, after
+// the dial already succeeded.
+type partialWriteConn struct {
+	net.Conn
+}
+
+func (c *partialWriteConn) Write(b []byte) (int, error) {
+	n := len(b) / 2
+	if n > 0 {
+		_, _ = c.Conn.Write(b[:n])
+	}
+	return n, errors.New("connection reset mid-request")
+}
+
+// TestTracePartialWriteRetriedThenServed: a request write that fails
+// part-way into a successfully dialed backend connection must take the
+// same redispatch path as a failed dial — the settled trace carries the
+// retry hop aimed at the alternate node and exactly one terminal settle.
+// Regression: this used to 502 without marking retry, leaving traces whose
+// relay span pointed at a node that never saw a complete request.
+func TestTracePartialWriteRetriedThenServed(t *testing.T) {
+	good := liveBackend(t, 2)
+	// Node 1 accepts connections (so the dial itself succeeds) but every
+	// relayed request write is cut off half-way by the wrapper below.
+	poisonLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = poisonLn.Close() })
+	go func() {
+		for {
+			c, err := poisonLn.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	poison := poisonLn.Addr().String()
+	addr, srv := startTB(t, Config{
+		Subscribers: defaultSubs(),
+		Backends:    []Backend{{ID: 1, Addr: poison}, {ID: 2, Addr: good}},
+		// Keep accounting polls (which also dial node 1) out of the window.
+		AcctCycle:        time.Minute,
+		RetryBackoff:     5 * time.Millisecond,
+		TraceSampleEvery: 1,
+		Dial: func(network, target string, timeout time.Duration) (net.Conn, error) {
+			c, err := net.DialTimeout(network, target, timeout)
+			if err != nil || target != poison {
+				return c, err
+			}
+			return &partialWriteConn{Conn: c}, nil
+		},
+	})
+	resp, err := rawGet(t, addr, "www.site1.example", "/static/512.html")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	tr := waitTrace(t, srv, telemetry.OutcomeServed)
+	assertStages(t, tr,
+		telemetry.StageClassify, telemetry.StageQueue, telemetry.StageDispatch,
+		telemetry.StageRelay, telemetry.StageRetry, telemetry.StageSettle)
+	settles := 0
+	for _, sp := range tr.Spans {
+		switch sp.Stage {
+		case telemetry.StageRetry:
+			if sp.Node != 2 {
+				t.Errorf("retry span node = %d, want alternate 2", sp.Node)
+			}
+			if sp.Note != "relay failed, redispatched" {
+				t.Errorf("retry span note = %q", sp.Note)
+			}
+		case telemetry.StageSettle:
+			settles++
+		}
+	}
+	if settles != 1 {
+		t.Errorf("trace settled %d times, want exactly 1", settles)
+	}
+	if srv.Stats().Retried != 1 {
+		t.Errorf("retried = %d, want 1", srv.Stats().Retried)
+	}
+}
+
+// TestEventsEndpointOff: a server configured without a bus answers 404 on
+// the events path, the same off-switch contract as the cycles endpoint.
+func TestEventsEndpointOff(t *testing.T) {
+	addr, _ := startTB(t, Config{
+		Subscribers: defaultSubs(),
+		Backends:    []Backend{{ID: 1, Addr: liveBackend(t, 1)}},
+	})
+	if resp := scrape(t, addr, EventsPath); resp.StatusCode != 404 {
+		t.Errorf("events without a bus: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEventsEndpointAndTraceEcho: with the bus on, a served request (a)
+// carries its minted trace ID back to the client in the response header,
+// and (b) leaves a lint-clean span sequence — classify through exactly one
+// settle — in the events dump under that same ID. The metrics endpoint
+// exports both drop counters at zero.
+func TestEventsEndpointAndTraceEcho(t *testing.T) {
+	addr, srv := startTB(t, Config{
+		Subscribers:      defaultSubs(),
+		Backends:         []Backend{{ID: 1, Addr: liveBackend(t, 1)}},
+		TraceSampleEvery: 1,
+		EventRingSize:    256,
+	})
+	resp, err := rawGet(t, addr, "www.site1.example", "/static/512.html")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	echoed := resp.Header[obs.TraceHeader]
+	if echoed == "" {
+		t.Fatalf("response carries no %s header", obs.TraceHeader)
+	}
+	tid, err := obs.ParseTraceID(echoed)
+	if err != nil {
+		t.Fatalf("echoed trace ID %q does not parse: %v", echoed, err)
+	}
+	tr := waitTrace(t, srv, telemetry.OutcomeServed)
+	if tr.ID != tid {
+		t.Errorf("settled trace ID %v != echoed %v", tr.ID, tid)
+	}
+
+	ev := scrape(t, addr, EventsPath)
+	if ev.StatusCode != 200 {
+		t.Fatalf("events status = %d", ev.StatusCode)
+	}
+	var dump eventDumpJSON
+	if err := json.Unmarshal(ev.Body, &dump); err != nil {
+		t.Fatalf("events json: %v\n%s", err, ev.Body)
+	}
+	if dump.Schema != obs.SchemaVersion {
+		t.Errorf("schema = %d, want %d", dump.Schema, obs.SchemaVersion)
+	}
+	if dump.RingSize != 256 {
+		t.Errorf("ringSize = %d, want 256", dump.RingSize)
+	}
+	if dump.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dump.Dropped)
+	}
+	if uint64(len(dump.Events)) != dump.Published {
+		t.Errorf("dump holds %d events, published = %d", len(dump.Events), dump.Published)
+	}
+	if err := obs.LintLog(dump.Events); err != nil {
+		t.Errorf("events dump fails schema lint: %v", err)
+	}
+	stages := map[string]int{}
+	for _, e := range dump.Events {
+		if e.Kind == obs.KindSpan && e.Trace == tid {
+			stages[e.Stage]++
+		}
+	}
+	for _, want := range []string{"classify", "queue", "dispatch", "relay"} {
+		if stages[want] != 1 {
+			t.Errorf("trace %v has %d %s events, want 1", tid, stages[want], want)
+		}
+	}
+	if stages[obs.StageSettle] != 1 {
+		t.Errorf("trace %v settled %d times in the event log, want exactly 1",
+			tid, stages[obs.StageSettle])
+	}
+
+	series, err := telemetry.Parse(scrape(t, addr, MetricsPath).Body)
+	if err != nil {
+		t.Fatalf("metrics scrape fails lint: %v", err)
+	}
+	for _, name := range []string{"gage_trace_dropped_total", "gage_event_dropped_total"} {
+		s, ok := series[name]
+		if !ok {
+			t.Errorf("metrics missing %s", name)
+			continue
+		}
+		if s.Value != 0 {
+			t.Errorf("%s = %v, want 0", name, s.Value)
+		}
+	}
+}

@@ -53,6 +53,8 @@ func (s *Server) buildExposition() ([]byte, error) {
 		{"gage_traces_seen_total", "Requests considered for trace sampling.", seen},
 		{"gage_traces_sampled_total", "Requests selected for lifecycle tracing.", sampled},
 		{"gage_traces_settled_total", "Sampled traces that reached a terminal outcome.", settled},
+		{"gage_trace_dropped_total", "Completed traces evicted from the retention ring before being read.", s.tracer.Dropped()},
+		{"gage_event_dropped_total", "Bus events overwritten in the ring before being spilled or read.", s.bus.Dropped()},
 	}...)
 	for _, c := range counters {
 		e.Family(c.name, "counter", c.help)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gage/internal/metrics"
+	"gage/internal/obs"
 	"gage/internal/qos"
 )
 
@@ -22,6 +23,9 @@ const (
 	// that must end with a standing backlog before low delivery counts as a
 	// violation — an idle subscriber is not a violated one.
 	DefaultDemandFraction = 0.5
+	// DefaultExemplarsPerSpan is how many recent sampled trace IDs a
+	// violation span captures for attribution.
+	DefaultExemplarsPerSpan = 4
 )
 
 // AuditorConfig tunes a conformance auditor.
@@ -46,6 +50,10 @@ type AuditorConfig struct {
 	Skip time.Duration
 	// Units converts usage vectors to generic units (default GenericUnits).
 	Units func(qos.Vector) float64
+	// ExemplarsPerSpan is how many of the subscriber's most recent sampled
+	// trace IDs (fed via NoteExemplar) a violation span snapshots when it
+	// opens (default DefaultExemplarsPerSpan; negative disables).
+	ExemplarsPerSpan int
 }
 
 func (c AuditorConfig) withDefaults() AuditorConfig {
@@ -64,6 +72,11 @@ func (c AuditorConfig) withDefaults() AuditorConfig {
 	if c.Units == nil {
 		c.Units = qos.Vector.GenericUnits
 	}
+	if c.ExemplarsPerSpan == 0 {
+		c.ExemplarsPerSpan = DefaultExemplarsPerSpan
+	} else if c.ExemplarsPerSpan < 0 {
+		c.ExemplarsPerSpan = 0
+	}
 	return c
 }
 
@@ -73,6 +86,10 @@ type Span struct {
 	End   time.Duration `json:"end"`
 	// Open marks a violation still in progress at the last ingested record.
 	Open bool `json:"open"`
+	// Exemplars are the subscriber's most recent sampled trace IDs (hex, as
+	// in the X-Gage-Trace header) at the moment the span opened — the
+	// concrete requests `gagetrace explain` resolves against the event log.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // point is one cycle's contribution to a subscriber's sliding windows.
@@ -133,6 +150,44 @@ type Auditor struct {
 	lastBy map[int]time.Duration
 	// events accumulates tier control events in ingest order.
 	events []TierEventRecord
+
+	// exems holds each subscriber's last-N sampled trace IDs (NoteExemplar);
+	// a violation span snapshots its subscriber's ring when it opens.
+	exems map[qos.SubscriberID]*exemRing
+	// bus, when set, receives a KindViolation event whenever a span opens or
+	// closes, carrying the span's exemplars.
+	bus *obs.Bus
+}
+
+// exemRing is one subscriber's fixed-size exemplar reservoir.
+type exemRing struct {
+	ids  []obs.TraceID
+	next int
+	n    int
+}
+
+func (e *exemRing) note(id obs.TraceID) {
+	if len(e.ids) == 0 {
+		return
+	}
+	e.ids[e.next] = id
+	e.next = (e.next + 1) % len(e.ids)
+	if e.n < len(e.ids) {
+		e.n++
+	}
+}
+
+// snapshot renders the retained IDs oldest-first — deterministic for a
+// deterministic feed.
+func (e *exemRing) snapshot() []string {
+	if e == nil || e.n == 0 {
+		return nil
+	}
+	out := make([]string, 0, e.n)
+	for i := 0; i < e.n; i++ {
+		out = append(out, e.ids[(e.next-e.n+i+len(e.ids))%len(e.ids)].String())
+	}
+	return out
 }
 
 // TierEventRecord is a tier event with its record context — when it was
@@ -150,7 +205,40 @@ func NewAuditor(rec *Recorder, cfg AuditorConfig) *Auditor {
 		rec:    rec,
 		subs:   make(map[qos.SubscriberID]*subAudit),
 		lastBy: make(map[int]time.Duration),
+		exems:  make(map[qos.SubscriberID]*exemRing),
 	}
+}
+
+// SetBus mirrors violation span transitions onto the unified event bus.
+func (a *Auditor) SetBus(b *obs.Bus) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bus = b
+}
+
+// NoteExemplar records a sampled trace ID for sub. The dispatcher calls it
+// as traced requests settle; a violation span opening for sub snapshots the
+// last ExemplarsPerSpan IDs, linking the guarantee miss to concrete
+// requests. Steady-state cost is one ring write.
+func (a *Auditor) NoteExemplar(sub qos.SubscriberID, id obs.TraceID) {
+	if a == nil || id == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.noteExemplarLocked(sub, id)
+	a.mu.Unlock()
+}
+
+func (a *Auditor) noteExemplarLocked(sub qos.SubscriberID, id obs.TraceID) {
+	if a.cfg.ExemplarsPerSpan <= 0 {
+		return
+	}
+	e := a.exems[sub]
+	if e == nil {
+		e = &exemRing{ids: make([]obs.TraceID, a.cfg.ExemplarsPerSpan)}
+		a.exems[sub] = e
+	}
+	e.note(id)
 }
 
 // Sync pulls every record committed since the last Sync from the recorder.
@@ -281,7 +369,15 @@ func (a *Auditor) evaluate(s *subAudit, at time.Duration) {
 	case violating && !s.violating:
 		s.violating = true
 		s.violations++
-		s.spans = append(s.spans, Span{Start: at, End: at, Open: true})
+		ex := a.exems[s.id].snapshot()
+		s.spans = append(s.spans, Span{Start: at, End: at, Open: true, Exemplars: ex})
+		// The bus stamps At itself (the moment the audit noticed); the
+		// span's own Start/End keep the record-time edges. Pre-stamping
+		// record time here would publish behind events already on the bus.
+		a.bus.Publish(obs.Event{
+			Kind: obs.KindViolation, Sub: string(s.id),
+			Detail: "open", Exemplars: ex,
+		})
 	case violating:
 		s.spans[len(s.spans)-1].End = at
 	case s.violating:
@@ -289,6 +385,9 @@ func (a *Auditor) evaluate(s *subAudit, at time.Duration) {
 		sp := &s.spans[len(s.spans)-1]
 		sp.End = at
 		sp.Open = false
+		a.bus.Publish(obs.Event{
+			Kind: obs.KindViolation, Sub: string(s.id), Detail: "close",
+		})
 	}
 }
 
@@ -432,6 +531,26 @@ func (a *Auditor) Report() Report {
 func Replay(recs []CycleRecord, cfg AuditorConfig) Report {
 	a := NewAuditor(nil, cfg)
 	for i := range recs {
+		a.ingestLocked(&recs[i]) // fresh private auditor: no locking needed
+	}
+	return a.Report()
+}
+
+// ReplayEvents is Replay with a merged unified-event log alongside: settled
+// request spans feed the exemplar reservoirs in record-time order, so a
+// violation span opened during the replay snapshots the same exemplar trace
+// IDs a live auditor would have. recs and evs must each be sorted by At
+// (MergeLogs order). The offline path behind `gagetrace explain`.
+func ReplayEvents(recs []CycleRecord, evs []obs.Event, cfg AuditorConfig) Report {
+	a := NewAuditor(nil, cfg)
+	j := 0
+	for i := range recs {
+		for ; j < len(evs) && evs[j].At <= recs[i].At; j++ {
+			ev := &evs[j]
+			if ev.Kind == obs.KindSpan && ev.Stage == obs.StageSettle && ev.Sub != "" {
+				a.noteExemplarLocked(qos.SubscriberID(ev.Sub), ev.Trace)
+			}
+		}
 		a.ingestLocked(&recs[i]) // fresh private auditor: no locking needed
 	}
 	return a.Report()

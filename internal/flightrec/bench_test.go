@@ -7,6 +7,7 @@ import (
 
 	"gage/internal/core"
 	"gage/internal/flightrec"
+	"gage/internal/obs"
 	"gage/internal/qos"
 )
 
@@ -117,5 +118,25 @@ func TestRecorderOffNoAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(500, func() { sched.Tick() }); avg != 0 {
 		t.Fatalf("recorder-off Tick allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// BenchmarkObsTickRecorderAndBus measures the full observability tax on the
+// scheduler hot path: flight recorder on, with the unified event bus
+// mirroring every committed cycle. Pinned in BENCH_obs.json; must stay
+// 0 allocs/op, and its per-op cost within ~10% of
+// BenchmarkFlightrecTickRecorderOn (the bus's marginal publish cost).
+func BenchmarkObsTickRecorderAndBus(b *testing.B) {
+	rec := flightrec.NewRecorder(flightrec.Config{RingSize: 128})
+	bus := obs.NewBus(obs.BusConfig{RingSize: 4096, Now: func() time.Duration { return 0 }})
+	rec.SetBus(bus)
+	sched := benchScheduler(b, rec)
+	for i := 0; i < rec.RingSize(); i++ {
+		sched.Tick() // lap the ring once so every slot holds its capacity
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Tick()
 	}
 }

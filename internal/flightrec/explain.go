@@ -1,0 +1,156 @@
+package flightrec
+
+// Explain reconstructs the causal story behind one guarantee violation from
+// a cycle log and a merged unified-event log: which span fired, which
+// concrete requests (exemplars) were in flight as it opened, and what else
+// the cluster was doing — faults, breaker trips, tier transitions, admin
+// decisions — in and around the span's window. Everything is derived from
+// two sorted logs, so the same logs always render the same story byte for
+// byte; `gagetrace explain` is a thin wrapper over this.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gage/internal/obs"
+	"gage/internal/qos"
+)
+
+// DefaultExplainMargin is how far beyond a violation span's edges Explain
+// looks for coinciding events: wide enough to catch the crash that caused
+// the span and the recovery that closed it.
+const DefaultExplainMargin = 2 * time.Second
+
+// ExplainOptions selects the span and context window to narrate.
+type ExplainOptions struct {
+	// Span indexes the subscriber's violation spans (0 = first).
+	Span int
+	// Margin extends the coinciding-event window past the span's edges
+	// (default DefaultExplainMargin).
+	Margin time.Duration
+}
+
+// Explain renders the causal story of one subscriber's violation span.
+// recs and evs must each be sorted by At (obs.MergeLogs order for evs);
+// cfg is the same auditor configuration an offline audit would use.
+func Explain(recs []CycleRecord, evs []obs.Event, sub qos.SubscriberID, opts ExplainOptions, cfg AuditorConfig) (string, error) {
+	if opts.Margin <= 0 {
+		opts.Margin = DefaultExplainMargin
+	}
+	rep := ReplayEvents(recs, evs, cfg)
+	sr, ok := rep.Sub(sub)
+	if !ok {
+		return "", fmt.Errorf("flightrec: subscriber %q not in the cycle log", sub)
+	}
+	if len(sr.Spans) == 0 {
+		return fmt.Sprintf("subscriber %s: no violation spans — guarantee held across %d cycles\n", sub, rep.Records), nil
+	}
+	if opts.Span < 0 || opts.Span >= len(sr.Spans) {
+		return "", fmt.Errorf("flightrec: span %d out of range (subscriber %q has %d)", opts.Span, sub, len(sr.Spans))
+	}
+	span := sr.Spans[opts.Span]
+
+	var w strings.Builder
+	state := "closed"
+	if span.Open {
+		state = "still open at log end"
+	}
+	fmt.Fprintf(&w, "subscriber %s: violation span %d/%d: %v → %v (%s)\n",
+		sub, opts.Span+1, len(sr.Spans), span.Start, span.End, state)
+	fmt.Fprintf(&w, "reservation %.0f GRPS; %d violation span(s) over %d cycles\n",
+		float64(sr.Reservation), sr.Violations, rep.Records)
+	if len(span.Exemplars) == 0 {
+		fmt.Fprintf(&w, "exemplars: none captured (no traced requests settled before the span opened)\n")
+	} else {
+		fmt.Fprintf(&w, "exemplars: %s\n", strings.Join(span.Exemplars, ", "))
+	}
+
+	from, to := span.Start-opts.Margin, span.End+opts.Margin
+	fmt.Fprintf(&w, "\ncoinciding events (%v → %v):\n", from, to)
+	n := 0
+	for i := range evs {
+		ev := &evs[i]
+		if ev.At < from || ev.At > to {
+			continue
+		}
+		switch ev.Kind {
+		case obs.KindFault:
+			fmt.Fprintf(&w, "  %-10v fault     node %d %s\n", ev.At, ev.Node, ev.Detail)
+		case obs.KindBreaker:
+			fmt.Fprintf(&w, "  %-10v breaker   node %d %s (%s)\n", ev.At, ev.Node, ev.Stage, ev.Detail)
+		case obs.KindAdmin:
+			fmt.Fprintf(&w, "  %-10v admin     %s%s\n", ev.At, ev.Detail, subjectOf(ev))
+		case obs.KindTier:
+			fmt.Fprintf(&w, "  %-10v tier      rdn %d %s%s\n", ev.At, ev.RDN, ev.Detail, tierTarget(ev))
+		case obs.KindViolation:
+			if qos.SubscriberID(ev.Sub) == sub {
+				fmt.Fprintf(&w, "  %-10v violation %s %s\n", ev.At, ev.Sub, ev.Detail)
+			}
+		default:
+			n--
+		}
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(&w, "  (none)\n")
+	}
+
+	for _, ex := range span.Exemplars {
+		fmt.Fprintf(&w, "\nexemplar %s:\n", ex)
+		tid, err := obs.ParseTraceID(ex)
+		if err != nil {
+			fmt.Fprintf(&w, "  unparseable trace ID: %v\n", err)
+			continue
+		}
+		hops := 0
+		for i := range evs {
+			ev := &evs[i]
+			if ev.Kind != obs.KindSpan || ev.Trace != tid {
+				continue
+			}
+			hops++
+			line := ev.Stage
+			if ev.Stage == obs.StageSettle {
+				line = "settle " + ev.Detail
+			} else if ev.Detail != "" {
+				line += " (" + ev.Detail + ")"
+			}
+			if ev.Node != 0 {
+				fmt.Fprintf(&w, "  %-10v rdn %d  %-24s node %d\n", ev.At, ev.RDN, line, ev.Node)
+			} else {
+				fmt.Fprintf(&w, "  %-10v rdn %d  %s\n", ev.At, ev.RDN, line)
+			}
+		}
+		if hops == 0 {
+			fmt.Fprintf(&w, "  no span events in the log (ring overwrote them before spill?)\n")
+		}
+	}
+	return w.String(), nil
+}
+
+// subjectOf renders an admin event's target for the narration line.
+func subjectOf(ev *obs.Event) string {
+	switch {
+	case ev.Sub != "":
+		return " " + ev.Sub
+	case ev.Node != 0:
+		return fmt.Sprintf(" node %d", ev.Node)
+	}
+	return ""
+}
+
+// tierTarget renders a tier event's group/epoch/node context.
+func tierTarget(ev *obs.Event) string {
+	var b strings.Builder
+	if ev.Sub != "" {
+		fmt.Fprintf(&b, " group=%s", ev.Sub)
+	}
+	if ev.From != 0 || ev.To != 0 {
+		fmt.Fprintf(&b, " %d→%d", ev.From, ev.To)
+	}
+	if ev.Epoch != 0 {
+		fmt.Fprintf(&b, " epoch=%d", ev.Epoch)
+	}
+	return b.String()
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"gage/internal/obs"
 	"gage/internal/qos"
 )
 
@@ -141,6 +142,10 @@ type Recorder struct {
 	spillErr error
 	// rdn stamps every committed record; zero for the single-RDN pipeline.
 	rdn int
+	// bus, when set, receives one KindCycle event per committed record and
+	// one KindTier event per tier annotation, stamped with the record's own
+	// At and RDN so cycle and event timelines merge exactly.
+	bus *obs.Bus
 
 	// pend queues tier events annotated between cycles; Begin drains it into
 	// the next record. Its own lock keeps Annotate callable while the ring
@@ -189,6 +194,14 @@ func (r *Recorder) SetRDN(rdn int) {
 	r.rdn = rdn
 }
 
+// SetBus mirrors committed cycles and tier annotations onto the unified
+// event bus, keyed by cycle sequence.
+func (r *Recorder) SetBus(b *obs.Bus) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bus = b
+}
+
 // Annotate queues a tier event for the next committed record. It is safe to
 // call at any time, including while a Begin/Commit window is open elsewhere;
 // the event rides on the next cycle to start.
@@ -231,6 +244,26 @@ func (r *Recorder) Commit() {
 			// first failure is retained for SpillErr.
 			r.spillErr = err
 		}
+	}
+	if r.bus != nil {
+		for _, te := range r.cur.Events {
+			r.bus.Publish(obs.Event{
+				Kind:   obs.KindTier,
+				At:     r.cur.At,
+				RDN:    r.cur.RDN,
+				Detail: te.Kind,
+				Sub:    te.Group,
+				From:   te.From,
+				To:     te.To,
+				Epoch:  te.Epoch,
+			})
+		}
+		r.bus.Publish(obs.Event{
+			Kind:  obs.KindCycle,
+			At:    r.cur.At,
+			RDN:   r.cur.RDN,
+			Cycle: r.cur.Seq,
+		})
 	}
 	r.cur = nil
 	r.seq++

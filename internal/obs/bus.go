@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultRingSize is the ring capacity when BusConfig.RingSize is zero.
+const DefaultRingSize = 4096
+
+// BusConfig assembles a Bus.
+type BusConfig struct {
+	// RingSize is the number of retained events (DefaultRingSize when zero
+	// or negative).
+	RingSize int
+	// Spill, when non-nil, receives every published event as one JSON line,
+	// synchronously inside Publish. Spilling costs encoding allocations —
+	// use it for drills and offline analysis; the ring alone is the
+	// allocation-free steady-state path.
+	Spill io.Writer
+	// RDN stamps events that do not carry their own RDN.
+	RDN int
+	// Now is the event clock; nil defaults to wall time since bus creation.
+	// The simulator points it at the virtual engine so simulated and live
+	// streams are directly comparable.
+	Now func() time.Duration
+}
+
+// Bus is the unified event ring. All methods are nil-receiver safe, so a
+// layer without a bus attached pays one nil check per publish. Safe for
+// concurrent use.
+type Bus struct {
+	mu   sync.Mutex
+	ring []Event
+	// seq counts published events; the ring slot for event n is (n-1) %
+	// len(ring).
+	seq uint64
+	// dropped counts ring-lap losses: events overwritten before any durable
+	// copy existed (no spill, or the spill had already failed).
+	dropped  uint64
+	rdn      int
+	now      func() time.Duration
+	enc      *json.Encoder
+	spillErr error
+}
+
+// NewBus builds a bus.
+func NewBus(cfg BusConfig) *Bus {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	b := &Bus{
+		ring: make([]Event, cfg.RingSize),
+		rdn:  cfg.RDN,
+		now:  cfg.Now,
+	}
+	if b.now == nil {
+		start := time.Now()
+		b.now = func() time.Duration { return time.Since(start) }
+	}
+	if cfg.Spill != nil {
+		b.enc = json.NewEncoder(cfg.Spill)
+	}
+	return b
+}
+
+// SetClock replaces the event clock (the simulator installs virtual time).
+func (b *Bus) SetClock(now func() time.Duration) {
+	if b == nil || now == nil {
+		return
+	}
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// SetRDN replaces the default RDN stamp.
+func (b *Bus) SetRDN(rdn int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.rdn = rdn
+	b.mu.Unlock()
+}
+
+// Publish stamps and records one event: Schema and Seq always, At and RDN
+// only when the publisher left them zero (the flight recorder stamps its
+// own — its records carry their commit time and owning RDN). In steady
+// state with no spill attached, Publish performs no allocation: the event
+// value lands in a preallocated ring slot.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	ev.Schema = SchemaVersion
+	if ev.At == 0 {
+		ev.At = b.now()
+	}
+	if ev.RDN == 0 {
+		ev.RDN = b.rdn
+	}
+	b.seq++
+	ev.Seq = b.seq
+	spilled := false
+	if b.enc != nil && b.spillErr == nil {
+		if err := b.enc.Encode(ev); err != nil {
+			// Keep recording in the ring; the first failure is retained
+			// for SpillErr.
+			b.spillErr = err
+		} else {
+			spilled = true
+		}
+	}
+	if b.seq > uint64(len(b.ring)) && !spilled {
+		// The slot being reused held an event with no durable copy: that
+		// history is gone. Satellite counter gage_event_dropped_total.
+		b.dropped++
+	}
+	b.ring[(b.seq-1)%uint64(len(b.ring))] = ev
+	b.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. The returned slice is
+// the caller's; Exemplars slices are shared with the publisher and must be
+// treated as read-only.
+func (b *Bus) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.seq
+	if n > uint64(len(b.ring)) {
+		n = uint64(len(b.ring))
+	}
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, b.ring[(b.seq-n+i)%uint64(len(b.ring))])
+	}
+	return out
+}
+
+// Seq returns the number of events published so far.
+func (b *Bus) Seq() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Dropped returns the ring-lap loss count.
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// RingSize returns the ring capacity.
+func (b *Bus) RingSize() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.ring)
+}
+
+// SpillErr returns the first JSONL spill failure, if any.
+func (b *Bus) SpillErr() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spillErr
+}

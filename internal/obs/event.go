@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies a bus event by the layer that published it.
+type Kind uint8
+
+const (
+	// KindSpan is one lifecycle stage of a sampled request (telemetry).
+	KindSpan Kind = iota + 1
+	// KindCycle marks one committed scheduler cycle record (flightrec).
+	KindCycle
+	// KindTier is a topology/tenancy change recorded in the cycle stream:
+	// takeover, handback, crash, recover, fence, sub-admit, node-drain, ….
+	KindTier
+	// KindFault is an injected fault-plan action (faults/cluster).
+	KindFault
+	// KindBreaker is a circuit-breaker state transition on a back-end node.
+	KindBreaker
+	// KindAdmin is an admission control-plane decision (accept or refusal).
+	KindAdmin
+	// KindViolation marks a conformance violation span opening or closing,
+	// carrying the exemplar trace IDs sampled for attribution.
+	KindViolation
+)
+
+// kindNames is the wire form of each Kind.
+var kindNames = [...]string{
+	KindSpan:      "span",
+	KindCycle:     "cycle",
+	KindTier:      "tier",
+	KindFault:     "fault",
+	KindBreaker:   "breaker",
+	KindAdmin:     "admin",
+	KindViolation: "violation",
+}
+
+// String names the kind for logs and the JSONL wire form.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalText emits the wire name.
+func (k Kind) MarshalText() ([]byte, error) {
+	if int(k) >= len(kindNames) || kindNames[k] == "" {
+		return nil, fmt.Errorf("obs: unknown event kind %d", int(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// UnmarshalText parses the wire name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i, name := range kindNames {
+		if name == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one entry on the unified bus. The key fields (Trace,
+// Sub, Cycle) tie the layers together: a span names its trace and
+// subscriber, a cycle record names its cycle, a violation names its
+// subscriber and exemplar traces — so one merged log answers "what
+// happened to this request / this subscriber / this cycle".
+type Event struct {
+	// Schema is the event-record schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Seq is the publishing bus's strictly-increasing sequence number;
+	// (RDN, Seq) is unique across a merged multi-RDN log.
+	Seq uint64 `json:"seq"`
+	// At is the offset on the publisher's clock — virtual time in the
+	// simulator, time since bus creation on a live dispatcher.
+	At time.Duration `json:"at"`
+	// RDN is the publishing front-end instance.
+	RDN int `json:"rdn"`
+	// Kind classifies the event.
+	Kind Kind `json:"kind"`
+
+	// Trace is the request identity for span events (0 elsewhere).
+	Trace TraceID `json:"trace,omitempty"`
+	// Sub is the subscriber (or tenant group, for tier events) concerned.
+	Sub string `json:"sub,omitempty"`
+	// Cycle is the scheduler cycle sequence for cycle events.
+	Cycle uint64 `json:"cycle,omitempty"`
+	// Node is the back-end node concerned (0 = none; node IDs are 1-based
+	// everywhere in this repo).
+	Node int `json:"node,omitempty"`
+	// Stage is the lifecycle stage for span events and the resulting
+	// breaker state for breaker events.
+	Stage string `json:"stage,omitempty"`
+	// Detail is kind-specific: the settle outcome or span note, the tier
+	// event kind, the fault action, the breaker source, or the admin
+	// "op:decision" pair.
+	Detail string `json:"detail,omitempty"`
+	// From and To are RDN instances for tier handoff events.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Epoch is the lease epoch for tier/fencing events.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Exemplars are the sampled trace IDs attached to a violation event.
+	Exemplars []string `json:"exemplars,omitempty"`
+}

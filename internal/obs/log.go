@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteLog writes events as a JSONL event log — the same format Publish
+// spills.
+func WriteLog(w io.Writer, evs []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			return fmt.Errorf("obs: write event log: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadLog parses a JSONL event log, tolerating blank lines.
+func ReadLog(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read event log: %w", err)
+	}
+	return out, nil
+}
+
+// MergeLogs interleaves per-RDN event logs into one causal timeline,
+// stably ordered by (At, RDN, Seq). Each instance's events keep their
+// publish order, and ties across instances break deterministically, so the
+// merged log is byte-identical run to run for a deterministic drill.
+func MergeLogs(logs ...[]Event) []Event {
+	var n int
+	for _, l := range logs {
+		n += len(l)
+	}
+	out := make([]Event, 0, n)
+	for _, l := range logs {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].RDN != out[j].RDN {
+			return out[i].RDN < out[j].RDN
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// StageSettle is the wire name of the terminal lifecycle stage; LintLog
+// keys its one-terminal-outcome-per-trace check on it. (The constant lives
+// here rather than in telemetry so the leaf package can validate logs.)
+const StageSettle = "settle"
+
+// LintLog validates a (possibly merged) event log against the schema:
+// every event carries the current schema version and a known kind, each
+// RDN's sequence numbers are strictly increasing and timestamps
+// non-decreasing, span events name a trace and a stage, and every traced
+// request settles at most once per RDN with a named outcome. It returns
+// the first violation found.
+func LintLog(evs []Event) error {
+	type rdnState struct {
+		seq uint64
+		at  int64
+		has bool
+	}
+	rdns := make(map[int]*rdnState)
+	type traceKey struct {
+		trace TraceID
+		rdn   int
+	}
+	settled := make(map[traceKey]bool)
+	for i, ev := range evs {
+		where := fmt.Sprintf("event %d (rdn %d seq %d)", i, ev.RDN, ev.Seq)
+		if ev.Schema != SchemaVersion {
+			return fmt.Errorf("obs: %s: schema %d, want %d", where, ev.Schema, SchemaVersion)
+		}
+		if int(ev.Kind) <= 0 || int(ev.Kind) >= len(kindNames) || kindNames[ev.Kind] == "" {
+			return fmt.Errorf("obs: %s: unknown kind %d", where, int(ev.Kind))
+		}
+		st := rdns[ev.RDN]
+		if st == nil {
+			st = &rdnState{}
+			rdns[ev.RDN] = st
+		}
+		if st.has {
+			if ev.Seq <= st.seq {
+				return fmt.Errorf("obs: %s: sequence not increasing (follows seq %d)", where, st.seq)
+			}
+			if int64(ev.At) < st.at {
+				return fmt.Errorf("obs: %s: time moved backwards (%v after %v)", where, ev.At, time.Duration(st.at))
+			}
+		}
+		st.has, st.seq, st.at = true, ev.Seq, int64(ev.At)
+		if ev.Kind == KindSpan {
+			if ev.Trace == 0 {
+				return fmt.Errorf("obs: %s: span event without a trace ID", where)
+			}
+			if ev.Stage == "" {
+				return fmt.Errorf("obs: %s: span event without a stage", where)
+			}
+			if ev.Stage == StageSettle {
+				if ev.Detail == "" {
+					return fmt.Errorf("obs: %s: settle span without an outcome", where)
+				}
+				k := traceKey{ev.Trace, ev.RDN}
+				if settled[k] {
+					return fmt.Errorf("obs: %s: trace %s settled twice on rdn %d", where, ev.Trace, ev.RDN)
+				}
+				settled[k] = true
+			}
+		}
+	}
+	return nil
+}

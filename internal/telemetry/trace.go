@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gage/internal/obs"
 )
 
 // Stage identifies one step of a request's lifecycle through the
@@ -118,9 +120,12 @@ type Span struct {
 // nil-receiver safe, so unsampled requests pay a single pointer test per
 // call site and never allocate.
 type Trace struct {
-	ReqID      uint64 `json:"reqId"`
-	Subscriber string `json:"subscriber,omitempty"`
-	Spans      []Span `json:"spans"`
+	ReqID uint64 `json:"reqId"`
+	// ID is the tier-wide trace identity (obs.Mint); zero when the owner
+	// predates trace propagation or minted none.
+	ID         obs.TraceID `json:"id,omitempty"`
+	Subscriber string      `json:"subscriber,omitempty"`
+	Spans      []Span      `json:"spans"`
 
 	t *Tracer
 }
@@ -133,12 +138,21 @@ func (tr *Trace) SetSubscriber(sub string) {
 	tr.Subscriber = sub
 }
 
+// SetID attaches the tier-wide trace identity minted at classify time.
+func (tr *Trace) SetID(id obs.TraceID) {
+	if tr == nil {
+		return
+	}
+	tr.ID = id
+}
+
 // Add appends one span at the tracer's current time.
 func (tr *Trace) Add(stage Stage, node int64, note string) {
 	if tr == nil {
 		return
 	}
 	tr.Spans = append(tr.Spans, Span{Stage: stage, At: tr.t.now(), Node: node, Note: note})
+	tr.t.publishSpan(tr, stage, node, note)
 }
 
 // Settle appends the terminal span and publishes the trace into the ring.
@@ -151,6 +165,7 @@ func (tr *Trace) Settle(outcome Outcome) {
 		return
 	}
 	tr.Spans = append(tr.Spans, Span{Stage: StageSettle, At: tr.t.now(), Note: string(outcome)})
+	tr.t.publishSpan(tr, StageSettle, 0, string(outcome))
 	tr.t.push(*tr)
 }
 
@@ -170,8 +185,14 @@ type Tracer struct {
 	seen    atomic.Uint64
 	sampled atomic.Uint64
 	settled atomic.Uint64
+	// dropped counts settled traces overwritten in the ring before any
+	// reader saw them (satellite counter gage_trace_dropped_total).
+	dropped atomic.Uint64
 
 	now func() time.Time
+	// bus, when set, receives every span of every sampled trace as a
+	// KindSpan event, tying the lifecycle into the unified timeline.
+	bus atomic.Pointer[obs.Bus]
 
 	mu   sync.Mutex
 	ring []Trace
@@ -195,6 +216,31 @@ func NewTracer(cfg TracerConfig) *Tracer {
 
 // SetClock overrides the tracer's time source (deterministic tests).
 func (t *Tracer) SetClock(now func() time.Time) { t.now = now }
+
+// SetBus mirrors sampled lifecycle spans onto the unified event bus.
+func (t *Tracer) SetBus(b *obs.Bus) {
+	if t == nil {
+		return
+	}
+	t.bus.Store(b)
+}
+
+// publishSpan forwards one span to the attached bus, if any. Untraced
+// requests never reach here; traces without a tier-wide ID stay local.
+func (t *Tracer) publishSpan(tr *Trace, stage Stage, node int64, note string) {
+	b := t.bus.Load()
+	if b == nil || tr.ID == 0 {
+		return
+	}
+	b.Publish(obs.Event{
+		Kind:   obs.KindSpan,
+		Trace:  tr.ID,
+		Sub:    tr.Subscriber,
+		Node:   int(node),
+		Stage:  stage.String(),
+		Detail: note,
+	})
+}
 
 // Enabled reports whether the tracer samples at all.
 func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
@@ -226,10 +272,21 @@ func (t *Tracer) push(tr Trace) {
 			t.full = true
 		}
 	} else {
+		// The slot's previous occupant is lost to readers: ring-lap drop.
+		t.dropped.Add(1)
 		t.ring[t.next] = tr
 		t.next = (t.next + 1) % len(t.ring)
 	}
 	t.mu.Unlock()
+}
+
+// Dropped returns how many settled traces were overwritten in the ring
+// before being read (gage_trace_dropped_total).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Traces returns the retained traces, oldest first.
